@@ -1,0 +1,142 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* Schedule-producing DP vs cost-only DP (schedules are first-class — what
+  does materializing them cost?).
+* Eager vs deferred layer-by-layer retention (the spill-policy ambiguity).
+* k-ary DP vs the specialized DWT DP on the same pruned trees.
+* Simulator replay throughput (every experiment leans on it).
+* Exhaustive-oracle cost on a small instance (why dataflow-specific
+  algorithms are needed at all).
+"""
+
+import pytest
+
+from repro.core import equal, simulate, min_feasible_budget
+from repro.graphs import dwt_graph, mvm_graph, prune_dwt
+from repro.schedulers import (ExhaustiveScheduler, LayerByLayerScheduler,
+                              OptimalDWTScheduler, OptimalTreeScheduler,
+                              TilingMVMScheduler)
+
+G_DWT = dwt_graph(256, 8, weights=equal())
+B_DWT = 12 * 16
+
+
+def test_ablation_cost_only_dp(benchmark):
+    opt = OptimalDWTScheduler()
+    cost = benchmark(lambda: opt.cost(G_DWT, B_DWT))
+    assert cost == 8192
+
+
+def test_ablation_schedule_producing_dp(benchmark):
+    opt = OptimalDWTScheduler()
+    sched = benchmark(lambda: opt.schedule(G_DWT, B_DWT))
+    assert sched.cost(G_DWT) == 8192
+
+
+def test_ablation_kary_vs_dwt_dp(benchmark):
+    """The generic k-ary DP on the pruned tree; its cost must agree with
+    the specialized DWT DP modulo the coefficient stores."""
+    pruned = prune_dwt(G_DWT)
+    tree = OptimalTreeScheduler()
+    cost = benchmark(lambda: tree.cost(pruned, B_DWT))
+    coef_stores = sum(G_DWT.weight(v) for v in G_DWT
+                      if v[0] > 1 and v[1] % 2 == 0)
+    assert cost + coef_stores == OptimalDWTScheduler().cost(G_DWT, B_DWT)
+
+
+@pytest.mark.parametrize("retention", ["eager", "deferred"])
+def test_ablation_lbl_retention(benchmark, retention):
+    s = LayerByLayerScheduler(retention=retention)
+    cost = benchmark(lambda: s.cost(G_DWT, 200 * 16))
+    assert cost >= 8192
+
+
+def test_ablation_simulator_throughput(benchmark):
+    """Strict replay of a full MVM(96,120) tiling schedule (~10^5 moves)."""
+    g = mvm_graph(96, 120, weights=equal())
+    t = TilingMVMScheduler(96, 120)
+    sched = t.schedule(g, 99 * 16)
+    res = benchmark.pedantic(
+        lambda: simulate(g, sched, budget=99 * 16, strict=True),
+        rounds=3, iterations=1)
+    assert res.cost == 187776
+
+
+def test_ablation_exhaustive_oracle(benchmark):
+    """PSPACE-hard in general: even DWT(4,2) costs milliseconds via state
+    search while the DP is microseconds — the motivation for
+    dataflow-specific algorithms."""
+    g = dwt_graph(4, 2, weights=equal())
+    b = min_feasible_budget(g)
+    ex = ExhaustiveScheduler()
+    cost = benchmark(lambda: ex.min_cost(g, b))
+    assert cost == OptimalDWTScheduler().cost(g, b)
+
+
+def test_ablation_tiling_plan_search(benchmark):
+    g = mvm_graph(96, 120, weights=equal())
+    t = TilingMVMScheduler(96, 120)
+    plan = benchmark(lambda: t.plan(g, 120 * 16))
+    assert plan.cost >= 187776
+
+
+@pytest.mark.parametrize("policy", ["belady", "lru", "fifo"])
+def test_ablation_eviction_policies_on_dwt(benchmark, policy):
+    """General heuristics vs the optimal DP on the paper's DWT workload:
+    Belady + layer order matches the optimum here; the others trail."""
+    from repro.schedulers import EvictionScheduler
+    s = EvictionScheduler(policy=policy, order="topological")
+    cost = benchmark.pedantic(lambda: s.cost(G_DWT, B_DWT),
+                              rounds=2, iterations=1)
+    optimal = OptimalDWTScheduler().cost(G_DWT, B_DWT)
+    assert cost >= optimal
+    if policy == "belady":
+        assert cost == optimal
+
+
+def test_ablation_prefetch_pass(benchmark):
+    """Latency hiding: the hoist pass removes nearly all load stalls when
+    the budget has slack, at zero I/O cost."""
+    from repro.core import prefetch, stall_cycles, simulate
+    b = 28 * 16
+    sched = OptimalDWTScheduler().schedule(G_DWT, b)
+    hoisted = benchmark.pedantic(lambda: prefetch(G_DWT, sched, b),
+                                 rounds=2, iterations=1)
+    assert simulate(G_DWT, hoisted, budget=b, strict=True).cost \
+        == sched.cost(G_DWT)
+    assert stall_cycles(G_DWT, hoisted) <= stall_cycles(G_DWT, sched)
+
+
+def test_ablation_schedule_library_reuse(benchmark):
+    """Module reuse: scheduling all DWT(256,4) subtrees through the
+    library is one miss + 31 relabeled hits."""
+    from repro.core import ScheduleLibrary, equal as _eq
+    from repro.graphs import dwt_graph as _dg, prune_dwt, output_trees
+    from repro.schedulers import OptimalTreeScheduler
+    g = _dg(256, 4, weights=equal())
+    trees = list(output_trees(prune_dwt(g)).values())
+
+    def run():
+        lib = ScheduleLibrary(
+            lambda c, b: OptimalTreeScheduler().schedule(c, b))
+        for t in trees:
+            lib.schedule(t, 8 * 16)
+        return lib
+
+    lib = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert lib.misses == 1
+    assert lib.hits == len(trees) - 1
+
+
+def test_ablation_schedule_compaction(benchmark):
+    """The cleanup passes recover most of the deferred baseline's wasted
+    write-backs without touching the scheduler."""
+    from repro.core import compact, simulate
+    from repro.schedulers import LayerByLayerScheduler
+    b = 200 * 16
+    sched = LayerByLayerScheduler(retention="deferred").schedule(G_DWT, b)
+    out = benchmark.pedantic(lambda: compact(G_DWT, sched),
+                             rounds=2, iterations=1)
+    before = simulate(G_DWT, sched, budget=b).cost
+    after = simulate(G_DWT, out, budget=b).cost
+    assert after <= before

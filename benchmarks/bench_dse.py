@@ -1,0 +1,32 @@
+"""Benchmark the co-design sweep (beyond-paper: the reusable Sec. 5 flow)."""
+
+import pytest
+
+from repro.analysis import explore, pareto_frontier, render_design_space
+from repro.core import equal
+from repro.graphs import dwt_graph, mvm_graph
+from repro.schedulers import OptimalDWTScheduler, TilingMVMScheduler
+
+
+def test_dse_dwt(benchmark, record_artifact):
+    g = dwt_graph(256, 8, weights=equal())
+    points = benchmark.pedantic(
+        lambda: explore(g, OptimalDWTScheduler()), rounds=1, iterations=1)
+    record_artifact("dse_dwt", render_design_space(
+        points, title="DWT(256,8) Equal — co-design sweep"))
+    frontier = pareto_frontier(points)
+    assert frontier
+    # More memory never increases I/O for the optimal scheduler.
+    ios = [p.io_bits for p in points]
+    assert ios == sorted(ios, reverse=True)
+
+
+def test_dse_mvm(benchmark, record_artifact):
+    g = mvm_graph(96, 120, weights=equal())
+    t = TilingMVMScheduler(96, 120)
+    budgets = [128, 256, 512, 1024, 1584, 2048]
+    points = benchmark.pedantic(
+        lambda: explore(g, t, budgets=budgets), rounds=1, iterations=1)
+    record_artifact("dse_mvm", render_design_space(
+        points, title="MVM(96,120) Equal — co-design sweep"))
+    assert points[-1].io_bits == 187776  # LB at the Table 1 budget

@@ -1,0 +1,140 @@
+"""Benchmarks for the beyond-paper extensions.
+
+Not figures from the paper — these quantify the extension subsystems the
+paper sketches as future/related work: multiprocessor trade-offs,
+rematerialization, the k-tap wavelet generalization, the sliding-window
+schedulers, and streaming feasibility.
+"""
+
+import pytest
+
+from repro.analysis import (StreamingRequirement, analyze_realtime,
+                            format_table)
+from repro.core import (algorithmic_lower_bound, equal, simulate,
+                        simulate_parallel)
+from repro.graphs import (banded_mvm_graph, conv_graph, dwt_graph,
+                          kdwt_graph, mvm_graph)
+from repro.hardware import MemoryCompiler, MixedMemorySystem
+from repro.schedulers import (BandedMVMScheduler, OptimalDWTScheduler,
+                              OptimalKDWTScheduler, ParallelMVMScheduler,
+                              ParallelComponentScheduler, RecomputeScheduler,
+                              SlidingWindowConvScheduler)
+
+
+def test_parallel_tradeoff_table(benchmark, record_artifact):
+    """Makespan vs total I/O across processor counts (row-sliced MVM)."""
+    g = mvm_graph(96, 120, weights=equal())
+    b = 30 * 16
+
+    def run():
+        rows = []
+        for procs in (1, 2, 4, 8):
+            pm = ParallelMVMScheduler(96, 120, procs)
+            res = simulate_parallel(g, pm.schedule(g, b),
+                                    budget_per_processor=b)
+            rows.append([procs, res.makespan, res.total_cost,
+                         f"{res.speedup:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_artifact("ext_parallel_mvm", format_table(
+        ["processors", "makespan", "total I/O (bits)", "speedup"], rows,
+        title="Multiprocessor MVM(96,120): time vs communication"))
+    totals = [r[2] for r in rows]
+    spans = [r[1] for r in rows]
+    assert totals == sorted(totals)  # communication grows
+    assert spans == sorted(spans, reverse=True)  # time shrinks
+
+
+def test_parallel_dwt_components(benchmark, record_artifact):
+    g = dwt_graph(256, 4, weights=equal())  # 16 independent trees
+    b = 8 * 16
+    seq_cost = OptimalDWTScheduler().cost(g, b)
+
+    def run():
+        rows = []
+        for procs in (1, 2, 4, 8):
+            ps = ParallelComponentScheduler(
+                OptimalDWTScheduler(), procs).schedule(g, b)
+            res = simulate_parallel(g, ps, budget_per_processor=b)
+            rows.append([procs, res.makespan, res.total_cost,
+                         f"{res.speedup:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_artifact("ext_parallel_dwt", format_table(
+        ["processors", "makespan", "total I/O (bits)", "speedup"], rows,
+        title="Multiprocessor DWT(256,4): communication-free scaling"))
+    assert all(r[2] == seq_cost for r in rows)  # no extra I/O, ever
+
+
+def test_recompute_ablation(benchmark, record_artifact):
+    g = dwt_graph(64, 6, weights=equal())
+    from repro.core import min_feasible_budget
+    b = min_feasible_budget(g) + 3 * 16
+
+    def run():
+        rows = []
+        for bias in (0.0, 1.0, 2.0):
+            sched = RecomputeScheduler(spill_bias=bias).schedule(g, b)
+            res = simulate(g, sched, budget=b)
+            rows.append([bias, res.cost, res.recomputations,
+                         res.write_cost])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_artifact("ext_recompute", format_table(
+        ["spill bias", "I/O (bits)", "recomputes", "write bits"], rows,
+        title="Rematerialization ablation on DWT(64,6)"))
+    # recompute never writes back more than pure spilling
+    assert rows[1][3] <= rows[0][3]
+
+
+def test_kdwt_generalization(benchmark):
+    g = kdwt_graph(81, 4, 3, weights=equal())
+    from repro.core import min_feasible_budget
+    b = min_feasible_budget(g) + 6 * 16  # 10 words reach the LB
+    sched = benchmark.pedantic(
+        lambda: OptimalKDWTScheduler(3).schedule(g, b),
+        rounds=2, iterations=1)
+    assert simulate(g, sched, budget=b).cost == algorithmic_lower_bound(g)
+
+
+def test_sliding_window_banded(benchmark):
+    g = banded_mvm_graph(64, 64, 2, weights=equal())
+    s = BandedMVMScheduler(64, 64, 2)
+    b = s.peak(g)
+    sched = benchmark(lambda: s.schedule(g, b))
+    assert simulate(g, sched, budget=b).cost == algorithmic_lower_bound(g)
+
+
+def test_sliding_window_fir(benchmark):
+    g = conv_graph(256, 8, weights=equal())
+    s = SlidingWindowConvScheduler(256, 8)
+    b = s.peak(g)
+    sched = benchmark(lambda: s.schedule(g, b))
+    assert simulate(g, sched, budget=b).cost == algorithmic_lower_bound(g)
+
+
+def test_streaming_feasibility(benchmark, record_artifact):
+    """Channels sustainable per macro for the paper's DWT deployment."""
+    g = dwt_graph(256, 8, weights=equal())
+    sched = OptimalDWTScheduler().schedule(g, 160)
+
+    def run():
+        rows = []
+        for bits in (256, 1024, 8192):
+            system = MixedMemorySystem(MemoryCompiler().synthesize(bits))
+            rep = analyze_realtime(g, sched, system,
+                                   StreamingRequirement(channels=96))
+            rows.append([bits, f"{rep.duty_cycle:.4f}", rep.max_channels,
+                         f"{rep.average_power_mw:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_artifact("ext_streaming", format_table(
+        ["SRAM (bits)", "duty @96ch", "max channels", "avg power (mW)"],
+        rows, title="Streaming feasibility, DWT(256,8) @ 30 kHz"))
+    # smaller macro, lower power at the same load
+    powers = [float(r[3]) for r in rows]
+    assert powers == sorted(powers)

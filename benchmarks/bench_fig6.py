@@ -1,0 +1,62 @@
+"""Benchmark + reproduction of Figure 6 (minimum fast memory vs n).
+
+DWT panels sweep every 4th even n (the full even-n sweep is the paper's;
+the stride only thins the x-axis, the curve shape is unchanged); MVM
+panels sweep every n.  Each bench also reports our measured average
+reduction for the EXPERIMENTS.md record.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import average_reduction, dwt_panel, mvm_panel
+
+DWT_STRIDE = 8
+MVM_STRIDE = 2
+
+
+def _render(panel, title):
+    header = f"{title}\nn  {panel[0].label}  {panel[1].label}"
+    lines = [header]
+    for i, n in enumerate(panel[0].sizes):
+        lines.append(f"{n:4d}  {panel[0].min_memory_bits[i]:8d}  "
+                     f"{panel[1].min_memory_bits[i]:8d}")
+    lines.append(f"average reduction: {average_reduction(panel):.1f}%")
+    return "\n".join(lines)
+
+
+def test_fig6a_equal_dwt(benchmark, record_artifact):
+    panel = benchmark.pedantic(lambda: dwt_panel(False, stride=DWT_STRIDE),
+                               rounds=1, iterations=1)
+    record_artifact("fig6a", _render(panel, "Fig. 6a — Equal DWT(n,d*)"))
+    lbl, opt = panel
+    assert all(o <= b for o, b in zip(opt.min_memory_bits,
+                                      lbl.min_memory_bits))
+
+
+def test_fig6b_da_dwt(benchmark, record_artifact):
+    panel = benchmark.pedantic(lambda: dwt_panel(True, stride=DWT_STRIDE),
+                               rounds=1, iterations=1)
+    record_artifact("fig6b", _render(panel, "Fig. 6b — DA DWT(n,d*)"))
+    lbl, opt = panel
+    assert all(o <= b for o, b in zip(opt.min_memory_bits,
+                                      lbl.min_memory_bits))
+
+
+def test_fig6c_equal_mvm(benchmark, record_artifact):
+    panel = benchmark.pedantic(lambda: mvm_panel(False, stride=MVM_STRIDE),
+                               rounds=1, iterations=1)
+    record_artifact("fig6c", _render(panel, "Fig. 6c — Equal MVM(96,n)"))
+    ioopt, tiling = panel
+    assert all(o <= b for o, b in zip(tiling.min_memory_bits,
+                                      ioopt.min_memory_bits))
+    assert tiling.min_memory_bits[-1] == 99 * 16  # Table 1 endpoint
+
+
+def test_fig6d_da_mvm(benchmark, record_artifact):
+    panel = benchmark.pedantic(lambda: mvm_panel(True, stride=MVM_STRIDE),
+                               rounds=1, iterations=1)
+    record_artifact("fig6d", _render(panel, "Fig. 6d — DA MVM(96,n)"))
+    ioopt, tiling = panel
+    assert all(o <= b for o, b in zip(tiling.min_memory_bits,
+                                      ioopt.min_memory_bits))
+    assert tiling.min_memory_bits[-1] == 126 * 16  # Table 1 endpoint

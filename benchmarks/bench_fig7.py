@@ -1,0 +1,54 @@
+"""Benchmark + reproduction of Figure 7 (synthesized memory metrics)."""
+
+import pytest
+
+from repro.experiments import run_fig7, render_fig7
+from repro.experiments.fig7 import average_reduction, panel_table
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return run_fig7()
+
+
+def test_fig7_full(benchmark, record_artifact):
+    cols = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    record_artifact("fig7", render_fig7(cols))
+
+
+def test_fig7_area(benchmark, columns, record_artifact):
+    table = benchmark(lambda: panel_table(columns, "area", "Fig. 7a — area"))
+    record_artifact("fig7a_area", table)
+    # paper: 63% average area reduction; the calibrated substrate must stay
+    # in that regime.
+    assert abs(average_reduction(columns, "area") - 63.0) < 10.0
+
+
+def test_fig7_leakage(benchmark, columns, record_artifact):
+    table = benchmark(lambda: panel_table(columns, "leakage_mw",
+                                          "Fig. 7b — leakage"))
+    record_artifact("fig7b_leakage", table)
+    assert average_reduction(columns, "leakage_mw") > 40.0
+
+
+def test_fig7_read_write_power(benchmark, columns, record_artifact):
+    tables = benchmark(lambda: {
+        name: panel_table(columns, attr, name)
+        for attr, name in (("read_power_mw", "fig7c_read_power"),
+                           ("write_power_mw", "fig7d_write_power"))})
+    for name, table in tables.items():
+        record_artifact(name, table)
+    assert average_reduction(columns, "read_power_mw") > 0.0
+    assert average_reduction(columns, "write_power_mw") > 0.0
+
+
+def test_fig7_performance(benchmark, columns, record_artifact):
+    tables = benchmark(lambda: {
+        name: panel_table(columns, attr, name)
+        for attr, name in (("read_bandwidth_gbps", "fig7e_read_perf"),
+                           ("write_bandwidth_gbps", "fig7f_write_perf"))})
+    for name, table in tables.items():
+        record_artifact(name, table)
+    # Sec. 5.3: throughput nearly constant — no significant loss.
+    assert abs(average_reduction(columns, "read_bandwidth_gbps")) < 15.0
+    assert abs(average_reduction(columns, "write_bandwidth_gbps")) < 15.0

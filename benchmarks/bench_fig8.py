@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Figure 8 (physical layout comparison)."""
+
+import pytest
+
+from repro.experiments import run_fig8, render_fig8
+
+
+def test_fig8_layouts(benchmark, record_artifact):
+    panels = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    record_artifact("fig8", render_fig8(panels))
+    assert len(panels) == 4
+    for p in panels:
+        # ours never larger, and the DWT panels dramatically smaller
+        assert p.ours.total_area <= p.baseline.total_area
+    dwt_panels = panels[:2]
+    for p in dwt_panels:
+        assert p.ours.total_area < 0.3 * p.baseline.total_area

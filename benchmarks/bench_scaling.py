@@ -1,0 +1,66 @@
+"""Scaling benchmarks: scheduler and simulator runtime vs problem size.
+
+Thm. 3.5/3.8 claim polynomial time for the dataflow-specific DPs; these
+benches measure the constants on this implementation so regressions in
+algorithmic complexity show up as timing cliffs.
+"""
+
+import pytest
+
+from repro.core import equal, simulate
+from repro.graphs import dwt_graph, mvm_graph
+from repro.schedulers import (EvictionScheduler, OptimalDWTScheduler,
+                              TilingMVMScheduler)
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_scaling_dwt_dp_cost(benchmark, n):
+    """Cost-only DP over DWT(n, log2 n) at a fixed 12-word budget."""
+    import math
+    d = int(math.log2(n))
+    g = dwt_graph(n, d, weights=equal())
+    opt = OptimalDWTScheduler()
+    cost = benchmark(lambda: opt.cost(g, 12 * 16))
+    assert cost >= 0
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_scaling_dwt_schedule_generation(benchmark, n):
+    import math
+    d = int(math.log2(n))
+    g = dwt_graph(n, d, weights=equal())
+    opt = OptimalDWTScheduler()
+    sched = benchmark.pedantic(lambda: opt.schedule(g, 12 * 16),
+                               rounds=2, iterations=1)
+    assert len(sched) > n
+
+
+@pytest.mark.parametrize("m", [24, 48, 96])
+def test_scaling_tiling_emission(benchmark, m):
+    g = mvm_graph(m, 120, weights=equal())
+    t = TilingMVMScheduler(m, 120)
+    b = (m + 3) * 16
+    sched = benchmark.pedantic(lambda: t.schedule(g, b),
+                               rounds=2, iterations=1)
+    assert len(sched) > m * 120
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_scaling_belady_on_fft(benchmark, n):
+    from repro.graphs import fft_graph
+    from repro.core import min_feasible_budget
+    g = fft_graph(n, weights=equal())
+    s = EvictionScheduler()
+    b = min_feasible_budget(g) + 8 * 16
+    sched = benchmark.pedantic(lambda: s.schedule(g, b),
+                               rounds=2, iterations=1)
+    assert simulate(g, sched, budget=b).cost > 0
+
+
+def test_scaling_simulator_moves_per_second(benchmark):
+    """Raw replay throughput on a long schedule (~10^5 moves)."""
+    g = mvm_graph(96, 120, weights=equal())
+    sched = TilingMVMScheduler(96, 120).schedule(g, 99 * 16)
+    res = benchmark.pedantic(lambda: simulate(g, sched, budget=99 * 16),
+                             rounds=3, iterations=1)
+    assert res.cost == 187776

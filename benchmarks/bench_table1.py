@@ -1,0 +1,44 @@
+"""Benchmark + reproduction of Table 1 (minimum fast memory sizes).
+
+Regenerates all eight rows and times the three distinct search kinds:
+the DWT optimum's DP-driven binary search, the layer-by-layer simulation
+search, and the closed-form tiling/IOOpt minimum memories.
+"""
+
+import pytest
+
+from repro.analysis import scheduler_min_memory
+from repro.experiments import (dwt_workload, mvm_workload, render_table1,
+                               run_table1)
+
+
+def test_table1_full(benchmark, record_artifact):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_artifact("table1", render_table1(rows))
+    assert [r.min_words for r in rows] == [10, 448, 18, 640, 99, 193, 126, 289]
+
+
+def test_table1_optimum_search(benchmark):
+    w = dwt_workload(False)
+    bits = benchmark(lambda: scheduler_min_memory(w.optimum, w.graph))
+    assert bits == 10 * 16
+
+
+def test_table1_layer_by_layer_search(benchmark):
+    w = dwt_workload(False)
+    bits = benchmark.pedantic(
+        lambda: scheduler_min_memory(w.baseline, w.graph),
+        rounds=1, iterations=1)
+    assert bits == 448 * 16
+
+
+def test_table1_tiling_closed_form(benchmark):
+    w = mvm_workload(True)
+    bits = benchmark(lambda: w.tiling.min_memory_for_lower_bound(w.graph))
+    assert bits == 126 * 16
+
+
+def test_table1_ioopt_closed_form(benchmark):
+    w = mvm_workload(True)
+    bits = benchmark(w.ioopt.min_memory)
+    assert bits == 289 * 16

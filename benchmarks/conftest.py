@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers: every bench writes its reproduced table/figure
+to ``benchmarks/results/<name>.txt`` so the artifacts survive the run (the
+console equivalent of the paper's figures), in addition to printing when
+``-s`` is passed."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """``record_artifact(name, text)`` — persist and echo a reproduction."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Seizure detection on an implanted BCI, end to end.
+
+The paper's motivating workload (Sec. 1, Sec. 3.1): a DWT-based detector
+running next to the brain under a milliwatt-class power ceiling.  This
+example builds the whole pipeline on the library:
+
+1. synthesize a multi-channel neural recording, some channels carrying a
+   seizure-like high-frequency burst;
+2. derive the *optimal* DWT(256, 8) schedule for a 10-word fast memory
+   (Table 1's minimum) and execute it per channel on the two-level memory
+   machine;
+3. threshold the high-band wavelet energies to flag seizure channels;
+4. compare the movement energy of the optimal schedule against the
+   layer-by-layer baseline at its own minimum memory, using the energy
+   model — the quantity that decides implant safety.
+"""
+
+import numpy as np
+
+from repro import algorithmic_lower_bound, dwt_graph, equal, simulate
+from repro.analysis import scheduler_min_memory
+from repro.kernels import (SignalConfig, band_energies, dwt_inputs,
+                           dwt_operation, haar_dwt, quantize,
+                           synthetic_array)
+from repro.machine import EnergyModel, ScheduleExecutor
+from repro.schedulers import LayerByLayerScheduler, OptimalDWTScheduler
+
+N_CHANNELS = 8
+SEIZURE_CHANNELS = (2, 5)
+N_SAMPLES, LEVELS = 256, 8
+
+
+def detect(executor, schedule, graph, channel: np.ndarray) -> float:
+    """Run the pebbling schedule on one channel; return high-band energy."""
+    run = executor.run(schedule, dwt_inputs(graph, channel))
+    # Reconstruct per-level coefficient vectors from the output nodes.
+    coeffs = []
+    for level in range(1, LEVELS + 1):
+        layer = level + 1
+        vals = [val for (i, j), val in run.outputs.items()
+                if i == layer and j % 2 == 0]
+        coeffs.append(np.array(vals))
+    return float(band_energies(coeffs)[:2].sum())  # finest two bands
+
+
+def main() -> None:
+    graph = dwt_graph(N_SAMPLES, LEVELS, weights=equal())
+    optimum = OptimalDWTScheduler()
+    budget = 10 * 16  # Table 1: the optimum needs just 10 words
+    schedule = optimum.schedule(graph, budget)
+    check = simulate(graph, schedule, budget=budget, strict=True)
+    assert check.cost == algorithmic_lower_bound(graph)
+    print(f"optimal schedule: {len(schedule)} moves, "
+          f"{check.cost} bits moved at {budget} bits of fast memory")
+
+    # 256-sample analysis windows, downsampled so the seizure-band burst
+    # (~180 Hz) lands in the finest wavelet bands of the window.
+    config = SignalConfig(n_samples=N_SAMPLES, sample_rate_hz=512.0,
+                          background_hz=8.0, burst_hz=180.0,
+                          burst_amplitude=0.9, seed=11)
+    recording = synthetic_array(
+        N_CHANNELS, config,
+        burst_channels=SEIZURE_CHANNELS, burst=(96, 200))
+    recording = quantize(recording)
+
+    executor = ScheduleExecutor(graph, dwt_operation(), budget)
+    energies = np.array([detect(executor, schedule, graph, ch)
+                         for ch in recording])
+    threshold = 4.0 * np.median(energies)
+    flagged = tuple(int(i) for i in np.where(energies > threshold)[0])
+    print("high-band energies:",
+          " ".join(f"{e:7.3f}" for e in energies))
+    print(f"flagged channels: {flagged}  (ground truth {SEIZURE_CHANNELS})")
+    assert flagged == SEIZURE_CHANNELS
+
+    # Sanity: the executed coefficients equal the NumPy reference.
+    _, ref = haar_dwt(recording[SEIZURE_CHANNELS[0]], LEVELS)
+    run = executor.run(schedule,
+                       dwt_inputs(graph, recording[SEIZURE_CHANNELS[0]]))
+    assert abs(run.outputs[(2, 2)] - ref[0][0]) < 1e-9
+
+    # Power story: same computation, baseline scheduling.
+    baseline = LayerByLayerScheduler(retention="deferred")
+    base_budget = scheduler_min_memory(baseline, graph)
+    base_sched = baseline.schedule(graph, base_budget)
+    model = EnergyModel()
+    e_opt = model.schedule_energy_pj(graph, schedule, budget)
+    e_base = model.schedule_energy_pj(graph, base_sched, base_budget)
+    print(f"energy/window: optimal {e_opt/1e3:.1f} nJ at {budget//16} words "
+          f"vs layer-by-layer {e_base/1e3:.1f} nJ at "
+          f"{base_budget//16} words "
+          f"({100 * (1 - e_opt / e_base):.1f}% saved)")
+
+
+if __name__ == "__main__":
+    main()

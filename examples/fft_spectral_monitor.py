@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Spectral monitoring on the FFT butterfly — scheduling beyond trees.
+
+The paper's optimal DPs cover tree-shaped dataflows; real BCI pipelines
+also contain graphs with fan-out *and* reconvergence, like the FFT
+butterfly (which Hong & Kung used to found red-blue pebbling).  This
+example shows the library's general-graph story:
+
+1. build a 64-point FFT CDAG;
+2. compare the general eviction heuristics (Belady / LRU / FIFO) against
+   the greedy fallback across fast-memory budgets, printing the I/O table;
+3. run the best schedule on the memory machine over a synthetic recording
+   and report the dominant frequency per window — verified against
+   ``numpy.fft``;
+4. draw the occupancy timeline of the winning schedule.
+"""
+
+import numpy as np
+
+from repro import (algorithmic_lower_bound, equal, fft_graph,
+                   min_feasible_budget, occupancy_timeline, simulate)
+from repro.analysis import format_table
+from repro.kernels import (SignalConfig, fft_inputs, fft_operation,
+                           fft_outputs_to_vector, reference_fft,
+                           synthetic_channel)
+from repro.machine import ScheduleExecutor
+from repro.schedulers import EvictionScheduler, GreedyTopologicalScheduler
+
+N = 64
+SAMPLE_RATE = 512.0
+
+
+def main() -> None:
+    graph = fft_graph(N, weights=equal())
+    lb = algorithmic_lower_bound(graph)
+    lo = min_feasible_budget(graph)
+    print(f"graph: {graph.name}, |V|={len(graph)}, lower bound {lb} bits")
+
+    strategies = {
+        "Belady": EvictionScheduler(policy="belady"),
+        "LRU": EvictionScheduler(policy="lru"),
+        "FIFO": EvictionScheduler(policy="fifo"),
+        "Greedy": GreedyTopologicalScheduler(),
+    }
+    budgets = [lo, lo + 4 * 16, lo + 12 * 16, lo + 32 * 16]
+    rows = []
+    for b in budgets:
+        row = [b // 16]
+        for s in strategies.values():
+            row.append(s.cost(graph, b))
+        rows.append(row)
+    print(format_table(["budget (words)", *strategies], rows,
+                       title="\nFFT(64) weighted I/O (bits) by strategy"))
+
+    # Execute the Belady schedule at a mid-sized budget on real samples.
+    budget = lo + 12 * 16
+    scheduler = strategies["Belady"]
+    schedule = scheduler.schedule(graph, budget)
+    check = simulate(graph, schedule, budget=budget)
+    executor = ScheduleExecutor(graph, fft_operation(N), budget)
+
+    config = SignalConfig(n_samples=N, sample_rate_hz=SAMPLE_RATE,
+                          background_hz=40.0, burst_hz=120.0,
+                          burst_amplitude=1.4, noise_rms=0.02, seed=3)
+    for label, burst in (("baseline", None), ("event", (4, 60))):
+        x = synthetic_channel(config, burst=burst)
+        run = executor.run(schedule, fft_inputs(N, x))
+        spectrum = fft_outputs_to_vector(N, run.outputs)
+        np.testing.assert_allclose(spectrum, reference_fft(x), atol=1e-9)
+        mags = np.abs(spectrum[1:N // 2])
+        peak_bin = int(np.argmax(mags)) + 1
+        freq = peak_bin * SAMPLE_RATE / N
+        print(f"{label:9s}: dominant component {freq:6.1f} Hz "
+              f"(|X|={mags.max():.2f}), traffic {run.traffic_bits} bits")
+
+    print("\noccupancy timeline (Belady schedule):")
+    print(occupancy_timeline(graph, schedule, budget=budget, width=64,
+                             height=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The full scheduling-to-silicon co-design flow (paper Sec. 5).
+
+Given a workload and a weight configuration, this walks the exact flow the
+paper's evaluation automates:
+
+  dataflow graph
+    -> minimum fast memory size of each scheduling approach (Def. 2.6)
+    -> power-of-two SRAM capacity
+    -> synthesized macro (area / leakage / dynamic power / bandwidth)
+    -> floorplan comparison
+
+Run it to regenerate the DWT column of Table 1 + Figs. 7-8 for either
+weight configuration (pass "da" for Double Accumulator).
+"""
+
+import sys
+
+from repro import double_accumulator, dwt_graph, equal
+from repro.analysis import format_table, percent_reduction, \
+    scheduler_min_memory
+from repro.hardware import (MemoryCompiler, floorplan, render_comparison,
+                            round_up_pow2)
+from repro.schedulers import LayerByLayerScheduler, OptimalDWTScheduler
+
+
+def main(config_name: str = "equal") -> None:
+    cfg = double_accumulator() if config_name == "da" else equal()
+    graph = dwt_graph(256, 8, weights=cfg)
+    print(f"workload: {graph.name} under {cfg.name} weights\n")
+
+    approaches = [
+        ("Optimum (Ours)", OptimalDWTScheduler()),
+        ("Layer-by-Layer", LayerByLayerScheduler(retention="deferred")),
+    ]
+    compiler = MemoryCompiler()
+    rows, macros = [], {}
+    for name, scheduler in approaches:
+        bits = scheduler_min_memory(scheduler, graph)
+        pow2 = round_up_pow2(bits)
+        macro = compiler.synthesize(pow2)
+        macros[name] = macro
+        rows.append([name, bits // 16, bits, pow2, f"{macro.area:.0f}",
+                     f"{macro.leakage_mw:.2f}",
+                     f"{macro.read_bandwidth_gbps:.1f}"])
+    print(format_table(
+        ["approach", "min words", "min bits", "pow2 bits", "area",
+         "leak (mW)", "read BW (GB/s)"], rows,
+        title="scheduling -> memory sizing -> synthesis"))
+
+    ours, base = macros["Optimum (Ours)"], macros["Layer-by-Layer"]
+    print(f"\narea reduction:    "
+          f"{percent_reduction(ours.area, base.area):.1f}%")
+    print(f"leakage reduction: "
+          f"{percent_reduction(ours.leakage_mw, base.leakage_mw):.1f}%")
+    print(f"bandwidth change:  "
+          f"{percent_reduction(ours.read_bandwidth_gbps, base.read_bandwidth_gbps):.1f}%\n")
+
+    print(render_comparison(
+        floorplan(ours), floorplan(base),
+        f"Optimum [{ours.capacity_bits}b]",
+        f"Layer-by-Layer [{base.capacity_bits}b]"))
+
+    # Finally, the full design-space sweep on the mixed SRAM+NVM system:
+    # budget -> I/O -> synthesized macro -> energy, with the Pareto set and
+    # the implant-safe pick under a milliwatt-class power ceiling.
+    from repro.analysis import (best_under_power_cap, explore,
+                                pareto_frontier, render_design_space)
+    # A BCI computes one analysis window, then idles until the next one —
+    # at ~1% duty cycle, leakage dominates and small SRAMs win big.
+    points = explore(graph, approaches[0][1], duty_cycle=0.01)
+    print("\n" + render_design_space(points,
+                                     title="co-design sweep (optimum scheduler, 1% duty)"))
+    frontier = pareto_frontier(points)
+    print(f"Pareto-optimal capacities: "
+          f"{[p.capacity_bits for p in frontier]} bits")
+    cap = 2.0  # mW — implanted-BCI class ceiling
+    pick = best_under_power_cap(points, cap)
+    if pick is not None:
+        print(f"best design under {cap} mW: {pick.capacity_bits} bits SRAM, "
+              f"{pick.io_bits} bits moved, "
+              f"{pick.average_power_mw:.2f} mW average")
+    else:
+        print(f"no evaluated design fits under {cap} mW")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "equal")

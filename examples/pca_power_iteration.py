@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Principal-component extraction by scheduled power iteration.
+
+The paper's introduction places MVM at the base of "classification and
+principal-component analysis"; this example builds that second story:
+estimate the dominant principal component of neural covariance with power
+iteration, where *every* matrix-vector product runs as a verified WRBPG
+schedule on the two-level memory machine — and the module schedule is
+derived once and reused across all iterations via the schedule library
+mechanism (the schedule depends only on the graph, not the values).
+
+Pipeline:
+
+1. synthesize a multi-channel recording with one dominant correlated
+   component across channels;
+2. form the channel covariance matrix ``C`` (host-side, NumPy);
+3. power-iterate ``v ← C·v / ‖C·v‖`` with each ``C·v`` executed by the
+   tiling schedule at the Table-1-style minimum budget;
+4. compare against ``numpy.linalg.eigh``.
+"""
+
+import numpy as np
+
+from repro import algorithmic_lower_bound, equal, mvm_graph
+from repro.kernels import (SignalConfig, mvm_inputs, mvm_operation,
+                           mvm_outputs_to_vector, synthetic_array)
+from repro.machine import ScheduleExecutor
+from repro.schedulers import TilingMVMScheduler
+
+N_CHANNELS = 16
+N_SAMPLES = 512
+ITERATIONS = 30
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+    # Correlated component: a shared low-frequency drive with per-channel
+    # gains, plus independent noise.
+    base = synthetic_array(1, SignalConfig(
+        n_samples=N_SAMPLES, sample_rate_hz=512.0, background_hz=6.0,
+        noise_rms=0.0, seed=1))[0]
+    gains = rng.normal(1.0, 0.4, N_CHANNELS)
+    data = np.outer(gains, base) + 0.15 * rng.standard_normal(
+        (N_CHANNELS, N_SAMPLES))
+    cov = np.cov(data)
+    print(f"covariance: {cov.shape[0]}x{cov.shape[1]} channels")
+
+    m = n = N_CHANNELS
+    graph = mvm_graph(m, n, weights=equal())
+    tiler = TilingMVMScheduler(m, n)
+    budget = tiler.min_memory_for_lower_bound(graph)
+    schedule = tiler.schedule(graph, budget)  # derived once, reused below
+    executor = ScheduleExecutor(graph, mvm_operation(), budget)
+    print(f"MVM({m},{n}) schedule: {len(schedule)} moves at "
+          f"{budget // 16} words; {algorithmic_lower_bound(graph)} bits "
+          f"per product")
+
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    total_bits = 0
+    for it in range(ITERATIONS):
+        run = executor.run(schedule, mvm_inputs(m, n, cov, v))
+        w = mvm_outputs_to_vector(m, n, run.outputs)
+        total_bits += run.traffic_bits
+        v_next = w / np.linalg.norm(w)
+        delta = float(np.linalg.norm(v_next - np.sign(v_next @ v) * v))
+        v = v_next
+        if delta < 1e-10:
+            print(f"converged after {it + 1} iterations")
+            break
+    eigenvalue = float(v @ cov @ v)
+
+    evals, evecs = np.linalg.eigh(cov)
+    ref_val, ref_vec = evals[-1], evecs[:, -1]
+    align = abs(float(v @ ref_vec))
+    print(f"dominant eigenvalue: scheduled {eigenvalue:.6f} vs "
+          f"numpy {ref_val:.6f}; |cos angle| = {align:.6f}")
+    print(f"total data moved across the memory boundary: {total_bits} bits "
+          f"over {ITERATIONS} products")
+    assert align > 0.9999
+    assert abs(eigenvalue - ref_val) / ref_val < 1e-6
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — Weighted Red-Blue Pebble Games for resource-constrained
+scheduling and memory design.
+
+A complete reproduction of "Dataflow-Specific Algorithms for
+Resource-Constrained Scheduling and Memory Design" (SPAA 2025): the WRBPG
+model, dataflow-specific optimal schedulers for DWT and k-ary trees, a
+memory-state tiling scheduler for MVM, baselines (layer-by-layer, IOOpt
+bounds), a two-level-memory execution machine, and an SRAM-synthesis
+substrate for the hardware evaluation.
+
+Quickstart::
+
+    from repro import dwt_graph, equal, pebble_dwt, simulate
+
+    g = dwt_graph(8, 3, weights=equal(), budget=10 * 16)
+    schedule = pebble_dwt(g)
+    result = simulate(g, schedule)
+    print(result.cost, result.peak_red_weight)
+"""
+
+from .core import (CDAG, Label, Move, MoveType, M1, M2, M3, M4, Schedule,
+                   SimulationResult, simulate, algorithmic_lower_bound,
+                   min_feasible_budget, schedule_exists, WeightConfig, equal,
+                   double_accumulator, custom, DEFAULT_WORD_BITS,
+                   PebbleGameError, InfeasibleBudgetError)
+from .graphs import (dwt_graph, mvm_graph, banded_mvm_graph,
+                     complete_kary_tree, caterpillar_tree, random_kary_tree,
+                     tree_from_nested, max_level, kdwt_graph, fft_graph,
+                     conv_graph)
+from .pipeline import WindowedRunner, scalogram, spectrogram
+from .viz import occupancy_timeline, schedule_summary, to_dot
+from .serialize import (dumps_cdag, dumps_schedule, loads_cdag,
+                        loads_schedule)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDAG", "Label", "Move", "MoveType", "M1", "M2", "M3", "M4", "Schedule",
+    "SimulationResult", "simulate", "algorithmic_lower_bound",
+    "min_feasible_budget", "schedule_exists", "WeightConfig", "equal",
+    "double_accumulator", "custom", "DEFAULT_WORD_BITS", "PebbleGameError",
+    "InfeasibleBudgetError",
+    "dwt_graph", "mvm_graph", "banded_mvm_graph", "complete_kary_tree",
+    "caterpillar_tree", "random_kary_tree", "tree_from_nested", "max_level",
+    "kdwt_graph", "fft_graph", "conv_graph",
+    "WindowedRunner", "scalogram", "spectrogram",
+    "occupancy_timeline", "schedule_summary", "to_dot",
+    "dumps_cdag", "dumps_schedule", "loads_cdag", "loads_schedule",
+    "__version__",
+]

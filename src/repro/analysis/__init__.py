@@ -1,0 +1,18 @@
+"""Analysis utilities: minimum fast memory search (Def. 2.6), I/O-vs-budget
+sweeps (Fig. 5), and plain-text reporting."""
+
+from .min_memory import cost_at, minimum_fast_memory, scheduler_min_memory
+from .sweep import SweepSeries, log_budget_grid, sweep, sweep_many
+from .report import format_series, format_table, percent_reduction
+from .dse import (DesignPoint, best_under_power_cap, explore,
+                  pareto_frontier, render as render_design_space)
+from .realtime import RealtimeReport, StreamingRequirement, analyze as analyze_realtime
+from .compare import Comparison, ComparisonCell, compare
+
+__all__ = ["cost_at", "minimum_fast_memory", "scheduler_min_memory",
+           "SweepSeries", "log_budget_grid", "sweep", "sweep_many",
+           "format_series", "format_table", "percent_reduction",
+           "DesignPoint", "best_under_power_cap", "explore", "pareto_frontier",
+           "render_design_space",
+           "RealtimeReport", "StreamingRequirement", "analyze_realtime",
+           "Comparison", "ComparisonCell", "compare"]

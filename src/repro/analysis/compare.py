@@ -1,0 +1,91 @@
+"""Scheduler comparison harness.
+
+One call evaluates a set of strategies on one graph across budgets and
+reports verified costs (simulated, not self-reported), peaks, schedule
+lengths, and who wins where — the table you want before committing a
+dataflow to hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
+from ..core.cdag import CDAG
+from ..core.exceptions import PebbleGameError
+from ..core.simulator import simulate
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """One (strategy, budget) evaluation."""
+
+    strategy: str
+    budget: int
+    cost: Optional[int]  #: None when the strategy is infeasible there
+    peak: Optional[int]
+    moves: Optional[int]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Full strategy × budget evaluation of one graph."""
+
+    graph_name: str
+    lower_bound: int
+    budgets: Tuple[int, ...]
+    cells: Tuple[ComparisonCell, ...]
+
+    def winners(self) -> Dict[int, str]:
+        """Cheapest strategy per budget (ties: first in strategy order)."""
+        best: Dict[int, ComparisonCell] = {}
+        for cell in self.cells:
+            if cell.cost is None:
+                continue
+            cur = best.get(cell.budget)
+            if cur is None or cell.cost < cur.cost:
+                best[cell.budget] = cell
+        return {b: c.strategy for b, c in best.items()}
+
+    def render(self) -> str:
+        strategies = list(dict.fromkeys(c.strategy for c in self.cells))
+        by_key = {(c.strategy, c.budget): c for c in self.cells}
+        rows = []
+        for b in self.budgets:
+            row: List = [b]
+            for s in strategies:
+                cell = by_key.get((s, b))
+                row.append("-" if cell is None or cell.cost is None
+                           else cell.cost)
+            rows.append(row)
+        table = format_table(["budget (bits)"] + strategies, rows,
+                             title=f"{self.graph_name}: verified I/O by "
+                                   f"strategy (LB={self.lower_bound})")
+        wins = self.winners()
+        summary = ", ".join(f"{b}:{s}" for b, s in sorted(wins.items()))
+        return f"{table}\nwinners: {summary}"
+
+
+def compare(cdag: CDAG, strategies: Sequence, budgets: Optional[Sequence[int]]
+            = None) -> Comparison:
+    """Evaluate ``strategies`` (objects with ``.schedule``/``.name``) on
+    ``cdag``; infeasible combinations become empty cells rather than
+    errors."""
+    if budgets is None:
+        lo = min_feasible_budget(cdag)
+        budgets = [lo, lo * 2, lo * 4, cdag.total_weight()]
+    cells: List[ComparisonCell] = []
+    for s in strategies:
+        for b in budgets:
+            try:
+                sched = s.schedule(cdag, b)
+                res = simulate(cdag, sched, budget=b)
+                cells.append(ComparisonCell(s.name, b, res.cost,
+                                            res.peak_red_weight, len(sched)))
+            except PebbleGameError:
+                cells.append(ComparisonCell(s.name, b, None, None, None))
+    return Comparison(graph_name=cdag.name,
+                      lower_bound=algorithmic_lower_bound(cdag),
+                      budgets=tuple(budgets), cells=tuple(cells))

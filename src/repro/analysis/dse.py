@@ -1,0 +1,127 @@
+"""Design-space exploration: the full co-design loop in one call.
+
+For a workload (CDAG + scheduler), sweep candidate fast-memory budgets
+and, for each: derive the schedule, verify it, round the budget to a
+synthesizable power-of-two capacity, synthesize the SRAM macro, and price
+one schedule execution on the mixed SRAM+NVM system.  The result is the
+budget → (I/O, area, leakage, energy, average power) table a designer
+actually chooses from, plus its Pareto frontier.
+
+This is the programmatic version of the paper's Sec. 5 pipeline, exposed
+as a reusable API (the `memory_design_flow` example walks the same steps
+interactively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.bounds import min_feasible_budget
+from ..core.cdag import CDAG
+from ..core.exceptions import InfeasibleBudgetError
+from ..core.simulator import simulate
+from ..hardware.compiler import MemoryCompiler, round_up_pow2
+from ..hardware.nvm import MixedMemorySystem, NVMModel
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration of the co-design sweep."""
+
+    budget_bits: int
+    capacity_bits: int  #: power-of-two SRAM capacity synthesized
+    io_bits: int  #: weighted schedule cost (verified by simulation)
+    peak_bits: int
+    area: float
+    leakage_mw: float
+    energy_pj: float  #: one schedule execution on the mixed system
+    average_power_mw: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (area, energy): no worse on both, better on
+        at least one."""
+        no_worse = (self.area <= other.area
+                    and self.energy_pj <= other.energy_pj)
+        better = (self.area < other.area
+                  or self.energy_pj < other.energy_pj)
+        return no_worse and better
+
+
+def explore(
+    cdag: CDAG,
+    scheduler,
+    budgets: Optional[Sequence[int]] = None,
+    compiler: Optional[MemoryCompiler] = None,
+    nvm: NVMModel = NVMModel(),
+    duty_cycle: float = 1.0,
+) -> List[DesignPoint]:
+    """Evaluate the co-design sweep; infeasible budgets are skipped."""
+    if compiler is None:
+        compiler = MemoryCompiler()
+    if budgets is None:
+        lo = min_feasible_budget(cdag)
+        hi = max(cdag.total_weight() // 4, lo * 4)
+        budgets = []
+        b = lo
+        while b <= hi:
+            budgets.append(b)
+            b *= 2
+    points: List[DesignPoint] = []
+    for b in budgets:
+        try:
+            sched = scheduler.schedule(cdag, b)
+        except InfeasibleBudgetError:
+            continue
+        res = simulate(cdag, sched, budget=b)
+        capacity = round_up_pow2(max(res.peak_red_weight, 1))
+        macro = compiler.synthesize(capacity)
+        system = MixedMemorySystem(macro, nvm)
+        report = system.price(cdag, sched, duty_cycle=duty_cycle)
+        points.append(DesignPoint(
+            budget_bits=b,
+            capacity_bits=capacity,
+            io_bits=res.cost,
+            peak_bits=res.peak_red_weight,
+            area=macro.area,
+            leakage_mw=macro.leakage_mw,
+            energy_pj=report.total_pj,
+            average_power_mw=report.average_power_mw,
+        ))
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated points on (area, energy), deduplicated on those two
+    axes and sorted by area."""
+    frontier = [p for p in points
+                if not any(q.dominates(p) for q in points)]
+    seen = set()
+    unique = []
+    for p in sorted(frontier, key=lambda p: (p.area, p.energy_pj)):
+        key = (p.area, p.energy_pj)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def best_under_power_cap(points: Sequence[DesignPoint],
+                         cap_mw: float) -> Optional[DesignPoint]:
+    """The design point with the least I/O whose average power fits under
+    ``cap_mw`` — the paper's implant-safety constraint (Sec. 1: implanted
+    BCIs must stay within a few milliwatts) turned into a selector."""
+    feasible = [p for p in points if p.average_power_mw <= cap_mw]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda p: (p.io_bits, p.area))
+
+
+def render(points: Sequence[DesignPoint], title: str = "design space") -> str:
+    headers = ["budget (b)", "SRAM (b)", "I/O (b)", "area", "leak (mW)",
+               "energy (pJ)", "avg power (mW)"]
+    rows = [[p.budget_bits, p.capacity_bits, p.io_bits, p.area,
+             p.leakage_mw, p.energy_pj, p.average_power_mw]
+            for p in points]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,77 @@
+"""Minimum fast memory size search (Def. 2.6).
+
+The minimum fast memory size is the smallest budget whose best schedule
+reaches the algorithmic lower bound (Prop. 2.4).  For every scheduler in
+this library the achievable cost is non-increasing in the budget (a bigger
+fast memory can always emulate a smaller one), so a binary search over
+word-granular budgets suffices; the search still verifies the boundary
+(cost at ``b*`` equals the bound, cost at ``b* − step`` does not) so a
+non-monotone cost function raises instead of silently mis-reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
+from ..core.cdag import CDAG
+from ..core.exceptions import InfeasibleBudgetError, PebbleGameError
+
+CostFn = Callable[[int], float]
+
+
+def cost_at(fn: CostFn, budget: int) -> float:
+    """Evaluate a cost function, mapping infeasibility to ∞."""
+    try:
+        return fn(budget)
+    except InfeasibleBudgetError:
+        return math.inf
+
+
+def minimum_fast_memory(
+    cost_fn: CostFn,
+    target: int,
+    lo: int,
+    hi: int,
+    step: int = 1,
+) -> Optional[int]:
+    """Smallest budget ``b ∈ {lo, lo+step, ...} ∩ [lo, hi]`` with
+    ``cost_fn(b) <= target``, or ``None`` when even ``hi`` misses it.
+
+    ``cost_fn`` must be non-increasing in the budget at ``step``
+    granularity; the result is verified at both sides of the boundary.
+    """
+    if cost_at(cost_fn, hi) > target:
+        return None
+    lo_k = 0
+    hi_k = (hi - lo + step - 1) // step
+    # Invariant: cost(lo + hi_k*step) <= target, cost at lo_k unknown/fail.
+    if cost_at(cost_fn, lo) <= target:
+        return lo
+    while hi_k - lo_k > 1:
+        mid = (lo_k + hi_k) // 2
+        if cost_at(cost_fn, lo + mid * step) <= target:
+            hi_k = mid
+        else:
+            lo_k = mid
+    best = lo + hi_k * step
+    if cost_at(cost_fn, best) > target:  # pragma: no cover - guarded above
+        raise PebbleGameError("non-monotone cost function in binary search")
+    return best
+
+
+def scheduler_min_memory(scheduler, cdag: CDAG, step: Optional[int] = None,
+                         hi: Optional[int] = None) -> Optional[int]:
+    """Minimum fast memory size (Def. 2.6) of a scheduler on ``cdag``:
+    the smallest budget at which its cost equals the algorithmic lower
+    bound.  ``step`` defaults to the GCD of node weights (word granularity);
+    ``hi`` defaults to the whole graph resident at once."""
+    target = algorithmic_lower_bound(cdag)
+    lo = min_feasible_budget(cdag)
+    if hi is None:
+        hi = cdag.total_weight()
+    if step is None:
+        step = math.gcd(*cdag.weights.values()) if len(cdag) else 1
+    return minimum_fast_memory(lambda b: scheduler.cost(cdag, b),
+                               target, lo, hi, step)

@@ -1,0 +1,87 @@
+"""Real-time feasibility analysis for streaming BCI workloads.
+
+An implanted device must finish each analysis window before the next one
+arrives (e.g. 256 samples at 30 kHz ⇒ a ~8.5 ms deadline per channel) and
+stay under its thermal power ceiling while doing so.  Given a schedule, a
+synthesized memory system, and the acquisition parameters, this module
+answers the questions a neuroengineer actually asks:
+
+* does one window's schedule fit the deadline?
+* how many channels can one memory system sustain?
+* what is the duty cycle, and therefore the average power, at a given
+  channel load?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cdag import CDAG
+from ..core.schedule import Schedule
+from ..hardware.nvm import MixedMemorySystem
+
+
+@dataclass(frozen=True)
+class StreamingRequirement:
+    """Acquisition parameters of a streaming deployment."""
+
+    sample_rate_hz: float = 30_000.0
+    window_samples: int = 256
+    channels: int = 1
+
+    @property
+    def window_period_ns(self) -> float:
+        """Time between successive windows of one channel."""
+        return self.window_samples / self.sample_rate_hz * 1e9
+
+
+@dataclass(frozen=True)
+class RealtimeReport:
+    """Outcome of the feasibility analysis."""
+
+    active_ns_per_window: float  #: busy time for one channel-window
+    window_period_ns: float
+    channels: int
+    duty_cycle: float  #: total busy fraction across all channels
+    average_power_mw: float
+    energy_per_window_pj: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.duty_cycle <= 1.0
+
+    @property
+    def max_channels(self) -> int:
+        """Channels one system could sustain at this window workload."""
+        if self.active_ns_per_window <= 0:
+            return 1 << 30
+        return int(self.window_period_ns // self.active_ns_per_window)
+
+
+def analyze(cdag: CDAG, schedule: Schedule, system: MixedMemorySystem,
+            requirement: StreamingRequirement) -> RealtimeReport:
+    """Feasibility + power of running ``schedule`` once per window per
+    channel on ``system``."""
+    one = system.price(cdag, schedule, duty_cycle=1.0)
+    active = one.duration_ns
+    period = requirement.window_period_ns
+    duty = max(active * requirement.channels / period, 1e-12)
+    if duty <= 1.0:
+        # Energy over one period: `channels` windows of dynamic work plus
+        # leakage integrated over the whole period (idle time included).
+        dynamic = (one.sram_dynamic_pj + one.nvm_read_pj
+                   + one.nvm_write_pj) * requirement.channels
+        leakage = system.sram.leakage_mw * period
+        avg_power = (dynamic + leakage) / period
+        energy_per_window = (dynamic + leakage) / requirement.channels
+    else:
+        avg_power = float("inf")
+        energy_per_window = float("inf")
+    return RealtimeReport(
+        active_ns_per_window=active,
+        window_period_ns=period,
+        channels=requirement.channels,
+        duty_cycle=duty,
+        average_power_mw=avg_power,
+        energy_per_window_pj=energy_per_window,
+    )

@@ -1,0 +1,61 @@
+"""Plain-text tables and series for the experiment drivers.
+
+The harness prints the same rows/series the paper reports; these helpers
+keep that formatting in one place (aligned columns, log-axis series dumps).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from .sweep import SweepSeries
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: List[SweepSeries], x_label: str = "budget (bits)",
+                  title: str = "") -> str:
+    """Sweep curves as one aligned table, ∞ rendered as '-' (infeasible)."""
+    headers = [x_label] + [s.label for s in series]
+    budgets = series[0].budgets
+    for s in series:
+        if s.budgets != budgets:
+            raise ValueError("series use different budget grids")
+    rows = []
+    for i, b in enumerate(budgets):
+        rows.append([b] + [s.costs[i] for s in series])
+    return format_table(headers, rows, title=title)
+
+
+def percent_reduction(ours: float, theirs: float) -> float:
+    """``1 - ours/theirs`` in percent (how Table 1/Sec. 5.3 quote gains)."""
+    if theirs <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (1.0 - ours / theirs)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if math.isinf(cell):
+            return "-"
+        if cell >= 100:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,60 @@
+"""Budget sweeps: weighted I/O as a function of fast memory size (Fig. 5)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .min_memory import cost_at
+
+CostFn = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One labelled curve of a sweep: (budget, cost) pairs."""
+
+    label: str
+    budgets: Tuple[int, ...]
+    costs: Tuple[float, ...]
+
+    def points(self) -> List[Tuple[int, float]]:
+        return list(zip(self.budgets, self.costs))
+
+    def finite_points(self) -> List[Tuple[int, float]]:
+        return [(b, c) for b, c in zip(self.budgets, self.costs)
+                if math.isfinite(c)]
+
+
+def log_budget_grid(lo: int, hi: int, points: int = 24,
+                    step: int = 16) -> List[int]:
+    """Log-spaced budgets between ``lo`` and ``hi``, snapped up to ``step``
+    multiples and deduplicated — the x-axis of the Fig. 5 plots."""
+    if lo > hi:
+        raise ValueError(f"empty budget range [{lo}, {hi}]")
+    lo_s = -(-lo // step) * step
+    hi_s = -(-hi // step) * step
+    if points < 2 or lo_s >= hi_s:
+        return [max(lo_s, step)]
+    grid = []
+    ratio = (hi_s / lo_s) ** (1.0 / (points - 1))
+    val = float(lo_s)
+    for _ in range(points):
+        snapped = -(-int(round(val)) // step) * step
+        grid.append(min(snapped, hi_s))
+        val *= ratio
+    out = sorted(set(grid))
+    return out
+
+
+def sweep(cost_fn: CostFn, budgets: Sequence[int], label: str) -> SweepSeries:
+    """Evaluate a cost function over a budget grid (∞ where infeasible)."""
+    costs = tuple(cost_at(cost_fn, b) for b in budgets)
+    return SweepSeries(label=label, budgets=tuple(budgets), costs=costs)
+
+
+def sweep_many(cost_fns: Dict[str, CostFn],
+               budgets: Sequence[int]) -> List[SweepSeries]:
+    """Sweep several strategies over the same grid (one Fig. 5 panel)."""
+    return [sweep(fn, budgets, label) for label, fn in cost_fns.items()]

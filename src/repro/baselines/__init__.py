@@ -1,0 +1,7 @@
+"""Prior-work baselines the paper compares against (Sec. 5.1)."""
+
+from .ioopt import (IOOptModel, ioopt_lower_bound, ioopt_min_memory,
+                    ioopt_upper_bound)
+
+__all__ = ["IOOptModel", "ioopt_lower_bound", "ioopt_min_memory",
+           "ioopt_upper_bound"]

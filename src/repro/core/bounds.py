@@ -1,0 +1,66 @@
+"""Basic WRBPG properties: schedule existence and the algorithmic lower bound.
+
+Implements Sec. 2.2 of the paper:
+
+* Proposition 2.3 (schedule existence): a valid schedule exists iff for
+  every non-source node ``v``, ``w_v + Σ_{p ∈ H(v)} w_p ≤ B``.
+* Proposition 2.4 (algorithmic lower bound): any valid schedule costs at
+  least ``Σ_{v ∈ A(G)} w_v + Σ_{v ∈ Z(G)} w_v`` — every input must be
+  loaded once and every output stored once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .cdag import CDAG, Node
+from .exceptions import InfeasibleBudgetError
+
+
+def compute_footprint(cdag: CDAG, node: Node) -> int:
+    """Weight needed in fast memory to perform ``M3(node)``:
+    the node itself plus all of its immediate predecessors."""
+    return cdag.weight(node) + sum(cdag.weight(p) for p in cdag.predecessors(node))
+
+
+def min_feasible_budget(cdag: CDAG) -> int:
+    """Smallest budget for which a valid schedule exists (Prop. 2.3):
+    ``max_v (w_v + Σ_{p∈H(v)} w_p)`` over non-source nodes ``v``."""
+    footprints = [compute_footprint(cdag, v) for v in cdag if cdag.predecessors(v)]
+    if not footprints:
+        # Degenerate graph with no compute nodes cannot occur (sources and
+        # sinks are disjoint), but guard anyway.
+        return max(cdag.weights.values(), default=1)
+    return max(footprints)
+
+
+def schedule_exists(cdag: CDAG, budget: Optional[int] = None) -> bool:
+    """Existence test of Prop. 2.3 for ``budget`` (default: the graph's)."""
+    b = cdag.budget if budget is None else budget
+    if b is None:
+        return True
+    return min_feasible_budget(cdag) <= b
+
+
+def require_feasible(cdag: CDAG, budget: Optional[int] = None) -> int:
+    """Return the effective budget, raising :class:`InfeasibleBudgetError`
+    when no valid schedule exists under it."""
+    b = cdag.budget if budget is None else budget
+    if b is None:
+        raise InfeasibleBudgetError("no budget set on the graph or the call")
+    need = min_feasible_budget(cdag)
+    if need > b:
+        raise InfeasibleBudgetError(
+            f"budget {b} < minimum feasible budget {need} for {cdag.name!r}")
+    return b
+
+
+def algorithmic_lower_bound(cdag: CDAG) -> int:
+    """The trivial weighted I/O lower bound of Prop. 2.4:
+    ``Σ_{v∈A(G)} w_v + Σ_{v∈Z(G)} w_v``."""
+    return cdag.total_weight(cdag.sources) + cdag.total_weight(cdag.sinks)
+
+
+def io_breakdown_lower_bound(cdag: CDAG) -> Tuple[int, int]:
+    """The lower bound split into (input cost, output cost)."""
+    return cdag.total_weight(cdag.sources), cdag.total_weight(cdag.sinks)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the Weighted Red-Blue Pebble Game (WRBPG).
+
+All library errors derive from :class:`PebbleGameError` so callers can catch
+one base class.  Rule-level violations carry the offending move and its index
+within the schedule to make failed validations debuggable.
+"""
+
+from __future__ import annotations
+
+
+class PebbleGameError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphStructureError(PebbleGameError):
+    """The CDAG violates a structural requirement (cycle, bad weight, ...)."""
+
+
+class InfeasibleBudgetError(PebbleGameError):
+    """No valid WRBPG schedule exists for the given budget (Prop. 2.3)."""
+
+
+class InvalidScheduleError(PebbleGameError):
+    """A schedule is malformed independent of game state (unknown node, ...)."""
+
+
+class RuleViolationError(PebbleGameError):
+    """A move is illegal in the current snapshot (Sec. 2.1 move rules).
+
+    Attributes
+    ----------
+    move:
+        The offending move, or ``None`` when the violation is not tied to a
+        single move (e.g. a failed stopping condition).
+    index:
+        Zero-based position of the move in the schedule, or ``None``.
+    """
+
+    def __init__(self, message: str, move=None, index=None):
+        super().__init__(message)
+        self.move = move
+        self.index = index
+
+
+class BudgetExceededError(RuleViolationError):
+    """A move pushed the total weight of red pebbles above the budget B."""
+
+
+class StoppingConditionError(RuleViolationError):
+    """The schedule ended without blue pebbles on every sink node."""

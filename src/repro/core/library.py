@@ -1,0 +1,110 @@
+"""Reusable schedule-module library.
+
+The paper's modularity pitch (Sec. 1): "these modules are CDAGs that can
+be reused within large graphs or across graphs to perform different
+computational tasks ... schedules can then be stitched together".  This
+module makes that concrete: a :class:`ScheduleLibrary` memoizes optimal
+module schedules by *structural fingerprint* — graph shape + weights +
+budget — so scheduling the thousandth identical subtree is a dictionary
+hit, and a schedule derived once can be instantiated anywhere via node
+relabeling.
+
+The fingerprint is exact (isomorphism is checked by canonical node
+renaming along a deterministic traversal, not hashes alone), so a cache
+hit is always safe to relabel onto the requesting subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from .cdag import CDAG, Node
+from .composition import relabel_schedule
+from .schedule import Schedule
+
+
+def structural_signatures(cdag: CDAG) -> Dict[Node, int]:
+    """Interned bottom-up structural signatures: two nodes get the same
+    signature iff their ancestry cones are isomorphic as weighted DAGs
+    (Merkle-style over (weight, sorted parent signatures), interned to
+    small ints so comparison is O(1))."""
+    intern: Dict[Tuple, int] = {}
+    sig: Dict[Node, int] = {}
+    for v in cdag.topological_order():
+        key = (cdag.weight(v),
+               tuple(sorted(sig[p] for p in cdag.predecessors(v))))
+        sig[v] = intern.setdefault(key, len(intern))
+    return sig
+
+
+def canonical_form(cdag: CDAG) -> Tuple[Tuple, Dict[Node, int]]:
+    """A canonical description of a CDAG and the node → canonical-id map.
+
+    Nodes are numbered by a post-order DFS from the sinks, visiting
+    predecessors in structural-signature order; the form lists each
+    node's weight and sorted canonical parent ids.  Isomorphic weighted
+    graphs produce equal forms, and because ties in the visit order occur
+    only between nodes with *isomorphic ancestry cones*, any relabeling
+    between two instances with equal forms maps a valid schedule to a
+    valid schedule.
+    """
+    sig = structural_signatures(cdag)
+    ids: Dict[Node, int] = {}
+    form: List[Tuple] = []
+
+    def visit(v: Node) -> None:
+        if v in ids:
+            return
+        parents = sorted(cdag.predecessors(v), key=lambda p: sig[p])
+        for p in parents:
+            visit(p)
+        ids[v] = len(ids)
+        form.append((cdag.weight(v),
+                     tuple(sorted(ids[p] for p in cdag.predecessors(v)))))
+
+    for sink in sorted(cdag.sinks, key=lambda v: sig[v]):
+        visit(sink)
+    return tuple(form), ids
+
+
+class ScheduleLibrary:
+    """Memoized module scheduling with relabel-on-hit instantiation.
+
+    Parameters
+    ----------
+    scheduler_factory:
+        ``f(cdag, budget) -> Schedule`` used on cache misses (typically an
+        optimal scheduler's bound method).
+    """
+
+    def __init__(self, scheduler_factory: Callable[[CDAG, int], Schedule]):
+        self._factory = scheduler_factory
+        self._cache: Dict[Tuple, Tuple[Schedule, Dict[int, int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def schedule(self, cdag: CDAG, budget: int) -> Schedule:
+        """Schedule ``cdag`` under ``budget``, reusing any structurally
+        identical module scheduled before (relabeled to this graph's
+        nodes)."""
+        form, ids = canonical_form(cdag)
+        key = (form, budget)
+        hit = self._cache.get(key)
+        inverse = {i: v for v, i in ids.items()}
+        if hit is not None:
+            self.hits += 1
+            canonical_schedule, _ = hit
+            return relabel_schedule(canonical_schedule, inverse)
+        self.misses += 1
+        concrete = self._factory(cdag, budget)
+        canonical = relabel_schedule(concrete, {v: i for v, i in ids.items()})
+        self._cache[key] = (canonical, {})
+        return concrete
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,84 @@
+"""Moves and node labels of the Weighted Red-Blue Pebble Game.
+
+The WRBPG (paper Sec. 2) is played with four moves on a CDAG:
+
+* ``M1(v)`` -- copy to fast memory: add a red pebble to a node holding a blue
+  pebble (a *load*, weighted input cost ``w_v``).
+* ``M2(v)`` -- copy to slow memory: add a blue pebble to a node holding a red
+  pebble (a *store*, weighted output cost ``w_v``).
+* ``M3(v)`` -- perform a computation: if every immediate predecessor of ``v``
+  holds a red pebble, add a red pebble to ``v`` (free of I/O cost).
+* ``M4(v)`` -- delete a red pebble from ``v`` (blue pebbles are never
+  deleted).
+
+Moves are small frozen records so schedules can contain millions of them
+cheaply and be used as dict keys in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+from typing import Hashable
+
+
+class MoveType(IntEnum):
+    """The four move kinds of the game, numbered as in the paper."""
+
+    LOAD = 1  #: M1 -- blue -> fast memory (adds red)
+    STORE = 2  #: M2 -- red -> slow memory (adds blue)
+    COMPUTE = 3  #: M3 -- compute node, adds red
+    DELETE = 4  #: M4 -- remove red pebble
+
+    @property
+    def is_io(self) -> bool:
+        """True for the two cost-bearing moves (M1 and M2, Def. 2.2)."""
+        return self in (MoveType.LOAD, MoveType.STORE)
+
+
+class Label(Enum):
+    """Node labels of a snapshot (paper Fig. 1)."""
+
+    NONE = "none"
+    RED = "red"
+    BLUE = "blue"
+    BOTH = "both"
+
+    @property
+    def has_red(self) -> bool:
+        return self in (Label.RED, Label.BOTH)
+
+    @property
+    def has_blue(self) -> bool:
+        return self in (Label.BLUE, Label.BOTH)
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    """A single move ``M{kind}(node)`` of a WRBPG schedule."""
+
+    kind: MoveType
+    node: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"M{int(self.kind)}({self.node})"
+
+
+def M1(node: Hashable) -> Move:
+    """Copy ``node`` to fast memory (load); costs ``w_node``."""
+    return Move(MoveType.LOAD, node)
+
+
+def M2(node: Hashable) -> Move:
+    """Copy ``node`` to slow memory (store); costs ``w_node``."""
+    return Move(MoveType.STORE, node)
+
+
+def M3(node: Hashable) -> Move:
+    """Compute ``node`` into fast memory; free of I/O cost."""
+    return Move(MoveType.COMPUTE, node)
+
+
+def M4(node: Hashable) -> Move:
+    """Delete the red pebble on ``node``; free of I/O cost."""
+    return Move(MoveType.DELETE, node)

@@ -1,0 +1,176 @@
+"""Multiprocessor red-blue pebbling (the related-work extension).
+
+Böhnlein et al. (SPAA'24), cited by the paper, study red-blue pebbling
+with multiple processors: each processor owns a private fast memory
+(its own weighted red budget) while slow memory is shared, exposing the
+three-way trade-off between time (makespan), communication (total I/O),
+and memory.  This module implements the sequential-composition fragment
+of that model, which is what the paper's modular schedules enable:
+
+* a :class:`ParallelSchedule` assigns every processor its own move
+  sequence;
+* :func:`simulate_parallel` replays all of them under a global
+  interleaving (round-robin by default — one move per processor per
+  round), enforcing each processor's private weighted budget and the
+  usual move rules against the *shared* blue state;
+* the result reports total/communication cost, per-processor cost, the
+  makespan (the longest per-processor move count), and the speedup over
+  running the same moves sequentially.
+
+Cross-processor dataflow happens exclusively through slow memory: a value
+one processor stored (M2) can be loaded (M1) by another after the store's
+round.  With the library's partition schedulers the per-processor works
+are value-disjoint, so any interleaving is valid; the simulator does not
+assume it, though — an interleaving that uses a value before its producer
+stored it fails replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .cdag import CDAG, Node
+from .exceptions import (BudgetExceededError, InvalidScheduleError,
+                         RuleViolationError, StoppingConditionError)
+from .moves import Move, MoveType
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ParallelSchedule:
+    """Per-processor move sequences."""
+
+    per_processor: Tuple[Schedule, ...]
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.per_processor)
+
+    @property
+    def makespan(self) -> int:
+        """Rounds until the last processor finishes (one move per round)."""
+        return max((len(s) for s in self.per_processor), default=0)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(len(s) for s in self.per_processor)
+
+    def total_cost(self, cdag: CDAG) -> int:
+        return sum(s.cost(cdag) for s in self.per_processor)
+
+    def round_robin(self) -> List[Tuple[int, Move]]:
+        """The default global interleaving: round r executes each
+        processor's r-th move in processor order."""
+        out: List[Tuple[int, Move]] = []
+        for r in range(self.makespan):
+            for p, sched in enumerate(self.per_processor):
+                if r < len(sched):
+                    out.append((p, sched[r]))
+        return out
+
+
+@dataclass(frozen=True)
+class ParallelSimulationResult:
+    """Outcome of a checked parallel replay."""
+
+    total_cost: int  #: Σ weighted I/O over all processors
+    per_processor_cost: Tuple[int, ...]
+    per_processor_peak: Tuple[int, ...]
+    makespan: int
+    sequential_moves: int
+
+    @property
+    def speedup(self) -> float:
+        """Move-count speedup of the parallel execution over running the
+        same moves on one processor."""
+        return self.sequential_moves / max(self.makespan, 1)
+
+
+def simulate_parallel(
+    cdag: CDAG,
+    pschedule: ParallelSchedule,
+    budget_per_processor: Optional[int] = None,
+    interleaving: Optional[Sequence[Tuple[int, Move]]] = None,
+    require_stopping: bool = True,
+) -> ParallelSimulationResult:
+    """Checked replay of a parallel schedule.
+
+    Each processor has its own red set bounded by
+    ``budget_per_processor`` (default: the graph's budget); blue pebbles
+    are shared.  Raises on any rule violation, private-budget overflow, or
+    unmet stopping condition.
+    """
+    b = cdag.budget if budget_per_processor is None else budget_per_processor
+    n_procs = pschedule.n_processors
+    if n_procs < 1:
+        raise InvalidScheduleError("need at least one processor")
+    if interleaving is None:
+        interleaving = pschedule.round_robin()
+
+    red: List[set] = [set() for _ in range(n_procs)]
+    red_weight = [0] * n_procs
+    peak = [0] * n_procs
+    cost = [0] * n_procs
+    blue = set(cdag.sources)
+
+    for step, (p, move) in enumerate(interleaving):
+        if not 0 <= p < n_procs:
+            raise InvalidScheduleError(f"unknown processor {p}")
+        v = move.node
+        if v not in cdag:
+            raise InvalidScheduleError(f"move {move!r} on unknown node")
+        w = cdag.weight(v)
+        if move.kind == MoveType.LOAD:
+            if v not in blue:
+                raise RuleViolationError(
+                    f"proc {p}: M1 on {v!r} before any store", move, step)
+            if v not in red[p]:
+                red[p].add(v)
+                red_weight[p] += w
+            cost[p] += w
+        elif move.kind == MoveType.STORE:
+            if v not in red[p]:
+                raise RuleViolationError(
+                    f"proc {p}: M2 on {v!r} without a red pebble", move, step)
+            blue.add(v)
+            cost[p] += w
+        elif move.kind == MoveType.COMPUTE:
+            parents = cdag.predecessors(v)
+            if not parents:
+                raise RuleViolationError(
+                    f"proc {p}: M3 on source {v!r}", move, step)
+            for q in parents:
+                if q not in red[p]:
+                    raise RuleViolationError(
+                        f"proc {p}: M3 on {v!r} but parent {q!r} is not in "
+                        f"its fast memory", move, step)
+            if v not in red[p]:
+                red[p].add(v)
+                red_weight[p] += w
+        elif move.kind == MoveType.DELETE:
+            if v not in red[p]:
+                raise RuleViolationError(
+                    f"proc {p}: M4 on {v!r} without a red pebble", move, step)
+            red[p].discard(v)
+            red_weight[p] -= w
+        if b is not None and red_weight[p] > b:
+            raise BudgetExceededError(
+                f"proc {p}: red weight {red_weight[p]} exceeds private "
+                f"budget {b} after move #{step}", move, step)
+        if red_weight[p] > peak[p]:
+            peak[p] = red_weight[p]
+
+    if require_stopping:
+        missing = [v for v in cdag.sinks if v not in blue]
+        if missing:
+            raise StoppingConditionError(
+                f"{len(missing)} sink(s) without blue pebbles, e.g. "
+                f"{missing[:4]!r}")
+    return ParallelSimulationResult(
+        total_cost=sum(cost),
+        per_processor_cost=tuple(cost),
+        per_processor_peak=tuple(peak),
+        makespan=pschedule.makespan,
+        sequential_moves=pschedule.total_moves,
+    )

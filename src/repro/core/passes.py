@@ -1,0 +1,147 @@
+"""Schedule optimization passes.
+
+Schedules produced by heuristics (or stitched from modules) often contain
+game-legal but wasteful move patterns.  These passes rewrite a schedule
+without changing what it computes, never increasing its weighted cost or
+its peak red occupancy:
+
+* :func:`drop_redundant_stores` — an M2 on a node that already holds a
+  blue pebble moves data for nothing.
+* :func:`drop_redundant_loads` — an M1 on a node that is already red.
+* :func:`drop_dead_pairs` — an M1/M3 immediately undone by M4 with no
+  intervening use of the red pebble contributes nothing.
+* :func:`compact` — fixpoint of all of the above.
+
+Every pass takes and returns a :class:`~repro.core.schedule.Schedule`; the
+caller's CDAG supplies the dependence structure.  Correctness contract
+(enforced by tests): for a schedule valid under budget ``B``, the output is
+valid under ``B``, satisfies the same stopping condition, and costs no
+more.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .cdag import CDAG, Node
+from .moves import Move, MoveType
+from .schedule import Schedule
+
+
+def drop_redundant_stores(cdag: CDAG, schedule: Schedule) -> Schedule:
+    """Remove M2 moves on nodes whose blue pebble already exists.
+
+    Blue pebbles are never deleted, so any M2 after the first (or on a
+    source node, blue from the start) is pure cost.
+    """
+    blue: Set[Node] = set(cdag.sources)
+    out: List[Move] = []
+    for m in schedule:
+        if m.kind == MoveType.STORE:
+            if m.node in blue:
+                continue
+            blue.add(m.node)
+        out.append(m)
+    return Schedule(out)
+
+
+def drop_redundant_loads(cdag: CDAG, schedule: Schedule) -> Schedule:
+    """Remove M1 moves on nodes that currently hold a red pebble."""
+    red: Set[Node] = set()
+    out: List[Move] = []
+    for m in schedule:
+        if m.kind == MoveType.LOAD:
+            if m.node in red:
+                continue
+            red.add(m.node)
+        elif m.kind == MoveType.COMPUTE:
+            red.add(m.node)
+        elif m.kind == MoveType.DELETE:
+            red.discard(m.node)
+        out.append(m)
+    return Schedule(out)
+
+
+def drop_dead_pairs(cdag: CDAG, schedule: Schedule) -> Schedule:
+    """Remove M1 loads whose red pebble is deleted without ever being used.
+
+    A red placement is *used* if, before its deletion, the node serves as
+    a parent in some M3 or is stored by an M2; placements that survive to
+    the end of the schedule are kept (they may satisfy a reuse-state
+    contract).  Only M1/M4 pairs are dropped — deliberately conservative
+    (an unused M3's pebble is free anyway, and removing computes interacts
+    with recomputation semantics), and each drop saves ``w_v`` of cost.
+    """
+    moves = list(schedule)
+    n = len(moves)
+    # For every placement (M1/M3), find whether the pebble is used before
+    # the matching M4 (or schedule end).
+    drop: Set[int] = set()
+    # Track the index of the active placement per node.
+    active: dict = {}
+    used: dict = {}
+    computed_before: Set[Node] = set()
+    stored: Set[Node] = set(cdag.sources)
+    delete_of: dict = {}
+
+    for i, m in enumerate(moves):
+        v = m.node
+        if m.kind in (MoveType.LOAD, MoveType.COMPUTE):
+            active[v] = i
+            used[i] = False
+            if m.kind == MoveType.COMPUTE:
+                computed_before.add(v)
+        elif m.kind == MoveType.STORE:
+            if v in active:
+                used[active[v]] = True
+            stored.add(v)
+        elif m.kind == MoveType.DELETE:
+            if v in active:
+                delete_of[active[v]] = i
+                del active[v]
+        if m.kind == MoveType.COMPUTE:
+            for p in cdag.predecessors(v):
+                if p in active:
+                    used[active[p]] = True
+
+    for i, m in enumerate(moves):
+        if m.kind == MoveType.LOAD and i in used and not used[i] \
+                and i in delete_of:
+            drop.add(i)
+            drop.add(delete_of[i])
+    out = [m for i, m in enumerate(moves) if i not in drop]
+    return Schedule(out)
+
+
+def compact(cdag: CDAG, schedule: Schedule,
+            max_rounds: int = 8) -> Schedule:
+    """Fixpoint of all cleanup passes."""
+    current = schedule
+    for _ in range(max_rounds):
+        nxt = drop_redundant_stores(cdag, current)
+        nxt = drop_redundant_loads(cdag, nxt)
+        nxt = drop_dead_pairs(cdag, nxt)
+        if len(nxt) == len(current):
+            return nxt
+        current = nxt
+    return current
+
+
+def peak_profile(cdag: CDAG, schedule: Schedule) -> List[int]:
+    """Red-occupancy (bits) after each move — the schedule's memory
+    timeline, used by :mod:`repro.viz` and by peak-aware rewrites."""
+    red: Set[Node] = set()
+    weight = 0
+    profile: List[int] = []
+    for m in schedule:
+        v = m.node
+        if m.kind in (MoveType.LOAD, MoveType.COMPUTE):
+            if v not in red:
+                red.add(v)
+                weight += cdag.weight(v)
+        elif m.kind == MoveType.DELETE:
+            if v in red:
+                red.discard(v)
+                weight -= cdag.weight(v)
+        profile.append(weight)
+    return profile

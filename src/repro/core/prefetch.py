@@ -1,0 +1,114 @@
+"""Prefetch scheduling: hoist loads to hide slow-memory latency.
+
+A WRBPG schedule fixes *what* crosses the memory boundary; real systems
+also care *when*.  NVM reads take many cycles, so a load issued just
+before its use stalls the pipeline, while the same load issued earlier —
+budget permitting — overlaps with compute.  This pass hoists each M1 as
+early as the weighted budget allows without reordering anything else:
+
+* the red-occupancy profile is recomputed under the hoist, and a load
+  only moves to positions where the budget still holds at *every* step it
+  newly occupies;
+* program order of all other moves is preserved, so validity and I/O cost
+  are untouched (checked by tests);
+* :func:`stall_cycles` scores a schedule under a simple latency model
+  (loads complete ``load_latency`` slots after issue; a compute using a
+  not-yet-arrived value stalls), quantifying what the hoist bought.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .cdag import CDAG, Node
+from .moves import Move, MoveType
+from .schedule import Schedule
+
+
+def prefetch(cdag: CDAG, schedule: Schedule,
+             budget: Optional[int] = None,
+             horizon: int = 64) -> Schedule:
+    """Hoist each M1 up to ``horizon`` positions earlier when the weighted
+    budget allows.  Returns a schedule with identical moves (same multiset,
+    same relative order of everything except hoisted loads) and identical
+    I/O cost."""
+    b = cdag.budget if budget is None else budget
+    moves: List[Move] = list(schedule)
+    if b is None:
+        return Schedule(moves)
+
+    def occupancy(ms: List[Move]) -> List[int]:
+        red: Dict[Node, bool] = {}
+        w = 0
+        out = []
+        for m in ms:
+            v = m.node
+            if m.kind in (MoveType.LOAD, MoveType.COMPUTE):
+                if v not in red:
+                    red[v] = True
+                    w += cdag.weight(v)
+            elif m.kind == MoveType.DELETE:
+                if v in red:
+                    del red[v]
+                    w -= cdag.weight(v)
+            out.append(w)
+        return out
+
+    occ = occupancy(moves)
+    i = 1
+    while i < len(moves):
+        m = moves[i]
+        if m.kind != MoveType.LOAD:
+            i += 1
+            continue
+        w = cdag.weight(m.node)
+        limit = max(0, i - horizon)
+        # Hoisting a load above any earlier move touching the same node
+        # could break its blue/red preconditions; stop there.  Moving it
+        # to position p adds `w` of occupancy across steps p..i-1, so p is
+        # feasible iff max(occ[p-1 .. i-1]) + w <= b.  Scan p downward:
+        # the window max only grows, so stop at the first infeasible p.
+        best: Optional[int] = None
+        window_max = 0
+        for p in range(i - 1, limit - 1, -1):
+            if moves[p].node == m.node:
+                break
+            prev_occ = occ[p - 1] if p >= 1 else 0
+            window_max = max(window_max, prev_occ, occ[p])
+            if window_max + w <= b:
+                best = p
+            else:
+                break
+        if best is not None and best < i:
+            moves = moves[:best] + [m] + moves[best:i] + moves[i + 1:]
+            occ = (occ[:best]
+                   + [(occ[best - 1] if best >= 1 else 0) + w]
+                   + [x + w for x in occ[best:i]]
+                   + occ[i + 1:])
+        i += 1
+    return Schedule(moves)
+
+
+def stall_cycles(cdag: CDAG, schedule: Schedule,
+                 load_latency: int = 8) -> int:
+    """Stall slots under a simple overlap model: each move takes one slot;
+    a load's data arrives ``load_latency`` slots after issue; any move
+    *using* the loaded value (an M3 with it as operand, or an M2 of it)
+    before arrival stalls until it lands."""
+    ready_at: Dict[Node, int] = {}
+    clock = 0
+    stalls = 0
+    for m in schedule:
+        needs: Tuple[Node, ...] = ()
+        if m.kind == MoveType.COMPUTE:
+            needs = cdag.predecessors(m.node)
+        elif m.kind == MoveType.STORE:
+            needs = (m.node,)
+        wait = max((ready_at.get(v, 0) for v in needs), default=0)
+        if wait > clock:
+            stalls += wait - clock
+            clock = wait
+        if m.kind == MoveType.LOAD:
+            ready_at[m.node] = clock + load_latency
+        clock += 1
+    return stalls

@@ -1,0 +1,106 @@
+"""Schedules: sequences of WRBPG moves.
+
+A schedule ``S_G = (σ_1, ..., σ_t)`` (paper Sec. 2.1) is an ordered sequence
+of moves.  Its *weighted cost* (Def. 2.2) is the sum of node weights over all
+M1 (input) and M2 (output) moves:
+
+    Cost(S_G) = Σ_{M1(v) ∈ I} w_v + Σ_{M2(v) ∈ O} w_v
+
+``Schedule`` is a thin immutable wrapper over a tuple of moves; validation
+and cost verification against the game rules live in
+:mod:`repro.core.simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .cdag import CDAG, Node
+from .moves import Move, MoveType
+
+
+class Schedule(Sequence[Move]):
+    """An immutable sequence of moves with cost and composition helpers."""
+
+    __slots__ = ("_moves",)
+
+    def __init__(self, moves: Iterable[Move] = ()) -> None:
+        self._moves = tuple(moves)
+
+    # -- sequence protocol --------------------------------------------- #
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Schedule(self._moves[index])
+        return self._moves[index]
+
+    def __len__(self) -> int:
+        return len(self._moves)
+
+    def __iter__(self) -> Iterator[Move]:
+        return iter(self._moves)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Schedule):
+            return self._moves == other._moves
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._moves)
+
+    # -- composition ---------------------------------------------------- #
+
+    def __add__(self, other: "Schedule | Iterable[Move]") -> "Schedule":
+        """Concatenation ``S1 ++ S2`` (paper's schedule stitching)."""
+        if isinstance(other, Schedule):
+            return Schedule(self._moves + other._moves)
+        return Schedule(self._moves + tuple(other))
+
+    def insert(self, index: int, moves: "Schedule | Iterable[Move]") -> "Schedule":
+        """Return a schedule with ``moves`` spliced in before ``index``
+        (the splice operation of Lemma 3.2)."""
+        extra = tuple(moves)
+        return Schedule(self._moves[:index] + extra + self._moves[index:])
+
+    # -- accounting ------------------------------------------------------ #
+
+    def cost(self, weights: CDAG | Mapping[Node, int]) -> int:
+        """Weighted schedule cost (Def. 2.2) under ``weights``.
+
+        Accepts either a CDAG (whose node weights are used) or a plain
+        mapping.  This does *not* validate the schedule; use
+        :func:`repro.core.simulator.simulate` for checked replay.
+        """
+        w = weights.weights if isinstance(weights, CDAG) else weights
+        return sum(w[m.node] for m in self._moves if m.kind.is_io)
+
+    def move_counts(self) -> dict:
+        """Number of moves of each :class:`MoveType`."""
+        counts = {kind: 0 for kind in MoveType}
+        for m in self._moves:
+            counts[m.kind] += 1
+        return counts
+
+    def io_moves(self) -> "Schedule":
+        """The subsequence of cost-bearing moves (M1 and M2)."""
+        return Schedule(m for m in self._moves if m.kind.is_io)
+
+    def touched_nodes(self) -> set:
+        """All nodes any move refers to."""
+        return {m.node for m in self._moves}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if len(self._moves) <= 8:
+            inner = ", ".join(map(repr, self._moves))
+        else:
+            head = ", ".join(map(repr, self._moves[:4]))
+            inner = f"{head}, ... +{len(self._moves) - 4} more"
+        return f"Schedule([{inner}])"
+
+
+def concatenate(schedules: Iterable[Schedule]) -> Schedule:
+    """Concatenate many schedules in order (sequential composition)."""
+    moves: list = []
+    for s in schedules:
+        moves.extend(s)
+    return Schedule(moves)

@@ -1,0 +1,260 @@
+"""Checked replay of WRBPG schedules.
+
+The simulator replays a schedule move by move, enforcing
+
+* the four move rules of Sec. 2.1 (see :mod:`repro.core.moves`),
+* the weighted red pebble constraint ``Σ_{v red} w_v ≤ B`` (Def. 2.1) after
+  every move,
+* the starting condition (blue pebbles on all sources) and the stopping
+  condition (blue pebbles on all sinks),
+
+and independently recomputes the weighted schedule cost (Def. 2.2), the
+peak weighted red occupancy, and per-move-type statistics.  Schedulers in
+this library are *never* trusted about their own cost: tests replay every
+generated schedule through this module.
+
+Memory-state semantics (Sec. 4.1) are supported through ``initial_red`` /
+``initial_blue`` (an initial state ``I``) and the ``final_red`` stopping
+requirement (a reuse state ``R``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional
+
+from .cdag import CDAG, Node
+from .exceptions import (BudgetExceededError, InvalidScheduleError,
+                         RuleViolationError, StoppingConditionError)
+from .moves import Label, Move, MoveType
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a successful checked replay."""
+
+    cost: int  #: weighted I/O cost (Def. 2.2)
+    read_cost: int  #: Σ w_v over M1 moves
+    write_cost: int  #: Σ w_v over M2 moves
+    peak_red_weight: int  #: max over snapshots of Σ_{v red} w_v
+    move_counts: Mapping[MoveType, int]
+    red: FrozenSet[Node]  #: nodes with a red pebble in the final snapshot
+    blue: FrozenSet[Node]  #: nodes with a blue pebble in the final snapshot
+    redundant_loads: int  #: M1 moves on nodes that already held a red pebble
+    redundant_stores: int  #: M2 moves on nodes that already held a blue pebble
+    recomputations: int  #: M3 moves on nodes computed before
+
+    @property
+    def is_tight(self) -> bool:
+        """True when no wasteful move occurred (every M1/M2/M3 did work)."""
+        return (self.redundant_loads == 0 and self.redundant_stores == 0
+                and self.recomputations == 0)
+
+
+class GameState:
+    """Mutable WRBPG state with incremental rule checking.
+
+    Exposes :meth:`apply` for single moves; :func:`simulate` drives it over a
+    whole schedule.  The state tracks the red set, blue set, current weighted
+    red occupancy, running I/O cost and the peak occupancy.
+    """
+
+    __slots__ = ("cdag", "budget", "red", "blue", "computed", "red_weight",
+                 "peak_red_weight", "read_cost", "write_cost", "move_counts",
+                 "redundant_loads", "redundant_stores", "recomputations",
+                 "strict", "_step")
+
+    def __init__(
+        self,
+        cdag: CDAG,
+        budget: Optional[int] = None,
+        initial_red: Iterable[Node] = (),
+        initial_blue: Optional[Iterable[Node]] = None,
+        strict: bool = False,
+    ) -> None:
+        self.cdag = cdag
+        self.budget = cdag.budget if budget is None else budget
+        self.red = set(initial_red)
+        for v in self.red:
+            if v not in cdag:
+                raise InvalidScheduleError(f"initial red node {v!r} not in graph")
+        self.blue = set(cdag.sources if initial_blue is None else initial_blue)
+        for v in self.blue:
+            if v not in cdag:
+                raise InvalidScheduleError(f"initial blue node {v!r} not in graph")
+        # Nodes whose value exists somewhere (red or blue); used to flag
+        # recomputation.  Sources are born with values.
+        self.computed = set(self.red) | set(self.blue)
+        w = cdag.weights
+        self.red_weight = sum(w[v] for v in self.red)
+        if self.budget is not None and self.red_weight > self.budget:
+            raise BudgetExceededError(
+                f"initial red set weighs {self.red_weight} > budget {self.budget}")
+        self.peak_red_weight = self.red_weight
+        self.read_cost = 0
+        self.write_cost = 0
+        self.move_counts = {kind: 0 for kind in MoveType}
+        self.redundant_loads = 0
+        self.redundant_stores = 0
+        self.recomputations = 0
+        self.strict = strict
+        self._step = 0
+
+    # ------------------------------------------------------------------ #
+
+    def label(self, node: Node) -> Label:
+        """Label of ``node`` in the current snapshot (paper Fig. 1)."""
+        r = node in self.red
+        b = node in self.blue
+        if r and b:
+            return Label.BOTH
+        if r:
+            return Label.RED
+        if b:
+            return Label.BLUE
+        return Label.NONE
+
+    def snapshot(self) -> Dict[Node, Label]:
+        """Full labelling λ of the current snapshot."""
+        return {v: self.label(v) for v in self.cdag}
+
+    def apply(self, move: Move) -> None:
+        """Apply one move, raising on any rule or budget violation."""
+        v = move.node
+        cdag = self.cdag
+        if v not in cdag:
+            raise InvalidScheduleError(f"move {move!r} on unknown node")
+        kind = move.kind
+        idx = self._step
+        self._step += 1
+        self.move_counts[kind] += 1
+
+        if kind == MoveType.LOAD:  # M1: blue -> add red
+            if v not in self.blue:
+                raise RuleViolationError(
+                    f"M1 on {v!r} without a blue pebble", move, idx)
+            if v in self.red:
+                self.redundant_loads += 1
+                if self.strict:
+                    raise RuleViolationError(
+                        f"redundant M1 on {v!r} (already red)", move, idx)
+            else:
+                self.red.add(v)
+                self.red_weight += cdag.weight(v)
+            self.read_cost += cdag.weight(v)
+        elif kind == MoveType.STORE:  # M2: red -> add blue
+            if v not in self.red:
+                raise RuleViolationError(
+                    f"M2 on {v!r} without a red pebble", move, idx)
+            if v in self.blue:
+                self.redundant_stores += 1
+                if self.strict:
+                    raise RuleViolationError(
+                        f"redundant M2 on {v!r} (already blue)", move, idx)
+            else:
+                self.blue.add(v)
+            self.write_cost += cdag.weight(v)
+        elif kind == MoveType.COMPUTE:  # M3: all parents red -> add red
+            parents = cdag.predecessors(v)
+            if not parents:
+                raise RuleViolationError(
+                    f"M3 on source node {v!r} (inputs are loaded, not computed)",
+                    move, idx)
+            for p in parents:
+                if p not in self.red:
+                    raise RuleViolationError(
+                        f"M3 on {v!r}: parent {p!r} has no red pebble", move, idx)
+            if v in self.computed:
+                self.recomputations += 1
+                if self.strict:
+                    raise RuleViolationError(
+                        f"recomputation of {v!r}", move, idx)
+            if v not in self.red:
+                self.red.add(v)
+                self.red_weight += cdag.weight(v)
+            self.computed.add(v)
+        elif kind == MoveType.DELETE:  # M4: remove red
+            if v not in self.red:
+                raise RuleViolationError(
+                    f"M4 on {v!r} without a red pebble", move, idx)
+            self.red.discard(v)
+            self.red_weight -= cdag.weight(v)
+        else:  # pragma: no cover - enum is exhaustive
+            raise InvalidScheduleError(f"unknown move kind {kind!r}")
+
+        if self.budget is not None and self.red_weight > self.budget:
+            raise BudgetExceededError(
+                f"red weight {self.red_weight} exceeds budget {self.budget} "
+                f"after move #{idx} = {move!r}", move, idx)
+        if self.red_weight > self.peak_red_weight:
+            self.peak_red_weight = self.red_weight
+
+    @property
+    def cost(self) -> int:
+        return self.read_cost + self.write_cost
+
+    def result(self) -> SimulationResult:
+        return SimulationResult(
+            cost=self.cost,
+            read_cost=self.read_cost,
+            write_cost=self.write_cost,
+            peak_red_weight=self.peak_red_weight,
+            move_counts=dict(self.move_counts),
+            red=frozenset(self.red),
+            blue=frozenset(self.blue),
+            redundant_loads=self.redundant_loads,
+            redundant_stores=self.redundant_stores,
+            recomputations=self.recomputations,
+        )
+
+
+def simulate(
+    cdag: CDAG,
+    schedule: Schedule | Iterable[Move],
+    budget: Optional[int] = None,
+    initial_red: Iterable[Node] = (),
+    initial_blue: Optional[Iterable[Node]] = None,
+    require_stopping: bool = True,
+    final_red: Optional[Iterable[Node]] = None,
+    strict: bool = False,
+) -> SimulationResult:
+    """Replay ``schedule`` on ``cdag`` and return verified statistics.
+
+    Parameters
+    ----------
+    budget:
+        Weighted red budget ``B``; defaults to ``cdag.budget``; ``None`` on
+        both means unconstrained replay (useful for cost accounting only).
+    initial_red / initial_blue:
+        Memory-state semantics (Sec. 4.1): nodes assumed resident in fast /
+        slow memory before the first move.  ``initial_blue=None`` means the
+        standard starting condition (blue on all sources).
+    require_stopping:
+        Enforce blue pebbles on all sinks after the last move (the paper's
+        stopping condition).  Set ``False`` for module schedules whose
+        stopping condition is a red pebble on the module root.
+    final_red:
+        If given, these nodes must hold red pebbles in the final snapshot
+        (a reuse state ``R``, Sec. 4.1).
+    strict:
+        Additionally reject wasteful legal moves (redundant loads/stores and
+        recomputation).  Optimal schedules must pass strict replay.
+    """
+    state = GameState(cdag, budget=budget, initial_red=initial_red,
+                      initial_blue=initial_blue, strict=strict)
+    for move in schedule:
+        state.apply(move)
+    if require_stopping:
+        missing = [v for v in cdag.sinks if v not in state.blue]
+        if missing:
+            raise StoppingConditionError(
+                f"{len(missing)} sink(s) without blue pebbles, e.g. "
+                f"{missing[:4]!r}")
+    if final_red is not None:
+        missing = [v for v in final_red if v not in state.red]
+        if missing:
+            raise StoppingConditionError(
+                f"{len(missing)} reuse node(s) without red pebbles, e.g. "
+                f"{missing[:4]!r}")
+    return state.result()

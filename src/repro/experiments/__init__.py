@@ -1,0 +1,26 @@
+"""Experiment drivers — one module per table/figure of the paper's Sec. 5.
+
+Each module exposes ``run_*`` (structured data) and ``render_*`` (the
+printable rows/series), plus a ``main`` CLI entry:
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.fig5
+    ...
+"""
+
+from .common import (DWT_D, DWT_N, MVM_M, MVM_N, WORD_BITS, DWTWorkload,
+                     MVMWorkload, all_workloads, dwt_workload, mvm_workload)
+from .fig5 import run_fig5, render_fig5
+from .fig6 import run_fig6, render_fig6, average_reduction as fig6_average_reduction
+from .table1 import Table1Row, run_table1, render_table1, reductions as table1_reductions
+from .fig7 import Fig7Column, run_fig7, render_fig7, average_reduction as fig7_average_reduction
+from .fig8 import Fig8Panel, run_fig8, render_fig8
+
+__all__ = [
+    "DWT_D", "DWT_N", "MVM_M", "MVM_N", "WORD_BITS", "DWTWorkload",
+    "MVMWorkload", "all_workloads", "dwt_workload", "mvm_workload",
+    "run_fig5", "render_fig5", "run_fig6", "render_fig6",
+    "fig6_average_reduction", "Table1Row", "run_table1", "render_table1",
+    "table1_reductions", "Fig7Column", "run_fig7", "render_fig7",
+    "fig7_average_reduction", "Fig8Panel", "run_fig8", "render_fig8",
+]

@@ -1,0 +1,41 @@
+"""Run the full paper reproduction in one command:
+
+    python -m repro.experiments [output_dir]
+
+Regenerates Table 1 and Figures 5-8, printing each and writing the text
+artifacts to ``output_dir`` (default ``./paper_artifacts``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from .fig5 import render_fig5, run_fig5
+from .fig6 import render_fig6, run_fig6
+from .fig7 import render_fig7, run_fig7
+from .fig8 import render_fig8, run_fig8
+from .table1 import render_table1, run_table1
+
+
+def main(out_dir: str = "paper_artifacts") -> None:
+    out = pathlib.Path(out_dir)
+    out.mkdir(exist_ok=True)
+    jobs = [
+        ("table1", lambda: render_table1(run_table1())),
+        ("fig5", lambda: render_fig5(run_fig5())),
+        ("fig6", lambda: render_fig6(run_fig6(dwt_stride=4, mvm_stride=1))),
+        ("fig7", lambda: render_fig7(run_fig7())),
+        ("fig8", lambda: render_fig8(run_fig8())),
+    ]
+    for name, job in jobs:
+        t0 = time.perf_counter()
+        text = job()
+        dt = time.perf_counter() - t0
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{'=' * 72}\n{text}\n[{name}: {dt:.1f}s -> {out / name}.txt]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "paper_artifacts")

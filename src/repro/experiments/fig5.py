@@ -1,0 +1,86 @@
+"""Figure 5 — bits transferred vs fast memory size (log x-axis).
+
+Four panels:
+
+* (a) Equal DWT(256,8): Algorithmic LB / Layer-by-Layer / Optimum (ours)
+* (b) DA DWT(256,8): same series
+* (c) Equal MVM(96,120): IOOpt LB / IOOpt UB / Tiling (ours)
+* (d) DA MVM(96,120): same series
+
+Every point is a real scheduler run (DWT/LBL) or the strategy's closed
+form (tiling/IOOpt; both cross-checked against full schedule simulation in
+the test suite).  The paper's headline shape: both of our methods dominate
+their baselines at every budget and converge to the lower bound at far
+smaller memories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import SweepSeries, log_budget_grid, sweep
+from ..analysis.min_memory import scheduler_min_memory
+from ..analysis.report import format_series
+from ..core import min_feasible_budget
+from .common import DWTWorkload, MVMWorkload, dwt_workload, mvm_workload
+
+
+def dwt_panel(workload: DWTWorkload, points: int = 20) -> List[SweepSeries]:
+    """One DWT panel: LB, layer-by-layer, optimum over a log budget grid."""
+    g = workload.graph
+    lo = min_feasible_budget(g)
+    baseline_min = scheduler_min_memory(workload.baseline, g)
+    hi = int(baseline_min * 1.3)
+    grid = log_budget_grid(lo, hi, points)
+    lb = workload.lower_bound
+    return [
+        SweepSeries("Algorithmic LB", tuple(grid),
+                    tuple(float(lb) for _ in grid)),
+        sweep(workload.baseline_cost_fn(), grid, "Layer-by-Layer"),
+        sweep(workload.optimum_cost_fn(), grid, "Optimum (Ours)"),
+    ]
+
+
+def mvm_panel(workload: MVMWorkload, points: int = 20) -> List[SweepSeries]:
+    """One MVM panel: IOOpt LB/UB and our tiling over a log budget grid."""
+    g = workload.graph
+    lo = min_feasible_budget(g)
+    hi = int(workload.ioopt.min_memory() * 1.3)
+    grid = log_budget_grid(lo, hi, points)
+    lb = workload.ioopt.lower_bound()
+    return [
+        SweepSeries("IOOpt Lower Bound", tuple(grid),
+                    tuple(float(lb) for _ in grid)),
+        sweep(workload.ioopt_cost_fn(), grid, "IOOpt Upper Bound"),
+        sweep(workload.tiling_cost_fn(), grid, "Tiling (Ours)"),
+    ]
+
+
+def run_fig5(points: int = 20) -> Dict[str, List[SweepSeries]]:
+    """All four panels, keyed 'a'..'d' as in the paper."""
+    return {
+        "a": dwt_panel(dwt_workload(False), points),
+        "b": dwt_panel(dwt_workload(True), points),
+        "c": mvm_panel(mvm_workload(False), points),
+        "d": mvm_panel(mvm_workload(True), points),
+    }
+
+
+def render_fig5(panels: Dict[str, List[SweepSeries]]) -> str:
+    titles = {
+        "a": "Fig. 5a — Equal DWT(256,8): bits transferred vs fast memory (bits)",
+        "b": "Fig. 5b — DA DWT(256,8)",
+        "c": "Fig. 5c — Equal MVM(96,120)",
+        "d": "Fig. 5d — DA MVM(96,120)",
+    }
+    blocks = [format_series(series, title=titles[key])
+              for key, series in sorted(panels.items())]
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render_fig5(run_fig5()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

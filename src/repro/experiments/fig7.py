@@ -1,0 +1,95 @@
+"""Figure 7 — synthesized memory metrics at the Table 1 capacities.
+
+Six panels over the four workload columns (Equal/DA DWT, Equal/DA MVM),
+each comparing our approach's macro against the baseline's:
+
+* (a) physical area, (b) leakage power, (c) read power, (d) write power,
+* (e) peak read performance, (f) peak write performance.
+
+Macros are synthesized by the AMC-like compiler substrate at the
+power-of-two capacities from Table 1.  The paper's headline: large area and
+static-power reductions at essentially unchanged throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.report import format_table, percent_reduction
+from ..hardware import MemoryCompiler, MemoryMacro
+from .common import WORD_BITS
+from .table1 import Table1Row, run_table1
+
+#: Metric name -> attribute on MemoryMacro, in the paper's panel order.
+PANELS: Tuple[Tuple[str, str, str], ...] = (
+    ("a", "Memory Area (λ²-scaled)", "area"),
+    ("b", "Leakage Power (mW)", "leakage_mw"),
+    ("c", "Read Power (mW)", "read_power_mw"),
+    ("d", "Write Power (mW)", "write_power_mw"),
+    ("e", "Read Performance (GB/s)", "read_bandwidth_gbps"),
+    ("f", "Write Performance (GB/s)", "write_bandwidth_gbps"),
+)
+
+
+@dataclass(frozen=True)
+class Fig7Column:
+    """One workload column: our macro vs the baseline's macro."""
+
+    label: str
+    ours_name: str
+    baseline_name: str
+    ours: MemoryMacro
+    baseline: MemoryMacro
+
+    def metric(self, attr: str) -> Tuple[float, float]:
+        return getattr(self.ours, attr), getattr(self.baseline, attr)
+
+
+def run_fig7(rows: List[Table1Row] | None = None) -> List[Fig7Column]:
+    if rows is None:
+        rows = run_table1()
+    compiler = MemoryCompiler(word_bits=WORD_BITS)
+    columns = []
+    for ours_row, base_row in zip(rows[0::2], rows[1::2]):
+        short = "DA" if "Double" in ours_row.node_weights else "Equal"
+        label = f"{short} {ours_row.workload.replace(' ', '')}"
+        columns.append(Fig7Column(
+            label=label,
+            ours_name=ours_row.approach.rstrip("*") + " (Ours)",
+            baseline_name=base_row.approach,
+            ours=compiler.synthesize(ours_row.pow2_capacity_bits),
+            baseline=compiler.synthesize(base_row.pow2_capacity_bits),
+        ))
+    return columns
+
+
+def panel_table(columns: List[Fig7Column], attr: str, title: str) -> str:
+    headers = ["Workload", "Ours", "Baseline", "Reduction (%)"]
+    rows = []
+    for col in columns:
+        ours, base = col.metric(attr)
+        rows.append([col.label, ours, base, percent_reduction(ours, base)])
+    return format_table(headers, rows, title=title)
+
+
+def average_reduction(columns: List[Fig7Column], attr: str) -> float:
+    vals = [percent_reduction(*col.metric(attr)) for col in columns]
+    return sum(vals) / len(vals)
+
+
+def render_fig7(columns: List[Fig7Column]) -> str:
+    blocks = []
+    for key, title, attr in PANELS:
+        blocks.append(panel_table(columns, attr, f"Fig. 7{key} — {title}"))
+        blocks.append(f"  average reduction: "
+                      f"{average_reduction(columns, attr):.1f}%")
+    return "\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render_fig7(run_fig7()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""Figure 8 — physical layout comparison.
+
+Renders the floorplans of our macros against the baselines' at a common
+scale for the four workload columns — the visual counterpart of the Fig. 7a
+area panel.  ASCII stands in for the paper's GDS screenshots; rectangle
+areas are exact (they sum to the compiler's reported area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hardware import Floorplan, floorplan, render_comparison
+from .fig7 import Fig7Column, run_fig7
+
+
+@dataclass(frozen=True)
+class Fig8Panel:
+    label: str
+    ours_name: str
+    baseline_name: str
+    ours: Floorplan
+    baseline: Floorplan
+
+
+def run_fig8(columns: List[Fig7Column] | None = None) -> List[Fig8Panel]:
+    if columns is None:
+        columns = run_fig7()
+    panels = []
+    for col in columns:
+        panels.append(Fig8Panel(
+            label=col.label,
+            ours_name=col.ours_name,
+            baseline_name=col.baseline_name,
+            ours=floorplan(col.ours),
+            baseline=floorplan(col.baseline),
+        ))
+    return panels
+
+
+def render_fig8(panels: List[Fig8Panel]) -> str:
+    blocks = []
+    for i, p in enumerate(panels):
+        key = "abcd"[i] if i < 4 else str(i)
+        header = (f"Fig. 8{key} — {p.label}: "
+                  f"{p.ours_name} ({p.ours.macro.capacity_bits} bits) vs "
+                  f"{p.baseline_name} ({p.baseline.macro.capacity_bits} bits)")
+        art = render_comparison(
+            p.ours, p.baseline,
+            f"{p.ours_name} [{p.ours.macro.capacity_bits}b]",
+            f"{p.baseline_name} [{p.baseline.macro.capacity_bits}b]")
+        blocks.append(f"{header}\n{art}")
+    legend = "legend: # bitcell array, D row decoder, S column I/O, C control"
+    return "\n\n".join(blocks) + f"\n\n{legend}"
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render_fig8(run_fig8()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

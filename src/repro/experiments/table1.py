@@ -1,0 +1,98 @@
+"""Table 1 — minimum fast memory size comparison.
+
+Eight rows: {DWT(256,8), MVM(96,120)} × {Equal, Double Accumulator} ×
+{our approach, the baseline}, each reporting the minimum fast memory size
+in words, the word size, the capacity in bits, and the power-of-two
+capacity used for synthesis (Figs. 7-8).
+
+Paper values for reference: Optimum 10/18 words vs Layer-by-Layer 445/636;
+Tiling 99/126 words vs IOOpt UB 193/289.  Our DWT-baseline reproduction
+measures 448/640 (within 1%; the paper's exact C++ spill-timing constant
+is not fully specified — see EXPERIMENTS.md), every other cell matches
+exactly, and all power-of-two capacities coincide with the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.min_memory import scheduler_min_memory
+from ..analysis.report import format_table, percent_reduction
+from ..hardware import round_up_pow2
+from .common import WORD_BITS, all_workloads, dwt_workload, mvm_workload
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    workload: str
+    node_weights: str
+    approach: str
+    min_words: int
+    word_bits: int
+    min_capacity_bits: int
+    pow2_capacity_bits: int
+    ours: bool
+
+
+def _row(workload: str, weights: str, approach: str, bits: int,
+         ours: bool) -> Table1Row:
+    return Table1Row(
+        workload=workload, node_weights=weights, approach=approach,
+        min_words=bits // WORD_BITS, word_bits=WORD_BITS,
+        min_capacity_bits=bits, pow2_capacity_bits=round_up_pow2(bits),
+        ours=ours)
+
+
+def run_table1() -> List[Table1Row]:
+    rows: List[Table1Row] = []
+    for da in (False, True):
+        w = dwt_workload(da)
+        opt_bits = scheduler_min_memory(w.optimum, w.graph)
+        lbl_bits = scheduler_min_memory(w.baseline, w.graph)
+        name = "DWT(256, 8)"
+        rows.append(_row(name, w.config.name, "Optimum*", opt_bits, True))
+        rows.append(_row(name, w.config.name, "Layer-by-Layer", lbl_bits, False))
+    for da in (False, True):
+        w = mvm_workload(da)
+        tile_bits = w.tiling.min_memory_for_lower_bound(w.graph)
+        ioopt_bits = w.ioopt.min_memory()
+        name = "MVM(96, 120)"
+        rows.append(_row(name, w.config.name, "Tiling*", tile_bits, True))
+        rows.append(_row(name, w.config.name, "IOOpt UB", ioopt_bits, False))
+    return rows
+
+
+def reductions(rows: List[Table1Row]) -> List[float]:
+    """Per-workload min-memory reduction of ours vs the baseline, in
+    percent (Sec. 5.3 quotes 97.8/97.2 for DWT and 48.7/56.4 for MVM)."""
+    out = []
+    for ours, theirs in zip(rows[0::2], rows[1::2]):
+        out.append(percent_reduction(ours.min_capacity_bits,
+                                     theirs.min_capacity_bits))
+    return out
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    headers = ["Workload", "Node Weights", "Scheduling Approach",
+               "Min Fast Memory (words)", "Word Size (bits)",
+               "Min Capacity (bits)", "Pow2 Capacity (bits)"]
+    table_rows = [[r.workload, r.node_weights, r.approach, r.min_words,
+                   r.word_bits, r.min_capacity_bits, r.pow2_capacity_bits]
+                  for r in rows]
+    table = format_table(headers, table_rows,
+                         title="Table 1 — minimum fast memory size "
+                               "(* = our approaches)")
+    red = reductions(rows)
+    notes = "\n".join(
+        f"  {rows[2*i].workload} {rows[2*i].node_weights}: "
+        f"{red[i]:.1f}% smaller minimum memory" for i in range(len(red)))
+    return f"{table}\nreductions (ours vs baseline):\n{notes}"
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render_table1(run_table1()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,45 @@
+"""Graph families the paper schedules: DWT (Def. 3.1), MVM (Def. 4.1),
+and k-ary trees (Def. 3.6), plus the banded-sparse MVM extension."""
+
+from .dwt import (dwt_graph, dwt_edges, matches_structure as dwt_matches_structure,
+                  layer_sizes as dwt_layer_sizes,
+                  max_level, prune as prune_dwt, pruned_nodes, sibling,
+                  is_average, is_coefficient, is_input, output_trees,
+                  check_prunable_weights, DWTNode)
+from .mvm import (mvm_graph, mvm_edges, banded_mvm_graph,
+                  layer_sizes as mvm_layer_sizes, vector_node, matrix_node,
+                  product_node, accumulator_node, output_node, classify,
+                  MVMNode)
+from .trees import (complete_kary_tree, caterpillar_tree, random_kary_tree,
+                    tree_from_nested, tree_depth, TreeNode, ROOT)
+from .kdwt import (kdwt_graph, kdwt_edges, prune as prune_kdwt,
+                   siblings as kdwt_siblings, KDWTNode,
+                   layer_sizes as kdwt_layer_sizes)
+from .fft import (fft_graph, fft_edges, bit_reversal_permutation,
+                  butterfly_partner, FFTNode, stages as fft_stages)
+from .conv import (conv_graph, conv_edges, tap_node, sample_node,
+                   n_outputs as conv_n_outputs, ConvNode,
+                   partial_node as conv_partial_node,
+                   product_node as conv_product_node,
+                   output_node as conv_output_node)
+from .random_dags import (random_layered_dag, random_series_parallel,
+                          random_weighted)
+
+__all__ = [
+    "dwt_graph", "dwt_edges", "dwt_layer_sizes", "dwt_matches_structure",
+    "max_level", "prune_dwt",
+    "pruned_nodes", "sibling", "is_average", "is_coefficient", "is_input",
+    "output_trees", "check_prunable_weights", "DWTNode",
+    "mvm_graph", "mvm_edges", "banded_mvm_graph", "mvm_layer_sizes",
+    "vector_node", "matrix_node", "product_node", "accumulator_node",
+    "output_node", "classify", "MVMNode",
+    "complete_kary_tree", "caterpillar_tree", "random_kary_tree",
+    "tree_from_nested", "tree_depth", "TreeNode", "ROOT",
+    "kdwt_graph", "kdwt_edges", "prune_kdwt", "kdwt_siblings", "KDWTNode",
+    "kdwt_layer_sizes",
+    "fft_graph", "fft_edges", "bit_reversal_permutation",
+    "butterfly_partner", "FFTNode", "fft_stages",
+    "conv_graph", "conv_edges", "tap_node", "sample_node", "conv_n_outputs",
+    "ConvNode", "conv_partial_node", "conv_product_node", "conv_output_node",
+    "random_layered_dag", "random_series_parallel", "random_weighted",
+]

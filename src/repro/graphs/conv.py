@@ -1,0 +1,95 @@
+"""FIR filter (1D convolution) graphs.
+
+The other kernel family the paper's intro motivates ("DWT's recursive
+divide-and-conquer structure appears in filters...").  A ``t``-tap FIR
+filter over an ``n``-sample signal computes
+
+    y_i = Σ_{j=0}^{t-1} h_j · x_{i+j},      i = 1 .. n-t+1  (valid mode)
+
+Its CDAG mirrors the MVM construction: a product layer (sample × tap) and
+per-output accumulation caterpillars, but with *sliding-window* sharing of
+the signal inputs (sample ``x_c`` feeds up to ``t`` different outputs) and
+full reuse of the ``t`` filter taps by every output — the richest reuse
+pattern in the library's graph families.
+
+Node naming: ``(1, ·)`` inputs (taps first: ``h_1..h_t``, then samples
+``x_1..x_n``); ``(2, (i-1)·t + j)`` the product ``h_j · x_{i+j-1}`` of
+output ``i``; ``(j+1, i)`` for ``j = 2..t`` output ``i``'s partial sum over
+its first ``j`` taps.  Sinks are ``(t+1, i)`` (or the products for t=1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+from ..core.weights import WeightConfig
+
+ConvNode = Tuple[int, int]
+
+
+def validate_params(n: int, taps: int) -> None:
+    if taps < 1:
+        raise GraphStructureError(f"taps must be >= 1, got {taps}")
+    if n < taps:
+        raise GraphStructureError(
+            f"signal length {n} shorter than the {taps}-tap filter")
+    if taps == 1 and n == 1:
+        raise GraphStructureError("degenerate 1x1 convolution")
+
+
+def n_outputs(n: int, taps: int) -> int:
+    return n - taps + 1
+
+
+def tap_node(taps: int, j: int) -> ConvNode:
+    """Input node of filter coefficient ``h_j`` (1-based)."""
+    return (1, j)
+
+
+def sample_node(taps: int, c: int) -> ConvNode:
+    """Input node of signal sample ``x_c`` (1-based)."""
+    return (1, taps + c)
+
+
+def product_node(taps: int, i: int, j: int) -> ConvNode:
+    """Product ``h_j · x_{i+j-1}`` for output ``i``."""
+    return (2, (i - 1) * taps + j)
+
+
+def partial_node(taps: int, i: int, j: int) -> ConvNode:
+    """Output ``i``'s partial sum over taps ``1..j`` (``j >= 1``)."""
+    if j == 1:
+        return product_node(taps, i, 1)
+    return (j + 1, i)
+
+
+def output_node(n: int, taps: int, i: int) -> ConvNode:
+    return partial_node(taps, i, taps)
+
+
+def conv_edges(n: int, taps: int) -> Iterable[Tuple[ConvNode, ConvNode]]:
+    validate_params(n, taps)
+    for i in range(1, n_outputs(n, taps) + 1):
+        for j in range(1, taps + 1):
+            p = product_node(taps, i, j)
+            yield sample_node(taps, i + j - 1), p
+            yield tap_node(taps, j), p
+            if j >= 2:
+                acc = partial_node(taps, i, j)
+                yield partial_node(taps, i, j - 1), acc
+                yield p, acc
+
+
+def conv_graph(n: int, taps: int, weights: Optional[WeightConfig] = None,
+               budget: Optional[int] = None) -> CDAG:
+    """Build the FIR filter CDAG (valid-mode convolution)."""
+    edges = list(conv_edges(n, taps))
+    ones = {node: 1 for e in edges for node in e}
+    g = CDAG(edges, ones, budget=budget, name=f"Conv(n={n},t={taps})")
+    if weights is not None:
+        g = weights.apply(g)
+        if budget is not None:
+            g = g.with_budget(budget)
+    return g

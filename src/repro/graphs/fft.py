@@ -1,0 +1,86 @@
+"""Radix-2 FFT butterfly graphs.
+
+The paper's intro motivates DWT as representative of "filters and fast
+Fourier transforms"; the FFT butterfly is also *the* classic CDAG of
+red-blue pebbling (Hong & Kung's original I/O analysis).  This module
+builds the iterative decimation-in-time dataflow:
+
+* ``S_1`` — the ``n`` inputs **in bit-reversed order** (the kernel helper
+  :func:`repro.kernels.fftref.fft_inputs` performs the reversal when
+  binding values, keeping the graph purely structural).
+* ``S_{s+1}`` for stages ``s = 1..log2(n)`` — ``n`` nodes each; node
+  ``(s+1, i+1)`` is one output of the butterfly pairing positions ``i``
+  and ``i XOR 2^{s-1}`` of the previous layer.
+
+Every non-source node has in-degree 2 and (except the last layer)
+out-degree 2 — no tree structure, so the paper's optimal DPs do not apply;
+the general heuristics of :mod:`repro.schedulers.heuristic` and the
+layer-by-layer baseline do, which is exactly the kind of graph a
+downstream user brings to this library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+from ..core.weights import WeightConfig
+
+FFTNode = Tuple[int, int]
+
+
+def validate_size(n: int) -> int:
+    """Return log2(n), raising unless ``n`` is a power of two >= 2."""
+    if n < 2 or n & (n - 1):
+        raise GraphStructureError(f"FFT size must be a power of two >= 2: {n}")
+    return n.bit_length() - 1
+
+
+def stages(n: int) -> int:
+    return validate_size(n)
+
+
+def butterfly_partner(i: int, stage: int) -> int:
+    """0-based partner of position ``i`` at 1-based ``stage``."""
+    return i ^ (1 << (stage - 1))
+
+
+def fft_edges(n: int) -> Iterable[Tuple[FFTNode, FFTNode]]:
+    """Edges of the n-point radix-2 DIT butterfly network."""
+    for s in range(1, stages(n) + 1):
+        for i in range(n):
+            j = butterfly_partner(i, s)
+            # Parents in (low position, high position) order: the
+            # butterfly's (u, t) operands.
+            lo, hi = min(i, j), max(i, j)
+            yield (s, lo + 1), (s + 1, i + 1)
+            yield (s, hi + 1), (s + 1, i + 1)
+
+
+def fft_graph(n: int, weights: Optional[WeightConfig] = None,
+              budget: Optional[int] = None) -> CDAG:
+    """Build the n-point FFT CDAG (``(layer, index)`` naming, layers
+    ``1 .. log2(n)+1``)."""
+    edges = list(fft_edges(n))
+    ones = {node: 1 for e in edges for node in e}
+    g = CDAG(edges, ones, budget=budget, name=f"FFT({n})")
+    if weights is not None:
+        g = weights.apply(g)
+        if budget is not None:
+            g = g.with_budget(budget)
+    return g
+
+
+def bit_reverse(i: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+def bit_reversal_permutation(n: int) -> List[int]:
+    """``perm[k]`` = index of the input sample stored at source ``(1, k+1)``."""
+    bits = validate_size(n)
+    return [bit_reverse(i, bits) for i in range(n)]

@@ -1,0 +1,124 @@
+"""k-tap wavelet transform graphs — the paper's stated future work.
+
+Sec. 3.1 closes with: "Wavelet transforms that perform convolutions with
+more than two inputs/averages or coarser operations are left to future
+work."  This module builds that generalization for non-overlapping k-tap
+windows: each level maps ``k`` consecutive samples to one *average* (fed
+forward) and ``k-1`` *detail coefficients* (sinks), recursing on the
+averages for ``d`` levels.  ``k = 2`` recovers exactly the ``DWT(n, d)``
+family of Def. 3.1 (asserted in tests).
+
+Node naming follows the DWT convention: ``(layer, index)``, layers
+``1..d+1``; within a window of layer ``i``'s outputs, index
+``(w-1)·k + 1`` is the average and the remaining ``k-1`` indices are
+coefficients.  After pruning the coefficients, each component is a k-ary
+in-tree — schedulable optimally by the Eq. (6) DP, which is how
+:mod:`repro.schedulers.kdwt` generalizes Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+from ..core.weights import WeightConfig
+
+KDWTNode = Tuple[int, int]
+
+
+def validate_params(n: int, d: int, k: int) -> None:
+    if k < 2:
+        raise GraphStructureError(f"tap count k must be >= 2, got {k}")
+    if d < 1:
+        raise GraphStructureError(f"level d must be >= 1, got {d}")
+    if n < 1 or n % (k ** d):
+        raise GraphStructureError(
+            f"inputs n must be a positive multiple of k^d = {k ** d}, got {n}")
+
+
+def layer_sizes(n: int, d: int, k: int) -> List[int]:
+    """``S_1 .. S_{d+1}``: ``[n, n, n/k, n/k², ...]`` — every level keeps
+    window width ``k`` outputs per window, then recurses on 1/k of them."""
+    validate_params(n, d, k)
+    sizes = [n, n]
+    for _ in range(3, d + 2):
+        sizes.append(sizes[-1] // k)
+    return sizes
+
+
+def average_index(k: int, window: int) -> int:
+    """Index of window ``window`` (1-based) average within its layer."""
+    return (window - 1) * k + 1
+
+
+def is_average(node: KDWTNode, k: int) -> bool:
+    return node[0] > 1 and (node[1] - 1) % k == 0
+
+
+def is_coefficient(node: KDWTNode, k: int) -> bool:
+    return node[0] > 1 and (node[1] - 1) % k != 0
+
+
+def siblings(node: KDWTNode, k: int) -> List[KDWTNode]:
+    """The k-1 coefficients sharing parents with average ``node``."""
+    i, j = node
+    if not is_average(node, k):
+        raise GraphStructureError(f"{node} is not an average node")
+    return [(i, j + t) for t in range(1, k)]
+
+
+def kdwt_edges(n: int, d: int, k: int) -> Iterable[Tuple[KDWTNode, KDWTNode]]:
+    sizes = layer_sizes(n, d, k)
+    # Layer 1 -> 2: window w consumes inputs (w-1)k+1 .. wk and feeds all
+    # k outputs of the window.
+    for w in range(1, n // k + 1):
+        ins = [(1, (w - 1) * k + t) for t in range(1, k + 1)]
+        for t in range(1, k + 1):
+            out = (2, (w - 1) * k + t)
+            for src in ins:
+                yield src, out
+    # Layer i -> i+1 (2 <= i <= d): the averages of k consecutive windows
+    # feed the next layer's window outputs.
+    for i in range(2, d + 1):
+        n_windows_next = sizes[i] // k
+        for w in range(1, n_windows_next + 1):
+            ins = [(i, average_index(k, (w - 1) * k + t))
+                   for t in range(1, k + 1)]
+            for t in range(1, k + 1):
+                out = (i + 1, (w - 1) * k + t)
+                for src in ins:
+                    yield src, out
+
+
+def kdwt_graph(n: int, d: int, k: int, weights: Optional[WeightConfig] = None,
+               budget: Optional[int] = None) -> CDAG:
+    """Build the k-tap wavelet CDAG; ``kdwt_graph(n, d, 2)`` is isomorphic
+    to ``dwt_graph(n, d)`` up to coefficient index order."""
+    edges = list(kdwt_edges(n, d, k))
+    ones = {node: 1 for e in edges for node in e}
+    g = CDAG(edges, ones, budget=budget, name=f"KDWT({n},{d},k={k})")
+    if weights is not None:
+        g = weights.apply(g)
+        if budget is not None:
+            g = g.with_budget(budget)
+    return g
+
+
+def prune(cdag: CDAG, k: int) -> CDAG:
+    """Remove all coefficient nodes; components become k-ary in-trees."""
+    keep = [v for v in cdag if v[0] == 1 or is_average(v, k)]
+    return cdag.subgraph(keep, name=f"{cdag.name}-pruned")
+
+
+def check_prunable_weights(cdag: CDAG, k: int) -> None:
+    """The Lemma 3.2 generalization needs every coefficient's weight not to
+    exceed its window average's weight."""
+    for v in cdag:
+        if is_coefficient(v, k):
+            i, j = v
+            avg = (i, j - (j - 1) % k)
+            if avg in cdag and cdag.weight(v) > cdag.weight(avg):
+                raise GraphStructureError(
+                    f"coefficient {v} weighs more than its average {avg}; "
+                    f"the pruning argument (Lemma 3.2) does not apply")

@@ -1,0 +1,189 @@
+"""Matrix-Vector Multiplication graphs (paper Def. 4.1, Fig. 4).
+
+``MVM(m, n)`` is the CDAG of ``y = A x`` with ``A ∈ R^{m×n}``, built from
+``n+1`` layers:
+
+* ``S_1`` — ``mn + n`` inputs, grouped by column: group ``g`` (0-based)
+  starts with the vector element ``x_{g+1}`` at index ``j = g(m+1)+1``,
+  followed by the ``m`` matrix entries ``a_{1..m, g+1}``.
+* ``S_2`` — ``mn`` product nodes in column-major order:
+  ``v^2_{gm+r} = a_{r,g+1} · x_{g+1}``.
+* ``S_i`` for ``3 <= i <= n+1`` — ``m`` accumulator nodes per layer:
+  ``v^i_r`` is row ``r``'s partial sum over the first ``i-1`` columns,
+  with parents ``v^{i-1}_r`` (previous partial) and ``v^2_{(i-2)m+r}``
+  (the next column's product).
+
+Sinks are the final layer (``S_{n+1}``, or ``S_2`` when ``n = 1``).  Each
+output's ancestry is a *caterpillar* binary in-tree, and the vector nodes
+have out-degree ``m`` — the data-reuse opportunity Sec. 4 exploits.
+
+Nodes are ``(i, j)`` pairs matching the paper's ``v^i_j``.  The semantic
+helpers (:func:`vector_node`, :func:`matrix_node`, ...) translate between
+matrix coordinates and graph nodes.
+
+As the structured-sparse extension the paper sketches (Sec. 4 intro), a
+*banded* variant :func:`banded_mvm_graph` keeps only matrix entries with
+``|r - c| <= bandwidth``, preserving per-row caterpillar structure with
+variable chain lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+from ..core.weights import WeightConfig
+
+#: MVM node type: (layer, index), both 1-based.
+MVMNode = Tuple[int, int]
+
+
+def validate_params(m: int, n: int) -> None:
+    if m < 2:
+        raise GraphStructureError(f"MVM rows m must be >= 2, got {m}")
+    if n < 1:
+        raise GraphStructureError(f"MVM columns n must be >= 1, got {n}")
+
+
+# --------------------------------------------------------------------- #
+# Coordinate helpers (rows r and columns c are 1-based).
+
+def vector_node(m: int, c: int) -> MVMNode:
+    """Input node of vector element ``x_c``."""
+    return (1, (c - 1) * (m + 1) + 1)
+
+
+def matrix_node(m: int, r: int, c: int) -> MVMNode:
+    """Input node of matrix entry ``a_{r,c}``."""
+    return (1, (c - 1) * (m + 1) + 1 + r)
+
+
+def product_node(m: int, r: int, c: int) -> MVMNode:
+    """Product node ``a_{r,c} · x_c`` in layer ``S_2``."""
+    return (2, (c - 1) * m + r)
+
+
+def accumulator_node(m: int, r: int, c: int) -> MVMNode:
+    """Row ``r``'s partial sum over columns ``1..c`` (``c >= 2``); for
+    ``c = 1`` the partial *is* the product node."""
+    if c == 1:
+        return product_node(m, r, 1)
+    return (c + 1, r)
+
+
+def output_node(m: int, n: int, r: int) -> MVMNode:
+    """The sink carrying ``y_r``."""
+    return accumulator_node(m, r, n)
+
+
+def classify(m: int, node: MVMNode) -> str:
+    """One of ``"vector"``, ``"matrix"``, ``"product"``, ``"accumulator"``."""
+    i, j = node
+    if i == 1:
+        return "vector" if (j - 1) % (m + 1) == 0 else "matrix"
+    return "product" if i == 2 else "accumulator"
+
+
+# --------------------------------------------------------------------- #
+
+def mvm_edges(m: int, n: int) -> Iterable[Tuple[MVMNode, MVMNode]]:
+    """Directed edges of ``MVM(m, n)`` exactly as in Def. 4.1."""
+    validate_params(m, n)
+    # Rule (1): inputs -> products.
+    for j in range(1, n * (m + 1) + 1):
+        k = (j - 1) // (m + 1)
+        if j % (m + 1) == 1:
+            # Vector element: fans out to its column's m products.
+            for i in range(m):
+                yield (1, j), (2, j - k + i)
+        else:
+            # Matrix entry: feeds exactly one product.
+            yield (1, j), (2, j - k - 1)
+    # Rule (2): chain edges v^i_j -> v^{i+1}_j.
+    for i in range(2, n + 1):
+        for j in range(1, m + 1):
+            yield (i, j), (i + 1, j)
+    # Rule (3): column products join the accumulation chains.
+    for j in range(m + 1, m * n + 1):
+        layer = 2 + (j - 1) // m
+        idx = m if j % m == 0 else j % m
+        yield (2, j), (layer, idx)
+
+
+def mvm_graph(m: int, n: int, weights: Optional[WeightConfig] = None,
+              budget: Optional[int] = None) -> CDAG:
+    """Build the node-weighted ``MVM(m, n)`` CDAG."""
+    edges = list(mvm_edges(m, n))
+    ones = {node: 1 for e in edges for node in e}
+    g = CDAG(edges, ones, budget=budget, name=f"MVM({m},{n})")
+    if weights is not None:
+        g = weights.apply(g)
+        if budget is not None:
+            g = g.with_budget(budget)
+    return g
+
+
+def layer_sizes(m: int, n: int) -> List[int]:
+    """Sizes of ``S_1 .. S_{n+1}``."""
+    validate_params(m, n)
+    return [m * n + n, m * n] + [m] * (n - 1)
+
+
+# --------------------------------------------------------------------- #
+# Structured-sparse extension: banded matrices.
+
+def banded_columns(m: int, n: int, bandwidth: int, r: int) -> List[int]:
+    """Columns with a stored entry in row ``r`` of a banded matrix."""
+    return [c for c in range(1, n + 1) if abs(r - c) <= bandwidth]
+
+
+def banded_mvm_graph(m: int, n: int, bandwidth: int,
+                     weights: Optional[WeightConfig] = None,
+                     budget: Optional[int] = None) -> CDAG:
+    """CDAG of ``y = A x`` for a banded ``A`` (``a_{r,c} = 0`` unless
+    ``|r - c| <= bandwidth``).
+
+    Structure mirrors :func:`mvm_graph` — per-row accumulation caterpillars
+    over only the stored entries — but node indices reuse the dense naming
+    so the semantic helpers still apply.  Rows must have at least one stored
+    entry (guaranteed when ``bandwidth >= 0`` and ``1 <= r <= m <= n +
+    bandwidth``).
+    """
+    validate_params(m, n)
+    if bandwidth < 0:
+        raise GraphStructureError(f"bandwidth must be >= 0, got {bandwidth}")
+    edges: List[Tuple[MVMNode, MVMNode]] = []
+    used_vector = set()
+    for r in range(1, m + 1):
+        cols = banded_columns(m, n, bandwidth, r)
+        if not cols:
+            raise GraphStructureError(
+                f"row {r} has no stored entries for bandwidth {bandwidth}")
+        prev: Optional[MVMNode] = None
+        for c in cols:
+            vx = vector_node(m, c)
+            va = matrix_node(m, r, c)
+            vp = product_node(m, r, c)
+            edges.append((vx, vp))
+            edges.append((va, vp))
+            used_vector.add(vx)
+            if prev is None:
+                prev = vp
+            else:
+                # Accumulator for row r after this column, dense naming.
+                acc = (c + 1, r)
+                edges.append((prev, acc))
+                edges.append((vp, acc))
+                prev = acc
+        if len(cols) == 1:
+            # Single-entry rows end at their product node (a sink).
+            pass
+    ones = {node: 1 for e in edges for node in e}
+    g = CDAG(edges, ones, budget=budget,
+             name=f"BandedMVM({m},{n},bw={bandwidth})")
+    if weights is not None:
+        g = weights.apply(g)
+        if budget is not None:
+            g = g.with_budget(budget)
+    return g

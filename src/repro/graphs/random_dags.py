@@ -1,0 +1,100 @@
+"""Random CDAG generators for benchmarking and property testing.
+
+Dataflow-specific schedulers cover structured graphs; the heuristics need
+adversarial shapes.  Three reproducible families:
+
+* :func:`random_layered_dag` — layered graphs with configurable width and
+  fan-in (the shape of generic tensor programs).
+* :func:`random_series_parallel` — series-parallel compositions (the
+  family Jin et al., cited by the paper, solve optimally for the standard
+  pebble game); recursive series/parallel composition of edges.
+* :func:`random_weighted` — re-weight any CDAG with reproducible integer
+  weights (mixed-precision fuzzing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+
+
+def random_layered_dag(n_layers: int, width: int, max_fanin: int = 3,
+                       seed: int = 0, name: Optional[str] = None) -> CDAG:
+    """A layered DAG: layer 1 holds ``width`` sources; every node of layer
+    ``i > 1`` draws 1..max_fanin parents from layer ``i-1``.  Nodes are
+    ``(layer, index)`` tuples (compatible with the layer-by-layer
+    scheduler)."""
+    if n_layers < 2 or width < 1 or max_fanin < 1:
+        raise GraphStructureError(
+            f"need n_layers >= 2, width >= 1, max_fanin >= 1")
+    rng = np.random.default_rng(seed)
+    edges: List[Tuple] = []
+    for layer in range(2, n_layers + 1):
+        for j in range(1, width + 1):
+            fanin = int(rng.integers(1, min(max_fanin, width) + 1))
+            parents = rng.choice(width, size=fanin, replace=False)
+            for p in parents:
+                edges.append(((layer - 1, int(p) + 1), (layer, j)))
+    ones = {v: 1 for e in edges for v in e}
+    return CDAG(edges, ones,
+                name=name or f"Layered({n_layers}x{width},seed={seed})")
+
+
+def random_series_parallel(n_compositions: int, seed: int = 0,
+                           name: Optional[str] = None) -> CDAG:
+    """A two-terminal series-parallel DAG built by ``n_compositions``
+    random series/parallel compositions starting from a single edge.
+
+    Every intermediate node is a compute node between the global source
+    ``s`` and sink ``t``; parallel composition duplicates a subpath,
+    series composition subdivides an edge.  The result is simple (no
+    parallel duplicate edges — parallel composition inserts fresh middle
+    nodes).
+    """
+    if n_compositions < 0:
+        raise GraphStructureError("n_compositions must be >= 0")
+    rng = np.random.default_rng(seed)
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"n{counter[0]}"
+
+    # Represent the SP graph as an edge list between named nodes.
+    edges: List[Tuple[str, str]] = [("s", "t")]
+    for _ in range(n_compositions):
+        idx = int(rng.integers(len(edges)))
+        u, v = edges.pop(idx)
+        if rng.random() < 0.5:
+            # series: u -> m -> v
+            m = fresh()
+            edges.append((u, m))
+            edges.append((m, v))
+        else:
+            # parallel: u -> v twice, each branch via a fresh middle node
+            m1, m2 = fresh(), fresh()
+            edges.append((u, m1))
+            edges.append((m1, v))
+            edges.append((u, m2))
+            edges.append((m2, v))
+    # 's' must be a real input and 't' a real output; interior nodes are
+    # computes.  Direct s->t edges may coexist with paths; dedupe edges.
+    unique = list(dict.fromkeys(edges))
+    ones = {v: 1 for e in unique for v in e}
+    return CDAG(unique, ones,
+                name=name or f"SeriesParallel({n_compositions},seed={seed})")
+
+
+def random_weighted(cdag: CDAG, lo: int = 1, hi: int = 4,
+                    seed: int = 0) -> CDAG:
+    """Reproducibly re-weight a CDAG with integers in ``[lo, hi]``."""
+    if not 1 <= lo <= hi:
+        raise GraphStructureError(f"need 1 <= lo <= hi, got [{lo},{hi}]")
+    rng = np.random.default_rng(seed)
+    order = cdag.topological_order()
+    weights = {v: int(rng.integers(lo, hi + 1)) for v in order}
+    return cdag.with_weights(weights)

@@ -1,0 +1,161 @@
+"""k-ary tree graphs (paper Def. 3.6).
+
+A k-ary tree graph ``T ∈ T_k`` is a node-weighted rooted in-tree: a unique
+sink ``r`` (the root), every other node has a directed path to ``r``, and
+every node has in-degree at most ``k``.  Following the paper's convention,
+the *parents* ``H(v)`` of a node are its immediate predecessors — i.e. the
+operands feeding it — so leaves of the tree are the graph's sources.
+
+Nodes are *path tuples*: the root is ``()``, and the ``i``-th operand of
+node ``t`` is ``t + (i,)``.  This gives deterministic, collision-free names
+for arbitrary tree shapes.
+
+Builders:
+
+* :func:`complete_kary_tree` — every internal node has exactly ``k``
+  operands, all leaves at the same depth.
+* :func:`caterpillar_tree` — a chain where each internal node takes the
+  previous chain node plus ``k-1`` fresh leaves (the shape of an MVM row).
+* :func:`random_kary_tree` — random shapes for property-based testing.
+* :func:`tree_from_nested` — explicit shapes from nested sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+from ..core.weights import WeightConfig
+
+#: Tree node type: tuple of child indices from the root.
+TreeNode = Tuple[int, ...]
+
+ROOT: TreeNode = ()
+
+
+def _finish(edges, weights_cfg: Optional[WeightConfig], budget, name) -> CDAG:
+    if not edges:
+        raise GraphStructureError("a tree graph needs at least one edge")
+    ones = {node: 1 for e in edges for node in e}
+    g = CDAG(edges, ones, budget=budget, name=name)
+    if weights_cfg is not None:
+        g = weights_cfg.apply(g)
+        if budget is not None:
+            g = g.with_budget(budget)
+    return g
+
+
+def complete_kary_tree(k: int, depth: int, weights: Optional[WeightConfig] = None,
+                       budget: Optional[int] = None) -> CDAG:
+    """Complete k-ary in-tree of the given depth (depth >= 1; depth 1 is a
+    root with ``k`` leaf operands)."""
+    if k < 1:
+        raise GraphStructureError(f"k must be >= 1, got {k}")
+    if depth < 1:
+        raise GraphStructureError(f"depth must be >= 1, got {depth}")
+    edges = []
+    frontier: List[TreeNode] = [ROOT]
+    for _ in range(depth):
+        nxt: List[TreeNode] = []
+        for node in frontier:
+            for i in range(k):
+                child = node + (i,)
+                edges.append((child, node))
+                nxt.append(child)
+        frontier = nxt
+    return _finish(edges, weights, budget, f"CompleteTree(k={k},depth={depth})")
+
+
+def caterpillar_tree(length: int, k: int = 2, weights: Optional[WeightConfig] = None,
+                     budget: Optional[int] = None) -> CDAG:
+    """Caterpillar in-tree: a spine of ``length`` internal nodes; each spine
+    node has the next spine node (toward the leaves) as operand 0 plus
+    ``k-1`` leaf operands, and the deepest spine node has ``k`` leaves.
+    With ``k=2`` this is the accumulation chain of one MVM output row."""
+    if length < 1:
+        raise GraphStructureError(f"length must be >= 1, got {length}")
+    if k < 2:
+        raise GraphStructureError(f"caterpillar needs k >= 2, got {k}")
+    edges = []
+    spine = ROOT
+    for step in range(length):
+        last = step == length - 1
+        n_leaves = k if last else k - 1
+        # operand 0 continues the spine unless this is the deepest node.
+        start = 0 if last else 1
+        for i in range(start, start + n_leaves):
+            edges.append((spine + (i,), spine))
+        if not last:
+            edges.append((spine + (0,), spine))
+            spine = spine + (0,)
+    return _finish(edges, weights, budget, f"Caterpillar(len={length},k={k})")
+
+
+def tree_from_nested(spec, weights: Optional[WeightConfig] = None,
+                     budget: Optional[int] = None, name: str = "Tree") -> CDAG:
+    """Build a tree from a nested-sequence spec.
+
+    ``spec`` is either a leaf marker (anything that is not a list/tuple,
+    e.g. ``"x"``) or a sequence of child specs.  Example:
+    ``[["x", "x"], "x"]`` is a root whose operand 0 is an internal node with
+    two leaves and whose operand 1 is a leaf.
+    """
+    edges = []
+
+    def walk(node_spec, path: TreeNode):
+        if isinstance(node_spec, (list, tuple)):
+            if not node_spec:
+                raise GraphStructureError("internal tree node with no operands")
+            for i, child in enumerate(node_spec):
+                edges.append((path + (i,), path))
+                walk(child, path + (i,))
+
+    if not isinstance(spec, (list, tuple)):
+        raise GraphStructureError("root spec must be a sequence of operands")
+    walk(spec, ROOT)
+    return _finish(edges, weights, budget, name)
+
+
+def random_kary_tree(n_internal: int, k: int, seed: int = 0,
+                     weights: Optional[WeightConfig] = None,
+                     budget: Optional[int] = None) -> CDAG:
+    """Random in-tree with ``n_internal`` internal nodes, each with between
+    1 and ``k`` operands; remaining operand slots become leaves.  Shapes are
+    reproducible from ``seed`` (used by property-based tests)."""
+    if n_internal < 1:
+        raise GraphStructureError(f"n_internal must be >= 1, got {n_internal}")
+    if k < 1:
+        raise GraphStructureError(f"k must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    edges = []
+    # Grow by repeatedly expanding a random current leaf into an internal
+    # node with a random operand count.
+    arities: Dict[TreeNode, int] = {}
+    expandable: List[TreeNode] = [ROOT]
+    for _ in range(n_internal):
+        idx = int(rng.integers(len(expandable)))
+        node = expandable.pop(idx)
+        arity = int(rng.integers(1, k + 1)) if k > 1 else 1
+        arities[node] = arity
+        for i in range(arity):
+            child = node + (i,)
+            edges.append((child, node))
+            expandable.append(child)
+    return _finish(edges, weights, budget,
+                   f"RandomTree(n={n_internal},k={k},seed={seed})")
+
+
+def tree_depth(cdag: CDAG) -> int:
+    """Longest leaf-to-root path length (edges) of an in-tree CDAG."""
+    if not cdag.is_tree_toward_sink():
+        raise GraphStructureError(f"{cdag.name!r} is not an in-tree")
+    depth = {v: 0 for v in cdag.sources}
+    for v in cdag.topological_order():
+        preds = cdag.predecessors(v)
+        if preds:
+            depth[v] = 1 + max(depth[p] for p in preds)
+    (root,) = cdag.sinks
+    return depth[root]

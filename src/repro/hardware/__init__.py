@@ -1,0 +1,14 @@
+"""SRAM synthesis substrate: an AMC-like memory compiler over a calibrated
+TSMC65-like analytical process, with floorplans for the Fig. 8 layouts."""
+
+from .process import ProcessModel, TSMC65
+from .compiler import MemoryCompiler, MemoryMacro, Organization, round_up_pow2
+from .layout import Floorplan, Rect, floorplan, render_ascii, render_comparison
+from .nvm import MixedMemorySystem, NVMModel, SchedulePowerReport
+from .corners import CELL_HEAVY, CORNERS, LOW_LEAKAGE, PERIPHERY_HEAVY
+
+__all__ = ["ProcessModel", "TSMC65", "MemoryCompiler", "MemoryMacro",
+           "Organization", "round_up_pow2", "Floorplan", "Rect", "floorplan",
+           "render_ascii", "render_comparison", "MixedMemorySystem",
+           "NVMModel", "SchedulePowerReport", "CELL_HEAVY", "CORNERS",
+           "LOW_LEAKAGE", "PERIPHERY_HEAVY"]

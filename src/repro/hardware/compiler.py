@@ -1,0 +1,142 @@
+"""AMC-like memory compiler: capacity + word width -> synthesized macro.
+
+Mirrors the decisions a real SRAM compiler makes for each requested
+capacity (paper Sec. 5.3 synthesizes one macro per power-of-two capacity in
+Table 1):
+
+1. **Organization** — pick a column-mux factor ``M ∈ {1,2,4,...,max_mux}``
+   so the bitcell array is as square as possible (``cols = word_bits·M``,
+   ``rows = words / M``), then split into banks when rows exceed the
+   process's bank limit.
+2. **Cost extraction** — area, leakage, per-access read/write energy,
+   access time, and peak pipelined bandwidth from the
+   :class:`~repro.hardware.process.ProcessModel` coefficients.
+
+The output :class:`MemoryMacro` carries every reported metric of Fig. 7
+plus the floorplan consumed by :mod:`repro.hardware.layout` (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.exceptions import GraphStructureError
+from .process import ProcessModel, TSMC65
+
+
+def round_up_pow2(bits: int) -> int:
+    """Standard design practice: round a capacity up to a power of two
+    (Table 1's final column)."""
+    if bits <= 0:
+        raise GraphStructureError(f"capacity must be positive, got {bits}")
+    return 1 << (bits - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class Organization:
+    """Physical arrangement of a synthesized macro."""
+
+    capacity_bits: int
+    word_bits: int
+    words: int
+    mux: int  #: column multiplexing factor
+    rows: int  #: wordlines per bank
+    cols: int  #: physical bitlines (= word_bits * mux)
+    banks: int
+
+
+@dataclass(frozen=True)
+class MemoryMacro:
+    """A synthesized SRAM macro with all Fig. 7 metrics."""
+
+    org: Organization
+    process: ProcessModel
+    area: float  #: paper's λ²-scaled units (Fig. 7a)
+    leakage_mw: float  #: static power (Fig. 7b)
+    read_power_mw: float  #: dynamic read power at nominal rate (Fig. 7c)
+    write_power_mw: float  #: dynamic write power at nominal rate (Fig. 7d)
+    access_time_ns: float
+    read_bandwidth_gbps: float  #: peak pipelined read throughput (Fig. 7e)
+    write_bandwidth_gbps: float  #: peak pipelined write throughput (Fig. 7f)
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.org.capacity_bits
+
+
+class MemoryCompiler:
+    """Synthesize :class:`MemoryMacro` instances for requested capacities."""
+
+    def __init__(self, process: ProcessModel = TSMC65, word_bits: int = 16):
+        if word_bits < 1:
+            raise GraphStructureError(f"word_bits must be >= 1: {word_bits}")
+        self.process = process
+        self.word_bits = word_bits
+
+    # ------------------------------------------------------------------ #
+
+    def organize(self, capacity_bits: int) -> Organization:
+        """Pick mux and banking for a capacity (must be a multiple of the
+        word size)."""
+        if capacity_bits <= 0 or capacity_bits % self.word_bits:
+            raise GraphStructureError(
+                f"capacity {capacity_bits} not a positive multiple of the "
+                f"{self.word_bits}-bit word")
+        words = capacity_bits // self.word_bits
+        p = self.process
+        best: Optional[Tuple[float, int]] = None
+        mux = 1
+        while mux <= min(p.max_mux, words):
+            rows = words // mux
+            if rows * mux == words and rows >= 1:
+                cols = self.word_bits * mux
+                squareness = abs(math.log2(rows) - math.log2(cols))
+                if best is None or squareness < best[0]:
+                    best = (squareness, mux)
+            mux *= 2
+        if best is None:  # words not a power-of-two multiple of any mux
+            best = (0.0, 1)
+        mux = best[1]
+        total_rows = words // mux
+        banks = max(1, -(-total_rows // p.max_rows_per_bank))
+        rows = -(-total_rows // banks)
+        return Organization(capacity_bits=capacity_bits,
+                            word_bits=self.word_bits, words=words, mux=mux,
+                            rows=rows, cols=self.word_bits * mux, banks=banks)
+
+    def synthesize(self, capacity_bits: int) -> MemoryMacro:
+        """Full synthesis of one macro."""
+        org = self.organize(capacity_bits)
+        p = self.process
+        area = (org.banks * (org.rows * p.row_area + org.cols * p.col_area
+                             + p.control_area)
+                + org.capacity_bits * p.cell_area
+                + (org.banks - 1) * p.bank_routing_area)
+        leakage = (org.capacity_bits * p.cell_leak_mw
+                   + org.banks * p.periph_leak_mw)
+        read_energy = (p.read_energy_base_pj
+                       + org.rows * p.read_energy_row_pj
+                       + org.cols * p.read_energy_col_pj)
+        write_energy = read_energy * p.write_energy_scale
+        cycle = (p.base_cycle_ns
+                 + p.row_delay_ns_per_log2 * math.log2(max(org.rows, 2)))
+        word_bytes = self.word_bits / 8.0
+        bandwidth = word_bytes * p.pipeline_depth / cycle
+        return MemoryMacro(
+            org=org,
+            process=p,
+            area=area,
+            leakage_mw=leakage,
+            read_power_mw=read_energy * p.nominal_rate_gaccess,
+            write_power_mw=write_energy * p.nominal_rate_gaccess,
+            access_time_ns=cycle,
+            read_bandwidth_gbps=bandwidth,
+            write_bandwidth_gbps=bandwidth / p.write_energy_scale,
+        )
+
+    def synthesize_pow2(self, minimum_bits: int) -> MemoryMacro:
+        """Synthesize the macro for the smallest power-of-two capacity
+        covering ``minimum_bits`` (the Table 1 -> Fig. 7 flow)."""
+        return self.synthesize(round_up_pow2(minimum_bits))

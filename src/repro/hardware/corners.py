@@ -1,0 +1,61 @@
+"""Process corners for sensitivity analysis of the hardware substitution.
+
+DESIGN.md's biggest substitution is the analytical SRAM process standing
+in for TSMC 65 nm silicon.  The conclusions that matter (our schedules ⇒
+smaller macros ⇒ less area/leakage at equal bandwidth) should not hinge
+on the calibration constants, so this module defines corners that push
+the model hard in both directions:
+
+* ``PERIPHERY_HEAVY`` — decoder/sense/control costs ×2.5, cells cheaper:
+  the regime where small macros amortize worst (most pessimistic for the
+  paper's claims).
+* ``CELL_HEAVY`` — near-pure bitcell cost: the regime where savings track
+  capacity almost linearly (most optimistic).
+* ``LOW_LEAKAGE`` — an HVT-style process: leakage ÷8, slower cycles.
+
+`benchmarks/bench_sensitivity.py` re-runs the Fig. 7 comparison on every
+corner and asserts the winner never flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from .process import ProcessModel, TSMC65
+
+PERIPHERY_HEAVY = replace(
+    TSMC65,
+    name="periphery-heavy",
+    cell_area=1.5,
+    row_area=TSMC65.row_area * 2.5,
+    col_area=TSMC65.col_area * 2.5,
+    control_area=TSMC65.control_area * 2.5,
+    periph_leak_mw=TSMC65.periph_leak_mw * 2.5,
+)
+
+CELL_HEAVY = replace(
+    TSMC65,
+    name="cell-heavy",
+    cell_area=6.0,
+    row_area=TSMC65.row_area * 0.4,
+    col_area=TSMC65.col_area * 0.4,
+    control_area=TSMC65.control_area * 0.4,
+)
+
+LOW_LEAKAGE = replace(
+    TSMC65,
+    name="low-leakage-hvt",
+    cell_leak_mw=TSMC65.cell_leak_mw / 8,
+    periph_leak_mw=TSMC65.periph_leak_mw / 8,
+    base_cycle_ns=TSMC65.base_cycle_ns * 1.6,
+    row_delay_ns_per_log2=TSMC65.row_delay_ns_per_log2 * 1.6,
+)
+
+#: All corners, keyed by name (nominal first).
+CORNERS: Dict[str, ProcessModel] = {
+    TSMC65.name: TSMC65,
+    PERIPHERY_HEAVY.name: PERIPHERY_HEAVY,
+    CELL_HEAVY.name: CELL_HEAVY,
+    LOW_LEAKAGE.name: LOW_LEAKAGE,
+}

@@ -1,0 +1,141 @@
+"""Physical floorplans of synthesized macros (paper Fig. 8).
+
+Builds a rectangle-level layout for a :class:`~repro.hardware.compiler.
+MemoryMacro`: per bank, a bitcell array flanked by its row decoder, with
+sense amplifiers/write drivers below and a control block in the corner —
+the canonical SRAM macro floorplan AMC generates.  Dimensions derive from
+the same process coefficients as the area model, so summed rectangle area
+matches the macro's reported area.
+
+The ASCII renderer draws two layouts side by side at a common scale, which
+is how Fig. 8 makes the capacity gap visually obvious.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .compiler import MemoryMacro
+
+#: Aspect ratio of one 6T bitcell (width / height) in layout units.
+CELL_W = 2.0
+CELL_H = 1.5
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A named layout rectangle (origin bottom-left, layout units)."""
+
+    name: str
+    x: float
+    y: float
+    w: float
+    h: float
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A macro's rectangles plus its bounding box."""
+
+    macro: MemoryMacro
+    rects: Tuple[Rect, ...]
+
+    @property
+    def width(self) -> float:
+        return max(r.x + r.w for r in self.rects)
+
+    @property
+    def height(self) -> float:
+        return max(r.y + r.h for r in self.rects)
+
+    @property
+    def total_area(self) -> float:
+        return sum(r.area for r in self.rects)
+
+
+def floorplan(macro: MemoryMacro) -> Floorplan:
+    """Rectangle-level floorplan of one macro."""
+    org = macro.org
+    p = macro.process
+    cell_scale = math.sqrt(p.cell_area / (CELL_W * CELL_H))
+    cw, ch = CELL_W * cell_scale, CELL_H * cell_scale
+    array_w = org.cols * cw
+    array_h = org.rows * ch
+    dec_w = p.row_area * org.rows / max(array_h, 1e-9)
+    sa_h = p.col_area * org.cols / max(array_w, 1e-9)
+    ctrl_area = p.control_area
+    ctrl_w = dec_w
+    ctrl_h = ctrl_area / max(ctrl_w, 1e-9)
+
+    rects: List[Rect] = []
+    y_off = 0.0
+    bank_h = max(array_h + sa_h, ctrl_h)
+    route_h = (p.bank_routing_area / max(dec_w + array_w, 1e-9)
+               if org.banks > 1 else 0.0)
+    for b in range(org.banks):
+        tag = f"bank{b}" if org.banks > 1 else "core"
+        rects.append(Rect(f"{tag}/control", 0.0, y_off, ctrl_w, ctrl_h))
+        rects.append(Rect(f"{tag}/decoder", 0.0, y_off + ctrl_h,
+                          dec_w, array_h))
+        rects.append(Rect(f"{tag}/colio", dec_w, y_off, array_w, sa_h))
+        rects.append(Rect(f"{tag}/array", dec_w, y_off + sa_h,
+                          array_w, array_h))
+        y_off += bank_h
+        if b < org.banks - 1:
+            rects.append(Rect(f"route{b}", 0.0, y_off,
+                              dec_w + array_w, route_h))
+            y_off += route_h
+    return Floorplan(macro=macro, rects=tuple(rects))
+
+
+_FILL = {"array": "#", "decoder": "D", "colio": "S", "control": "C",
+         "route": "-"}
+
+
+def render_ascii(plan: Floorplan, max_width: int = 48) -> str:
+    """One floorplan as ASCII art (rows top-down)."""
+    scale = max_width / max(plan.width, 1e-9)
+    height = max(3, int(round(plan.height * scale * 0.5)))
+    width = max(6, int(round(plan.width * scale)))
+    grid = [[" "] * width for _ in range(height)]
+    for r in plan.rects:
+        kind = r.name.split("/")[-1]
+        kind = "route" if kind.startswith("route") or r.name.startswith("route") else kind
+        ch = _FILL.get(kind, "?")
+        x0 = int(r.x * scale)
+        x1 = max(x0 + 1, int(round((r.x + r.w) * scale)))
+        y0 = int(r.y * scale * 0.5)
+        y1 = max(y0 + 1, int(round((r.y + r.h) * scale * 0.5)))
+        for yy in range(min(y0, height - 1), min(y1, height)):
+            for xx in range(min(x0, width - 1), min(x1, width)):
+                grid[height - 1 - yy][xx] = ch
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    cap = plan.macro.capacity_bits
+    return (f"{border}\n{body}\n{border}\n"
+            f"{cap} bits  area={plan.macro.area:.0f}")
+
+
+def render_comparison(plan_a: Floorplan, plan_b: Floorplan,
+                      label_a: str, label_b: str,
+                      max_width: int = 80) -> str:
+    """Two floorplans side by side at a *common scale* (Fig. 8 style)."""
+    widest = max(plan_a.width, plan_b.width)
+    wa = max(8, int(round(plan_a.width / widest * (max_width // 2 - 4))))
+    wb = max(8, int(round(plan_b.width / widest * (max_width // 2 - 4))))
+    art_a = render_ascii(plan_a, wa).splitlines()
+    art_b = render_ascii(plan_b, wb).splitlines()
+    pad_a = max(len(line) for line in art_a)
+    rows = max(len(art_a), len(art_b))
+    art_a = [""] * (rows - len(art_a)) + art_a
+    art_b = [""] * (rows - len(art_b)) + art_b
+    lines = [f"{label_a:<{pad_a + 4}}{label_b}"]
+    for la, lb in zip(art_a, art_b):
+        lines.append(f"{la:<{pad_a + 4}}{lb}")
+    return "\n".join(lines)

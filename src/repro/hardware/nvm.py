@@ -1,0 +1,114 @@
+"""Non-volatile slow memory model — the other half of the mixed hierarchy.
+
+The paper's system setting (Sec. 1-2) is a *mixed-memory* design: a small,
+fast, leaky SRAM backed by a large, slow, power-efficient non-volatile
+memory (Flash-class).  The WRBPG's weighted I/O counts bits crossing that
+boundary; this module prices them, closing the loop from schedule cost to
+implant-level energy:
+
+* NVM reads are cheap-ish; writes are expensive and slow (program/erase).
+* NVM leakage is negligible (that is the point of the technology), so the
+  static story is carried entirely by the SRAM macro.
+
+:class:`MixedMemorySystem` combines a synthesized SRAM macro with an NVM
+model and prices a schedule: SRAM leakage over the schedule's duration +
+asymmetric NVM transfer energy + SRAM dynamic access energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cdag import CDAG
+from ..core.moves import MoveType
+from ..core.schedule import Schedule
+from .compiler import MemoryMacro
+
+
+@dataclass(frozen=True)
+class NVMModel:
+    """Flash-class non-volatile memory coefficients."""
+
+    name: str = "flash-like"
+    read_pj_per_bit: float = 2.0
+    write_pj_per_bit: float = 30.0  #: program energy dominates
+    read_ns_per_bit: float = 0.08
+    write_ns_per_bit: float = 1.2
+    standby_mw: float = 0.005  #: effectively negligible
+
+
+@dataclass(frozen=True)
+class SchedulePowerReport:
+    """Energy/latency breakdown of one schedule execution."""
+
+    sram_dynamic_pj: float
+    sram_leakage_pj: float
+    nvm_read_pj: float
+    nvm_write_pj: float
+    duration_ns: float
+
+    @property
+    def total_pj(self) -> float:
+        return (self.sram_dynamic_pj + self.sram_leakage_pj
+                + self.nvm_read_pj + self.nvm_write_pj)
+
+    @property
+    def average_power_mw(self) -> float:
+        return self.total_pj / max(self.duration_ns, 1e-9)
+
+
+class MixedMemorySystem:
+    """A synthesized SRAM macro backed by an NVM — prices schedules."""
+
+    def __init__(self, sram: MemoryMacro, nvm: NVMModel = NVMModel()):
+        self.sram = sram
+        self.nvm = nvm
+
+    def price(self, cdag: CDAG, schedule: Schedule,
+              duty_cycle: float = 1.0) -> SchedulePowerReport:
+        """Energy and latency of one execution of ``schedule``.
+
+        Every move takes one SRAM access (word-granular, scaled by the
+        node's weight in words); M1/M2 additionally move the node's bits
+        through the NVM at its asymmetric read/write costs.
+
+        ``duty_cycle`` is the fraction of wall-clock time spent computing
+        (BCIs process a window, then idle until the next one).  Leakage
+        accrues over the whole wall-clock period, so low duty cycles make
+        static power dominate — the paper's implant-safety argument for
+        shrinking the SRAM.
+        """
+        if not 0 < duty_cycle <= 1:
+            raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        word = self.sram.org.word_bits
+        read_bits = 0
+        write_bits = 0
+        sram_accesses = 0.0
+        for m in schedule:
+            w = cdag.weight(m.node)
+            words = max(1.0, w / word)
+            if m.kind == MoveType.LOAD:
+                read_bits += w
+                sram_accesses += words  # fill
+            elif m.kind == MoveType.STORE:
+                write_bits += w
+                sram_accesses += words  # drain
+            elif m.kind == MoveType.COMPUTE:
+                operands = sum(cdag.weight(p)
+                               for p in cdag.predecessors(m.node))
+                sram_accesses += max(1.0, (w + operands) / word)
+            # M4 is free: no data moves.
+        sram_dynamic = sram_accesses * self.sram.read_power_mw \
+            * self.sram.access_time_ns  # mW * ns = pJ per access-time unit
+        active = (sram_accesses * self.sram.access_time_ns
+                  + read_bits * self.nvm.read_ns_per_bit
+                  + write_bits * self.nvm.write_ns_per_bit)
+        wall = active / duty_cycle
+        leakage = self.sram.leakage_mw * wall  # mW * ns = pJ
+        return SchedulePowerReport(
+            sram_dynamic_pj=sram_dynamic,
+            sram_leakage_pj=leakage,
+            nvm_read_pj=read_bits * self.nvm.read_pj_per_bit,
+            nvm_write_pj=write_bits * self.nvm.write_pj_per_bit,
+            duration_ns=wall,
+        )

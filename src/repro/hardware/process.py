@@ -1,0 +1,67 @@
+"""Process constants for the SRAM synthesis substrate.
+
+The paper synthesizes SRAM macros with AMC (an asynchronous memory
+compiler) in TSMC 65 nm and reports area in λ² alongside leakage, dynamic
+read/write power, and peak bandwidth (Fig. 7).  We have no PDK, so this
+module defines a *calibrated analytical process*: structural cost
+coefficients chosen to land in the numeric range of the paper's figures
+(areas of 10⁴-10⁵ on its λ²-scaled axis, leakage up to ~25 mW, dynamic
+power up to ~40 mW, bandwidth in the tens of GB/s and nearly flat across
+sizes) while keeping the physically required shape — linear bitcell terms
+plus row/column periphery that dominates small macros, so per-bit cost
+falls as capacity grows.  Absolute values are model outputs, not silicon
+measurements; EXPERIMENTS.md reports paper-vs-measured per panel.
+
+Conventions:
+
+* dynamic read/write power is quoted at a nominal access rate of
+  1 Gaccess/s (so ``power_mW == energy_pJ`` numerically);
+* peak bandwidth assumes the compiler's pipelined interface
+  (``pipeline_depth`` accesses in flight), which is what keeps the paper's
+  throughput "nearly constant" across capacities (Sec. 5.3).
+
+All constants live on one frozen dataclass so alternative "processes"
+(e.g. ablations with heavier periphery) are one constructor call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessModel:
+    """Cost coefficients of the analytical memory process."""
+
+    name: str = "tsmc65-like"
+
+    # --- area (paper's λ²-axis units) ---------------------------------- #
+    cell_area: float = 3.0  #: per bitcell
+    row_area: float = 150.0  #: decoder + wordline driver, per row
+    col_area: float = 250.0  #: sense amp + write driver + mux, per column
+    control_area: float = 8000.0  #: per-bank control / timing
+    bank_routing_area: float = 2500.0  #: inter-bank routing, per extra bank
+
+    # --- static power (mW) --------------------------------------------- #
+    cell_leak_mw: float = 1.35e-3  #: per bitcell
+    periph_leak_mw: float = 0.9  #: per bank (decoder/sense/control)
+
+    # --- dynamic energy (pJ per access; == mW at the nominal rate) ------ #
+    read_energy_base_pj: float = 2.8  #: control + decode
+    read_energy_row_pj: float = 0.08  #: bitline charge, per row
+    read_energy_col_pj: float = 0.16  #: sense + mux, per column
+    write_energy_scale: float = 1.12  #: writes drive full swing
+    nominal_rate_gaccess: float = 1.0  #: rate at which power is quoted
+
+    # --- timing --------------------------------------------------------- #
+    base_cycle_ns: float = 0.38  #: small-array access time
+    row_delay_ns_per_log2: float = 0.014  #: decode/bitline growth per 2x rows
+    pipeline_depth: int = 10  #: concurrent in-flight accesses at peak
+
+    # --- organization --------------------------------------------------- #
+    max_rows_per_bank: int = 128
+    max_mux: int = 8
+
+
+#: Default process used by all experiments.
+TSMC65 = ProcessModel()

@@ -1,0 +1,26 @@
+"""Numerical kernels and their CDAG semantics: Haar/2-tap DWT, MVM,
+synthetic BCI signals, and node-level operation bindings for the executor."""
+
+from .haar import (HAAR, HAAR_UNNORMALIZED, SQRT2, Wavelet2, band_energies,
+                   haar_dwt, inverse_haar_dwt)
+from .matvec import LinearDecoder, banded_matvec, matvec
+from .opsem import (dwt_inputs, dwt_operation, mvm_inputs, mvm_operation,
+                    mvm_outputs_to_vector)
+from .signals import (DEFAULT_SAMPLE_BITS, DEFAULT_SAMPLE_RATE_HZ,
+                      SignalConfig, quantize, synthetic_array,
+                      synthetic_channel)
+from .fftref import (fft_operation, fft_inputs, fft_outputs_to_vector,
+                     reference_fft)
+from .convref import (conv_operation, conv_inputs, conv_outputs_to_vector,
+                      reference_fir)
+
+__all__ = [
+    "HAAR", "HAAR_UNNORMALIZED", "SQRT2", "Wavelet2", "band_energies",
+    "haar_dwt", "inverse_haar_dwt", "LinearDecoder", "banded_matvec",
+    "matvec", "dwt_inputs", "dwt_operation", "mvm_inputs", "mvm_operation",
+    "mvm_outputs_to_vector", "DEFAULT_SAMPLE_BITS", "DEFAULT_SAMPLE_RATE_HZ",
+    "SignalConfig", "quantize", "synthetic_array", "synthetic_channel",
+    "fft_operation", "fft_inputs", "fft_outputs_to_vector", "reference_fft",
+    "conv_operation", "conv_inputs", "conv_outputs_to_vector",
+    "reference_fir",
+]

@@ -1,0 +1,58 @@
+"""FIR filter semantics for the convolution CDAG, with NumPy ground truth."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.cdag import Node
+from ..graphs import conv as conv_mod
+
+
+def conv_operation():
+    """Operation function for convolution CDAGs: multiply at layer 2
+    (operands arrive as (sample, tap)), accumulate above."""
+
+    def op(node: Node, operands: Tuple) -> float:
+        a, b = operands
+        if node[0] == 2:
+            return a * b
+        return a + b
+
+    return op
+
+
+def conv_inputs(n: int, taps: int, signal: np.ndarray,
+                coefficients: np.ndarray) -> Dict[Node, float]:
+    """Bind a signal and filter coefficients to the sources."""
+    signal = np.asarray(signal, dtype=np.float64)
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if signal.shape != (n,):
+        raise ValueError(f"signal shape {signal.shape} != ({n},)")
+    if coefficients.shape != (taps,):
+        raise ValueError(
+            f"coefficients shape {coefficients.shape} != ({taps},)")
+    values: Dict[Node, float] = {}
+    for j in range(1, taps + 1):
+        values[conv_mod.tap_node(taps, j)] = float(coefficients[j - 1])
+    for c in range(1, n + 1):
+        values[conv_mod.sample_node(taps, c)] = float(signal[c - 1])
+    return values
+
+
+def conv_outputs_to_vector(n: int, taps: int,
+                           outputs: Dict[Node, float]) -> np.ndarray:
+    m = conv_mod.n_outputs(n, taps)
+    y = np.empty(m, dtype=np.float64)
+    for i in range(1, m + 1):
+        y[i - 1] = outputs[conv_mod.output_node(n, taps, i)]
+    return y
+
+
+def reference_fir(signal: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Valid-mode correlation ``y_i = Σ_j h_j x_{i+j}`` (NumPy ground
+    truth; note this is correlation, matching the CDAG's definition)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    return np.correlate(signal, coefficients, mode="valid")

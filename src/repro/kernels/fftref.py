@@ -1,0 +1,70 @@
+"""FFT semantics for the butterfly CDAG, with a NumPy ground truth.
+
+Node values are complex; weights on the graph model 2 memory words per
+node (a 16-bit real/imaginary pair) via the usual
+:class:`~repro.core.weights.WeightConfig` machinery — or unit weights for
+structural studies.
+
+The operation bound to node ``(s+1, i+1)`` of :func:`repro.graphs.fft.
+fft_graph` is the standard DIT butterfly:
+
+    low output:   u + w·t
+    high output:  u − w·t        with  w = exp(-2πi · j / 2^s),
+
+where ``u``/``t`` are the low/high-position operands and ``j`` is the
+node's offset within its size-``2^s`` block.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.cdag import CDAG, Node
+from ..graphs import fft as fft_mod
+
+
+def fft_operation(n: int):
+    """Operation function for an n-point FFT CDAG."""
+    fft_mod.validate_size(n)
+
+    def op(node: Node, operands: Tuple) -> complex:
+        layer, idx1 = node
+        s = layer - 1  # stage, 1-based
+        i = idx1 - 1  # 0-based position
+        m = 1 << s  # block size after this stage
+        j = i % m  # offset within the block
+        u, t = operands  # (low-position, high-position) parent order
+        half = m >> 1
+        if j < half:
+            w = cmath.exp(-2j * cmath.pi * j / m)
+            return u + w * t
+        w = cmath.exp(-2j * cmath.pi * (j - half) / m)
+        return u - w * t
+
+    return op
+
+
+def fft_inputs(n: int, signal: np.ndarray) -> Dict[Node, complex]:
+    """Bind a length-n signal to the sources (bit-reversed placement)."""
+    signal = np.asarray(signal, dtype=np.complex128)
+    if signal.shape != (n,):
+        raise ValueError(f"signal shape {signal.shape} != ({n},)")
+    perm = fft_mod.bit_reversal_permutation(n)
+    return {(1, k + 1): complex(signal[perm[k]]) for k in range(n)}
+
+
+def fft_outputs_to_vector(n: int, outputs: Dict[Node, complex]) -> np.ndarray:
+    """Collect the sink values into the DFT coefficient vector."""
+    layers = fft_mod.stages(n) + 1
+    out = np.empty(n, dtype=np.complex128)
+    for i in range(n):
+        out[i] = outputs[(layers, i + 1)]
+    return out
+
+
+def reference_fft(signal: np.ndarray) -> np.ndarray:
+    """NumPy ground truth."""
+    return np.fft.fft(np.asarray(signal, dtype=np.complex128))

@@ -1,0 +1,94 @@
+"""Reference Haar / 2-tap wavelet transforms (paper Sec. 3.1.1).
+
+The Haar transform maps a signal ``x`` to per-level averages
+``a_d[j] = (prev[2j] + prev[2j+1]) / √2`` and coefficients
+``c_d[j] = (prev[2j] − prev[2j+1]) / √2``, recursing on the averages.  The
+dataflow of Def. 3.1 generalizes to any size-2 wavelet (arbitrary low/high
+filter taps and normalization); :class:`Wavelet2` captures that family.
+
+These NumPy references are the semantic ground truth for the DWT CDAG: the
+machine executor runs pebbling schedules and must land on exactly these
+values (up to float round-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+SQRT2 = float(np.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class Wavelet2:
+    """A size-2 wavelet: ``avg = l0·s0 + l1·s1``, ``coef = h0·s0 + h1·s1``.
+
+    The Haar wavelet has ``l = (1/√2, 1/√2)`` and ``h = (1/√2, −1/√2)``;
+    the unnormalized variant divides by 2 instead.
+    """
+
+    l0: float = 1.0 / SQRT2
+    l1: float = 1.0 / SQRT2
+    h0: float = 1.0 / SQRT2
+    h1: float = -1.0 / SQRT2
+    name: str = "haar"
+
+    def average(self, s0, s1):
+        return self.l0 * s0 + self.l1 * s1
+
+    def coefficient(self, s0, s1):
+        return self.h0 * s0 + self.h1 * s1
+
+
+HAAR = Wavelet2()
+HAAR_UNNORMALIZED = Wavelet2(0.5, 0.5, 0.5, -0.5, name="haar-unnormalized")
+
+
+def haar_dwt(x: np.ndarray, levels: int,
+             wavelet: Wavelet2 = HAAR) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Multi-level 2-tap DWT.
+
+    Returns ``(averages, coefficients)``: lists indexed by level ``d-1``
+    with arrays of length ``len(x) / 2^d``.  ``len(x)`` must be a positive
+    multiple of ``2^levels``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    n = x.shape[0]
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if n < 1 or n % (1 << levels):
+        raise ValueError(
+            f"signal length {n} is not a multiple of 2^levels = {1 << levels}")
+    averages: List[np.ndarray] = []
+    coefficients: List[np.ndarray] = []
+    current = x
+    for _ in range(levels):
+        even, odd = current[0::2], current[1::2]
+        averages.append(wavelet.average(even, odd))
+        coefficients.append(wavelet.coefficient(even, odd))
+        current = averages[-1]
+    return averages, coefficients
+
+
+def inverse_haar_dwt(averages: List[np.ndarray],
+                     coefficients: List[np.ndarray]) -> np.ndarray:
+    """Invert :func:`haar_dwt` (orthonormal Haar only): reconstruct the
+    signal from the deepest averages plus all coefficient levels."""
+    current = np.asarray(averages[-1], dtype=np.float64)
+    for coef in reversed(coefficients):
+        coef = np.asarray(coef, dtype=np.float64)
+        out = np.empty(current.shape[0] * 2, dtype=np.float64)
+        out[0::2] = (current + coef) / SQRT2
+        out[1::2] = (current - coef) / SQRT2
+        current = out
+    return current
+
+
+def band_energies(coefficients: List[np.ndarray]) -> np.ndarray:
+    """Per-level energy of the detail coefficients — the feature seizure
+    detectors threshold on (Sec. 1's motivating BCI workloads)."""
+    return np.array([float(np.sum(np.square(c))) for c in coefficients])

@@ -1,0 +1,65 @@
+"""Reference matrix-vector multiplication and BCI-style linear decoders.
+
+``y = A·x`` is the core comparison/classification kernel of the paper's BCI
+workloads (Sec. 4.2): rows of ``A`` are per-electrode weight vectors (e.g. a
+trained linear movement decoder over a 96-electrode Utah array), ``x`` the
+current feature vector.  The NumPy reference here is the semantic ground
+truth for MVM CDAG execution, and :class:`LinearDecoder` is the small
+application layer the examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Plain dense reference ``A @ x`` with shape validation."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    vector = np.asarray(vector, dtype=np.float64)
+    if matrix.ndim != 2 or vector.ndim != 1 or matrix.shape[1] != vector.shape[0]:
+        raise ValueError(
+            f"incompatible shapes {matrix.shape} @ {vector.shape}")
+    return matrix @ vector
+
+
+def banded_matvec(matrix: np.ndarray, vector: np.ndarray,
+                  bandwidth: int) -> np.ndarray:
+    """Reference product for a banded matrix (entries outside
+    ``|r-c| <= bandwidth`` treated as zero) — the structured-sparse
+    extension's ground truth."""
+    matrix = np.asarray(matrix, dtype=np.float64).copy()
+    m, n = matrix.shape
+    rows = np.arange(m)[:, None]
+    cols = np.arange(n)[None, :]
+    matrix[np.abs(rows - cols) > bandwidth] = 0.0
+    return matvec(matrix, vector)
+
+
+@dataclass
+class LinearDecoder:
+    """A trained linear readout ``y = W·x + b`` with argmax classification —
+    the intended-movement decoder of the paper's BCI motivation."""
+
+    weights: np.ndarray  #: (classes, features)
+    bias: np.ndarray  #: (classes,)
+
+    @classmethod
+    def fit_least_squares(cls, features: np.ndarray,
+                          labels: np.ndarray) -> "LinearDecoder":
+        """One-shot ridge-free least-squares fit of one-hot targets."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        classes = int(labels.max()) + 1
+        onehot = np.eye(classes)[labels]
+        aug = np.hstack([features, np.ones((features.shape[0], 1))])
+        coef, *_ = np.linalg.lstsq(aug, onehot, rcond=None)
+        return cls(weights=coef[:-1].T.copy(), bias=coef[-1].copy())
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        return matvec(self.weights, np.asarray(x, dtype=np.float64)) + self.bias
+
+    def predict(self, x: np.ndarray) -> int:
+        return int(np.argmax(self.scores(x)))

@@ -1,0 +1,86 @@
+"""Operation semantics binding CDAG nodes to arithmetic.
+
+The machine executor needs, per non-source node, a function of the operand
+values; and, per source node, an input value.  This module builds both for
+the two paper kernels:
+
+* DWT graphs (Def. 3.1): odd-index nodes above layer 1 average their two
+  operands, even-index nodes take their difference (any
+  :class:`~repro.kernels.haar.Wavelet2`).
+* MVM graphs (Def. 4.1): layer-2 nodes multiply a vector element with a
+  matrix entry; higher layers accumulate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.cdag import CDAG, Node
+from ..graphs import dwt as dwt_mod
+from ..graphs import mvm as mvm_mod
+from .haar import HAAR, Wavelet2
+
+
+def dwt_operation(wavelet: Wavelet2 = HAAR):
+    """Operation function for DWT CDAGs.
+
+    Operands arrive in predecessor order, which Def. 3.1 fixes as
+    (lower index, higher index) — the (s0, s1) order of the wavelet taps.
+    """
+
+    def op(node: Node, operands: Tuple) -> float:
+        s0, s1 = operands
+        if dwt_mod.is_average(node):
+            return wavelet.average(s0, s1)
+        return wavelet.coefficient(s0, s1)
+
+    return op
+
+
+def dwt_inputs(cdag: CDAG, signal: np.ndarray) -> Dict[Node, float]:
+    """Input values for a DWT CDAG: sample ``j-1`` on node ``(1, j)``."""
+    signal = np.asarray(signal, dtype=np.float64)
+    sources = cdag.sources
+    if signal.shape[0] != len(sources):
+        raise ValueError(
+            f"signal length {signal.shape[0]} != {len(sources)} inputs")
+    return {(1, j): float(signal[j - 1]) for (_, j) in sources}
+
+
+def mvm_operation():
+    """Operation function for MVM CDAGs: multiply at layer 2, add above."""
+
+    def op(node: Node, operands: Tuple) -> float:
+        a, b = operands
+        if node[0] == 2:
+            return a * b
+        return a + b
+
+    return op
+
+
+def mvm_inputs(m: int, n: int, matrix: np.ndarray,
+               vector: np.ndarray) -> Dict[Node, float]:
+    """Input values for an ``MVM(m, n)`` CDAG from ``A`` (m×n) and ``x``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    vector = np.asarray(vector, dtype=np.float64)
+    if matrix.shape != (m, n):
+        raise ValueError(f"matrix shape {matrix.shape} != ({m}, {n})")
+    if vector.shape != (n,):
+        raise ValueError(f"vector shape {vector.shape} != ({n},)")
+    values: Dict[Node, float] = {}
+    for c in range(1, n + 1):
+        values[mvm_mod.vector_node(m, c)] = float(vector[c - 1])
+        for r in range(1, m + 1):
+            values[mvm_mod.matrix_node(m, r, c)] = float(matrix[r - 1, c - 1])
+    return values
+
+
+def mvm_outputs_to_vector(m: int, n: int, outputs: Dict[Node, float]) -> np.ndarray:
+    """Collect the executor's sink values back into ``y`` (length m)."""
+    y = np.empty(m, dtype=np.float64)
+    for r in range(1, m + 1):
+        y[r - 1] = outputs[mvm_mod.output_node(m, n, r)]
+    return y

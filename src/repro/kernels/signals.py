@@ -1,0 +1,77 @@
+"""Synthetic neural-signal substrate.
+
+The paper's workloads come from implanted electrode arrays (96-channel Utah
+arrays at 20-30 kHz, 16-bit samples).  We have no neural recordings, so this
+module synthesizes signals with the statistics the kernels care about:
+band-limited background activity, optional high-amplitude oscillatory bursts
+(seizure-like events a DWT-based detector should flag), and 16-bit
+quantization.  CDAG structure, schedules, and I/O counts are all
+data-independent, so the substitution only affects the example applications'
+payload values (recorded in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Sampling rate typical of intracortical BCIs (Sec. 5.1).
+DEFAULT_SAMPLE_RATE_HZ = 30_000
+#: ADC resolution of BCI sensor front-ends.
+DEFAULT_SAMPLE_BITS = 16
+
+
+@dataclass(frozen=True)
+class SignalConfig:
+    """Parameters of the synthetic recording."""
+
+    n_samples: int = 256
+    sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ
+    noise_rms: float = 0.05
+    background_hz: float = 12.0
+    burst_hz: float = 180.0  #: seizure-band oscillation frequency
+    burst_amplitude: float = 0.8
+    seed: int = 0
+
+
+def synthetic_channel(config: SignalConfig,
+                      burst: Optional[Tuple[int, int]] = None) -> np.ndarray:
+    """One channel of synthetic neural data in [-1, 1].
+
+    ``burst`` is an optional (start, stop) sample window carrying a
+    high-frequency, high-amplitude oscillation (the seizure-like event).
+    """
+    rng = np.random.default_rng(config.seed)
+    t = np.arange(config.n_samples) / config.sample_rate_hz
+    x = (0.3 * np.sin(2 * np.pi * config.background_hz * t)
+         + config.noise_rms * rng.standard_normal(config.n_samples))
+    if burst is not None:
+        lo = max(0, min(burst[0], config.n_samples))
+        hi = max(lo, min(burst[1], config.n_samples))
+        if hi > lo:
+            win = np.zeros(config.n_samples)
+            win[lo:hi] = np.hanning(hi - lo)
+            x = x + config.burst_amplitude * win * np.sin(
+                2 * np.pi * config.burst_hz * t)
+    return np.clip(x, -1.0, 1.0)
+
+
+def synthetic_array(n_channels: int, config: SignalConfig,
+                    burst_channels: Tuple[int, ...] = (),
+                    burst: Tuple[int, int] = (96, 192)) -> np.ndarray:
+    """A (channels × samples) recording; ``burst_channels`` carry events."""
+    rows = []
+    for ch in range(n_channels):
+        cfg = SignalConfig(**{**config.__dict__, "seed": config.seed + ch})
+        rows.append(synthetic_channel(
+            cfg, burst if ch in burst_channels else None))
+    return np.stack(rows)
+
+
+def quantize(x: np.ndarray, bits: int = DEFAULT_SAMPLE_BITS) -> np.ndarray:
+    """Quantize values in [-1, 1] to signed ``bits``-bit integers scaled
+    back to floats — models the fixed-point samples the weights count."""
+    scale = float(2 ** (bits - 1) - 1)
+    return np.round(np.clip(x, -1.0, 1.0) * scale) / scale

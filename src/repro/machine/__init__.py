@@ -1,0 +1,12 @@
+"""The two-level memory machine that WRBPG schedules drive: value-carrying
+fast/slow memories, a schedule executor, and an energy model."""
+
+from .memory import FastMemory, SlowMemory
+from .executor import ExecutionResult, ScheduleExecutor
+from .energy import EnergyModel
+from .trace import (AddressMap, TraceRecord, render_trace, trace,
+                    traffic_bytes)
+
+__all__ = ["FastMemory", "SlowMemory", "ExecutionResult", "ScheduleExecutor",
+           "EnergyModel", "AddressMap", "TraceRecord", "render_trace",
+           "trace", "traffic_bytes"]

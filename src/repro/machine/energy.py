@@ -1,0 +1,73 @@
+"""Energy and power accounting for executed schedules.
+
+BCIs live under a hard power ceiling (a few mW near brain tissue;
+Sec. 1 of the paper), so the quantity that ultimately matters is the energy
+of a schedule: data movement energy (per bit crossing the fast/slow
+boundary), compute energy (per operation), and static leakage integrated
+over the schedule's duration.  The constants default to 65 nm-class values
+consistent with :mod:`repro.hardware.process`; all are overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.moves import MoveType
+from ..core.schedule import Schedule
+from ..core.cdag import CDAG
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order energy model of the two-level memory system.
+
+    Attributes
+    ----------
+    pj_per_bit_transfer:
+        Energy to move one bit between fast and slow memory (dominated by
+        the slow memory access; NVM-class default).
+    pj_per_bit_fast_access:
+        Energy to read or write one bit of fast memory (SRAM-class).
+    pj_per_op:
+        Energy of one arithmetic operation (an M3 move).
+    leakage_mw_per_kbit:
+        Static power of fast memory per kbit of capacity.
+    cycle_ns:
+        Nominal cycle time charged per move (for leakage integration).
+    """
+
+    pj_per_bit_transfer: float = 10.0
+    pj_per_bit_fast_access: float = 0.2
+    pj_per_op: float = 0.5
+    leakage_mw_per_kbit: float = 1.5
+    cycle_ns: float = 10.0
+
+    def schedule_energy_pj(self, cdag: CDAG, schedule: Schedule,
+                           fast_capacity_bits: int) -> float:
+        """Total energy (pJ) of one execution of ``schedule``."""
+        transfer_bits = 0
+        fast_bits = 0
+        ops = 0
+        for move in schedule:
+            w = cdag.weight(move.node)
+            if move.kind.is_io:
+                transfer_bits += w
+                fast_bits += w
+            elif move.kind == MoveType.COMPUTE:
+                ops += 1
+                fast_bits += w + sum(
+                    cdag.weight(p) for p in cdag.predecessors(move.node))
+        dynamic = (transfer_bits * self.pj_per_bit_transfer
+                   + fast_bits * self.pj_per_bit_fast_access
+                   + ops * self.pj_per_op)
+        duration_ns = len(schedule) * self.cycle_ns
+        static = (self.leakage_mw_per_kbit * fast_capacity_bits / 1000.0
+                  ) * duration_ns  # mW * ns = pJ
+        return dynamic + static
+
+    def average_power_mw(self, cdag: CDAG, schedule: Schedule,
+                         fast_capacity_bits: int) -> float:
+        """Average power (mW) over the schedule's duration."""
+        energy = self.schedule_energy_pj(cdag, schedule, fast_capacity_bits)
+        duration_ns = max(len(schedule), 1) * self.cycle_ns
+        return energy / duration_ns  # pJ / ns = mW

@@ -1,0 +1,104 @@
+"""Two-level memory hierarchy the pebble game abstracts.
+
+``FastMemory`` is the capacity-constrained, high-power memory (red pebbles);
+``SlowMemory`` is the unbounded, power-efficient backing store (blue
+pebbles).  Both store actual values keyed by CDAG node, track traffic in
+bits, and enforce the weighted capacity constraint — executing a schedule
+against them (see :mod:`repro.machine.executor`) is the ground-truth check
+that a schedule computes the right thing within the claimed footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..core.exceptions import BudgetExceededError, RuleViolationError
+
+Node = Hashable
+
+
+class FastMemory:
+    """Bounded fast memory (SRAM): holds node values up to ``capacity_bits``
+    of total weighted occupancy."""
+
+    def __init__(self, capacity_bits: Optional[int]):
+        self.capacity_bits = capacity_bits
+        self._values: Dict[Node, object] = {}
+        self._bits: Dict[Node, int] = {}
+        self.occupancy_bits = 0
+        self.peak_occupancy_bits = 0
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def read(self, node: Node):
+        try:
+            return self._values[node]
+        except KeyError:
+            raise RuleViolationError(f"{node!r} not resident in fast memory")
+
+    def write(self, node: Node, value, bits: int) -> None:
+        if node in self._values:
+            raise RuleViolationError(f"{node!r} already resident")
+        if (self.capacity_bits is not None
+                and self.occupancy_bits + bits > self.capacity_bits):
+            raise BudgetExceededError(
+                f"fast memory overflow: {self.occupancy_bits}+{bits} > "
+                f"{self.capacity_bits}")
+        self._values[node] = value
+        self._bits[node] = bits
+        self.occupancy_bits += bits
+        if self.occupancy_bits > self.peak_occupancy_bits:
+            self.peak_occupancy_bits = self.occupancy_bits
+
+    def evict(self, node: Node) -> None:
+        if node not in self._values:
+            raise RuleViolationError(f"cannot evict absent node {node!r}")
+        del self._values[node]
+        self.occupancy_bits -= self._bits.pop(node)
+
+    def resident(self):
+        return set(self._values)
+
+
+class SlowMemory:
+    """Unbounded backing store (e.g. NVM): tracks read/write traffic."""
+
+    def __init__(self):
+        self._values: Dict[Node, object] = {}
+        self.bits_read = 0
+        self.bits_written = 0
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def preload(self, values: Dict[Node, object]) -> None:
+        """Install input values before execution (no traffic counted)."""
+        self._values.update(values)
+
+    def read(self, node: Node, bits: int):
+        try:
+            value = self._values[node]
+        except KeyError:
+            raise RuleViolationError(f"{node!r} not present in slow memory")
+        self.bits_read += bits
+        return value
+
+    def write(self, node: Node, value, bits: int) -> None:
+        self._values[node] = value
+        self.bits_written += bits
+
+    def value(self, node: Node):
+        return self._values[node]
+
+    @property
+    def traffic_bits(self) -> int:
+        """Total data moved across the fast/slow boundary — the physical
+        quantity the weighted schedule cost (Def. 2.2) models."""
+        return self.bits_read + self.bits_written

@@ -1,0 +1,141 @@
+"""Streaming pipelines: run one schedule over a long signal, window by
+window.
+
+BCIs process continuous data as consecutive analysis windows; the CDAG,
+schedule, and memory sizing are fixed at design time and only the values
+change.  :class:`WindowedRunner` packages that pattern: derive the
+schedule once (it is data-independent), then execute it per window on the
+memory machine, accumulating traffic statistics.  Two ready-made
+pipelines cover the paper's kernels:
+
+* :func:`scalogram` — per-window DWT band energies over time (the
+  seizure detector's feature map);
+* :func:`spectrogram` — per-window FFT magnitudes over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .core.cdag import CDAG, Node
+from .core.schedule import Schedule
+from .graphs import dwt_graph, fft_graph
+from .kernels import (band_energies, dwt_inputs, dwt_operation, fft_inputs,
+                      fft_operation, fft_outputs_to_vector)
+from .machine import ScheduleExecutor
+from .core.weights import WeightConfig, equal
+
+
+@dataclass
+class WindowedResult:
+    """Per-window outputs plus aggregate traffic."""
+
+    outputs: List[Dict[Node, object]]
+    windows: int
+    total_traffic_bits: int
+    peak_fast_bits: int
+
+
+class WindowedRunner:
+    """Executes a fixed schedule over consecutive signal windows.
+
+    Parameters
+    ----------
+    graph / schedule / budget:
+        The design-time artifacts (schedule derived once, reused).
+    operation:
+        Node semantics for the executor.
+    bind_inputs:
+        ``f(window_samples) -> {source: value}`` for one window.
+    """
+
+    def __init__(self, graph: CDAG, schedule: Schedule, budget: int,
+                 operation, bind_inputs: Callable[[np.ndarray], Dict]):
+        self.graph = graph
+        self.schedule = schedule
+        self.budget = budget
+        self._executor = ScheduleExecutor(graph, operation, budget)
+        self._bind = bind_inputs
+        self.window_samples = len(graph.sources)
+
+    def run(self, signal: np.ndarray,
+            hop: Optional[int] = None) -> WindowedResult:
+        """Slide a window across ``signal`` (default hop = window size,
+        i.e. non-overlapping) and execute the schedule per window."""
+        signal = np.asarray(signal, dtype=np.float64)
+        n = self.window_samples
+        hop = n if hop is None else hop
+        if hop < 1:
+            raise ValueError(f"hop must be >= 1, got {hop}")
+        if signal.shape[0] < n:
+            raise ValueError(
+                f"signal ({signal.shape[0]}) shorter than window ({n})")
+        outputs = []
+        traffic = 0
+        peak = 0
+        for start in range(0, signal.shape[0] - n + 1, hop):
+            window = signal[start:start + n]
+            run = self._executor.run(self.schedule, self._bind(window))
+            outputs.append(run.outputs)
+            traffic += run.traffic_bits
+            peak = max(peak, run.peak_fast_occupancy_bits)
+        return WindowedResult(outputs=outputs, windows=len(outputs),
+                              total_traffic_bits=traffic,
+                              peak_fast_bits=peak)
+
+
+def scalogram(signal: np.ndarray, window: int = 256, levels: int = 8,
+              budget: Optional[int] = None, hop: Optional[int] = None,
+              weights: Optional[WeightConfig] = None
+              ) -> Tuple[np.ndarray, WindowedResult]:
+    """Per-window DWT band energies: a (windows × levels) matrix.
+
+    Every window is transformed by the *optimal* DWT schedule at the given
+    budget (default: the minimum fast memory size of the optimal
+    scheduler, i.e. the Table 1 design point for window=256/levels=8).
+    """
+    from .analysis import scheduler_min_memory
+    from .schedulers import OptimalDWTScheduler
+    cfg = weights or equal()
+    graph = dwt_graph(window, levels, weights=cfg)
+    scheduler = OptimalDWTScheduler()
+    b = budget if budget is not None else scheduler_min_memory(scheduler,
+                                                               graph)
+    sched = scheduler.schedule(graph, b)
+    runner = WindowedRunner(graph, sched, b, dwt_operation(),
+                            lambda w: dwt_inputs(graph, w))
+    result = runner.run(signal, hop=hop)
+    mat = np.empty((result.windows, levels))
+    for wi, outs in enumerate(result.outputs):
+        coeffs = []
+        for level in range(1, levels + 1):
+            layer = level + 1
+            vals = [val for (i, j), val in outs.items()
+                    if i == layer and j % 2 == 0]
+            coeffs.append(np.asarray(vals))
+        mat[wi] = band_energies(coeffs)
+    return mat, result
+
+
+def spectrogram(signal: np.ndarray, window: int = 64,
+                budget: Optional[int] = None, hop: Optional[int] = None
+                ) -> Tuple[np.ndarray, WindowedResult]:
+    """Per-window FFT magnitude spectra: a (windows × window/2) matrix,
+    computed by Belady-scheduled butterflies on the memory machine."""
+    from .core.bounds import min_feasible_budget
+    from .schedulers import EvictionScheduler
+    graph = fft_graph(window, weights=equal())
+    b = budget if budget is not None else (min_feasible_budget(graph)
+                                           + 8 * 16)
+    sched = EvictionScheduler().schedule(graph, b)
+    runner = WindowedRunner(graph, sched, b, fft_operation(window),
+                            lambda w: fft_inputs(window, w))
+    result = runner.run(signal, hop=hop)
+    mat = np.empty((result.windows, window // 2))
+    for wi, outs in enumerate(result.outputs):
+        spectrum = fft_outputs_to_vector(window, outs)
+        mat[wi] = np.abs(spectrum[:window // 2])
+    return mat, result

@@ -1,0 +1,74 @@
+"""Automatic scheduler dispatch.
+
+``auto_schedule(cdag, budget)`` picks the strongest applicable strategy by
+inspecting the graph:
+
+1. DWT graphs (by name pattern + layer structure) → Algorithm 1.
+2. MVM graphs (by name pattern + structure) → the tiling scheduler.
+3. Rooted in-trees with small fan-in → the k-ary DP (optimal).
+4. Everything else → Belady eviction (layer order when the node naming is
+   layered, post-order otherwise).
+
+Returns both the schedule and the name of the strategy used, so callers
+can report provenance.  Dispatch is purely structural — a graph renamed
+``DWT(...)`` that is not actually a DWT falls through to the generic
+path rather than mis-scheduling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+from ..core.schedule import Schedule
+from .dwt_optimal import OptimalDWTScheduler
+from .heuristic import EvictionScheduler
+from .kary import OptimalTreeScheduler
+from .tiling import TilingMVMScheduler
+
+_DWT_NAME = re.compile(r"^DWT\((\d+),(\d+)\)$")
+_MVM_NAME = re.compile(r"^MVM\((\d+),(\d+)\)$")
+
+
+def _looks_like_dwt(cdag: CDAG) -> bool:
+    m = _DWT_NAME.match(cdag.name or "")
+    if not m:
+        return False
+    from ..graphs.dwt import matches_structure
+    return matches_structure(cdag, int(m.group(1)), int(m.group(2)))
+
+
+def _looks_like_mvm(cdag: CDAG) -> Optional[Tuple[int, int]]:
+    m = _MVM_NAME.match(cdag.name or "")
+    if not m:
+        return None
+    try:
+        TilingMVMScheduler.for_graph(cdag)
+    except GraphStructureError:
+        return None
+    return int(m.group(1)), int(m.group(2))
+
+
+def _is_layered(cdag: CDAG) -> bool:
+    return all(isinstance(v, tuple) and len(v) == 2 and isinstance(v[0], int)
+               for v in cdag)
+
+
+def auto_schedule(cdag: CDAG, budget: Optional[int] = None
+                  ) -> Tuple[Schedule, str]:
+    """Best-available schedule plus the name of the strategy that made it."""
+    if _looks_like_dwt(cdag):
+        s = OptimalDWTScheduler()
+        return s.schedule(cdag, budget), s.name
+    mvm = _looks_like_mvm(cdag)
+    if mvm is not None:
+        s = TilingMVMScheduler(*mvm)
+        return s.schedule(cdag, budget), s.name
+    if cdag.is_tree_toward_sink() and cdag.max_in_degree() <= 4:
+        s = OptimalTreeScheduler()
+        return s.schedule(cdag, budget), s.name
+    order = "topological" if _is_layered(cdag) else "postorder"
+    s = EvictionScheduler(policy="belady", order=order)
+    return s.schedule(cdag, budget), s.name

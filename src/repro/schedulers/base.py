@@ -1,0 +1,38 @@
+"""Scheduler interface shared by all WRBPG scheduling strategies."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..core.cdag import CDAG
+from ..core.schedule import Schedule
+
+
+class Scheduler(abc.ABC):
+    """A strategy producing valid WRBPG schedules for a family of CDAGs.
+
+    Subclasses implement :meth:`schedule`; they may refuse graphs outside
+    their family by raising :class:`~repro.core.exceptions.GraphStructureError`.
+    All returned schedules must replay cleanly through
+    :func:`repro.core.simulator.simulate` under the given budget.
+    """
+
+    #: Human-readable name used in reports and figures.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
+        """Produce a valid schedule for ``cdag`` under ``budget``
+        (default: the graph's own budget)."""
+
+    def cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
+        """Weighted I/O cost of this strategy on ``cdag``.
+
+        The default computes it from the generated schedule; subclasses with
+        closed-form costs may override for speed (tests cross-check both).
+        """
+        return self.schedule(cdag, budget).cost(cdag)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,175 @@
+"""Exhaustive optimal WRBPG solver (ground truth for small graphs).
+
+Optimal red-blue pebbling is PSPACE-complete in general [Demaine & Liu '18],
+so no polynomial algorithm exists for arbitrary CDAGs.  For *small* graphs,
+however, the game is a shortest-path problem over configurations: a state is
+the pair (red set, blue set), moves are edges weighted by their I/O cost
+(``w_v`` for M1/M2, zero for M3/M4), and the optimum is a Dijkstra run from
+the starting configuration to any configuration whose blue set covers the
+sinks.
+
+This module is the *oracle* the test suite uses to certify that the
+dataflow-specific DP schedulers (Alg. 1, Eq. 6, Eq. 8) are truly optimal on
+their graph families — the central claim of the paper.
+
+States are bitmask pairs for speed; tight budgets prune the reachable space
+drastically, so graphs up to ~20 nodes with small budgets are practical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bounds import require_feasible
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError
+from ..core.moves import M1, M2, M3, M4, Move
+from ..core.schedule import Schedule
+from .base import Scheduler
+
+#: Soft cap on graph size; beyond this the search space is hopeless.
+DEFAULT_MAX_NODES = 22
+
+
+class ExhaustiveScheduler(Scheduler):
+    """Provably optimal schedules via Dijkstra over game configurations.
+
+    Parameters
+    ----------
+    max_nodes:
+        Refuse graphs larger than this (protects callers from accidental
+        exponential blow-ups).
+    final_red:
+        Optional stopping-condition override: instead of blue pebbles on the
+        sinks, require red pebbles on these nodes (used to certify subtree
+        schedules whose stopping condition is "red on root", Lemma 3.3).
+    """
+
+    name = "Exhaustive Optimal"
+
+    def __init__(self, max_nodes: int = DEFAULT_MAX_NODES,
+                 final_red: Optional[tuple] = None,
+                 require_blue_sinks: bool = True):
+        self.max_nodes = max_nodes
+        self.final_red = final_red
+        self.require_blue_sinks = require_blue_sinks
+
+    # ------------------------------------------------------------------ #
+
+    def min_cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
+        """Optimal weighted I/O cost (no schedule reconstruction)."""
+        cost, _ = self._search(cdag, budget, want_schedule=False)
+        return cost
+
+    def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
+        _, schedule = self._search(cdag, budget, want_schedule=True)
+        assert schedule is not None
+        return schedule
+
+    def cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
+        return self.min_cost(cdag, budget)
+
+    # ------------------------------------------------------------------ #
+
+    def _search(self, cdag: CDAG, budget: Optional[int],
+                want_schedule: bool) -> Tuple[int, Optional[Schedule]]:
+        if len(cdag) > self.max_nodes:
+            raise GraphStructureError(
+                f"graph has {len(cdag)} nodes > exhaustive cap "
+                f"{self.max_nodes}; use a dataflow-specific scheduler")
+        b = require_feasible(cdag, budget)
+
+        nodes = list(cdag.topological_order())
+        index = {v: i for i, v in enumerate(nodes)}
+        n = len(nodes)
+        w = [cdag.weight(v) for v in nodes]
+        parents_mask = [0] * n
+        for v in nodes:
+            m = 0
+            for p in cdag.predecessors(v):
+                m |= 1 << index[p]
+            parents_mask[index[v]] = m
+        is_source = [not cdag.predecessors(v) for v in nodes]
+
+        source_mask = 0
+        for v in cdag.sources:
+            source_mask |= 1 << index[v]
+        goal_blue = 0
+        if self.require_blue_sinks:
+            for v in cdag.sinks:
+                goal_blue |= 1 << index[v]
+        goal_red = 0
+        if self.final_red:
+            for v in self.final_red:
+                goal_red |= 1 << index[v]
+
+        start = (0, source_mask)
+        dist: Dict[Tuple[int, int], int] = {start: 0}
+        prev: Dict[Tuple[int, int], Tuple[Tuple[int, int], Move]] = {}
+        heap: List[Tuple[int, int, int]] = [(0, 0, source_mask)]
+
+        def red_weight(mask: int) -> int:
+            total = 0
+            while mask:
+                low = mask & -mask
+                total += w[low.bit_length() - 1]
+                mask ^= low
+            return total
+
+        while heap:
+            d, red, blue = heapq.heappop(heap)
+            state = (red, blue)
+            if d > dist.get(state, float("inf")):
+                continue
+            if (blue & goal_blue) == goal_blue and (red & goal_red) == goal_red:
+                if not want_schedule:
+                    return d, None
+                return d, self._reconstruct(state, prev)
+            rw = red_weight(red)
+            # Enumerate successor moves.
+            for i in range(n):
+                bit = 1 << i
+                if (blue & bit) and not (red & bit):
+                    # M1: load i.
+                    if rw + w[i] <= b:
+                        self._relax((red | bit, blue), d + w[i], M1(nodes[i]),
+                                    state, dist, prev, heap)
+                if (red & bit) and not (blue & bit):
+                    # M2: store i.
+                    self._relax((red, blue | bit), d + w[i], M2(nodes[i]),
+                                state, dist, prev, heap)
+                if (not (red & bit) and not is_source[i]
+                        and (red & parents_mask[i]) == parents_mask[i]):
+                    # M3: compute i.
+                    if rw + w[i] <= b:
+                        self._relax((red | bit, blue), d, M3(nodes[i]),
+                                    state, dist, prev, heap)
+                if red & bit:
+                    # M4: delete i.
+                    self._relax((red ^ bit, blue), d, M4(nodes[i]),
+                                state, dist, prev, heap)
+        raise GraphStructureError(
+            f"no valid schedule found for {cdag.name!r} under budget {b}")
+
+    @staticmethod
+    def _relax(nxt, nd, move, state, dist, prev, heap):
+        if nd < dist.get(nxt, float("inf")):
+            dist[nxt] = nd
+            prev[nxt] = (state, move)
+            heapq.heappush(heap, (nd, nxt[0], nxt[1]))
+
+    @staticmethod
+    def _reconstruct(state, prev) -> Schedule:
+        moves: List[Move] = []
+        while state in prev:
+            state, move = prev[state]
+            moves.append(move)
+        moves.reverse()
+        return Schedule(moves)
+
+
+def optimal_cost(cdag: CDAG, budget: Optional[int] = None,
+                 max_nodes: int = DEFAULT_MAX_NODES) -> int:
+    """Convenience wrapper: optimal weighted I/O cost of a small graph."""
+    return ExhaustiveScheduler(max_nodes=max_nodes).min_cost(cdag, budget)

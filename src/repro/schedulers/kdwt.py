@@ -1,0 +1,137 @@
+"""Optimal scheduling for k-tap wavelet graphs — Algorithm 1 generalized.
+
+Combines the pruning argument of Lemma 3.2 (now splicing ``k-1``
+coefficient siblings per window) with the k-ary tree DP of Eq. (6).  For
+``k = 2`` this reproduces :class:`~repro.schedulers.dwt_optimal.
+OptimalDWTScheduler` exactly (cross-checked in tests), realizing the
+future-work direction the paper sketches at the end of Sec. 3.1.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Optional, Tuple
+
+from ..core.bounds import require_feasible
+from ..core.cdag import CDAG
+from ..core.exceptions import InfeasibleBudgetError
+from ..core.moves import M1, M2, M3, M4
+from ..core.schedule import Schedule
+from ..graphs import kdwt as kdwt_mod
+from .base import Scheduler
+
+_INF = math.inf
+
+
+class OptimalKDWTScheduler(Scheduler):
+    """Minimum-weight WRBPG schedules for ``KDWT(n, d, k)`` graphs."""
+
+    name = "Optimum (k-tap DWT)"
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise InfeasibleBudgetError(f"k must be >= 2, got {k}")
+        self.k = k
+
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
+        b = require_feasible(cdag, budget)
+        kdwt_mod.check_prunable_weights(cdag, self.k)
+        pruned = kdwt_mod.prune(cdag, self.k)
+        memo: Dict[Tuple, Tuple] = {}
+        moves = []
+        for root in sorted(pruned.sinks):
+            cost, tree_moves = self._pebble(cdag, pruned, root, b, memo)
+            if cost is _INF or tree_moves is None:
+                raise InfeasibleBudgetError(
+                    f"budget {b} infeasible for tree rooted at {root}")
+            moves.extend(tree_moves)
+            moves.append(M2(root))
+            moves.append(M4(root))
+        return Schedule(moves)
+
+    def cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
+        sched = self.schedule(cdag, budget)
+        return sched.cost(cdag)
+
+    # ------------------------------------------------------------------ #
+
+    def _pebble(self, original: CDAG, pruned: CDAG, v, b: int, memo):
+        """Eq. (6) DP with window-sibling splicing.
+
+        Invariant: moves start from blue leaves, stay within ``b`` of red
+        weight inside the subtree, compute + store + delete every pruned
+        coefficient sibling of each average along the way, and end with a
+        red pebble on ``v`` only.
+        """
+        key = (v, b)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        parents = pruned.predecessors(v)
+        if not parents:
+            result = (pruned.weight(v), (M1(v),))
+            memo[key] = result
+            return result
+
+        sibs = [u for u in kdwt_mod.siblings(v, self.k) if u in original]
+        w_parents = sum(pruned.weight(p) for p in parents)
+        heaviest = max([pruned.weight(v)]
+                       + [original.weight(u) for u in sibs])
+        if heaviest + w_parents > b:
+            result = (_INF, None)
+            memo[key] = result
+            return result
+
+        tail = []
+        tail_cost = 0
+        for u in sibs:
+            tail += [M3(u), M2(u), M4(u)]
+            tail_cost += original.weight(u)
+        tail.append(M3(v))
+        tail += [M4(p) for p in parents]
+        tail = tuple(tail)
+
+        best_cost: float = _INF
+        best_moves = None
+        for order in itertools.permutations(parents):
+            cost, moves = self._pebble_order(original, pruned, order, b, memo)
+            if cost < best_cost:
+                best_cost, best_moves = cost, moves
+        if best_moves is None:
+            result = (_INF, None)
+        else:
+            result = (best_cost + tail_cost, best_moves + tail)
+        memo[key] = result
+        return result
+
+    def _pebble_order(self, original, pruned, order, b: int, memo):
+        """Best hold/spill assignment for a fixed parent order (the δ
+        search of Eq. 6), ending with all parents red."""
+        k = len(order)
+
+        def go(i: int, residual: int):
+            p = order[i]
+            c, s = self._pebble(original, pruned, p, residual, memo)
+            if c is _INF:
+                return _INF, None
+            if i == k - 1:
+                return c, s
+            hc, hs = go(i + 1, residual - pruned.weight(p))
+            sc, ss = go(i + 1, residual)
+            spill_total = sc + 2 * pruned.weight(p) if sc is not _INF else _INF
+            if hc <= spill_total:
+                if hc is _INF:
+                    return _INF, None
+                return c + hc, s + hs
+            return (c + spill_total,
+                    s + (M2(p), M4(p)) + ss + (M1(p),))
+
+        return go(0, b)
+
+
+def pebble_kdwt(cdag: CDAG, k: int, budget: Optional[int] = None) -> Schedule:
+    """Module-level convenience for the k-tap generalization."""
+    return OptimalKDWTScheduler(k).schedule(cdag, budget)

@@ -1,0 +1,208 @@
+"""Pebbling with fast-memory states — Eq. (8) of the paper (Sec. 4.1).
+
+Extends the binary-tree DP with user-defined *initial* and *reuse* memory
+states, the mechanism behind dataflow-specific tiling:
+
+* An **initial state** ``I ⊆ V`` names nodes already resident in fast
+  memory before the subtree schedule starts (e.g. vector elements kept
+  across tiles).  They are assumed blue-backed and are not recomputed.
+* A **reuse state** ``R ⊆ V`` names nodes that must be resident in fast
+  memory after the root is computed (e.g. accumulators carried to the next
+  tile).  Once a reuse node is computed or brought in it stays resident.
+
+For any node ``u``, states are restricted to its subtree:
+``X_u = X ∩ (pred(u) ∪ {u})``.  The recursion ``P_m(v, b, I, R)`` (Eq. 8):
+
+* ``∞`` when ``Σ_{r ∈ R ∪ H(v) ∪ {v}} w_r > b``;
+* ``Σ_{r ∈ R \\ I} w_r`` when ``v ∈ I`` (only missing reuse nodes are
+  fetched);
+* ``w_v`` at a fresh leaf;
+* otherwise the four order/hold strategies of the DWT DP, with budgets
+  adjusted so the *first* parent's subtree pays for the second side's
+  initial residents, and the *second* parent's subtree pays for the first
+  side's reuse residents (plus the first parent itself when held).
+
+Schedules returned by :meth:`MemoryStateScheduler.schedule_subtree` start
+from ``initial_red = I_v`` and end with exactly ``{v} ∪ R_v`` red inside the
+subtree; they replay under the simulator's memory-state options.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..core.cdag import CDAG, Node
+from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
+from ..core.moves import M1, M2, M3, M4
+from ..core.schedule import Schedule
+
+_INF = math.inf
+
+
+class MemoryStateScheduler:
+    """Minimum-cost subtree pebbling under initial/reuse memory states.
+
+    Operates on binary in-trees (``k = 2``, the case the paper details);
+    arbitrary subsets of tree nodes may appear in ``I`` and ``R``.
+    """
+
+    name = "Memory-State DP"
+
+    def __init__(self, cdag: CDAG):
+        if not cdag.is_tree_toward_sink():
+            raise GraphStructureError(
+                f"{cdag.name!r} is not a rooted in-tree")
+        if cdag.max_in_degree() > 2:
+            raise GraphStructureError(
+                "memory-state DP implemented for binary trees (k=2)")
+        self.cdag = cdag
+        # pred-closure cache for state restriction.
+        self._closure: Dict[Node, FrozenSet[Node]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _restrict(self, state: FrozenSet[Node], v: Node) -> FrozenSet[Node]:
+        """``X_v = X ∩ (pred(v) ∪ {v})`` (paper Sec. 4.1)."""
+        closure = self._closure.get(v)
+        if closure is None:
+            closure = frozenset(self.cdag.ancestors(v)) | {v}
+            self._closure[v] = frozenset(closure)
+        return state & self._closure[v]
+
+    def min_cost(self, v: Node, budget: int, initial: FrozenSet[Node] = frozenset(),
+                 reuse: FrozenSet[Node] = frozenset()) -> float:
+        """``P_m(v, budget, I_v, R_v)`` — minimum weighted cost (Eq. 8)."""
+        memo: Dict[Tuple, float] = {}
+        return self._pm(v, budget, self._restrict(frozenset(initial), v),
+                        self._restrict(frozenset(reuse), v), memo)
+
+    def schedule_subtree(self, v: Node, budget: int,
+                         initial: FrozenSet[Node] = frozenset(),
+                         reuse: FrozenSet[Node] = frozenset()) -> Schedule:
+        """Moves realizing ``P_m``: starting with ``I_v`` red (and blue
+        backing for sources and ``R \\ I``), ending with ``{v} ∪ R_v`` red."""
+        memo: Dict[Tuple, Tuple] = {}
+        i0 = self._restrict(frozenset(initial), v)
+        r0 = self._restrict(frozenset(reuse), v)
+        cost, moves = self._pm_sched(v, budget, i0, r0, memo)
+        if cost is _INF or moves is None:
+            raise InfeasibleBudgetError(
+                f"budget {budget} infeasible for subtree at {v!r} with "
+                f"|I|={len(i0)}, |R|={len(r0)}")
+        return Schedule(moves)
+
+    # ------------------------------------------------------------------ #
+    # Cost-only recursion.
+
+    def _pm(self, v, b, I, R, memo) -> float:
+        key = (v, b, I, R)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        t = self.cdag
+        w = t.weight
+        parents = t.predecessors(v)
+        need = set(R) | set(parents) | {v}
+        if sum(w(x) for x in need) > b:
+            result: float = _INF
+        elif v in I:
+            result = sum(w(r) for r in R - I)
+        elif not parents:
+            result = w(v)
+        else:
+            p1, p2 = parents
+            result = min(
+                self._strategy_cost(p1, p2, v, b, I, R, hold_first=False, memo=memo),
+                self._strategy_cost(p1, p2, v, b, I, R, hold_first=True, memo=memo),
+                self._strategy_cost(p2, p1, v, b, I, R, hold_first=False, memo=memo),
+                self._strategy_cost(p2, p1, v, b, I, R, hold_first=True, memo=memo),
+            )
+        memo[key] = result
+        return result
+
+    def _strategy_cost(self, first, second, v, b, I, R, hold_first, memo) -> float:
+        t = self.cdag
+        w = t.weight
+        i_first, r_first = self._restrict(I, first), self._restrict(R, first)
+        i_second, r_second = self._restrict(I, second), self._restrict(R, second)
+        # While pebbling `first`, the second side's initial residents occupy
+        # fast memory.
+        b_first = b - sum(w(x) for x in i_second)
+        c1 = self._pm(first, b_first, i_first, r_first, memo)
+        if c1 is _INF:
+            return _INF
+        # While pebbling `second`, the first side's reuse residents (plus
+        # `first` itself when held) occupy fast memory.
+        held = set(r_first) | ({first} if hold_first else set())
+        b_second = b - sum(w(x) for x in held)
+        c2 = self._pm(second, b_second, i_second, r_second, memo)
+        if c2 is _INF:
+            return _INF
+        return c1 + c2 + (0 if hold_first else 2 * w(first))
+
+    # ------------------------------------------------------------------ #
+    # Schedule-producing recursion.  Postcondition: red (within subtree(v))
+    # is exactly {v} ∪ R_v; initial residents not in the reuse state are
+    # released.
+
+    def _pm_sched(self, v, b, I, R, memo):
+        key = (v, b, I, R)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        t = self.cdag
+        w = t.weight
+        parents = t.predecessors(v)
+        need = set(R) | set(parents) | {v}
+        if sum(w(x) for x in need) > b:
+            result = (_INF, None)
+        elif v in I:
+            fetch = tuple(M1(r) for r in sorted(R - I, key=repr))
+            release = tuple(M4(x) for x in sorted(I - R - {v}, key=repr))
+            result = (sum(w(r) for r in R - I), fetch + release)
+        elif not parents:
+            result = (w(v), (M1(v),))
+        else:
+            best: Tuple = (_INF, None)
+            p1, p2 = parents
+            for first, second in ((p1, p2), (p2, p1)):
+                for hold_first in (True, False):
+                    cand = self._strategy_sched(first, second, v, b, I, R,
+                                                hold_first, memo)
+                    if cand[0] < best[0]:
+                        best = cand
+            result = best
+        memo[key] = result
+        return result
+
+    def _strategy_sched(self, first, second, v, b, I, R, hold_first, memo):
+        t = self.cdag
+        w = t.weight
+        i_first, r_first = self._restrict(I, first), self._restrict(R, first)
+        i_second, r_second = self._restrict(I, second), self._restrict(R, second)
+        b_first = b - sum(w(x) for x in i_second)
+        c1, s1 = self._pm_sched(first, b_first, i_first, r_first, memo)
+        if c1 is _INF:
+            return (_INF, None)
+        held = set(r_first) | ({first} if hold_first else set())
+        b_second = b - sum(w(x) for x in held)
+        c2, s2 = self._pm_sched(second, b_second, i_second, r_second, memo)
+        if c2 is _INF:
+            return (_INF, None)
+        mid: tuple
+        reload: tuple
+        extra = 0
+        if hold_first:
+            mid, reload = (), ()
+        else:
+            # Park `first` blue and bring it back once `second` is done.
+            mid = (M2(first), M4(first))
+            reload = (M1(first),)
+            extra = 2 * w(first)
+        tail = (M3(v),)
+        # Release parents that are not part of the reuse state.
+        for p in (first, second):
+            if p not in R:
+                tail = tail + (M4(p),)
+        return (c1 + c2 + extra, s1 + mid + s2 + reload + tail)

@@ -1,0 +1,140 @@
+"""Parallel partition schedulers for the multiprocessor game.
+
+Two partitioning strategies cover the paper's workloads:
+
+* :class:`ParallelComponentScheduler` — the modular-composition story at
+  scale: weakly connected components (DWT's independent subtrees, banded
+  rows, ...) are scheduled individually by a base scheduler and packed
+  onto processors with the LPT (longest-processing-time-first) heuristic.
+  Communication-free: total I/O equals the sequential total, makespan
+  drops toward ``1/P``.
+* :class:`ParallelMVMScheduler` — row-sliced MVM: each processor owns a
+  contiguous block of output rows and streams the whole vector itself.
+  This trades communication for time: total I/O grows by
+  ``(P−1)·n·w_in`` vector re-reads (every processor pulls its own copy
+  of ``x`` through its private fast memory) while the makespan drops by
+  ``~P`` — the time/communication trade-off of multiprocessor red-blue
+  pebbling, measurable with :func:`repro.core.parallel.simulate_parallel`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.bounds import require_feasible
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
+from ..core.moves import M1, M2, M3, M4, Move
+from ..core.parallel import ParallelSchedule
+from ..core.schedule import Schedule
+from ..graphs import mvm as mvm_mod
+from .base import Scheduler
+from .tiling import TilingMVMScheduler
+
+
+class ParallelComponentScheduler:
+    """LPT-pack per-component schedules onto ``n_processors``."""
+
+    def __init__(self, base: Scheduler, n_processors: int):
+        if n_processors < 1:
+            raise GraphStructureError(
+                f"need >= 1 processor, got {n_processors}")
+        self.base = base
+        self.n_processors = n_processors
+
+    def schedule(self, cdag: CDAG,
+                 budget: Optional[int] = None) -> ParallelSchedule:
+        b = require_feasible(cdag, budget)
+        components = cdag.weakly_connected_components()
+        pieces: List[Schedule] = []
+        for comp in components:
+            sub = cdag.subgraph(comp, budget=b)
+            pieces.append(self.base.schedule(sub, b))
+        # LPT: longest component schedules first, each onto the currently
+        # least-loaded processor.
+        pieces.sort(key=len, reverse=True)
+        loads = [0] * self.n_processors
+        buckets: List[List[Move]] = [[] for _ in range(self.n_processors)]
+        for piece in pieces:
+            p = loads.index(min(loads))
+            buckets[p].extend(piece)
+            loads[p] += len(piece)
+        return ParallelSchedule(tuple(Schedule(ms) for ms in buckets))
+
+
+class ParallelMVMScheduler:
+    """Row-sliced parallel MVM: contiguous output blocks per processor."""
+
+    def __init__(self, m: int, n: int, n_processors: int):
+        mvm_mod.validate_params(m, n)
+        if n_processors < 1 or n_processors > m:
+            raise GraphStructureError(
+                f"need 1 <= processors <= m={m}, got {n_processors}")
+        self.m = m
+        self.n = n
+        self.n_processors = n_processors
+
+    def row_blocks(self) -> List[range]:
+        """Contiguous, balanced row ranges (1-based)."""
+        base = self.m // self.n_processors
+        extra = self.m % self.n_processors
+        blocks = []
+        start = 1
+        for p in range(self.n_processors):
+            size = base + (1 if p < extra else 0)
+            blocks.append(range(start, start + size))
+            start += size
+        return blocks
+
+    def _emit_rows(self, rows: range, cdag: CDAG, budget: int) -> Schedule:
+        """Height-major moves for one processor's row block, using the
+        original graph's node names (the block is scheduled like an
+        MVM(len(rows), n) with all accumulators resident when they fit,
+        shrinking the tile height otherwise)."""
+        m, n = self.m, self.n
+        w_in = cdag.weight(mvm_mod.vector_node(m, 1))
+        w_acc = cdag.weight(mvm_mod.output_node(m, n, rows[0]))
+        transient = (max(w_in + w_acc, 2 * w_acc) if n > 1 else w_in)
+        h = (budget - w_in - transient) // w_acc
+        h = max(1, min(len(rows), h))
+        if h < 1 or h * w_acc + w_in + transient > budget:
+            raise InfeasibleBudgetError(
+                f"private budget {budget} below the row-block footprint")
+        moves: List[Move] = []
+        x = lambda c: mvm_mod.vector_node(m, c)
+        a = lambda r, c: mvm_mod.matrix_node(m, r, c)
+        prod = lambda r, c: mvm_mod.product_node(m, r, c)
+        acc = lambda r, c: mvm_mod.accumulator_node(m, r, c)
+        for start in range(rows[0], rows[-1] + 1, h):
+            tile = range(start, min(start + h - 1, rows[-1]) + 1)
+            for c in range(1, n + 1):
+                moves.append(M1(x(c)))
+                for r in tile:
+                    moves.append(M1(a(r, c)))
+                    moves.append(M3(prod(r, c)))
+                    moves.append(M4(a(r, c)))
+                    if c > 1:
+                        moves.append(M3(acc(r, c)))
+                        moves.append(M4(acc(r, c - 1)))
+                        moves.append(M4(prod(r, c)))
+                moves.append(M4(x(c)))
+            for r in tile:
+                out = mvm_mod.output_node(m, n, r)
+                moves.append(M2(out))
+                moves.append(M4(out))
+        return Schedule(moves)
+
+    def schedule(self, cdag: CDAG,
+                 budget: Optional[int] = None) -> ParallelSchedule:
+        b = require_feasible(cdag, budget)
+        return ParallelSchedule(tuple(
+            self._emit_rows(block, cdag, b) for block in self.row_blocks()))
+
+    def communication_overhead(self, cdag: CDAG) -> int:
+        """Extra I/O versus the algorithmic lower bound when every
+        processor's row block fits its private memory in one tile: each
+        processor beyond the first re-reads the whole vector once,
+        ``(P−1)·n·w_in`` (exact in that regime — asserted in tests; more
+        when private tiles are shorter than the block)."""
+        w_in = cdag.weight(mvm_mod.vector_node(self.m, 1))
+        return (self.n_processors - 1) * self.n * w_in

@@ -1,0 +1,198 @@
+"""Rematerialization-aware scheduling: recompute instead of spilling.
+
+The game allows an evicted value to be *recomputed* (another M3) rather
+than written back and reloaded — the trade at the heart of the
+rematerialization literature the paper cites (Kumar et al. '19 for deep
+networks; reversible pebbling more broadly).  Spilling costs ``2·w_v`` of
+I/O; recomputation costs the I/O of re-deriving the value from whatever is
+then resident (possibly zero when its parents happen to be red).
+
+:class:`RecomputeScheduler` extends the eviction-heuristic approach with a
+*drop-don't-spill* choice: under pressure, a victim whose estimated
+recomputation I/O is cheaper than ``2·w_v`` is simply deleted; when (and
+if) the value is needed again it is re-derived on the fly.  Dropping is
+restricted to *depth-1* values (operands all sources) with a feasibility
+reserve, so a dropped value can always be re-derived later no matter what
+is pinned — deeper rematerialization would require whole-cone liveness
+reasoning and can deadlock tight budgets.  On DAGs with cheap ancestry
+this strictly beats pure spilling; elsewhere it degrades to spilling.
+Tests compare the regimes (``spill_bias=0`` never recomputes) and the
+simulator keeps everything honest (recomputations are legal, non-strict
+moves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.bounds import require_feasible
+from ..core.cdag import CDAG, Node
+from ..core.exceptions import InfeasibleBudgetError
+from ..core.moves import M1, M2, M3, M4, Move
+from ..core.schedule import Schedule
+from .base import Scheduler
+
+
+class RecomputeScheduler(Scheduler):
+    """Belady-style eviction with optional drop-and-recompute.
+
+    Parameters
+    ----------
+    spill_bias:
+        Multiplier on the estimated recomputation cost when comparing
+        against the ``2·w_v`` spill round-trip.  ``0`` never recomputes
+        (pure spilling); ``1`` recomputes whenever the static estimate is
+        cheaper; values above 1 are increasingly conservative.
+    """
+
+    name = "Recompute"
+
+    def __init__(self, spill_bias: float = 1.0):
+        if spill_bias < 0:
+            raise ValueError(f"spill_bias must be >= 0, got {spill_bias}")
+        self.spill_bias = spill_bias
+
+    # ------------------------------------------------------------------ #
+
+    def _recompute_estimate(self, cdag: CDAG) -> Dict[Node, int]:
+        """Static I/O estimate of re-deriving each node assuming nothing
+        but blue inputs: sum of input weights in its ancestry cone (an
+        upper bound that is exact when nothing is resident)."""
+        est: Dict[Node, int] = {}
+        for v in cdag.topological_order():
+            parents = cdag.predecessors(v)
+            if not parents:
+                est[v] = cdag.weight(v)
+            else:
+                est[v] = sum(est[p] for p in parents)
+        return est
+
+    def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
+        b = require_feasible(cdag, budget)
+        est = self._recompute_estimate(cdag)
+        order = [v for v in cdag.topological_order() if cdag.predecessors(v)]
+
+        uses: Dict[Node, List[int]] = {v: [] for v in cdag}
+        for t, v in enumerate(order):
+            for p in cdag.predecessors(v):
+                uses[p].append(t)
+
+        moves: List[Move] = []
+        red: Dict[Node, int] = {}
+        blue: Set[Node] = set(cdag.sources)
+        remaining: Dict[Node, int] = {v: cdag.out_degree(v) for v in cdag}
+        red_weight = 0
+        sinks = set(cdag.sinks)
+
+        def next_use(v: Node, now: int) -> int:
+            for t in uses[v]:
+                if t > now:
+                    return t
+            return 1 << 30
+
+        # Rematerialization is restricted to depth 1 (victims whose
+        # operands are all sources) with a feasibility reserve, so a drop
+        # can never paint the schedule into an unrecoverable corner: the
+        # later re-derivation pins at most the victim's own compute
+        # footprint on top of any compute in flight.
+        from ..core.bounds import min_feasible_budget as _mfb
+        reserve = _mfb(cdag)
+
+        def can_drop(victim: Node) -> bool:
+            parents = cdag.predecessors(victim)
+            if not parents:
+                return False
+            if any(cdag.predecessors(p) for p in parents):
+                return False
+            refootprint = (cdag.weight(victim)
+                           + sum(cdag.weight(p) for p in parents))
+            return refootprint + reserve <= b
+
+        def add_red(v: Node) -> None:
+            nonlocal red_weight
+            red[v] = 0
+            red_weight += cdag.weight(v)
+
+        def del_red(v: Node) -> None:
+            nonlocal red_weight
+            del red[v]
+            red_weight -= cdag.weight(v)
+
+        def release(v: Node) -> None:
+            if v in sinks and v not in blue:
+                moves.append(M2(v))
+                blue.add(v)
+            moves.append(M4(v))
+            del_red(v)
+
+        def make_room(extra: int, now: int, pinned: Set[Node]) -> None:
+            # Free dead/blue values first.
+            for v in list(red):
+                if red_weight + extra <= b:
+                    return
+                if v in pinned:
+                    continue
+                if remaining[v] == 0 or v in blue:
+                    release(v)
+            while red_weight + extra > b:
+                candidates = [v for v in red if v not in pinned]
+                if not candidates:
+                    raise InfeasibleBudgetError(
+                        f"budget {b} too small at step {now}")
+                victim = max(candidates, key=lambda v: next_use(v, now))
+                # Recompute when its (upper-bound) I/O estimate is no
+                # costlier than the 2w spill round-trip: on a tie the drop
+                # still wins energy-wise (it avoids an NVM write).
+                if (self.spill_bias > 0
+                        and self.spill_bias * est[victim]
+                        <= 2 * cdag.weight(victim)
+                        and can_drop(victim)):
+                    moves.append(M4(victim))  # drop; recompute on demand
+                    del_red(victim)
+                else:
+                    if victim not in blue:
+                        moves.append(M2(victim))
+                        blue.add(victim)
+                    moves.append(M4(victim))
+                    del_red(victim)
+
+        def materialize(v: Node, now: int, pinned: Set[Node]) -> None:
+            """Ensure ``v`` is red: load it, or recursively re-derive it."""
+            if v in red:
+                return
+            if v in blue:
+                make_room(cdag.weight(v), now, pinned)
+                moves.append(M1(v))
+                add_red(v)
+                return
+            # Re-derive: make parents resident, then recompute.
+            parents = cdag.predecessors(v)
+            inner_pinned = pinned | set(parents) | {v}
+            for p in parents:
+                materialize(p, now, inner_pinned)
+            make_room(cdag.weight(v), now, inner_pinned)
+            moves.append(M3(v))
+            add_red(v)
+            # Recomputation does not consume uses; drop helper parents that
+            # are no longer needed and were only pulled in for this.
+            for p in parents:
+                if p in red and p not in pinned and remaining[p] == 0:
+                    release(p)
+
+        for t, v in enumerate(order):
+            parents = cdag.predecessors(v)
+            pinned = set(parents) | {v}
+            for p in parents:
+                materialize(p, t, pinned)
+            make_room(cdag.weight(v), t, pinned)
+            moves.append(M3(v))
+            add_red(v)
+            for p in parents:
+                remaining[p] -= 1
+                if remaining[p] == 0 and p in red:
+                    release(p)
+            if v in sinks:
+                release(v)
+        for v in list(red):
+            release(v)
+        return Schedule(moves)

@@ -1,0 +1,108 @@
+"""JSON serialization for CDAGs and schedules.
+
+Schedules are design artifacts — once derived, a hardware team wants them
+in a file, diffable and replayable.  The format is deliberately dumb JSON:
+
+.. code-block:: json
+
+    {"format": "wrbpg-cdag", "version": 1, "name": "DWT(8,3)",
+     "budget": 160,
+     "nodes": [{"id": [1, 1], "weight": 16}, ...],
+     "edges": [[[1, 1], [2, 1]], ...]}
+
+    {"format": "wrbpg-schedule", "version": 1, "graph": "DWT(8,3)",
+     "moves": [[1, [1, 1]], [3, [2, 1]], ...]}
+
+Node ids survive round-trips for the tuple/str/int names this library
+uses (tuples are stored as JSON arrays and restored as tuples).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.cdag import CDAG
+from .core.exceptions import InvalidScheduleError
+from .core.moves import Move, MoveType
+from .core.schedule import Schedule
+
+CDAG_FORMAT = "wrbpg-cdag"
+SCHEDULE_FORMAT = "wrbpg-schedule"
+VERSION = 1
+
+
+def _encode_node(node) -> Any:
+    if isinstance(node, tuple):
+        return list(_encode_node(x) for x in node)
+    return node
+
+
+def _decode_node(obj) -> Any:
+    if isinstance(obj, list):
+        return tuple(_decode_node(x) for x in obj)
+    return obj
+
+
+def cdag_to_dict(cdag: CDAG) -> dict:
+    return {
+        "format": CDAG_FORMAT,
+        "version": VERSION,
+        "name": cdag.name,
+        "budget": cdag.budget,
+        "nodes": [{"id": _encode_node(v), "weight": cdag.weight(v)}
+                  for v in cdag.topological_order()],
+        "edges": [[_encode_node(p), _encode_node(v)]
+                  for v in cdag.topological_order()
+                  for p in cdag.predecessors(v)],
+    }
+
+
+def cdag_from_dict(data: dict) -> CDAG:
+    if data.get("format") != CDAG_FORMAT:
+        raise InvalidScheduleError(
+            f"not a {CDAG_FORMAT} document: {data.get('format')!r}")
+    if data.get("version") != VERSION:
+        raise InvalidScheduleError(
+            f"unsupported version {data.get('version')!r}")
+    weights = {_decode_node(n["id"]): n["weight"] for n in data["nodes"]}
+    edges = [(_decode_node(p), _decode_node(v)) for p, v in data["edges"]]
+    return CDAG(edges, weights, budget=data.get("budget"),
+                nodes=weights.keys(), name=data.get("name", "cdag"))
+
+
+def schedule_to_dict(schedule: Schedule, graph_name: str = "") -> dict:
+    return {
+        "format": SCHEDULE_FORMAT,
+        "version": VERSION,
+        "graph": graph_name,
+        "moves": [[int(m.kind), _encode_node(m.node)] for m in schedule],
+    }
+
+
+def schedule_from_dict(data: dict) -> Schedule:
+    if data.get("format") != SCHEDULE_FORMAT:
+        raise InvalidScheduleError(
+            f"not a {SCHEDULE_FORMAT} document: {data.get('format')!r}")
+    if data.get("version") != VERSION:
+        raise InvalidScheduleError(
+            f"unsupported version {data.get('version')!r}")
+    return Schedule(Move(MoveType(kind), _decode_node(node))
+                    for kind, node in data["moves"])
+
+
+def dumps_cdag(cdag: CDAG, **json_kwargs) -> str:
+    return json.dumps(cdag_to_dict(cdag), **json_kwargs)
+
+
+def loads_cdag(text: str) -> CDAG:
+    return cdag_from_dict(json.loads(text))
+
+
+def dumps_schedule(schedule: Schedule, graph_name: str = "",
+                   **json_kwargs) -> str:
+    return json.dumps(schedule_to_dict(schedule, graph_name), **json_kwargs)
+
+
+def loads_schedule(text: str) -> Schedule:
+    return schedule_from_dict(json.loads(text))

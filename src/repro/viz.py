@@ -1,0 +1,101 @@
+"""Text visualization: schedule memory timelines and graph exports.
+
+Everything here is plain text (the library runs in headless environments):
+
+* :func:`occupancy_timeline` — an ASCII strip chart of red-pebble
+  occupancy over a schedule, with the budget line marked; the quickest way
+  to *see* why one schedule needs less fast memory than another.
+* :func:`schedule_summary` — a one-paragraph accounting of a schedule.
+* :func:`to_dot` — Graphviz DOT export of a CDAG (sources/sinks/compute
+  nodes styled, weights as labels) for external rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core.cdag import CDAG
+from .core.moves import MoveType
+from .core.passes import peak_profile
+from .core.schedule import Schedule
+
+
+def occupancy_timeline(cdag: CDAG, schedule: Schedule,
+                       budget: Optional[int] = None, width: int = 72,
+                       height: int = 12) -> str:
+    """ASCII chart of weighted red occupancy (bits) across the schedule.
+
+    The x-axis is move index (downsampled to ``width`` columns, keeping
+    each bucket's maximum so peaks are never hidden); ``'#'`` marks
+    occupancy, ``'-'`` the budget line.
+    """
+    profile = peak_profile(cdag, schedule)
+    if not profile:
+        return "(empty schedule)"
+    b = budget if budget is not None else (cdag.budget or max(profile))
+    top = max(max(profile), b)
+    # Bucket by max.
+    cols = min(width, len(profile))
+    bucket = [0] * cols
+    for i, val in enumerate(profile):
+        c = i * cols // len(profile)
+        bucket[c] = max(bucket[c], val)
+    rows = []
+    for level in range(height, 0, -1):
+        cut = top * level / height
+        line = []
+        budget_row = abs(cut - b) <= top / (2 * height)
+        for val in bucket:
+            if val >= cut:
+                line.append("#")
+            elif budget_row:
+                line.append("-")
+            else:
+                line.append(" ")
+        label = f"{int(cut):>7d} |"
+        rows.append(label + "".join(line))
+    rows.append(" " * 8 + "+" + "-" * cols)
+    rows.append(" " * 9 + f"moves 0..{len(profile)}   "
+                          f"peak={max(profile)}  budget={b}")
+    return "\n".join(rows)
+
+
+def schedule_summary(cdag: CDAG, schedule: Schedule) -> str:
+    """Human-readable accounting of a schedule."""
+    counts = schedule.move_counts()
+    cost = schedule.cost(cdag)
+    profile = peak_profile(cdag, schedule)
+    peak = max(profile) if profile else 0
+    return (f"{len(schedule)} moves on {cdag.name}: "
+            f"{counts[MoveType.LOAD]} loads, {counts[MoveType.STORE]} stores, "
+            f"{counts[MoveType.COMPUTE]} computes, "
+            f"{counts[MoveType.DELETE]} deletes; "
+            f"weighted I/O = {cost} bits, peak fast memory = {peak} bits")
+
+
+_STYLE = {
+    "source": 'shape=invhouse, style=filled, fillcolor="#aaccff"',
+    "sink": 'shape=house, style=filled, fillcolor="#ffcc88"',
+    "inner": "shape=circle",
+}
+
+
+def to_dot(cdag: CDAG, name: Optional[str] = None) -> str:
+    """Graphviz DOT text for a CDAG (node weights as labels)."""
+    sources = set(cdag.sources)
+    sinks = set(cdag.sinks)
+
+    def ident(v) -> str:
+        return '"' + str(v).replace('"', "'") + '"'
+
+    lines = [f'digraph "{name or cdag.name}" {{', "  rankdir=LR;"]
+    for v in cdag.topological_order():
+        style = _STYLE["source"] if v in sources else (
+            _STYLE["sink"] if v in sinks else _STYLE["inner"])
+        lines.append(f"  {ident(v)} [{style}, "
+                     f'label="{v}\\nw={cdag.weight(v)}"];')
+    for v in cdag.topological_order():
+        for p in cdag.predecessors(v):
+            lines.append(f"  {ident(p)} -> {ident(v)};")
+    lines.append("}")
+    return "\n".join(lines)

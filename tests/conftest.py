@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CDAG, equal, double_accumulator
+
+
+@pytest.fixture
+def diamond() -> CDAG:
+    """a, b -> c -> e ; a, b -> d -> e  (two sources, one sink)."""
+    edges = [("a", "c"), ("b", "c"), ("a", "d"), ("b", "d"),
+             ("c", "e"), ("d", "e")]
+    weights = {v: 1 for v in "abcde"}
+    return CDAG(edges, weights, budget=3, name="diamond")
+
+
+@pytest.fixture
+def chain() -> CDAG:
+    """x1 -> x2 -> x3 -> x4 (single path)."""
+    edges = [(f"x{i}", f"x{i+1}") for i in range(1, 4)]
+    return CDAG(edges, {f"x{i}": 1 for i in range(1, 5)}, budget=2,
+                name="chain")
+
+
+@pytest.fixture
+def eq_config():
+    return equal()
+
+
+@pytest.fixture
+def da_config():
+    return double_accumulator()
+
+
+def make_weighted(edges, weights, budget=None, name="g"):
+    return CDAG(edges, weights, budget=budget, name=name)

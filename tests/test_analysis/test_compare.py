@@ -1,0 +1,65 @@
+"""Tests for the scheduler comparison harness."""
+
+import pytest
+
+from repro.analysis import Comparison, compare
+from repro.core import equal, min_feasible_budget
+from repro.graphs import dwt_graph
+from repro.schedulers import (EvictionScheduler, GreedyTopologicalScheduler,
+                              LayerByLayerScheduler, OptimalDWTScheduler)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    g = dwt_graph(16, 4, weights=equal())
+    lo = min_feasible_budget(g)
+    return compare(
+        g,
+        [OptimalDWTScheduler(), LayerByLayerScheduler(),
+         GreedyTopologicalScheduler(), EvictionScheduler()],
+        budgets=[lo, lo + 4 * 16, g.total_weight()],
+    )
+
+
+class TestCompare:
+    def test_all_cells_present(self, comparison):
+        assert len(comparison.cells) == 4 * 3
+
+    def test_costs_verified_and_bounded(self, comparison):
+        for cell in comparison.cells:
+            if cell.cost is not None:
+                assert cell.cost >= comparison.lower_bound
+                assert cell.peak <= max(comparison.budgets)
+
+    def test_optimum_wins_everywhere(self, comparison):
+        winners = comparison.winners()
+        assert set(winners.values()) == {"Optimum"}
+
+    def test_render(self, comparison):
+        txt = comparison.render()
+        assert "winners:" in txt
+        assert "Optimum" in txt and "Layer-by-Layer" in txt
+
+    def test_infeasible_becomes_empty_cell(self):
+        g = dwt_graph(8, 3, weights=equal())
+        comp = compare(g, [EvictionScheduler()], budgets=[16, 1000])
+        costs = [c.cost for c in comp.cells]
+        assert costs[0] is None and costs[1] is not None
+        assert "-" in comp.render()
+
+    def test_default_budget_grid(self):
+        g = dwt_graph(8, 3, weights=equal())
+        comp = compare(g, [GreedyTopologicalScheduler()])
+        assert len(comp.budgets) == 4
+        assert comp.budgets[0] == min_feasible_budget(g)
+
+
+class TestCornersExported:
+    def test_corner_registry(self):
+        from repro.hardware import CORNERS, PERIPHERY_HEAVY, CELL_HEAVY
+        assert PERIPHERY_HEAVY.name in CORNERS
+        assert CELL_HEAVY.cell_area > PERIPHERY_HEAVY.cell_area
+        from repro.hardware import MemoryCompiler
+        for process in CORNERS.values():
+            m = MemoryCompiler(process=process).synthesize(2048)
+            assert m.area > 0 and m.leakage_mw > 0

@@ -1,0 +1,81 @@
+"""Tests for the IOOpt analytical baseline (Sec. 5.1-5.2 re-model)."""
+
+import math
+
+import pytest
+
+from repro.core import algorithmic_lower_bound, double_accumulator, equal
+from repro.baselines import (IOOptModel, ioopt_lower_bound, ioopt_min_memory,
+                             ioopt_upper_bound)
+from repro.graphs import mvm_graph
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("da", [False, True])
+    def test_equals_algorithmic_lower_bound(self, da):
+        """With the paper's doubled-output adjustment, the IOOpt LB
+        coincides with Prop. 2.4's bound under both configs."""
+        cfg = double_accumulator() if da else equal()
+        g = mvm_graph(96, 120, weights=cfg)
+        assert (ioopt_lower_bound(96, 120, cfg)
+                == algorithmic_lower_bound(g))
+
+
+class TestUpperBound:
+    def test_floor_reached_at_min_memory(self):
+        cfg = equal()
+        m = IOOptModel.for_config(96, 120, cfg)
+        assert m.upper_bound(m.min_memory()) == m.upper_bound_floor()
+
+    def test_floor_strictly_above_lower_bound(self):
+        """IOOpt moves every output twice; its best case trails the LB by
+        exactly m accumulator-weights (Sec. 5.2)."""
+        for cfg in (equal(), double_accumulator()):
+            m = IOOptModel.for_config(96, 120, cfg)
+            assert (m.upper_bound_floor() - m.lower_bound()
+                    == 96 * cfg.compute_bits)
+
+    def test_monotone_nonincreasing(self):
+        m = IOOptModel.for_config(96, 120, equal())
+        costs = [m.upper_bound(b) for b in range(64, 4000, 16)]
+        finite = [c for c in costs if math.isfinite(c)]
+        assert finite == sorted(finite, reverse=True)
+
+    def test_infeasible_below_one_row(self):
+        m = IOOptModel.for_config(96, 120, equal())
+        assert math.isinf(m.upper_bound(16))
+
+    def test_vector_reload_cost_visible(self):
+        m = IOOptModel.for_config(96, 120, equal())
+        half = m.upper_bound(m.min_memory() // 2)
+        assert half > m.upper_bound_floor()
+
+
+class TestMinimumMemory:
+    def test_table1_values(self):
+        assert ioopt_min_memory(96, 120, equal()) == 193 * 16
+        assert ioopt_min_memory(96, 120, double_accumulator()) == 289 * 16
+
+    def test_input_share_capped_by_vector_length(self):
+        """For n < m the input tile cannot exceed the vector: the Fig. 6c/d
+        IOOpt curve rises with n then flattens."""
+        cfg = equal()
+        mems = [ioopt_min_memory(96, n, cfg) for n in (1, 10, 50, 96, 120)]
+        assert mems == sorted(mems)
+        assert mems[-1] == mems[-2]  # flat beyond n = m
+
+    def test_resident_rows_at_min_memory(self):
+        m = IOOptModel.for_config(96, 120, equal())
+        assert m.resident_rows(m.min_memory()) == 96
+        assert m.resident_rows(m.min_memory() - 16) < 96
+
+    def test_resident_rows_small_n_regime(self):
+        """With a short vector, budget beyond (n+1) input words goes
+        entirely to output rows."""
+        m = IOOptModel.for_config(96, 4, equal())
+        budget = 96 * 16 + 5 * 16  # all rows + vector + stream slot
+        assert m.resident_rows(budget) == 96
+
+    def test_min_feasible(self):
+        m = IOOptModel.for_config(96, 120, equal())
+        assert m.min_feasible_memory() == 3 * 16

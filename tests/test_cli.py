@@ -1,0 +1,100 @@
+"""CLI tests: the user-facing command surface must keep working."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def graph_file(tmp_path) -> pathlib.Path:
+    path = tmp_path / "g.json"
+    assert main(["build", "dwt", "--n", "16", "--d", "4",
+                 "-o", str(path)]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_summary(self, capsys):
+        assert main(["build", "mvm", "--m", "3", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MVM(3,4)" in out and "LB=" in out
+
+    def test_build_writes_json(self, graph_file):
+        data = json.loads(graph_file.read_text())
+        assert data["format"] == "wrbpg-cdag"
+        assert data["name"] == "DWT(16,4)"
+
+    def test_build_dot(self, capsys):
+        assert main(["build", "fft", "--n", "8", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("family,extra", [
+        ("kdwt", ["--n", "9", "--d", "2", "--k", "3"]),
+        ("banded-mvm", ["--m", "4", "--n", "4", "--bandwidth", "1"]),
+        ("conv", ["--n", "8", "--taps", "3"]),
+    ])
+    def test_all_families_build(self, family, extra, capsys):
+        assert main(["build", family, *extra]) == 0
+
+    def test_da_weights(self, capsys):
+        assert main(["build", "dwt", "--n", "4", "--d", "1",
+                     "--weights", "da"]) == 0
+        assert "LB=192" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_schedule_verifies(self, graph_file, capsys):
+        assert main(["schedule", str(graph_file), "--strategy",
+                     "dwt-optimal", "--budget-words", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "cost=512" in out
+
+    def test_schedule_timeline_and_output(self, graph_file, tmp_path, capsys):
+        sched_path = tmp_path / "s.json"
+        assert main(["schedule", str(graph_file), "--strategy", "belady",
+                     "--budget-words", "8", "--timeline",
+                     "-o", str(sched_path)]) == 0
+        assert "budget=" in capsys.readouterr().out
+        data = json.loads(sched_path.read_text())
+        assert data["format"] == "wrbpg-schedule"
+
+    def test_budget_bits_override(self, graph_file, capsys):
+        assert main(["schedule", str(graph_file), "--strategy",
+                     "dwt-optimal", "--budget-bits", "96"]) == 0
+
+
+class TestTrace:
+    def test_trace_to_stdout(self, graph_file, capsys):
+        assert main(["trace", str(graph_file), "--strategy", "dwt-optimal",
+                     "--budget-words", "7"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("R 0x")
+        assert any(line.startswith("W 0x") for line in out.splitlines())
+
+    def test_trace_to_file(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        assert main(["trace", str(graph_file), "--budget-words", "8",
+                     "--base", "0x8000", "-o", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert all(l.split()[1].startswith("0x") for l in lines)
+        assert int(lines[0].split()[1], 16) >= 0x8000
+
+
+class TestMinmemAndSynth:
+    def test_minmem(self, graph_file, capsys):
+        assert main(["minmem", str(graph_file), "--strategy",
+                     "dwt-optimal"]) == 0
+        assert "= 6 words" in capsys.readouterr().out
+
+    def test_synth(self, capsys):
+        assert main(["synth", "--bits", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "leakage" in out and "GB/s" in out
+
+    def test_synth_pow2_layout(self, capsys):
+        assert main(["synth", "--bits", "1584", "--pow2", "--layout"]) == 0
+        out = capsys.readouterr().out
+        assert "2048 bits" in out and "#" in out

@@ -1,0 +1,91 @@
+"""Tests for the reusable schedule-module library."""
+
+import pytest
+
+from repro.core import (ScheduleLibrary, canonical_form, equal,
+                        min_feasible_budget, simulate)
+from repro.graphs import (complete_kary_tree, dwt_graph, output_trees,
+                          prune_dwt)
+from repro.schedulers import OptimalTreeScheduler
+
+
+def tree_factory(cdag, budget):
+    return OptimalTreeScheduler().schedule(cdag, budget)
+
+
+class TestCanonicalForm:
+    def test_isomorphic_instances_same_form(self):
+        """Two subtrees of the same pruned DWT are isomorphic: identical
+        canonical forms despite disjoint node names."""
+        p = prune_dwt(dwt_graph(16, 2, weights=equal()))
+        trees = list(output_trees(p).values())
+        assert len(trees) == 4
+        forms = [canonical_form(t)[0] for t in trees]
+        assert all(f == forms[0] for f in forms)
+
+    def test_different_shapes_different_forms(self):
+        a = complete_kary_tree(2, 2, weights=equal())
+        b = complete_kary_tree(2, 3, weights=equal())
+        assert canonical_form(a)[0] != canonical_form(b)[0]
+
+    def test_different_weights_different_forms(self):
+        a = complete_kary_tree(2, 2, weights=equal())
+        b = a.with_weights({v: 32 for v in a})
+        assert canonical_form(a)[0] != canonical_form(b)[0]
+
+    def test_ids_cover_all_nodes(self):
+        g = complete_kary_tree(3, 2, weights=equal())
+        _, ids = canonical_form(g)
+        assert sorted(ids.values()) == list(range(len(g)))
+
+
+class TestScheduleLibrary:
+    def test_hits_across_isomorphic_modules(self):
+        """Scheduling all subtrees of DWT(64, 2): one miss, the rest hits,
+        every instantiated schedule valid on its own subtree."""
+        g = dwt_graph(64, 2, weights=equal())
+        p = prune_dwt(g)
+        lib = ScheduleLibrary(tree_factory)
+        b = min_feasible_budget(g) + 16
+        trees = output_trees(p)
+        assert len(trees) == 16
+        for root, tree in trees.items():
+            sched = lib.schedule(tree, b)
+            res = simulate(tree, sched, budget=b, strict=True)
+            assert res.blue >= set(tree.sinks)
+        assert lib.misses == 1
+        assert lib.hits == 15
+        assert lib.hit_rate == pytest.approx(15 / 16)
+        assert len(lib) == 1
+
+    def test_budget_is_part_of_the_key(self):
+        g = complete_kary_tree(2, 2, weights=equal())
+        lib = ScheduleLibrary(tree_factory)
+        b = min_feasible_budget(g)
+        lib.schedule(g, b)
+        lib.schedule(g, b + 16)
+        assert lib.misses == 2 and len(lib) == 2
+
+    def test_hit_schedule_matches_fresh_cost(self):
+        g = dwt_graph(32, 3, weights=equal())
+        p = prune_dwt(g)
+        lib = ScheduleLibrary(tree_factory)
+        b = min_feasible_budget(g) + 16
+        trees = list(output_trees(p).values())
+        fresh = tree_factory(trees[1], b)
+        cached = None
+        for t in trees:
+            cached = lib.schedule(t, b)
+        # the last instantiation is for trees[-1]; compare costs
+        assert lib.schedule(trees[1], b).cost(trees[1]) \
+            == fresh.cost(trees[1])
+
+    def test_weight_configs_do_not_collide(self):
+        from repro.core import double_accumulator
+        g_eq = complete_kary_tree(2, 2, weights=equal())
+        g_da = double_accumulator().apply(g_eq)
+        lib = ScheduleLibrary(tree_factory)
+        b = min_feasible_budget(g_da) + 16
+        lib.schedule(g_eq, b)
+        lib.schedule(g_da, b)
+        assert lib.misses == 2

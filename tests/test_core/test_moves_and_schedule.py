@@ -1,0 +1,83 @@
+"""Tests for moves, labels, and schedules."""
+
+import pytest
+
+from repro.core import (CDAG, Label, Move, MoveType, M1, M2, M3, M4,
+                        Schedule, concatenate)
+
+
+class TestMoves:
+    def test_helpers_build_expected_moves(self):
+        assert M1("v") == Move(MoveType.LOAD, "v")
+        assert M2("v") == Move(MoveType.STORE, "v")
+        assert M3("v") == Move(MoveType.COMPUTE, "v")
+        assert M4("v") == Move(MoveType.DELETE, "v")
+
+    def test_io_classification(self):
+        assert MoveType.LOAD.is_io and MoveType.STORE.is_io
+        assert not MoveType.COMPUTE.is_io and not MoveType.DELETE.is_io
+
+    def test_moves_are_hashable_and_frozen(self):
+        s = {M1("v"), M1("v"), M2("v")}
+        assert len(s) == 2
+        with pytest.raises(Exception):
+            M1("v").node = "u"
+
+    def test_labels(self):
+        assert Label.RED.has_red and not Label.RED.has_blue
+        assert Label.BOTH.has_red and Label.BOTH.has_blue
+        assert not Label.NONE.has_red and not Label.NONE.has_blue
+        assert Label.BLUE.has_blue and not Label.BLUE.has_red
+
+
+class TestSchedule:
+    def test_sequence_protocol(self):
+        s = Schedule([M1("a"), M3("b"), M2("b")])
+        assert len(s) == 3
+        assert s[0] == M1("a")
+        assert list(s) == [M1("a"), M3("b"), M2("b")]
+        assert isinstance(s[0:2], Schedule) and len(s[0:2]) == 2
+
+    def test_concatenation(self):
+        s = Schedule([M1("a")]) + Schedule([M2("a")])
+        assert list(s) == [M1("a"), M2("a")]
+        s2 = Schedule([M1("a")]) + [M4("a")]
+        assert list(s2) == [M1("a"), M4("a")]
+
+    def test_insert_splice(self):
+        s = Schedule([M1("a"), M3("b")])
+        spliced = s.insert(1, [M1("x")])
+        assert list(spliced) == [M1("a"), M1("x"), M3("b")]
+
+    def test_cost_counts_only_io(self):
+        w = {"a": 5, "b": 7}
+        s = Schedule([M1("a"), M3("b"), M2("b"), M4("a"), M4("b")])
+        assert s.cost(w) == 5 + 7
+
+    def test_cost_accepts_cdag(self):
+        g = CDAG([("a", "b")], {"a": 5, "b": 7})
+        s = Schedule([M1("a"), M3("b"), M2("b")])
+        assert s.cost(g) == 12
+
+    def test_move_counts(self):
+        s = Schedule([M1("a"), M1("b"), M2("a"), M4("a")])
+        counts = s.move_counts()
+        assert counts[MoveType.LOAD] == 2
+        assert counts[MoveType.STORE] == 1
+        assert counts[MoveType.DELETE] == 1
+        assert counts[MoveType.COMPUTE] == 0
+
+    def test_io_moves_and_touched(self):
+        s = Schedule([M1("a"), M3("b"), M2("b")])
+        assert list(s.io_moves()) == [M1("a"), M2("b")]
+        assert s.touched_nodes() == {"a", "b"}
+
+    def test_equality_and_hash(self):
+        a = Schedule([M1("a")])
+        b = Schedule([M1("a")])
+        assert a == b and hash(a) == hash(b)
+        assert a != Schedule([M2("a")])
+
+    def test_concatenate_many(self):
+        s = concatenate([Schedule([M1("a")]), Schedule(), Schedule([M2("a")])])
+        assert list(s) == [M1("a"), M2("a")]

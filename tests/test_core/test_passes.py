@@ -1,0 +1,124 @@
+"""Tests for schedule optimization passes (repro.core.passes)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (CDAG, M1, M2, M3, M4, Schedule, compact,
+                        drop_dead_pairs, drop_redundant_loads,
+                        drop_redundant_stores, equal, min_feasible_budget,
+                        peak_profile, simulate)
+from repro.graphs import dwt_graph, mvm_graph
+from repro.schedulers import GreedyTopologicalScheduler, LayerByLayerScheduler
+
+
+@pytest.fixture
+def tiny():
+    return CDAG([("a", "c"), ("b", "c")], {"a": 1, "b": 1, "c": 1}, budget=3)
+
+
+class TestDropRedundantStores:
+    def test_duplicate_store_removed(self, tiny):
+        s = Schedule([M1("a"), M1("b"), M3("c"), M2("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        out = drop_redundant_stores(tiny, s)
+        assert out.cost(tiny) == s.cost(tiny) - 1
+        simulate(tiny, out, budget=3, strict=True)
+
+    def test_store_of_source_removed(self, tiny):
+        s = Schedule([M1("a"), M2("a"), M1("b"), M3("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        out = drop_redundant_stores(tiny, s)
+        assert M2("a") not in list(out)
+
+    def test_noop_on_clean_schedule(self, tiny):
+        s = Schedule([M1("a"), M1("b"), M3("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        assert drop_redundant_stores(tiny, s) == s
+
+
+class TestDropRedundantLoads:
+    def test_double_load_removed(self, tiny):
+        s = Schedule([M1("a"), M1("a"), M1("b"), M3("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        out = drop_redundant_loads(tiny, s)
+        assert out.cost(tiny) == s.cost(tiny) - 1
+        simulate(tiny, out, budget=3, strict=True)
+
+    def test_reload_after_delete_kept(self, tiny):
+        s = Schedule([M1("a"), M4("a"), M1("a"), M1("b"), M3("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        out = drop_redundant_loads(tiny, s)
+        # both loads are at times when 'a' is not red -> both kept
+        assert sum(1 for m in out if m == M1("a")) == 2
+
+
+class TestDropDeadPairs:
+    def test_unused_load_removed(self, tiny):
+        s = Schedule([M1("b"), M4("b"),  # pointless
+                      M1("a"), M1("b"), M3("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        out = drop_dead_pairs(tiny, s)
+        assert out.cost(tiny) == s.cost(tiny) - 1
+        simulate(tiny, out, budget=3, strict=True)
+
+    def test_used_load_kept(self, tiny):
+        s = Schedule([M1("a"), M1("b"), M3("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        assert drop_dead_pairs(tiny, s) == s
+
+    def test_surviving_pebble_kept(self, tiny):
+        # no M4 -> placement survives; must not be dropped (reuse contract)
+        s = Schedule([M1("a")])
+        assert drop_dead_pairs(tiny, s) == s
+
+
+class TestCompact:
+    def test_fixpoint_no_change_on_optimal(self):
+        g = dwt_graph(8, 3, weights=equal())
+        from repro.schedulers import OptimalDWTScheduler
+        s = OptimalDWTScheduler().schedule(g, 8 * 16)
+        assert compact(g, s) == s  # already tight
+
+    def test_compact_reduces_junk(self, tiny):
+        s = Schedule([M1("a"), M1("a"), M2("a"), M4("a"),
+                      M1("a"), M1("b"), M3("c"), M2("c"), M2("c"),
+                      M4("a"), M4("b"), M4("c")])
+        out = compact(tiny, s)
+        assert out.cost(tiny) < s.cost(tiny)
+        res = simulate(tiny, out, budget=3)
+        assert res.cost == out.cost(tiny)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.sampled_from([4, 8, 16]), extra=st.integers(0, 4))
+    def test_compact_preserves_validity_and_never_raises_cost(self, n, extra):
+        g = dwt_graph(n, 1, weights=equal())
+        b = min_feasible_budget(g) + extra * 16
+        s = GreedyTopologicalScheduler().schedule(g, b)
+        out = compact(g, s)
+        before = simulate(g, s, budget=b)
+        after = simulate(g, out, budget=b)
+        assert after.cost <= before.cost
+        assert after.peak_red_weight <= b
+
+    def test_compact_on_baseline_schedule(self):
+        """The deferred LBL writes back dead values; compaction recovers
+        the eager variant's cost at the same budget."""
+        g = dwt_graph(32, 5, weights=equal())
+        b = 40 * 16
+        s = LayerByLayerScheduler(retention="deferred").schedule(g, b)
+        out = compact(g, s)
+        before = simulate(g, s, budget=b).cost
+        after = simulate(g, out, budget=b).cost
+        assert after <= before
+
+
+class TestPeakProfile:
+    def test_profile_matches_simulator_peak(self):
+        g = mvm_graph(3, 3, weights=equal())
+        b = 8 * 16
+        from repro.schedulers import TilingMVMScheduler
+        s = TilingMVMScheduler(3, 3).schedule(g, b)
+        prof = peak_profile(g, s)
+        assert max(prof) == simulate(g, s, budget=b).peak_red_weight
+        assert len(prof) == len(s)
+        assert prof[-1] == 0  # everything cleaned up

@@ -1,0 +1,101 @@
+"""Tests for the prefetch pass and the stall model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (MoveType, equal, min_feasible_budget, prefetch,
+                        simulate, stall_cycles)
+from repro.graphs import dwt_graph, mvm_graph
+from repro.schedulers import (EvictionScheduler, OptimalDWTScheduler,
+                              TilingMVMScheduler)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = dwt_graph(32, 5, weights=equal())
+    b = min_feasible_budget(g) + 4 * 16
+    sched = OptimalDWTScheduler().schedule(g, b)
+    return g, b, sched
+
+
+class TestPrefetch:
+    def test_preserves_validity_and_cost(self, setup):
+        g, b, sched = setup
+        hoisted = prefetch(g, sched, b)
+        before = simulate(g, sched, budget=b, strict=True)
+        after = simulate(g, hoisted, budget=b, strict=True)
+        assert after.cost == before.cost
+        assert after.peak_red_weight <= b
+
+    def test_same_move_multiset(self, setup):
+        g, b, sched = setup
+        hoisted = prefetch(g, sched, b)
+        assert sorted(map(repr, hoisted)) == sorted(map(repr, sched))
+
+    def test_loads_move_earlier_on_average(self, setup):
+        """Hoisting one load shifts its window peers one slot later, so
+        the guarantee is aggregate: the mean load position never grows."""
+        g, b, sched = setup
+        hoisted = prefetch(g, sched, b)
+
+        def mean_load_pos(s):
+            pos = [i for i, m in enumerate(s) if m.kind == MoveType.LOAD]
+            return sum(pos) / len(pos)
+
+        assert mean_load_pos(hoisted) <= mean_load_pos(sched)
+
+    def test_reduces_stalls_with_slack(self, setup):
+        """With budget headroom the hoist hides NVM latency."""
+        g, _, _ = setup
+        b = min_feasible_budget(g) + 16 * 16  # generous slack
+        sched = OptimalDWTScheduler().schedule(g, b)
+        hoisted = prefetch(g, sched, b)
+        assert stall_cycles(g, hoisted) <= stall_cycles(g, sched)
+
+    def test_no_slack_no_motion_beyond_budget(self):
+        """At the existence bound there is no headroom: the pass must not
+        push occupancy over budget (validity is the invariant, movement
+        optional)."""
+        g = dwt_graph(16, 4, weights=equal())
+        b = min_feasible_budget(g)
+        sched = OptimalDWTScheduler().schedule(g, b)
+        hoisted = prefetch(g, sched, b)
+        simulate(g, hoisted, budget=b, strict=True)
+
+    @settings(max_examples=10, deadline=None)
+    @given(extra=st.integers(0, 10), horizon=st.integers(1, 128))
+    def test_property_validity_any_slack(self, extra, horizon):
+        g = mvm_graph(4, 5, weights=equal())
+        t = TilingMVMScheduler(4, 5)
+        b = t.min_memory_for_lower_bound(g) + extra * 16
+        sched = t.schedule(g, b)
+        hoisted = prefetch(g, sched, b, horizon=horizon)
+        res = simulate(g, hoisted, budget=b, strict=True)
+        assert res.cost == sched.cost(g)
+
+    def test_works_on_heuristic_schedules(self):
+        g = mvm_graph(4, 6, weights=equal())
+        b = min_feasible_budget(g) + 8 * 16
+        sched = EvictionScheduler().schedule(g, b)
+        hoisted = prefetch(g, sched, b)
+        before = simulate(g, sched, budget=b)
+        after = simulate(g, hoisted, budget=b)
+        assert after.cost == before.cost
+
+
+class TestStallModel:
+    def test_adjacent_use_stalls(self):
+        from repro.core import CDAG, M1, M2, M3, M4, Schedule
+        g = CDAG([("a", "c"), ("b", "c")], {"a": 1, "b": 1, "c": 1})
+        tight = Schedule([M1("a"), M1("b"), M3("c"), M2("c"),
+                          M4("a"), M4("b"), M4("c")])
+        assert stall_cycles(g, tight, load_latency=8) > 0
+
+    def test_zero_latency_no_stalls(self, setup):
+        g, _, sched = setup
+        assert stall_cycles(g, sched, load_latency=0) == 0
+
+    def test_stalls_monotone_in_latency(self, setup):
+        g, _, sched = setup
+        s = [stall_cycles(g, sched, load_latency=k) for k in (0, 2, 8, 32)]
+        assert s == sorted(s)

@@ -1,0 +1,147 @@
+"""Property-based tests on the core model (hypothesis).
+
+Random DAGs, random weights, random budgets: the structural invariants of
+the game must hold regardless of shape — and corrupted schedules must be
+*caught*, not silently accepted (failure injection on the simulator).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import (CDAG, BudgetExceededError, M1, M2, M3, M4,
+                        PebbleGameError, Schedule, algorithmic_lower_bound,
+                        min_feasible_budget, simulate)
+from repro.core.moves import Move, MoveType
+from repro.schedulers import GreedyTopologicalScheduler
+
+
+# --------------------------------------------------------------------- #
+# Random layered DAG generator: nodes 0..n-1 in topological order; each
+# non-source picks 1-3 earlier nodes as parents.
+
+@st.composite
+def random_dags(draw, max_nodes=12):
+    n = draw(st.integers(4, max_nodes))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n_sources = max(2, n // 3)
+    edges = []
+    for v in range(n_sources, n):
+        arity = int(rng.integers(1, min(3, v) + 1))
+        parents = rng.choice(v, size=arity, replace=False)
+        for p in parents:
+            edges.append((int(p), v))
+    weights = {v: int(rng.integers(1, 5)) for v in range(n)}
+    try:
+        return CDAG(edges, weights, name=f"rand{seed}")
+    except PebbleGameError:
+        assume(False)
+
+
+class TestRandomDAGInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(g=random_dags())
+    def test_topological_order_respects_edges(self, g):
+        pos = {v: i for i, v in enumerate(g.topological_order())}
+        for v in g:
+            for p in g.predecessors(v):
+                assert pos[p] < pos[v]
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=random_dags())
+    def test_sources_sinks_partition(self, g):
+        assert all(not g.predecessors(v) for v in g.sources)
+        assert all(not g.successors(v) for v in g.sinks)
+        assert not (set(g.sources) & set(g.sinks))
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=random_dags(), slack=st.integers(0, 5))
+    def test_greedy_always_valid_and_above_lb(self, g, slack):
+        """Prop. 2.3 constructively: greedy replays at any feasible budget
+        and never beats the algorithmic lower bound (Prop. 2.4)."""
+        b = min_feasible_budget(g) + slack
+        sched = GreedyTopologicalScheduler().schedule(g, b)
+        res = simulate(g, sched, budget=b)
+        assert res.cost >= algorithmic_lower_bound(g)
+        assert res.peak_red_weight <= b
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=random_dags())
+    def test_simulated_cost_equals_schedule_cost(self, g):
+        b = min_feasible_budget(g)
+        sched = GreedyTopologicalScheduler().schedule(g, b)
+        assert simulate(g, sched, budget=b).cost == sched.cost(g)
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=random_dags())
+    def test_budget_below_existence_bound_fails(self, g):
+        """Prop. 2.3's necessity: some node cannot be computed below the
+        bound, so any complete schedule must violate the budget."""
+        b = min_feasible_budget(g) - 1
+        assume(b >= 1)
+        sched = GreedyTopologicalScheduler().schedule(g, b + 1)
+        with pytest.raises(PebbleGameError):
+            simulate(g, sched, budget=b)
+
+
+class TestFailureInjection:
+    """Mutate a valid schedule; the simulator must reject or re-account."""
+
+    def _valid(self, g):
+        b = min_feasible_budget(g)
+        return b, GreedyTopologicalScheduler().schedule(g, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=random_dags(), idx=st.integers(0, 200), seed=st.integers(0, 99))
+    def test_dropped_move_never_undercounts(self, g, idx, seed):
+        """Deleting one move either raises or yields cost <= original with
+        all accounting still consistent — never a phantom lower cost with a
+        satisfied stopping condition unless the move was redundant."""
+        b, sched = self._valid(g)
+        i = idx % len(sched)
+        mutated = Schedule(list(sched[:i]) + list(sched[i + 1:]))
+        try:
+            res = simulate(g, mutated, budget=b)
+        except PebbleGameError:
+            return  # correctly rejected
+        # Acceptable only if the dropped move was not load/store-critical:
+        assert res.cost == mutated.cost(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=random_dags(), idx=st.integers(0, 200),
+           kind=st.sampled_from(list(MoveType)))
+    def test_retyped_move_is_caught_or_consistent(self, g, idx, kind):
+        b, sched = self._valid(g)
+        i = idx % len(sched)
+        original = sched[i]
+        assume(original.kind != kind)
+        mutated = Schedule(list(sched[:i]) + [Move(kind, original.node)]
+                           + list(sched[i + 1:]))
+        try:
+            res = simulate(g, mutated, budget=b)
+        except PebbleGameError:
+            return
+        assert res.cost == mutated.cost(g)
+        assert res.peak_red_weight <= b
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=random_dags())
+    def test_truncated_schedule_fails_stopping(self, g):
+        b, sched = self._valid(g)
+        # remove the tail including the last store
+        last_store = max(i for i, m in enumerate(sched)
+                         if m.kind == MoveType.STORE)
+        truncated = sched[:last_store]
+        with pytest.raises(PebbleGameError):
+            simulate(g, truncated, budget=b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=random_dags(), factor=st.integers(2, 4))
+    def test_inflated_weights_blow_budget(self, g, factor):
+        """Re-weighting nodes upward without re-budgeting must trip the
+        budget check (the weighted constraint is actually enforced)."""
+        b, sched = self._valid(g)
+        heavy = g.with_weights({v: g.weight(v) * factor for v in g})
+        with pytest.raises(BudgetExceededError):
+            simulate(heavy, sched, budget=b)

@@ -1,0 +1,156 @@
+"""Tests for the checked WRBPG replay (repro.core.simulator)."""
+
+import pytest
+
+from repro.core import (CDAG, BudgetExceededError, GameState,
+                        InvalidScheduleError, M1, M2, M3, M4,
+                        RuleViolationError, Schedule, SimulationResult,
+                        StoppingConditionError, simulate)
+
+
+@pytest.fixture
+def tiny():
+    """a, b -> c (one compute node)."""
+    return CDAG([("a", "c"), ("b", "c")], {"a": 1, "b": 1, "c": 1}, budget=3)
+
+
+def full_schedule():
+    return Schedule([M1("a"), M1("b"), M3("c"), M2("c"),
+                     M4("a"), M4("b"), M4("c")])
+
+
+class TestRules:
+    def test_valid_schedule_passes(self, tiny):
+        res = simulate(tiny, full_schedule())
+        assert res.cost == 3
+        assert res.read_cost == 2 and res.write_cost == 1
+        assert res.peak_red_weight == 3
+
+    def test_m1_requires_blue(self, tiny):
+        with pytest.raises(RuleViolationError, match="without a blue"):
+            simulate(tiny, [M1("c")], require_stopping=False)
+
+    def test_m2_requires_red(self, tiny):
+        with pytest.raises(RuleViolationError, match="without a red"):
+            simulate(tiny, [M2("a")], require_stopping=False)
+
+    def test_m3_requires_all_parents_red(self, tiny):
+        with pytest.raises(RuleViolationError, match="no red pebble"):
+            simulate(tiny, [M1("a"), M3("c")], require_stopping=False)
+
+    def test_m3_on_source_rejected(self, tiny):
+        with pytest.raises(RuleViolationError, match="source"):
+            simulate(tiny, [M3("a")], require_stopping=False)
+
+    def test_m4_requires_red(self, tiny):
+        with pytest.raises(RuleViolationError, match="without a red"):
+            simulate(tiny, [M4("a")], require_stopping=False)
+
+    def test_unknown_node(self, tiny):
+        with pytest.raises(InvalidScheduleError, match="unknown"):
+            simulate(tiny, [M1("zzz")], require_stopping=False)
+
+    def test_budget_enforced(self, tiny):
+        with pytest.raises(BudgetExceededError):
+            simulate(tiny, full_schedule(), budget=2)
+
+    def test_budget_boundary_ok(self, tiny):
+        assert simulate(tiny, full_schedule(), budget=3).cost == 3
+
+    def test_stopping_condition(self, tiny):
+        with pytest.raises(StoppingConditionError, match="sink"):
+            simulate(tiny, [M1("a"), M1("b"), M3("c")])
+
+    def test_stopping_not_required(self, tiny):
+        res = simulate(tiny, [M1("a"), M1("b"), M3("c")],
+                       require_stopping=False)
+        assert res.red == frozenset({"a", "b", "c"})
+
+    def test_unconstrained_budget(self, tiny):
+        g = tiny.with_budget(1)
+        # Explicit budget=None overrides nothing: graph budget applies.
+        with pytest.raises(BudgetExceededError):
+            simulate(g, full_schedule())
+
+
+class TestStrictMode:
+    def test_redundant_load_flagged(self, tiny):
+        sched = [M1("a"), M1("a")]
+        res = simulate(tiny, sched, require_stopping=False)
+        assert res.redundant_loads == 1
+        assert res.cost == 2  # the wasted load still moves data
+        with pytest.raises(RuleViolationError, match="redundant M1"):
+            simulate(tiny, sched, require_stopping=False, strict=True)
+
+    def test_redundant_store_flagged(self, tiny):
+        sched = [M1("a"), M1("b"), M3("c"), M2("c"), M2("c")]
+        res = simulate(tiny, sched)
+        assert res.redundant_stores == 1
+        with pytest.raises(RuleViolationError, match="redundant M2"):
+            simulate(tiny, sched, strict=True)
+
+    def test_recomputation_flagged(self, tiny):
+        sched = [M1("a"), M1("b"), M3("c"), M4("c"), M3("c"), M2("c")]
+        res = simulate(tiny, sched)
+        assert res.recomputations == 1
+        assert not res.is_tight
+        with pytest.raises(RuleViolationError, match="recomputation"):
+            simulate(tiny, sched, strict=True)
+
+    def test_tight_schedule(self, tiny):
+        assert simulate(tiny, full_schedule()).is_tight
+
+
+class TestMemoryStates:
+    def test_initial_red_counts_against_budget(self, tiny):
+        with pytest.raises(BudgetExceededError):
+            simulate(tiny, [], budget=1, initial_red=["a", "b"],
+                     require_stopping=False)
+
+    def test_initial_red_usable_as_parent(self, tiny):
+        # a, b already resident: compute c directly.
+        res = simulate(tiny, [M3("c"), M2("c")], initial_red=["a", "b"])
+        assert res.cost == 1
+
+    def test_initial_blue_override(self, tiny):
+        # Without blue backing, a cannot be loaded.
+        with pytest.raises(RuleViolationError):
+            simulate(tiny, [M1("a")], initial_blue=["b"],
+                     require_stopping=False)
+
+    def test_final_red_requirement(self, tiny):
+        with pytest.raises(StoppingConditionError, match="reuse"):
+            simulate(tiny, full_schedule(), final_red=["c"])
+        res = simulate(tiny, [M1("a"), M1("b"), M3("c"), M2("c"),
+                              M4("a"), M4("b")], final_red=["c"])
+        assert "c" in res.red
+
+    def test_unknown_initial_nodes_rejected(self, tiny):
+        with pytest.raises(InvalidScheduleError):
+            simulate(tiny, [], initial_red=["nope"], require_stopping=False)
+        with pytest.raises(InvalidScheduleError):
+            simulate(tiny, [], initial_blue=["nope"], require_stopping=False)
+
+
+class TestGameState:
+    def test_labels_and_snapshot(self, tiny):
+        st = GameState(tiny)
+        assert st.label("a").name == "BLUE"
+        assert st.label("c").name == "NONE"
+        st.apply(M1("a"))
+        assert st.label("a").name == "BOTH"
+        snap = st.snapshot()
+        assert snap["a"].name == "BOTH" and snap["b"].name == "BLUE"
+
+    def test_peak_tracking(self, tiny):
+        st = GameState(tiny, budget=3)
+        for m in [M1("a"), M1("b"), M3("c"), M4("a"), M4("b")]:
+            st.apply(m)
+        assert st.peak_red_weight == 3
+        assert st.red_weight == 1
+
+    def test_result_snapshot(self, tiny):
+        res = simulate(tiny, full_schedule())
+        assert isinstance(res, SimulationResult)
+        assert res.blue == frozenset({"a", "b", "c"})
+        assert res.red == frozenset()

@@ -1,0 +1,38 @@
+"""The docs/MODEL.md snippets must keep running as written."""
+
+from repro.core import (CDAG, M1, M2, M3, M4, Schedule,
+                        algorithmic_lower_bound, min_feasible_budget,
+                        simulate)
+
+
+def test_section_1_and_2_snippets():
+    g = CDAG(
+        edges=[("a", "sum"), ("b", "sum")],
+        weights={"a": 16, "b": 16, "sum": 32},
+        budget=64,
+    )
+    schedule = Schedule([M1("a"), M1("b"), M3("sum"), M2("sum"),
+                         M4("a"), M4("b"), M4("sum")])
+    result = simulate(g, schedule)
+    assert result.cost == 16 + 16 + 32
+    assert result.peak_red_weight == 64
+
+
+def test_section_3_facts():
+    g = CDAG([("a", "sum"), ("b", "sum")],
+             {"a": 16, "b": 16, "sum": 32})
+    assert min_feasible_budget(g) == 64
+    assert algorithmic_lower_bound(g) == 64
+
+
+def test_section_6_pipeline():
+    from repro import dwt_graph, equal
+    from repro.analysis import scheduler_min_memory
+    from repro.hardware import MemoryCompiler, round_up_pow2
+    from repro.schedulers import OptimalDWTScheduler
+
+    g = dwt_graph(256, 8, weights=equal())
+    bits = scheduler_min_memory(OptimalDWTScheduler(), g)
+    assert bits == 160
+    macro = MemoryCompiler().synthesize(round_up_pow2(bits))
+    assert macro.capacity_bits == 256

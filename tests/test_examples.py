@@ -1,0 +1,26 @@
+"""The examples are part of the public contract: each must run clean."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script,args", [
+    ("quickstart.py", []),
+    ("bci_seizure_detection.py", []),
+    ("bci_movement_decoding.py", []),
+    ("memory_design_flow.py", []),
+    ("memory_design_flow.py", ["da"]),
+    ("fft_spectral_monitor.py", []),
+    ("pca_power_iteration.py", []),
+])
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

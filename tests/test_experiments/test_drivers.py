@@ -1,0 +1,48 @@
+"""Unit tests for the experiment-driver internals."""
+
+import pytest
+
+from repro.experiments.fig6 import (MinMemorySeries, average_reduction,
+                                    dwt_panel, mvm_panel, render_fig6,
+                                    run_fig6)
+from repro.experiments.fig5 import dwt_panel as fig5_dwt_panel
+from repro.experiments import dwt_workload
+
+
+class TestFig6Internals:
+    def test_endpoints_always_included(self):
+        """Strided sweeps must still hit the Table 1 endpoints."""
+        panel = mvm_panel(True, n_max=120, stride=7)
+        assert panel[0].sizes[-1] == 120
+        assert panel[1].min_memory_bits[-1] == 126 * 16
+        dpanel = dwt_panel(False, n_max=256, stride=100)
+        assert dpanel[0].sizes[-1] == 256
+        assert dpanel[1].min_memory_bits[-1] == 10 * 16
+
+    def test_series_points(self):
+        s = MinMemorySeries("x", (1, 2), (10, 20))
+        assert s.points() == [(1, 10), (2, 20)]
+
+    def test_average_reduction_orientation(self):
+        baseline = MinMemorySeries("base", (1, 2), (100, 100))
+        ours = MinMemorySeries("ours", (1, 2), (50, 25))
+        assert average_reduction([baseline, ours]) == pytest.approx(62.5)
+
+    def test_render_contains_panels(self):
+        panels = run_fig6(dwt_stride=128, mvm_stride=60)
+        txt = render_fig6(panels)
+        for key in ("6a", "6b", "6c", "6d"):
+            assert f"Fig. {key}" in txt
+        assert "average reduction" in txt
+
+
+class TestFig5Internals:
+    def test_grid_covers_convergence(self):
+        series = fig5_dwt_panel(dwt_workload(False), points=8)
+        lb = series[0].costs[0]
+        assert series[2].costs[-1] == lb  # optimum converges on the grid
+        assert series[1].costs[-1] == lb  # and so does the baseline
+
+    def test_series_budgets_shared(self):
+        series = fig5_dwt_panel(dwt_workload(False), points=6)
+        assert series[0].budgets == series[1].budgets == series[2].budgets

@@ -1,0 +1,136 @@
+"""Tests for DWT graph construction (Def. 3.1, Figs. 2-3)."""
+
+import pytest
+
+from repro.core import GraphStructureError, equal, double_accumulator
+from repro.graphs import (check_prunable_weights, dwt_graph, dwt_layer_sizes,
+                          is_average, is_coefficient, is_input, max_level,
+                          output_trees, prune_dwt, pruned_nodes, sibling)
+
+
+class TestParams:
+    @pytest.mark.parametrize("n,d", [(4, 1), (4, 2), (8, 3), (256, 8), (6, 1), (24, 3)])
+    def test_valid_params(self, n, d):
+        g = dwt_graph(n, d)
+        assert len(g) == sum(dwt_layer_sizes(n, d))
+
+    @pytest.mark.parametrize("n,d", [(4, 3), (3, 1), (0, 1), (5, 2), (8, 0)])
+    def test_invalid_params(self, n, d):
+        with pytest.raises(GraphStructureError):
+            dwt_graph(n, d)
+
+    def test_layer_sizes(self):
+        assert dwt_layer_sizes(8, 3) == [8, 8, 4, 2]
+        assert dwt_layer_sizes(256, 8) == [256, 256, 128, 64, 32, 16, 8, 4, 2]
+
+    @pytest.mark.parametrize("n,d", [(2, 1), (4, 2), (6, 1), (8, 3), (12, 2),
+                                     (256, 8), (100, 2)])
+    def test_max_level(self, n, d):
+        assert max_level(n) == d
+
+    def test_max_level_rejects_odd(self):
+        with pytest.raises(GraphStructureError):
+            max_level(3)
+
+
+class TestFigure2And3Structure:
+    def test_dwt_4_1_matches_figure_2a(self):
+        """Fig. 2a: two independent blocks of 2 inputs -> 2 outputs."""
+        g = dwt_graph(4, 1)
+        assert set(g.sinks) == {(2, 1), (2, 2), (2, 3), (2, 4)}
+        assert g.predecessors((2, 1)) == ((1, 1), (1, 2))
+        assert g.predecessors((2, 2)) == ((1, 1), (1, 2))
+        assert g.predecessors((2, 3)) == ((1, 3), (1, 4))
+        assert len(g.weakly_connected_components()) == 2
+
+    def test_dwt_4_2_matches_figure_2b(self):
+        g = dwt_graph(4, 2)
+        assert set(g.sinks) == {(2, 2), (2, 4), (3, 1), (3, 2)}
+        assert g.predecessors((3, 1)) == ((2, 1), (2, 3))
+        assert g.predecessors((3, 2)) == ((2, 1), (2, 3))
+        assert len(g.weakly_connected_components()) == 1
+
+    def test_dwt_8_3_matches_figure_3a(self):
+        g = dwt_graph(8, 3)
+        assert len(g) == 22
+        assert g.predecessors((4, 1)) == ((3, 1), (3, 3))
+        assert g.predecessors((3, 2)) == ((2, 1), (2, 3))
+        assert g.predecessors((3, 4)) == ((2, 5), (2, 7))
+
+    def test_every_compute_node_has_two_parents(self):
+        g = dwt_graph(32, 4)
+        for v in g:
+            if not is_input(v):
+                assert g.in_degree(v) == 2
+
+    def test_coefficients_are_sinks(self):
+        g = dwt_graph(16, 3)
+        for v in g:
+            if is_coefficient(v):
+                assert g.out_degree(v) == 0
+
+    def test_averages_feed_forward_except_last_layer(self):
+        g = dwt_graph(16, 3)
+        for v in g:
+            if is_average(v) and v[0] < 4:
+                assert g.out_degree(v) == 2
+
+
+class TestPruning:
+    def test_pruned_8_3_matches_figure_3b(self):
+        g = dwt_graph(8, 3)
+        p = prune_dwt(g)
+        assert len(p) == 15
+        assert set(p.sinks) == {(4, 1)}
+        assert p.is_tree_toward_sink()
+
+    def test_pruned_nodes_are_even_noninput(self):
+        g = dwt_graph(8, 2)
+        for u in pruned_nodes(g):
+            assert u[0] > 1 and u[1] % 2 == 0
+
+    def test_pruned_components_are_binary_trees(self):
+        g = dwt_graph(16, 2)  # 4 independent subtrees
+        p = prune_dwt(g)
+        comps = p.weakly_connected_components()
+        assert len(comps) == 4
+        for comp in comps:
+            sub = p.subgraph(comp)
+            assert sub.is_tree_toward_sink()
+
+    def test_sibling(self):
+        assert sibling((2, 1)) == (2, 2)
+        assert sibling((2, 2)) == (2, 1)
+        assert sibling((3, 5)) == (3, 6)
+        with pytest.raises(GraphStructureError):
+            sibling((1, 1))
+
+    def test_output_trees(self):
+        g = prune_dwt(dwt_graph(16, 2))
+        trees = output_trees(g)
+        assert len(trees) == 4
+        for root, tree in trees.items():
+            assert tree.sinks == (root,)
+            assert len(tree) == 7  # 4 inputs + 2 + 1
+
+    def test_check_prunable_weights(self):
+        g = dwt_graph(4, 1, weights=double_accumulator())
+        check_prunable_weights(g)  # DA: siblings equal -> fine
+        bad = g.with_weights({v: (48 if v == (2, 2) else 16) for v in g})
+        with pytest.raises(GraphStructureError, match="Lemma 3.2"):
+            check_prunable_weights(bad)
+
+
+class TestWeighting:
+    def test_equal_weights(self):
+        g = dwt_graph(4, 1, weights=equal())
+        assert g.total_weight() == 8 * 16
+
+    def test_da_weights(self):
+        g = dwt_graph(4, 1, weights=double_accumulator())
+        assert g.weight((1, 1)) == 16
+        assert g.weight((2, 1)) == 32
+
+    def test_budget_attached(self):
+        g = dwt_graph(4, 1, weights=equal(), budget=64)
+        assert g.budget == 64

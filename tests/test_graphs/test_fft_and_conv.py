@@ -1,0 +1,154 @@
+"""Tests for the FFT butterfly and FIR convolution graph families."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphStructureError, equal, min_feasible_budget, simulate
+from repro.graphs import (bit_reversal_permutation, butterfly_partner,
+                          conv_graph, conv_n_outputs, conv_output_node,
+                          fft_graph, fft_stages, sample_node, tap_node)
+from repro.kernels import (conv_inputs, conv_operation,
+                           conv_outputs_to_vector, fft_inputs, fft_operation,
+                           fft_outputs_to_vector, reference_fft,
+                           reference_fir)
+from repro.machine import ScheduleExecutor
+from repro.schedulers import (EvictionScheduler, GreedyTopologicalScheduler,
+                              SlidingWindowConvScheduler)
+
+
+class TestFFTGraph:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_shape(self, n):
+        g = fft_graph(n)
+        stages = fft_stages(n)
+        assert len(g) == n * (stages + 1)
+        assert len(g.sources) == n and len(g.sinks) == n
+        for v in g:
+            if g.predecessors(v):
+                assert g.in_degree(v) == 2
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 6, 12])
+    def test_invalid_sizes(self, bad):
+        with pytest.raises(GraphStructureError):
+            fft_graph(bad)
+
+    def test_butterfly_partner(self):
+        assert butterfly_partner(0, 1) == 1
+        assert butterfly_partner(0, 2) == 2
+        assert butterfly_partner(5, 3) == 1
+
+    def test_bit_reversal(self):
+        assert bit_reversal_permutation(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_out_degree_two_except_last(self):
+        g = fft_graph(8)
+        last = fft_stages(8) + 1
+        for v in g:
+            if v[0] < last:
+                assert g.out_degree(v) == 2
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_executes_to_numpy_fft(self, n):
+        g = fft_graph(n, weights=equal())
+        b = g.total_weight()
+        sched = EvictionScheduler().schedule(g, b)
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        run = ScheduleExecutor(g, fft_operation(n), b).run(
+            sched, fft_inputs(n, x))
+        got = fft_outputs_to_vector(n, run.outputs)
+        np.testing.assert_allclose(got, reference_fft(x), atol=1e-9)
+
+    def test_executes_under_pressure(self):
+        n = 16
+        g = fft_graph(n, weights=equal())
+        b = min_feasible_budget(g) + 4 * 16
+        sched = EvictionScheduler().schedule(g, b)
+        x = np.arange(n, dtype=float)
+        run = ScheduleExecutor(g, fft_operation(n), b).run(
+            sched, fft_inputs(n, x))
+        got = fft_outputs_to_vector(n, run.outputs)
+        np.testing.assert_allclose(got, reference_fft(x), atol=1e-9)
+
+
+class TestConvGraph:
+    @pytest.mark.parametrize("n,t", [(8, 3), (5, 5), (10, 1), (6, 2)])
+    def test_shape(self, n, t):
+        g = conv_graph(n, t)
+        m = conv_n_outputs(n, t)
+        assert len(g.sources) == n + t
+        assert len(g.sinks) == m
+
+    @pytest.mark.parametrize("n,t", [(2, 3), (4, 0)])
+    def test_invalid(self, n, t):
+        with pytest.raises(GraphStructureError):
+            conv_graph(n, t)
+
+    def test_tap_fanout(self):
+        g = conv_graph(8, 3)
+        assert g.out_degree(tap_node(3, 1)) == conv_n_outputs(8, 3)
+
+    def test_sample_fanout_window(self):
+        g = conv_graph(8, 3)
+        # middle samples feed `t` products
+        assert g.out_degree(sample_node(3, 4)) == 3
+        # boundary samples feed fewer
+        assert g.out_degree(sample_node(3, 1)) == 1
+
+    @pytest.mark.parametrize("n,t", [(8, 3), (6, 2), (12, 4), (5, 1)])
+    def test_executes_to_numpy_reference(self, n, t):
+        g = conv_graph(n, t, weights=equal())
+        b = g.total_weight()
+        sched = EvictionScheduler().schedule(g, b)
+        rng = np.random.default_rng(n * 10 + t)
+        x = rng.standard_normal(n)
+        h = rng.standard_normal(t)
+        run = ScheduleExecutor(g, conv_operation(), b).run(
+            sched, conv_inputs(n, t, x, h))
+        got = conv_outputs_to_vector(n, t, run.outputs)
+        np.testing.assert_allclose(got, reference_fir(x, h), atol=1e-9)
+
+
+class TestSlidingWindowConv:
+    @pytest.mark.parametrize("n,t", [(8, 3), (16, 4), (10, 2), (6, 1)])
+    def test_reaches_lb_at_window_footprint(self, n, t):
+        from repro.core import algorithmic_lower_bound
+        g = conv_graph(n, t, weights=equal())
+        s = SlidingWindowConvScheduler(n, t)
+        b = s.peak(g)
+        sched = s.schedule(g, b)
+        res = simulate(g, sched, budget=b, strict=True)
+        assert res.cost == algorithmic_lower_bound(g)
+        assert res.peak_red_weight <= b
+
+    def test_footprint_independent_of_signal_length(self):
+        s8 = SlidingWindowConvScheduler(8, 3)
+        s80 = SlidingWindowConvScheduler(80, 3)
+        assert (s8.peak(conv_graph(8, 3, weights=equal()))
+                == s80.peak(conv_graph(80, 3, weights=equal())))
+
+    def test_beats_greedy(self):
+        g = conv_graph(16, 3, weights=equal())
+        s = SlidingWindowConvScheduler(16, 3)
+        b = s.peak(g)
+        assert s.cost(g, b) < GreedyTopologicalScheduler().cost(g, b)
+
+    def test_infeasible_below_footprint(self):
+        from repro.core import InfeasibleBudgetError
+        g = conv_graph(8, 3, weights=equal())
+        s = SlidingWindowConvScheduler(8, 3)
+        with pytest.raises(InfeasibleBudgetError):
+            s.schedule(g, s.peak(g) - 16)
+
+    def test_executes_correctly(self):
+        n, t = 12, 3
+        g = conv_graph(n, t, weights=equal())
+        s = SlidingWindowConvScheduler(n, t)
+        b = s.peak(g)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(n)
+        h = rng.standard_normal(t)
+        run = ScheduleExecutor(g, conv_operation(), b).run(
+            s.schedule(g, b), conv_inputs(n, t, x, h))
+        got = conv_outputs_to_vector(n, t, run.outputs)
+        np.testing.assert_allclose(got, reference_fir(x, h), atol=1e-9)

@@ -1,0 +1,114 @@
+"""Tests for MVM graph construction (Def. 4.1, Fig. 4)."""
+
+import pytest
+
+from repro.core import GraphStructureError, double_accumulator
+from repro.graphs import (accumulator_node, banded_mvm_graph, classify,
+                          matrix_node, mvm_graph, mvm_layer_sizes,
+                          output_node, product_node, vector_node)
+
+
+class TestParams:
+    @pytest.mark.parametrize("m,n", [(2, 1), (3, 2), (2, 3), (96, 120)])
+    def test_valid(self, m, n):
+        g = mvm_graph(m, n)
+        assert len(g) == sum(mvm_layer_sizes(m, n))
+
+    @pytest.mark.parametrize("m,n", [(1, 2), (0, 1), (2, 0)])
+    def test_invalid(self, m, n):
+        with pytest.raises(GraphStructureError):
+            mvm_graph(m, n)
+
+    def test_layer_sizes(self):
+        assert mvm_layer_sizes(3, 2) == [8, 6, 3]
+        assert mvm_layer_sizes(2, 3) == [9, 6, 2, 2]
+        assert mvm_layer_sizes(96, 120) == [96 * 120 + 120, 96 * 120] + [96] * 119
+
+
+class TestFigure4Structure:
+    def test_mvm_3_2_matches_figure_4a(self):
+        g = mvm_graph(3, 2)
+        assert set(g.sinks) == {(3, 1), (3, 2), (3, 3)}
+        # y_r = a_r1*x1 + a_r2*x2: sink parents are first-column product
+        # (via the chain rule) and second-column product.
+        assert g.predecessors((3, 1)) == ((2, 1), (2, 4))
+        assert g.predecessors((3, 3)) == ((2, 3), (2, 6))
+
+    def test_mvm_2_3_matches_figure_4b(self):
+        g = mvm_graph(2, 3)
+        assert set(g.sinks) == {(4, 1), (4, 2)}
+        assert g.predecessors((3, 1)) == ((2, 1), (2, 3))
+        assert g.predecessors((4, 1)) == ((3, 1), (2, 5))
+
+    def test_vector_fanout(self):
+        g = mvm_graph(3, 2)
+        # x_1 is input index 1; it feeds the first column's 3 products.
+        assert set(g.successors((1, 1))) == {(2, 1), (2, 2), (2, 3)}
+
+    def test_matrix_entry_fanout_is_one(self):
+        g = mvm_graph(3, 2)
+        for r in range(1, 4):
+            for c in range(1, 3):
+                assert g.out_degree(matrix_node(3, r, c)) == 1
+
+    def test_product_parents(self):
+        m, n = 4, 3
+        g = mvm_graph(m, n)
+        for r in range(1, m + 1):
+            for c in range(1, n + 1):
+                parents = g.predecessors(product_node(m, r, c))
+                assert set(parents) == {vector_node(m, c),
+                                        matrix_node(m, r, c)}
+
+    def test_single_column_edge_case(self):
+        g = mvm_graph(3, 1)
+        assert set(g.sinks) == {(2, 1), (2, 2), (2, 3)}
+        assert len(g) == 4 + 3
+
+
+class TestCoordinateHelpers:
+    def test_roundtrip_classification(self):
+        m, n = 3, 2
+        g = mvm_graph(m, n)
+        kinds = {classify(m, v) for v in g}
+        assert kinds == {"vector", "matrix", "product", "accumulator"}
+        assert classify(m, vector_node(m, 1)) == "vector"
+        assert classify(m, matrix_node(m, 2, 1)) == "matrix"
+        assert classify(m, product_node(m, 2, 2)) == "product"
+        assert classify(m, accumulator_node(m, 2, 2)) == "accumulator"
+
+    def test_accumulator_c1_is_product(self):
+        assert accumulator_node(5, 2, 1) == product_node(5, 2, 1)
+
+    def test_output_node(self):
+        assert output_node(3, 2, 1) == (3, 1)
+        assert output_node(3, 1, 2) == product_node(3, 2, 1)
+
+
+class TestBanded:
+    def test_full_bandwidth_matches_dense_shape(self):
+        g = banded_mvm_graph(3, 3, bandwidth=3)
+        d = mvm_graph(3, 3)
+        assert len(g) == len(d)
+
+    def test_banded_smaller(self):
+        g = banded_mvm_graph(4, 4, bandwidth=1)
+        d = mvm_graph(4, 4)
+        assert len(g) < len(d)
+
+    def test_banded_row_chain_lengths(self):
+        g = banded_mvm_graph(4, 4, bandwidth=0)  # diagonal only
+        # each row: x_c, a_rc -> product (a sink)
+        assert len(g.sinks) == 4
+        for v in g.sinks:
+            assert v[0] == 2
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(GraphStructureError):
+            banded_mvm_graph(3, 3, bandwidth=-1)
+
+    def test_da_weights(self):
+        g = banded_mvm_graph(3, 3, bandwidth=1,
+                             weights=double_accumulator())
+        assert g.weight(vector_node(3, 1)) == 16
+        assert g.weight(product_node(3, 1, 1)) == 32

@@ -1,0 +1,81 @@
+"""Tests for the random CDAG generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GraphStructureError, algorithmic_lower_bound, \
+    min_feasible_budget, simulate
+from repro.graphs import (random_layered_dag, random_series_parallel,
+                          random_weighted)
+from repro.schedulers import EvictionScheduler, GreedyTopologicalScheduler, \
+    LayerByLayerScheduler
+
+
+class TestLayered:
+    def test_shape(self):
+        g = random_layered_dag(4, 5, seed=1)
+        layers = {v[0] for v in g}
+        assert layers == {1, 2, 3, 4}
+        assert all(v[0] == 1 for v in g.sources)
+
+    def test_reproducible(self):
+        a = random_layered_dag(4, 5, seed=7)
+        b = random_layered_dag(4, 5, seed=7)
+        assert set(a) == set(b) and a.num_edges == b.num_edges
+
+    def test_fanin_bound(self):
+        g = random_layered_dag(5, 6, max_fanin=2, seed=3)
+        assert g.max_in_degree() <= 2
+
+    def test_schedulable_by_layer_baseline(self):
+        g = random_layered_dag(4, 4, seed=2)
+        b = min_feasible_budget(g) + 32
+        res = simulate(g, LayerByLayerScheduler().schedule(g, b), budget=b)
+        assert res.cost >= algorithmic_lower_bound(g)
+
+    def test_invalid(self):
+        with pytest.raises(GraphStructureError):
+            random_layered_dag(1, 4)
+
+
+class TestSeriesParallel:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(0, 20), seed=st.integers(0, 100))
+    def test_two_terminal_property(self, n, seed):
+        g = random_series_parallel(n, seed=seed)
+        assert set(g.sources) == {"s"}
+        assert set(g.sinks) == {"t"}
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 15), seed=st.integers(0, 100))
+    def test_heuristics_handle_sp_graphs(self, n, seed):
+        g = random_series_parallel(n, seed=seed)
+        b = min_feasible_budget(g)
+        res = simulate(g, EvictionScheduler().schedule(g, b), budget=b)
+        assert res.cost >= algorithmic_lower_bound(g)
+
+    def test_grows_with_compositions(self):
+        small = random_series_parallel(2, seed=0)
+        big = random_series_parallel(20, seed=0)
+        assert len(big) > len(small)
+
+
+class TestRandomWeighted:
+    def test_range_and_reproducibility(self):
+        g = random_series_parallel(8, seed=1)
+        w1 = random_weighted(g, 2, 5, seed=9)
+        w2 = random_weighted(g, 2, 5, seed=9)
+        for v in g:
+            assert 2 <= w1.weight(v) <= 5
+            assert w1.weight(v) == w2.weight(v)
+
+    def test_invalid_range(self):
+        g = random_series_parallel(2)
+        with pytest.raises(GraphStructureError):
+            random_weighted(g, 3, 2)
+
+    def test_weighted_graphs_schedulable(self):
+        g = random_weighted(random_layered_dag(3, 4, seed=4), seed=4)
+        b = min_feasible_budget(g)
+        sched = GreedyTopologicalScheduler().schedule(g, b)
+        assert simulate(g, sched, budget=b).peak_red_weight <= b

@@ -1,0 +1,97 @@
+"""Tests for k-ary tree builders (Def. 3.6)."""
+
+import pytest
+
+from repro.core import GraphStructureError, equal
+from repro.graphs import (ROOT, caterpillar_tree, complete_kary_tree,
+                          random_kary_tree, tree_depth, tree_from_nested)
+
+
+class TestComplete:
+    @pytest.mark.parametrize("k,depth,nodes", [
+        (2, 1, 3), (2, 2, 7), (2, 3, 15), (3, 2, 13), (1, 3, 4)])
+    def test_node_counts(self, k, depth, nodes):
+        g = complete_kary_tree(k, depth)
+        assert len(g) == nodes
+        assert g.is_tree_toward_sink()
+        assert g.sinks == (ROOT,)
+
+    def test_depth(self):
+        assert tree_depth(complete_kary_tree(2, 3)) == 3
+        assert tree_depth(complete_kary_tree(3, 2)) == 2
+
+    def test_in_degree_bound(self):
+        g = complete_kary_tree(3, 2)
+        assert g.max_in_degree() == 3
+
+    def test_invalid(self):
+        with pytest.raises(GraphStructureError):
+            complete_kary_tree(0, 2)
+        with pytest.raises(GraphStructureError):
+            complete_kary_tree(2, 0)
+
+
+class TestCaterpillar:
+    def test_shape(self):
+        g = caterpillar_tree(3, k=2)
+        # 3 spine nodes; deepest has 2 leaves, others 1 leaf + spine child.
+        assert len(g) == 3 + 2 + 2
+        assert g.is_tree_toward_sink()
+        assert tree_depth(g) == 3
+
+    def test_matches_mvm_row_shape(self):
+        """A length-n caterpillar is exactly one MVM output's ancestry over
+        products (leaves here stand for the products)."""
+        g = caterpillar_tree(5, k=2)
+        internal = [v for v in g if g.predecessors(v)]
+        assert len(internal) == 5
+
+    def test_k3(self):
+        g = caterpillar_tree(2, k=3)
+        assert g.max_in_degree() == 3
+
+    def test_invalid(self):
+        with pytest.raises(GraphStructureError):
+            caterpillar_tree(0)
+        with pytest.raises(GraphStructureError):
+            caterpillar_tree(2, k=1)
+
+
+class TestNested:
+    def test_explicit_shape(self):
+        g = tree_from_nested([["x", "x"], "x"])
+        assert len(g) == 5
+        assert g.predecessors(ROOT) == ((0,), (1,))
+        assert g.predecessors((0,)) == ((0, 0), (0, 1))
+
+    def test_rejects_leaf_root(self):
+        with pytest.raises(GraphStructureError):
+            tree_from_nested("x")
+
+    def test_rejects_empty_internal(self):
+        with pytest.raises(GraphStructureError):
+            tree_from_nested([[], "x"])
+
+
+class TestRandom:
+    def test_reproducible(self):
+        a = random_kary_tree(6, 3, seed=42)
+        b = random_kary_tree(6, 3, seed=42)
+        assert set(a) == set(b)
+        assert a.num_edges == b.num_edges
+
+    def test_different_seeds_differ(self):
+        shapes = {frozenset(random_kary_tree(6, 3, seed=s)) for s in range(8)}
+        assert len(shapes) > 1
+
+    def test_structure_invariants(self):
+        for seed in range(5):
+            g = random_kary_tree(7, 3, seed=seed)
+            assert g.is_tree_toward_sink()
+            assert g.max_in_degree() <= 3
+            internal = [v for v in g if g.predecessors(v)]
+            assert len(internal) == 7
+
+    def test_weight_config(self):
+        g = random_kary_tree(4, 2, seed=0, weights=equal())
+        assert all(g.weight(v) == 16 for v in g)

@@ -1,0 +1,122 @@
+"""Tests for the SRAM synthesis substrate (compiler, process, layout)."""
+
+import pytest
+
+from repro.core.exceptions import GraphStructureError
+from repro.hardware import (MemoryCompiler, ProcessModel, TSMC65, floorplan,
+                            render_ascii, render_comparison, round_up_pow2)
+
+
+class TestRounding:
+    @pytest.mark.parametrize("bits,expected", [
+        (1, 1), (2, 2), (3, 4), (160, 256), (288, 512), (1584, 2048),
+        (2016, 2048), (3088, 4096), (4624, 8192), (7168, 8192),
+        (10240, 16384), (4096, 4096)])
+    def test_round_up_pow2(self, bits, expected):
+        assert round_up_pow2(bits) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GraphStructureError):
+            round_up_pow2(0)
+
+
+class TestOrganization:
+    def test_small_macro_single_bank(self):
+        org = MemoryCompiler().organize(256)
+        assert org.words == 16
+        assert org.banks == 1
+        assert org.rows * org.mux == org.words
+        assert org.cols == 16 * org.mux
+
+    def test_array_squareness(self):
+        org = MemoryCompiler().organize(16384)
+        assert org.rows == org.cols == 128
+
+    def test_banking_kicks_in(self):
+        c = MemoryCompiler(ProcessModel(max_rows_per_bank=64))
+        org = c.organize(16384)  # 1024 words
+        assert org.banks > 1
+        assert org.rows <= 64
+
+    def test_word_multiple_required(self):
+        with pytest.raises(GraphStructureError):
+            MemoryCompiler().organize(100)
+        with pytest.raises(GraphStructureError):
+            MemoryCompiler().organize(0)
+
+
+class TestMetrics:
+    CAPS = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+    def test_area_monotone_and_sublinear(self):
+        c = MemoryCompiler()
+        areas = [c.synthesize(b).area for b in self.CAPS]
+        assert areas == sorted(areas)
+        per_bit = [a / b for a, b in zip(areas, self.CAPS)]
+        assert per_bit == sorted(per_bit, reverse=True)  # periphery amortizes
+
+    def test_leakage_monotone(self):
+        c = MemoryCompiler()
+        leaks = [c.synthesize(b).leakage_mw for b in self.CAPS]
+        assert leaks == sorted(leaks)
+
+    def test_dynamic_power_monotone(self):
+        c = MemoryCompiler()
+        rd = [c.synthesize(b).read_power_mw for b in self.CAPS]
+        wr = [c.synthesize(b).write_power_mw for b in self.CAPS]
+        assert rd == sorted(rd)
+        assert all(w > r for w, r in zip(wr, rd))
+
+    def test_bandwidth_nearly_constant(self):
+        """Sec. 5.3: throughput stays nearly constant across capacities."""
+        c = MemoryCompiler()
+        bws = [c.synthesize(b).read_bandwidth_gbps for b in self.CAPS]
+        assert max(bws) / min(bws) < 1.15
+        assert all(30 < bw < 60 for bw in bws)
+
+    def test_paper_range_calibration(self):
+        """Values land in the numeric ranges of the paper's Fig. 7 axes."""
+        c = MemoryCompiler()
+        big = c.synthesize(16384)
+        assert 15 <= big.leakage_mw <= 30
+        assert 25 <= big.read_power_mw <= 45
+        assert 50_000 <= big.area <= 150_000
+
+    def test_synthesize_pow2(self):
+        c = MemoryCompiler()
+        m = c.synthesize_pow2(1584)
+        assert m.capacity_bits == 2048
+
+
+class TestFloorplan:
+    def test_rect_area_sums_to_macro_area(self):
+        c = MemoryCompiler()
+        for bits in (256, 2048, 16384):
+            m = c.synthesize(bits)
+            plan = floorplan(m)
+            assert plan.total_area == pytest.approx(m.area, rel=1e-9)
+
+    def test_banked_floorplan(self):
+        c = MemoryCompiler(ProcessModel(max_rows_per_bank=32))
+        plan = floorplan(c.synthesize(16384))
+        names = {r.name.split("/")[0] for r in plan.rects}
+        assert any(n.startswith("bank") for n in names)
+        assert any(n.startswith("route") for n in names)
+        assert plan.total_area == pytest.approx(plan.macro.area, rel=1e-9)
+
+    def test_ascii_render_contains_parts(self):
+        plan = floorplan(MemoryCompiler().synthesize(1024))
+        art = render_ascii(plan)
+        for ch in "#DSC":
+            assert ch in art
+        assert "1024 bits" in art
+
+    def test_comparison_common_scale(self):
+        c = MemoryCompiler()
+        small = floorplan(c.synthesize(256))
+        large = floorplan(c.synthesize(8192))
+        art = render_comparison(small, large, "ours", "baseline")
+        assert "ours" in art and "baseline" in art
+        # the larger macro should get the wider drawing
+        small_w = max(len(l.split()[0]) for l in art.splitlines()[2:3])
+        assert "256 bits" in art and "8192 bits" in art

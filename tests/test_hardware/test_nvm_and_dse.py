@@ -1,0 +1,148 @@
+"""Tests for the mixed SRAM+NVM system model and the co-design sweep."""
+
+import pytest
+
+from repro.analysis import (DesignPoint, best_under_power_cap, explore,
+                            pareto_frontier, render_design_space)
+from repro.core import algorithmic_lower_bound, equal, min_feasible_budget
+from repro.graphs import dwt_graph, mvm_graph
+from repro.hardware import (MemoryCompiler, MixedMemorySystem, NVMModel,
+                            SchedulePowerReport)
+from repro.schedulers import (EvictionScheduler, OptimalDWTScheduler,
+                              TilingMVMScheduler)
+
+
+@pytest.fixture
+def dwt_setup():
+    g = dwt_graph(32, 5, weights=equal())
+    opt = OptimalDWTScheduler()
+    return g, opt
+
+
+class TestMixedMemorySystem:
+    def test_report_fields_positive(self, dwt_setup):
+        g, opt = dwt_setup
+        b = min_feasible_budget(g) + 64
+        sched = opt.schedule(g, b)
+        macro = MemoryCompiler().synthesize_pow2(b)
+        rep = MixedMemorySystem(macro).price(g, sched)
+        assert isinstance(rep, SchedulePowerReport)
+        assert rep.sram_dynamic_pj > 0
+        assert rep.sram_leakage_pj > 0
+        assert rep.nvm_read_pj > 0 and rep.nvm_write_pj > 0
+        assert rep.total_pj == pytest.approx(
+            rep.sram_dynamic_pj + rep.sram_leakage_pj
+            + rep.nvm_read_pj + rep.nvm_write_pj)
+        assert rep.average_power_mw > 0
+
+    def test_nvm_write_asymmetry(self, dwt_setup):
+        """Writes cost more than reads per bit; a schedule's NVM write
+        energy per bit reflects the model's asymmetry."""
+        g, opt = dwt_setup
+        b = min_feasible_budget(g) + 64
+        sched = opt.schedule(g, b)
+        macro = MemoryCompiler().synthesize_pow2(b)
+        nvm = NVMModel()
+        rep = MixedMemorySystem(macro, nvm).price(g, sched)
+        from repro.core import simulate
+        res = simulate(g, sched, budget=b)
+        assert rep.nvm_read_pj == pytest.approx(
+            res.read_cost * nvm.read_pj_per_bit)
+        assert rep.nvm_write_pj == pytest.approx(
+            res.write_cost * nvm.write_pj_per_bit)
+
+    def test_more_io_costs_more_energy(self, dwt_setup):
+        """Tighter budgets mean more I/O; on the same macro the pricier
+        schedule must cost more NVM energy."""
+        g, opt = dwt_setup
+        lo = min_feasible_budget(g)
+        macro = MemoryCompiler().synthesize(1024)
+        system = MixedMemorySystem(macro)
+        tight = system.price(g, opt.schedule(g, lo))
+        roomy = system.price(g, opt.schedule(g, lo + 8 * 16))
+        assert (tight.nvm_read_pj + tight.nvm_write_pj
+                >= roomy.nvm_read_pj + roomy.nvm_write_pj)
+
+    def test_leakier_macro_costs_more(self, dwt_setup):
+        g, opt = dwt_setup
+        b = min_feasible_budget(g) + 64
+        sched = opt.schedule(g, b)
+        c = MemoryCompiler()
+        small = MixedMemorySystem(c.synthesize(256)).price(g, sched)
+        large = MixedMemorySystem(c.synthesize(16384)).price(g, sched)
+        assert large.sram_leakage_pj > small.sram_leakage_pj
+
+
+class TestDesignSpaceExploration:
+    def test_explore_dwt(self, dwt_setup):
+        g, opt = dwt_setup
+        points = explore(g, opt)
+        assert len(points) >= 2
+        for p in points:
+            assert p.io_bits >= algorithmic_lower_bound(g)
+            assert p.capacity_bits >= p.peak_bits
+            assert p.energy_pj > 0
+
+    def test_io_monotone_along_budgets(self, dwt_setup):
+        g, opt = dwt_setup
+        points = explore(g, opt)
+        ios = [p.io_bits for p in points]
+        assert ios == sorted(ios, reverse=True)
+
+    def test_explicit_budgets_and_infeasible_skipped(self, dwt_setup):
+        g, opt = dwt_setup
+        lo = min_feasible_budget(g)
+        points = explore(g, opt, budgets=[16, lo, lo + 160])
+        assert len(points) == 2  # 16 bits is infeasible -> skipped
+
+    def test_pareto_frontier_nondominated(self, dwt_setup):
+        g, opt = dwt_setup
+        points = explore(g, opt)
+        frontier = pareto_frontier(points)
+        assert frontier
+        for p in frontier:
+            assert not any(q.dominates(p) for q in points)
+        areas = [p.area for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_dominates_semantics(self):
+        a = DesignPoint(1, 1, 1, 1, area=10, leakage_mw=1, energy_pj=10,
+                        average_power_mw=1)
+        b = DesignPoint(1, 1, 1, 1, area=20, leakage_mw=1, energy_pj=20,
+                        average_power_mw=1)
+        assert a.dominates(b) and not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_render(self, dwt_setup):
+        g, opt = dwt_setup
+        txt = render_design_space(explore(g, opt), title="DWT DSE")
+        assert "DWT DSE" in txt and "energy (pJ)" in txt
+
+    def test_works_with_tiling(self):
+        g = mvm_graph(6, 8, weights=equal())
+        t = TilingMVMScheduler(6, 8)
+        points = explore(g, t, budgets=[128, 192, 256, 512])
+        assert points
+        assert points[-1].io_bits == algorithmic_lower_bound(g)
+
+    def test_works_with_heuristic(self):
+        g = dwt_graph(16, 2, weights=equal())
+        points = explore(g, EvictionScheduler())
+        assert points
+
+    def test_power_cap_selector(self, dwt_setup):
+        g, opt = dwt_setup
+        points = explore(g, opt)
+        # An unreachable cap yields nothing; a generous one picks the
+        # lowest-I/O point.
+        assert best_under_power_cap(points, 1e-9) is None
+        best = best_under_power_cap(points, 1e9)
+        assert best is not None
+        assert best.io_bits == min(p.io_bits for p in points)
+        # A binding cap excludes at least the hungriest points.
+        powers = sorted(p.average_power_mw for p in points)
+        if len(set(powers)) > 1:
+            mid = powers[len(powers) // 2]
+            capped = best_under_power_cap(points, mid)
+            assert capped is not None
+            assert capped.average_power_mw <= mid

@@ -1,0 +1,108 @@
+"""Cross-subsystem integration invariants.
+
+Every layer of the library must agree on the same numbers: scheduler
+costs, simulator accounting, executor traffic, trace bytes, and the
+cleanup passes — one test module exercises the full stack together.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (algorithmic_lower_bound, compact, equal,
+                        min_feasible_budget, simulate)
+from repro.graphs import dwt_graph, mvm_graph
+from repro.kernels import dwt_inputs, dwt_operation
+from repro.machine import ScheduleExecutor, trace, traffic_bytes
+from repro.schedulers import (EvictionScheduler, GreedyTopologicalScheduler,
+                              LayerByLayerScheduler, OptimalDWTScheduler,
+                              RecomputeScheduler)
+
+SCHEDULERS = [
+    OptimalDWTScheduler(),
+    LayerByLayerScheduler(retention="eager"),
+    LayerByLayerScheduler(retention="deferred"),
+    GreedyTopologicalScheduler(),
+    EvictionScheduler(policy="belady"),
+    EvictionScheduler(policy="lru"),
+    RecomputeScheduler(),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return dwt_graph(32, 5, weights=equal())
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS,
+                         ids=lambda s: s.name)
+class TestAllSchedulersAgree:
+    def test_accounting_chain(self, scheduler, graph):
+        """schedule.cost == simulate().cost == 8 * trace bytes, and the
+        peak respects the budget — for every scheduler at two budgets."""
+        lo = min_feasible_budget(graph)
+        for b in (lo + 16, lo + 6 * 16):
+            sched = scheduler.schedule(graph, b)
+            res = simulate(graph, sched, budget=b)
+            assert res.cost == sched.cost(graph)
+            r_bytes, w_bytes = traffic_bytes(trace(graph, sched))
+            assert (r_bytes + w_bytes) * 8 == res.cost
+            assert res.peak_red_weight <= b
+            assert res.cost >= algorithmic_lower_bound(graph)
+
+    def test_compaction_safe(self, scheduler, graph):
+        b = min_feasible_budget(graph) + 2 * 16
+        sched = scheduler.schedule(graph, b)
+        out = compact(graph, sched)
+        before = simulate(graph, sched, budget=b)
+        after = simulate(graph, out, budget=b)
+        assert after.cost <= before.cost
+        assert after.peak_red_weight <= b
+
+    def test_execution_correct(self, scheduler, graph):
+        """Every scheduler's output computes the same transform values."""
+        b = min_feasible_budget(graph) + 6 * 16
+        sched = scheduler.schedule(graph, b)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(32)
+        run = ScheduleExecutor(graph, dwt_operation(), b).run(
+            sched, dwt_inputs(graph, x))
+        from repro.kernels import haar_dwt
+        avgs, _ = haar_dwt(x, 5)
+        assert run.outputs[(6, 1)] == pytest.approx(avgs[-1][0])
+
+
+class TestScalingInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(k=st.integers(2, 7))
+    def test_weight_scaling_scales_optimal_cost(self, k):
+        """WRBPG is scale-free: multiplying all weights and the budget by
+        ``k`` multiplies the optimal cost by ``k`` exactly."""
+        base = dwt_graph(8, 3, weights=equal())
+        b = min_feasible_budget(base) + 16
+        opt = OptimalDWTScheduler()
+        scaled = base.with_weights({v: base.weight(v) * k for v in base})
+        assert opt.cost(scaled, b * k) == k * opt.cost(base, b)
+
+    @settings(max_examples=6, deadline=None)
+    @given(k=st.integers(2, 5))
+    def test_scaling_invariance_tiling(self, k):
+        from repro.schedulers import TilingMVMScheduler
+        base = mvm_graph(4, 5, weights=equal())
+        t = TilingMVMScheduler(4, 5)
+        b = t.min_memory_for_lower_bound(base)
+        scaled = base.with_weights({v: base.weight(v) * k for v in base})
+        assert t.cost(scaled, b * k) == k * t.cost(base, b)
+
+
+class TestOptimumDominatesEverything:
+    def test_nothing_beats_algorithm1(self, graph):
+        """On its home turf, no other scheduler in the library produces a
+        cheaper schedule at any tested budget — the optimality claim made
+        practical."""
+        opt = OptimalDWTScheduler()
+        lo = min_feasible_budget(graph)
+        for b in (lo, lo + 16, lo + 4 * 16, lo + 16 * 16):
+            best = opt.cost(graph, b)
+            for scheduler in SCHEDULERS[1:]:
+                assert scheduler.cost(graph, b) >= best

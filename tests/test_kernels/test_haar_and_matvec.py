@@ -1,0 +1,138 @@
+"""Tests for the numerical kernels (Haar DWT, MVM, decoders, signals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kernels import (HAAR, HAAR_UNNORMALIZED, LinearDecoder, SQRT2,
+                           SignalConfig, Wavelet2, band_energies,
+                           banded_matvec, haar_dwt, inverse_haar_dwt, matvec,
+                           quantize, synthetic_array, synthetic_channel)
+
+
+class TestHaar:
+    def test_level1_matches_paper_equations(self):
+        x = np.array([1.0, 3.0, 2.0, 6.0])
+        avgs, coefs = haar_dwt(x, 1)
+        np.testing.assert_allclose(avgs[0], [4 / SQRT2, 8 / SQRT2])
+        np.testing.assert_allclose(coefs[0], [-2 / SQRT2, -4 / SQRT2])
+
+    def test_recursion_uses_previous_averages(self):
+        x = np.arange(8, dtype=float)
+        avgs, coefs = haar_dwt(x, 3)
+        a1, c1 = haar_dwt(x, 1)
+        a2, _ = haar_dwt(a1[0], 1)
+        np.testing.assert_allclose(avgs[1], a2[0])
+        assert [len(a) for a in avgs] == [4, 2, 1]
+        assert [len(c) for c in coefs] == [4, 2, 1]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.ones(6), 2)  # 6 not a multiple of 4
+        with pytest.raises(ValueError):
+            haar_dwt(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            haar_dwt(np.ones((2, 2)), 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=arrays(np.float64, 16, elements=st.floats(-100, 100)),
+           levels=st.integers(1, 4))
+    def test_inverse_roundtrip(self, x, levels):
+        avgs, coefs = haar_dwt(x, levels)
+        back = inverse_haar_dwt(avgs, coefs)
+        np.testing.assert_allclose(back, x, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=arrays(np.float64, 8, elements=st.floats(-50, 50)))
+    def test_orthonormal_energy_preservation(self, x):
+        """Parseval for the orthonormal Haar: signal energy equals the
+        energy of the final averages plus all coefficient levels."""
+        avgs, coefs = haar_dwt(x, 3)
+        total = float(np.sum(avgs[-1] ** 2)) + float(band_energies(coefs).sum())
+        assert total == pytest.approx(float(np.sum(x ** 2)), rel=1e-9)
+
+    def test_custom_wavelet(self):
+        x = np.array([2.0, 4.0])
+        avgs, coefs = haar_dwt(x, 1, wavelet=HAAR_UNNORMALIZED)
+        assert avgs[0][0] == pytest.approx(3.0)
+        assert coefs[0][0] == pytest.approx(-1.0)
+
+    def test_band_energies_shape(self):
+        _, coefs = haar_dwt(np.arange(16.0), 4)
+        e = band_energies(coefs)
+        assert e.shape == (4,)
+        assert (e >= 0).all()
+
+
+class TestMatvec:
+    def test_reference(self):
+        A = np.array([[1.0, 2.0], [3.0, 4.0]])
+        x = np.array([1.0, -1.0])
+        np.testing.assert_allclose(matvec(A, x), [-1.0, -1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            matvec(np.ones((2, 3)), np.ones(2))
+
+    def test_banded_zeroes_outside_band(self):
+        A = np.ones((4, 4))
+        x = np.ones(4)
+        y = banded_matvec(A, x, bandwidth=0)
+        np.testing.assert_allclose(y, np.ones(4))  # diagonal only
+
+    def test_banded_full_band_matches_dense(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((4, 5))
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(banded_matvec(A, x, 10), matvec(A, x))
+
+
+class TestDecoder:
+    def test_fit_and_predict_separable(self):
+        rng = np.random.default_rng(7)
+        n_per = 40
+        c0 = rng.normal(0, 0.3, (n_per, 4)) + np.array([2, 0, 0, 0])
+        c1 = rng.normal(0, 0.3, (n_per, 4)) + np.array([0, 2, 0, 0])
+        X = np.vstack([c0, c1])
+        y = np.array([0] * n_per + [1] * n_per)
+        dec = LinearDecoder.fit_least_squares(X, y)
+        correct = sum(dec.predict(x) == t for x, t in zip(X, y))
+        assert correct >= int(0.95 * len(y))
+
+    def test_scores_shape(self):
+        dec = LinearDecoder(weights=np.eye(3), bias=np.zeros(3))
+        assert dec.scores(np.array([1.0, 2.0, 3.0])).shape == (3,)
+        assert dec.predict(np.array([0.0, 5.0, 1.0])) == 1
+
+
+class TestSignals:
+    def test_channel_shape_and_range(self):
+        x = synthetic_channel(SignalConfig(n_samples=256))
+        assert x.shape == (256,)
+        assert np.abs(x).max() <= 1.0
+
+    def test_burst_raises_highband_energy(self):
+        # Sampling chosen so the burst tone falls in the finest wavelet
+        # bands of a 256-sample window.
+        cfg = SignalConfig(n_samples=256, sample_rate_hz=512.0,
+                           background_hz=8.0, burst_hz=180.0)
+        quiet = synthetic_channel(cfg)
+        loud = synthetic_channel(cfg, burst=(64, 192))
+        _, cq = haar_dwt(quiet, 4)
+        _, cl = haar_dwt(loud, 4)
+        assert band_energies(cl)[:2].sum() > 2 * band_energies(cq)[:2].sum()
+
+    def test_array_shape_and_seeding(self):
+        cfg = SignalConfig(n_samples=64, seed=5)
+        a = synthetic_array(4, cfg, burst_channels=(1,), burst=(16, 48))
+        b = synthetic_array(4, cfg, burst_channels=(1,), burst=(16, 48))
+        assert a.shape == (4, 64)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a[0], a[2])  # per-channel seeds differ
+
+    def test_quantize(self):
+        x = np.linspace(-1, 1, 33)
+        q = quantize(x, bits=8)
+        assert np.abs(q - x).max() <= 1.0 / 127
+        assert np.abs(quantize(np.array([2.0]))[0]) == 1.0

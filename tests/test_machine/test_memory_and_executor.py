@@ -1,0 +1,190 @@
+"""Tests for the two-level machine: memories, executor, energy model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BudgetExceededError, M1, M2, M3, M4,
+                        RuleViolationError, Schedule, equal,
+                        double_accumulator, min_feasible_budget, simulate)
+from repro.graphs import dwt_graph, mvm_graph, banded_mvm_graph
+from repro.kernels import (banded_matvec, dwt_inputs, dwt_operation,
+                           haar_dwt, matvec, mvm_inputs, mvm_operation,
+                           mvm_outputs_to_vector)
+from repro.machine import (EnergyModel, FastMemory, ScheduleExecutor,
+                           SlowMemory)
+from repro.schedulers import (GreedyTopologicalScheduler, OptimalDWTScheduler,
+                              TilingMVMScheduler)
+
+
+class TestFastMemory:
+    def test_capacity_enforced(self):
+        f = FastMemory(32)
+        f.write("a", 1.0, 16)
+        f.write("b", 2.0, 16)
+        with pytest.raises(BudgetExceededError):
+            f.write("c", 3.0, 16)
+
+    def test_evict_frees_space(self):
+        f = FastMemory(16)
+        f.write("a", 1.0, 16)
+        f.evict("a")
+        f.write("b", 2.0, 16)
+        assert f.read("b") == 2.0
+
+    def test_peak_tracking(self):
+        f = FastMemory(48)
+        f.write("a", 1, 16)
+        f.write("b", 2, 32)
+        f.evict("a")
+        assert f.peak_occupancy_bits == 48
+        assert f.occupancy_bits == 32
+
+    def test_double_write_rejected(self):
+        f = FastMemory(64)
+        f.write("a", 1, 16)
+        with pytest.raises(RuleViolationError):
+            f.write("a", 1, 16)
+
+    def test_read_absent_rejected(self):
+        with pytest.raises(RuleViolationError):
+            FastMemory(64).read("a")
+
+    def test_unbounded(self):
+        f = FastMemory(None)
+        for i in range(100):
+            f.write(i, i, 16)
+        assert f.occupancy_bits == 1600
+
+
+class TestSlowMemory:
+    def test_traffic_accounting(self):
+        s = SlowMemory()
+        s.preload({"a": 1.0})
+        assert s.read("a", 16) == 1.0
+        s.write("b", 2.0, 32)
+        assert (s.bits_read, s.bits_written) == (16, 32)
+        assert s.traffic_bits == 48
+
+    def test_preload_free(self):
+        s = SlowMemory()
+        s.preload({"a": 1.0})
+        assert s.traffic_bits == 0
+
+    def test_read_absent(self):
+        with pytest.raises(RuleViolationError):
+            SlowMemory().read("a", 16)
+
+
+class TestExecutorDWT:
+    @pytest.mark.parametrize("n,d", [(4, 2), (8, 3), (16, 4), (32, 2)])
+    def test_matches_numpy_reference(self, n, d):
+        g = dwt_graph(n, d, weights=equal())
+        b = min_feasible_budget(g) + 10 * 16
+        sched = OptimalDWTScheduler().schedule(g, b)
+        rng = np.random.default_rng(n + d)
+        x = rng.standard_normal(n)
+        res = ScheduleExecutor(g, dwt_operation(), b).run(
+            sched, dwt_inputs(g, x))
+        avgs, coefs = haar_dwt(x, d)
+        for (i, j), val in res.outputs.items():
+            if i == d + 1 and j % 2 == 1:
+                ref = avgs[d - 1][(j - 1) // 2]
+            else:
+                ref = coefs[i - 2][(j // 2) - 1]
+            assert val == pytest.approx(ref)
+
+    def test_traffic_equals_schedule_cost(self):
+        g = dwt_graph(16, 4, weights=equal())
+        b = 8 * 16
+        sched = OptimalDWTScheduler().schedule(g, b)
+        res = ScheduleExecutor(g, dwt_operation(), b).run(
+            sched, dwt_inputs(g, np.ones(16)))
+        assert res.traffic_bits == sched.cost(g)
+        assert res.peak_fast_occupancy_bits <= b
+
+    def test_peak_matches_simulator(self):
+        g = dwt_graph(16, 4, weights=double_accumulator())
+        b = min_feasible_budget(g) + 64
+        sched = OptimalDWTScheduler().schedule(g, b)
+        sim = simulate(g, sched, budget=b)
+        res = ScheduleExecutor(g, dwt_operation(), b).run(
+            sched, dwt_inputs(g, np.ones(16)))
+        assert res.peak_fast_occupancy_bits == sim.peak_red_weight
+
+
+class TestExecutorMVM:
+    @pytest.mark.parametrize("m,n", [(2, 2), (5, 7), (4, 1), (3, 8)])
+    def test_matches_numpy_reference(self, m, n):
+        g = mvm_graph(m, n, weights=equal())
+        t = TilingMVMScheduler(m, n)
+        b = t.min_memory_for_lower_bound(g)
+        sched = t.schedule(g, b)
+        rng = np.random.default_rng(m * 10 + n)
+        A = rng.standard_normal((m, n))
+        x = rng.standard_normal(n)
+        res = ScheduleExecutor(g, mvm_operation(), b).run(
+            sched, mvm_inputs(m, n, A, x))
+        y = mvm_outputs_to_vector(m, n, res.outputs)
+        np.testing.assert_allclose(y, matvec(A, x))
+
+    def test_banded_via_greedy(self):
+        m, n, bw = 5, 5, 1
+        g = banded_mvm_graph(m, n, bw, weights=equal())
+        b = min_feasible_budget(g)
+        sched = GreedyTopologicalScheduler().schedule(g, b)
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((m, n))
+        x = rng.standard_normal(n)
+        inputs = mvm_inputs(m, n, A, x)
+        inputs = {k: v for k, v in inputs.items() if k in g.sources or k in g}
+        res = ScheduleExecutor(g, mvm_operation(), b).run(
+            sched, {k: inputs[k] for k in g.sources})
+        ref = banded_matvec(A, x, bw)
+        for r in range(1, m + 1):
+            # row r's output node: last accumulator (or product) of the row
+            outs = [v for v in g.sinks
+                    if v[1] == r or (v[0] == 2 and (v[1] - 1) % m + 1 == r)]
+            assert len(outs) == 1
+            assert res.outputs[outs[0]] == pytest.approx(ref[r - 1])
+
+    def test_missing_inputs_rejected(self):
+        g = mvm_graph(2, 2, weights=equal())
+        ex = ScheduleExecutor(g, mvm_operation(), 1000)
+        with pytest.raises(RuleViolationError, match="missing input"):
+            ex.run(Schedule(), {})
+
+    def test_capacity_overflow_detected(self):
+        g = mvm_graph(2, 2, weights=equal())
+        sched = GreedyTopologicalScheduler().schedule(g, 1000)
+        ex = ScheduleExecutor(g, mvm_operation(), 16)  # absurdly small
+        with pytest.raises(BudgetExceededError):
+            ex.run(sched, mvm_inputs(2, 2, np.ones((2, 2)), np.ones(2)))
+
+
+class TestEnergyModel:
+    def test_energy_positive_and_monotone_in_traffic(self):
+        g = dwt_graph(16, 4, weights=equal())
+        model = EnergyModel()
+        opt = OptimalDWTScheduler()
+        b_small, b_big = 6 * 16, 20 * 16
+        cheap = opt.schedule(g, b_big)
+        pricey = opt.schedule(g, b_small)
+        e_cheap = model.schedule_energy_pj(g, cheap, b_big)
+        e_pricey = model.schedule_energy_pj(g, pricey, b_small)
+        assert e_cheap > 0 and e_pricey > 0
+        # more I/O should dominate the dynamic component:
+        assert pricey.cost(g) >= cheap.cost(g)
+
+    def test_average_power(self):
+        g = dwt_graph(8, 3, weights=equal())
+        sched = OptimalDWTScheduler().schedule(g, 10 * 16)
+        p = EnergyModel().average_power_mw(g, sched, 10 * 16)
+        assert p > 0
+
+    def test_leakage_scales_with_capacity(self):
+        g = dwt_graph(8, 3, weights=equal())
+        sched = OptimalDWTScheduler().schedule(g, 10 * 16)
+        m = EnergyModel()
+        small = m.schedule_energy_pj(g, sched, 256)
+        large = m.schedule_energy_pj(g, sched, 16384)
+        assert large > small

@@ -1,0 +1,89 @@
+"""Tests for streaming pipelines (repro.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import equal
+from repro.graphs import dwt_graph
+from repro.kernels import (SignalConfig, band_energies, dwt_inputs,
+                           dwt_operation, haar_dwt, synthetic_channel)
+from repro.pipeline import WindowedRunner, scalogram, spectrogram
+from repro.schedulers import OptimalDWTScheduler
+
+
+class TestWindowedRunner:
+    @pytest.fixture
+    def runner(self):
+        g = dwt_graph(16, 4, weights=equal())
+        b = 7 * 16
+        sched = OptimalDWTScheduler().schedule(g, b)
+        return WindowedRunner(g, sched, b, dwt_operation(),
+                              lambda w: dwt_inputs(g, w))
+
+    def test_window_count_non_overlapping(self, runner):
+        signal = np.zeros(64)
+        result = runner.run(signal)
+        assert result.windows == 4
+
+    def test_window_count_with_hop(self, runner):
+        result = runner.run(np.zeros(64), hop=8)
+        assert result.windows == (64 - 16) // 8 + 1
+
+    def test_traffic_accumulates(self, runner):
+        one = runner.run(np.zeros(16)).total_traffic_bits
+        four = runner.run(np.zeros(64)).total_traffic_bits
+        assert four == 4 * one
+
+    def test_short_signal_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.run(np.zeros(8))
+        with pytest.raises(ValueError):
+            runner.run(np.zeros(32), hop=0)
+
+    def test_values_match_direct_transform(self, runner):
+        rng = np.random.default_rng(0)
+        signal = rng.standard_normal(48)
+        result = runner.run(signal)
+        for wi in range(result.windows):
+            window = signal[wi * 16:(wi + 1) * 16]
+            avgs, _ = haar_dwt(window, 4)
+            assert result.outputs[wi][(5, 1)] == pytest.approx(avgs[-1][0])
+
+
+class TestScalogram:
+    def test_shape_and_event_localization(self):
+        cfg = SignalConfig(n_samples=1024, sample_rate_hz=512.0,
+                           background_hz=8.0, burst_hz=180.0,
+                           burst_amplitude=1.2, seed=4)
+        signal = synthetic_channel(cfg, burst=(512, 768))
+        mat, result = scalogram(signal, window=256, levels=8)
+        assert mat.shape == (4, 8)
+        assert result.windows == 4
+        # the burst lives in windows 2-3, finest bands
+        quiet = mat[0, :2].sum()
+        loud = mat[2, :2].sum()
+        assert loud > 4 * quiet
+
+    def test_default_budget_is_min_memory(self):
+        signal = np.zeros(512)
+        _, result = scalogram(signal, window=256, levels=8)
+        assert result.peak_fast_bits <= 160  # Table 1's 10 words
+
+
+class TestSpectrogram:
+    def test_shape_and_tone_bin(self):
+        n = 64
+        t = np.arange(4 * n) / 512.0
+        signal = np.sin(2 * np.pi * 128.0 * t)  # bin 16 of a 64-window
+        mat, result = spectrogram(signal, window=n)
+        assert mat.shape == (4, 32)
+        assert result.windows == 4
+        for row in mat:
+            assert int(np.argmax(row[1:])) + 1 == 16
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        signal = rng.standard_normal(128)
+        mat, _ = spectrogram(signal, window=64)
+        ref = np.abs(np.fft.fft(signal[:64]))[:32]
+        np.testing.assert_allclose(mat[0], ref, atol=1e-9)

@@ -1,0 +1,63 @@
+"""Tests for the automatic scheduler dispatcher."""
+
+import pytest
+
+from repro.core import equal, min_feasible_budget, simulate
+from repro.graphs import (complete_kary_tree, dwt_graph, fft_graph,
+                          mvm_graph, random_series_parallel)
+from repro.schedulers import (OptimalDWTScheduler, TilingMVMScheduler,
+                              auto_schedule)
+
+
+class TestDispatch:
+    def test_dwt_gets_algorithm1(self):
+        g = dwt_graph(16, 4, weights=equal())
+        b = 7 * 16
+        sched, name = auto_schedule(g, b)
+        assert name == "Optimum"
+        assert simulate(g, sched, budget=b).cost \
+            == OptimalDWTScheduler().cost(g, b)
+
+    def test_mvm_gets_tiling(self):
+        g = mvm_graph(4, 5, weights=equal())
+        b = 10 * 16
+        sched, name = auto_schedule(g, b)
+        assert name == "Tiling"
+        assert simulate(g, sched, budget=b).cost \
+            == TilingMVMScheduler(4, 5).cost(g, b)
+
+    def test_tree_gets_kary_dp(self):
+        g = complete_kary_tree(2, 3, weights=equal())
+        sched, name = auto_schedule(g, min_feasible_budget(g) + 32)
+        assert name == "Optimum (k-ary)"
+
+    def test_fft_gets_layered_belady(self):
+        g = fft_graph(8, weights=equal())
+        sched, name = auto_schedule(g, min_feasible_budget(g) + 32)
+        assert name == "Eviction(belady,topological)"
+
+    def test_string_nodes_get_postorder_belady(self):
+        g = random_series_parallel(6, seed=1)
+        sched, name = auto_schedule(g, min_feasible_budget(g) + 4)
+        assert name == "Eviction(belady,postorder)"
+        simulate(g, sched, budget=min_feasible_budget(g) + 4)
+
+    def test_impostor_name_falls_through(self):
+        """A graph *named* like a DWT but structurally different must not
+        be handed to Algorithm 1."""
+        g = fft_graph(8, weights=equal())
+        impostor = g.subgraph(list(g), name="DWT(8,3)")
+        sched, name = auto_schedule(impostor,
+                                    min_feasible_budget(impostor) + 32)
+        assert name.startswith("Eviction")
+
+    def test_all_dispatches_are_valid(self):
+        cases = [dwt_graph(8, 3, weights=equal()),
+                 mvm_graph(3, 3, weights=equal()),
+                 complete_kary_tree(3, 2, weights=equal()),
+                 fft_graph(8, weights=equal())]
+        for g in cases:
+            b = min_feasible_budget(g) + 64
+            sched, _ = auto_schedule(g, b)
+            res = simulate(g, sched, budget=b)
+            assert res.peak_red_weight <= b

@@ -1,0 +1,160 @@
+"""Tests for the future-work extensions: k-tap wavelets and banded MVM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (InfeasibleBudgetError, algorithmic_lower_bound,
+                        double_accumulator, equal, min_feasible_budget,
+                        simulate)
+from repro.core.exceptions import GraphStructureError
+from repro.graphs import (banded_mvm_graph, dwt_graph, kdwt_graph,
+                          kdwt_layer_sizes, prune_kdwt, kdwt_siblings)
+from repro.schedulers import (BandedMVMScheduler, ExhaustiveScheduler,
+                              GreedyTopologicalScheduler,
+                              OptimalDWTScheduler, OptimalKDWTScheduler)
+
+
+class TestKDWTGraphs:
+    def test_layer_sizes(self):
+        assert kdwt_layer_sizes(27, 3, 3) == [27, 27, 9, 3]
+        assert kdwt_layer_sizes(16, 2, 2) == [16, 16, 8]
+
+    @pytest.mark.parametrize("n,d,k", [(8, 2, 3), (9, 1, 2), (0, 1, 2)])
+    def test_invalid_params(self, n, d, k):
+        with pytest.raises(GraphStructureError):
+            kdwt_graph(n, d, k)
+
+    def test_k2_isomorphic_to_dwt_costs(self):
+        """KDWT with k=2 differs from DWT(n,d) only by coefficient index
+        bookkeeping — identical layer sizes and schedule costs."""
+        g2 = kdwt_graph(16, 3, 2, weights=equal())
+        d2 = dwt_graph(16, 3, weights=equal())
+        assert len(g2) == len(d2)
+        for b in (48, 64, 96, 160):
+            assert (OptimalKDWTScheduler(2).cost(g2, b)
+                    == OptimalDWTScheduler().cost(d2, b))
+
+    def test_pruned_is_kary_tree(self):
+        g = kdwt_graph(9, 2, 3)
+        p = prune_kdwt(g, 3)
+        assert p.is_tree_toward_sink()
+        assert p.max_in_degree() == 3
+
+    def test_siblings(self):
+        assert kdwt_siblings((2, 1), 3) == [(2, 2), (2, 3)]
+        with pytest.raises(GraphStructureError):
+            kdwt_siblings((2, 2), 3)
+
+
+class TestKDWTScheduler:
+    @pytest.mark.parametrize("n,d,k", [(9, 2, 3), (27, 3, 3), (16, 2, 4),
+                                       (8, 3, 2)])
+    def test_strict_replay(self, n, d, k):
+        g = kdwt_graph(n, d, k, weights=equal())
+        for extra in (0, 32):
+            b = min_feasible_budget(g) + extra
+            sched = OptimalKDWTScheduler(k).schedule(g, b)
+            res = simulate(g, sched, budget=b, strict=True)
+            assert res.red == frozenset()
+
+    def test_reaches_lower_bound(self):
+        g = kdwt_graph(27, 3, 3, weights=equal())
+        b = min_feasible_budget(g) + 4 * 16
+        sched = OptimalKDWTScheduler(3).schedule(g, b)
+        assert simulate(g, sched, budget=b).cost == algorithmic_lower_bound(g)
+
+    def test_matches_exhaustive_small(self):
+        g = kdwt_graph(3, 1, 3, weights=equal())  # 6 nodes
+        lo = min_feasible_budget(g)
+        ex = ExhaustiveScheduler()
+        for b in (lo, lo + 16):
+            sched = OptimalKDWTScheduler(3).schedule(g, b)
+            assert simulate(g, sched, budget=b).cost == ex.min_cost(g, b)
+
+    def test_da_weights(self):
+        g = kdwt_graph(9, 2, 3, weights=double_accumulator())
+        b = min_feasible_budget(g) + 64
+        sched = OptimalKDWTScheduler(3).schedule(g, b)
+        res = simulate(g, sched, budget=b, strict=True)
+        assert res.cost >= algorithmic_lower_bound(g)
+
+    def test_infeasible(self):
+        g = kdwt_graph(9, 2, 3, weights=equal())
+        with pytest.raises(InfeasibleBudgetError):
+            OptimalKDWTScheduler(3).schedule(g, 3 * 16)
+
+
+class TestBandedScheduler:
+    @pytest.mark.parametrize("m,n,bw", [(4, 4, 0), (6, 6, 1), (8, 8, 2),
+                                        (5, 7, 1), (7, 5, 2)])
+    def test_reaches_lower_bound_with_window_memory(self, m, n, bw):
+        g = banded_mvm_graph(m, n, bw, weights=equal())
+        s = BandedMVMScheduler(m, n, bw)
+        b = s.peak(g)
+        sched = s.schedule(g, b)
+        res = simulate(g, sched, budget=b, strict=True)
+        assert res.cost == algorithmic_lower_bound(g)
+        assert res.peak_red_weight <= b
+
+    def test_peak_independent_of_m(self):
+        """The structured-sparse payoff: footprint set by the bandwidth,
+        not the matrix size."""
+        s_small = BandedMVMScheduler(6, 6, 1)
+        s_large = BandedMVMScheduler(60, 60, 1)
+        g_small = banded_mvm_graph(6, 6, 1, weights=equal())
+        g_large = banded_mvm_graph(60, 60, 1, weights=equal())
+        assert s_small.peak(g_small) == s_large.peak(g_large)
+
+    def test_beats_dense_greedy(self):
+        g = banded_mvm_graph(8, 8, 1, weights=equal())
+        s = BandedMVMScheduler(8, 8, 1)
+        b = s.peak(g)
+        assert s.cost(g, b) < GreedyTopologicalScheduler().cost(g, b)
+
+    def test_infeasible_below_window(self):
+        g = banded_mvm_graph(6, 6, 2, weights=equal())
+        s = BandedMVMScheduler(6, 6, 2)
+        with pytest.raises(InfeasibleBudgetError):
+            s.schedule(g, s.peak(g) - 16)
+
+    def test_da_config(self):
+        g = banded_mvm_graph(6, 6, 1, weights=double_accumulator())
+        s = BandedMVMScheduler(6, 6, 1)
+        b = s.peak(g)
+        res = simulate(g, s.schedule(g, b), budget=b, strict=True)
+        assert res.cost == algorithmic_lower_bound(g)
+
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(2, 10), n=st.integers(2, 10), bw=st.integers(0, 3),
+           da=st.booleans())
+    def test_property_lb_and_peak(self, m, n, bw, da):
+        if m > n + bw:
+            return  # some rows would have no stored entries
+        cfg = double_accumulator() if da else equal()
+        g = banded_mvm_graph(m, n, bw, weights=cfg)
+        s = BandedMVMScheduler(m, n, bw)
+        b = s.peak(g)
+        res = simulate(g, s.schedule(g, b), budget=b, strict=True)
+        assert res.cost == algorithmic_lower_bound(g)
+
+    def test_executes_correctly(self):
+        from repro.kernels import banded_matvec, mvm_inputs, mvm_operation
+        from repro.machine import ScheduleExecutor
+        m, n, bw = 6, 6, 1
+        g = banded_mvm_graph(m, n, bw, weights=equal())
+        s = BandedMVMScheduler(m, n, bw)
+        b = s.peak(g)
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((m, n))
+        x = rng.standard_normal(n)
+        inputs = {k: v for k, v in mvm_inputs(m, n, A, x).items()
+                  if k in g.sources}
+        run = ScheduleExecutor(g, mvm_operation(), b).run(
+            s.schedule(g, b), inputs)
+        ref = banded_matvec(A, x, bw)
+        for sink, val in run.outputs.items():
+            # row of a sink: accumulators carry it directly; products
+            # encode it in the layer-2 index.
+            r = sink[1] if sink[0] != 2 else (sink[1] - 1) % m + 1
+            assert val == pytest.approx(ref[r - 1])

@@ -1,0 +1,82 @@
+"""Tests for the greedy existence-witness and the exhaustive oracle."""
+
+import pytest
+
+from repro.core import (CDAG, InfeasibleBudgetError, algorithmic_lower_bound,
+                        equal, min_feasible_budget, simulate)
+from repro.graphs import complete_kary_tree, dwt_graph, mvm_graph
+from repro.schedulers import (ExhaustiveScheduler, GreedyTopologicalScheduler,
+                              optimal_cost)
+from repro.core.exceptions import GraphStructureError
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("graph_fn", [
+        lambda: dwt_graph(8, 3, weights=equal()),
+        lambda: mvm_graph(3, 4, weights=equal()),
+        lambda: complete_kary_tree(3, 2, weights=equal()),
+    ])
+    def test_valid_at_minimum_budget(self, graph_fn):
+        g = graph_fn()
+        b = min_feasible_budget(g)
+        sched = GreedyTopologicalScheduler().schedule(g, b)
+        res = simulate(g, sched, budget=b)
+        assert res.cost >= algorithmic_lower_bound(g)
+
+    def test_cost_formula_matches_schedule(self, diamond):
+        s = GreedyTopologicalScheduler()
+        assert s.cost(diamond, 3) == s.schedule(diamond, 3).cost(diamond)
+
+    def test_infeasible_budget_raises(self, diamond):
+        with pytest.raises(InfeasibleBudgetError):
+            GreedyTopologicalScheduler().schedule(diamond, 2)
+
+
+class TestExhaustive:
+    def test_single_compute_node(self):
+        g = CDAG([("a", "c"), ("b", "c")], {"a": 1, "b": 1, "c": 1})
+        assert optimal_cost(g, 3) == 3  # two loads + one store
+
+    def test_chain_cost_equals_lower_bound(self, chain):
+        # A chain never needs spills at budget 2: LB = in + out.
+        assert optimal_cost(chain, 2) == algorithmic_lower_bound(chain)
+
+    def test_diamond_tight_budget_forces_spill(self, diamond):
+        at_min = optimal_cost(diamond, 3)
+        relaxed = optimal_cost(diamond, 5)
+        assert relaxed == algorithmic_lower_bound(diamond)
+        assert at_min > relaxed  # budget 3 cannot hold c and d together
+
+    def test_cost_monotone_in_budget(self, diamond):
+        costs = [optimal_cost(diamond, b) for b in (3, 4, 5, 6)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_schedule_matches_reported_cost(self, diamond):
+        ex = ExhaustiveScheduler()
+        for b in (3, 4, 5):
+            sched = ex.schedule(diamond, b)
+            res = simulate(diamond, sched, budget=b)
+            assert res.cost == ex.min_cost(diamond, b)
+
+    def test_weighted_nodes(self):
+        g = CDAG([("a", "c"), ("b", "c")], {"a": 2, "b": 3, "c": 5})
+        assert optimal_cost(g, 10) == 10
+
+    def test_final_red_mode(self):
+        """Stopping on red-root (the Lemma 3.3 convention) is cheaper than
+        the full game by the root's store cost."""
+        g = complete_kary_tree(2, 1, weights=None)
+        g = g.with_weights({v: 1 for v in g})
+        full = optimal_cost(g, 3)
+        partial = ExhaustiveScheduler(
+            final_red=g.sinks, require_blue_sinks=False).min_cost(g, 3)
+        assert full == partial + 1
+
+    def test_size_cap(self):
+        g = dwt_graph(32, 1, weights=equal())
+        with pytest.raises(GraphStructureError, match="cap"):
+            ExhaustiveScheduler(max_nodes=10).min_cost(g, 10 * 16)
+
+    def test_infeasible_budget(self, diamond):
+        with pytest.raises(InfeasibleBudgetError):
+            optimal_cost(diamond, 2)

@@ -1,0 +1,121 @@
+"""Tests for the k-ary tree DP (Eq. 6 / Lemma 3.7 / Thm. 3.8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (InfeasibleBudgetError, algorithmic_lower_bound,
+                        equal, min_feasible_budget, simulate)
+from repro.core.exceptions import GraphStructureError
+from repro.graphs import (caterpillar_tree, complete_kary_tree, prune_dwt,
+                          dwt_graph, random_kary_tree, tree_from_nested)
+from repro.schedulers import (ExhaustiveScheduler, OptimalTreeScheduler,
+                              pebble_tree, tree_minimum_cost)
+
+OPT = OptimalTreeScheduler()
+
+
+def ones(g):
+    return g.with_weights({v: 1 for v in g})
+
+
+class TestValidity:
+    @pytest.mark.parametrize("tree_fn", [
+        lambda: ones(complete_kary_tree(2, 3)),
+        lambda: ones(complete_kary_tree(3, 2)),
+        lambda: ones(caterpillar_tree(4, 2)),
+        lambda: ones(tree_from_nested([[["x", "x"], "x"], "x"])),
+    ])
+    def test_strict_replay(self, tree_fn):
+        g = tree_fn()
+        for extra in (0, 1, 3):
+            b = min_feasible_budget(g) + extra
+            sched = OPT.schedule(g, b)
+            res = simulate(g, sched, budget=b, strict=True)
+            assert res.cost == OPT.cost(g, b)
+            assert res.red == frozenset()
+
+    def test_non_tree_rejected(self, diamond):
+        with pytest.raises(GraphStructureError, match="in-tree"):
+            OPT.schedule(diamond, 5)
+
+    def test_arity_guard(self):
+        g = ones(complete_kary_tree(4, 1))
+        with pytest.raises(GraphStructureError, match="max_arity"):
+            OptimalTreeScheduler(max_arity=3).schedule(g, 5)
+
+    def test_infeasible(self):
+        g = ones(complete_kary_tree(2, 2))
+        with pytest.raises(InfeasibleBudgetError):
+            OPT.schedule(g, 2)
+
+    def test_unary_chain(self, chain):
+        sched = OPT.schedule(chain, 2)
+        res = simulate(chain, sched, budget=2, strict=True)
+        assert res.cost == algorithmic_lower_bound(chain) == 2
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("k,depth", [(2, 1), (2, 2), (3, 1), (1, 3)])
+    def test_matches_exhaustive_complete(self, k, depth):
+        g = ones(complete_kary_tree(k, depth))
+        lo = min_feasible_budget(g)
+        ex = ExhaustiveScheduler()
+        for b in (lo, lo + 1, lo + 3):
+            assert OPT.cost(g, b) == ex.min_cost(g, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 5),
+           slack=st.integers(0, 4))
+    def test_matches_exhaustive_random_shapes(self, seed, n, slack):
+        g = ones(random_kary_tree(n, 3, seed=seed))
+        if len(g) > 14:
+            return  # keep the oracle tractable
+        b = min_feasible_budget(g) + slack
+        assert OPT.cost(g, b) == ExhaustiveScheduler().min_cost(g, b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(wl=st.integers(1, 3), wi=st.integers(1, 3), slack=st.integers(0, 5))
+    def test_matches_exhaustive_weighted(self, wl, wi, slack):
+        g = complete_kary_tree(2, 2)
+        g = g.with_weights({v: (wl if not g.predecessors(v) else wi)
+                            for v in g})
+        b = min_feasible_budget(g) + slack
+        assert OPT.cost(g, b) == ExhaustiveScheduler().min_cost(g, b)
+
+    def test_caterpillar_needs_constant_memory(self):
+        """An accumulation chain pebbles at the LB with O(1) budget — the
+        structural fact behind MVM tiling."""
+        g = ones(caterpillar_tree(10, 2))
+        assert OPT.cost(g, 3) == algorithmic_lower_bound(g)
+
+    def test_complete_tree_budget_tradeoff(self):
+        """Below ~depth+1 pebbles a complete binary tree must re-move
+        values; at depth+1 it reaches the LB (the classical pebbling
+        number, recovered by the weighted DP with unit weights)."""
+        depth = 4
+        g = ones(complete_kary_tree(2, depth))
+        lb = algorithmic_lower_bound(g)
+        assert OPT.cost(g, depth + 2) == lb
+        assert OPT.cost(g, depth + 1) > lb
+
+    def test_agrees_with_dwt_dp_on_pruned_trees(self):
+        """Cross-validation of the two DP implementations: the k-ary DP on
+        a pruned DWT tree must equal the DWT DP's tree component."""
+        from repro.schedulers import OptimalDWTScheduler
+        g = dwt_graph(8, 3, weights=equal())
+        pruned = prune_dwt(g)
+        b = 6 * 16
+        # DWT total = pruned-tree cost + all coefficient stores + root store.
+        coef_store = sum(g.weight(v) for v in g
+                         if v[0] > 1 and v[1] % 2 == 0)
+        tree_total = OPT.cost(pruned, b)  # includes root store already
+        assert OptimalDWTScheduler().cost(g, b) == tree_total + coef_store
+
+    def test_subtree_cost_exposed(self):
+        g = ones(complete_kary_tree(2, 1))
+        # P_t(root, 3) = 2 loads (leaves) with the root computed red.
+        assert OPT.subtree_cost(g, g.sinks[0], 3) == 2
+
+    def test_module_helpers(self):
+        g = ones(complete_kary_tree(2, 2))
+        assert pebble_tree(g, 4).cost(g) == tree_minimum_cost(g, 4)

@@ -1,0 +1,147 @@
+"""Tests for the memory-state DP (Eq. 8, Sec. 4.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import InfeasibleBudgetError, min_feasible_budget, simulate
+from repro.core.exceptions import GraphStructureError
+from repro.graphs import caterpillar_tree, complete_kary_tree
+from repro.schedulers import (ExhaustiveScheduler, MemoryStateScheduler,
+                              OptimalTreeScheduler)
+
+
+def ones(g):
+    return g.with_weights({v: 1 for v in g})
+
+
+@pytest.fixture
+def tree():
+    return ones(complete_kary_tree(2, 2))  # 7 nodes, root ()
+
+
+class TestCostRecursion:
+    def test_empty_states_match_plain_tree_dp(self, tree):
+        """P_m with I = R = ∅ degenerates to P_t (Eq. 6)."""
+        ms = MemoryStateScheduler(tree)
+        plain = OptimalTreeScheduler()
+        root = tree.sinks[0]
+        for b in (3, 4, 5, 7):
+            assert ms.min_cost(root, b) == plain.subtree_cost(tree, root, b)
+
+    def test_initial_root_costs_only_reuse(self, tree):
+        ms = MemoryStateScheduler(tree)
+        root = tree.sinks[0]
+        assert ms.min_cost(root, 7, initial=frozenset({root})) == 0
+        # Reuse a leaf that is not initial: one fetch.
+        leaf = tree.sources[0]
+        assert ms.min_cost(root, 7, initial=frozenset({root}),
+                           reuse=frozenset({leaf})) == 1
+
+    def test_initial_leaf_saves_a_load(self, tree):
+        ms = MemoryStateScheduler(tree)
+        root = tree.sinks[0]
+        base = ms.min_cost(root, 7)
+        with_leaf = ms.min_cost(root, 7, initial=frozenset({tree.sources[0]}))
+        assert with_leaf == base - 1
+
+    def test_reuse_tightens_budget(self, tree):
+        """Holding a reuse node makes small budgets infeasible."""
+        ms = MemoryStateScheduler(tree)
+        root = tree.sinks[0]
+        leaf = tree.sources[0]
+        lo = min_feasible_budget(tree)
+        assert ms.min_cost(root, lo, reuse=frozenset({leaf})) == float("inf")
+        assert ms.min_cost(root, lo + 2,
+                           reuse=frozenset({leaf})) < float("inf")
+
+    def test_states_restricted_to_subtree(self, tree):
+        """Nodes outside pred(v) ∪ {v} are ignored (X_u definition)."""
+        ms = MemoryStateScheduler(tree)
+        left = (0,)
+        unrelated = (1, 0)
+        assert (ms.min_cost(left, 5, initial=frozenset({unrelated}))
+                == ms.min_cost(left, 5))
+
+    def test_non_binary_rejected(self):
+        g = ones(complete_kary_tree(3, 1))
+        with pytest.raises(GraphStructureError, match="k=2"):
+            MemoryStateScheduler(g)
+
+    def test_non_tree_rejected(self, diamond):
+        with pytest.raises(GraphStructureError):
+            MemoryStateScheduler(diamond)
+
+
+class TestScheduleGeneration:
+    def test_schedule_replays_with_states(self, tree):
+        """Generated subtree schedules replay under the simulator's
+        memory-state options and end with the reuse set red."""
+        ms = MemoryStateScheduler(tree)
+        root = tree.sinks[0]
+        leaf = tree.sources[0]
+        initial = frozenset({leaf})
+        reuse = frozenset({leaf})
+        sched = ms.schedule_subtree(root, 6, initial=initial, reuse=reuse)
+        res = simulate(tree, sched, budget=6, initial_red=initial,
+                       initial_blue=set(tree.sources) | set(reuse),
+                       require_stopping=False, final_red=reuse | {root})
+        assert res.cost == ms.min_cost(root, 6, initial=initial, reuse=reuse)
+
+    def test_schedule_cost_matches_dp_no_states(self, tree):
+        ms = MemoryStateScheduler(tree)
+        root = tree.sinks[0]
+        for b in (3, 4, 7):
+            sched = ms.schedule_subtree(root, b)
+            res = simulate(tree, sched, budget=b, require_stopping=False,
+                           final_red=[root])
+            assert res.cost == ms.min_cost(root, b)
+
+    def test_infeasible_raises(self, tree):
+        ms = MemoryStateScheduler(tree)
+        with pytest.raises(InfeasibleBudgetError):
+            ms.schedule_subtree(tree.sinks[0], 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(b=st.integers(3, 8), leaf_idx=st.integers(0, 3))
+    def test_schedule_matches_cost_property(self, b, leaf_idx):
+        tree = ones(complete_kary_tree(2, 2))
+        ms = MemoryStateScheduler(tree)
+        root = tree.sinks[0]
+        leaf = tree.sources[leaf_idx]
+        reuse = frozenset({leaf})
+        cost = ms.min_cost(root, b, reuse=reuse)
+        if cost == float("inf"):
+            with pytest.raises(InfeasibleBudgetError):
+                ms.schedule_subtree(root, b, reuse=reuse)
+        else:
+            sched = ms.schedule_subtree(root, b, reuse=reuse)
+            res = simulate(tree, sched, budget=b,
+                           initial_blue=set(tree.sources) | set(reuse),
+                           require_stopping=False, final_red=reuse | {root})
+            assert res.cost == cost
+
+
+class TestAgainstOracle:
+    def test_reuse_cost_against_exhaustive(self, tree):
+        """P_m's reuse semantics against the oracle: require the reused
+        leaf red at the end (final_red) and compare minimum costs."""
+        root = tree.sinks[0]
+        leaf = tree.sources[0]
+        ms = MemoryStateScheduler(tree)
+        for b in (4, 5, 7):
+            dp = ms.min_cost(root, b, reuse=frozenset({leaf}))
+            oracle = ExhaustiveScheduler(
+                final_red=(root, leaf),
+                require_blue_sinks=False).min_cost(tree, b)
+            # P_m assumes reuse nodes, once resident, stay resident; the
+            # oracle may do strictly better, never worse.
+            assert oracle <= dp
+            assert dp < float("inf")
+
+    def test_plain_cost_equals_exhaustive(self, tree):
+        root = tree.sinks[0]
+        ms = MemoryStateScheduler(tree)
+        for b in (3, 4, 7):
+            oracle = ExhaustiveScheduler(
+                final_red=(root,), require_blue_sinks=False).min_cost(tree, b)
+            assert ms.min_cost(root, b) == oracle

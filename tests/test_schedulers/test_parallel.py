@@ -1,0 +1,191 @@
+"""Tests for multiprocessor pebbling (core.parallel + parallel schedulers)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (BudgetExceededError, M1, M2, M3, M4,
+                        ParallelSchedule, RuleViolationError, Schedule,
+                        StoppingConditionError, algorithmic_lower_bound,
+                        equal, min_feasible_budget, simulate_parallel)
+from repro.graphs import dwt_graph, mvm_graph
+from repro.schedulers import (EvictionScheduler, OptimalDWTScheduler,
+                              ParallelComponentScheduler,
+                              ParallelMVMScheduler, TilingMVMScheduler)
+from repro.core.exceptions import GraphStructureError
+
+
+@pytest.fixture
+def eight_trees():
+    """DWT(64, 3): eight independent subtrees."""
+    return dwt_graph(64, 3, weights=equal())
+
+
+class TestParallelSimulator:
+    def test_single_proc_equals_sequential(self, eight_trees):
+        g = eight_trees
+        b = 8 * 16
+        sched = OptimalDWTScheduler().schedule(g, b)
+        ps = ParallelSchedule((sched,))
+        res = simulate_parallel(g, ps, budget_per_processor=b)
+        assert res.total_cost == sched.cost(g)
+        assert res.makespan == len(sched)
+        assert res.speedup == 1.0
+
+    def test_private_budget_enforced(self, eight_trees):
+        g = eight_trees
+        sched = OptimalDWTScheduler().schedule(g, 8 * 16)
+        ps = ParallelSchedule((sched,))
+        with pytest.raises(BudgetExceededError):
+            simulate_parallel(g, ps, budget_per_processor=3 * 16)
+
+    def test_parents_must_be_local(self):
+        """A processor cannot compute from another processor's red pebble:
+        values travel only through shared slow memory."""
+        g = dwt_graph(4, 1, weights=equal())
+        p0 = Schedule([M1((1, 1)), M1((1, 2))])
+        p1 = Schedule([M3((2, 1))])  # parents red on proc 0, not proc 1
+        with pytest.raises(RuleViolationError, match="its fast memory"):
+            simulate_parallel(g, ParallelSchedule((p0, p1)),
+                              budget_per_processor=100,
+                              require_stopping=False)
+
+    def test_cross_proc_through_blue(self):
+        """Values stored by one processor are loadable by another in a
+        later round."""
+        g = dwt_graph(4, 1, weights=equal())
+        # proc 0 computes (2,1), stores it; proc 1 loads it later and
+        # stores it again (legal, wasteful).  Pad proc 1 so its load
+        # happens strictly after the store in round-robin order.
+        p0 = Schedule([M1((1, 1)), M1((1, 2)), M3((2, 1)), M3((2, 2)),
+                       M2((2, 1)), M2((2, 2)), M4((2, 1)), M4((2, 2)),
+                       M4((1, 1)), M4((1, 2)),
+                       M1((1, 3)), M1((1, 4)), M3((2, 3)), M3((2, 4)),
+                       M2((2, 3)), M2((2, 4)), M4((2, 3)), M4((2, 4)),
+                       M4((1, 3)), M4((1, 4))])
+        p1 = Schedule([M1((1, 3))] * 0 + [M4((1, 3)) for _ in range(0)]
+                      + [M1((1, 4)), M4((1, 4)),
+                         M1((1, 3)), M4((1, 3)),
+                         M1((1, 4)), M4((1, 4)),
+                         M1((1, 3)), M4((1, 3)),
+                         M1((2, 1)), M4((2, 1))])
+        res = simulate_parallel(g, ParallelSchedule((p0, p1)),
+                                budget_per_processor=100)
+        assert res.total_cost > 0
+
+    def test_stopping_condition(self):
+        g = dwt_graph(4, 1, weights=equal())
+        ps = ParallelSchedule((Schedule([M1((1, 1))]),))
+        with pytest.raises(StoppingConditionError):
+            simulate_parallel(g, ps, budget_per_processor=100)
+
+    def test_makespan_and_speedup(self):
+        a = Schedule([M1("a")] * 0)
+        # synthetic: two procs, 4 and 2 moves
+        g = dwt_graph(4, 1, weights=equal())
+        p0 = Schedule([M1((1, 1)), M4((1, 1)), M1((1, 1)), M4((1, 1))])
+        p1 = Schedule([M1((1, 2)), M4((1, 2))])
+        ps = ParallelSchedule((p0, p1))
+        assert ps.makespan == 4
+        assert ps.total_moves == 6
+        res = simulate_parallel(g, ps, budget_per_processor=100,
+                                require_stopping=False)
+        assert res.speedup == pytest.approx(6 / 4)
+
+
+class TestComponentScheduler:
+    def test_communication_free_parallelism(self, eight_trees):
+        """Independent subtrees across processors: total I/O equals the
+        sequential optimum, makespan shrinks."""
+        g = eight_trees
+        b = 8 * 16
+        seq = OptimalDWTScheduler().schedule(g, b)
+        for procs in (1, 2, 4, 8):
+            ps = ParallelComponentScheduler(
+                OptimalDWTScheduler(), procs).schedule(g, b)
+            res = simulate_parallel(g, ps, budget_per_processor=b)
+            assert res.total_cost == seq.cost(g)
+            assert res.makespan <= -(-len(seq) // procs) + len(seq) // 4
+
+    def test_speedup_grows_with_processors(self, eight_trees):
+        g = eight_trees
+        b = 8 * 16
+        speedups = []
+        for procs in (1, 2, 4):
+            ps = ParallelComponentScheduler(
+                OptimalDWTScheduler(), procs).schedule(g, b)
+            res = simulate_parallel(g, ps, budget_per_processor=b)
+            speedups.append(res.speedup)
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_lpt_balance(self, eight_trees):
+        ps = ParallelComponentScheduler(
+            OptimalDWTScheduler(), 4).schedule(eight_trees, 8 * 16)
+        lengths = [len(s) for s in ps.per_processor]
+        assert max(lengths) - min(lengths) <= max(lengths) // 2
+
+    def test_works_with_any_base(self, eight_trees):
+        ps = ParallelComponentScheduler(
+            EvictionScheduler(), 3).schedule(eight_trees, 8 * 16)
+        res = simulate_parallel(eight_trees, ps, budget_per_processor=8 * 16)
+        assert res.total_cost >= algorithmic_lower_bound(eight_trees)
+
+    def test_bad_processors(self):
+        with pytest.raises(GraphStructureError):
+            ParallelComponentScheduler(EvictionScheduler(), 0)
+
+
+class TestParallelMVM:
+    @pytest.mark.parametrize("procs", [1, 2, 3, 4])
+    def test_valid_and_balanced(self, procs):
+        g = mvm_graph(12, 10, weights=equal())
+        pm = ParallelMVMScheduler(12, 10, procs)
+        b = 20 * 16
+        ps = pm.schedule(g, b)
+        res = simulate_parallel(g, ps, budget_per_processor=b)
+        assert res.total_cost >= algorithmic_lower_bound(g)
+        blocks = pm.row_blocks()
+        assert sum(len(r) for r in blocks) == 12
+        assert max(len(r) for r in blocks) - min(len(r) for r in blocks) <= 1
+
+    def test_exact_communication_overhead(self):
+        """When every block fits in one tile, total I/O = LB + (P−1)·n·w."""
+        g = mvm_graph(96, 120, weights=equal())
+        pm = ParallelMVMScheduler(96, 120, 4)
+        b = 30 * 16  # 24 rows + slots fit
+        res = simulate_parallel(g, pm.schedule(g, b),
+                                budget_per_processor=b)
+        assert res.total_cost == (algorithmic_lower_bound(g)
+                                  + pm.communication_overhead(g))
+
+    def test_speedup_near_linear(self):
+        g = mvm_graph(96, 120, weights=equal())
+        pm = ParallelMVMScheduler(96, 120, 4)
+        b = 30 * 16
+        res = simulate_parallel(g, pm.schedule(g, b),
+                                budget_per_processor=b)
+        assert res.speedup > 3.5
+
+    def test_time_communication_tradeoff(self):
+        """More processors: shorter makespan, more total I/O — the
+        multiprocessor pebbling trade-off, measured."""
+        g = mvm_graph(48, 32, weights=equal())
+        b = 60 * 16
+        makespans, totals = [], []
+        for procs in (1, 2, 4, 8):
+            pm = ParallelMVMScheduler(48, 32, procs)
+            res = simulate_parallel(g, pm.schedule(g, b),
+                                    budget_per_processor=b)
+            makespans.append(res.makespan)
+            totals.append(res.total_cost)
+        assert makespans == sorted(makespans, reverse=True)
+        assert totals == sorted(totals)
+
+    def test_bad_processor_count(self):
+        with pytest.raises(GraphStructureError):
+            ParallelMVMScheduler(4, 4, 5)
+
+    def test_infeasible_private_budget(self):
+        g = mvm_graph(8, 8, weights=equal())
+        pm = ParallelMVMScheduler(8, 8, 2)
+        with pytest.raises(Exception):
+            pm.schedule(g, 2 * 16)

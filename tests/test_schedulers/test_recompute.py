@@ -1,0 +1,103 @@
+"""Tests for the rematerialization-aware scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (CDAG, InfeasibleBudgetError, MoveType,
+                        algorithmic_lower_bound, equal, min_feasible_budget,
+                        simulate)
+from repro.graphs import complete_kary_tree, dwt_graph, fft_graph, mvm_graph
+from repro.schedulers import EvictionScheduler, RecomputeScheduler
+
+
+def ones(g):
+    return g.with_weights({v: 1 for v in g})
+
+
+class TestValidity:
+    @pytest.mark.parametrize("graph_fn", [
+        lambda: dwt_graph(16, 4, weights=equal()),
+        lambda: mvm_graph(4, 5, weights=equal()),
+        lambda: fft_graph(16, weights=equal()),
+    ])
+    @pytest.mark.parametrize("bias", [0.0, 1.0, 2.0])
+    def test_valid_across_budgets(self, graph_fn, bias):
+        g = graph_fn()
+        s = RecomputeScheduler(spill_bias=bias)
+        lo = min_feasible_budget(g)
+        for b in (lo, lo + 2 * 16, g.total_weight()):
+            sched = s.schedule(g, b)
+            res = simulate(g, sched, budget=b)
+            assert res.cost >= algorithmic_lower_bound(g)
+
+    def test_bad_bias(self):
+        with pytest.raises(ValueError):
+            RecomputeScheduler(spill_bias=-1)
+
+    def test_infeasible(self):
+        g = dwt_graph(8, 3, weights=equal())
+        with pytest.raises(InfeasibleBudgetError):
+            RecomputeScheduler().schedule(g, 32)
+
+
+class TestRecomputationBehaviour:
+    def test_zero_bias_never_recomputes(self):
+        g = dwt_graph(32, 5, weights=equal())
+        b = min_feasible_budget(g) + 16
+        sched = RecomputeScheduler(spill_bias=0.0).schedule(g, b)
+        res = simulate(g, sched, budget=b)
+        assert res.recomputations == 0
+
+    def test_recomputes_under_pressure(self):
+        """Depth-1 values with distant reuse get dropped and re-derived:
+        six mids sharing two inputs feed a consumer chain; at a budget of
+        six units the far-future mids are rematerialized, not spilled."""
+        edges = [(s, f"m{i}") for i in range(6) for s in ("a", "b")]
+        edges += [("m0", "z1"), ("m1", "z1")]
+        for i in range(2, 6):
+            edges += [(f"z{i-1}", f"z{i}"), (f"m{i}", f"z{i}")]
+        nodes = ["a", "b"] + [f"m{i}" for i in range(6)] \
+            + [f"z{i}" for i in range(1, 6)]
+        g = CDAG(edges, {v: 1 for v in nodes})
+        sched = RecomputeScheduler(spill_bias=1.0).schedule(g, 6)
+        res = simulate(g, sched, budget=6)
+        assert res.recomputations > 0
+        # and nothing was written back except the one sink
+        assert res.write_cost == 1
+
+    def test_recompute_beats_pure_spill_when_cheap(self):
+        """A wide fan-out node whose ancestry is one input: recomputing it
+        (1 load at worst) beats the 2-unit spill round-trip."""
+        # star: one input feeding k mid nodes, each mid feeding the chain.
+        edges = [("x", f"m{i}") for i in range(4)]
+        edges += [(f"m{i}", "out") for i in range(4)]
+        g = CDAG(edges, {v: 1 for v in
+                         ["x", "out"] + [f"m{i}" for i in range(4)]})
+        b = min_feasible_budget(g)
+        rec = RecomputeScheduler(spill_bias=1.0)
+        spill = RecomputeScheduler(spill_bias=0.0)
+        c_rec = simulate(g, rec.schedule(g, b), budget=b).cost
+        c_spill = simulate(g, spill.schedule(g, b), budget=b).cost
+        assert c_rec <= c_spill
+
+    def test_reaches_lb_with_ample_memory(self):
+        g = dwt_graph(16, 4, weights=equal())
+        s = RecomputeScheduler()
+        assert s.cost(g, g.total_weight()) == algorithmic_lower_bound(g)
+
+    @settings(max_examples=12, deadline=None)
+    @given(bias=st.floats(0, 3), extra=st.integers(0, 5))
+    def test_cost_sane_property(self, bias, extra):
+        g = mvm_graph(3, 4, weights=equal())
+        b = min_feasible_budget(g) + extra * 16
+        sched = RecomputeScheduler(spill_bias=bias).schedule(g, b)
+        res = simulate(g, sched, budget=b)
+        assert res.cost >= algorithmic_lower_bound(g)
+        assert res.peak_red_weight <= b
+
+    def test_every_output_stored(self):
+        g = dwt_graph(16, 4, weights=equal())
+        b = min_feasible_budget(g) + 32
+        sched = RecomputeScheduler().schedule(g, b)
+        stores = {m.node for m in sched if m.kind == MoveType.STORE}
+        assert set(g.sinks) <= stores  # spilled non-sinks may appear too
