@@ -9,9 +9,10 @@ import math
 
 import pytest
 
-from repro.experiments.fig5 import dwt_panel, mvm_panel
-from repro.experiments import dwt_workload, mvm_workload
 from repro.analysis import format_series
+from repro.analysis.engine import SweepEngine
+from repro.experiments import dwt_workload, mvm_workload
+from repro.experiments.fig5 import dwt_panel, mvm_panel
 
 POINTS = 18
 
@@ -37,7 +38,9 @@ def _check_dominance(series, strict_from: int = 0):
 
 def test_fig5a_equal_dwt(benchmark, record_artifact):
     series = benchmark.pedantic(
-        lambda: dwt_panel(dwt_workload(False), POINTS), rounds=1, iterations=1)
+        lambda: dwt_panel(dwt_workload(False), POINTS,
+                          engine=SweepEngine(jobs=1)),
+        rounds=1, iterations=1)
     record_artifact("fig5a", format_series(
         series, title="Fig. 5a — Equal DWT(256,8)"))
     _check_dominance(series)
@@ -45,21 +48,25 @@ def test_fig5a_equal_dwt(benchmark, record_artifact):
 
 def test_fig5b_da_dwt(benchmark, record_artifact):
     series = benchmark.pedantic(
-        lambda: dwt_panel(dwt_workload(True), POINTS), rounds=1, iterations=1)
+        lambda: dwt_panel(dwt_workload(True), POINTS,
+                          engine=SweepEngine(jobs=1)),
+        rounds=1, iterations=1)
     record_artifact("fig5b", format_series(
         series, title="Fig. 5b — DA DWT(256,8)"))
     _check_dominance(series)
 
 
 def test_fig5c_equal_mvm(benchmark, record_artifact):
-    series = benchmark(lambda: mvm_panel(mvm_workload(False), POINTS))
+    series = benchmark(lambda: mvm_panel(mvm_workload(False), POINTS,
+                                         engine=SweepEngine(jobs=1)))
     record_artifact("fig5c", format_series(
         series, title="Fig. 5c — Equal MVM(96,120)"))
     _check_dominance(series, strict_from=MVM_STRICT_FROM_BITS)
 
 
 def test_fig5d_da_mvm(benchmark, record_artifact):
-    series = benchmark(lambda: mvm_panel(mvm_workload(True), POINTS))
+    series = benchmark(lambda: mvm_panel(mvm_workload(True), POINTS,
+                                         engine=SweepEngine(jobs=1)))
     record_artifact("fig5d", format_series(
         series, title="Fig. 5d — DA MVM(96,120)"))
     _check_dominance(series, strict_from=MVM_STRICT_FROM_BITS)

@@ -8,6 +8,7 @@ reduction for the EXPERIMENTS.md record.
 
 import pytest
 
+from repro.analysis.engine import SweepEngine
 from repro.experiments.fig6 import average_reduction, dwt_panel, mvm_panel
 
 DWT_STRIDE = 8
@@ -25,8 +26,10 @@ def _render(panel, title):
 
 
 def test_fig6a_equal_dwt(benchmark, record_artifact):
-    panel = benchmark.pedantic(lambda: dwt_panel(False, stride=DWT_STRIDE),
-                               rounds=1, iterations=1)
+    panel = benchmark.pedantic(
+        lambda: dwt_panel(False, stride=DWT_STRIDE,
+                          engine=SweepEngine(jobs=1)),
+        rounds=1, iterations=1)
     record_artifact("fig6a", _render(panel, "Fig. 6a — Equal DWT(n,d*)"))
     lbl, opt = panel
     assert all(o <= b for o, b in zip(opt.min_memory_bits,
@@ -34,8 +37,10 @@ def test_fig6a_equal_dwt(benchmark, record_artifact):
 
 
 def test_fig6b_da_dwt(benchmark, record_artifact):
-    panel = benchmark.pedantic(lambda: dwt_panel(True, stride=DWT_STRIDE),
-                               rounds=1, iterations=1)
+    panel = benchmark.pedantic(
+        lambda: dwt_panel(True, stride=DWT_STRIDE,
+                          engine=SweepEngine(jobs=1)),
+        rounds=1, iterations=1)
     record_artifact("fig6b", _render(panel, "Fig. 6b — DA DWT(n,d*)"))
     lbl, opt = panel
     assert all(o <= b for o, b in zip(opt.min_memory_bits,
@@ -43,8 +48,10 @@ def test_fig6b_da_dwt(benchmark, record_artifact):
 
 
 def test_fig6c_equal_mvm(benchmark, record_artifact):
-    panel = benchmark.pedantic(lambda: mvm_panel(False, stride=MVM_STRIDE),
-                               rounds=1, iterations=1)
+    panel = benchmark.pedantic(
+        lambda: mvm_panel(False, stride=MVM_STRIDE,
+                          engine=SweepEngine(jobs=1)),
+        rounds=1, iterations=1)
     record_artifact("fig6c", _render(panel, "Fig. 6c — Equal MVM(96,n)"))
     ioopt, tiling = panel
     assert all(o <= b for o, b in zip(tiling.min_memory_bits,
@@ -53,8 +60,10 @@ def test_fig6c_equal_mvm(benchmark, record_artifact):
 
 
 def test_fig6d_da_mvm(benchmark, record_artifact):
-    panel = benchmark.pedantic(lambda: mvm_panel(True, stride=MVM_STRIDE),
-                               rounds=1, iterations=1)
+    panel = benchmark.pedantic(
+        lambda: mvm_panel(True, stride=MVM_STRIDE,
+                          engine=SweepEngine(jobs=1)),
+        rounds=1, iterations=1)
     record_artifact("fig6d", _render(panel, "Fig. 6d — DA MVM(96,n)"))
     ioopt, tiling = panel
     assert all(o <= b for o, b in zip(tiling.min_memory_bits,

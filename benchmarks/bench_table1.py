@@ -8,26 +8,31 @@ search, and the closed-form tiling/IOOpt minimum memories.
 import pytest
 
 from repro.analysis import scheduler_min_memory
+from repro.analysis.engine import SweepEngine
 from repro.experiments import (dwt_workload, mvm_workload, render_table1,
                                run_table1)
 
 
 def test_table1_full(benchmark, record_artifact):
-    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: run_table1(engine=SweepEngine(jobs=1)),
+        rounds=1, iterations=1)
     record_artifact("table1", render_table1(rows))
     assert [r.min_words for r in rows] == [10, 448, 18, 640, 99, 193, 126, 289]
 
 
 def test_table1_optimum_search(benchmark):
     w = dwt_workload(False)
-    bits = benchmark(lambda: scheduler_min_memory(w.optimum, w.graph))
+    bits = benchmark(
+        lambda: SweepEngine(jobs=1).min_memory(w.optimum, w.graph))
     assert bits == 10 * 16
+    assert bits == scheduler_min_memory(w.optimum, w.graph)
 
 
 def test_table1_layer_by_layer_search(benchmark):
     w = dwt_workload(False)
     bits = benchmark.pedantic(
-        lambda: scheduler_min_memory(w.baseline, w.graph),
+        lambda: SweepEngine(jobs=1).min_memory(w.baseline, w.graph),
         rounds=1, iterations=1)
     assert bits == 448 * 16
 

@@ -3,6 +3,8 @@ sweeps (Fig. 5), and plain-text reporting."""
 
 from .min_memory import cost_at, minimum_fast_memory, scheduler_min_memory
 from .sweep import SweepSeries, log_budget_grid, sweep, sweep_many
+from .engine import (CachedCostFn, SweepEngine, SweepStats,
+                     get_default_engine, set_default_engine)
 from .report import format_series, format_table, percent_reduction
 from .dse import (DesignPoint, best_under_power_cap, explore,
                   pareto_frontier, render as render_design_space)
@@ -11,6 +13,8 @@ from .compare import Comparison, ComparisonCell, compare
 
 __all__ = ["cost_at", "minimum_fast_memory", "scheduler_min_memory",
            "SweepSeries", "log_budget_grid", "sweep", "sweep_many",
+           "CachedCostFn", "SweepEngine", "SweepStats",
+           "get_default_engine", "set_default_engine",
            "format_series", "format_table", "percent_reduction",
            "DesignPoint", "best_under_power_cap", "explore", "pareto_frontier",
            "render_design_space",

@@ -1,0 +1,359 @@
+"""Cached, parallel, instrumented sweep/min-memory evaluation engine.
+
+Every headline artifact of the paper (Fig. 5 budget sweeps, Fig. 6
+min-memory curves, Table 1) is produced by repeatedly evaluating
+``scheduler.cost(cdag, budget)`` over budget grids and binary searches.
+This module amortizes those probes instead of re-deriving each one from
+scratch:
+
+* :class:`CachedCostFn` memoizes budget → cost per (scheduler, graph)
+  pair, so a budget probed by both the Fig. 5 grid and the Fig. 6/Table 1
+  binary searches is computed once.  Scheduler-backed cost functions are
+  evaluated through :meth:`repro.schedulers.base.Scheduler.cost_many`
+  with a persistent ``memo`` mapping, letting DP schedulers share their
+  budget-indexed memo tables across probes.
+* :class:`SweepEngine` drives sweeps and min-memory searches over the
+  cached cost functions, fans independent evaluation tasks out over a
+  ``ProcessPoolExecutor`` (``jobs > 1``) with deterministic result
+  ordering and a strictly serial ``jobs == 1`` fallback, and aggregates
+  per-evaluation instrumentation into a :class:`SweepStats` report.
+
+The engine never changes results: cached, batched, and parallel paths
+return values identical to the direct serial path (the tests assert
+bit-identical series on DWT and MVM instances).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
+from ..core.cdag import CDAG
+from .min_memory import cost_at, minimum_fast_memory
+from .sweep import SweepSeries
+
+CostFn = Callable[[int], float]
+
+
+# --------------------------------------------------------------------- #
+# Instrumentation
+
+
+@dataclass
+class SweepStats:
+    """Aggregated instrumentation of one engine (or one merged run)."""
+
+    probes: int = 0  #: cost-function lookups requested
+    cache_hits: int = 0  #: probes answered from the budget cache
+    evals: int = 0  #: probes that ran a scheduler/cost function
+    eval_time: float = 0.0  #: seconds spent inside cost evaluations
+    wall_time: float = 0.0  #: seconds spent inside engine sweeps/searches
+    peak_memo_entries: int = 0  #: largest cache+DP-memo entry count seen
+    searches: int = 0  #: min-memory searches run
+    sweeps: int = 0  #: budget-grid sweeps run
+    tasks: int = 0  #: fan-out tasks executed via :meth:`SweepEngine.map`
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of probes served from cache (0.0 when no probes)."""
+        return self.cache_hits / self.probes if self.probes else 0.0
+
+    def merge(self, other: "SweepStats") -> None:
+        """Fold another stats record (e.g. from a pool worker) into this."""
+        self.probes += other.probes
+        self.cache_hits += other.cache_hits
+        self.evals += other.evals
+        self.eval_time += other.eval_time
+        self.wall_time += other.wall_time
+        self.peak_memo_entries = max(self.peak_memo_entries,
+                                     other.peak_memo_entries)
+        self.searches += other.searches
+        self.sweeps += other.sweeps
+        self.tasks += other.tasks
+
+    def report(self) -> str:
+        """Human-readable profile block (``repro-pebble ... --profile``)."""
+        lines = [
+            "sweep engine profile",
+            f"  searches / sweeps / tasks   {self.searches} / {self.sweeps}"
+            f" / {self.tasks}",
+            f"  cost probes                 {self.probes}",
+            f"  cache hits                  {self.cache_hits} "
+            f"({100.0 * self.cache_hit_rate:.1f}%)",
+            f"  evaluations                 {self.evals} "
+            f"({self.eval_time:.2f}s inside cost functions)",
+            f"  peak memo size              {self.peak_memo_entries} entries",
+            f"  engine wall time            {self.wall_time:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Cached cost functions
+
+
+class CachedCostFn:
+    """Memoizing budget → cost wrapper (∞ where infeasible).
+
+    Wraps either a raw cost callable or a (scheduler, graph) pair.  The
+    scheduler path evaluates through ``scheduler.cost_many`` with a
+    persistent ``memo`` mapping, so DP schedulers reuse their memo tables
+    across every probe on the same graph.  Feasible values are returned
+    exactly as the underlying ``cost`` would (same value and type), which
+    keeps cached sweeps bit-identical to direct ones.
+    """
+
+    __slots__ = ("_fn", "_scheduler", "_cdag", "_cache", "_memo", "stats")
+
+    def __init__(self, fn: Optional[CostFn] = None, *,
+                 scheduler=None, cdag: Optional[CDAG] = None,
+                 stats: Optional[SweepStats] = None):
+        if (fn is None) == (scheduler is None):
+            raise ValueError("pass either fn or scheduler+cdag")
+        if scheduler is not None and cdag is None:
+            raise ValueError("scheduler path needs a cdag")
+        self._fn = fn
+        self._scheduler = scheduler
+        self._cdag = cdag
+        self._cache: Dict[int, float] = {}
+        self._memo: dict = {}
+        self.stats = stats if stats is not None else SweepStats()
+
+    def __call__(self, budget: int) -> float:
+        stats = self.stats
+        stats.probes += 1
+        hit = self._cache.get(budget)
+        if hit is not None:
+            stats.cache_hits += 1
+            return hit
+        t0 = time.perf_counter()
+        if self._scheduler is not None:
+            val = self._scheduler.cost_many(self._cdag, (budget,),
+                                            memo=self._memo)[0]
+        else:
+            val = cost_at(self._fn, budget)
+        stats.evals += 1
+        stats.eval_time += time.perf_counter() - t0
+        self._cache[budget] = val
+        entries = self.memo_entries()
+        if entries > stats.peak_memo_entries:
+            stats.peak_memo_entries = entries
+        return val
+
+    def value(self, budget: int) -> float:
+        """Cached value for ``budget`` without touching the stats
+        (``budget`` must have been probed or primed before)."""
+        return self._cache[budget]
+
+    def prime(self, budgets: Sequence[int]) -> None:
+        """Batch-evaluate the not-yet-cached budgets in one
+        ``cost_many`` call (one pass over a shared memo)."""
+        unique = list(dict.fromkeys(budgets))
+        self.stats.probes += len(unique)
+        missing = [b for b in unique if b not in self._cache]
+        self.stats.cache_hits += len(unique) - len(missing)
+        if not missing:
+            return
+        t0 = time.perf_counter()
+        if self._scheduler is not None:
+            vals = self._scheduler.cost_many(self._cdag, missing,
+                                             memo=self._memo)
+        else:
+            vals = [cost_at(self._fn, b) for b in missing]
+        self.stats.evals += len(missing)
+        self.stats.eval_time += time.perf_counter() - t0
+        self._cache.update(zip(missing, vals))
+        entries = self.memo_entries()
+        if entries > self.stats.peak_memo_entries:
+            self.stats.peak_memo_entries = entries
+
+    def memo_entries(self) -> int:
+        """Current cache + DP-memo footprint, in entries."""
+        return len(self._cache) + sum(
+            len(v) for v in self._memo.values() if isinstance(v, dict))
+
+
+# --------------------------------------------------------------------- #
+# Parallel fan-out helper (module-level so it pickles)
+
+
+def _pool_task(fn, args, kwargs):
+    engine = SweepEngine(jobs=1)
+    result = fn(*args, engine=engine, **kwargs)
+    return result, engine.stats
+
+
+# --------------------------------------------------------------------- #
+# The engine
+
+
+class SweepEngine:
+    """Shared evaluation engine for sweeps and min-memory searches.
+
+    One engine owns one cache universe: cost functions are keyed by the
+    identity of their (scheduler, graph) pair (the engine keeps strong
+    references, so keys stay unique for its lifetime).  Experiments that
+    share workload objects — e.g. Table 1 re-searching the same graphs
+    Fig. 5 swept — therefore share every probe.
+
+    ``jobs`` controls :meth:`map`: 1 runs tasks serially in-process
+    (sharing this engine's caches), >1 fans them out over a
+    ``ProcessPoolExecutor`` with deterministic, submission-ordered
+    results; worker stats are merged back into :attr:`stats`.
+    """
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = max(1, int(jobs))
+        self.stats = SweepStats()
+        self._fns: Dict[Tuple, CachedCostFn] = {}
+        # id(cdag) -> (cdag, lower bound, min budget, total weight, gcd step)
+        self._bounds: Dict[int, Tuple] = {}
+
+    # ----------------------------------------------------------------- #
+    # Cached cost functions
+
+    def cost_fn(self, scheduler, cdag: CDAG) -> CachedCostFn:
+        """The engine's memoized cost function for a (scheduler, graph)."""
+        key = (id(scheduler), id(cdag))
+        fn = self._fns.get(key)
+        if fn is None or fn._scheduler is not scheduler or fn._cdag is not cdag:
+            fn = CachedCostFn(scheduler=scheduler, cdag=cdag,
+                              stats=self.stats)
+            self._fns[key] = fn
+        return fn
+
+    def raw_cost_fn(self, fn: CostFn, key: Optional[Tuple] = None
+                    ) -> CachedCostFn:
+        """Memoized wrapper for a plain cost callable.  ``key`` makes the
+        cache survive across calls that rebuild the callable (e.g. a
+        closure over the same model object)."""
+        cache_key = ("raw",) + (key if key is not None else (id(fn),))
+        cached = self._fns.get(cache_key)
+        if cached is None:
+            cached = CachedCostFn(fn, stats=self.stats)
+            self._fns[cache_key] = cached
+        return cached
+
+    # ----------------------------------------------------------------- #
+    # Sweeps (Fig. 5)
+
+    def sweep(self, scheduler, cdag: CDAG, budgets: Sequence[int],
+              label: str) -> SweepSeries:
+        """Cached :func:`repro.analysis.sweep.sweep` over a scheduler."""
+        fn = self.cost_fn(scheduler, cdag)
+        t0 = time.perf_counter()
+        fn.prime(budgets)
+        costs = tuple(fn.value(b) for b in budgets)
+        self.stats.wall_time += time.perf_counter() - t0
+        self.stats.sweeps += 1
+        return SweepSeries(label=label, budgets=tuple(budgets), costs=costs)
+
+    def sweep_fn(self, cost_fn: CostFn, budgets: Sequence[int], label: str,
+                 key: Optional[Tuple] = None) -> SweepSeries:
+        """Cached sweep over a plain cost callable."""
+        fn = self.raw_cost_fn(cost_fn, key=key)
+        t0 = time.perf_counter()
+        fn.prime(budgets)
+        costs = tuple(fn.value(b) for b in budgets)
+        self.stats.wall_time += time.perf_counter() - t0
+        self.stats.sweeps += 1
+        return SweepSeries(label=label, budgets=tuple(budgets), costs=costs)
+
+    # ----------------------------------------------------------------- #
+    # Min-memory searches (Fig. 6 / Table 1)
+
+    def _graph_bounds(self, cdag: CDAG) -> Tuple:
+        """Per-graph search constants (lower bound, min budget, total
+        weight, gcd step), computed once per graph the engine has seen.
+        The entry pins the graph, so the id-key can never be recycled."""
+        key = id(cdag)
+        entry = self._bounds.get(key)
+        if entry is None or entry[0] is not cdag:
+            entry = (cdag, algorithmic_lower_bound(cdag),
+                     min_feasible_budget(cdag), cdag.total_weight(),
+                     math.gcd(*cdag.weights.values()) if len(cdag) else 1)
+            self._bounds[key] = entry
+        return entry
+
+    def min_memory(self, scheduler, cdag: CDAG, step: Optional[int] = None,
+                   hi: Optional[int] = None, hint: Optional[int] = None
+                   ) -> Optional[int]:
+        """Cached :func:`repro.analysis.min_memory.scheduler_min_memory`.
+
+        ``hint`` warm-starts the boundary bracketing (see
+        :func:`minimum_fast_memory`); results are identical either way.
+        """
+        _, target, lo, total, gcd_step = self._graph_bounds(cdag)
+        if hi is None:
+            hi = total
+        if step is None:
+            step = gcd_step
+        fn = self.cost_fn(scheduler, cdag)
+        t0 = time.perf_counter()
+        result = minimum_fast_memory(fn, target, lo, hi, step, hint=hint)
+        self.stats.wall_time += time.perf_counter() - t0
+        self.stats.searches += 1
+        return result
+
+    # ----------------------------------------------------------------- #
+    # Fan-out
+
+    def chunks(self, items: Sequence) -> List[tuple]:
+        """Split ``items`` into ≤ ``jobs`` contiguous, order-preserving
+        chunks — the fan-out unit for warm-started curve evaluation."""
+        items = list(items)
+        if not items:
+            return []
+        n = min(self.jobs, len(items))
+        size = -(-len(items) // n)
+        return [tuple(items[i:i + size]) for i in range(0, len(items), size)]
+
+    def map(self, tasks: Sequence[tuple]) -> list:
+        """Run ``(fn, args)`` / ``(fn, args, kwargs)`` tasks, passing each
+        an ``engine=`` keyword, and return their results in task order.
+
+        ``jobs == 1`` runs in-process against *this* engine (tasks share
+        its caches); ``jobs > 1`` uses a ``ProcessPoolExecutor`` — ``fn``
+        and arguments must be picklable, each worker evaluates against a
+        fresh single-job engine, and the workers' stats are merged back
+        deterministically in task order.
+        """
+        norm = [(t[0], tuple(t[1]), dict(t[2]) if len(t) > 2 else {})
+                for t in tasks]
+        self.stats.tasks += len(norm)
+        if self.jobs == 1 or len(norm) <= 1:
+            return [fn(*args, engine=self, **kwargs)
+                    for fn, args, kwargs in norm]
+        results = []
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(norm))) as ex:
+            futures = [ex.submit(_pool_task, fn, args, kwargs)
+                       for fn, args, kwargs in norm]
+            for fut in futures:  # submission order => deterministic
+                result, stats = fut.result()
+                results.append(result)
+                self.stats.merge(stats)
+        return results
+
+
+# --------------------------------------------------------------------- #
+# Default engine (shared by the experiment drivers and the CLI)
+
+_default_engine: Optional[SweepEngine] = None
+
+
+def get_default_engine() -> SweepEngine:
+    """The process-wide engine used when drivers get ``engine=None``."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = SweepEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[SweepEngine]) -> None:
+    """Install (or, with ``None``, reset) the process-wide engine."""
+    global _default_engine
+    _default_engine = engine

@@ -35,27 +35,79 @@ def minimum_fast_memory(
     lo: int,
     hi: int,
     step: int = 1,
+    hint: Optional[int] = None,
 ) -> Optional[int]:
-    """Smallest budget ``b ∈ {lo, lo+step, ...} ∩ [lo, hi]`` with
-    ``cost_fn(b) <= target``, or ``None`` when even ``hi`` misses it.
+    """Smallest budget on the grid ``{lo, lo+step, ...} ∪ {hi}`` clamped
+    into ``[lo, hi]`` with ``cost_fn(b) <= target``, or ``None`` when even
+    ``hi`` misses it.  The top grid point is clamped to ``hi`` (never
+    ``lo + k·step > hi``), so the result always lies in ``[lo, hi]``.
 
     ``cost_fn`` must be non-increasing in the budget at ``step``
     granularity; the result is verified at both sides of the boundary.
+
+    ``hint`` (optional) is a guess at the answer — e.g. the result for a
+    neighbouring problem size in a Fig. 6 sweep.  The search then brackets
+    the boundary by galloping outward from the hint instead of bisecting
+    the whole range, turning an accurate guess into O(1) probes.  The
+    result is identical with or without a hint.
     """
-    if cost_at(cost_fn, hi) > target:
-        return None
-    lo_k = 0
-    hi_k = (hi - lo + step - 1) // step
-    # Invariant: cost(lo + hi_k*step) <= target, cost at lo_k unknown/fail.
-    if cost_at(cost_fn, lo) <= target:
-        return lo
+    if lo > hi:
+        raise ValueError(f"empty budget range [{lo}, {hi}]")
+    top_k = -(-(hi - lo) // step)  # number of steps to reach/overshoot hi
+
+    def grid(k: int) -> int:
+        return min(lo + k * step, hi)
+
+    def feasible(k: int) -> bool:
+        return cost_at(cost_fn, grid(k)) <= target
+
+    if top_k == 0:
+        return lo if feasible(0) else None
+
+    if hint is None:
+        if not feasible(top_k):
+            return None
+        if feasible(0):
+            return lo
+        lo_k, hi_k = 0, top_k
+    else:
+        k = min(max(-(-(hint - lo) // step), 0), top_k)
+        if feasible(k):
+            # Gallop down until an infeasible bracket (or the bottom).
+            hi_k, stride = k, 1
+            lo_k = None
+            while hi_k > 0:
+                nxt = max(hi_k - stride, 0)
+                if feasible(nxt):
+                    hi_k = nxt
+                    stride *= 2
+                else:
+                    lo_k = nxt
+                    break
+            if lo_k is None:
+                return grid(0)
+        else:
+            # Gallop up until a feasible bracket (or the top).
+            lo_k, stride = k, 1
+            hi_k = None
+            while lo_k < top_k:
+                nxt = min(lo_k + stride, top_k)
+                if feasible(nxt):
+                    hi_k = nxt
+                    break
+                lo_k = nxt
+                stride *= 2
+            if hi_k is None:
+                return None
+
+    # Invariant: cost at grid(hi_k) <= target, cost at grid(lo_k) misses.
     while hi_k - lo_k > 1:
         mid = (lo_k + hi_k) // 2
-        if cost_at(cost_fn, lo + mid * step) <= target:
+        if feasible(mid):
             hi_k = mid
         else:
             lo_k = mid
-    best = lo + hi_k * step
+    best = grid(hi_k)
     if cost_at(cost_fn, best) > target:  # pragma: no cover - guarded above
         raise PebbleGameError("non-monotone cost function in binary search")
     return best

@@ -29,20 +29,28 @@ class SweepSeries:
 
 def log_budget_grid(lo: int, hi: int, points: int = 24,
                     step: int = 16) -> List[int]:
-    """Log-spaced budgets between ``lo`` and ``hi``, snapped up to ``step``
-    multiples and deduplicated — the x-axis of the Fig. 5 plots."""
+    """Log-spaced budgets within ``[max(lo, 1), hi]``, snapped up to ``step``
+    multiples where that stays in range and deduplicated — the x-axis of the
+    Fig. 5 plots.  Interior points are always step-aligned; the endpoints are
+    clamped into the range, so a non-aligned ``hi`` appears verbatim rather
+    than rounded past the range.  Returns ``[]`` only for the degenerate
+    ``hi == 0`` range (budgets must be positive)."""
     if lo > hi:
         raise ValueError(f"empty budget range [{lo}, {hi}]")
-    lo_s = -(-lo // step) * step
-    hi_s = -(-hi // step) * step
-    if points < 2 or lo_s >= hi_s:
-        return [max(lo_s, step)]
+    lo = max(lo, 1)
+    if hi < lo:
+        return []
+    snap = lambda x: -(-x // step) * step
+    lo_s = min(max(snap(lo), step), hi)
+    if points < 2 or lo_s >= hi:
+        return [lo_s]
     grid = []
-    ratio = (hi_s / lo_s) ** (1.0 / (points - 1))
+    # lo_s >= 1 by construction, so the log-ratio base is never zero.
+    ratio = (hi / lo_s) ** (1.0 / (points - 1))
     val = float(lo_s)
     for _ in range(points):
-        snapped = -(-int(round(val)) // step) * step
-        grid.append(min(snapped, hi_s))
+        snapped = snap(int(round(val)))
+        grid.append(min(max(snapped, lo_s), hi))
         val *= ratio
     out = sorted(set(grid))
     return out

@@ -138,15 +138,18 @@ def cmd_trace(args) -> int:
 
 
 def cmd_minmem(args) -> int:
-    from .analysis import scheduler_min_memory
+    from .analysis import SweepEngine
     g = _load_graph(args.graph)
     scheduler = _make_scheduler(args.strategy, g)
-    bits = scheduler_min_memory(scheduler, g)
+    engine = SweepEngine()
+    bits = engine.min_memory(scheduler, g)
     if bits is None:
         print("strategy never reaches the lower bound")
         return 1
     print(f"{args.strategy} on {g.name}: minimum fast memory = {bits} bits "
           f"= {bits // 16} words (16-bit)")
+    if args.profile:
+        print(engine.stats.report())
     return 0
 
 
@@ -181,7 +184,7 @@ def cmd_compare(args) -> int:
 
 def cmd_experiments(args) -> int:
     from .experiments.__main__ import main as run_all
-    run_all(args.output_dir)
+    run_all(args.output_dir, jobs=args.jobs, profile=args.profile)
     return 0
 
 
@@ -225,6 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
     m = sub.add_parser("minmem", help="minimum fast memory size (Def. 2.6)")
     m.add_argument("graph")
     m.add_argument("--strategy", choices=STRATEGIES, default="belady")
+    m.add_argument("--profile", action="store_true",
+                   help="print sweep-engine instrumentation")
     m.set_defaults(fn=cmd_minmem)
 
     y = sub.add_parser("synth", help="synthesize an SRAM macro")
@@ -243,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     e = sub.add_parser("experiments", help="regenerate the paper artifacts")
     e.add_argument("--output-dir", default="paper_artifacts")
+    e.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep engine")
+    e.add_argument("--profile", action="store_true",
+                   help="print sweep-engine instrumentation")
     e.set_defaults(fn=cmd_experiments)
     return ap
 

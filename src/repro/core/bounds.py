@@ -28,8 +28,10 @@ def min_feasible_budget(cdag: CDAG) -> int:
     ``max_v (w_v + Σ_{p∈H(v)} w_p)`` over non-source nodes ``v``."""
     footprints = [compute_footprint(cdag, v) for v in cdag if cdag.predecessors(v)]
     if not footprints:
-        # Degenerate graph with no compute nodes cannot occur (sources and
-        # sinks are disjoint), but guard anyway.
+        # Degenerate source-only graph (no edges, so every node is both an
+        # input and an output): no M3 ever runs, but materializing a stored
+        # output in a memory-state replay still takes an M1/M2 pair, which
+        # holds w_v of red weight — so the widest node sets the budget.
         return max(cdag.weights.values(), default=1)
     return max(footprints)
 

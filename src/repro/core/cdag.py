@@ -11,7 +11,9 @@ A CDAG ``G = (V, E, w, B)`` (paper Sec. 2.1) has
 
 Source nodes (in-degree 0) are the inputs ``A(G)``; sink nodes (out-degree 0)
 are the outputs ``Z(G)``.  The paper assumes ``A(G) ∩ Z(G) = ∅``; the
-constructor enforces this.
+constructor enforces this for every graph with at least one edge.  Degenerate
+edge-free graphs (isolated weighted nodes — pure load/store workloads) are
+permitted so bounds and memory-state replays stay well-defined on them.
 """
 
 from __future__ import annotations
@@ -96,7 +98,10 @@ class CDAG:
         self._sources = tuple(v for v in self._topo if not preds[v])
         self._sinks = tuple(v for v in self._topo if not succs[v])
         overlap = set(self._sources) & set(self._sinks)
-        if overlap:
+        if overlap and any(preds.values()):
+            # Isolated nodes are only meaningful in a degenerate edge-free
+            # graph (a pure load/store workload); mixed with real compute
+            # nodes they violate the paper's A(G) ∩ Z(G) = ∅ assumption.
             raise GraphStructureError(
                 f"sources and sinks overlap (isolated nodes?): {sorted(map(repr, overlap))[:4]}")
 

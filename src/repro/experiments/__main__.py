@@ -1,17 +1,22 @@
 """Run the full paper reproduction in one command:
 
-    python -m repro.experiments [output_dir]
+    python -m repro.experiments [output_dir] [--jobs N] [--profile]
 
 Regenerates Table 1 and Figures 5-8, printing each and writing the text
-artifacts to ``output_dir`` (default ``./paper_artifacts``).
+artifacts to ``output_dir`` (default ``./paper_artifacts``).  The sweep
+drivers (Table 1, Fig. 5, Fig. 6) share one :class:`SweepEngine`, so the
+searches Table 1 runs are cache hits by the time Fig. 5 needs them;
+``--jobs`` fans their evaluation points out over worker processes and
+``--profile`` prints the engine's :class:`SweepStats` report at the end.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
-import sys
 import time
 
+from ..analysis.engine import SweepEngine
 from .fig5 import render_fig5, run_fig5
 from .fig6 import render_fig6, run_fig6
 from .fig7 import render_fig7, run_fig7
@@ -19,23 +24,41 @@ from .fig8 import render_fig8, run_fig8
 from .table1 import render_table1, run_table1
 
 
-def main(out_dir: str = "paper_artifacts") -> None:
+def main(out_dir: str = "paper_artifacts", jobs: int = 1,
+         profile: bool = False) -> None:
     out = pathlib.Path(out_dir)
     out.mkdir(exist_ok=True)
-    jobs = [
-        ("table1", lambda: render_table1(run_table1())),
-        ("fig5", lambda: render_fig5(run_fig5())),
-        ("fig6", lambda: render_fig6(run_fig6(dwt_stride=4, mvm_stride=1))),
+    eng = SweepEngine(jobs=jobs)
+    tasks = [
+        ("table1", lambda: render_table1(run_table1(engine=eng))),
+        ("fig5", lambda: render_fig5(run_fig5(engine=eng))),
+        ("fig6", lambda: render_fig6(
+            run_fig6(dwt_stride=4, mvm_stride=1, engine=eng))),
         ("fig7", lambda: render_fig7(run_fig7())),
         ("fig8", lambda: render_fig8(run_fig8())),
     ]
-    for name, job in jobs:
+    for name, job in tasks:
         t0 = time.perf_counter()
         text = job()
         dt = time.perf_counter() - t0
         (out / f"{name}.txt").write_text(text + "\n")
         print(f"\n{'=' * 72}\n{text}\n[{name}: {dt:.1f}s -> {out / name}.txt]")
+    if profile:
+        print(f"\n{'=' * 72}\n{eng.stats.report()}")
+
+
+def _parse_args(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="regenerate the paper's tables and figures")
+    ap.add_argument("output_dir", nargs="?", default="paper_artifacts")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the sweep engine (default 1)")
+    ap.add_argument("--profile", action="store_true",
+                    help="print the sweep-engine instrumentation report")
+    return ap.parse_args(argv)
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "paper_artifacts")
+    _args = _parse_args()
+    main(_args.output_dir, jobs=_args.jobs, profile=_args.profile)

@@ -16,33 +16,37 @@ smaller memories.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..analysis import SweepSeries, log_budget_grid, sweep
-from ..analysis.min_memory import scheduler_min_memory
+from ..analysis import SweepSeries, log_budget_grid
+from ..analysis.engine import SweepEngine, get_default_engine
 from ..analysis.report import format_series
 from ..core import min_feasible_budget
 from .common import DWTWorkload, MVMWorkload, dwt_workload, mvm_workload
 
 
-def dwt_panel(workload: DWTWorkload, points: int = 20) -> List[SweepSeries]:
+def dwt_panel(workload: DWTWorkload, points: int = 20,
+              engine: Optional[SweepEngine] = None) -> List[SweepSeries]:
     """One DWT panel: LB, layer-by-layer, optimum over a log budget grid."""
+    eng = engine if engine is not None else get_default_engine()
     g = workload.graph
     lo = min_feasible_budget(g)
-    baseline_min = scheduler_min_memory(workload.baseline, g)
+    baseline_min = eng.min_memory(workload.baseline, g)
     hi = int(baseline_min * 1.3)
     grid = log_budget_grid(lo, hi, points)
     lb = workload.lower_bound
     return [
         SweepSeries("Algorithmic LB", tuple(grid),
                     tuple(float(lb) for _ in grid)),
-        sweep(workload.baseline_cost_fn(), grid, "Layer-by-Layer"),
-        sweep(workload.optimum_cost_fn(), grid, "Optimum (Ours)"),
+        eng.sweep(workload.baseline, g, grid, "Layer-by-Layer"),
+        eng.sweep(workload.optimum, g, grid, "Optimum (Ours)"),
     ]
 
 
-def mvm_panel(workload: MVMWorkload, points: int = 20) -> List[SweepSeries]:
+def mvm_panel(workload: MVMWorkload, points: int = 20,
+              engine: Optional[SweepEngine] = None) -> List[SweepSeries]:
     """One MVM panel: IOOpt LB/UB and our tiling over a log budget grid."""
+    eng = engine if engine is not None else get_default_engine()
     g = workload.graph
     lo = min_feasible_budget(g)
     hi = int(workload.ioopt.min_memory() * 1.3)
@@ -51,19 +55,24 @@ def mvm_panel(workload: MVMWorkload, points: int = 20) -> List[SweepSeries]:
     return [
         SweepSeries("IOOpt Lower Bound", tuple(grid),
                     tuple(float(lb) for _ in grid)),
-        sweep(workload.ioopt_cost_fn(), grid, "IOOpt Upper Bound"),
-        sweep(workload.tiling_cost_fn(), grid, "Tiling (Ours)"),
+        eng.sweep_fn(workload.ioopt_cost_fn(), grid, "IOOpt Upper Bound",
+                     key=(id(workload.ioopt), "upper_bound")),
+        eng.sweep(workload.tiling, g, grid, "Tiling (Ours)"),
     ]
 
 
-def run_fig5(points: int = 20) -> Dict[str, List[SweepSeries]]:
-    """All four panels, keyed 'a'..'d' as in the paper."""
-    return {
-        "a": dwt_panel(dwt_workload(False), points),
-        "b": dwt_panel(dwt_workload(True), points),
-        "c": mvm_panel(mvm_workload(False), points),
-        "d": mvm_panel(mvm_workload(True), points),
-    }
+def run_fig5(points: int = 20, engine: Optional[SweepEngine] = None
+             ) -> Dict[str, List[SweepSeries]]:
+    """All four panels, keyed 'a'..'d' as in the paper.  With an engine
+    built for ``jobs > 1`` the panels evaluate in parallel workers."""
+    eng = engine if engine is not None else get_default_engine()
+    panels = eng.map([
+        (dwt_panel, (dwt_workload(False), points)),
+        (dwt_panel, (dwt_workload(True), points)),
+        (mvm_panel, (mvm_workload(False), points)),
+        (mvm_panel, (mvm_workload(True), points)),
+    ])
+    return dict(zip("abcd", panels))
 
 
 def render_fig5(panels: Dict[str, List[SweepSeries]]) -> str:

@@ -15,9 +15,9 @@ Also computes the paper's Sec. 5.3 average reductions over these sweeps
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.min_memory import scheduler_min_memory
+from ..analysis.engine import SweepEngine, get_default_engine
 from ..analysis.report import format_table, percent_reduction
 from ..baselines import IOOptModel
 from ..core import double_accumulator, equal
@@ -39,41 +39,115 @@ class MinMemorySeries:
         return list(zip(self.sizes, self.min_memory_bits))
 
 
-def dwt_panel(da: bool, n_max: int = 256, stride: int = 2
-              ) -> List[MinMemorySeries]:
-    """Minimum memory of optimum vs layer-by-layer over DWT(n, d*)."""
-    cfg = double_accumulator(WORD_BITS) if da else equal(WORD_BITS)
-    optimum = OptimalDWTScheduler()
-    baseline = LayerByLayerScheduler(retention="deferred")
-    sizes, opt_mem, lbl_mem = [], [], []
+def _dwt_sizes(n_max: int, stride: int) -> List[int]:
     grid = [n for n in range(2, n_max + 1, stride) if n % 2 == 0]
     if n_max % 2 == 0 and n_max not in grid:
         grid.append(n_max)  # always include the Table 1 endpoint
-    for n in grid:
-        g = dwt_graph(n, max_level(n), weights=cfg)
-        sizes.append(n)
-        opt_mem.append(scheduler_min_memory(optimum, g))
-        lbl_mem.append(scheduler_min_memory(baseline, g))
+    return grid
+
+
+def _dwt_min_memory_curves(da: bool, sizes: Sequence[int],
+                           kinds: Sequence[str],
+                           engine: Optional[SweepEngine] = None
+                           ) -> List[List[int]]:
+    """All requested DWT curves over one chunk of sizes, sharing each
+    size's graph between the schedulers.
+
+    Earlier sizes warm-start later searches.  Both curves are linear in
+    ``n`` *within a fixed depth* ``d* = max_level(n)`` — and ``d*`` is the
+    2-adic valuation of ``n``, so neighbouring sizes hop between lines.
+    Extrapolating within the depth class therefore makes the warm-start
+    hint near-exact (~2 probes per search); a new class ``d`` first tries
+    the self-similarity hint ``2 * value(n/2, d-1)`` (a full-depth DWT is
+    two half-size ones plus a root layer), then the most recent result.
+    Results are hint-independent either way — see
+    :func:`minimum_fast_memory`."""
+    eng = engine if engine is not None else get_default_engine()
+    cfg = double_accumulator(WORD_BITS) if da else equal(WORD_BITS)
+    scheds = {k: (OptimalDWTScheduler() if k == "optimum"
+                  else LayerByLayerScheduler(retention="deferred"))
+              for k in kinds}
+    out: Dict[str, List[int]] = {k: [] for k in kinds}
+    history: Dict[str, Dict[int, List[Tuple[int, int]]]] = \
+        {k: {} for k in kinds}
+    last: Dict[str, Optional[int]] = {k: None for k in kinds}
+    for n in sizes:
+        d = max_level(n)
+        g = dwt_graph(n, d, weights=cfg)
+        for k in kinds:
+            past = history[k].setdefault(d, [])
+            if len(past) >= 2:
+                (n1, b1), (n2, b2) = past[-2], past[-1]
+                hint = int(round(b2 + (b2 - b1) * (n - n2) / (n2 - n1)))
+            elif past:
+                hint = past[-1][1]
+            else:
+                half = next((b for m, b in history[k].get(d - 1, ())
+                             if 2 * m == n), None)
+                hint = 2 * half if half is not None else last[k]
+            bits = eng.min_memory(scheds[k], g, hint=hint)
+            out[k].append(bits)
+            if bits is not None:
+                past.append((n, bits))
+                last[k] = bits
+    return [out[k] for k in kinds]
+
+
+def _mvm_min_memory_curves(da: bool, sizes: Sequence[int],
+                           kinds: Sequence[str],
+                           engine: Optional[SweepEngine] = None
+                           ) -> List[List[int]]:
+    """The Fig. 6 MVM curves over one chunk (closed-form minimums)."""
+    cfg = double_accumulator(WORD_BITS) if da else equal(WORD_BITS)
+    out: Dict[str, List[int]] = {k: [] for k in kinds}
+    for n in sizes:
+        for k in kinds:
+            if k == "tiling":
+                g = mvm_graph(MVM_M, n, weights=cfg)
+                out[k].append(TilingMVMScheduler(MVM_M, n)
+                              .min_memory_for_lower_bound(g))
+            else:
+                out[k].append(IOOptModel.for_config(MVM_M, n,
+                                                    cfg).min_memory())
+    return [out[k] for k in kinds]
+
+
+def _fan_out_curves(eng: SweepEngine, curves_fn, da: bool,
+                    sizes: Sequence[int], kinds: Sequence[str]
+                    ) -> List[List[int]]:
+    """Evaluate every kind's curve over ``sizes``, chunked across the
+    engine's workers with deterministic reassembly.  One task per chunk
+    computes all kinds, so the per-size graphs (and the engine's cached
+    bounds on them) are shared between the schedulers."""
+    chunks = eng.chunks(sizes)
+    results = eng.map([(curves_fn, (da, chunk, tuple(kinds)))
+                       for chunk in chunks])
+    return [[bits for part in results for bits in part[j]]
+            for j in range(len(kinds))]
+
+
+def dwt_panel(da: bool, n_max: int = 256, stride: int = 2,
+              engine: Optional[SweepEngine] = None) -> List[MinMemorySeries]:
+    """Minimum memory of optimum vs layer-by-layer over DWT(n, d*)."""
+    eng = engine if engine is not None else get_default_engine()
+    sizes = _dwt_sizes(n_max, stride)
+    lbl_mem, opt_mem = _fan_out_curves(eng, _dwt_min_memory_curves, da, sizes,
+                                       ("baseline", "optimum"))
     return [
         MinMemorySeries("Layer-by-Layer", tuple(sizes), tuple(lbl_mem)),
         MinMemorySeries("Optimum (Ours)", tuple(sizes), tuple(opt_mem)),
     ]
 
 
-def mvm_panel(da: bool, n_max: int = 120, stride: int = 1
-              ) -> List[MinMemorySeries]:
+def mvm_panel(da: bool, n_max: int = 120, stride: int = 1,
+              engine: Optional[SweepEngine] = None) -> List[MinMemorySeries]:
     """Minimum memory of tiling vs IOOpt UB over MVM(96, n)."""
-    cfg = double_accumulator(WORD_BITS) if da else equal(WORD_BITS)
-    sizes, tile_mem, ioopt_mem = [], [], []
-    grid = list(range(1, n_max + 1, stride))
-    if n_max not in grid:
-        grid.append(n_max)  # always include the Table 1 endpoint
-    for n in grid:
-        g = mvm_graph(MVM_M, n, weights=cfg)
-        t = TilingMVMScheduler(MVM_M, n)
-        sizes.append(n)
-        tile_mem.append(t.min_memory_for_lower_bound(g))
-        ioopt_mem.append(IOOptModel.for_config(MVM_M, n, cfg).min_memory())
+    eng = engine if engine is not None else get_default_engine()
+    sizes = list(range(1, n_max + 1, stride))
+    if n_max not in sizes:
+        sizes.append(n_max)  # always include the Table 1 endpoint
+    ioopt_mem, tile_mem = _fan_out_curves(eng, _mvm_min_memory_curves, da,
+                                          sizes, ("ioopt", "tiling"))
     return [
         MinMemorySeries("IOOpt Upper Bound", tuple(sizes), tuple(ioopt_mem)),
         MinMemorySeries("Tiling (Ours)", tuple(sizes), tuple(tile_mem)),
@@ -89,13 +163,15 @@ def average_reduction(panel: List[MinMemorySeries]) -> float:
     return sum(reductions) / len(reductions)
 
 
-def run_fig6(dwt_stride: int = 2, mvm_stride: int = 1
+def run_fig6(dwt_stride: int = 2, mvm_stride: int = 1,
+             engine: Optional[SweepEngine] = None
              ) -> Dict[str, List[MinMemorySeries]]:
+    eng = engine if engine is not None else get_default_engine()
     return {
-        "a": dwt_panel(False, stride=dwt_stride),
-        "b": dwt_panel(True, stride=dwt_stride),
-        "c": mvm_panel(False, stride=mvm_stride),
-        "d": mvm_panel(True, stride=mvm_stride),
+        "a": dwt_panel(False, stride=dwt_stride, engine=eng),
+        "b": dwt_panel(True, stride=dwt_stride, engine=eng),
+        "c": mvm_panel(False, stride=mvm_stride, engine=eng),
+        "d": mvm_panel(True, stride=mvm_stride, engine=eng),
     }
 
 

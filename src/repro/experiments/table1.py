@@ -15,9 +15,9 @@ exactly, and all power-of-two capacities coincide with the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from ..analysis.min_memory import scheduler_min_memory
+from ..analysis.engine import SweepEngine, get_default_engine
 from ..analysis.report import format_table, percent_reduction
 from ..hardware import round_up_pow2
 from .common import WORD_BITS, all_workloads, dwt_workload, mvm_workload
@@ -44,12 +44,13 @@ def _row(workload: str, weights: str, approach: str, bits: int,
         ours=ours)
 
 
-def run_table1() -> List[Table1Row]:
+def run_table1(engine: Optional[SweepEngine] = None) -> List[Table1Row]:
+    eng = engine if engine is not None else get_default_engine()
     rows: List[Table1Row] = []
     for da in (False, True):
         w = dwt_workload(da)
-        opt_bits = scheduler_min_memory(w.optimum, w.graph)
-        lbl_bits = scheduler_min_memory(w.baseline, w.graph)
+        opt_bits = eng.min_memory(w.optimum, w.graph)
+        lbl_bits = eng.min_memory(w.baseline, w.graph)
         name = "DWT(256, 8)"
         rows.append(_row(name, w.config.name, "Optimum*", opt_bits, True))
         rows.append(_row(name, w.config.name, "Layer-by-Layer", lbl_bits, False))

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+import math
+from typing import List, Optional, Sequence
 
 from ..core.cdag import CDAG
+from ..core.exceptions import InfeasibleBudgetError
 from ..core.schedule import Schedule
 
 
@@ -33,6 +35,30 @@ class Scheduler(abc.ABC):
         closed-form costs may override for speed (tests cross-check both).
         """
         return self.schedule(cdag, budget).cost(cdag)
+
+    def cost_many(self, cdag: CDAG, budgets: Sequence[Optional[int]],
+                  *, memo: Optional[dict] = None) -> List[float]:
+        """Weighted I/O cost at each budget, ``math.inf`` where infeasible.
+
+        Returns one entry per budget, aligned with ``budgets``; feasible
+        entries equal :meth:`cost` exactly (same value *and* type), so
+        batch evaluation is interchangeable with per-budget evaluation.
+
+        ``memo`` is an opaque mutable mapping owned by the caller (for
+        example a sweep engine's cached cost function).  Subclasses whose
+        cost comes from a budget-indexed DP may stash their memo tables in
+        it so the work of one probe is reused by every later probe on the
+        same graph — across budgets within this call *and* across calls
+        that pass the same mapping.  The base implementation simply loops
+        over :meth:`cost` and ignores ``memo``.
+        """
+        out: List[float] = []
+        for b in budgets:
+            try:
+                out.append(self.cost(cdag, b))
+            except InfeasibleBudgetError:
+                out.append(math.inf)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

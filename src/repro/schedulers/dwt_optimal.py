@@ -36,7 +36,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
-from ..core.bounds import require_feasible
+from ..core.bounds import min_feasible_budget, require_feasible
 from ..core.cdag import CDAG
 from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4
@@ -91,6 +91,41 @@ class OptimalDWTScheduler(Scheduler):
                     f"budget {b} infeasible for tree rooted at {root}")
             total += c + cdag.weight(root)  # + final output store
         return int(total)
+
+    def cost_many(self, cdag: CDAG, budgets, *, memo=None):
+        """Batched :meth:`cost` sharing one DP memo across all budgets.
+
+        The Eq. 2 memo is keyed ``(node, residual budget)`` and independent
+        of the query budget, so probes from a budget grid and a binary
+        search can all reuse each other's subproblems.  Passing the same
+        ``memo`` mapping again extends the reuse across calls.
+        """
+        state = memo if memo is not None else {}
+        if state.get("graph") is not cdag:
+            dwt_mod.check_prunable_weights(cdag)
+            state.clear()
+            state["graph"] = cdag
+            state["pruned"] = dwt_mod.prune(cdag)
+            state["pruned_store"] = sum(
+                cdag.weight(u) for u in dwt_mod.pruned_nodes(cdag))
+            state["need"] = min_feasible_budget(cdag)
+            state["dp"] = {}
+        pruned, dp = state["pruned"], state["dp"]
+        out = []
+        for budget in budgets:
+            b = cdag.budget if budget is None else budget
+            if b is None or b < state["need"]:
+                out.append(_INF)
+                continue
+            total = state["pruned_store"]
+            for root in pruned.sinks:
+                c = self._min_cost(pruned, root, b, dp)
+                if c is _INF:
+                    total = _INF
+                    break
+                total += c + cdag.weight(root)
+            out.append(total if total is _INF else int(total))
+        return out
 
     # ------------------------------------------------------------------ #
     # Cost-only DP (Eq. 2); operates on the pruned graph.

@@ -25,7 +25,7 @@ import itertools
 import math
 from typing import Dict, Optional, Tuple
 
-from ..core.bounds import require_feasible
+from ..core.bounds import min_feasible_budget, require_feasible
 from ..core.cdag import CDAG
 from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4
@@ -71,6 +71,33 @@ class OptimalTreeScheduler(Scheduler):
         if c is _INF:
             raise InfeasibleBudgetError(f"budget {b} infeasible for {cdag.name!r}")
         return int(c + cdag.weight(root))
+
+    def cost_many(self, cdag: CDAG, budgets, *, memo=None):
+        """Batched :meth:`cost` sharing one Eq. 6 memo across all budgets.
+
+        Memo entries are keyed ``(node, residual budget)`` and hold values
+        independent of the query budget, so every probe extends a common
+        table; pass the same ``memo`` mapping again to reuse it across
+        calls (e.g. binary-search probes of a min-memory search)."""
+        state = memo if memo is not None else {}
+        if state.get("graph") is not cdag:
+            self._check_tree(cdag)
+            state.clear()
+            state["graph"] = cdag
+            state["need"] = min_feasible_budget(cdag)
+            state["dp"] = {}
+        dp = state["dp"]
+        (root,) = cdag.sinks
+        w_root = cdag.weight(root)
+        out = []
+        for budget in budgets:
+            b = cdag.budget if budget is None else budget
+            if b is None or b < state["need"]:
+                out.append(_INF)
+                continue
+            c = self._min_cost(cdag, root, b, dp)
+            out.append(_INF if c is _INF else int(c + w_root))
+        return out
 
     def subtree_cost(self, cdag: CDAG, node, budget: int) -> float:
         """``P_t(node, budget)``: cost of ending with a red pebble on

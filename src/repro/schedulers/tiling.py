@@ -175,6 +175,35 @@ class TilingMVMScheduler(Scheduler):
     def cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
         return self.plan(cdag, budget).cost
 
+    def cost_many(self, cdag: CDAG, budgets, *, memo=None):
+        """Batched :meth:`cost` with a budget-indexed result memo.
+
+        The tiling planner is closed-form, so the shareable state is the
+        validated class weights plus the per-budget plan costs; repeated
+        probes of the same budget (grid ∩ binary search) are free."""
+        state = memo if memo is not None else {}
+        if state.get("graph") is not cdag:
+            self._class_weights(cdag)  # validate once
+            state.clear()
+            state["graph"] = cdag
+            state["costs"] = {}
+        cache = state["costs"]
+        out = []
+        for budget in budgets:
+            b = cdag.budget if budget is None else budget
+            if b is None:
+                out.append(_INF)
+                continue
+            val = cache.get(b)
+            if val is None:
+                try:
+                    val = self.cost(cdag, b)
+                except InfeasibleBudgetError:
+                    val = _INF
+                cache[b] = val
+            out.append(val)
+        return out
+
     def min_memory_for_lower_bound(self, cdag: CDAG) -> int:
         """Smallest budget whose best tiling reaches the algorithmic lower
         bound (Def. 2.6): accumulator-priority vs vector-priority."""

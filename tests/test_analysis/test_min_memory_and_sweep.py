@@ -60,6 +60,57 @@ class TestMinimumFastMemory:
         if got - step >= 1:
             assert fn(got - step) == 1
 
+    def test_top_grid_point_clamped_to_hi(self):
+        # Regression: with lo=1, step=4 the grid used to end at 13 > hi=10
+        # and the search returned the off-grid 13; the top point must clamp
+        # to hi so results stay inside [lo, hi].
+        fn = lambda b: 0 if b >= 10 else 1
+        assert minimum_fast_memory(fn, 0, lo=1, hi=10, step=4) == 10
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_fast_memory(lambda b: 0, 0, lo=10, hi=5)
+
+    def test_single_point_range(self):
+        assert minimum_fast_memory(lambda b: 0, 0, lo=7, hi=7) == 7
+        assert minimum_fast_memory(lambda b: 1, 0, lo=7, hi=7) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(lo=st.integers(1, 60), span=st.integers(0, 80),
+           step=st.integers(1, 9), threshold=st.integers(0, 160),
+           hint_off=st.integers(-50, 50))
+    def test_result_in_range_and_matches_scan(self, lo, span, step,
+                                              threshold, hint_off):
+        """For any monotone step cost fn the search returns exactly the
+        first feasible point of the clamped grid — in [lo, hi], regardless
+        of any (even wildly wrong) warm-start hint."""
+        hi = lo + span
+        fn = lambda b: 0 if b >= threshold else 1
+        grid = sorted({min(lo + k * step, hi)
+                       for k in range(-(-(hi - lo) // step) + 1)})
+        want = next((b for b in grid if fn(b) == 0), None)
+        for hint in (None, lo + hint_off):
+            got = minimum_fast_memory(fn, 0, lo, hi, step, hint=hint)
+            assert got == want
+            if got is not None:
+                assert lo <= got <= hi
+
+    @settings(max_examples=30, deadline=None)
+    @given(costs=st.lists(st.integers(0, 5), min_size=1, max_size=40),
+           target=st.integers(0, 5), hint=st.integers(-5, 50))
+    def test_random_monotone_fn_hint_independent(self, costs, target, hint):
+        """Random non-increasing cost tables: hint never changes the answer
+        and the answer equals a brute-force grid scan."""
+        table = sorted(costs, reverse=True)
+        hi = len(table)
+
+        def fn(b):
+            return table[min(b, hi) - 1]
+
+        want = next((b for b in range(1, hi + 1) if fn(b) <= target), None)
+        assert minimum_fast_memory(fn, target, 1, hi) == want
+        assert minimum_fast_memory(fn, target, 1, hi, hint=hint) == want
+
 
 class TestBudgetGrid:
     def test_grid_snapped_and_sorted(self):
@@ -79,6 +130,26 @@ class TestBudgetGrid:
     def test_empty_range_rejected(self):
         with pytest.raises(ValueError):
             log_budget_grid(100, 50)
+
+    def test_zero_lo_no_crash(self):
+        # Regression: lo=0 used to divide by zero computing the log ratio.
+        grid = log_budget_grid(0, 100)
+        assert grid and all(1 <= b <= 100 for b in grid)
+
+    def test_snapped_lo_clamped_to_hi(self):
+        # Regression: snapping 17 up to the 16-multiple 32 used to escape
+        # the requested [17, 17] range entirely.
+        assert log_budget_grid(17, 17, step=16) == [17]
+        assert log_budget_grid(17, 20, step=16) == [20]
+
+    @settings(max_examples=60, deadline=None)
+    @given(lo=st.integers(0, 500), span=st.integers(0, 4000),
+           points=st.integers(1, 30), step=st.integers(1, 64))
+    def test_grid_always_inside_range(self, lo, span, points, step):
+        hi = max(lo + span, 1)
+        grid = log_budget_grid(lo, hi, points=points, step=step)
+        assert grid == sorted(set(grid))
+        assert grid and all(max(lo, 1) <= b <= hi for b in grid)
 
 
 class TestSweep:

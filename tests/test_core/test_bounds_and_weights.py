@@ -56,6 +56,21 @@ class TestBounds:
         sched = GreedyTopologicalScheduler().schedule(diamond, 3)
         assert sched.cost(diamond) >= algorithmic_lower_bound(diamond)
 
+    def test_min_feasible_budget_source_only_graph(self):
+        # Regression: the edge-free fallback was unreachable because the
+        # CDAG constructor rejected graphs whose every node is both a
+        # source and a sink.  A lone weighted node now constructs, and its
+        # minimum budget is its own weight (an M1/M2 replay holds w_v red).
+        g = CDAG([], {"x": 7}, nodes=["x"])
+        assert min_feasible_budget(g) == 7
+        assert schedule_exists(g, 7)
+        assert not schedule_exists(g, 6)
+        assert algorithmic_lower_bound(g) == 14  # loaded once + stored once
+
+    def test_min_feasible_budget_source_only_takes_widest(self):
+        g = CDAG([], {"x": 3, "y": 11}, nodes=["x", "y"])
+        assert min_feasible_budget(g) == 11
+
 
 class TestWeightConfigs:
     def test_equal(self):

@@ -47,6 +47,15 @@ class TestConstruction:
         with pytest.raises(GraphStructureError, match="overlap"):
             CDAG([("a", "b")], {"a": 1, "b": 1, "z": 1}, nodes=["z"])
 
+    def test_edge_free_graph_allowed(self):
+        # The degenerate all-sources case the constructor docstring admits:
+        # weighted nodes, no edges at all.  Each node is its own input and
+        # output (Prop. 2.3 trivially holds; see min_feasible_budget).
+        g = CDAG([], {"x": 7}, nodes=["x"])
+        assert set(g.sources) == {"x"} and set(g.sinks) == {"x"}
+        g2 = CDAG([], {"x": 1, "y": 2}, nodes=["x", "y"])
+        assert len(g2) == 2 and g2.num_edges == 0
+
     def test_bad_budget_rejected(self):
         with pytest.raises(GraphStructureError, match="budget"):
             CDAG([("a", "b")], {"a": 1, "b": 1}, budget=0)
