@@ -1,8 +1,10 @@
 """Analysis utilities: minimum fast memory search (Def. 2.6), I/O-vs-budget
-sweeps (Fig. 5), and plain-text reporting."""
+sweeps (Fig. 5), fault-tolerant sweep execution, and plain-text reporting."""
 
 from .min_memory import cost_at, minimum_fast_memory, scheduler_min_memory
 from .sweep import SweepSeries, log_budget_grid, sweep, sweep_many
+from .faults import (FailureRecord, FaultPolicy, SweepCheckpoint,
+                     call_with_timeout, run_probe)
 from .engine import (CachedCostFn, SweepEngine, SweepStats,
                      get_default_engine, set_default_engine)
 from .report import format_series, format_table, percent_reduction
@@ -13,6 +15,8 @@ from .compare import Comparison, ComparisonCell, compare
 
 __all__ = ["cost_at", "minimum_fast_memory", "scheduler_min_memory",
            "SweepSeries", "log_budget_grid", "sweep", "sweep_many",
+           "FailureRecord", "FaultPolicy", "SweepCheckpoint",
+           "call_with_timeout", "run_probe",
            "CachedCostFn", "SweepEngine", "SweepStats",
            "get_default_engine", "set_default_engine",
            "format_series", "format_table", "percent_reduction",

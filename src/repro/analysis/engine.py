@@ -1,4 +1,4 @@
-"""Cached, parallel, instrumented sweep/min-memory evaluation engine.
+"""Cached, parallel, instrumented, fault-tolerant sweep/min-memory engine.
 
 Every headline artifact of the paper (Fig. 5 budget sweeps, Fig. 6
 min-memory curves, Table 1) is produced by repeatedly evaluating
@@ -18,25 +18,50 @@ scratch:
   ordering and a strictly serial ``jobs == 1`` fallback, and aggregates
   per-evaluation instrumentation into a :class:`SweepStats` report.
 
-The engine never changes results: cached, batched, and parallel paths
-return values identical to the direct serial path (the tests assert
-bit-identical series on DWT and MVM instances).
+Long sweeps also survive partial failure (see
+:mod:`repro.analysis.faults`):
+
+* per-probe **timeouts** and bounded **retries** with exponential backoff
+  + jitter (``timeout=``/``retries=`` engine kwargs);
+* **graceful degradation** — a probe that times out or trips the
+  exhaustive state-space guard is answered by the scheduler's designated
+  fallback (greedy / layer-by-layer / ...) and flagged ``degraded``
+  instead of killing the sweep;
+* **worker-crash recovery** — a ``BrokenProcessPool`` rebuilds the pool
+  and re-dispatches only the lost tasks, degrading to serial in-process
+  execution after repeated pool deaths;
+* **checkpoint/resume** — completed ``(scheduler, graph, budget) → cost``
+  probes are journaled to a JSON file (``checkpoint=`` kwarg /
+  ``--checkpoint`` flag) and re-seed the caches of a resumed run.
+
+The engine never changes results: cached, batched, parallel, and resumed
+paths return values identical to the direct serial path (the tests assert
+bit-identical series on DWT and MVM instances).  With all fault-tolerance
+knobs at their defaults and no faults occurring, evaluation order and
+output are byte-identical to the un-guarded engine.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
 from ..core.cdag import CDAG
+from .faults import (FailureRecord, FaultPolicy, SweepCheckpoint, run_probe)
 from .min_memory import cost_at, minimum_fast_memory
 from .sweep import SweepSeries
 
 CostFn = Callable[[int], float]
+
+#: ``fallback="auto"`` asks each scheduler for its designated fallback.
+AUTO_FALLBACK = "auto"
 
 
 # --------------------------------------------------------------------- #
@@ -56,11 +81,26 @@ class SweepStats:
     searches: int = 0  #: min-memory searches run
     sweeps: int = 0  #: budget-grid sweeps run
     tasks: int = 0  #: fan-out tasks executed via :meth:`SweepEngine.map`
+    pool_restarts: int = 0  #: process pools rebuilt after worker crashes
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: non-clean probe/task episodes (retried, degraded, redispatched, ...)
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of probes served from cache (0.0 when no probes)."""
         return self.cache_hits / self.probes if self.probes else 0.0
+
+    def failure_counts(self) -> Dict[str, int]:
+        """Failure episodes grouped by resolution (empty dict when clean)."""
+        counts: Dict[str, int] = {}
+        for f in self.failures:
+            counts[f.resolution] = counts.get(f.resolution, 0) + 1
+        return counts
+
+    @property
+    def degraded_probes(self) -> int:
+        """Probes answered by a fallback scheduler (upper bounds)."""
+        return sum(1 for f in self.failures if f.resolution == "degraded")
 
     def merge(self, other: "SweepStats") -> None:
         """Fold another stats record (e.g. from a pool worker) into this."""
@@ -74,8 +114,10 @@ class SweepStats:
         self.searches += other.searches
         self.sweeps += other.sweeps
         self.tasks += other.tasks
+        self.pool_restarts += other.pool_restarts
+        self.failures.extend(other.failures)
 
-    def report(self) -> str:
+    def report(self, max_failures: int = 8) -> str:
         """Human-readable profile block (``repro-pebble ... --profile``)."""
         lines = [
             "sweep engine profile",
@@ -89,6 +131,16 @@ class SweepStats:
             f"  peak memo size              {self.peak_memo_entries} entries",
             f"  engine wall time            {self.wall_time:.2f}s",
         ]
+        counts = self.failure_counts()
+        summary = ", ".join(f"{k} {v}" for k, v in sorted(counts.items()))
+        lines.append(f"  failures                    {len(self.failures)}"
+                     + (f" ({summary})" if counts else ""))
+        lines.append(f"  pool restarts               {self.pool_restarts}")
+        for f in self.failures[:max_failures]:
+            lines.append(f"    {f.describe()}")
+        if len(self.failures) > max_failures:
+            lines.append(f"    ... and {len(self.failures) - max_failures} "
+                         f"more")
         return "\n".join(lines)
 
 
@@ -105,23 +157,89 @@ class CachedCostFn:
     across every probe on the same graph.  Feasible values are returned
     exactly as the underlying ``cost`` would (same value and type), which
     keeps cached sweeps bit-identical to direct ones.
+
+    When a :class:`~repro.analysis.faults.FaultPolicy` (and optionally a
+    ``fallback`` scheduler) is attached, every evaluation runs through
+    :func:`~repro.analysis.faults.run_probe`: timeouts and transient
+    failures are retried/degraded per the policy, budgets answered by the
+    fallback are collected in :attr:`degraded`, and failure episodes are
+    appended to ``stats.failures``.  With no policy the evaluation path
+    is exactly the plain one.
     """
 
-    __slots__ = ("_fn", "_scheduler", "_cdag", "_cache", "_memo", "stats")
+    __slots__ = ("_fn", "_scheduler", "_cdag", "_cache", "_memo", "stats",
+                 "_policy", "_fallback", "_fb_memo", "_key", "_context",
+                 "_on_eval", "degraded")
 
     def __init__(self, fn: Optional[CostFn] = None, *,
                  scheduler=None, cdag: Optional[CDAG] = None,
-                 stats: Optional[SweepStats] = None):
+                 stats: Optional[SweepStats] = None,
+                 policy: Optional[FaultPolicy] = None,
+                 fallback=None, key: Optional[str] = None,
+                 context: Optional[Callable[[], str]] = None,
+                 on_eval: Optional[Callable[[int, float, bool], None]] = None):
         if (fn is None) == (scheduler is None):
             raise ValueError("pass either fn or scheduler+cdag")
         if scheduler is not None and cdag is None:
             raise ValueError("scheduler path needs a cdag")
+        if fallback is not None and scheduler is None:
+            raise ValueError("fallback degradation needs a scheduler+cdag")
         self._fn = fn
         self._scheduler = scheduler
         self._cdag = cdag
         self._cache: Dict[int, float] = {}
         self._memo: dict = {}
         self.stats = stats if stats is not None else SweepStats()
+        self._policy = policy
+        self._fallback = fallback
+        self._fb_memo: dict = {}
+        self._key = key if key is not None else \
+            (type(scheduler).__name__ if scheduler is not None else "rawfn")
+        self._context = context
+        self._on_eval = on_eval
+        self.degraded: set = set()
+
+    # -- fault-tolerant single-budget evaluation ----------------------- #
+
+    @property
+    def _guarded(self) -> bool:
+        return self._policy is not None and (self._policy.active
+                                             or self._fallback is not None)
+
+    def _probe_key(self, budget: int) -> str:
+        ctx = self._context() if self._context is not None else ""
+        return f"{ctx}{self._key}#B={budget}"
+
+    def _evaluate(self, budget: int) -> float:
+        """Evaluate one uncached budget (guarded when a policy is set),
+        store it, and notify the checkpoint hook."""
+        t0 = time.perf_counter()
+        if self._scheduler is not None:
+            evaluate = lambda: self._scheduler.cost_many(
+                self._cdag, (budget,), memo=self._memo)[0]
+        else:
+            evaluate = lambda: cost_at(self._fn, budget)
+        if self._guarded:
+            fallback = None
+            if self._fallback is not None:
+                fallback = lambda: self._fallback.cost_many(
+                    self._cdag, (budget,), memo=self._fb_memo)[0]
+            val, was_degraded = run_probe(
+                evaluate, key=self._probe_key(budget), policy=self._policy,
+                failures=self.stats.failures, fallback=fallback)
+        else:
+            val, was_degraded = evaluate(), False
+        self.stats.evals += 1
+        self.stats.eval_time += time.perf_counter() - t0
+        self._cache[budget] = val
+        if was_degraded:
+            self.degraded.add(budget)
+        if self._on_eval is not None:
+            self._on_eval(budget, val, was_degraded)
+        entries = self.memo_entries()
+        if entries > self.stats.peak_memo_entries:
+            self.stats.peak_memo_entries = entries
+        return val
 
     def __call__(self, budget: int) -> float:
         stats = self.stats
@@ -130,43 +248,49 @@ class CachedCostFn:
         if hit is not None:
             stats.cache_hits += 1
             return hit
-        t0 = time.perf_counter()
-        if self._scheduler is not None:
-            val = self._scheduler.cost_many(self._cdag, (budget,),
-                                            memo=self._memo)[0]
-        else:
-            val = cost_at(self._fn, budget)
-        stats.evals += 1
-        stats.eval_time += time.perf_counter() - t0
-        self._cache[budget] = val
-        entries = self.memo_entries()
-        if entries > stats.peak_memo_entries:
-            stats.peak_memo_entries = entries
-        return val
+        return self._evaluate(budget)
 
     def value(self, budget: int) -> float:
         """Cached value for ``budget`` without touching the stats
         (``budget`` must have been probed or primed before)."""
         return self._cache[budget]
 
+    def preload(self, entries: Dict[int, Tuple[float, bool]]) -> None:
+        """Seed the cache from persisted probes (checkpoint resume):
+        ``budget -> (cost, degraded)``.  Already-cached budgets keep their
+        in-memory value; stats are untouched (a seeded probe later counts
+        as a cache hit, which is what it is)."""
+        for budget, (cost, was_degraded) in entries.items():
+            if budget not in self._cache:
+                self._cache[budget] = cost
+                if was_degraded:
+                    self.degraded.add(budget)
+
     def prime(self, budgets: Sequence[int]) -> None:
         """Batch-evaluate the not-yet-cached budgets in one
-        ``cost_many`` call (one pass over a shared memo)."""
+        ``cost_many`` call (one pass over a shared memo).  Under an
+        active fault policy the batch is evaluated one budget at a time
+        instead, so each probe is individually timed out / retried /
+        degraded (the shared memo still carries DP state across them)."""
         unique = list(dict.fromkeys(budgets))
         self.stats.probes += len(unique)
         missing = [b for b in unique if b not in self._cache]
         self.stats.cache_hits += len(unique) - len(missing)
         if not missing:
             return
-        t0 = time.perf_counter()
-        if self._scheduler is not None:
+        if self._guarded or self._scheduler is None:
+            for b in missing:
+                self._evaluate(b)
+        else:
+            t0 = time.perf_counter()
             vals = self._scheduler.cost_many(self._cdag, missing,
                                              memo=self._memo)
-        else:
-            vals = [cost_at(self._fn, b) for b in missing]
-        self.stats.evals += len(missing)
-        self.stats.eval_time += time.perf_counter() - t0
-        self._cache.update(zip(missing, vals))
+            self.stats.evals += len(missing)
+            self.stats.eval_time += time.perf_counter() - t0
+            self._cache.update(zip(missing, vals))
+            if self._on_eval is not None:
+                for b, v in zip(missing, vals):
+                    self._on_eval(b, v, False)
         entries = self.memo_entries()
         if entries > self.stats.peak_memo_entries:
             self.stats.peak_memo_entries = entries
@@ -181,10 +305,25 @@ class CachedCostFn:
 # Parallel fan-out helper (module-level so it pickles)
 
 
-def _pool_task(fn, args, kwargs):
-    engine = SweepEngine(jobs=1)
+def _pool_task(fn, args, kwargs, setup: Optional[dict] = None):
+    """Worker-side task runner: build a fresh single-job engine that
+    inherits the parent's fault policy / fallback / probe context and is
+    seeded with the parent's persisted probes, run the task against it,
+    and ship back (result, stats, newly evaluated probes)."""
+    setup = setup or {}
+    engine = SweepEngine(jobs=1,
+                         timeout=setup.get("timeout"),
+                         retries=setup.get("retries", 0),
+                         backoff=setup.get("backoff", 0.25),
+                         jitter=setup.get("jitter", 0.25),
+                         fallback=setup.get("fallback", AUTO_FALLBACK))
+    engine._context = setup.get("context", "")
+    engine._collect_probes = True
+    seed = setup.get("seed")
+    if seed:
+        engine._seed.update(seed)
     result = fn(*args, engine=engine, **kwargs)
-    return result, engine.stats
+    return result, engine.stats, engine._probe_log
 
 
 # --------------------------------------------------------------------- #
@@ -204,14 +343,114 @@ class SweepEngine:
     (sharing this engine's caches), >1 fans them out over a
     ``ProcessPoolExecutor`` with deterministic, submission-ordered
     results; worker stats are merged back into :attr:`stats`.
+
+    Fault-tolerance kwargs (all inert by default):
+
+    timeout / retries / backoff / jitter:
+        Per-probe wall-clock limit and transient-failure retry budget —
+        see :class:`~repro.analysis.faults.FaultPolicy`.
+    fallback:
+        ``"auto"`` (default) degrades a timed-out / guard-tripped probe
+        to the scheduler's own designated fallback
+        (:meth:`~repro.schedulers.base.Scheduler.fallback_scheduler`);
+        a :class:`~repro.schedulers.base.Scheduler` instance forces one
+        fallback for every scheduler; ``None`` disables degradation.
+    max_pool_restarts:
+        Pool rebuilds tolerated in :meth:`map` before the remaining
+        tasks run serially in-process.
+    checkpoint / checkpoint_every:
+        Path of a probe journal (created if missing, resumed if present)
+        and the flush cadence in newly evaluated probes.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, *,
+                 timeout: Optional[float] = None,
+                 retries: int = 0,
+                 backoff: float = 0.25,
+                 jitter: float = 0.25,
+                 fallback: Union[str, None, object] = AUTO_FALLBACK,
+                 max_pool_restarts: int = 2,
+                 checkpoint: Optional[str] = None,
+                 checkpoint_every: int = 16):
         self.jobs = max(1, int(jobs))
         self.stats = SweepStats()
+        self.policy = FaultPolicy(timeout=timeout, retries=max(0, int(retries)),
+                                  backoff=backoff, jitter=jitter,
+                                  max_pool_restarts=max(0, int(max_pool_restarts)))
+        self.fallback = fallback
+        self.checkpoint: Optional[SweepCheckpoint] = (
+            SweepCheckpoint(checkpoint, every=checkpoint_every)
+            if checkpoint else None)
         self._fns: Dict[Tuple, CachedCostFn] = {}
         # id(cdag) -> (cdag, lower bound, min budget, total weight, gcd step)
         self._bounds: Dict[int, Tuple] = {}
+        # id(cdag) -> (cdag, stable content key) for persisted probes
+        self._graph_keys: Dict[int, Tuple[CDAG, str]] = {}
+        #: persisted/absorbed probes: (sched key, graph key, budget) -> value
+        self._seed: Dict[Tuple[str, str, int], Tuple[float, bool]] = (
+            dict(self.checkpoint.entries) if self.checkpoint else {})
+        self._probe_log: List[Tuple[str, str, int, float, bool]] = []
+        self._collect_probes = False
+        self._context = ""
+
+    # ----------------------------------------------------------------- #
+    # Probe labelling / persistence plumbing
+
+    @contextlib.contextmanager
+    def probe_context(self, label: str):
+        """Prefix failure-record keys with ``label`` for probes evaluated
+        inside the block (``with eng.probe_context("fig6"): ...``), so a
+        profile report names the experiment a failure belongs to.  The
+        context is inherited by pool workers dispatched within it."""
+        prev = self._context
+        self._context = f"{prev}{label}:"
+        try:
+            yield self
+        finally:
+            self._context = prev
+
+    def graph_key(self, cdag: CDAG) -> str:
+        """Stable content identity of a graph for persisted probes: name,
+        node count, and a fingerprint of the weighted structure — safe
+        across processes and runs (unlike ``id``)."""
+        key = id(cdag)
+        entry = self._graph_keys.get(key)
+        if entry is None or entry[0] is not cdag:
+            h = hashlib.sha1()
+            for v in sorted(cdag, key=repr):
+                h.update(repr((v, cdag.weight(v),
+                               sorted(cdag.predecessors(v), key=repr))
+                              ).encode())
+            entry = (cdag, f"{cdag.name}#V{len(cdag)}#{h.hexdigest()[:12]}")
+            self._graph_keys[key] = entry
+        return entry[1]
+
+    def _record_probe(self, sched_key: str, gkey: str, budget: int,
+                      cost: float, was_degraded: bool) -> None:
+        """Journal one completed probe (checkpoint + worker export)."""
+        self._seed[(sched_key, gkey, budget)] = (cost, was_degraded)
+        if self.checkpoint is not None:
+            self.checkpoint.record(sched_key, gkey, budget, cost,
+                                   was_degraded)
+        if self._collect_probes:
+            self._probe_log.append((sched_key, gkey, budget, cost,
+                                    was_degraded))
+
+    def _absorb_probes(self, probes) -> None:
+        """Fold probes harvested from a worker into this engine's seed
+        (and checkpoint), so later cost functions reuse them."""
+        for sched_key, gkey, budget, cost, was_degraded in probes:
+            self._record_probe(sched_key, gkey, budget, cost, was_degraded)
+
+    def flush_checkpoint(self) -> None:
+        """Persist any probes not yet written (no-op without a journal)."""
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
+
+    def _fallback_for(self, scheduler):
+        if self.fallback == AUTO_FALLBACK:
+            return scheduler.fallback_scheduler()
+        return self.fallback
 
     # ----------------------------------------------------------------- #
     # Cached cost functions
@@ -221,8 +460,20 @@ class SweepEngine:
         key = (id(scheduler), id(cdag))
         fn = self._fns.get(key)
         if fn is None or fn._scheduler is not scheduler or fn._cdag is not cdag:
+            sched_key = scheduler.cache_key()
+            gkey = self.graph_key(cdag)
+            fallback = self._fallback_for(scheduler)
+            record = (lambda budget, cost, was_degraded:
+                      self._record_probe(sched_key, gkey, budget, cost,
+                                         was_degraded))
             fn = CachedCostFn(scheduler=scheduler, cdag=cdag,
-                              stats=self.stats)
+                              stats=self.stats, policy=self.policy,
+                              fallback=fallback,
+                              key=f"{sched_key}@{gkey}",
+                              context=lambda: self._context,
+                              on_eval=record)
+            fn.preload({b: v for (s, g, b), v in self._seed.items()
+                        if s == sched_key and g == gkey})
             self._fns[key] = fn
         return fn
 
@@ -230,11 +481,15 @@ class SweepEngine:
                     ) -> CachedCostFn:
         """Memoized wrapper for a plain cost callable.  ``key`` makes the
         cache survive across calls that rebuild the callable (e.g. a
-        closure over the same model object)."""
+        closure over the same model object).  Raw callables get timeouts
+        and retries but no fallback degradation and no checkpointing —
+        there is no stable cross-run identity to journal them under."""
         cache_key = ("raw",) + (key if key is not None else (id(fn),))
         cached = self._fns.get(cache_key)
         if cached is None:
-            cached = CachedCostFn(fn, stats=self.stats)
+            cached = CachedCostFn(fn, stats=self.stats, policy=self.policy,
+                                  key=f"rawfn{cache_key[1:]!r}",
+                                  context=lambda: self._context)
             self._fns[cache_key] = cached
         return cached
 
@@ -243,14 +498,21 @@ class SweepEngine:
 
     def sweep(self, scheduler, cdag: CDAG, budgets: Sequence[int],
               label: str) -> SweepSeries:
-        """Cached :func:`repro.analysis.sweep.sweep` over a scheduler."""
+        """Cached :func:`repro.analysis.sweep.sweep` over a scheduler.
+        Budgets answered by a fallback scheduler (timeout / state-space
+        guard) are listed in the series' ``degraded`` field."""
         fn = self.cost_fn(scheduler, cdag)
         t0 = time.perf_counter()
-        fn.prime(budgets)
-        costs = tuple(fn.value(b) for b in budgets)
-        self.stats.wall_time += time.perf_counter() - t0
+        try:
+            fn.prime(budgets)
+            costs = tuple(fn.value(b) for b in budgets)
+        finally:
+            self.stats.wall_time += time.perf_counter() - t0
+            self.flush_checkpoint()
         self.stats.sweeps += 1
-        return SweepSeries(label=label, budgets=tuple(budgets), costs=costs)
+        return SweepSeries(label=label, budgets=tuple(budgets), costs=costs,
+                           degraded=tuple(b for b in budgets
+                                          if b in fn.degraded))
 
     def sweep_fn(self, cost_fn: CostFn, budgets: Sequence[int], label: str,
                  key: Optional[Tuple] = None) -> SweepSeries:
@@ -294,8 +556,11 @@ class SweepEngine:
             step = gcd_step
         fn = self.cost_fn(scheduler, cdag)
         t0 = time.perf_counter()
-        result = minimum_fast_memory(fn, target, lo, hi, step, hint=hint)
-        self.stats.wall_time += time.perf_counter() - t0
+        try:
+            result = minimum_fast_memory(fn, target, lo, hi, step, hint=hint)
+        finally:
+            self.stats.wall_time += time.perf_counter() - t0
+            self.flush_checkpoint()
         self.stats.searches += 1
         return result
 
@@ -312,6 +577,23 @@ class SweepEngine:
         size = -(-len(items) // n)
         return [tuple(items[i:i + size]) for i in range(0, len(items), size)]
 
+    def _worker_setup(self) -> dict:
+        """Everything a pool worker needs to mirror this engine's fault
+        behaviour (must pickle: schedulers are plain-data objects)."""
+        return {
+            "timeout": self.policy.timeout,
+            "retries": self.policy.retries,
+            "backoff": self.policy.backoff,
+            "jitter": self.policy.jitter,
+            "fallback": self.fallback,
+            "context": self._context,
+            "seed": dict(self._seed) if self._seed else None,
+        }
+
+    def _task_key(self, fn, index: int) -> str:
+        name = getattr(fn, "__name__", type(fn).__name__)
+        return f"{self._context}{name}#{index}"
+
     def map(self, tasks: Sequence[tuple]) -> list:
         """Run ``(fn, args)`` / ``(fn, args, kwargs)`` tasks, passing each
         an ``engine=`` keyword, and return their results in task order.
@@ -319,24 +601,102 @@ class SweepEngine:
         ``jobs == 1`` runs in-process against *this* engine (tasks share
         its caches); ``jobs > 1`` uses a ``ProcessPoolExecutor`` — ``fn``
         and arguments must be picklable, each worker evaluates against a
-        fresh single-job engine, and the workers' stats are merged back
-        deterministically in task order.
+        fresh single-job engine inheriting this engine's fault policy and
+        persisted probes, and the workers' stats and probe results are
+        merged back deterministically in task order.
+
+        A worker crash (``BrokenProcessPool``) does not kill the sweep:
+        results that completed before the crash are kept, the pool is
+        rebuilt, and only the lost tasks are re-dispatched.  After
+        ``max_pool_restarts`` rebuilds the remaining tasks run serially
+        in this process.  Each recovery episode is recorded in
+        :attr:`stats` (``pool_restarts`` + per-task ``FailureRecord``).
         """
         norm = [(t[0], tuple(t[1]), dict(t[2]) if len(t) > 2 else {})
                 for t in tasks]
+        if not norm:  # never build a pool with max_workers=0
+            return []
         self.stats.tasks += len(norm)
-        if self.jobs == 1 or len(norm) <= 1:
-            return [fn(*args, engine=self, **kwargs)
-                    for fn, args, kwargs in norm]
-        results = []
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(norm))) as ex:
-            futures = [ex.submit(_pool_task, fn, args, kwargs)
-                       for fn, args, kwargs in norm]
-            for fut in futures:  # submission order => deterministic
-                result, stats = fut.result()
-                results.append(result)
-                self.stats.merge(stats)
+        if self.jobs == 1 or len(norm) == 1:
+            try:
+                return [fn(*args, engine=self, **kwargs)
+                        for fn, args, kwargs in norm]
+            finally:
+                self.flush_checkpoint()
+        results: List = [None] * len(norm)
+        try:
+            self._map_with_recovery(norm, results)
+        finally:
+            self.flush_checkpoint()
         return results
+
+    def _map_with_recovery(self, norm, results) -> None:
+        """Pool fan-out with crash recovery, filling ``results`` in
+        place (the re-dispatch loop of :meth:`map`)."""
+        pending = list(range(len(norm)))
+        restarts = 0
+        while pending:
+            if restarts > self.policy.max_pool_restarts:
+                # Too many pool deaths: finish serially in this process.
+                for i in pending:
+                    t0 = time.perf_counter()
+                    fn, args, kwargs = norm[i]
+                    results[i] = fn(*args, engine=self, **kwargs)
+                    self.stats.failures.append(FailureRecord(
+                        key=self._task_key(fn, i),
+                        exception=BrokenProcessPool.__name__,
+                        message=f"pool died {restarts} times; ran serially",
+                        attempts=restarts,
+                        elapsed=time.perf_counter() - t0,
+                        resolution="serial-fallback"))
+                pending = []
+                break
+            setup = self._worker_setup()
+            crashed: Optional[BaseException] = None
+            completed: List[int] = []
+            t0 = time.perf_counter()
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending))) as ex:
+                futures = {i: ex.submit(_pool_task, *norm[i], setup)
+                           for i in pending}
+                for i in pending:  # submission order => deterministic
+                    try:
+                        result, stats, probes = futures[i].result()
+                    except BrokenProcessPool as exc:
+                        crashed = exc
+                        break
+                    results[i] = result
+                    self.stats.merge(stats)
+                    self._absorb_probes(probes)
+                    completed.append(i)
+                if crashed is not None:
+                    # Keep everything that finished before the pool died.
+                    for i in pending:
+                        if i in completed:
+                            continue
+                        fut = futures[i]
+                        if fut.done() and not fut.cancelled() \
+                                and fut.exception() is None:
+                            result, stats, probes = fut.result()
+                            results[i] = result
+                            self.stats.merge(stats)
+                            self._absorb_probes(probes)
+                            completed.append(i)
+            if crashed is None:
+                pending = []
+            else:
+                lost = [i for i in pending if i not in completed]
+                restarts += 1
+                self.stats.pool_restarts += 1
+                elapsed = time.perf_counter() - t0
+                for i in lost:
+                    self.stats.failures.append(FailureRecord(
+                        key=self._task_key(norm[i][0], i),
+                        exception=type(crashed).__name__,
+                        message=str(crashed) or "worker process died",
+                        attempts=restarts, elapsed=elapsed,
+                        resolution="redispatched"))
+                pending = lost
 
 
 # --------------------------------------------------------------------- #

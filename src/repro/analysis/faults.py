@@ -1,0 +1,274 @@
+"""Fault-tolerance primitives for the sweep engine.
+
+Long sweeps die for boring reasons: one probe hangs (exhaustive pebbling
+is PSPACE-complete in general, so a single oversized instance can run
+forever), one pool worker segfaults, one flaky cost function hiccups.
+This module provides the pieces :class:`repro.analysis.engine.SweepEngine`
+composes so a multi-hour sweep survives all three:
+
+* :class:`FaultPolicy` — per-probe wall-clock timeouts and bounded retries
+  with exponential backoff + jitter for transient failures.
+* :func:`run_probe` — one guarded cost evaluation: times out, retries,
+  degrades to a fallback evaluation (recording the probe as an *upper
+  bound*), and emits a :class:`FailureRecord` for anything non-clean.
+* :class:`SweepCheckpoint` — a crash-safe journal of completed
+  ``(scheduler, graph, budget) → cost`` probes, persisted as
+  :mod:`repro.serialize` JSON so a killed sweep resumes instead of
+  restarting from zero.
+
+Everything here is policy-off by default: with no timeout, no retries and
+no fallback, :func:`run_probe` is a plain function call and the engine's
+happy path stays byte-identical to the un-guarded one.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.exceptions import (PebbleGameError, ProbeTimeoutError,
+                               StateSpaceTooLargeError)
+
+#: Resolutions a :class:`FailureRecord` can end with.
+RESOLUTIONS = ("retried", "degraded", "failed", "redispatched",
+               "serial-fallback")
+
+#: Exception types treated as transient (worth retrying) by default.
+#: Deterministic game errors (:class:`PebbleGameError`) are never retried —
+#: re-running the same scheduler on the same graph cannot change them.
+DEFAULT_TRANSIENT = (OSError, ConnectionError, TimeoutError, EOFError)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One non-clean probe or task episode, with how it was resolved.
+
+    ``resolution`` is one of :data:`RESOLUTIONS`:
+
+    * ``"retried"`` — transient failure(s), succeeded within the retry
+      budget (``attempts`` counts every try including the winner).
+    * ``"degraded"`` — the probe timed out or tripped a state-space guard
+      and was answered by the fallback scheduler; the recorded value is an
+      upper bound, not the strategy's true cost.
+    * ``"failed"`` — exhausted retries (or no fallback available); the
+      exception propagated to the caller.
+    * ``"redispatched"`` — a pool worker died; the task was re-submitted
+      to a rebuilt pool.
+    * ``"serial-fallback"`` — repeated pool deaths; the task ran serially
+      in the parent process instead.
+    """
+
+    key: str  #: probe/task identity, e.g. ``"fig6:OptimalDWT@DWT(16,4)#B=64"``
+    exception: str  #: exception class name
+    message: str  #: str(exception), truncated for the report
+    attempts: int  #: tries consumed by the episode
+    elapsed: float  #: seconds from first try to resolution
+    resolution: str  #: one of :data:`RESOLUTIONS`
+
+    def describe(self) -> str:
+        msg = self.message if len(self.message) <= 120 else \
+            self.message[:117] + "..."
+        return (f"{self.key}: {self.exception} after {self.attempts} "
+                f"attempt(s) ({self.elapsed:.2f}s) -> {self.resolution}"
+                + (f" [{msg}]" if msg else ""))
+
+
+@dataclass
+class FaultPolicy:
+    """Knobs for guarded probe evaluation (all off by default).
+
+    ``timeout`` bounds each probe's wall clock (``None`` = unbounded;
+    note the timed-out evaluation thread cannot be killed — it is
+    abandoned as a daemon and its result discarded).  ``retries`` bounds
+    re-tries of *transient* failures; the n-th retry sleeps
+    ``backoff * 2**n`` seconds, scaled by up to ``jitter`` of random
+    spread so herds of workers don't retry in lockstep.
+    """
+
+    timeout: Optional[float] = None  #: per-probe wall clock, seconds
+    retries: int = 0  #: max re-tries of transient failures
+    backoff: float = 0.25  #: base of the exponential retry delay, seconds
+    jitter: float = 0.25  #: random spread fraction on top of the backoff
+    transient: tuple = DEFAULT_TRANSIENT  #: exception types worth retrying
+    max_pool_restarts: int = 2  #: pool rebuilds before serial fallback
+
+    @property
+    def active(self) -> bool:
+        """True when any guard that changes evaluation batching is on."""
+        return self.timeout is not None or self.retries > 0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        base = self.backoff * (2.0 ** attempt)
+        return base * (1.0 + self.jitter * random.random())
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return (isinstance(exc, self.transient)
+                and not isinstance(exc, PebbleGameError))
+
+
+def call_with_timeout(fn: Callable[[], object], timeout: Optional[float],
+                      key: str = "") -> object:
+    """Run ``fn()`` with a wall-clock bound.
+
+    ``timeout=None`` calls ``fn`` directly (zero overhead, identical
+    semantics).  Otherwise ``fn`` runs on a daemon thread; if it misses
+    the deadline a :class:`ProbeTimeoutError` is raised and the thread is
+    abandoned (pure-python cost functions cannot be interrupted safely —
+    the orphan finishes in the background and its result is discarded).
+    """
+    if timeout is None:
+        return fn()
+    box: list = []
+
+    def runner():
+        try:
+            box.append((True, fn()))
+        except BaseException as exc:  # propagated below
+            box.append((False, exc))
+
+    t = threading.Thread(target=runner, daemon=True,
+                         name=f"probe-{key or 'anon'}")
+    t.start()
+    t.join(timeout)
+    if not box:
+        raise ProbeTimeoutError(
+            f"probe {key or '<anonymous>'} exceeded {timeout:.3g}s",
+            key=key or None, timeout=timeout)
+    ok, payload = box[0]
+    if ok:
+        return payload
+    raise payload
+
+
+#: Faults that trigger degradation instead of retry: the probe is
+#: deterministic, just too expensive — re-running it cannot help, but a
+#: cheaper scheduler can still bound it from above.
+DEGRADABLE = (ProbeTimeoutError, StateSpaceTooLargeError)
+
+
+def run_probe(evaluate: Callable[[], object], *, key: str,
+              policy: FaultPolicy,
+              failures: Optional[List[FailureRecord]] = None,
+              fallback: Optional[Callable[[], object]] = None,
+              sleep: Callable[[float], None] = time.sleep
+              ) -> Tuple[object, bool]:
+    """One guarded evaluation.  Returns ``(value, degraded)``.
+
+    * Transient exceptions (``policy.transient``) are retried up to
+      ``policy.retries`` times with exponential backoff + jitter.
+    * :data:`DEGRADABLE` faults (timeout, state-space guard) switch to
+      ``fallback()`` when one is provided — the result is flagged
+      ``degraded=True`` (an upper bound) — and fail otherwise.
+    * Deterministic game errors propagate immediately (the evaluation
+      itself maps infeasibility to ∞ before this layer sees it).
+
+    Every non-clean episode appends one :class:`FailureRecord` to
+    ``failures``.  With the default policy and no fallback this reduces
+    to ``(evaluate(), False)`` — no threads, no records, no overhead.
+    """
+    attempts = 0
+    t0 = time.perf_counter()
+
+    def record(exc: BaseException, resolution: str) -> None:
+        if failures is not None:
+            failures.append(FailureRecord(
+                key=key, exception=type(exc).__name__, message=str(exc),
+                attempts=attempts, elapsed=time.perf_counter() - t0,
+                resolution=resolution))
+
+    while True:
+        attempts += 1
+        try:
+            value = call_with_timeout(evaluate, policy.timeout, key=key)
+            break
+        except DEGRADABLE as exc:
+            if fallback is not None:
+                value = fallback()
+                record(exc, "degraded")
+                return value, True
+            record(exc, "failed")
+            raise
+        except Exception as exc:
+            if not policy.is_transient(exc) or attempts > policy.retries:
+                record(exc, "failed")
+                raise
+            last_exc = exc
+            sleep(policy.delay(attempts - 1))
+    if attempts > 1:
+        record(last_exc, "retried")
+    return value, False
+
+
+# --------------------------------------------------------------------- #
+# Checkpointing
+
+
+ProbeKey = Tuple[str, str, int]  # (scheduler key, graph key, budget)
+ProbeValue = Tuple[float, bool]  # (cost, degraded?)
+
+
+class SweepCheckpoint:
+    """Crash-safe journal of completed probes, resumable across runs.
+
+    Entries map ``(scheduler key, graph key, budget)`` to ``(cost,
+    degraded)``.  The file (see ``repro.serialize.checkpoint_to_dict``)
+    is rewritten atomically — temp file + ``os.replace`` — every
+    ``every`` newly recorded probes and on :meth:`flush`, so a kill at
+    any instant leaves either the old or the new journal, never a torn
+    one.  Loading a pre-existing file merges its entries in; a malformed
+    file raises ``InvalidScheduleError`` (delete it to start over).
+    """
+
+    def __init__(self, path: str, every: int = 16):
+        from .. import serialize  # local import to avoid a cycle
+        self.path = os.fspath(path)
+        self.every = max(1, int(every))
+        self.entries: Dict[ProbeKey, ProbeValue] = {}
+        self._pending = 0
+        if os.path.exists(self.path):
+            with open(self.path) as fh:
+                text = fh.read()
+            if text.strip():
+                self.entries.update(serialize.loads_checkpoint(text))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def seed(self, scheduler_key: str, graph_key: str
+             ) -> Dict[int, ProbeValue]:
+        """All saved probes of one (scheduler, graph) pair, by budget."""
+        return {b: v for (s, g, b), v in self.entries.items()
+                if s == scheduler_key and g == graph_key}
+
+    def record(self, scheduler_key: str, graph_key: str, budget: int,
+               cost: float, degraded: bool = False) -> None:
+        key = (scheduler_key, graph_key, int(budget))
+        if key in self.entries:
+            return
+        self.entries[key] = (cost, bool(degraded))
+        self._pending += 1
+        if self._pending >= self.every:
+            self.flush()
+
+    def merge(self, triples) -> None:
+        """Fold probes harvested from a worker: an iterable of
+        ``(scheduler_key, graph_key, budget, cost, degraded)``."""
+        for s, g, b, cost, degraded in triples:
+            self.record(s, g, b, cost, degraded)
+
+    def flush(self) -> None:
+        """Atomically persist the journal (no-op when nothing changed
+        since the last write and the file already exists)."""
+        from .. import serialize
+        if self._pending == 0 and os.path.exists(self.path):
+            return
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.write(serialize.dumps_checkpoint(self.entries))
+        os.replace(tmp, self.path)
+        self._pending = 0

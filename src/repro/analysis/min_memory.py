@@ -50,6 +50,13 @@ def minimum_fast_memory(
     the boundary by galloping outward from the hint instead of bisecting
     the whole range, turning an accurate guess into O(1) probes.  The
     result is identical with or without a hint.
+
+    Fault-tolerance note: a cost function that *degrades* some probes to
+    a fallback scheduler (see :mod:`repro.analysis.faults`) still returns
+    upper bounds, so a budget it reports feasible truly is — but mixing
+    degraded and exact probes can look non-monotone at the boundary,
+    which this search rejects loudly (below) rather than mis-reporting a
+    minimum.
     """
     if lo > hi:
         raise ValueError(f"empty budget range [{lo}, {hi}]")
@@ -108,8 +115,12 @@ def minimum_fast_memory(
         else:
             lo_k = mid
     best = grid(hi_k)
-    if cost_at(cost_fn, best) > target:  # pragma: no cover - guarded above
-        raise PebbleGameError("non-monotone cost function in binary search")
+    final = cost_at(cost_fn, best)
+    if final > target:  # pragma: no cover - guarded above
+        raise PebbleGameError(
+            f"non-monotone cost function in binary search: budget {best} "
+            f"was feasible during bracketing but re-probed to {final} > "
+            f"target {target} (degraded/flaky probes?)")
     return best
 
 

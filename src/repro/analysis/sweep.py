@@ -13,11 +13,19 @@ CostFn = Callable[[int], float]
 
 @dataclass(frozen=True)
 class SweepSeries:
-    """One labelled curve of a sweep: (budget, cost) pairs."""
+    """One labelled curve of a sweep: (budget, cost) pairs.
+
+    ``degraded`` lists the budgets whose cost came from a *fallback*
+    scheduler after the primary timed out or tripped a state-space guard
+    (see :mod:`repro.analysis.faults`) — those entries are upper bounds,
+    not the labelled strategy's true cost.  Fault-free sweeps leave it
+    empty, so equality with directly-computed series is preserved.
+    """
 
     label: str
     budgets: Tuple[int, ...]
     costs: Tuple[float, ...]
+    degraded: Tuple[int, ...] = ()
 
     def points(self) -> List[Tuple[int, float]]:
         return list(zip(self.budgets, self.costs))

@@ -141,7 +141,8 @@ def cmd_minmem(args) -> int:
     from .analysis import SweepEngine
     g = _load_graph(args.graph)
     scheduler = _make_scheduler(args.strategy, g)
-    engine = SweepEngine()
+    engine = SweepEngine(timeout=args.timeout, retries=args.retries,
+                         checkpoint=args.checkpoint)
     bits = engine.min_memory(scheduler, g)
     if bits is None:
         print("strategy never reaches the lower bound")
@@ -184,8 +185,23 @@ def cmd_compare(args) -> int:
 
 def cmd_experiments(args) -> int:
     from .experiments.__main__ import main as run_all
-    run_all(args.output_dir, jobs=args.jobs, profile=args.profile)
+    run_all(args.output_dir, jobs=args.jobs, profile=args.profile,
+            timeout=args.timeout, retries=args.retries,
+            checkpoint=args.checkpoint)
     return 0
+
+
+def _add_fault_flags(parser) -> None:
+    """Fault-tolerance flags shared by the sweep-driving subcommands."""
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-probe wall-clock limit; timed-out probes "
+                             "degrade to the scheduler's fallback")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retries for transient probe failures "
+                             "(exponential backoff + jitter)")
+    parser.add_argument("--checkpoint", metavar="FILE",
+                        help="journal completed probes to FILE and resume "
+                             "from it if it exists")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--strategy", choices=STRATEGIES, default="belady")
     m.add_argument("--profile", action="store_true",
                    help="print sweep-engine instrumentation")
+    _add_fault_flags(m)
     m.set_defaults(fn=cmd_minmem)
 
     y = sub.add_parser("synth", help="synthesize an SRAM macro")
@@ -252,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the sweep engine")
     e.add_argument("--profile", action="store_true",
                    help="print sweep-engine instrumentation")
+    _add_fault_flags(e)
     e.set_defaults(fn=cmd_experiments)
     return ap
 

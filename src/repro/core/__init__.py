@@ -23,7 +23,8 @@ from .library import ScheduleLibrary, canonical_form, structural_signatures
 from .prefetch import prefetch, stall_cycles
 from .exceptions import (BudgetExceededError, GraphStructureError,
                          InfeasibleBudgetError, InvalidScheduleError,
-                         PebbleGameError, RuleViolationError,
+                         PebbleGameError, ProbeTimeoutError,
+                         RuleViolationError, StateSpaceTooLargeError,
                          StoppingConditionError)
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "ScheduleLibrary", "canonical_form", "structural_signatures",
     "prefetch", "stall_cycles",
     "BudgetExceededError", "GraphStructureError", "InfeasibleBudgetError",
-    "InvalidScheduleError", "PebbleGameError", "RuleViolationError",
+    "InvalidScheduleError", "PebbleGameError", "ProbeTimeoutError",
+    "RuleViolationError", "StateSpaceTooLargeError",
     "StoppingConditionError",
 ]

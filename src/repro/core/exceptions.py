@@ -16,6 +16,50 @@ class GraphStructureError(PebbleGameError):
     """The CDAG violates a structural requirement (cycle, bad weight, ...)."""
 
 
+class StateSpaceTooLargeError(GraphStructureError):
+    """An exhaustive search refused to run: the configuration space implied
+    by the graph (and budget) exceeds a guard.
+
+    Optimal red-blue pebbling is PSPACE-complete in general [Demaine & Liu
+    '18], so exhaustive solvers cap the graphs they accept.  Subclassing
+    :class:`GraphStructureError` keeps pre-existing ``except`` clauses
+    working while letting fault-tolerant drivers catch this case
+    specifically and degrade to a heuristic scheduler.
+
+    Attributes
+    ----------
+    size:
+        The offending measure (node count or explored-state count).
+    limit:
+        The guard it exceeded.
+    """
+
+    def __init__(self, message: str, size=None, limit=None):
+        super().__init__(message)
+        self.size = size
+        self.limit = limit
+
+
+class ProbeTimeoutError(PebbleGameError):
+    """A single cost probe exceeded its wall-clock timeout.
+
+    Raised by the sweep engine's fault-tolerance layer (see
+    :mod:`repro.analysis.faults`), not by schedulers themselves.
+
+    Attributes
+    ----------
+    key:
+        Identity of the timed-out probe (scheduler/graph/budget), or ``None``.
+    timeout:
+        The wall-clock limit, in seconds.
+    """
+
+    def __init__(self, message: str, key=None, timeout=None):
+        super().__init__(message)
+        self.key = key
+        self.timeout = timeout
+
+
 class InfeasibleBudgetError(PebbleGameError):
     """No valid WRBPG schedule exists for the given budget (Prop. 2.3)."""
 

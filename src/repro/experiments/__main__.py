@@ -1,6 +1,8 @@
 """Run the full paper reproduction in one command:
 
     python -m repro.experiments [output_dir] [--jobs N] [--profile]
+                                [--timeout SEC] [--retries N]
+                                [--checkpoint FILE]
 
 Regenerates Table 1 and Figures 5-8, printing each and writing the text
 artifacts to ``output_dir`` (default ``./paper_artifacts``).  The sweep
@@ -8,6 +10,12 @@ drivers (Table 1, Fig. 5, Fig. 6) share one :class:`SweepEngine`, so the
 searches Table 1 runs are cache hits by the time Fig. 5 needs them;
 ``--jobs`` fans their evaluation points out over worker processes and
 ``--profile`` prints the engine's :class:`SweepStats` report at the end.
+
+The fault-tolerance flags make multi-hour regenerations survivable:
+``--timeout``/``--retries`` guard each cost probe (timed-out probes
+degrade to the scheduler's designated fallback and are reported in the
+profile), and ``--checkpoint FILE`` journals completed probes so a killed
+run resumes where it stopped instead of restarting from zero.
 """
 
 from __future__ import annotations
@@ -25,10 +33,12 @@ from .table1 import render_table1, run_table1
 
 
 def main(out_dir: str = "paper_artifacts", jobs: int = 1,
-         profile: bool = False) -> None:
+         profile: bool = False, timeout=None, retries: int = 0,
+         checkpoint=None) -> None:
     out = pathlib.Path(out_dir)
     out.mkdir(exist_ok=True)
-    eng = SweepEngine(jobs=jobs)
+    eng = SweepEngine(jobs=jobs, timeout=timeout, retries=retries,
+                      checkpoint=checkpoint)
     tasks = [
         ("table1", lambda: render_table1(run_table1(engine=eng))),
         ("fig5", lambda: render_fig5(run_fig5(engine=eng))),
@@ -37,12 +47,16 @@ def main(out_dir: str = "paper_artifacts", jobs: int = 1,
         ("fig7", lambda: render_fig7(run_fig7())),
         ("fig8", lambda: render_fig8(run_fig8())),
     ]
-    for name, job in tasks:
-        t0 = time.perf_counter()
-        text = job()
-        dt = time.perf_counter() - t0
-        (out / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{'=' * 72}\n{text}\n[{name}: {dt:.1f}s -> {out / name}.txt]")
+    try:
+        for name, job in tasks:
+            t0 = time.perf_counter()
+            text = job()
+            dt = time.perf_counter() - t0
+            (out / f"{name}.txt").write_text(text + "\n")
+            print(f"\n{'=' * 72}\n{text}\n"
+                  f"[{name}: {dt:.1f}s -> {out / name}.txt]")
+    finally:
+        eng.flush_checkpoint()  # keep partial progress on any abort
     if profile:
         print(f"\n{'=' * 72}\n{eng.stats.report()}")
 
@@ -56,9 +70,18 @@ def _parse_args(argv=None):
                     help="worker processes for the sweep engine (default 1)")
     ap.add_argument("--profile", action="store_true",
                     help="print the sweep-engine instrumentation report")
+    ap.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                    help="per-probe wall-clock limit (degrade on timeout)")
+    ap.add_argument("--retries", type=int, default=0, metavar="N",
+                    help="retries for transient probe failures")
+    ap.add_argument("--checkpoint", metavar="FILE",
+                    help="journal completed probes to FILE; resume if it "
+                         "exists")
     return ap.parse_args(argv)
 
 
 if __name__ == "__main__":
     _args = _parse_args()
-    main(_args.output_dir, jobs=_args.jobs, profile=_args.profile)
+    main(_args.output_dir, jobs=_args.jobs, profile=_args.profile,
+         timeout=_args.timeout, retries=_args.retries,
+         checkpoint=_args.checkpoint)

@@ -66,12 +66,13 @@ def run_fig5(points: int = 20, engine: Optional[SweepEngine] = None
     """All four panels, keyed 'a'..'d' as in the paper.  With an engine
     built for ``jobs > 1`` the panels evaluate in parallel workers."""
     eng = engine if engine is not None else get_default_engine()
-    panels = eng.map([
-        (dwt_panel, (dwt_workload(False), points)),
-        (dwt_panel, (dwt_workload(True), points)),
-        (mvm_panel, (mvm_workload(False), points)),
-        (mvm_panel, (mvm_workload(True), points)),
-    ])
+    with eng.probe_context("fig5"):  # label failure records / profiles
+        panels = eng.map([
+            (dwt_panel, (dwt_workload(False), points)),
+            (dwt_panel, (dwt_workload(True), points)),
+            (mvm_panel, (mvm_workload(False), points)),
+            (mvm_panel, (mvm_workload(True), points)),
+        ])
     return dict(zip("abcd", panels))
 
 

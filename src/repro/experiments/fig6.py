@@ -120,8 +120,9 @@ def _fan_out_curves(eng: SweepEngine, curves_fn, da: bool,
     computes all kinds, so the per-size graphs (and the engine's cached
     bounds on them) are shared between the schedulers."""
     chunks = eng.chunks(sizes)
-    results = eng.map([(curves_fn, (da, chunk, tuple(kinds)))
-                       for chunk in chunks])
+    with eng.probe_context("fig6"):  # label failure records / profiles
+        results = eng.map([(curves_fn, (da, chunk, tuple(kinds)))
+                           for chunk in chunks])
     return [[bits for part in results for bits in part[j]]
             for j in range(len(kinds))]
 

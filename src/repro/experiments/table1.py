@@ -47,13 +47,15 @@ def _row(workload: str, weights: str, approach: str, bits: int,
 def run_table1(engine: Optional[SweepEngine] = None) -> List[Table1Row]:
     eng = engine if engine is not None else get_default_engine()
     rows: List[Table1Row] = []
-    for da in (False, True):
-        w = dwt_workload(da)
-        opt_bits = eng.min_memory(w.optimum, w.graph)
-        lbl_bits = eng.min_memory(w.baseline, w.graph)
-        name = "DWT(256, 8)"
-        rows.append(_row(name, w.config.name, "Optimum*", opt_bits, True))
-        rows.append(_row(name, w.config.name, "Layer-by-Layer", lbl_bits, False))
+    with eng.probe_context("table1"):  # label failure records / profiles
+        for da in (False, True):
+            w = dwt_workload(da)
+            opt_bits = eng.min_memory(w.optimum, w.graph)
+            lbl_bits = eng.min_memory(w.baseline, w.graph)
+            name = "DWT(256, 8)"
+            rows.append(_row(name, w.config.name, "Optimum*", opt_bits, True))
+            rows.append(_row(name, w.config.name, "Layer-by-Layer", lbl_bits,
+                             False))
     for da in (False, True):
         w = mvm_workload(da)
         tile_bits = w.tiling.min_memory_for_lower_bound(w.graph)

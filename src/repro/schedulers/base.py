@@ -60,5 +60,36 @@ class Scheduler(abc.ABC):
                 out.append(math.inf)
         return out
 
+    def cache_key(self) -> str:
+        """Stable identity of this strategy *configuration* for persisted
+        probe caches (sweep checkpoints, see :mod:`repro.analysis.faults`).
+
+        Two scheduler instances with the same cache key must produce the
+        same cost on every (graph, budget) — a resumed sweep trusts saved
+        probes keyed by it.  The default folds in the class name and every
+        plain-data constructor attribute (ints, floats, strings, bools,
+        tuples, ``None``), so parameterized strategies (eviction policy,
+        retention mode, tile shape, ...) separate automatically.  Override
+        only for schedulers configured through non-plain state.
+        """
+        parts = [type(self).__name__]
+        for attr in sorted(vars(self)):
+            value = vars(self)[attr]
+            if value is None or isinstance(value, (int, float, str, bool,
+                                                   tuple)):
+                parts.append(f"{attr}={value!r}")
+        return "|".join(parts)
+
+    def fallback_scheduler(self) -> Optional["Scheduler"]:
+        """The strategy a fault-tolerant driver degrades to when this one
+        times out or refuses an instance (state-space guard).
+
+        The fallback must accept every graph this scheduler accepts and be
+        cheap enough to never need a fallback of its own; its cost is an
+        *upper bound* on this scheduler's, and probes answered by it are
+        marked ``degraded``.  ``None`` (the default) means "no designated
+        fallback — let the fault propagate"."""
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -23,13 +23,17 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.bounds import require_feasible
 from ..core.cdag import CDAG
-from ..core.exceptions import GraphStructureError
+from ..core.exceptions import GraphStructureError, StateSpaceTooLargeError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 from .base import Scheduler
 
 #: Soft cap on graph size; beyond this the search space is hopeless.
 DEFAULT_MAX_NODES = 22
+
+#: Cap on Dijkstra-settled configurations; loose budgets on mid-size graphs
+#: can blow past 4^n reachable states even when the node count looks safe.
+DEFAULT_MAX_STATES = 5_000_000
 
 
 class ExhaustiveScheduler(Scheduler):
@@ -39,7 +43,13 @@ class ExhaustiveScheduler(Scheduler):
     ----------
     max_nodes:
         Refuse graphs larger than this (protects callers from accidental
-        exponential blow-ups).
+        exponential blow-ups) with a typed
+        :class:`~repro.core.exceptions.StateSpaceTooLargeError`.
+    max_states:
+        Abort (same typed error) once the Dijkstra frontier has visited
+        this many distinct configurations — the runtime guard for graphs
+        that pass the node-count check but explode anyway.  ``None``
+        disables the guard.
     final_red:
         Optional stopping-condition override: instead of blue pebbles on the
         sinks, require red pebbles on these nodes (used to certify subtree
@@ -50,10 +60,19 @@ class ExhaustiveScheduler(Scheduler):
 
     def __init__(self, max_nodes: int = DEFAULT_MAX_NODES,
                  final_red: Optional[tuple] = None,
-                 require_blue_sinks: bool = True):
+                 require_blue_sinks: bool = True,
+                 max_states: Optional[int] = DEFAULT_MAX_STATES):
         self.max_nodes = max_nodes
         self.final_red = final_red
         self.require_blue_sinks = require_blue_sinks
+        self.max_states = max_states
+
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to the universal greedy schedule (Prop. 2.3): valid on
+        every CDAG and budget the game admits, so a fault-tolerant sweep
+        can always bound an oversized instance from above."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     # ------------------------------------------------------------------ #
 
@@ -75,9 +94,10 @@ class ExhaustiveScheduler(Scheduler):
     def _search(self, cdag: CDAG, budget: Optional[int],
                 want_schedule: bool) -> Tuple[int, Optional[Schedule]]:
         if len(cdag) > self.max_nodes:
-            raise GraphStructureError(
+            raise StateSpaceTooLargeError(
                 f"graph has {len(cdag)} nodes > exhaustive cap "
-                f"{self.max_nodes}; use a dataflow-specific scheduler")
+                f"{self.max_nodes}; use a dataflow-specific scheduler",
+                size=len(cdag), limit=self.max_nodes)
         b = require_feasible(cdag, budget)
 
         nodes = list(cdag.topological_order())
@@ -122,6 +142,13 @@ class ExhaustiveScheduler(Scheduler):
             state = (red, blue)
             if d > dist.get(state, float("inf")):
                 continue
+            if self.max_states is not None and len(dist) > self.max_states:
+                raise StateSpaceTooLargeError(
+                    f"exhaustive search on {cdag.name!r} visited "
+                    f"{len(dist)} configurations > state cap "
+                    f"{self.max_states}; tighten the budget or use a "
+                    f"dataflow-specific scheduler",
+                    size=len(dist), limit=self.max_states)
             if (blue & goal_blue) == goal_blue and (red & goal_red) == goal_red:
                 if not want_schedule:
                     return d, None

@@ -25,7 +25,13 @@ from .base import Scheduler
 
 
 class GreedyTopologicalScheduler(Scheduler):
-    """Compute nodes one at a time in topological order (Prop. 2.3)."""
+    """Compute nodes one at a time in topological order (Prop. 2.3).
+
+    This is the *terminal* fallback of the fault-tolerance chain: other
+    schedulers designate it via :meth:`Scheduler.fallback_scheduler`, and
+    it designates nothing — its linear-time closed-form cost never needs
+    (and must never trigger) further degradation.
+    """
 
     name = "Greedy Topological"
 

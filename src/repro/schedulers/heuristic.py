@@ -49,6 +49,13 @@ class EvictionScheduler(Scheduler):
         self.order = order
         self.name = f"Eviction({policy},{order})"
 
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3); Belady's lookahead is quadratic
+        in the worst case, so a timed-out probe on a large random CDAG
+        still gets a valid upper bound."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
+
     # ------------------------------------------------------------------ #
 
     def compute_order(self, cdag: CDAG) -> List[Node]:

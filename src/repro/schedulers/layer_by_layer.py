@@ -53,6 +53,13 @@ class LayerByLayerScheduler(Scheduler):
             raise ValueError(f"retention must be one of {RETENTION_MODES}")
         self.retention = retention
 
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3): the spill simulation is linear
+        in moves but a pathological layer under a per-probe timeout still
+        needs a cheaper upper bound that accepts any CDAG."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
+
     # ------------------------------------------------------------------ #
 
     def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:

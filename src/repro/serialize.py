@@ -15,12 +15,28 @@ in a file, diffable and replayable.  The format is deliberately dumb JSON:
 
 Node ids survive round-trips for the tuple/str/int names this library
 uses (tuples are stored as JSON arrays and restored as tuples).
+
+A third document kind journals completed sweep probes so a killed sweep
+can resume (see :class:`repro.analysis.faults.SweepCheckpoint`):
+
+.. code-block:: json
+
+    {"format": "wrbpg-sweep-checkpoint", "version": 1,
+     "entries": [{"scheduler": "OptimalDWTScheduler",
+                  "graph": "DWT(256,8)#V1409#W22544",
+                  "budget": 160, "cost": 18432, "degraded": false}, ...]}
+
+Infeasible probes store ``"cost": "inf"`` (strict JSON has no infinity).
+Decoders validate every field and raise :class:`InvalidScheduleError`
+naming the offending entry, so a truncated or hand-edited file fails
+loudly instead of poisoning a resumed sweep.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+import math
+from typing import Any, Dict, Mapping, Tuple
 
 from .core.cdag import CDAG
 from .core.exceptions import InvalidScheduleError
@@ -29,6 +45,7 @@ from .core.schedule import Schedule
 
 CDAG_FORMAT = "wrbpg-cdag"
 SCHEDULE_FORMAT = "wrbpg-schedule"
+CHECKPOINT_FORMAT = "wrbpg-sweep-checkpoint"
 VERSION = 1
 
 
@@ -65,8 +82,33 @@ def cdag_from_dict(data: dict) -> CDAG:
     if data.get("version") != VERSION:
         raise InvalidScheduleError(
             f"unsupported version {data.get('version')!r}")
-    weights = {_decode_node(n["id"]): n["weight"] for n in data["nodes"]}
-    edges = [(_decode_node(p), _decode_node(v)) for p, v in data["edges"]]
+    weights: Dict[Any, int] = {}
+    for i, n in enumerate(data.get("nodes", [])):
+        if not isinstance(n, dict) or "id" not in n:
+            raise InvalidScheduleError(f"nodes[{i}]: missing 'id' field")
+        node = _decode_node(n["id"])
+        w = n.get("weight")
+        if not isinstance(w, int) or isinstance(w, bool) or w <= 0:
+            raise InvalidScheduleError(
+                f"nodes[{i}].weight: node {node!r} needs a positive "
+                f"integer weight, got {w!r}")
+        if node in weights:
+            raise InvalidScheduleError(
+                f"nodes[{i}].id: duplicate node id {node!r}")
+        weights[node] = w
+    edges = []
+    for i, e in enumerate(data.get("edges", [])):
+        if not isinstance(e, (list, tuple)) or len(e) != 2:
+            raise InvalidScheduleError(
+                f"edges[{i}]: expected a [src, dst] pair, got {e!r}")
+        p, v = _decode_node(e[0]), _decode_node(e[1])
+        if p not in weights:
+            raise InvalidScheduleError(
+                f"edges[{i}][0]: unknown source node {p!r}")
+        if v not in weights:
+            raise InvalidScheduleError(
+                f"edges[{i}][1]: unknown destination node {v!r}")
+        edges.append((p, v))
     return CDAG(edges, weights, budget=data.get("budget"),
                 nodes=weights.keys(), name=data.get("name", "cdag"))
 
@@ -106,3 +148,85 @@ def dumps_schedule(schedule: Schedule, graph_name: str = "",
 
 def loads_schedule(text: str) -> Schedule:
     return schedule_from_dict(json.loads(text))
+
+
+# --------------------------------------------------------------------- #
+# Sweep checkpoints: (scheduler key, graph key, budget) -> (cost, degraded)
+
+ProbeEntries = Dict[Tuple[str, str, int], Tuple[float, bool]]
+
+
+def _encode_cost(cost: float) -> Any:
+    return "inf" if math.isinf(cost) else cost
+
+
+def checkpoint_to_dict(entries: Mapping) -> dict:
+    """Encode probe entries (sorted for stable, diffable files)."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": VERSION,
+        "entries": [
+            {"scheduler": s, "graph": g, "budget": b,
+             "cost": _encode_cost(cost), "degraded": bool(degraded)}
+            for (s, g, b), (cost, degraded) in sorted(entries.items())
+        ],
+    }
+
+
+def checkpoint_from_dict(data: dict) -> ProbeEntries:
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise InvalidScheduleError(
+            f"not a {CHECKPOINT_FORMAT} document: {data.get('format')!r}")
+    if data.get("version") != VERSION:
+        raise InvalidScheduleError(
+            f"unsupported version {data.get('version')!r}")
+    raw = data.get("entries")
+    if not isinstance(raw, list):
+        raise InvalidScheduleError(
+            f"entries: expected a list, got {type(raw).__name__}")
+    entries: ProbeEntries = {}
+    for i, e in enumerate(raw):
+        if not isinstance(e, dict):
+            raise InvalidScheduleError(f"entries[{i}]: expected an object")
+        sched, graph = e.get("scheduler"), e.get("graph")
+        if not isinstance(sched, str) or not sched:
+            raise InvalidScheduleError(
+                f"entries[{i}].scheduler: expected a non-empty string, "
+                f"got {sched!r}")
+        if not isinstance(graph, str) or not graph:
+            raise InvalidScheduleError(
+                f"entries[{i}].graph: expected a non-empty string, "
+                f"got {graph!r}")
+        budget = e.get("budget")
+        if not isinstance(budget, int) or isinstance(budget, bool) \
+                or budget <= 0:
+            raise InvalidScheduleError(
+                f"entries[{i}].budget: expected a positive integer, "
+                f"got {budget!r}")
+        cost = e.get("cost")
+        if cost == "inf":
+            cost = math.inf
+        elif not isinstance(cost, (int, float)) or isinstance(cost, bool) \
+                or not math.isfinite(cost) or cost < 0:
+            raise InvalidScheduleError(
+                f"entries[{i}].cost: expected a non-negative number or "
+                f"'inf', got {cost!r}")
+        degraded = e.get("degraded", False)
+        if not isinstance(degraded, bool):
+            raise InvalidScheduleError(
+                f"entries[{i}].degraded: expected a boolean, "
+                f"got {degraded!r}")
+        key = (sched, graph, budget)
+        if key in entries:
+            raise InvalidScheduleError(
+                f"entries[{i}]: duplicate probe {key!r}")
+        entries[key] = (cost, degraded)
+    return entries
+
+
+def dumps_checkpoint(entries: Mapping, **json_kwargs) -> str:
+    return json.dumps(checkpoint_to_dict(entries), **json_kwargs)
+
+
+def loads_checkpoint(text: str) -> ProbeEntries:
+    return checkpoint_from_dict(json.loads(text))

@@ -213,10 +213,12 @@ class TestEngineMap:
             g = dwt_graph(n, 2, weights=equal())
             return engine.min_memory(OptimalDWTScheduler(), g)
 
-        result, stats = _pool_task(probe, (4,), {})
+        result, stats, probes = _pool_task(probe, (4,), {})
         assert result == scheduler_min_memory(OptimalDWTScheduler(),
                                               dwt_graph(4, 2, weights=equal()))
         assert stats.searches == 1 and stats.probes > 0
+        # the worker exports its evaluated probes for checkpoint merging
+        assert probes and all(len(p) == 5 for p in probes)
 
     def test_chunks_cover_in_order(self):
         eng = SweepEngine(jobs=3)

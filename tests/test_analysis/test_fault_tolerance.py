@@ -1,0 +1,581 @@
+"""Fault-injection tests for the sweep engine's fault-tolerance layer.
+
+Covers the failure modes a multi-hour sweep actually hits: hanging
+probes (timeout → degradation to the fallback scheduler), transient
+exceptions (bounded retries with backoff), dying pool workers
+(``BrokenProcessPool`` → re-dispatch → serial fallback), and process
+kills (checkpoint → resume with identical results).  The happy path is
+also pinned: with every knob at its default, the guarded engine must
+behave exactly like the unguarded one.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro import serialize
+from repro.analysis import (FailureRecord, FaultPolicy, SweepCheckpoint,
+                            SweepEngine, SweepStats, call_with_timeout,
+                            log_budget_grid, run_probe, sweep)
+from repro.core import (GraphStructureError, InvalidScheduleError,
+                        ProbeTimeoutError, StateSpaceTooLargeError,
+                        min_feasible_budget)
+from repro.graphs import dwt_graph
+from repro.schedulers import (ExhaustiveScheduler, GreedyTopologicalScheduler,
+                              LayerByLayerScheduler, OptimalDWTScheduler)
+
+# --------------------------------------------------------------------- #
+# Fault-injection helpers (module level so they pickle into pool workers)
+
+
+class SleepyScheduler(GreedyTopologicalScheduler):
+    """Greedy costs behind an injected wall-clock hang per probe."""
+
+    name = "sleepy"
+
+    def __init__(self, delay: float):
+        self.delay = delay
+
+    def cost(self, cdag, budget=None):
+        time.sleep(self.delay)
+        return super().cost(cdag, budget)
+
+    def fallback_scheduler(self):
+        return GreedyTopologicalScheduler()
+
+
+class FlakyCostFn:
+    """Raises a transient OSError for the first ``failures`` calls."""
+
+    def __init__(self, failures: int, exc=OSError):
+        self.remaining = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, budget: int) -> float:
+        self.calls += 1
+        if self.remaining:
+            self.remaining -= 1
+            raise self.exc("simulated transient failure")
+        return 1000.0 - budget
+
+
+def _echo_task(x, engine=None):
+    return ("ok", x)
+
+
+def _crash_once_task(flag_path, parent_pid, x, engine=None):
+    """Dies abruptly (os._exit) the first time it runs in a pool worker;
+    the flag file makes the re-dispatched attempt succeed."""
+    if os.getpid() != parent_pid and not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("crashed")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os._exit(13)
+    return ("ok", x)
+
+
+def _always_crash_task(parent_pid, x, engine=None):
+    """Dies in every pool worker; only succeeds serially in the parent."""
+    if os.getpid() != parent_pid:
+        os._exit(13)
+    return ("serial", x)
+
+
+# --------------------------------------------------------------------- #
+# call_with_timeout / FaultPolicy / run_probe units
+
+
+def test_call_with_timeout_none_is_direct_call():
+    assert call_with_timeout(lambda: 42, None) == 42
+
+
+def test_call_with_timeout_returns_fast_result():
+    assert call_with_timeout(lambda: "done", 5.0, key="k") == "done"
+
+
+def test_call_with_timeout_raises_on_deadline():
+    with pytest.raises(ProbeTimeoutError) as err:
+        call_with_timeout(lambda: time.sleep(2.0), 0.05, key="slow-probe")
+    assert err.value.key == "slow-probe"
+    assert err.value.timeout == 0.05
+
+
+def test_call_with_timeout_propagates_exceptions():
+    def boom():
+        raise ValueError("inner")
+    with pytest.raises(ValueError, match="inner"):
+        call_with_timeout(boom, 5.0)
+
+
+def test_fault_policy_inert_by_default():
+    assert not FaultPolicy().active
+    assert FaultPolicy(timeout=1.0).active
+    assert FaultPolicy(retries=2).active
+
+
+def test_fault_policy_backoff_is_exponential():
+    p = FaultPolicy(backoff=0.1, jitter=0.0)
+    assert [p.delay(a) for a in range(3)] == pytest.approx([0.1, 0.2, 0.4])
+    jittered = FaultPolicy(backoff=0.1, jitter=0.5).delay(0)
+    assert 0.1 <= jittered <= 0.15
+
+
+def test_fault_policy_never_retries_game_errors():
+    p = FaultPolicy(retries=3)
+    assert p.is_transient(OSError("io"))
+    assert p.is_transient(EOFError())
+    assert not p.is_transient(ValueError("deterministic"))
+    # Deterministic pebble-game errors must not be retried even though
+    # a custom transient tuple could nominally match them.
+    assert not p.is_transient(StateSpaceTooLargeError("too big"))
+
+
+def test_run_probe_clean_path_records_nothing():
+    failures = []
+    value, degraded = run_probe(lambda: 7, key="k", policy=FaultPolicy(),
+                                failures=failures)
+    assert (value, degraded) == (7, False)
+    assert failures == []
+
+
+def test_run_probe_retries_transient_then_succeeds():
+    fn = FlakyCostFn(2)
+    failures, delays = [], []
+    value, degraded = run_probe(
+        lambda: fn(16), key="flaky", policy=FaultPolicy(retries=3),
+        failures=failures, sleep=delays.append)
+    assert (value, degraded) == (984.0, False)
+    assert fn.calls == 3 and len(delays) == 2
+    (rec,) = failures
+    assert rec.resolution == "retried" and rec.attempts == 3
+    assert rec.exception == "OSError"
+
+
+def test_run_probe_exhausted_retries_raise():
+    fn = FlakyCostFn(10)
+    failures = []
+    with pytest.raises(OSError):
+        run_probe(lambda: fn(16), key="flaky", policy=FaultPolicy(retries=2),
+                  failures=failures, sleep=lambda s: None)
+    assert fn.calls == 3
+    assert failures[-1].resolution == "failed"
+
+
+def test_run_probe_does_not_retry_deterministic_errors():
+    fn = FlakyCostFn(10, exc=ValueError)
+    failures = []
+    with pytest.raises(ValueError):
+        run_probe(lambda: fn(16), key="det", policy=FaultPolicy(retries=5),
+                  failures=failures, sleep=lambda s: None)
+    assert fn.calls == 1  # no retry: re-running cannot change the outcome
+    assert failures[-1].resolution == "failed" and failures[-1].attempts == 1
+
+
+def test_run_probe_degrades_on_timeout_with_fallback():
+    failures = []
+    value, degraded = run_probe(
+        lambda: time.sleep(2.0), key="hang",
+        policy=FaultPolicy(timeout=0.05),
+        failures=failures, fallback=lambda: 99)
+    assert (value, degraded) == (99, True)
+    (rec,) = failures
+    assert rec.resolution == "degraded"
+    assert rec.exception == "ProbeTimeoutError"
+
+
+def test_run_probe_timeout_without_fallback_raises():
+    failures = []
+    with pytest.raises(ProbeTimeoutError):
+        run_probe(lambda: time.sleep(2.0), key="hang",
+                  policy=FaultPolicy(timeout=0.05), failures=failures)
+    assert failures[-1].resolution == "failed"
+
+
+# --------------------------------------------------------------------- #
+# State-space guards (exhaustive scheduler)
+
+
+def test_exhaustive_node_guard_raises_typed_error():
+    g = dwt_graph(8, 3)
+    with pytest.raises(StateSpaceTooLargeError) as err:
+        ExhaustiveScheduler(max_nodes=4).cost(g, g.total_weight())
+    assert isinstance(err.value, GraphStructureError)  # old handlers work
+    assert err.value.size == len(g) and err.value.limit == 4
+
+
+def test_exhaustive_state_guard_bounds_the_search():
+    g = dwt_graph(4, 1)
+    with pytest.raises(StateSpaceTooLargeError) as err:
+        ExhaustiveScheduler(max_states=2).cost(g, g.total_weight())
+    assert err.value.limit == 2 and err.value.size > 2
+    # A generous cap must not change the answer.
+    capped = ExhaustiveScheduler(max_states=10 ** 6).cost(g, g.total_weight())
+    uncapped = ExhaustiveScheduler(max_states=None).cost(g, g.total_weight())
+    assert capped == uncapped
+
+
+def test_engine_degrades_exhaustive_to_designated_fallback():
+    g = dwt_graph(8, 3)
+    budgets = [g.total_weight() // 2, g.total_weight()]
+    eng = SweepEngine()  # fallback="auto" -> exhaustive designates greedy
+    series = eng.sweep(ExhaustiveScheduler(max_nodes=4), g, budgets, "exh")
+    greedy = GreedyTopologicalScheduler().cost_many(g, budgets)
+    assert list(series.costs) == greedy
+    assert series.degraded == tuple(budgets)
+    assert eng.stats.degraded_probes == len(budgets)
+    assert all(f.exception == "StateSpaceTooLargeError"
+               for f in eng.stats.failures)
+
+
+def test_engine_without_fallback_propagates_guard_error():
+    g = dwt_graph(8, 3)
+    # An active policy (the timeout never fires here) routes probes
+    # through the guard layer, which records the failure; without a
+    # fallback the guard error still propagates.
+    eng = SweepEngine(timeout=30.0, fallback=None)
+    with eng.probe_context("figX"):
+        with pytest.raises(StateSpaceTooLargeError):
+            eng.sweep(ExhaustiveScheduler(max_nodes=4), g,
+                      [g.total_weight()], "exh")
+    (rec,) = eng.stats.failures
+    assert rec.resolution == "failed"
+    assert rec.key.startswith("figX:")  # probe_context labels the record
+
+
+# --------------------------------------------------------------------- #
+# Engine-level timeouts, retries, degradation
+
+
+def test_engine_timeout_degrades_to_fallback_costs():
+    g = dwt_graph(8, 3)
+    budgets = [g.total_weight()]
+    eng = SweepEngine(timeout=0.05)
+    series = eng.sweep(SleepyScheduler(delay=1.0), g, budgets, "sleepy")
+    assert list(series.costs) == GreedyTopologicalScheduler().cost_many(
+        g, budgets)
+    assert series.degraded == tuple(budgets)
+    assert eng.stats.failures[0].exception == "ProbeTimeoutError"
+    assert eng.stats.failures[0].resolution == "degraded"
+
+
+def test_engine_timeout_without_fallback_raises():
+    g = dwt_graph(8, 3)
+    eng = SweepEngine(timeout=0.05, fallback=None)
+    with pytest.raises(ProbeTimeoutError):
+        eng.sweep(SleepyScheduler(delay=1.0), g, [g.total_weight()], "sleepy")
+
+
+def test_engine_retries_transient_raw_cost_failures():
+    fn = FlakyCostFn(2)
+    eng = SweepEngine(retries=3, backoff=0.0, jitter=0.0)
+    series = eng.sweep_fn(fn, [16, 32], "flaky", key=("flaky",))
+    assert series.costs == (984.0, 968.0)
+    assert fn.calls == 4  # 3 tries for the first budget, 1 for the second
+    assert eng.stats.failure_counts() == {"retried": 1}
+
+
+def test_engine_retries_exhausted_raise():
+    fn = FlakyCostFn(10)
+    eng = SweepEngine(retries=1, backoff=0.0, jitter=0.0)
+    with pytest.raises(OSError):
+        eng.sweep_fn(fn, [16], "flaky", key=("flaky2",))
+    assert eng.stats.failure_counts() == {"failed": 1}
+
+
+def test_stats_report_includes_failures():
+    stats = SweepStats()
+    stats.failures.append(FailureRecord(
+        key="fig6:Sleepy#B=64", exception="ProbeTimeoutError",
+        message="probe exceeded 0.05s", attempts=1, elapsed=0.06,
+        resolution="degraded"))
+    stats.pool_restarts = 1
+    text = stats.report()
+    assert "failures" in text and "degraded 1" in text
+    assert "fig6:Sleepy#B=64" in text
+    assert "pool restarts" in text
+
+
+# --------------------------------------------------------------------- #
+# Happy path stays identical with the guards wired in
+
+
+def test_default_engine_policy_is_inert():
+    eng = SweepEngine()
+    assert not eng.policy.active
+    assert eng.checkpoint is None
+
+
+def test_guarded_engine_matches_direct_sweep_bit_for_bit():
+    g = dwt_graph(16, 4)
+    grid = log_budget_grid(min_feasible_budget(g), g.total_weight(), 8)
+    direct = sweep(lambda b: OptimalDWTScheduler().cost(g, b), grid, "opt")
+    for eng in (SweepEngine(),
+                SweepEngine(timeout=60.0, retries=2),  # active but untripped
+                SweepEngine(fallback=None)):
+        got = eng.sweep(OptimalDWTScheduler(), g, grid, "opt")
+        assert got == direct  # includes degraded == ()
+        assert eng.stats.failures == []
+
+
+def test_map_of_no_tasks_returns_empty_list():
+    assert SweepEngine(jobs=4).map([]) == []  # must not build a 0-worker pool
+
+
+# --------------------------------------------------------------------- #
+# Worker-crash recovery
+
+
+def test_broken_pool_redispatches_lost_tasks(tmp_path):
+    flag = str(tmp_path / "crashed.flag")
+    eng = SweepEngine(jobs=2)
+    results = eng.map([(_crash_once_task, (flag, os.getpid(), i))
+                       for i in range(3)])
+    assert results == [("ok", i) for i in range(3)]
+    assert eng.stats.pool_restarts == 1
+    assert eng.stats.failure_counts().get("redispatched", 0) >= 1
+    assert all(f.exception == "BrokenProcessPool"
+               for f in eng.stats.failures)
+
+
+def test_repeated_pool_deaths_fall_back_to_serial(tmp_path):
+    eng = SweepEngine(jobs=2, max_pool_restarts=0)
+    results = eng.map([(_always_crash_task, (os.getpid(), i))
+                       for i in range(2)])
+    assert results == [("serial", 0), ("serial", 1)]
+    assert eng.stats.pool_restarts == 1
+    assert eng.stats.failure_counts().get("serial-fallback") == 2
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint journal + serialize hardening
+
+
+def test_sweep_checkpoint_round_trip(tmp_path):
+    path = str(tmp_path / "ckpt.json")
+    ck = SweepCheckpoint(path, every=100)
+    ck.record("SchedA", "G#V4#abc", 64, 128.0)
+    ck.record("SchedA", "G#V4#abc", 32, math.inf)
+    ck.record("SchedB", "G#V4#abc", 64, 96.0, degraded=True)
+    ck.flush()
+    loaded = SweepCheckpoint(path)
+    assert loaded.entries == ck.entries
+    assert loaded.seed("SchedA", "G#V4#abc") == {64: (128.0, False),
+                                                 32: (math.inf, False)}
+    assert loaded.seed("SchedB", "G#V4#abc")[64] == (96.0, True)
+
+
+def test_sweep_checkpoint_flushes_every_n_probes(tmp_path):
+    path = str(tmp_path / "ckpt.json")
+    ck = SweepCheckpoint(path, every=2)
+    ck.record("S", "G", 16, 1.0)
+    assert not os.path.exists(path)  # below the flush cadence
+    ck.record("S", "G", 32, 2.0)
+    assert os.path.exists(path)  # auto-flushed atomically
+    assert len(SweepCheckpoint(path)) == 2
+
+
+def test_checkpoint_decoder_rejects_malformed_documents():
+    good = {"format": serialize.CHECKPOINT_FORMAT, "version": 1,
+            "entries": [{"scheduler": "S", "graph": "G", "budget": 16,
+                         "cost": 1.5, "degraded": False}]}
+    assert serialize.checkpoint_from_dict(good) == {("S", "G", 16):
+                                                    (1.5, False)}
+    cases = [
+        ({"format": "nope", "version": 1, "entries": []}, "not a"),
+        ({"format": serialize.CHECKPOINT_FORMAT, "version": 9,
+          "entries": []}, "version"),
+        ({"format": serialize.CHECKPOINT_FORMAT, "version": 1,
+          "entries": "oops"}, "entries: expected a list"),
+        ({"format": serialize.CHECKPOINT_FORMAT, "version": 1,
+          "entries": [17]}, r"entries\[0\]: expected an object"),
+    ]
+    for doc, pattern in cases:
+        with pytest.raises(InvalidScheduleError, match=pattern):
+            serialize.checkpoint_from_dict(doc)
+    field_cases = [
+        ({"scheduler": "", "graph": "G", "budget": 16, "cost": 1},
+         r"entries\[0\].scheduler"),
+        ({"scheduler": "S", "graph": 3, "budget": 16, "cost": 1},
+         r"entries\[0\].graph"),
+        ({"scheduler": "S", "graph": "G", "budget": 0, "cost": 1},
+         r"entries\[0\].budget"),
+        ({"scheduler": "S", "graph": "G", "budget": True, "cost": 1},
+         r"entries\[0\].budget"),
+        ({"scheduler": "S", "graph": "G", "budget": 16, "cost": -1},
+         r"entries\[0\].cost"),
+        ({"scheduler": "S", "graph": "G", "budget": 16, "cost": "nan"},
+         r"entries\[0\].cost"),
+        ({"scheduler": "S", "graph": "G", "budget": 16, "cost": 1,
+          "degraded": "yes"}, r"entries\[0\].degraded"),
+    ]
+    for entry, pattern in field_cases:
+        doc = {"format": serialize.CHECKPOINT_FORMAT, "version": 1,
+               "entries": [entry]}
+        with pytest.raises(InvalidScheduleError, match=pattern):
+            serialize.checkpoint_from_dict(doc)
+
+
+def test_checkpoint_decoder_rejects_duplicate_probes():
+    entry = {"scheduler": "S", "graph": "G", "budget": 16, "cost": 1}
+    doc = {"format": serialize.CHECKPOINT_FORMAT, "version": 1,
+           "entries": [entry, dict(entry)]}
+    with pytest.raises(InvalidScheduleError, match="duplicate probe"):
+        serialize.checkpoint_from_dict(doc)
+
+
+def test_checkpoint_encodes_infinity_as_string():
+    text = serialize.dumps_checkpoint({("S", "G", 16): (math.inf, False)})
+    assert '"inf"' in text
+    assert serialize.loads_checkpoint(text)[("S", "G", 16)] == (math.inf,
+                                                                False)
+    json.loads(text)  # strict JSON, no bare Infinity
+
+
+def test_cdag_decoder_names_the_offending_field():
+    base = serialize.cdag_to_dict(dwt_graph(4, 1))
+
+    def corrupt(mutate):
+        doc = copy.deepcopy(base)
+        mutate(doc)
+        return doc
+
+    cases = [
+        (lambda d: d["nodes"][0].pop("id"), "missing 'id'"),
+        (lambda d: d["nodes"][0].update(weight=-16), r"nodes\[0\].weight"),
+        (lambda d: d["nodes"][0].update(weight=0), r"nodes\[0\].weight"),
+        (lambda d: d["nodes"][0].update(weight=True), r"nodes\[0\].weight"),
+        (lambda d: d["nodes"][0].update(weight="16"), r"nodes\[0\].weight"),
+        (lambda d: d["nodes"].append(dict(d["nodes"][0])),
+         "duplicate node id"),
+        (lambda d: d["edges"][0].__setitem__(0, "ghost"),
+         r"edges\[0\]\[0\]: unknown source"),
+        (lambda d: d["edges"][0].__setitem__(1, "ghost"),
+         r"edges\[0\]\[1\]: unknown destination"),
+        (lambda d: d["edges"].__setitem__(0, ["lonely"]),
+         r"edges\[0\]: expected a \[src, dst\] pair"),
+    ]
+    for mutate, pattern in cases:
+        with pytest.raises(InvalidScheduleError, match=pattern):
+            serialize.cdag_from_dict(corrupt(mutate))
+
+
+def test_sweep_checkpoint_rejects_malformed_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": "wrbpg-sweep-checkpoint", "version": 1, '
+                    '"entries": [{"scheduler": "S"}]}')
+    with pytest.raises(InvalidScheduleError):
+        SweepCheckpoint(str(path))
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint → resume
+
+
+def test_checkpoint_resume_reproduces_series_without_reevaluating(tmp_path):
+    path = str(tmp_path / "sweep.json")
+    g = dwt_graph(16, 4)
+    grid = log_budget_grid(min_feasible_budget(g), g.total_weight(), 8)
+    fresh = SweepEngine().sweep(OptimalDWTScheduler(), g, grid, "opt")
+
+    eng1 = SweepEngine(checkpoint=path)
+    assert eng1.sweep(OptimalDWTScheduler(), g, grid, "opt") == fresh
+    assert os.path.exists(path)
+
+    # Resume with brand-new scheduler/graph objects: identity must come
+    # from the stable content keys, not object ids.
+    eng2 = SweepEngine(checkpoint=path)
+    resumed = eng2.sweep(OptimalDWTScheduler(), dwt_graph(16, 4), grid, "opt")
+    assert resumed == fresh
+    assert eng2.stats.evals == 0
+    assert eng2.stats.cache_hits == eng2.stats.probes == len(grid)
+
+
+def test_checkpoint_resume_after_partial_run(tmp_path):
+    path = str(tmp_path / "sweep.json")
+    g = dwt_graph(16, 4)
+    grid = log_budget_grid(min_feasible_budget(g), g.total_weight(), 8)
+    fresh = SweepEngine().sweep(LayerByLayerScheduler(), g, grid, "lbl")
+
+    # A run that dies after covering only the first three budgets ...
+    partial = SweepEngine(checkpoint=path)
+    partial.sweep(LayerByLayerScheduler(), g, grid[:3], "lbl")
+
+    # ... resumes: only the remaining budgets are evaluated.
+    eng = SweepEngine(checkpoint=path)
+    resumed = eng.sweep(LayerByLayerScheduler(), dwt_graph(16, 4), grid,
+                        "lbl")
+    assert resumed == fresh
+    assert eng.stats.evals == len(grid) - 3
+
+
+def test_checkpoint_keys_separate_scheduler_configurations(tmp_path):
+    path = str(tmp_path / "sweep.json")
+    g = dwt_graph(16, 4)
+    budgets = [g.total_weight()]
+    eng1 = SweepEngine(checkpoint=path)
+    deferred = eng1.sweep(LayerByLayerScheduler(retention="deferred"), g,
+                          budgets, "lbl")
+    # A differently-configured instance of the same class must not be
+    # answered by the deferred probes on resume.
+    eng2 = SweepEngine(checkpoint=path)
+    eager = eng2.sweep(LayerByLayerScheduler(retention="eager"),
+                       dwt_graph(16, 4), budgets, "lbl")
+    assert eng2.stats.evals == 1  # cache miss: distinct cache_key
+    direct = LayerByLayerScheduler(retention="eager").cost_many(g, budgets)
+    assert list(eager.costs) == direct
+    assert deferred.label == eager.label == "lbl"
+
+
+def test_checkpoint_preserves_degraded_flags_across_resume(tmp_path):
+    path = str(tmp_path / "sweep.json")
+    g = dwt_graph(8, 3)
+    budgets = [g.total_weight()]
+    eng1 = SweepEngine(checkpoint=path)
+    first = eng1.sweep(ExhaustiveScheduler(max_nodes=4), g, budgets, "exh")
+    assert first.degraded == tuple(budgets)
+
+    eng2 = SweepEngine(checkpoint=path)
+    resumed = eng2.sweep(ExhaustiveScheduler(max_nodes=4), dwt_graph(8, 3),
+                         budgets, "exh")
+    assert resumed == first  # degraded marks survive the round-trip
+    assert eng2.stats.evals == 0
+    assert eng2.stats.degraded_probes == 0  # no fault re-occurred
+
+
+def test_min_memory_resumes_from_checkpoint(tmp_path):
+    path = str(tmp_path / "minmem.json")
+    g = dwt_graph(16, 4)
+    fresh = SweepEngine().min_memory(OptimalDWTScheduler(), g)
+
+    eng1 = SweepEngine(checkpoint=path)
+    assert eng1.min_memory(OptimalDWTScheduler(), g) == fresh
+    eng2 = SweepEngine(checkpoint=path)
+    assert eng2.min_memory(OptimalDWTScheduler(), dwt_graph(16, 4)) == fresh
+    assert eng2.stats.evals == 0  # the search replays entirely from cache
+
+
+def test_fig6_mini_panel_resumes_identically(tmp_path):
+    from repro.experiments.fig6 import dwt_panel
+    path = str(tmp_path / "fig6.json")
+    fresh = dwt_panel(False, n_max=16, stride=2, engine=SweepEngine())
+
+    # Parallel run journals worker probes through the parent checkpoint.
+    eng1 = SweepEngine(jobs=2, checkpoint=path)
+    assert dwt_panel(False, n_max=16, stride=2, engine=eng1) == fresh
+    assert os.path.exists(path)
+
+    # A rerun with the same fan-out resumes from the journal alone: the
+    # workers replay their searches entirely from seeded probes.  (A
+    # differently-chunked rerun would still match `fresh` but may probe
+    # a few budgets the first run's warm-start hints skipped.)
+    eng2 = SweepEngine(jobs=2, checkpoint=path)
+    assert dwt_panel(False, n_max=16, stride=2, engine=eng2) == fresh
+    assert eng2.stats.evals == 0
