@@ -5,8 +5,12 @@ from .min_memory import cost_at, minimum_fast_memory, scheduler_min_memory
 from .sweep import SweepSeries, log_budget_grid, sweep, sweep_many
 from .faults import (FailureRecord, FaultPolicy, SweepCheckpoint,
                      call_with_timeout, run_probe)
+from .audit import (AuditViolation, Auditor, LEVELS as AUDIT_LEVELS,
+                    audit_schedule)
 from .engine import (CachedCostFn, SweepEngine, SweepStats,
                      get_default_engine, set_default_engine)
+from .fuzz import (FuzzFailure, FuzzReport, fuzz, replay_repro, shrink,
+                   write_repro)
 from .report import format_series, format_table, percent_reduction
 from .dse import (DesignPoint, best_under_power_cap, explore,
                   pareto_frontier, render as render_design_space)
@@ -17,6 +21,9 @@ __all__ = ["cost_at", "minimum_fast_memory", "scheduler_min_memory",
            "SweepSeries", "log_budget_grid", "sweep", "sweep_many",
            "FailureRecord", "FaultPolicy", "SweepCheckpoint",
            "call_with_timeout", "run_probe",
+           "AuditViolation", "Auditor", "AUDIT_LEVELS", "audit_schedule",
+           "FuzzFailure", "FuzzReport", "fuzz", "replay_repro", "shrink",
+           "write_repro",
            "CachedCostFn", "SweepEngine", "SweepStats",
            "get_default_engine", "set_default_engine",
            "format_series", "format_table", "percent_reduction",

@@ -34,6 +34,14 @@ Long sweeps also survive partial failure (see
   probes are journaled to a JSON file (``checkpoint=`` kwarg /
   ``--checkpoint`` flag) and re-seed the caches of a resumed run.
 
+And, orthogonally, wrong answers are caught (see
+:mod:`repro.analysis.audit`): with ``audit=`` above ``"off"`` every fresh
+probe runs the audit gauntlet — lower-bound/replay/differential checks —
+and a failed audit **quarantines** the probe: the violation is recorded
+as a structured ``AuditViolation``, the probe is answered by the fallback
+scheduler (flagged ``degraded``, exactly like the timeout path), and the
+sweep continues.
+
 The engine never changes results: cached, batched, parallel, and resumed
 paths return values identical to the direct serial path (the tests assert
 bit-identical series on DWT and MVM instances).  With all fault-tolerance
@@ -54,6 +62,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
 from ..core.cdag import CDAG
+from ..core.exceptions import AuditFailure
+from .audit import Auditor, AuditViolation
 from .faults import (FailureRecord, FaultPolicy, SweepCheckpoint, run_probe)
 from .min_memory import cost_at, minimum_fast_memory
 from .sweep import SweepSeries
@@ -84,6 +94,8 @@ class SweepStats:
     pool_restarts: int = 0  #: process pools rebuilt after worker crashes
     failures: List[FailureRecord] = field(default_factory=list)
     #: non-clean probe/task episodes (retried, degraded, redispatched, ...)
+    violations: List[AuditViolation] = field(default_factory=list)
+    #: audit findings (:mod:`repro.analysis.audit`), one per failed check
 
     @property
     def cache_hit_rate(self) -> float:
@@ -102,6 +114,13 @@ class SweepStats:
         """Probes answered by a fallback scheduler (upper bounds)."""
         return sum(1 for f in self.failures if f.resolution == "degraded")
 
+    @property
+    def quarantined_probes(self) -> int:
+        """Probes whose answer failed the audit and was replaced by the
+        fallback scheduler's (see :mod:`repro.analysis.audit`)."""
+        return sum(1 for f in self.failures
+                   if f.resolution == "quarantined")
+
     def merge(self, other: "SweepStats") -> None:
         """Fold another stats record (e.g. from a pool worker) into this."""
         self.probes += other.probes
@@ -116,6 +135,7 @@ class SweepStats:
         self.tasks += other.tasks
         self.pool_restarts += other.pool_restarts
         self.failures.extend(other.failures)
+        self.violations.extend(other.violations)
 
     def report(self, max_failures: int = 8) -> str:
         """Human-readable profile block (``repro-pebble ... --profile``)."""
@@ -141,6 +161,14 @@ class SweepStats:
         if len(self.failures) > max_failures:
             lines.append(f"    ... and {len(self.failures) - max_failures} "
                          f"more")
+        lines.append(f"  audit violations            {len(self.violations)}"
+                     + (f" ({self.quarantined_probes} probes quarantined)"
+                        if self.violations else ""))
+        for v in self.violations[:max_failures]:
+            lines.append(f"    {v.describe()}")
+        if len(self.violations) > max_failures:
+            lines.append(f"    ... and "
+                         f"{len(self.violations) - max_failures} more")
         return "\n".join(lines)
 
 
@@ -169,7 +197,7 @@ class CachedCostFn:
 
     __slots__ = ("_fn", "_scheduler", "_cdag", "_cache", "_memo", "stats",
                  "_policy", "_fallback", "_fb_memo", "_key", "_context",
-                 "_on_eval", "degraded")
+                 "_on_eval", "_auditor", "degraded")
 
     def __init__(self, fn: Optional[CostFn] = None, *,
                  scheduler=None, cdag: Optional[CDAG] = None,
@@ -177,13 +205,16 @@ class CachedCostFn:
                  policy: Optional[FaultPolicy] = None,
                  fallback=None, key: Optional[str] = None,
                  context: Optional[Callable[[], str]] = None,
-                 on_eval: Optional[Callable[[int, float, bool], None]] = None):
+                 on_eval: Optional[Callable[[int, float, bool], None]] = None,
+                 auditor: Optional[Auditor] = None):
         if (fn is None) == (scheduler is None):
             raise ValueError("pass either fn or scheduler+cdag")
         if scheduler is not None and cdag is None:
             raise ValueError("scheduler path needs a cdag")
         if fallback is not None and scheduler is None:
             raise ValueError("fallback degradation needs a scheduler+cdag")
+        if auditor is not None and scheduler is None:
+            raise ValueError("auditing needs a scheduler+cdag")
         self._fn = fn
         self._scheduler = scheduler
         self._cdag = cdag
@@ -197,12 +228,16 @@ class CachedCostFn:
             (type(scheduler).__name__ if scheduler is not None else "rawfn")
         self._context = context
         self._on_eval = on_eval
+        self._auditor = auditor if auditor is not None and auditor.active \
+            else None
         self.degraded: set = set()
 
     # -- fault-tolerant single-budget evaluation ----------------------- #
 
     @property
     def _guarded(self) -> bool:
+        if self._auditor is not None:
+            return True  # audits are per-budget: no batch evaluation
         return self._policy is not None and (self._policy.active
                                              or self._fallback is not None)
 
@@ -231,6 +266,11 @@ class CachedCostFn:
             val, was_degraded = evaluate(), False
         self.stats.evals += 1
         self.stats.eval_time += time.perf_counter() - t0
+        if self._auditor is not None and not was_degraded:
+            # Degraded probes already carry the fallback's (trusted) value;
+            # auditing them against the primary scheduler's claims would
+            # manufacture false mismatches.
+            val, was_degraded = self._quarantine(budget, val)
         self._cache[budget] = val
         if was_degraded:
             self.degraded.add(budget)
@@ -240,6 +280,33 @@ class CachedCostFn:
         if entries > self.stats.peak_memo_entries:
             self.stats.peak_memo_entries = entries
         return val
+
+    def _quarantine(self, budget: int, val: float) -> Tuple[float, bool]:
+        """Audit one fresh probe value; on violation, record the findings
+        and answer from the fallback instead (``degraded=True``), or raise
+        :class:`AuditFailure` when no fallback exists."""
+        violations = self._auditor.check(self._scheduler, self._cdag,
+                                         budget, val)
+        if not violations:
+            return val, False
+        self.stats.violations.extend(violations)
+        key = self._probe_key(budget)
+        t0 = time.perf_counter()
+        if self._fallback is None:
+            self.stats.failures.append(FailureRecord(
+                key=key, exception=AuditFailure.__name__,
+                message=violations[0].describe(), attempts=1, elapsed=0.0,
+                resolution="failed"))
+            raise AuditFailure(
+                "; ".join(v.describe() for v in violations[:4]),
+                violations=violations)
+        fb_val = self._fallback.cost_many(self._cdag, (budget,),
+                                          memo=self._fb_memo)[0]
+        self.stats.failures.append(FailureRecord(
+            key=key, exception=AuditFailure.__name__,
+            message=violations[0].describe(), attempts=1,
+            elapsed=time.perf_counter() - t0, resolution="quarantined"))
+        return fb_val, True
 
     def __call__(self, budget: int) -> float:
         stats = self.stats
@@ -311,12 +378,14 @@ def _pool_task(fn, args, kwargs, setup: Optional[dict] = None):
     seeded with the parent's persisted probes, run the task against it,
     and ship back (result, stats, newly evaluated probes)."""
     setup = setup or {}
+    audit = setup.get("audit")
     engine = SweepEngine(jobs=1,
                          timeout=setup.get("timeout"),
                          retries=setup.get("retries", 0),
                          backoff=setup.get("backoff", 0.25),
                          jitter=setup.get("jitter", 0.25),
-                         fallback=setup.get("fallback", AUTO_FALLBACK))
+                         fallback=setup.get("fallback", AUTO_FALLBACK),
+                         audit=Auditor(**audit) if audit else "off")
     engine._context = setup.get("context", "")
     engine._collect_probes = True
     seed = setup.get("seed")
@@ -361,6 +430,17 @@ class SweepEngine:
     checkpoint / checkpoint_every:
         Path of a probe journal (created if missing, resumed if present)
         and the flush cadence in newly evaluated probes.
+    audit:
+        Audit level (``"off"``/``"bounds"``/``"replay"``/
+        ``"differential"``) or a configured
+        :class:`~repro.analysis.audit.Auditor`.  Any level above ``off``
+        audits every fresh probe; a failed audit quarantines the probe
+        (fallback answer + ``degraded`` flag + structured
+        :class:`~repro.analysis.audit.AuditViolation` in
+        ``stats.violations``) or raises
+        :class:`~repro.core.exceptions.AuditFailure` when the scheduler
+        has no fallback.  ``"off"`` (default) leaves the evaluation path
+        byte-identical to the un-audited engine.
     """
 
     def __init__(self, jobs: int = 1, *,
@@ -371,9 +451,12 @@ class SweepEngine:
                  fallback: Union[str, None, object] = AUTO_FALLBACK,
                  max_pool_restarts: int = 2,
                  checkpoint: Optional[str] = None,
-                 checkpoint_every: int = 16):
+                 checkpoint_every: int = 16,
+                 audit: Union[str, Auditor] = "off"):
         self.jobs = max(1, int(jobs))
         self.stats = SweepStats()
+        self.auditor = audit if isinstance(audit, Auditor) \
+            else Auditor(level=audit)
         self.policy = FaultPolicy(timeout=timeout, retries=max(0, int(retries)),
                                   backoff=backoff, jitter=jitter,
                                   max_pool_restarts=max(0, int(max_pool_restarts)))
@@ -471,7 +554,8 @@ class SweepEngine:
                               fallback=fallback,
                               key=f"{sched_key}@{gkey}",
                               context=lambda: self._context,
-                              on_eval=record)
+                              on_eval=record,
+                              auditor=self.auditor)
             fn.preload({b: v for (s, g, b), v in self._seed.items()
                         if s == sched_key and g == gkey})
             self._fns[key] = fn
@@ -588,6 +672,7 @@ class SweepEngine:
             "fallback": self.fallback,
             "context": self._context,
             "seed": dict(self._seed) if self._seed else None,
+            "audit": self.auditor.config(),
         }
 
     def _task_key(self, fn, index: int) -> str:

@@ -35,7 +35,7 @@ from ..core.exceptions import (PebbleGameError, ProbeTimeoutError,
 
 #: Resolutions a :class:`FailureRecord` can end with.
 RESOLUTIONS = ("retried", "degraded", "failed", "redispatched",
-               "serial-fallback")
+               "serial-fallback", "quarantined")
 
 #: Exception types treated as transient (worth retrying) by default.
 #: Deterministic game errors (:class:`PebbleGameError`) are never retried —
@@ -60,6 +60,9 @@ class FailureRecord:
       to a rebuilt pool.
     * ``"serial-fallback"`` — repeated pool deaths; the task ran serially
       in the parent process instead.
+    * ``"quarantined"`` — the probe's answer failed the audit gauntlet
+      (:mod:`repro.analysis.audit`); the recorded value came from the
+      fallback scheduler and the violations are in ``stats.violations``.
     """
 
     key: str  #: probe/task identity, e.g. ``"fig6:OptimalDWT@DWT(16,4)#B=64"``

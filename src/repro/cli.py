@@ -10,6 +10,15 @@ Subcommands:
 * ``synth``     — synthesize the SRAM macro for a capacity.
 * ``experiments`` — regenerate the paper's tables/figures (delegates to
                   :mod:`repro.experiments.__main__`).
+* ``fuzz``      — seeded property-based audit fuzzing of every registered
+                  scheduler; writes minimized JSON repro files and can
+                  replay them (``--replay``).
+
+The sweep-driving subcommands (``minmem``, ``experiments``) accept
+``--audit={off,bounds,replay,differential}``: every probe is then
+verified against the simulator / bounds / exhaustive optimum, and failed
+audits quarantine the probe (fallback answer, ``degraded`` flag, violation
+listed under ``--profile``).
 
 Examples::
 
@@ -142,7 +151,7 @@ def cmd_minmem(args) -> int:
     g = _load_graph(args.graph)
     scheduler = _make_scheduler(args.strategy, g)
     engine = SweepEngine(timeout=args.timeout, retries=args.retries,
-                         checkpoint=args.checkpoint)
+                         checkpoint=args.checkpoint, audit=args.audit)
     bits = engine.min_memory(scheduler, g)
     if bits is None:
         print("strategy never reaches the lower bound")
@@ -187,8 +196,41 @@ def cmd_experiments(args) -> int:
     from .experiments.__main__ import main as run_all
     run_all(args.output_dir, jobs=args.jobs, profile=args.profile,
             timeout=args.timeout, retries=args.retries,
-            checkpoint=args.checkpoint)
+            checkpoint=args.checkpoint, audit=args.audit)
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from .analysis.fuzz import fuzz, replay_repro
+    from .core.exceptions import PebbleGameError
+    if args.replay:
+        failures = 0
+        for path in args.replay:
+            with open(path) as fh:
+                text = fh.read()
+            try:
+                violations, data = replay_repro(text, level=args.level)
+            except PebbleGameError as exc:
+                # Malformed document / unknown scheduler key: report the
+                # file and keep replaying the rest.
+                failures += 1
+                print(f"UNREPLAYABLE {path}: {exc}")
+                continue
+            tag = (f"{data['scheduler']} on {data['cdag'].name} "
+                   f"at B={data['budget']}")
+            if violations:
+                failures += 1
+                print(f"STILL FAILING {path}: {tag}")
+                for v in violations:
+                    print(f"  {v.describe()}")
+            else:
+                print(f"clean {path}: {tag}")
+        return 1 if failures else 0
+    report = fuzz(seeds=args.seeds, level=args.level,
+                  exclude=tuple(args.exclude or ()), out_dir=args.out,
+                  max_failures=args.max_failures)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _add_fault_flags(parser) -> None:
@@ -202,6 +244,12 @@ def _add_fault_flags(parser) -> None:
     parser.add_argument("--checkpoint", metavar="FILE",
                         help="journal completed probes to FILE and resume "
                              "from it if it exists")
+    parser.add_argument("--audit",
+                        choices=["off", "bounds", "replay", "differential"],
+                        default="off",
+                        help="verify every probe at this level; failed "
+                             "audits quarantine the probe (fallback answer "
+                             "+ degraded flag + violation in the profile)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +319,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print sweep-engine instrumentation")
     _add_fault_flags(e)
     e.set_defaults(fn=cmd_experiments)
+
+    f = sub.add_parser(
+        "fuzz", help="property-based audit fuzzing of every scheduler")
+    f.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2],
+                   help="corpus seeds (deterministic; default 0 1 2)")
+    f.add_argument("--level",
+                   choices=["bounds", "replay", "differential"],
+                   default="differential",
+                   help="audit level applied to every probe")
+    f.add_argument("--exclude", nargs="*", metavar="KEY",
+                   help="registry keys to skip (e.g. exhaustive)")
+    f.add_argument("--out", metavar="DIR",
+                   help="write minimized JSON repro files here")
+    f.add_argument("--max-failures", type=int, default=10,
+                   help="stop after this many distinct failures")
+    f.add_argument("--replay", nargs="+", metavar="FILE",
+                   help="re-run saved repro files instead of fuzzing; "
+                        "exits 1 if any still fails")
+    f.set_defaults(fn=cmd_fuzz)
     return ap
 
 

@@ -21,7 +21,8 @@ from .parallel import (ParallelSchedule, ParallelSimulationResult,
                        simulate_parallel)
 from .library import ScheduleLibrary, canonical_form, structural_signatures
 from .prefetch import prefetch, stall_cycles
-from .exceptions import (BudgetExceededError, GraphStructureError,
+from .exceptions import (AuditFailure, BudgetExceededError,
+                         GraphStructureError,
                          InfeasibleBudgetError, InvalidScheduleError,
                          PebbleGameError, ProbeTimeoutError,
                          RuleViolationError, StateSpaceTooLargeError,
@@ -40,7 +41,8 @@ __all__ = [
     "ParallelSchedule", "ParallelSimulationResult", "simulate_parallel",
     "ScheduleLibrary", "canonical_form", "structural_signatures",
     "prefetch", "stall_cycles",
-    "BudgetExceededError", "GraphStructureError", "InfeasibleBudgetError",
+    "AuditFailure", "BudgetExceededError", "GraphStructureError",
+    "InfeasibleBudgetError",
     "InvalidScheduleError", "PebbleGameError", "ProbeTimeoutError",
     "RuleViolationError", "StateSpaceTooLargeError",
     "StoppingConditionError",

@@ -65,7 +65,35 @@ class InfeasibleBudgetError(PebbleGameError):
 
 
 class InvalidScheduleError(PebbleGameError):
-    """A schedule is malformed independent of game state (unknown node, ...)."""
+    """A schedule is malformed independent of game state (unknown node, ...).
+
+    Attributes
+    ----------
+    move:
+        The offending move when the malformation surfaced mid-replay, or
+        ``None`` for document-level problems (bad JSON field, ...).
+    index:
+        Zero-based position of the move in the schedule, or ``None``.
+    """
+
+    def __init__(self, message: str, move=None, index=None):
+        super().__init__(message)
+        self.move = move
+        self.index = index
+
+
+class AuditFailure(PebbleGameError):
+    """A scheduler's reported result failed a runtime audit check.
+
+    Raised by :mod:`repro.analysis.audit` when a probe cannot be
+    quarantined (no fallback scheduler to degrade to).  ``violations``
+    holds the structured :class:`~repro.analysis.audit.AuditViolation`
+    records that triggered it.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = tuple(violations)
 
 
 class RuleViolationError(PebbleGameError):

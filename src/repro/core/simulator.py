@@ -119,26 +119,44 @@ class GameState:
         """Full labelling λ of the current snapshot."""
         return {v: self.label(v) for v in self.cdag}
 
+    def context(self) -> str:
+        """Compact snapshot summary for error messages: the next move
+        index, the current red occupancy against the budget, and the red
+        set size — enough to debug a fuzzer repro file without replaying
+        it by hand."""
+        budget = "∞" if self.budget is None else self.budget
+        return (f"at move #{self._step} [red weight {self.red_weight}"
+                f"/{budget}, |red|={len(self.red)}, |blue|={len(self.blue)}]")
+
     def apply(self, move: Move) -> None:
-        """Apply one move, raising on any rule or budget violation."""
+        """Apply one move, raising on any rule or budget violation.
+
+        Mid-replay errors name the move index and carry the snapshot
+        summary of :meth:`context`, so a failing schedule (e.g. one a
+        fuzzer shrank into a repro file) is debuggable from the message
+        alone.
+        """
         v = move.node
         cdag = self.cdag
-        if v not in cdag:
-            raise InvalidScheduleError(f"move {move!r} on unknown node")
-        kind = move.kind
+        ctx = self.context()
         idx = self._step
+        if v not in cdag:
+            raise InvalidScheduleError(
+                f"move {move!r} on unknown node {ctx}", move, idx)
+        kind = move.kind
         self._step += 1
         self.move_counts[kind] += 1
 
         if kind == MoveType.LOAD:  # M1: blue -> add red
             if v not in self.blue:
                 raise RuleViolationError(
-                    f"M1 on {v!r} without a blue pebble", move, idx)
+                    f"M1 on {v!r} without a blue pebble {ctx}", move, idx)
             if v in self.red:
                 self.redundant_loads += 1
                 if self.strict:
                     raise RuleViolationError(
-                        f"redundant M1 on {v!r} (already red)", move, idx)
+                        f"redundant M1 on {v!r} (already red) {ctx}",
+                        move, idx)
             else:
                 self.red.add(v)
                 self.red_weight += cdag.weight(v)
@@ -146,12 +164,13 @@ class GameState:
         elif kind == MoveType.STORE:  # M2: red -> add blue
             if v not in self.red:
                 raise RuleViolationError(
-                    f"M2 on {v!r} without a red pebble", move, idx)
+                    f"M2 on {v!r} without a red pebble {ctx}", move, idx)
             if v in self.blue:
                 self.redundant_stores += 1
                 if self.strict:
                     raise RuleViolationError(
-                        f"redundant M2 on {v!r} (already blue)", move, idx)
+                        f"redundant M2 on {v!r} (already blue) {ctx}",
+                        move, idx)
             else:
                 self.blue.add(v)
             self.write_cost += cdag.weight(v)
@@ -159,17 +178,18 @@ class GameState:
             parents = cdag.predecessors(v)
             if not parents:
                 raise RuleViolationError(
-                    f"M3 on source node {v!r} (inputs are loaded, not computed)",
-                    move, idx)
+                    f"M3 on source node {v!r} (inputs are loaded, not "
+                    f"computed) {ctx}", move, idx)
             for p in parents:
                 if p not in self.red:
                     raise RuleViolationError(
-                        f"M3 on {v!r}: parent {p!r} has no red pebble", move, idx)
+                        f"M3 on {v!r}: parent {p!r} has no red pebble {ctx}",
+                        move, idx)
             if v in self.computed:
                 self.recomputations += 1
                 if self.strict:
                     raise RuleViolationError(
-                        f"recomputation of {v!r}", move, idx)
+                        f"recomputation of {v!r} {ctx}", move, idx)
             if v not in self.red:
                 self.red.add(v)
                 self.red_weight += cdag.weight(v)
@@ -177,16 +197,18 @@ class GameState:
         elif kind == MoveType.DELETE:  # M4: remove red
             if v not in self.red:
                 raise RuleViolationError(
-                    f"M4 on {v!r} without a red pebble", move, idx)
+                    f"M4 on {v!r} without a red pebble {ctx}", move, idx)
             self.red.discard(v)
             self.red_weight -= cdag.weight(v)
         else:  # pragma: no cover - enum is exhaustive
-            raise InvalidScheduleError(f"unknown move kind {kind!r}")
+            raise InvalidScheduleError(
+                f"unknown move kind {kind!r} {ctx}", move, idx)
 
         if self.budget is not None and self.red_weight > self.budget:
             raise BudgetExceededError(
                 f"red weight {self.red_weight} exceeds budget {self.budget} "
-                f"after move #{idx} = {move!r}", move, idx)
+                f"after move #{idx} = {move!r} [|red|={len(self.red)}]",
+                move, idx)
         if self.red_weight > self.peak_red_weight:
             self.peak_red_weight = self.red_weight
 

@@ -34,11 +34,11 @@ from .table1 import render_table1, run_table1
 
 def main(out_dir: str = "paper_artifacts", jobs: int = 1,
          profile: bool = False, timeout=None, retries: int = 0,
-         checkpoint=None) -> None:
+         checkpoint=None, audit: str = "off") -> None:
     out = pathlib.Path(out_dir)
     out.mkdir(exist_ok=True)
     eng = SweepEngine(jobs=jobs, timeout=timeout, retries=retries,
-                      checkpoint=checkpoint)
+                      checkpoint=checkpoint, audit=audit)
     tasks = [
         ("table1", lambda: render_table1(run_table1(engine=eng))),
         ("fig5", lambda: render_fig5(run_fig5(engine=eng))),
@@ -77,6 +77,11 @@ def _parse_args(argv=None):
     ap.add_argument("--checkpoint", metavar="FILE",
                     help="journal completed probes to FILE; resume if it "
                          "exists")
+    ap.add_argument("--audit",
+                    choices=["off", "bounds", "replay", "differential"],
+                    default="off",
+                    help="verify every probe; failed audits quarantine "
+                         "the probe and surface in --profile")
     return ap.parse_args(argv)
 
 
@@ -84,4 +89,4 @@ if __name__ == "__main__":
     _args = _parse_args()
     main(_args.output_dir, jobs=_args.jobs, profile=_args.profile,
          timeout=_args.timeout, retries=_args.retries,
-         checkpoint=_args.checkpoint)
+         checkpoint=_args.checkpoint, audit=_args.audit)

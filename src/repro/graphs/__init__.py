@@ -22,8 +22,9 @@ from .conv import (conv_graph, conv_edges, tap_node, sample_node,
                    partial_node as conv_partial_node,
                    product_node as conv_product_node,
                    output_node as conv_output_node)
-from .random_dags import (random_layered_dag, random_series_parallel,
-                          random_weighted)
+from .random_dags import (disconnected_union, long_chain,
+                          random_layered_dag, random_series_parallel,
+                          random_weighted, skewed_weights, wide_fan_dag)
 
 __all__ = [
     "dwt_graph", "dwt_edges", "dwt_layer_sizes", "dwt_matches_structure",
@@ -42,4 +43,5 @@ __all__ = [
     "conv_graph", "conv_edges", "tap_node", "sample_node", "conv_n_outputs",
     "ConvNode", "conv_partial_node", "conv_product_node", "conv_output_node",
     "random_layered_dag", "random_series_parallel", "random_weighted",
+    "long_chain", "wide_fan_dag", "skewed_weights", "disconnected_union",
 ]

@@ -1,7 +1,7 @@
 """Random CDAG generators for benchmarking and property testing.
 
 Dataflow-specific schedulers cover structured graphs; the heuristics need
-adversarial shapes.  Three reproducible families:
+adversarial shapes.  Reproducible families:
 
 * :func:`random_layered_dag` — layered graphs with configurable width and
   fan-in (the shape of generic tensor programs).
@@ -10,6 +10,20 @@ adversarial shapes.  Three reproducible families:
   pebble game); recursive series/parallel composition of edges.
 * :func:`random_weighted` — re-weight any CDAG with reproducible integer
   weights (mixed-precision fuzzing).
+
+Adversarial generators for the audit fuzzer (:mod:`repro.analysis.fuzz`):
+
+* :func:`long_chain` — a path graph (deep dependency, zero reuse).
+* :func:`wide_fan_dag` — many sources into one hub into many sinks (the
+  fan-in footprint stress for Prop. 2.3 budgets).
+* :func:`skewed_weights` — reproducible heavy-tailed re-weighting (one
+  huge node among weight-1 nodes breaks uniform-weight assumptions).
+* :func:`disconnected_union` — disjoint unions of smaller graphs (tests
+  that schedulers never assume weak connectivity).
+
+Every generator is deterministic in its ``seed``: the same call produces
+a byte-identical graph (same node order, edges, weights, name), which the
+determinism tests assert via the JSON serializer.
 """
 
 from __future__ import annotations
@@ -98,3 +112,95 @@ def random_weighted(cdag: CDAG, lo: int = 1, hi: int = 4,
     order = cdag.topological_order()
     weights = {v: int(rng.integers(lo, hi + 1)) for v in order}
     return cdag.with_weights(weights)
+
+
+# --------------------------------------------------------------------- #
+# Adversarial generators (audit fuzzer corpus)
+
+
+def long_chain(length: int, seed: int = 0, max_weight: int = 1,
+               name: Optional[str] = None) -> CDAG:
+    """A path graph ``c1 -> c2 -> ... -> c_length`` with seeded weights.
+
+    The deepest dependency structure per node count: every value is used
+    exactly once, so any spill is pure waste — a sharp oracle for
+    eviction heuristics.  ``max_weight=1`` keeps it uniform; larger values
+    draw weights from ``[1, max_weight]``.
+    """
+    if length < 1:
+        raise GraphStructureError(f"need length >= 1, got {length}")
+    rng = np.random.default_rng(seed)
+    nodes = [f"c{i}" for i in range(1, length + 1)]
+    edges = list(zip(nodes, nodes[1:]))
+    weights = {v: int(rng.integers(1, max_weight + 1)) for v in nodes}
+    return CDAG(edges, weights, nodes=nodes,
+                name=name or f"Chain({length},seed={seed})")
+
+
+def wide_fan_dag(fan_in: int, fan_out: int = 1, seed: int = 0,
+                 max_weight: int = 1, name: Optional[str] = None) -> CDAG:
+    """``fan_in`` sources feeding one hub feeding ``fan_out`` sinks.
+
+    The hub's compute footprint is ``w_hub + Σ w_source`` (Prop. 2.3), so
+    wide fan-in forces large minimum budgets — the shape where budget
+    book-keeping bugs (off-by-one against ``B``, forgetting a parent's
+    weight) surface first.
+    """
+    if fan_in < 1 or fan_out < 1:
+        raise GraphStructureError(
+            f"need fan_in >= 1 and fan_out >= 1, got {fan_in}, {fan_out}")
+    rng = np.random.default_rng(seed)
+    sources = [f"s{i}" for i in range(1, fan_in + 1)]
+    sinks = [f"t{i}" for i in range(1, fan_out + 1)]
+    edges = [(s, "hub") for s in sources] + [("hub", t) for t in sinks]
+    nodes = sources + ["hub"] + sinks
+    weights = {v: int(rng.integers(1, max_weight + 1)) for v in nodes}
+    return CDAG(edges, weights, nodes=nodes,
+                name=name or f"Fan({fan_in}->{fan_out},seed={seed})")
+
+
+def skewed_weights(cdag: CDAG, seed: int = 0, heavy: int = 1 << 20,
+                   heavy_fraction: float = 0.2) -> CDAG:
+    """Reproducibly re-weight a CDAG with a heavy-tailed distribution.
+
+    Roughly ``heavy_fraction`` of the nodes (at least one) get the
+    ``heavy`` weight; the rest stay at 1.  Mixing a single huge value
+    among unit weights is the classic trigger for budget arithmetic bugs
+    (overflow-free in Python, but boundary comparisons still matter).
+    """
+    if heavy < 1:
+        raise GraphStructureError(f"heavy weight must be >= 1: {heavy}")
+    rng = np.random.default_rng(seed)
+    order = cdag.topological_order()
+    heavy_mask = rng.random(len(order)) < heavy_fraction
+    if not heavy_mask.any() and len(order):
+        heavy_mask[int(rng.integers(len(order)))] = True
+    weights = {v: (heavy if heavy_mask[i] else 1)
+               for i, v in enumerate(order)}
+    return cdag.with_weights(weights)
+
+
+def disconnected_union(components: List[CDAG],
+                       name: Optional[str] = None) -> CDAG:
+    """Disjoint union of CDAGs, nodes prefixed by component index.
+
+    Every node of component ``i`` becomes ``(i, node)``, so name
+    collisions are impossible and the result is reproducible from the
+    component order.  Schedulers must handle each weakly-connected
+    component independently; a strategy that assumes one component (or
+    one sink) breaks here.
+    """
+    if not components:
+        raise GraphStructureError("need at least one component")
+    edges = []
+    weights = {}
+    nodes = []
+    for i, g in enumerate(components):
+        for v in g.topological_order():
+            nodes.append((i, v))
+            weights[(i, v)] = g.weight(v)
+            for p in g.predecessors(v):
+                edges.append(((i, p), (i, v)))
+    return CDAG(edges, weights, nodes=nodes,
+                name=name or "Union(" + ",".join(g.name for g in components)
+                     + ")")

@@ -14,7 +14,9 @@ Baselines and oracles:
 * :class:`ExhaustiveScheduler` — Dijkstra-certified optima on small graphs.
 """
 
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
+from .families import ANY_FAMILY, FAMILY_TAGS, graph_families
+from .registry import REGISTRY, SchedulerSpec, all_specs, schedulers_for, spec
 from .greedy import GreedyTopologicalScheduler
 from .exhaustive import ExhaustiveScheduler, optimal_cost
 from .dwt_optimal import OptimalDWTScheduler, pebble_dwt, dwt_minimum_cost
@@ -28,10 +30,13 @@ from .heuristic import EvictionScheduler, POLICIES, ORDERS
 from .conv_sliding import SlidingWindowConvScheduler
 from .recompute import RecomputeScheduler
 from .parallel import ParallelComponentScheduler, ParallelMVMScheduler
-from .auto import auto_schedule
+from .auto import auto_schedule, auto_scheduler
 
 __all__ = [
-    "Scheduler", "GreedyTopologicalScheduler", "ExhaustiveScheduler",
+    "Scheduler", "OptimalityContract", "ANY_FAMILY", "FAMILY_TAGS",
+    "graph_families", "REGISTRY", "SchedulerSpec", "all_specs",
+    "schedulers_for", "spec", "auto_scheduler",
+    "GreedyTopologicalScheduler", "ExhaustiveScheduler",
     "optimal_cost", "OptimalDWTScheduler", "pebble_dwt", "dwt_minimum_cost",
     "OptimalTreeScheduler", "pebble_tree", "tree_minimum_cost",
     "MemoryStateScheduler", "LayerByLayerScheduler", "TilingMVMScheduler",

@@ -12,63 +12,52 @@ inspecting the graph:
 Returns both the schedule and the name of the strategy used, so callers
 can report provenance.  Dispatch is purely structural — a graph renamed
 ``DWT(...)`` that is not actually a DWT falls through to the generic
-path rather than mis-scheduling.
+path rather than mis-scheduling.  The structural checks live in
+:mod:`repro.schedulers.families`; a contract test asserts the scheduler
+:func:`auto_scheduler` returns always *accepts* the graph it was routed
+(its :class:`~repro.schedulers.base.OptimalityContract` covers the
+family), so dispatch can never hand a family to a strategy that excludes
+it.
 """
 
 from __future__ import annotations
 
-import re
 from typing import Optional, Tuple
 
 from ..core.cdag import CDAG
-from ..core.exceptions import GraphStructureError
 from ..core.schedule import Schedule
+from .base import Scheduler
 from .dwt_optimal import OptimalDWTScheduler
+from .families import is_dwt, mvm_params
 from .heuristic import EvictionScheduler
 from .kary import OptimalTreeScheduler
 from .tiling import TilingMVMScheduler
 
-_DWT_NAME = re.compile(r"^DWT\((\d+),(\d+)\)$")
-_MVM_NAME = re.compile(r"^MVM\((\d+),(\d+)\)$")
 
-
-def _looks_like_dwt(cdag: CDAG) -> bool:
-    m = _DWT_NAME.match(cdag.name or "")
-    if not m:
-        return False
-    from ..graphs.dwt import matches_structure
-    return matches_structure(cdag, int(m.group(1)), int(m.group(2)))
-
-
-def _looks_like_mvm(cdag: CDAG) -> Optional[Tuple[int, int]]:
-    m = _MVM_NAME.match(cdag.name or "")
-    if not m:
-        return None
-    try:
-        TilingMVMScheduler.for_graph(cdag)
-    except GraphStructureError:
-        return None
-    return int(m.group(1)), int(m.group(2))
-
-
-def _is_layered(cdag: CDAG) -> bool:
+def _is_layered_naming(cdag: CDAG) -> bool:
     return all(isinstance(v, tuple) and len(v) == 2 and isinstance(v[0], int)
                for v in cdag)
+
+
+def auto_scheduler(cdag: CDAG) -> Scheduler:
+    """The strategy :func:`auto_schedule` would route ``cdag`` to."""
+    if is_dwt(cdag):
+        return OptimalDWTScheduler()
+    mvm = mvm_params(cdag)
+    if mvm is not None:
+        return TilingMVMScheduler(*mvm)
+    if cdag.num_edges and cdag.is_tree_toward_sink() \
+            and cdag.max_in_degree() <= 4:
+        # Edge-free graphs are excluded like in families.graph_families:
+        # an isolated node's optimum is the empty schedule, which the
+        # tree DP (root computed from leaves) cannot express.
+        return OptimalTreeScheduler()
+    order = "topological" if _is_layered_naming(cdag) else "postorder"
+    return EvictionScheduler(policy="belady", order=order)
 
 
 def auto_schedule(cdag: CDAG, budget: Optional[int] = None
                   ) -> Tuple[Schedule, str]:
     """Best-available schedule plus the name of the strategy that made it."""
-    if _looks_like_dwt(cdag):
-        s = OptimalDWTScheduler()
-        return s.schedule(cdag, budget), s.name
-    mvm = _looks_like_mvm(cdag)
-    if mvm is not None:
-        s = TilingMVMScheduler(*mvm)
-        return s.schedule(cdag, budget), s.name
-    if cdag.is_tree_toward_sink() and cdag.max_in_degree() <= 4:
-        s = OptimalTreeScheduler()
-        return s.schedule(cdag, budget), s.name
-    order = "topological" if _is_layered(cdag) else "postorder"
-    s = EvictionScheduler(policy="belady", order=order)
+    s = auto_scheduler(cdag)
     return s.schedule(cdag, budget), s.name

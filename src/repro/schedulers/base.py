@@ -4,11 +4,43 @@ from __future__ import annotations
 
 import abc
 import math
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..core.cdag import CDAG
 from ..core.exceptions import InfeasibleBudgetError
 from ..core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class OptimalityContract:
+    """What a scheduler *promises* about its results, per graph family.
+
+    Every concrete scheduler declares one (see
+    :mod:`repro.schedulers.families` for the tags).  The differential
+    audit harness (:mod:`repro.analysis.audit`) consumes it: on small
+    instances the reported cost must **equal** the exhaustive optimum for
+    families in ``optimal_on`` and may only be **≥** it elsewhere, and
+    :mod:`repro.schedulers.auto` must never route a family to a scheduler
+    whose ``accepts`` excludes it.
+
+    Attributes
+    ----------
+    accepts:
+        Family tags the scheduler can produce valid schedules for;
+        ``("*",)`` means any CDAG.  A scheduler handed a graph outside
+        these families may raise ``GraphStructureError``.
+    optimal_on:
+        Family tags on which the reported cost is provably the WRBPG
+        optimum (``("*",)`` for the exhaustive oracle, ``()`` for
+        heuristics).  Must be a subset of what the scheduler accepts.
+    notes:
+        One-line provenance of the claim (theorem / proposition number).
+    """
+
+    accepts: tuple = ("*",)
+    optimal_on: tuple = ()
+    notes: str = ""
 
 
 class Scheduler(abc.ABC):
@@ -23,10 +55,40 @@ class Scheduler(abc.ABC):
     #: Human-readable name used in reports and figures.
     name: str = "scheduler"
 
+    #: The declared optimality contract.  Every concrete scheduler class
+    #: MUST declare its own (a parametrized test enforces this) so the
+    #: differential audit knows where equality with the exhaustive
+    #: optimum is required versus merely ``≥``.
+    contract: OptimalityContract = OptimalityContract()
+
     @abc.abstractmethod
     def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
         """Produce a valid schedule for ``cdag`` under ``budget``
         (default: the graph's own budget)."""
+
+    # -- optimality contract ------------------------------------------- #
+
+    def accepts(self, cdag: CDAG) -> bool:
+        """True when this scheduler's contract covers ``cdag``'s family.
+
+        The default intersects the contract's ``accepts`` tags with the
+        structural classification of the graph; subclasses with extra
+        instance-level restrictions (arity caps, shape parameters bound
+        at construction) refine it.
+        """
+        from .families import graph_families
+        if "*" in self.contract.accepts:
+            return True
+        return bool(set(self.contract.accepts) & graph_families(cdag))
+
+    def claims_optimal(self, cdag: CDAG) -> bool:
+        """True when the contract promises the exhaustive optimum on
+        ``cdag`` — the differential audit then demands equality, not
+        just ``≥``."""
+        from .families import graph_families
+        if "*" in self.contract.optimal_on:
+            return True
+        return bool(set(self.contract.optimal_on) & graph_families(cdag))
 
     def cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
         """Weighted I/O cost of this strategy on ``cdag``.

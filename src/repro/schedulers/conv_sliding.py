@@ -24,13 +24,28 @@ from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 from ..graphs import conv as conv_mod
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 
 class SlidingWindowConvScheduler(Scheduler):
     """Tap-stationary, sample-sliding schedules for ``conv_graph(n, t)``."""
 
     name = "Sliding-Window (FIR)"
+
+    contract = OptimalityContract(
+        accepts=("conv",), optimal_on=(),
+        notes="Meets the Prop. 2.4 lower bound whenever its fixed window "
+              "fits; budgets below its footprint are declared infeasible")
+
+    def accepts(self, cdag: CDAG) -> bool:
+        """Refine the family contract with the instance's shape."""
+        from .families import conv_params
+        return conv_params(cdag) == (self.n, self.taps)
+
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3) for guarded probes."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     def __init__(self, n: int, taps: int):
         conv_mod.validate_params(n, taps)

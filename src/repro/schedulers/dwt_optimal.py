@@ -42,7 +42,7 @@ from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4
 from ..core.schedule import Schedule
 from ..graphs import dwt as dwt_mod
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 _INF = math.inf
 
@@ -51,6 +51,17 @@ class OptimalDWTScheduler(Scheduler):
     """Minimum-weight WRBPG schedules for ``DWT(n, d)`` graphs (Alg. 1)."""
 
     name = "Optimum"
+
+    contract = OptimalityContract(
+        accepts=("dwt",), optimal_on=("dwt",),
+        notes="Thm. 3.5: Alg. 1 is optimal on DWT graphs with prunable "
+              "weights")
+
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3): valid on every DWT instance, so
+        a timed-out or quarantined probe still gets an upper bound."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     # ------------------------------------------------------------------ #
     # Public interface

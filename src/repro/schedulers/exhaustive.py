@@ -26,7 +26,7 @@ from ..core.cdag import CDAG
 from ..core.exceptions import GraphStructureError, StateSpaceTooLargeError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 #: Soft cap on graph size; beyond this the search space is hopeless.
 DEFAULT_MAX_NODES = 22
@@ -57,6 +57,15 @@ class ExhaustiveScheduler(Scheduler):
     """
 
     name = "Exhaustive Optimal"
+
+    contract = OptimalityContract(
+        accepts=("*",), optimal_on=("*",),
+        notes="Dijkstra over game configurations — optimal on every CDAG "
+              "it accepts (node/state caps aside)")
+
+    def accepts(self, cdag: CDAG) -> bool:
+        """Refine the wildcard contract with the instance's node cap."""
+        return len(cdag) <= self.max_nodes
 
     def __init__(self, max_nodes: int = DEFAULT_MAX_NODES,
                  final_red: Optional[tuple] = None,

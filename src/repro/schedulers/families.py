@@ -1,0 +1,206 @@
+"""Structural classification of CDAGs into the library's graph families.
+
+The optimality contracts of :mod:`repro.schedulers.base` and the
+differential audit harness (:mod:`repro.analysis.audit`) both need to know
+*which family a graph belongs to*: a scheduler claims optimality only on
+its native family (Thm. 3.5 for DWT, Thm. 3.8 for k-ary trees), and the
+audit demands equality with the exhaustive optimum exactly there.
+
+Classification is purely structural — the same philosophy as
+:mod:`repro.schedulers.auto`: a graph *named* ``DWT(8,3)`` that does not
+actually have DWT structure is **not** classified as a DWT, so a renamed
+or corrupted graph can never smuggle itself past a family-restricted
+scheduler's contract.
+
+Family tags
+-----------
+
+``"dwt"``
+    ``DWT(n, d)`` graphs (name + :func:`repro.graphs.dwt.matches_structure`
+    + the Lemma 3.2 weight-admissibility condition Algorithm 1 needs).
+``"kdwt"``
+    ``KDWT(n, d, k)`` k-tap wavelet graphs (structure + weight
+    admissibility, as for ``"dwt"``).
+``"mvm"``
+    Dense ``MVM(m, n)`` graphs accepted by the tiling planner.
+``"banded-mvm"``
+    ``BandedMVM(m, n, bw)`` structured-sparse products.
+``"conv"``
+    ``Conv(n, t)`` FIR filter graphs.
+``"tree"``
+    Rooted in-trees with at least one edge (every node feeds at most one
+    consumer, single sink; isolated single nodes are *not* trees — their
+    optimum is the empty schedule).
+``"layered"``
+    Graphs whose nodes are ``(layer, index)`` tuples with layer-1 sources
+    and edges that only move forward — the shape the layer-by-layer
+    scheduler traverses.
+``"*"``
+    Wildcard used in contracts, never returned by :func:`graph_families`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet
+
+from ..core.cdag import CDAG
+from ..core.exceptions import PebbleGameError
+
+#: Every concrete tag :func:`graph_families` can emit.
+FAMILY_TAGS = ("dwt", "kdwt", "mvm", "banded-mvm", "conv", "tree", "layered")
+
+#: Wildcard tag for contracts that accept / claim every CDAG.
+ANY_FAMILY = "*"
+
+_DWT_NAME = re.compile(r"^DWT\((\d+),(\d+)\)$")
+_KDWT_NAME = re.compile(r"^KDWT\((\d+),(\d+),k=(\d+)\)$")
+_MVM_NAME = re.compile(r"^MVM\((\d+),(\d+)\)$")
+_BANDED_NAME = re.compile(r"^BandedMVM\((\d+),(\d+),bw=(\d+)\)$")
+_CONV_NAME = re.compile(r"^Conv\(n=(\d+),t=(\d+)\)$")
+
+
+def is_dwt(cdag: CDAG) -> bool:
+    m = _DWT_NAME.match(cdag.name or "")
+    if not m:
+        return False
+    from ..graphs.dwt import check_prunable_weights, matches_structure
+    if not matches_structure(cdag, int(m.group(1)), int(m.group(2))):
+        return False
+    # Lemma 3.2 (and hence Algorithm 1) also needs *weight*
+    # admissibility: a coefficient may not outweigh its sibling average.
+    # A structurally perfect DWT with inadmissible weights is not in the
+    # family the optimal scheduler covers (the fuzzer found the optimal
+    # scheduler crashing on exactly these graphs when the check was
+    # structure-only).
+    try:
+        check_prunable_weights(cdag)
+    except PebbleGameError:
+        return False
+    return True
+
+
+def kdwt_params(cdag: CDAG):
+    """``(n, d, k)`` when the graph is a structural KDWT, else ``None``."""
+    m = _KDWT_NAME.match(cdag.name or "")
+    if not m:
+        return None
+    n, d, k = (int(m.group(i)) for i in (1, 2, 3))
+    from ..graphs import kdwt as kdwt_mod
+    try:
+        ref = kdwt_mod.kdwt_graph(n, d, k)
+    except PebbleGameError:
+        return None
+    if set(ref) != set(cdag):
+        return None
+    if any(set(ref.predecessors(v)) != set(cdag.predecessors(v))
+           for v in cdag):
+        return None
+    # Weight admissibility for the generalized Lemma 3.2 pruning.
+    try:
+        kdwt_mod.check_prunable_weights(cdag, k)
+    except PebbleGameError:
+        return None
+    return n, d, k
+
+
+def mvm_params(cdag: CDAG):
+    """``(m, n)`` when the graph is a dense MVM the tiling planner
+    accepts, else ``None``."""
+    m = _MVM_NAME.match(cdag.name or "")
+    if not m:
+        return None
+    from .tiling import TilingMVMScheduler
+    try:
+        TilingMVMScheduler.for_graph(cdag)
+    except PebbleGameError:
+        return None
+    return int(m.group(1)), int(m.group(2))
+
+
+def banded_mvm_params(cdag: CDAG):
+    """``(m, n, bandwidth)`` for structural banded-MVM graphs, else
+    ``None``."""
+    match = _BANDED_NAME.match(cdag.name or "")
+    if not match:
+        return None
+    m, n, bw = (int(match.group(i)) for i in (1, 2, 3))
+    from ..graphs import mvm as mvm_mod
+    try:
+        ref = mvm_mod.banded_mvm_graph(m, n, bw)
+    except PebbleGameError:
+        return None
+    if set(ref) != set(cdag):
+        return None
+    if any(set(ref.predecessors(v)) != set(cdag.predecessors(v))
+           for v in cdag):
+        return None
+    return m, n, bw
+
+
+def conv_params(cdag: CDAG):
+    """``(n, taps)`` for structural FIR graphs, else ``None``."""
+    match = _CONV_NAME.match(cdag.name or "")
+    if not match:
+        return None
+    n, taps = int(match.group(1)), int(match.group(2))
+    from ..graphs import conv as conv_mod
+    try:
+        ref = conv_mod.conv_graph(n, taps)
+    except PebbleGameError:
+        return None
+    if set(ref) != set(cdag):
+        return None
+    if any(set(ref.predecessors(v)) != set(cdag.predecessors(v))
+           for v in cdag):
+        return None
+    return n, taps
+
+
+def is_layered(cdag: CDAG) -> bool:
+    """True when the node naming is layered: every node a ``(layer,
+    index)`` tuple of ints, sources exactly the minimum layer, and every
+    edge moving strictly forward in layer."""
+    if not len(cdag):
+        return False
+    for v in cdag:
+        if not (isinstance(v, tuple) and len(v) == 2
+                and isinstance(v[0], int) and isinstance(v[1], int)):
+            return False
+    lo = min(v[0] for v in cdag)
+    for v in cdag:
+        preds = cdag.predecessors(v)
+        if not preds and v[0] != lo:
+            return False
+        if any(p[0] >= v[0] for p in preds):
+            return False
+    return True
+
+
+def graph_families(cdag: CDAG) -> FrozenSet[str]:
+    """All family tags that structurally apply to ``cdag``.
+
+    A graph can carry several tags (a ``DWT(n, d)`` is also layered; a
+    chain is both a tree and possibly layered).  The empty set means
+    "generic CDAG" — only wildcard contracts apply.
+    """
+    tags = set()
+    if is_dwt(cdag):
+        tags.add("dwt")
+    if kdwt_params(cdag) is not None:
+        tags.add("kdwt")
+    if mvm_params(cdag) is not None:
+        tags.add("mvm")
+    if banded_mvm_params(cdag) is not None:
+        tags.add("banded-mvm")
+    if conv_params(cdag) is not None:
+        tags.add("conv")
+    if cdag.num_edges and cdag.is_tree_toward_sink():
+        # Edge-free "trees" (a single isolated node) are excluded: the
+        # node is simultaneously input and output, so the empty schedule
+        # is optimal at cost 0 while the Eq. (6) DP — which assumes a
+        # root computed from leaves — would bill a spurious load+store.
+        tags.add("tree")
+    if is_layered(cdag):
+        tags.add("layered")
+    return frozenset(tags)

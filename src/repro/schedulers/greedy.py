@@ -21,7 +21,7 @@ from ..core.bounds import require_feasible
 from ..core.cdag import CDAG
 from ..core.moves import M1, M2, M3, M4
 from ..core.schedule import Schedule
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 
 class GreedyTopologicalScheduler(Scheduler):
@@ -34,6 +34,11 @@ class GreedyTopologicalScheduler(Scheduler):
     """
 
     name = "Greedy Topological"
+
+    contract = OptimalityContract(
+        accepts=("*",), optimal_on=(),
+        notes="Prop. 2.3 constructive upper bound; never optimal beyond "
+              "trivial graphs")
 
     def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
         require_feasible(cdag, budget)

@@ -31,7 +31,7 @@ from ..core.cdag import CDAG, Node
 from ..core.exceptions import InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 POLICIES = ("belady", "lru", "fifo", "heaviest")
 ORDERS = ("postorder", "topological")
@@ -39,6 +39,10 @@ ORDERS = ("postorder", "topological")
 
 class EvictionScheduler(Scheduler):
     """General-CDAG scheduling with policy-driven spilling."""
+
+    contract = OptimalityContract(
+        accepts=("*",), optimal_on=(),
+        notes="Eviction-policy heuristics; upper bounds on every CDAG")
 
     def __init__(self, policy: str = "belady", order: str = "postorder"):
         if policy not in POLICIES:

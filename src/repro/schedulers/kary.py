@@ -30,7 +30,7 @@ from ..core.cdag import CDAG
 from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4
 from ..core.schedule import Schedule
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 _INF = math.inf
 
@@ -42,6 +42,25 @@ class OptimalTreeScheduler(Scheduler):
     """Minimum-weight WRBPG schedules for any k-ary in-tree (Def. 3.6)."""
 
     name = "Optimum (k-ary)"
+
+    contract = OptimalityContract(
+        accepts=("tree",), optimal_on=("tree",),
+        notes="Thm. 3.8 / Eq. (6): optimal on rooted in-trees with "
+              "fan-in <= max_arity")
+
+    def accepts(self, cdag: CDAG) -> bool:
+        """Refine the tree contract with the instance's arity cap."""
+        return super().accepts(cdag) and cdag.max_in_degree() <= self.max_arity
+
+    def claims_optimal(self, cdag: CDAG) -> bool:
+        return (super().claims_optimal(cdag)
+                and cdag.max_in_degree() <= self.max_arity)
+
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3): the permutation DP is factorial
+        in the arity, so a guarded probe still gets an upper bound."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     def __init__(self, max_arity: int = DEFAULT_MAX_ARITY):
         self.max_arity = max_arity

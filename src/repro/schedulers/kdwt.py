@@ -19,7 +19,7 @@ from ..core.exceptions import InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4
 from ..core.schedule import Schedule
 from ..graphs import kdwt as kdwt_mod
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 _INF = math.inf
 
@@ -28,6 +28,25 @@ class OptimalKDWTScheduler(Scheduler):
     """Minimum-weight WRBPG schedules for ``KDWT(n, d, k)`` graphs."""
 
     name = "Optimum (k-tap DWT)"
+
+    contract = OptimalityContract(
+        accepts=("kdwt",), optimal_on=("kdwt",),
+        notes="Alg. 1 generalized (Sec. 3.1.1 future work): Lemma 3.2 "
+              "pruning + Eq. (6) DP, optimal on k-tap wavelet graphs")
+
+    def accepts(self, cdag: CDAG) -> bool:
+        """Refine the family contract with the instance's tap count."""
+        from .families import kdwt_params
+        params = kdwt_params(cdag)
+        return params is not None and params[2] == self.k
+
+    def claims_optimal(self, cdag: CDAG) -> bool:
+        return self.accepts(cdag)
+
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3) for guarded probes."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     def __init__(self, k: int):
         if k < 2:

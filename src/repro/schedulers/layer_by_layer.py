@@ -34,7 +34,7 @@ from ..core.cdag import CDAG, Node
 from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 RETENTION_MODES = ("eager", "deferred")
 
@@ -47,6 +47,11 @@ class LayerByLayerScheduler(Scheduler):
     """
 
     name = "Layer-by-Layer"
+
+    contract = OptimalityContract(
+        accepts=("layered",), optimal_on=(),
+        notes="Sec. 5.1 baseline: FIFO spilling over layers, an upper "
+              "bound only")
 
     def __init__(self, retention: str = "deferred"):
         if retention not in RETENTION_MODES:

@@ -30,7 +30,7 @@ from ..core.cdag import CDAG, Node
 from ..core.exceptions import InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 
 class RecomputeScheduler(Scheduler):
@@ -46,6 +46,18 @@ class RecomputeScheduler(Scheduler):
     """
 
     name = "Recompute"
+
+    contract = OptimalityContract(
+        accepts=("*",), optimal_on=(),
+        notes="Belady eviction + depth-1 rematerialization heuristic; "
+              "upper bound only")
+
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3): the recompute estimate is
+        quadratic in dense ancestries, so guarded probes still get a
+        valid upper bound."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     def __init__(self, spill_bias: float = 1.0):
         if spill_bias < 0:

@@ -28,13 +28,29 @@ from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 from ..graphs import mvm as mvm_mod
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 
 class BandedMVMScheduler(Scheduler):
     """Sliding-window schedules for ``banded_mvm_graph(m, n, bw)``."""
 
     name = "Sliding-Window (banded)"
+
+    contract = OptimalityContract(
+        accepts=("banded-mvm",), optimal_on=(),
+        notes="Meets the Prop. 2.4 lower bound whenever its fixed window "
+              "fits, but declares budgets below that infeasible, so "
+              "optimality over all budgets is not claimed")
+
+    def accepts(self, cdag: CDAG) -> bool:
+        """Refine the family contract with the instance's shape."""
+        from .families import banded_mvm_params
+        return banded_mvm_params(cdag) == (self.m, self.n, self.bandwidth)
+
+    def fallback_scheduler(self) -> Scheduler:
+        """Degrade to greedy (Prop. 2.3) for guarded probes."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     def __init__(self, m: int, n: int, bandwidth: int):
         mvm_mod.validate_params(m, n)

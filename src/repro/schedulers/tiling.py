@@ -48,7 +48,7 @@ from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 from ..graphs import mvm as mvm_mod
-from .base import Scheduler
+from .base import OptimalityContract, Scheduler
 
 _INF = math.inf
 
@@ -69,6 +69,22 @@ class TilingMVMScheduler(Scheduler):
     """Tiled WRBPG schedules for ``MVM(m, n)`` graphs (Sec. 4.3)."""
 
     name = "Tiling"
+
+    contract = OptimalityContract(
+        accepts=("mvm",), optimal_on=(),
+        notes="Sec. 4.3: cheapest of the two tile orientations — a strong "
+              "upper bound, but optimality over all schedules is not "
+              "claimed by the paper")
+
+    def accepts(self, cdag: CDAG) -> bool:
+        """Refine the family contract with the instance's (m, n) shape."""
+        from .families import mvm_params
+        return mvm_params(cdag) == (self.m, self.n)
+
+    def fallback_scheduler(self) -> "Scheduler":
+        """Degrade to greedy (Prop. 2.3) for guarded probes."""
+        from .greedy import GreedyTopologicalScheduler
+        return GreedyTopologicalScheduler()
 
     def __init__(self, m: int, n: int):
         mvm_mod.validate_params(m, n)

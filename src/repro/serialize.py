@@ -30,6 +30,20 @@ Infeasible probes store ``"cost": "inf"`` (strict JSON has no infinity).
 Decoders validate every field and raise :class:`InvalidScheduleError`
 naming the offending entry, so a truncated or hand-edited file fails
 loudly instead of poisoning a resumed sweep.
+
+A fourth document kind is the **audit repro file**: a minimal
+counterexample the fuzzer (:mod:`repro.analysis.fuzz`) shrank a failing
+case down to, self-contained enough to replay deterministically:
+
+.. code-block:: json
+
+    {"format": "wrbpg-audit-repro", "version": 1,
+     "scheduler": "kary-optimal", "budget": 7, "seed": 3,
+     "cdag": {"format": "wrbpg-cdag", ...},
+     "violations": [{"kind": "suboptimal", "message": "...", ...}]}
+
+``scheduler`` is a :data:`repro.schedulers.registry.REGISTRY` key, so
+``loads_repro`` + the registry reconstruct the exact failing probe.
 """
 
 from __future__ import annotations
@@ -46,6 +60,7 @@ from .core.schedule import Schedule
 CDAG_FORMAT = "wrbpg-cdag"
 SCHEDULE_FORMAT = "wrbpg-schedule"
 CHECKPOINT_FORMAT = "wrbpg-sweep-checkpoint"
+REPRO_FORMAT = "wrbpg-audit-repro"
 VERSION = 1
 
 
@@ -230,3 +245,78 @@ def dumps_checkpoint(entries: Mapping, **json_kwargs) -> str:
 
 def loads_checkpoint(text: str) -> ProbeEntries:
     return checkpoint_from_dict(json.loads(text))
+
+
+# --------------------------------------------------------------------- #
+# Audit repro files: a minimal failing (scheduler, graph, budget) probe
+
+
+def repro_to_dict(cdag: CDAG, scheduler_key: str, budget,
+                  violations=(), seed=None) -> dict:
+    """Encode a fuzzer counterexample.  ``violations`` is an iterable of
+    :class:`repro.analysis.audit.AuditViolation` (or plain dicts)."""
+    encoded = []
+    for v in violations:
+        if not isinstance(v, dict):
+            v = {"kind": v.kind, "scheduler": v.scheduler, "graph": v.graph,
+                 "budget": v.budget,
+                 "reported": _encode_cost(v.reported),
+                 "expected": None if v.expected is None
+                 else _encode_cost(v.expected),
+                 "message": v.message, "move_index": v.move_index}
+        encoded.append(v)
+    return {
+        "format": REPRO_FORMAT,
+        "version": VERSION,
+        "scheduler": scheduler_key,
+        "budget": budget,
+        "seed": seed,
+        "cdag": cdag_to_dict(cdag),
+        "violations": encoded,
+    }
+
+
+def repro_from_dict(data: dict) -> dict:
+    """Decode and validate a repro file.  Returns a dict with keys
+    ``cdag`` (a :class:`CDAG`), ``scheduler`` (a registry key string),
+    ``budget`` (positive int or None), ``seed`` and ``violations`` (a
+    list of plain dicts)."""
+    if data.get("format") != REPRO_FORMAT:
+        raise InvalidScheduleError(
+            f"not a {REPRO_FORMAT} document: {data.get('format')!r}")
+    if data.get("version") != VERSION:
+        raise InvalidScheduleError(
+            f"unsupported version {data.get('version')!r}")
+    scheduler = data.get("scheduler")
+    if not isinstance(scheduler, str) or not scheduler:
+        raise InvalidScheduleError(
+            f"scheduler: expected a non-empty registry key, "
+            f"got {scheduler!r}")
+    budget = data.get("budget")
+    if budget is not None and (not isinstance(budget, int)
+                               or isinstance(budget, bool) or budget <= 0):
+        raise InvalidScheduleError(
+            f"budget: expected a positive integer or null, got {budget!r}")
+    cdag_doc = data.get("cdag")
+    if not isinstance(cdag_doc, dict):
+        raise InvalidScheduleError(
+            f"cdag: expected an embedded {CDAG_FORMAT} document")
+    violations = data.get("violations", [])
+    if not isinstance(violations, list) \
+            or any(not isinstance(v, dict) for v in violations):
+        raise InvalidScheduleError("violations: expected a list of objects")
+    return {"cdag": cdag_from_dict(cdag_doc), "scheduler": scheduler,
+            "budget": budget, "seed": data.get("seed"),
+            "violations": violations}
+
+
+def dumps_repro(cdag: CDAG, scheduler_key: str, budget,
+                violations=(), seed=None, **json_kwargs) -> str:
+    json_kwargs.setdefault("indent", 1)
+    return json.dumps(repro_to_dict(cdag, scheduler_key, budget,
+                                    violations=violations, seed=seed),
+                      **json_kwargs)
+
+
+def loads_repro(text: str) -> dict:
+    return repro_from_dict(json.loads(text))

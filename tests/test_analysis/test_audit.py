@@ -1,0 +1,323 @@
+"""Tests for the audit gauntlet (repro.analysis.audit).
+
+Planted-bug schedulers — lying costs, budget cheats, false optimality
+claims — must be caught at the level that covers them, clean schedulers
+must pass every level untouched, and the engine must quarantine a failed
+audit exactly like a timed-out probe: fallback answer, ``degraded`` flag,
+structured violation in the stats.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (AuditViolation, Auditor, SweepEngine,
+                            audit_schedule)
+from repro.analysis.audit import KINDS, LEVELS, level_index
+from repro.core import (AuditFailure, M1, M2, M3, M4, Schedule,
+                        algorithmic_lower_bound, min_feasible_budget)
+from repro.graphs import dwt_graph, long_chain
+from repro.schedulers import (ExhaustiveScheduler, GreedyTopologicalScheduler,
+                              OptimalDWTScheduler, OptimalityContract)
+
+
+# --------------------------------------------------------------------- #
+# Planted-bug schedulers (module level so cache_key stays stable)
+
+
+class LyingScheduler(GreedyTopologicalScheduler):
+    """Reports one less than the true (simulated) cost of its schedule."""
+
+    name = "lying"
+
+    def cost(self, cdag, budget=None):
+        return super().cost(cdag, budget) - 1
+
+    def cost_many(self, cdag, budgets, *, memo=None):
+        return [c if not math.isfinite(c) else c - 1
+                for c in super().cost_many(cdag, budgets, memo=memo)]
+
+    def fallback_scheduler(self):
+        return GreedyTopologicalScheduler()
+
+
+class FalseOptimalScheduler(GreedyTopologicalScheduler):
+    """Greedy costs behind a contract that falsely claims optimality."""
+
+    name = "false-optimal"
+    contract = OptimalityContract(accepts=("*",), optimal_on=("*",),
+                                  notes="planted false claim")
+
+    def fallback_scheduler(self):
+        return GreedyTopologicalScheduler()
+
+
+class BudgetCheatScheduler(GreedyTopologicalScheduler):
+    """Ignores the budget: loads every input up front and never evicts,
+    so tight-budget replays blow the red-weight limit mid-schedule."""
+
+    name = "budget-cheat"
+
+    def schedule(self, cdag, budget=None):
+        moves = [M1(v) for v in cdag.sources]
+        moves += [M3(v) for v in cdag.topological_order()
+                  if cdag.predecessors(v)]
+        moves += [M2(v) for v in cdag.sinks]
+        moves += [M4(v) for v in cdag.topological_order()]
+        return Schedule(moves)
+
+    def cost(self, cdag, budget=None):
+        return self.schedule(cdag, budget).cost(cdag)
+
+    def fallback_scheduler(self):
+        return GreedyTopologicalScheduler()
+
+
+class InconsistentBatchScheduler(GreedyTopologicalScheduler):
+    """``cost_many`` disagrees with ``cost`` by one unit."""
+
+    name = "inconsistent-batch"
+
+    def cost_many(self, cdag, budgets, *, memo=None):
+        return [c if not math.isfinite(c) else c + 1
+                for c in super().cost_many(cdag, budgets, memo=memo)]
+
+    def fallback_scheduler(self):
+        return GreedyTopologicalScheduler()
+
+
+class ConstantCostScheduler(GreedyTopologicalScheduler):
+    """Claims the same finite cost at every budget, even infeasible ones."""
+
+    name = "constant"
+
+    def __init__(self, value):
+        self.value = value
+
+    def cost(self, cdag, budget=None):
+        return self.value
+
+    def cost_many(self, cdag, budgets, *, memo=None):
+        return [self.value for _ in budgets]
+
+
+def _kinds(violations):
+    return {v.kind for v in violations}
+
+
+# --------------------------------------------------------------------- #
+# Auditor units
+
+
+class TestAuditorBasics:
+    def test_levels_are_ordered_and_validated(self):
+        assert [level_index(lv) for lv in LEVELS] == [0, 1, 2, 3]
+        with pytest.raises(ValueError, match="unknown audit level"):
+            Auditor(level="paranoid")
+
+    def test_off_level_is_inert(self):
+        g = dwt_graph(4, 1)
+        auditor = Auditor(level="off")
+        assert not auditor.active
+        assert auditor.check(LyingScheduler(), g, 8, 0) == []
+
+    def test_clean_schedulers_pass_every_level(self):
+        g = dwt_graph(4, 1)
+        for scheduler in (GreedyTopologicalScheduler(),
+                          OptimalDWTScheduler(),
+                          ExhaustiveScheduler(max_nodes=10)):
+            for level in LEVELS[1:]:
+                assert audit_schedule(scheduler, g, g.total_weight(),
+                                      level=level) == []
+
+    def test_violation_kinds_are_registered(self):
+        g = dwt_graph(4, 1)
+        found = audit_schedule(LyingScheduler(), g, g.total_weight())
+        assert found and all(v.kind in KINDS for v in found)
+
+    def test_describe_names_the_probe(self):
+        v = AuditViolation(kind="replay-cost-mismatch", scheduler="S",
+                           graph="G", budget=8, reported=11.0, expected=12.0,
+                           message="m")
+        assert "S@G#B=8" in v.describe()
+        assert v.describe().startswith("replay-cost-mismatch")
+
+
+class TestBoundsLevel:
+    def test_below_lower_bound_is_caught(self):
+        g = dwt_graph(4, 1)
+        lb = algorithmic_lower_bound(g)
+        bad = ConstantCostScheduler(lb - 1)
+        found = audit_schedule(bad, g, g.total_weight(), level="bounds")
+        assert "below-lower-bound" in _kinds(found)
+
+    def test_finite_cost_below_existence_bound_is_caught(self):
+        g = dwt_graph(4, 1)
+        bad = ConstantCostScheduler(algorithmic_lower_bound(g) + 4)
+        found = audit_schedule(bad, g, min_feasible_budget(g) - 1,
+                               level="bounds")
+        assert "infeasible-budget-scheduled" in _kinds(found)
+
+    def test_malformed_costs_are_caught(self):
+        g = dwt_graph(4, 1)
+        auditor = Auditor(level="bounds")
+        for reported in (-3, 8.5, math.nan):
+            found = auditor.check(GreedyTopologicalScheduler(), g,
+                                  g.total_weight(), reported)
+            assert _kinds(found) == {"malformed-cost"}
+
+    def test_single_isolated_node_is_not_flagged(self):
+        # Props 2.3/2.4 assume disjoint inputs/outputs; an edge-free node
+        # is both, its optimum is the empty schedule at cost 0.
+        g = long_chain(1, max_weight=7)
+        auditor = Auditor(level="differential")
+        for scheduler in (GreedyTopologicalScheduler(),
+                          ExhaustiveScheduler(max_nodes=10)):
+            reported = scheduler.cost(g, g.total_weight())
+            assert auditor.check(scheduler, g, g.total_weight(),
+                                 reported) == []
+
+
+class TestReplayLevel:
+    def test_lying_cost_is_caught_by_replay(self):
+        g = dwt_graph(4, 1)
+        found = audit_schedule(LyingScheduler(), g, g.total_weight(),
+                               level="replay")
+        assert "replay-cost-mismatch" in _kinds(found)
+        (v,) = [v for v in found if v.kind == "replay-cost-mismatch"]
+        assert v.expected == v.reported + 1
+
+    def test_budget_cheat_is_caught_with_move_index(self):
+        g = dwt_graph(4, 1)
+        tight = min_feasible_budget(g)
+        found = audit_schedule(BudgetCheatScheduler(), g, tight,
+                               level="replay")
+        hits = [v for v in found if v.kind == "invalid-schedule"]
+        assert hits and hits[0].move_index is not None
+
+    def test_false_infeasibility_is_caught(self):
+        g = dwt_graph(4, 1)
+        auditor = Auditor(level="replay")
+        found = auditor.check(GreedyTopologicalScheduler(), g,
+                              g.total_weight(), math.inf)
+        assert "feasibility-mismatch" in _kinds(found)
+
+
+class TestDifferentialLevel:
+    def test_false_optimality_claim_is_caught(self):
+        g = dwt_graph(4, 1)  # greedy costs 12, the optimum is 8
+        found = audit_schedule(FalseOptimalScheduler(), g, g.total_weight())
+        assert "suboptimal" in _kinds(found)
+
+    def test_impossible_below_optimum_cost_is_caught(self):
+        g = dwt_graph(4, 1)
+        auditor = Auditor(level="differential")
+        opt = auditor.optimum(g, g.total_weight())
+        bad = ConstantCostScheduler(int(opt) - 1)
+        found = auditor.check(bad, g, g.total_weight(), int(opt) - 1)
+        assert "below-optimum" in _kinds(found)
+
+    def test_batch_single_disagreement_is_caught(self):
+        g = dwt_graph(4, 1)
+        found = audit_schedule(InconsistentBatchScheduler(), g,
+                               g.total_weight())
+        assert "cost-many-mismatch" in _kinds(found)
+
+    def test_large_graphs_skip_the_exhaustive_oracle(self):
+        g = dwt_graph(16, 4)
+        auditor = Auditor(level="differential", max_exhaustive_nodes=10)
+        assert auditor.optimum(g, g.total_weight()) is None
+        # The non-differential checks still run and stay clean.
+        reported = OptimalDWTScheduler().cost(g, g.total_weight())
+        assert auditor.check(OptimalDWTScheduler(), g, g.total_weight(),
+                             reported) == []
+
+    def test_optimum_is_memoized_per_graph_and_budget(self):
+        g = dwt_graph(4, 1)
+        auditor = Auditor(level="differential")
+        first = auditor.optimum(g, g.total_weight())
+        assert auditor.optimum(g, g.total_weight()) == first == 8.0
+
+    def test_check_or_raise_wraps_violations(self):
+        g = dwt_graph(4, 1)
+        auditor = Auditor(level="replay")
+        with pytest.raises(AuditFailure, match="replay-cost-mismatch") as err:
+            auditor.check_or_raise(LyingScheduler(), g, g.total_weight(),
+                                   LyingScheduler().cost(g, g.total_weight()))
+        assert err.value.violations
+
+
+# --------------------------------------------------------------------- #
+# Engine quarantine semantics
+
+
+class TestEngineQuarantine:
+    def test_failed_audit_quarantines_to_fallback(self):
+        g = dwt_graph(4, 1)
+        budgets = [min_feasible_budget(g), g.total_weight()]
+        eng = SweepEngine(audit="replay")
+        series = eng.sweep(LyingScheduler(), g, budgets, "lying")
+        honest = GreedyTopologicalScheduler().cost_many(g, budgets)
+        assert list(series.costs) == honest  # fallback answers, not the lie
+        assert series.degraded == tuple(budgets)
+        assert eng.stats.quarantined_probes == len(budgets)
+        assert all(f.exception == "AuditFailure" and
+                   f.resolution == "quarantined" for f in eng.stats.failures)
+        assert eng.stats.violations
+        assert all(v.kind == "replay-cost-mismatch"
+                   for v in eng.stats.violations)
+
+    def test_no_fallback_raises_audit_failure(self):
+        g = dwt_graph(4, 1)
+        eng = SweepEngine(audit="replay", fallback=None)
+        with pytest.raises(AuditFailure):
+            eng.sweep(LyingScheduler(), g, [g.total_weight()], "lying")
+        assert eng.stats.failures[-1].resolution == "failed"
+        assert eng.stats.violations  # the finding is still recorded
+
+    def test_audit_off_reproduces_unaudited_sweep(self):
+        g = dwt_graph(16, 4)
+        budgets = [min_feasible_budget(g), g.total_weight()]
+        plain = SweepEngine().sweep(OptimalDWTScheduler(), g, budgets, "opt")
+        off = SweepEngine(audit="off").sweep(OptimalDWTScheduler(), g,
+                                             budgets, "opt")
+        assert off == plain
+        # Lies pass through untouched at level "off" — auditing is opt-in.
+        lied = SweepEngine(audit="off").sweep(LyingScheduler(), g,
+                                              budgets, "lying")
+        assert list(lied.costs) == LyingScheduler().cost_many(g, budgets)
+        assert lied.degraded == ()
+
+    def test_clean_scheduler_sweeps_identically_under_audit(self):
+        g = dwt_graph(4, 1)
+        budgets = [min_feasible_budget(g), g.total_weight()]
+        plain = SweepEngine().sweep(OptimalDWTScheduler(), g, budgets, "opt")
+        audited_eng = SweepEngine(audit="differential")
+        audited = audited_eng.sweep(OptimalDWTScheduler(), g, budgets, "opt")
+        assert audited == plain
+        assert audited_eng.stats.violations == []
+        assert audited_eng.stats.quarantined_probes == 0
+
+    def test_engine_accepts_a_configured_auditor(self):
+        auditor = Auditor(level="bounds", check_cost_many=False)
+        eng = SweepEngine(audit=auditor)
+        assert eng.auditor is auditor
+        round_trip = Auditor(**auditor.config())
+        assert round_trip.level == "bounds"
+        assert round_trip.check_cost_many is False
+
+    def test_stats_report_lists_violations(self):
+        g = dwt_graph(4, 1)
+        eng = SweepEngine(audit="replay")
+        eng.sweep(LyingScheduler(), g, [g.total_weight()], "lying")
+        text = eng.stats.report()
+        assert "audit violations" in text
+        assert "quarantined" in text
+        assert "replay-cost-mismatch" in text
+
+    def test_parallel_workers_inherit_the_audit_level(self):
+        setup_audit = SweepEngine(audit="replay")._worker_setup()["audit"]
+        assert setup_audit["level"] == "replay"
+        assert Auditor(**setup_audit).active

@@ -1,0 +1,195 @@
+"""Tests for the seeded audit fuzzer (repro.analysis.fuzz).
+
+The corpus and every downstream artifact (shrunk graphs, repro files)
+must be byte-deterministic in the seed; a planted buggy scheduler must be
+found, shrunk to a minimal counterexample, serialized, and replayable
+from the JSON alone; and the shipped scheduler registry must survive a
+fixed-seed fuzz run clean.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import serialize
+from repro.analysis import Auditor
+from repro.analysis.fuzz import (FuzzFailure, budgets_for, corpus, fuzz,
+                                 replay_repro, shrink, write_repro, _induced)
+from repro.core import GraphStructureError, min_feasible_budget
+from repro.graphs import dwt_graph
+from repro.schedulers import GreedyTopologicalScheduler
+from repro.schedulers.registry import REGISTRY, SchedulerSpec
+
+
+class UnderReportingScheduler(GreedyTopologicalScheduler):
+    """Planted bug: reports one less than the true cost when feasible."""
+
+    name = "under-reporting"
+
+    def cost(self, cdag, budget=None):
+        true = super().cost(cdag, budget)
+        return true - 1 if true >= 1 else true
+
+    def cost_many(self, cdag, budgets, *, memo=None):
+        return [c if not math.isfinite(c) or c < 1 else c - 1
+                for c in super().cost_many(cdag, budgets, memo=memo)]
+
+
+@pytest.fixture
+def planted(monkeypatch):
+    """Registry with one planted buggy scheduler; fuzz only probes it."""
+    monkeypatch.setitem(REGISTRY, "planted", SchedulerSpec(
+        "planted", UnderReportingScheduler,
+        lambda cdag: UnderReportingScheduler()))
+    return tuple(k for k in REGISTRY if k != "planted")
+
+
+# --------------------------------------------------------------------- #
+# Corpus determinism
+
+
+class TestCorpus:
+    def test_same_seed_is_byte_identical(self):
+        first = corpus(3)
+        second = corpus(3)
+        assert [cid for cid, _ in first] == [cid for cid, _ in second]
+        for (_, a), (_, b) in zip(first, second):
+            assert serialize.dumps_cdag(a) == serialize.dumps_cdag(b)
+
+    def test_case_ids_carry_the_seed(self):
+        assert all(cid.endswith("@seed5") for cid, _ in corpus(5))
+
+    def test_covers_structured_and_degenerate_shapes(self):
+        tags = {cid.split("@")[0] for cid, _ in corpus(0)}
+        for expected in ("dwt", "kdwt", "kary", "mvm", "banded", "conv",
+                         "layered", "sp", "chain", "fan", "union",
+                         "single", "edgefree"):
+            assert any(t.startswith(expected) for t in tags), expected
+
+    def test_budgets_straddle_the_existence_boundary(self):
+        g = dwt_graph(4, 1)
+        budgets = budgets_for(g)
+        need = min_feasible_budget(g)
+        assert need in budgets and need - 1 in budgets
+        assert budgets == sorted(budgets)
+        assert max(budgets) == max(need, g.total_weight())
+
+
+# --------------------------------------------------------------------- #
+# Shrinking
+
+
+class TestShrinking:
+    def test_induced_subgraph_keeps_nodes_weights_and_determinism(self):
+        g = dwt_graph(4, 1)
+        keep = [v for v in g.topological_order()][:4]
+        sub = _induced(g, keep)
+        assert set(sub) == set(keep)
+        assert all(sub.weight(v) == g.weight(v) for v in keep)
+        assert all(set(sub.predecessors(v)) ==
+                   set(g.predecessors(v)) & set(keep) for v in keep)
+        # Byte-stable: repro files serialized from it never flap.
+        assert serialize.dumps_cdag(sub) == \
+            serialize.dumps_cdag(_induced(g, keep))
+
+    def test_planted_bug_shrinks_to_a_minimal_graph(self, planted):
+        g = dwt_graph(4, 1)
+        small, failure = shrink("planted", g)
+        assert failure is not None
+        budget, violations = failure
+        assert {v.kind for v in violations} & {"replay-cost-mismatch",
+                                               "below-lower-bound"}
+        assert len(small) < len(g)
+        # Any further node removal must lose the violation (minimality is
+        # what makes repro files debuggable by eye).
+        auditor = Auditor(level="differential")
+        again, refound = shrink("planted", small, auditor)
+        assert len(again) == len(small)
+
+    def test_shrinking_is_deterministic(self, planted):
+        a, _ = shrink("planted", dwt_graph(4, 1))
+        b, _ = shrink("planted", dwt_graph(4, 1))
+        assert serialize.dumps_cdag(a) == serialize.dumps_cdag(b)
+
+    def test_clean_case_reports_nothing_to_shrink(self):
+        g = dwt_graph(4, 1)
+        small, failure = shrink("greedy", g)
+        assert failure is None and small is g
+
+
+# --------------------------------------------------------------------- #
+# Repro files
+
+
+class TestReproFiles:
+    def test_written_repro_replays_the_same_violation(self, planted,
+                                                      tmp_path):
+        report = fuzz(seeds=(0,), exclude=planted, out_dir=str(tmp_path),
+                      max_failures=1)
+        assert not report.ok and report.repro_paths
+        text = open(report.repro_paths[0]).read()
+        json.loads(text)  # strict JSON
+        violations, data = replay_repro(text)
+        assert data["scheduler"] == "planted"
+        assert {v.kind for v in violations} == \
+            {v.kind for v in report.failures[0].violations}
+
+    def test_repro_filename_is_content_addressed(self, planted, tmp_path):
+        _, failure = shrink("planted", dwt_graph(4, 1))
+        budget, violations = failure
+        small, _ = shrink("planted", dwt_graph(4, 1))
+        record = FuzzFailure(case="dwt@seed0", scheduler="planted",
+                             budget=budget, cdag=small,
+                             violations=violations, seed=0)
+        p1 = write_repro(record, str(tmp_path))
+        p2 = write_repro(record, str(tmp_path))
+        assert p1 == p2  # identical failure -> identical file, no dupes
+
+    def test_replay_rejects_unknown_scheduler(self):
+        text = serialize.dumps_repro(dwt_graph(4, 1), "no-such-key", 8)
+        with pytest.raises(GraphStructureError, match="unknown scheduler"):
+            replay_repro(text)
+
+    def test_repro_round_trip_preserves_the_graph(self):
+        g = dwt_graph(4, 1)
+        text = serialize.dumps_repro(g, "greedy", 3, seed=7)
+        data = serialize.loads_repro(text)
+        back = data["cdag"]
+        assert set(back) == set(g)
+        assert all(back.weight(v) == g.weight(v) for v in g)
+        assert all(set(back.predecessors(v)) == set(g.predecessors(v))
+                   for v in g)
+        assert data["budget"] == 3 and data["seed"] == 7
+        # A second round trip is byte-stable.
+        assert serialize.dumps_repro(back, "greedy", 3, seed=7) == \
+            serialize.dumps_repro(
+                serialize.loads_repro(text)["cdag"], "greedy", 3, seed=7)
+
+
+# --------------------------------------------------------------------- #
+# Driver
+
+
+class TestFuzzDriver:
+    def test_planted_bug_is_found_and_described(self, planted):
+        report = fuzz(seeds=(0,), exclude=planted, max_failures=3)
+        assert not report.ok
+        assert report.failures[0].scheduler == "planted"
+        summary = report.summary()
+        assert "failures" in summary and "planted" in summary
+
+    def test_max_failures_stops_early(self, planted):
+        report = fuzz(seeds=(0, 1, 2), exclude=planted, max_failures=1)
+        assert len(report.failures) == 1
+
+    def test_registry_survives_a_seeded_differential_run(self):
+        # The real gate: every shipped scheduler, one full corpus seed,
+        # the strongest audit level.  A regression in any scheduler or
+        # classifier surfaces here before it can poison an experiment.
+        report = fuzz(seeds=(0,), level="differential")
+        assert report.ok, report.summary()
+        assert report.probes > 100
+        assert report.cases == len(corpus(0))

@@ -154,3 +154,41 @@ class TestGameState:
         assert isinstance(res, SimulationResult)
         assert res.blue == frozenset({"a", "b", "c"})
         assert res.red == frozenset()
+
+
+class TestErrorContext:
+    """Mid-replay errors carry the move index and a state snapshot, so a
+    failing schedule (e.g. a fuzzer repro file) is debuggable from the
+    message alone."""
+
+    def test_rule_violation_names_move_index_and_state(self, tiny):
+        with pytest.raises(RuleViolationError) as err:
+            simulate(tiny, [M1("a"), M3("c")], require_stopping=False)
+        msg = str(err.value)
+        assert "at move #1" in msg
+        assert "red weight 1/3" in msg and "|red|=1" in msg
+        assert err.value.index == 1
+
+    def test_budget_violation_reports_occupancy_against_budget(self, tiny):
+        with pytest.raises(BudgetExceededError) as err:
+            simulate(tiny, [M1("a"), M1("b")], budget=1,
+                     require_stopping=False)
+        msg = str(err.value)
+        assert "after move #1" in msg and "exceeds budget 1" in msg
+        assert "M1(b)" in msg  # the offending move itself is named
+        assert err.value.index == 1
+
+    def test_unknown_node_error_carries_context(self, tiny):
+        with pytest.raises(InvalidScheduleError) as err:
+            simulate(tiny, [M1("ghost")], require_stopping=False)
+        assert "at move #0" in str(err.value)
+        assert err.value.index == 0
+
+    def test_context_tracks_the_game_state(self, tiny):
+        st = GameState(tiny, budget=3)
+        assert "at move #0" in st.context()
+        st.apply(M1("a"))
+        st.apply(M1("b"))
+        ctx = st.context()
+        assert "at move #2" in ctx and "red weight 2/3" in ctx
+        assert "|red|=2" in ctx and "|blue|=2" in ctx

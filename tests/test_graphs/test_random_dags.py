@@ -3,10 +3,12 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import serialize
 from repro.core import GraphStructureError, algorithmic_lower_bound, \
     min_feasible_budget, simulate
-from repro.graphs import (random_layered_dag, random_series_parallel,
-                          random_weighted)
+from repro.graphs import (disconnected_union, long_chain, random_layered_dag,
+                          random_series_parallel, random_weighted,
+                          skewed_weights, wide_fan_dag)
 from repro.schedulers import EvictionScheduler, GreedyTopologicalScheduler, \
     LayerByLayerScheduler
 
@@ -79,3 +81,74 @@ class TestRandomWeighted:
         b = min_feasible_budget(g)
         sched = GreedyTopologicalScheduler().schedule(g, b)
         assert simulate(g, sched, budget=b).peak_red_weight <= b
+
+
+# --------------------------------------------------------------------- #
+# Adversarial generators (audit fuzzer corpus)
+
+
+class TestAdversarialGenerators:
+    def test_long_chain_shape_and_determinism(self):
+        a = long_chain(5, seed=3, max_weight=4)
+        b = long_chain(5, seed=3, max_weight=4)
+        assert serialize.dumps_cdag(a) == serialize.dumps_cdag(b)
+        assert len(a) == 5 and a.num_edges == 4
+        assert a.max_in_degree() == 1
+        assert all(1 <= a.weight(v) <= 4 for v in a)
+
+    def test_long_chain_seed_changes_weights(self):
+        a = long_chain(6, seed=0, max_weight=9)
+        b = long_chain(6, seed=1, max_weight=9)
+        assert set(a) == set(b)  # same structure ...
+        assert serialize.dumps_cdag(a) != serialize.dumps_cdag(b)  # new w
+
+    def test_single_node_chain_is_edge_free(self):
+        g = long_chain(1, seed=0, max_weight=7)
+        assert len(g) == 1 and g.num_edges == 0
+        assert set(g.sources) == set(g.sinks) == set(g)
+
+    def test_wide_fan_shape_and_determinism(self):
+        a = wide_fan_dag(4, 2, seed=5, max_weight=3)
+        b = wide_fan_dag(4, 2, seed=5, max_weight=3)
+        assert serialize.dumps_cdag(a) == serialize.dumps_cdag(b)
+        assert len(a) == 7  # 4 sources + hub + 2 sinks
+        assert a.max_in_degree() == 4
+        # Prop. 2.3: the hub's footprint dominates the budget floor.
+        assert min_feasible_budget(a) >= \
+            a.weight("hub") + sum(a.weight(s) for s in a.sources)
+
+    def test_skewed_weights_plant_a_heavy_node(self):
+        base = random_layered_dag(3, 3, seed=2)
+        a = skewed_weights(base, seed=2, heavy=1 << 20)
+        b = skewed_weights(base, seed=2, heavy=1 << 20)
+        assert serialize.dumps_cdag(a) == serialize.dumps_cdag(b)
+        weights = {a.weight(v) for v in a}
+        assert weights <= {1, 1 << 20} and (1 << 20) in weights
+
+    def test_disconnected_union_keeps_components_apart(self):
+        a = disconnected_union([long_chain(2, seed=0), long_chain(3, seed=1)])
+        b = disconnected_union([long_chain(2, seed=0), long_chain(3, seed=1)])
+        assert serialize.dumps_cdag(a) == serialize.dumps_cdag(b)
+        assert len(a) == 5 and a.num_edges == 3
+        # No edge crosses the component boundary.
+        for v in a:
+            assert all(p[0] == v[0] for p in a.predecessors(v))
+
+    def test_generator_input_validation(self):
+        with pytest.raises(GraphStructureError):
+            long_chain(0)
+        with pytest.raises(GraphStructureError):
+            wide_fan_dag(0)
+        with pytest.raises(GraphStructureError):
+            skewed_weights(long_chain(2), heavy=0)
+        with pytest.raises(GraphStructureError):
+            disconnected_union([])
+
+    def test_adversarial_graphs_are_schedulable(self):
+        for g in (long_chain(4, seed=1, max_weight=3),
+                  wide_fan_dag(3, 2, seed=1, max_weight=2),
+                  disconnected_union([long_chain(2, seed=0),
+                                      long_chain(2, seed=1)])):
+            budget = min_feasible_budget(g)
+            sched = GreedyTopologicalScheduler().schedule(g, budget)
+            assert simulate(g, sched, budget=budget).peak_red_weight <= budget
