@@ -128,8 +128,8 @@ class Auditor:
     """
 
     level: str = "off"
-    max_exhaustive_nodes: int = 10
-    max_exhaustive_states: int = 200_000
+    max_exhaustive_nodes: int = 26
+    max_exhaustive_states: int = 25_000
     check_cost_many: bool = True
 
     def __post_init__(self) -> None:
@@ -137,6 +137,11 @@ class Auditor:
         # (graph id, budget) -> (graph ref, optimum); the ref pins the
         # graph so a recycled id can never alias a stale entry.
         self._opt_cache: dict = {}
+        # Shared oracle memo: the A* transposition table inside is keyed
+        # per graph (cost_many resets it on a graph change), so budget
+        # probes of the same graph reuse heuristic values and search
+        # results instead of re-exploring from scratch.
+        self._oracle_memo: dict = {}
 
     @property
     def active(self) -> bool:
@@ -280,7 +285,8 @@ class Auditor:
             return hit[1]
         oracle = self._oracle()
         try:
-            opt = float(oracle.cost_many(cdag, (budget,))[0])
+            opt = float(
+                oracle.cost_many(cdag, (budget,), memo=self._oracle_memo)[0])
         except (StateSpaceTooLargeError, GraphStructureError):
             opt = None
         self._opt_cache[key] = (cdag, opt)

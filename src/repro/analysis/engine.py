@@ -363,9 +363,15 @@ class CachedCostFn:
             self.stats.peak_memo_entries = entries
 
     def memo_entries(self) -> int:
-        """Current cache + DP-memo footprint, in entries."""
+        """Current cache + DP-memo footprint, in entries.
+
+        Counts plain DP-memo dicts and any sized memo value that reports
+        its own footprint (e.g. the oracle's transposition table, whose
+        ``__len__`` is heuristic-cache + per-budget results)."""
+        from ..schedulers.search import TranspositionTable
         return len(self._cache) + sum(
-            len(v) for v in self._memo.values() if isinstance(v, dict))
+            len(v) for v in self._memo.values()
+            if isinstance(v, (dict, TranspositionTable)))
 
 
 # --------------------------------------------------------------------- #

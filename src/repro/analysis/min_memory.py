@@ -136,5 +136,12 @@ def scheduler_min_memory(scheduler, cdag: CDAG, step: Optional[int] = None,
         hi = cdag.total_weight()
     if step is None:
         step = math.gcd(*cdag.weights.values()) if len(cdag) else 1
-    return minimum_fast_memory(lambda b: scheduler.cost(cdag, b),
-                               target, lo, hi, step)
+    # Probe through cost_many with a shared memo so schedulers with
+    # budget-independent state (DP memos, the oracle's transposition
+    # table) reuse work across adjacent binary-search probes.
+    memo: dict = {}
+
+    def probe(b: int) -> float:
+        return scheduler.cost_many(cdag, (b,), memo=memo)[0]
+
+    return minimum_fast_memory(probe, target, lo, hi, step)

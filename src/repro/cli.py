@@ -48,14 +48,14 @@ from .schedulers import (EvictionScheduler, GreedyTopologicalScheduler,
 from .viz import occupancy_timeline, schedule_summary, to_dot
 
 STRATEGIES = ("dwt-optimal", "kary-optimal", "tiling", "layer-by-layer",
-              "greedy", "belady", "lru")
+              "greedy", "belady", "lru", "exhaustive")
 
 
 def _config(name: str):
     return double_accumulator() if name == "da" else equal()
 
 
-def _make_scheduler(name: str, cdag: CDAG):
+def _make_scheduler(name: str, cdag: CDAG, args=None):
     if name == "dwt-optimal":
         return OptimalDWTScheduler()
     if name == "kary-optimal":
@@ -68,7 +68,32 @@ def _make_scheduler(name: str, cdag: CDAG):
         return GreedyTopologicalScheduler()
     if name in ("belady", "lru"):
         return EvictionScheduler(policy=name)
+    if name == "exhaustive":
+        from .schedulers import ExhaustiveScheduler
+        kwargs = {}
+        if args is not None:
+            if getattr(args, "oracle_max_nodes", None) is not None:
+                kwargs["max_nodes"] = args.oracle_max_nodes
+            if getattr(args, "oracle_max_states", None) is not None:
+                kwargs["max_states"] = args.oracle_max_states
+            if getattr(args, "oracle_legacy", False):
+                kwargs["core"] = "legacy"
+        return ExhaustiveScheduler(**kwargs)
     raise SystemExit(f"unknown strategy {name!r}; pick from {STRATEGIES}")
+
+
+def _add_oracle_flags(parser) -> None:
+    """Exhaustive-oracle tuning flags for subcommands with --strategy."""
+    parser.add_argument("--oracle-max-nodes", type=int, default=None,
+                        metavar="N",
+                        help="node-count cap for --strategy exhaustive "
+                             "(default: scheduler default)")
+    parser.add_argument("--oracle-max-states", type=int, default=None,
+                        metavar="N",
+                        help="settled-state cap for --strategy exhaustive")
+    parser.add_argument("--oracle-legacy", action="store_true",
+                        help="use the uninformed-Dijkstra oracle core "
+                             "instead of A* (debugging / benchmarking)")
 
 
 def cmd_build(args) -> int:
@@ -111,7 +136,7 @@ def cmd_schedule(args) -> int:
     g = _load_graph(args.graph)
     budget = (args.budget_bits if args.budget_bits
               else args.budget_words * 16)
-    scheduler = _make_scheduler(args.strategy, g)
+    scheduler = _make_scheduler(args.strategy, g, args)
     sched = scheduler.schedule(g, budget)
     result = simulate(g, sched, budget=budget)
     print(schedule_summary(g, sched))
@@ -132,7 +157,7 @@ def cmd_trace(args) -> int:
     g = _load_graph(args.graph)
     budget = (args.budget_bits if args.budget_bits
               else args.budget_words * 16)
-    scheduler = _make_scheduler(args.strategy, g)
+    scheduler = _make_scheduler(args.strategy, g, args)
     sched = scheduler.schedule(g, budget)
     simulate(g, sched, budget=budget)
     records = trace(g, sched, AddressMap(g, base_address=args.base))
@@ -149,7 +174,7 @@ def cmd_trace(args) -> int:
 def cmd_minmem(args) -> int:
     from .analysis import SweepEngine
     g = _load_graph(args.graph)
-    scheduler = _make_scheduler(args.strategy, g)
+    scheduler = _make_scheduler(args.strategy, g, args)
     engine = SweepEngine(timeout=args.timeout, retries=args.retries,
                          checkpoint=args.checkpoint, audit=args.audit)
     bits = engine.min_memory(scheduler, g)
@@ -184,7 +209,7 @@ def cmd_synth(args) -> int:
 def cmd_compare(args) -> int:
     from .analysis import compare
     g = _load_graph(args.graph)
-    strategies = [_make_scheduler(name, g) for name in args.strategies]
+    strategies = [_make_scheduler(name, g, args) for name in args.strategies]
     budgets = None
     if args.budget_words:
         budgets = [w * 16 for w in args.budget_words]
@@ -278,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--budget-bits", type=int)
     s.add_argument("--timeline", action="store_true")
     s.add_argument("-o", "--output")
+    _add_oracle_flags(s)
     s.set_defaults(fn=cmd_schedule)
 
     t = sub.add_parser("trace", help="emit a slow-memory access trace")
@@ -287,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--budget-bits", type=int)
     t.add_argument("--base", type=lambda x: int(x, 0), default=0x1000)
     t.add_argument("-o", "--output")
+    _add_oracle_flags(t)
     t.set_defaults(fn=cmd_trace)
 
     m = sub.add_parser("minmem", help="minimum fast memory size (Def. 2.6)")
@@ -295,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--profile", action="store_true",
                    help="print sweep-engine instrumentation")
     _add_fault_flags(m)
+    _add_oracle_flags(m)
     m.set_defaults(fn=cmd_minmem)
 
     y = sub.add_parser("synth", help="synthesize an SRAM macro")
@@ -309,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--strategies", nargs="+", default=["belady", "greedy"],
                    choices=STRATEGIES)
     c.add_argument("--budget-words", nargs="+", type=int)
+    _add_oracle_flags(c)
     c.set_defaults(fn=cmd_compare)
 
     e = sub.add_parser("experiments", help="regenerate the paper artifacts")

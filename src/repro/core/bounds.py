@@ -66,3 +66,44 @@ def algorithmic_lower_bound(cdag: CDAG) -> int:
 def io_breakdown_lower_bound(cdag: CDAG) -> Tuple[int, int]:
     """The lower bound split into (input cost, output cost)."""
     return cdag.total_weight(cdag.sources), cdag.total_weight(cdag.sinks)
+
+
+def residual_io_lower_bound(cdag: CDAG, red=(), blue=None, *,
+                            require_blue_sinks: bool = True,
+                            final_red=()) -> int:
+    """Residual Prop. 2.4 bound from a mid-game configuration.
+
+    Generalizes :func:`algorithmic_lower_bound` to an arbitrary state
+    ``(red, blue)``: every goal sink not yet blue still costs its weight in
+    stores, and every *source* in the backward closure of nodes that must
+    still become red costs its weight in loads (sources cannot be
+    recomputed).  The closure seeds with the missing goal nodes — goal
+    sinks absent from both memories, plus ``final_red`` nodes not red —
+    and adds the non-red parents of every needed node that is absent from
+    both memories (such a node can only appear via ``M3``).
+
+    At the start state (``red = ∅``, ``blue = sources``) this refines
+    :func:`algorithmic_lower_bound` by not charging nodes that are both
+    sources and sinks (they are already blue, so no store is owed).
+
+    This is the reference (node-set) implementation of the bitmask
+    heuristic in :meth:`repro.schedulers.search.SearchProblem.heuristic`;
+    the two are asserted equal in the test suite.
+    """
+    red = set(red)
+    blue = set(cdag.sources) if blue is None else set(blue)
+    goal_blue = set(cdag.sinks) if require_blue_sinks else set()
+    out_cost = sum(cdag.weight(v) for v in goal_blue - blue)
+    need = (goal_blue - blue - red) | (set(final_red) - red)
+    stack = [v for v in need if v not in blue]
+    seen = set(stack)
+    while stack:
+        v = stack.pop()
+        for p in cdag.predecessors(v):
+            if p not in red and p not in need:
+                need.add(p)
+                if p not in blue and p not in seen:
+                    seen.add(p)
+                    stack.append(p)
+    in_cost = sum(cdag.weight(v) for v in need if not cdag.predecessors(v))
+    return out_cost + in_cost

@@ -29,15 +29,29 @@ class StateSpaceTooLargeError(GraphStructureError):
     Attributes
     ----------
     size:
-        The offending measure (node count or explored-state count).
+        The offending measure (node count or settled-state count).
     limit:
         The guard it exceeded.
+    stats:
+        Optional dict of search counters captured at the moment the guard
+        tripped (states expanded/generated, dominance- and bound-pruned
+        counts, heuristic memo hits — see
+        :class:`repro.schedulers.search.SearchStats`).
     """
 
-    def __init__(self, message: str, size=None, limit=None):
+    def __init__(self, message: str, size=None, limit=None, stats=None):
         super().__init__(message)
         self.size = size
         self.limit = limit
+        self.stats = dict(stats) if stats else {}
+
+    def context(self) -> dict:
+        """Structured snapshot for logs and failure records: the tripped
+        guard plus whatever heuristic/pruning statistics the search
+        collected before it gave up."""
+        ctx = {"size": self.size, "limit": self.limit}
+        ctx.update(self.stats)
+        return ctx
 
 
 class ProbeTimeoutError(PebbleGameError):

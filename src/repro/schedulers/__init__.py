@@ -11,7 +11,8 @@ Baselines and oracles:
 
 * :class:`LayerByLayerScheduler` — the paper's DWT baseline (Sec. 5.1).
 * :class:`GreedyTopologicalScheduler` — Prop. 2.3's constructive schedule.
-* :class:`ExhaustiveScheduler` — Dijkstra-certified optima on small graphs.
+* :class:`ExhaustiveScheduler` — informed-search-certified optima on
+  small graphs (A* over game configurations; see :mod:`.search`).
 """
 
 from .base import OptimalityContract, Scheduler
@@ -19,6 +20,8 @@ from .families import ANY_FAMILY, FAMILY_TAGS, graph_families
 from .registry import REGISTRY, SchedulerSpec, all_specs, schedulers_for, spec
 from .greedy import GreedyTopologicalScheduler
 from .exhaustive import ExhaustiveScheduler, optimal_cost
+from .search import (DominanceIndex, SearchProblem, SearchStats,
+                     TranspositionTable, astar)
 from .dwt_optimal import OptimalDWTScheduler, pebble_dwt, dwt_minimum_cost
 from .kary import OptimalTreeScheduler, pebble_tree, tree_minimum_cost
 from .memory_states import MemoryStateScheduler
@@ -44,4 +47,6 @@ __all__ = [
     "EvictionScheduler", "POLICIES", "ORDERS", "SlidingWindowConvScheduler",
     "RecomputeScheduler", "ParallelComponentScheduler",
     "ParallelMVMScheduler", "auto_schedule",
+    "SearchProblem", "SearchStats", "TranspositionTable", "DominanceIndex",
+    "astar",
 ]

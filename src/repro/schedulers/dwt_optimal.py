@@ -142,30 +142,45 @@ class OptimalDWTScheduler(Scheduler):
     # Cost-only DP (Eq. 2); operates on the pruned graph.
 
     def _min_cost(self, pruned: CDAG, v, b: int, memo) -> float:
-        key = (v, b)
-        hit = memo.get(key)
-        if hit is not None:
-            return hit
-        parents = pruned.predecessors(v)
-        if not parents:
-            result: float = pruned.weight(v)
-        else:
+        # Explicit-stack post-order evaluation: deep trees (e.g. long
+        # chains after degenerate pruning) must not hit Python's recursion
+        # limit.  A frame stays on the stack until its four subproblems
+        # are memoized, then combines them.
+        root_key = (v, b)
+        if root_key in memo:
+            return memo[root_key]
+        stack = [root_key]
+        while stack:
+            key = stack[-1]
+            if key in memo:
+                stack.pop()
+                continue
+            node, bud = key
+            parents = pruned.predecessors(node)
+            if not parents:
+                memo[key] = pruned.weight(node)
+                stack.pop()
+                continue
             p1, p2 = parents
             w1, w2 = pruned.weight(p1), pruned.weight(p2)
-            if pruned.weight(v) + w1 + w2 > b:
-                result = _INF
-            else:
-                c1b = self._min_cost(pruned, p1, b, memo)
-                c2b = self._min_cost(pruned, p2, b, memo)
-                best = min(
-                    c1b + c2b + 2 * w1,                             # spill p1
-                    c1b + self._min_cost(pruned, p2, b - w1, memo),  # hold p1
-                    c2b + c1b + 2 * w2,                             # spill p2
-                    c2b + self._min_cost(pruned, p1, b - w2, memo),  # hold p2
-                )
-                result = best
-        memo[key] = result
-        return result
+            if pruned.weight(node) + w1 + w2 > bud:
+                memo[key] = _INF
+                stack.pop()
+                continue
+            child_keys = ((p1, bud), (p2, bud), (p2, bud - w1), (p1, bud - w2))
+            missing = [ck for ck in child_keys if ck not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            c1b, c2b = memo[(p1, bud)], memo[(p2, bud)]
+            memo[key] = min(
+                c1b + c2b + 2 * w1,              # spill p1
+                c1b + memo[(p2, bud - w1)],      # hold  p1
+                c2b + c1b + 2 * w2,              # spill p2
+                c2b + memo[(p1, bud - w2)],      # hold  p2
+            )
+            stack.pop()
+        return memo[root_key]
 
     # ------------------------------------------------------------------ #
     # Schedule-producing DP (PebbleTree of Alg. 1).
@@ -178,37 +193,57 @@ class OptimalDWTScheduler(Scheduler):
     # cost, a constant offset identical across the four strategies).
 
     def _pebble_tree(self, original: CDAG, pruned: CDAG, v, b: int, memo):
-        key = (v, b)
-        hit = memo.get(key)
-        if hit is not None:
-            return hit
-        parents = pruned.predecessors(v)
-        if not parents:
-            result = (pruned.weight(v), (M1(v),))
-            memo[key] = result
-            return result
+        # Same explicit-stack shape as _min_cost: deep pruned trees must
+        # not recurse.  Frames wait for their four subschedules, then pick
+        # the cheapest of the four Lemma 3.3 strategies.
+        root_key = (v, b)
+        if root_key in memo:
+            return memo[root_key]
+        stack = [root_key]
+        while stack:
+            key = stack[-1]
+            if key in memo:
+                stack.pop()
+                continue
+            node, bud = key
+            parents = pruned.predecessors(node)
+            if not parents:
+                memo[key] = (pruned.weight(node), (M1(node),))
+                stack.pop()
+                continue
+            p1, p2 = parents
+            w1, w2 = pruned.weight(p1), pruned.weight(p2)
+            sib = dwt_mod.sibling(node)
+            has_sib = sib in original
+            wu = original.weight(sib) if has_sib else 0
+            if max(pruned.weight(node), wu) + w1 + w2 > bud:
+                memo[key] = (_INF, None)
+                stack.pop()
+                continue
+            child_keys = ((p1, bud), (p2, bud), (p2, bud - w1), (p1, bud - w2))
+            missing = [ck for ck in child_keys if ck not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            memo[key] = self._combine_tree(
+                p1, p2, w1, w2, bud, sib if has_sib else None, wu, node, memo)
+            stack.pop()
+        return memo[root_key]
 
-        p1, p2 = parents
-        w1, w2 = pruned.weight(p1), pruned.weight(p2)
-        wv = pruned.weight(v)
-        sib = dwt_mod.sibling(v)
-        has_sib = sib in original
-        wu = original.weight(sib) if has_sib else 0
-        if max(wv, wu) + w1 + w2 > b:
-            result = (_INF, None)
-            memo[key] = result
-            return result
-
+    @staticmethod
+    def _combine_tree(p1, p2, w1, w2, b, sib, wu, v, memo):
+        """Pick the cheapest of the four Lemma 3.3 strategies for ``v``
+        from its memoized subschedules."""
         # C: compute the pruned sibling (store + delete), compute v, then
         # release the parents.
-        tail = ((M3(sib), M2(sib), M4(sib)) if has_sib else ())
+        tail = ((M3(sib), M2(sib), M4(sib)) if sib is not None else ())
         tail = tail + (M3(v), M4(p1), M4(p2))
         tail_cost = wu
 
-        c1b, s1b = self._pebble_tree(original, pruned, p1, b, memo)
-        c2b, s2b = self._pebble_tree(original, pruned, p2, b, memo)
-        c2r, s2r = self._pebble_tree(original, pruned, p2, b - w1, memo)
-        c1r, s1r = self._pebble_tree(original, pruned, p1, b - w2, memo)
+        c1b, s1b = memo[(p1, b)]
+        c2b, s2b = memo[(p2, b)]
+        c2r, s2r = memo[(p2, b - w1)]
+        c1r, s1r = memo[(p1, b - w2)]
 
         candidates = []
         if c1b is not _INF and c2b is not _INF:
@@ -229,12 +264,9 @@ class OptimalDWTScheduler(Scheduler):
             candidates.append((c2b + c1r, lambda: s2b + s1r + tail))
 
         if not candidates:
-            result = (_INF, None)
-        else:
-            best_cost, builder = min(candidates, key=lambda cs: cs[0])
-            result = (best_cost + tail_cost, builder())
-        memo[key] = result
-        return result
+            return (_INF, None)
+        best_cost, builder = min(candidates, key=lambda cs: cs[0])
+        return (best_cost + tail_cost, builder())
 
 
 def pebble_dwt(cdag: CDAG, budget: Optional[int] = None) -> Schedule:

@@ -4,7 +4,7 @@ Optimal red-blue pebbling is PSPACE-complete in general [Demaine & Liu '18],
 so no polynomial algorithm exists for arbitrary CDAGs.  For *small* graphs,
 however, the game is a shortest-path problem over configurations: a state is
 the pair (red set, blue set), moves are edges weighted by their I/O cost
-(``w_v`` for M1/M2, zero for M3/M4), and the optimum is a Dijkstra run from
+(``w_v`` for M1/M2, zero for M3/M4), and the optimum is a shortest path from
 the starting configuration to any configuration whose blue set covers the
 sinks.
 
@@ -12,8 +12,13 @@ This module is the *oracle* the test suite uses to certify that the
 dataflow-specific DP schedulers (Alg. 1, Eq. 6, Eq. 8) are truly optimal on
 their graph families — the central claim of the paper.
 
-States are bitmask pairs for speed; tight budgets prune the reachable space
-drastically, so graphs up to ~20 nodes with small budgets are practical.
+Since PR 4 the default solver is the informed-search core in
+:mod:`repro.schedulers.search`: A* under the admissible residual-I/O
+heuristic of Prop. 2.4, with superset-dominance pruning and a transposition
+table shared across budget probes (``cost_many`` / ``minimum_fast_memory``).
+The original uninformed Dijkstra survives as ``core="legacy"`` and is the
+comparison baseline for the equivalence suite and ``bench_oracle.py`` —
+both paths return byte-identical optimal costs wherever both complete.
 """
 
 from __future__ import annotations
@@ -27,17 +32,20 @@ from ..core.exceptions import GraphStructureError, StateSpaceTooLargeError
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 from .base import OptimalityContract, Scheduler
+from .search import SearchProblem, SearchStats, TranspositionTable, astar
 
-#: Soft cap on graph size; beyond this the search space is hopeless.
-DEFAULT_MAX_NODES = 22
+#: Soft cap on graph size; beyond this the search space is hopeless.  The
+#: informed core pushed this up from the uninformed-Dijkstra era's 22.
+DEFAULT_MAX_NODES = 26
 
-#: Cap on Dijkstra-settled configurations; loose budgets on mid-size graphs
-#: can blow past 4^n reachable states even when the node count looks safe.
+#: Cap on settled (expanded) configurations; loose budgets on mid-size
+#: graphs can blow past 4^n reachable states even when the node count
+#: looks safe.
 DEFAULT_MAX_STATES = 5_000_000
 
 
 class ExhaustiveScheduler(Scheduler):
-    """Provably optimal schedules via Dijkstra over game configurations.
+    """Provably optimal schedules via informed search over configurations.
 
     Parameters
     ----------
@@ -46,22 +54,30 @@ class ExhaustiveScheduler(Scheduler):
         exponential blow-ups) with a typed
         :class:`~repro.core.exceptions.StateSpaceTooLargeError`.
     max_states:
-        Abort (same typed error) once the Dijkstra frontier has visited
-        this many distinct configurations — the runtime guard for graphs
-        that pass the node-count check but explode anyway.  ``None``
-        disables the guard.
+        Abort (same typed error) once the search has *settled* this many
+        distinct configurations — the runtime guard for graphs that pass
+        the node-count check but explode anyway.  ``None`` disables the
+        guard.
     final_red:
         Optional stopping-condition override: instead of blue pebbles on the
         sinks, require red pebbles on these nodes (used to certify subtree
         schedules whose stopping condition is "red on root", Lemma 3.3).
+    use_heuristic / use_dominance:
+        Escape hatches for the informed core: ``use_heuristic=False``
+        degrades A* to Dijkstra and ``use_dominance=False`` disables
+        settled-state pruning.  Both preserve exact optimality; the
+        equivalence suite runs every combination.
+    core:
+        ``"search"`` (default) for the informed core, ``"legacy"`` for the
+        original uninformed Dijkstra with explicit M4 moves.
     """
 
     name = "Exhaustive Optimal"
 
     contract = OptimalityContract(
         accepts=("*",), optimal_on=("*",),
-        notes="Dijkstra over game configurations — optimal on every CDAG "
-              "it accepts (node/state caps aside)")
+        notes="Informed search over game configurations — optimal on every "
+              "CDAG it accepts (node/state caps aside)")
 
     def accepts(self, cdag: CDAG) -> bool:
         """Refine the wildcard contract with the instance's node cap."""
@@ -70,11 +86,24 @@ class ExhaustiveScheduler(Scheduler):
     def __init__(self, max_nodes: int = DEFAULT_MAX_NODES,
                  final_red: Optional[tuple] = None,
                  require_blue_sinks: bool = True,
-                 max_states: Optional[int] = DEFAULT_MAX_STATES):
+                 max_states: Optional[int] = DEFAULT_MAX_STATES,
+                 use_heuristic: bool = True,
+                 use_dominance: bool = True,
+                 core: str = "search"):
+        if core not in ("search", "legacy"):
+            raise ValueError(f"core must be 'search' or 'legacy', got {core!r}")
         self.max_nodes = max_nodes
         self.final_red = final_red
         self.require_blue_sinks = require_blue_sinks
         self.max_states = max_states
+        self.use_heuristic = use_heuristic
+        self.use_dominance = use_dominance
+        self.core = core
+        #: Statistics of the most recent search (all-zero before the
+        #: first).  Deliberately a SearchStats object, never a plain
+        #: value: ``cache_key()`` only folds in plain-data attributes, so
+        #: mutating counters can't destabilize persisted probe caches.
+        self.last_stats: SearchStats = SearchStats()
 
     def fallback_scheduler(self) -> Scheduler:
         """Degrade to the universal greedy schedule (Prop. 2.3): valid on
@@ -85,9 +114,16 @@ class ExhaustiveScheduler(Scheduler):
 
     # ------------------------------------------------------------------ #
 
-    def min_cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
-        """Optimal weighted I/O cost (no schedule reconstruction)."""
-        cost, _ = self._search(cdag, budget, want_schedule=False)
+    def min_cost(self, cdag: CDAG, budget: Optional[int] = None, *,
+                 table: Optional[TranspositionTable] = None) -> int:
+        """Optimal weighted I/O cost (no schedule reconstruction).
+
+        ``table`` threads a :class:`TranspositionTable` through repeated
+        probes of the same graph: exact hits and closed monotonicity
+        brackets answer without searching, and the heuristic memo carries
+        over between adjacent budgets.
+        """
+        cost, _ = self._search(cdag, budget, want_schedule=False, table=table)
         return cost
 
     def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
@@ -98,17 +134,95 @@ class ExhaustiveScheduler(Scheduler):
     def cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
         return self.min_cost(cdag, budget)
 
+    def cost_many(self, cdag: CDAG, budgets, *, memo=None) -> List[float]:
+        """Batched oracle probes sharing one transposition table.
+
+        The sweep engine passes a persistent per-(scheduler, graph) memo
+        dict here, so ``minimum_fast_memory``'s binary search and repeated
+        sweep probes reuse settled-search by-products (heuristic values,
+        solved-budget brackets) instead of restarting from scratch.
+        """
+        if self.core == "legacy":
+            return super().cost_many(cdag, budgets, memo=memo)
+        from ..core.exceptions import InfeasibleBudgetError
+        state = memo if memo is not None else {}
+        mode = (self.require_blue_sinks, self.final_red,
+                self.use_heuristic, self.use_dominance)
+        if state.get("graph") is not cdag or state.get("mode") != mode:
+            state.clear()
+            state["graph"] = cdag
+            state["mode"] = mode
+        table = state.get("table")
+        if table is None:
+            table = self._make_table(cdag)
+            state["table"] = table
+        out: List[float] = []
+        for b in budgets:
+            try:
+                out.append(self.min_cost(cdag, b, table=table))
+            except InfeasibleBudgetError:
+                out.append(float("inf"))
+        return out
+
     # ------------------------------------------------------------------ #
 
-    def _search(self, cdag: CDAG, budget: Optional[int],
-                want_schedule: bool) -> Tuple[int, Optional[Schedule]]:
+    def _check_size(self, cdag: CDAG) -> None:
         if len(cdag) > self.max_nodes:
             raise StateSpaceTooLargeError(
                 f"graph has {len(cdag)} nodes > exhaustive cap "
                 f"{self.max_nodes}; use a dataflow-specific scheduler",
                 size=len(cdag), limit=self.max_nodes)
-        b = require_feasible(cdag, budget)
 
+    def _make_table(self, cdag: CDAG) -> TranspositionTable:
+        problem = SearchProblem(cdag, require_blue_sinks=self.require_blue_sinks,
+                                final_red=self.final_red)
+        return TranspositionTable(problem)
+
+    def _search(self, cdag: CDAG, budget: Optional[int], want_schedule: bool,
+                table: Optional[TranspositionTable] = None,
+                ) -> Tuple[int, Optional[Schedule]]:
+        self._check_size(cdag)
+        b = require_feasible(cdag, budget)
+        if self.core == "legacy":
+            return self._search_legacy(cdag, b, want_schedule)
+
+        if table is None or table.problem.cdag is not cdag:
+            table = self._make_table(cdag)
+        problem = table.problem
+        stats = table.stats
+        self.last_stats = stats
+        table.probes += 1
+
+        if not want_schedule:
+            hit = table.lookup(b)
+            if hit is not None:
+                stats.result_hits += 1
+                return hit, None
+            lb = table.lower_bound(b)
+            ub = table.upper_bound(b)
+            if lb == ub and ub != float("inf"):
+                # Monotonicity closed the bracket: opt(b) ∈ [lb, ub].
+                stats.result_hits += 1
+                table.record(b, lb)
+                return lb, None
+        ub = table.upper_bound(b)
+        cost, schedule = astar(
+            problem, b,
+            want_schedule=want_schedule,
+            use_heuristic=self.use_heuristic,
+            use_dominance=self.use_dominance,
+            max_states=self.max_states,
+            upper_bound=None if ub == float("inf") else int(ub),
+            h_cache=table.h_cache if self.use_heuristic else None,
+            stats=stats)
+        table.record(b, cost)
+        return cost, schedule
+
+    # ------------------------------------------------------------------ #
+    # Legacy uninformed Dijkstra (comparison baseline).
+
+    def _search_legacy(self, cdag: CDAG, b: int,
+                       want_schedule: bool) -> Tuple[int, Optional[Schedule]]:
         nodes = list(cdag.topological_order())
         index = {v: i for i, v in enumerate(nodes)}
         n = len(nodes)
@@ -133,10 +247,16 @@ class ExhaustiveScheduler(Scheduler):
             for v in self.final_red:
                 goal_red |= 1 << index[v]
 
+        stats = SearchStats()
+        self.last_stats = stats
         start = (0, source_mask)
         dist: Dict[Tuple[int, int], int] = {start: 0}
         prev: Dict[Tuple[int, int], Tuple[Tuple[int, int], Move]] = {}
-        heap: List[Tuple[int, int, int]] = [(0, 0, source_mask)]
+        # Monotone sequence number: equal-cost pops are byte-stable across
+        # Python versions and heap implementations.
+        seq = 0
+        heap: List[Tuple[int, int, int, int]] = [(0, 0, 0, source_mask)]
+        settled = 0
 
         def red_weight(mask: int) -> int:
             total = 0
@@ -147,21 +267,25 @@ class ExhaustiveScheduler(Scheduler):
             return total
 
         while heap:
-            d, red, blue = heapq.heappop(heap)
+            d, _, red, blue = heapq.heappop(heap)
             state = (red, blue)
             if d > dist.get(state, float("inf")):
+                stats.stale_pops += 1
                 continue
-            if self.max_states is not None and len(dist) > self.max_states:
-                raise StateSpaceTooLargeError(
-                    f"exhaustive search on {cdag.name!r} visited "
-                    f"{len(dist)} configurations > state cap "
-                    f"{self.max_states}; tighten the budget or use a "
-                    f"dataflow-specific scheduler",
-                    size=len(dist), limit=self.max_states)
             if (blue & goal_blue) == goal_blue and (red & goal_red) == goal_red:
                 if not want_schedule:
                     return d, None
                 return d, self._reconstruct(state, prev)
+            settled += 1
+            stats.expanded += 1
+            if self.max_states is not None and settled > self.max_states:
+                raise StateSpaceTooLargeError(
+                    f"exhaustive search on {cdag.name!r} settled "
+                    f"{settled} configurations > state cap "
+                    f"{self.max_states}; tighten the budget or use a "
+                    f"dataflow-specific scheduler",
+                    size=settled, limit=self.max_states,
+                    stats=stats.as_dict())
             rw = red_weight(red)
             # Enumerate successor moves.
             for i in range(n):
@@ -169,31 +293,36 @@ class ExhaustiveScheduler(Scheduler):
                 if (blue & bit) and not (red & bit):
                     # M1: load i.
                     if rw + w[i] <= b:
-                        self._relax((red | bit, blue), d + w[i], M1(nodes[i]),
-                                    state, dist, prev, heap)
+                        seq = self._relax((red | bit, blue), d + w[i],
+                                          M1(nodes[i]), state, dist, prev,
+                                          heap, seq, stats)
                 if (red & bit) and not (blue & bit):
                     # M2: store i.
-                    self._relax((red, blue | bit), d + w[i], M2(nodes[i]),
-                                state, dist, prev, heap)
+                    seq = self._relax((red, blue | bit), d + w[i],
+                                      M2(nodes[i]), state, dist, prev,
+                                      heap, seq, stats)
                 if (not (red & bit) and not is_source[i]
                         and (red & parents_mask[i]) == parents_mask[i]):
                     # M3: compute i.
                     if rw + w[i] <= b:
-                        self._relax((red | bit, blue), d, M3(nodes[i]),
-                                    state, dist, prev, heap)
+                        seq = self._relax((red | bit, blue), d, M3(nodes[i]),
+                                          state, dist, prev, heap, seq, stats)
                 if red & bit:
                     # M4: delete i.
-                    self._relax((red ^ bit, blue), d, M4(nodes[i]),
-                                state, dist, prev, heap)
+                    seq = self._relax((red ^ bit, blue), d, M4(nodes[i]),
+                                      state, dist, prev, heap, seq, stats)
         raise GraphStructureError(
             f"no valid schedule found for {cdag.name!r} under budget {b}")
 
     @staticmethod
-    def _relax(nxt, nd, move, state, dist, prev, heap):
+    def _relax(nxt, nd, move, state, dist, prev, heap, seq, stats):
         if nd < dist.get(nxt, float("inf")):
             dist[nxt] = nd
             prev[nxt] = (state, move)
-            heapq.heappush(heap, (nd, nxt[0], nxt[1]))
+            seq += 1
+            heapq.heappush(heap, (nd, seq, nxt[0], nxt[1]))
+            stats.generated += 1
+        return seq
 
     @staticmethod
     def _reconstruct(state, prev) -> Schedule:

@@ -135,39 +135,79 @@ class OptimalTreeScheduler(Scheduler):
                 f"in-degree {k} exceeds max_arity={self.max_arity}; "
                 f"the enumeration is exponential in k (Thm. 3.8)")
 
+    @staticmethod
+    def _child_keys(t: CDAG, parents, b: int):
+        """Every ``(parent, residual budget)`` subproblem the δ/σ search
+        of Eq. 6 can touch from a frame at budget ``b``: parent ``p`` may
+        be evaluated after holding any subset of the *other* parents, so
+        its residual is ``b`` minus that subset's weight.  At most
+        ``k · 2^(k-1)`` keys (4 in the binary case); deduplicated with
+        insertion order preserved, so stack traversal stays deterministic.
+        """
+        ws = [t.weight(p) for p in parents]
+        k = len(parents)
+        keys: Dict[Tuple, None] = {}
+        for i, p in enumerate(parents):
+            others = ws[:i] + ws[i + 1:]
+            for r in range(k):
+                for comb in itertools.combinations(others, r):
+                    keys[(p, b - sum(comb))] = None
+        return keys
+
     def _min_cost(self, t: CDAG, v, b: int, memo) -> float:
-        key = (v, b)
-        hit = memo.get(key)
-        if hit is not None:
-            return hit
-        parents = t.predecessors(v)
-        if not parents:
-            result: float = t.weight(v)
-        elif t.weight(v) + sum(t.weight(p) for p in parents) > b:
-            result = _INF
-        else:
-            result = _INF
+        # Explicit-stack post-order evaluation of Eq. 6: chains and other
+        # deep in-trees must not hit Python's recursion limit.  A frame
+        # waits until every (parent, residual) subproblem it can reach is
+        # memoized, then runs the σ/δ enumeration against the memo.
+        root_key = (v, b)
+        if root_key in memo:
+            return memo[root_key]
+        stack = [root_key]
+        while stack:
+            key = stack[-1]
+            if key in memo:
+                stack.pop()
+                continue
+            node, bud = key
+            parents = t.predecessors(node)
+            if not parents:
+                memo[key] = t.weight(node)
+                stack.pop()
+                continue
+            if t.weight(node) + sum(t.weight(p) for p in parents) > bud:
+                memo[key] = _INF
+                stack.pop()
+                continue
+            missing = [ck for ck in self._child_keys(t, parents, bud)
+                       if ck not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            best: float = _INF
             for order in itertools.permutations(parents):
-                result = min(result, self._best_over_holds_cost(t, order, b, memo))
-        memo[key] = result
-        return result
+                best = min(best,
+                           self._best_over_holds_cost(t, order, bud, memo))
+            memo[key] = best
+            stack.pop()
+        return memo[root_key]
 
     def _best_over_holds_cost(self, t, order, b: int, memo) -> float:
-        """Min over δ for a fixed parent order.  δ is explored depth-first:
-        at parent i we either hold (budget shrinks for the rest) or spill
-        (+2w).  The final parent is always held (dominance)."""
+        """Min over δ for a fixed parent order.  δ is explored depth-first
+        (depth ≤ max_arity): at parent i we either hold (budget shrinks
+        for the rest) or spill (+2w).  The final parent is always held
+        (dominance).  Reads subtree costs from the memo, which
+        :meth:`_min_cost` has fully populated."""
         k = len(order)
 
         def go(i: int, residual: int) -> float:
-            p = order[i]
-            c = self._min_cost(t, p, residual, memo)
+            c = memo[(order[i], residual)]
             if c is _INF:
                 return _INF
             if i == k - 1:
                 return c
-            hold = go(i + 1, residual - t.weight(p))
+            hold = go(i + 1, residual - t.weight(order[i]))
             spill = go(i + 1, residual)
-            best_rest = min(hold, spill + 2 * t.weight(p))
+            best_rest = min(hold, spill + 2 * t.weight(order[i]))
             return c + best_rest if best_rest is not _INF else _INF
 
         return go(0, b)
@@ -179,43 +219,56 @@ class OptimalTreeScheduler(Scheduler):
 
         Invariant: the returned moves start from blue leaves, respect ``b``
         within the subtree, and end with red on ``v`` and nothing else red.
+        Uses the same explicit-stack shape as :meth:`_min_cost` so deep
+        in-trees never overflow Python's recursion limit.
         """
-        key = (v, b)
-        hit = memo.get(key)
-        if hit is not None:
-            return hit
-        parents = t.predecessors(v)
-        if not parents:
-            result = (t.weight(v), (M1(v),))
-            memo[key] = result
-            return result
-        if t.weight(v) + sum(t.weight(p) for p in parents) > b:
-            result = (_INF, None)
-            memo[key] = result
-            return result
-
-        best_cost: float = _INF
-        best_moves = None
-        for order in itertools.permutations(parents):
-            cost, moves = self._pebble_order(t, order, b, memo)
-            if cost < best_cost:
-                best_cost, best_moves = cost, moves
-        if best_moves is None:
-            result = (_INF, None)
-        else:
-            tail = (M3(v),) + tuple(M4(p) for p in parents)
-            result = (best_cost, best_moves + tail)
-        memo[key] = result
-        return result
+        root_key = (v, b)
+        if root_key in memo:
+            return memo[root_key]
+        stack = [root_key]
+        while stack:
+            key = stack[-1]
+            if key in memo:
+                stack.pop()
+                continue
+            node, bud = key
+            parents = t.predecessors(node)
+            if not parents:
+                memo[key] = (t.weight(node), (M1(node),))
+                stack.pop()
+                continue
+            if t.weight(node) + sum(t.weight(p) for p in parents) > bud:
+                memo[key] = (_INF, None)
+                stack.pop()
+                continue
+            missing = [ck for ck in self._child_keys(t, parents, bud)
+                       if ck not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            best_cost: float = _INF
+            best_moves = None
+            for order in itertools.permutations(parents):
+                cost, moves = self._pebble_order(t, order, bud, memo)
+                if cost < best_cost:
+                    best_cost, best_moves = cost, moves
+            if best_moves is None:
+                memo[key] = (_INF, None)
+            else:
+                tail = (M3(node),) + tuple(M4(p) for p in parents)
+                memo[key] = (best_cost, best_moves + tail)
+            stack.pop()
+        return memo[root_key]
 
     def _pebble_order(self, t, order, b: int, memo):
         """Best hold/spill assignment for a fixed order, returning moves
-        that end with *all* parents red (ready for M3)."""
+        that end with *all* parents red (ready for M3).  Depth ≤ max_arity;
+        reads subschedules from the memo :meth:`_pebble` has populated."""
         k = len(order)
 
         def go(i: int, residual: int):
             p = order[i]
-            c, s = self._pebble(t, p, residual, memo)
+            c, s = memo[(p, residual)]
             if c is _INF:
                 return _INF, None
             if i == k - 1:

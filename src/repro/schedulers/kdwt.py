@@ -85,55 +85,88 @@ class OptimalKDWTScheduler(Scheduler):
         coefficient sibling of each average along the way, and end with a
         red pebble on ``v`` only.
         """
-        key = (v, b)
-        hit = memo.get(key)
-        if hit is not None:
-            return hit
-        parents = pruned.predecessors(v)
-        if not parents:
-            result = (pruned.weight(v), (M1(v),))
-            memo[key] = result
-            return result
+        root_key = (v, b)
+        if root_key in memo:
+            return memo[root_key]
+        # Explicit-stack post-order evaluation (same shape as the k-ary
+        # tree DP): deep pruned trees must not hit the recursion limit.
+        stack = [root_key]
+        while stack:
+            key = stack[-1]
+            if key in memo:
+                stack.pop()
+                continue
+            node, bud = key
+            parents = pruned.predecessors(node)
+            if not parents:
+                memo[key] = (pruned.weight(node), (M1(node),))
+                stack.pop()
+                continue
 
-        sibs = [u for u in kdwt_mod.siblings(v, self.k) if u in original]
-        w_parents = sum(pruned.weight(p) for p in parents)
-        heaviest = max([pruned.weight(v)]
-                       + [original.weight(u) for u in sibs])
-        if heaviest + w_parents > b:
-            result = (_INF, None)
-            memo[key] = result
-            return result
+            sibs = [u for u in kdwt_mod.siblings(node, self.k)
+                    if u in original]
+            w_parents = sum(pruned.weight(p) for p in parents)
+            heaviest = max([pruned.weight(node)]
+                           + [original.weight(u) for u in sibs])
+            if heaviest + w_parents > bud:
+                memo[key] = (_INF, None)
+                stack.pop()
+                continue
 
-        tail = []
-        tail_cost = 0
-        for u in sibs:
-            tail += [M3(u), M2(u), M4(u)]
-            tail_cost += original.weight(u)
-        tail.append(M3(v))
-        tail += [M4(p) for p in parents]
-        tail = tuple(tail)
+            missing = [ck for ck in self._child_keys(pruned, parents, bud)
+                       if ck not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
 
-        best_cost: float = _INF
-        best_moves = None
-        for order in itertools.permutations(parents):
-            cost, moves = self._pebble_order(original, pruned, order, b, memo)
-            if cost < best_cost:
-                best_cost, best_moves = cost, moves
-        if best_moves is None:
-            result = (_INF, None)
-        else:
-            result = (best_cost + tail_cost, best_moves + tail)
-        memo[key] = result
-        return result
+            tail = []
+            tail_cost = 0
+            for u in sibs:
+                tail += [M3(u), M2(u), M4(u)]
+                tail_cost += original.weight(u)
+            tail.append(M3(node))
+            tail += [M4(p) for p in parents]
+            tail = tuple(tail)
+
+            best_cost: float = _INF
+            best_moves = None
+            for order in itertools.permutations(parents):
+                cost, moves = self._pebble_order(
+                    original, pruned, order, bud, memo)
+                if cost < best_cost:
+                    best_cost, best_moves = cost, moves
+            if best_moves is None:
+                memo[key] = (_INF, None)
+            else:
+                memo[key] = (best_cost + tail_cost, best_moves + tail)
+            stack.pop()
+        return memo[root_key]
+
+    @staticmethod
+    def _child_keys(pruned: CDAG, parents, b: int):
+        """Every ``(parent, residual budget)`` subproblem the δ/σ search
+        can reach from a frame at budget ``b`` (cf. the k-ary tree DP):
+        parent ``p`` may run after holding any subset of the other
+        parents, so its residual is ``b`` minus that subset's weight."""
+        ws = [pruned.weight(p) for p in parents]
+        k = len(parents)
+        keys: Dict[Tuple, None] = {}
+        for i, p in enumerate(parents):
+            others = ws[:i] + ws[i + 1:]
+            for r in range(k):
+                for comb in itertools.combinations(others, r):
+                    keys[(p, b - sum(comb))] = None
+        return keys
 
     def _pebble_order(self, original, pruned, order, b: int, memo):
         """Best hold/spill assignment for a fixed parent order (the δ
-        search of Eq. 6), ending with all parents red."""
+        search of Eq. 6), ending with all parents red.  Depth ≤ k; reads
+        subschedules from the memo :meth:`_pebble` has populated."""
         k = len(order)
 
         def go(i: int, residual: int):
             p = order[i]
-            c, s = self._pebble(original, pruned, p, residual, memo)
+            c, s = memo[(p, residual)]
             if c is _INF:
                 return _INF, None
             if i == k - 1:

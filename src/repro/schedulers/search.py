@@ -1,0 +1,543 @@
+"""Reusable informed-search core for optimal WRBPG solving.
+
+The exhaustive oracle treats the game as a shortest-path problem over
+configurations ``(red set, blue set)``.  This module packages everything that
+makes that search *informed* instead of blind Dijkstra:
+
+Normalized move space
+    Standalone ``M4`` deletes generate the full subset lattice below every
+    red set — for free — which both explodes the state count and makes
+    superset-dominance pruning unsound (a dominator would have to travel
+    *through* the states it prunes).  The core therefore folds deletes into
+    the loads/computes that need the room: a successor of ``(red, blue)`` is
+    either a store ``M2(v)``, or an *acquire* of a node ``y`` (``M1`` if
+    ``y`` is blue, ``M3`` if its parents are red) preceded by a **minimal
+    eviction set** — an inclusion-minimal ``D ⊆ red`` whose removal brings
+    the post-move red weight back under the budget.  Every valid schedule
+    can be rewritten into this form at equal or lower cost (deletes commute
+    forward past stores and past acquires that fit, merge into the eviction
+    set of the first acquire that does not, and vanish at the end of the
+    schedule), so the optimum over normalized paths equals the game optimum.
+
+Admissible heuristic (residual Prop. 2.4 bound)
+    From a configuration ``(red, blue)`` every goal sink not yet blue still
+    costs its weight in ``M2`` stores; and every *source* in the backward
+    closure of "nodes that must become red" still costs its weight in ``M1``
+    loads (a source can only turn red by loading — recomputation is not
+    available).  The closure seeds with missing goal nodes and walks to the
+    non-red parents of every needed node that is neither red nor blue.  The
+    bound is consistent (see DESIGN.md), so A* settles each state at most
+    once and the first goal pop is optimal.
+
+Dominance pruning
+    A popped configuration is discarded when an already-settled
+    configuration with superset red and blue sets reached it at ≤ cost.  In
+    the normalized space the dominator can replay the pruned state's suffix
+    move-for-move while keeping componentwise-superset pebble sets at no
+    extra cost, so at least one optimal path always survives.  Settled
+    states are indexed in per-blue-mask buckets layered by red popcount — a
+    bucketed bitmask trie that keeps the superset scan short.
+
+Transposition across budgets
+    The compiled :class:`SearchProblem` (bitmask/weight/move tables), the
+    heuristic memo (budget-independent), and finished budget→cost results
+    all live in a :class:`TranspositionTable`.  Because the optimal cost is
+    non-increasing in the budget, previous results bracket new probes:
+    exact hits and closed lower/upper brackets answer without searching,
+    and otherwise the best known upper bound prunes every node whose
+    ``f = g + h`` exceeds it.  ``ExhaustiveScheduler.cost_many`` threads
+    the table through the sweep engine's per-(scheduler, graph) memo, so
+    ``minimum_fast_memory``'s binary search reuses work between probes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.cdag import CDAG
+from ..core.exceptions import GraphStructureError, StateSpaceTooLargeError
+from ..core.moves import M1, M2, M3, M4, Move
+from ..core.schedule import Schedule
+
+__all__ = ["SearchProblem", "SearchStats", "DominanceIndex",
+           "TranspositionTable", "astar"]
+
+_INF = float("inf")
+
+#: Bits per precomputed popcount-weight table chunk (≤ 16 KiB of ints each).
+_CHUNK_BITS = 14
+_CHUNK_MASK = (1 << _CHUNK_BITS) - 1
+
+#: Eviction-set enumerations larger than this are not memoized (they are
+#: rare, and caching them would let adversarial weights balloon the table).
+_EVICT_CACHE_SETS = 4096
+_EVICT_CACHE_KEYS = 65536
+
+
+@dataclass
+class SearchStats:
+    """Counters for one or more informed-search runs (cumulative)."""
+
+    expanded: int = 0          # settled (expanded) configurations
+    generated: int = 0         # successor pushes that improved a label
+    stale_pops: int = 0        # pops superseded by a better label
+    dominated: int = 0         # pops discarded by dominance pruning
+    bound_pruned: int = 0      # successors discarded by the upper bound
+    heuristic_evals: int = 0   # heuristic closures actually computed
+    heuristic_hits: int = 0    # heuristic answers served from the memo
+    result_hits: int = 0       # whole probes answered by the transposition
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "expanded": self.expanded,
+            "generated": self.generated,
+            "stale_pops": self.stale_pops,
+            "dominated": self.dominated,
+            "bound_pruned": self.bound_pruned,
+            "heuristic_evals": self.heuristic_evals,
+            "heuristic_hits": self.heuristic_hits,
+            "result_hits": self.result_hits,
+        }
+
+
+class SearchProblem:
+    """A CDAG compiled into bitmask form for the informed search.
+
+    Everything here is budget-independent and built once per
+    (graph, goal-condition) pair: node order, weights, per-node predecessor
+    masks, per-node ``Move`` objects for all four rules, chunked
+    popcount-weight tables, and the goal masks.
+    """
+
+    __slots__ = ("cdag", "nodes", "index", "n", "w", "parents_mask",
+                 "source_mask", "nonsource_mask", "full_mask", "goal_blue",
+                 "goal_red", "require_blue_sinks", "final_red",
+                 "m1", "m2", "m3", "m4", "_tables", "_evict_cache")
+
+    def __init__(self, cdag: CDAG, require_blue_sinks: bool = True,
+                 final_red: Optional[tuple] = None):
+        self.cdag = cdag
+        self.require_blue_sinks = require_blue_sinks
+        self.final_red = tuple(final_red) if final_red else ()
+        nodes = list(cdag.topological_order())
+        self.nodes = nodes
+        index = {v: i for i, v in enumerate(nodes)}
+        self.index = index
+        n = len(nodes)
+        self.n = n
+        self.w = [cdag.weight(v) for v in nodes]
+        self.parents_mask = [0] * n
+        for v in nodes:
+            m = 0
+            for p in cdag.predecessors(v):
+                m |= 1 << index[p]
+            self.parents_mask[index[v]] = m
+        self.full_mask = (1 << n) - 1 if n else 0
+        source_mask = 0
+        for v in cdag.sources:
+            source_mask |= 1 << index[v]
+        self.source_mask = source_mask
+        self.nonsource_mask = self.full_mask & ~source_mask
+        goal_blue = 0
+        if require_blue_sinks:
+            for v in cdag.sinks:
+                goal_blue |= 1 << index[v]
+        self.goal_blue = goal_blue
+        goal_red = 0
+        for v in self.final_red:
+            goal_red |= 1 << index[v]
+        self.goal_red = goal_red
+        # Per-node Move objects, so expansion never rebuilds them.
+        self.m1 = [M1(v) for v in nodes]
+        self.m2 = [M2(v) for v in nodes]
+        self.m3 = [M3(v) for v in nodes]
+        self.m4 = [M4(v) for v in nodes]
+        # Chunked weight-of-mask tables: mask_weight() is two or three
+        # table lookups instead of a popcount loop.
+        tables = []
+        for base in range(0, n, _CHUNK_BITS):
+            k = min(_CHUNK_BITS, n - base)
+            tab = [0] * (1 << k)
+            for j in range(k):
+                wj = self.w[base + j]
+                bit = 1 << j
+                for m in range(bit):
+                    tab[bit | m] = tab[m] + wj
+            tables.append(tab)
+        self._tables = tables
+        self._evict_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def mask_weight(self, mask: int) -> int:
+        """Total weight of the nodes in ``mask``."""
+        total = 0
+        for tab in self._tables:
+            total += tab[mask & _CHUNK_MASK]
+            mask >>= _CHUNK_BITS
+        return total
+
+    def heuristic(self, red: int, blue: int) -> int:
+        """Residual weighted I/O lower bound from ``(red, blue)``.
+
+        Admissible and consistent: unstored goal sinks each still need a
+        distinct ``M2`` (their weight), and every source in the backward
+        must-become-red closure still needs a distinct ``M1``.
+        """
+        missing_out = self.goal_blue & ~blue
+        h = self.mask_weight(missing_out)
+        need = (missing_out | self.goal_red) & ~red
+        todo = need & ~blue          # needed and absent from both memories
+        done = 0
+        pm = self.parents_mask
+        while todo:
+            low = todo & -todo
+            todo ^= low
+            done |= low
+            add = pm[low.bit_length() - 1] & ~red & ~need
+            if add:
+                need |= add
+                todo |= add & ~blue & ~done
+        return h + self.mask_weight(need & self.source_mask)
+
+    def is_goal(self, red: int, blue: int) -> bool:
+        return ((blue & self.goal_blue) == self.goal_blue
+                and (red & self.goal_red) == self.goal_red)
+
+    def minimal_evictions(self, cand_mask: int, deficit: int
+                          ) -> Tuple[int, ...]:
+        """All inclusion-minimal ``D ⊆ cand_mask`` with weight ≥ ``deficit``.
+
+        Enumerated in node-index order (deterministic).  A subset is
+        minimal iff dropping its lightest member breaks the deficit, which
+        the DFS checks in O(1) per emitted set.
+        """
+        key = (cand_mask, deficit)
+        cached = self._evict_cache.get(key)
+        if cached is not None:
+            return cached
+        bits: List[int] = []
+        weights: List[int] = []
+        m = cand_mask
+        while m:
+            low = m & -m
+            m ^= low
+            bits.append(low)
+            weights.append(self.w[low.bit_length() - 1])
+        k = len(bits)
+        suffix = [0] * (k + 1)
+        for j in range(k - 1, -1, -1):
+            suffix[j] = suffix[j + 1] + weights[j]
+        out: List[int] = []
+
+        def rec(start: int, mask: int, wsum: int, minw: int) -> None:
+            for t in range(start, k):
+                if wsum + suffix[t] < deficit:
+                    return      # even taking every remaining node falls short
+                wt = weights[t]
+                ns = wsum + wt
+                nminw = wt if wt < minw else minw
+                if ns >= deficit:
+                    if nminw > ns - deficit:
+                        out.append(mask | bits[t])
+                else:
+                    rec(t + 1, mask | bits[t], ns, nminw)
+
+        rec(0, 0, 0, 1 << 62)
+        result = tuple(out)
+        if (len(result) <= _EVICT_CACHE_SETS
+                and len(self._evict_cache) < _EVICT_CACHE_KEYS):
+            self._evict_cache[key] = result
+        return result
+
+
+class DominanceIndex:
+    """Settled configurations indexed for superset-dominance queries.
+
+    A bucketed bitmask trie: buckets are keyed by the blue mask, and each
+    bucket layers its ``(red, cost)`` entries by red popcount so a query
+    for dominators of ``red`` only scans layers with strictly more pebbles
+    (an equal-popcount superset would be the state itself, which cannot be
+    settled twice) — except across buckets with strictly-superset blue,
+    where equal popcount is admissible.  Inserts prune same-bucket entries
+    the newcomer dominates, keeping each bucket close to an antichain.
+
+    Work per query and per insert is bounded by ``scan_limit`` entry
+    inspections: dominance is a pure optimization, so when the index grows
+    past what a bounded scan can cover, the check degrades to a partial
+    scan instead of letting pruning overhead dominate the search (measured
+    on tight-budget banded instances, an unbounded scan costs 4× more than
+    it saves).
+    """
+
+    __slots__ = ("_buckets", "scan_limit")
+
+    def __init__(self, scan_limit: int = 64) -> None:
+        self._buckets: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
+        self.scan_limit = scan_limit
+
+    def dominated(self, red: int, blue: int, cost: int) -> bool:
+        """True iff a settled state with superset red *and* blue reached
+        it at ≤ ``cost`` (within the bounded scan)."""
+        rc = red.bit_count()
+        budget = self.scan_limit
+        # Same-blue bucket first: direct lookup, and in practice where
+        # nearly all dominators live (extra blue costs extra stores).
+        layers = self._buckets.get(blue)
+        if layers is not None:
+            for pc, entries in layers.items():
+                if pc <= rc:
+                    continue
+                for r, c in entries:
+                    budget -= 1
+                    if c <= cost and (r & red) == red:
+                        return True
+                    if budget <= 0:
+                        return False
+        # Cross-blue buckets: header inspections count toward the budget
+        # too, so a search with many distinct blue sets stays cheap.
+        for bl, lay in self._buckets.items():
+            budget -= 1
+            if budget <= 0:
+                return False
+            if bl == blue or (bl & blue) != blue:
+                continue
+            for pc, entries in lay.items():
+                if pc < rc:
+                    continue
+                for r, c in entries:
+                    budget -= 1
+                    if c <= cost and (r & red) == red:
+                        return True
+                    if budget <= 0:
+                        return False
+        return False
+
+    def insert(self, red: int, blue: int, cost: int) -> None:
+        layers = self._buckets.setdefault(blue, {})
+        rc = red.bit_count()
+        budget = self.scan_limit
+        for pc in list(layers):
+            if pc >= rc:
+                continue
+            entries = layers[pc]
+            if len(entries) > budget:
+                continue    # too big to prune cheaply; leave it be
+            budget -= len(entries)
+            kept = [(r, c) for r, c in entries
+                    if not (cost <= c and (red & r) == r)]
+            if len(kept) != len(entries):
+                if kept:
+                    layers[pc] = kept
+                else:
+                    del layers[pc]
+        layers.setdefault(rc, []).append((red, cost))
+
+
+class TranspositionTable:
+    """Search state shared across budget probes of one (graph, goal) pair.
+
+    Holds the compiled :class:`SearchProblem`, the budget-independent
+    heuristic memo, cumulative :class:`SearchStats`, and the finished
+    budget → optimal-cost results that bracket future probes.
+    """
+
+    __slots__ = ("problem", "h_cache", "results", "stats", "probes")
+
+    def __init__(self, problem: SearchProblem):
+        self.problem = problem
+        self.h_cache: Dict[Tuple[int, int], int] = {}
+        self.results: Dict[int, int] = {}
+        self.stats = SearchStats()
+        self.probes = 0
+
+    def __len__(self) -> int:
+        """Sized for memo instrumentation (engine peak_memo_entries)."""
+        return len(self.h_cache) + len(self.results)
+
+    def lookup(self, budget: int) -> Optional[int]:
+        """Exact transposition hit, if this budget was already solved."""
+        return self.results.get(budget)
+
+    def lower_bound(self, budget: int) -> int:
+        """Optimal cost is non-increasing in the budget, so any solved
+        budget ≥ this one bounds the optimum from below."""
+        lb = 0
+        for b, c in self.results.items():
+            if b >= budget and c > lb:
+                lb = c
+        return lb
+
+    def upper_bound(self, budget: int) -> float:
+        """Any solved budget ≤ this one bounds the optimum from above."""
+        ub = _INF
+        for b, c in self.results.items():
+            if b <= budget and c < ub:
+                ub = c
+        return ub
+
+    def record(self, budget: int, cost: int) -> None:
+        self.results[budget] = cost
+
+
+def _expand_moves(problem: SearchProblem, evict_mask: int,
+                  final_move: Move) -> Tuple[Move, ...]:
+    """Expand a normalized (evictions, acquire/store) step into game moves."""
+    moves: List[Move] = []
+    m = evict_mask
+    while m:
+        low = m & -m
+        m ^= low
+        moves.append(problem.m4[low.bit_length() - 1])
+    moves.append(final_move)
+    return tuple(moves)
+
+
+def astar(problem: SearchProblem, budget: int, *,
+          want_schedule: bool = False,
+          use_heuristic: bool = True,
+          use_dominance: bool = True,
+          max_states: Optional[int] = None,
+          upper_bound: Optional[int] = None,
+          h_cache: Optional[Dict[Tuple[int, int], int]] = None,
+          stats: Optional[SearchStats] = None,
+          ) -> Tuple[int, Optional[Schedule]]:
+    """A* over normalized WRBPG configurations; returns (cost, schedule).
+
+    With ``use_heuristic=False`` the search degenerates to Dijkstra and
+    with ``use_dominance=False`` no settled-state pruning is applied —
+    both escape hatches preserve exact optimality and exist so the
+    equivalence suite can compare every combination.
+
+    ``budget`` must already be feasible (callers run
+    :func:`repro.core.bounds.require_feasible` first).  ``max_states``
+    caps *settled* configurations; tripping it raises
+    :class:`StateSpaceTooLargeError` carrying the search statistics.
+    """
+    p = problem
+    b = budget
+    st = stats if stats is not None else SearchStats()
+    hc = h_cache if h_cache is not None else {}
+    ub = upper_bound if upper_bound is not None else _INF
+
+    w = p.w
+    pm = p.parents_mask
+    mask_weight = p.mask_weight
+    n = p.n
+
+    def hval(red: int, blue: int) -> int:
+        if not use_heuristic:
+            return 0
+        key = (red, blue)
+        v = hc.get(key)
+        if v is None:
+            v = p.heuristic(red, blue)
+            hc[key] = v
+            st.heuristic_evals += 1
+        else:
+            st.heuristic_hits += 1
+        return v
+
+    start = (0, p.source_mask)
+    dist: Dict[Tuple[int, int], int] = {start: 0}
+    prev: Dict[Tuple[int, int], Tuple[Tuple[int, int], Tuple[Move, ...]]] = {}
+    seq = 0
+    heap: List[Tuple[int, int, int, int, int]] = [
+        (hval(*start), 0, 0, start[0], start[1])]
+    dom = DominanceIndex() if use_dominance else None
+    settled = 0
+    inf = _INF
+
+    def push(nred: int, nblue: int, ng: int, state: Tuple[int, int],
+             evict_mask: int, final_move: Move) -> None:
+        nonlocal seq
+        nxt = (nred, nblue)
+        if ng >= dist.get(nxt, inf):
+            return
+        nf = ng + hval(nred, nblue)
+        if nf > ub:
+            st.bound_pruned += 1
+            return
+        dist[nxt] = ng
+        if want_schedule:
+            prev[nxt] = (state, _expand_moves(p, evict_mask, final_move))
+        seq += 1
+        heapq.heappush(heap, (nf, seq, ng, nred, nblue))
+        st.generated += 1
+
+    while heap:
+        _, _, g, red, blue = heapq.heappop(heap)
+        state = (red, blue)
+        if g > dist.get(state, inf):
+            st.stale_pops += 1
+            continue
+        if p.is_goal(red, blue):
+            if not want_schedule:
+                return g, None
+            return g, _reconstruct(state, prev)
+        if dom is not None and dom.dominated(red, blue, g):
+            st.dominated += 1
+            continue
+        settled += 1
+        st.expanded += 1
+        if max_states is not None and settled > max_states:
+            raise StateSpaceTooLargeError(
+                f"informed search on {p.cdag.name!r} settled {settled} "
+                f"configurations > state cap {max_states}; tighten the "
+                f"budget or use a dataflow-specific scheduler",
+                size=settled, limit=max_states, stats=st.as_dict())
+        if dom is not None:
+            dom.insert(red, blue, g)
+        rw = mask_weight(red)
+        # Stores: M2 for every red, not-yet-blue node.
+        m = red & ~blue
+        while m:
+            low = m & -m
+            m ^= low
+            i = low.bit_length() - 1
+            push(red, blue | low, g + w[i], state, 0, p.m2[i])
+        # Acquires: M1 (blue, not red) and M3 (parents red, not red),
+        # each with every minimal eviction set that makes it fit.
+        for cand, is_load in ((blue & ~red, True),
+                              (p.nonsource_mask & ~red, False)):
+            while cand:
+                low = cand & -cand
+                cand ^= low
+                i = low.bit_length() - 1
+                if is_load:
+                    protected = 0
+                    cost = w[i]
+                    move = p.m1[i]
+                else:
+                    protected = pm[i]
+                    if protected & ~red:
+                        continue    # some parent not red: M3 illegal
+                    cost = 0
+                    move = p.m3[i]
+                deficit = rw + w[i] - b
+                if deficit <= 0:
+                    push(red | low, blue, g + cost, state, 0, move)
+                    continue
+                evictable = red & ~protected
+                for d_mask in p.minimal_evictions(evictable, deficit):
+                    push((red & ~d_mask) | low, blue, g + cost,
+                         state, d_mask, move)
+    raise GraphStructureError(
+        f"no valid schedule found for {p.cdag.name!r} under budget {b}")
+
+
+def _reconstruct(state: Tuple[int, int],
+                 prev: Dict[Tuple[int, int],
+                            Tuple[Tuple[int, int], Tuple[Move, ...]]]
+                 ) -> Schedule:
+    chunks: List[Tuple[Move, ...]] = []
+    while state in prev:
+        state, moves = prev[state]
+        chunks.append(moves)
+    chunks.reverse()
+    flat: List[Move] = []
+    for chunk in chunks:
+        flat.extend(chunk)
+    return Schedule(flat)
