@@ -49,7 +49,8 @@ from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
 from ..core.cdag import CDAG
 from ..core.exceptions import (AuditFailure, GraphStructureError,
                                InfeasibleBudgetError, PebbleGameError,
-                               RuleViolationError, StateSpaceTooLargeError)
+                               ProbeCancelledError, RuleViolationError,
+                               StateSpaceTooLargeError)
 from ..core.simulator import simulate
 
 #: Audit levels, weakest to strongest; each includes all before it.
@@ -125,23 +126,35 @@ class Auditor:
     check_cost_many:
         At the differential level, also re-evaluate the probe through
         ``cost_many`` *and* ``cost`` and demand item-for-item agreement.
+    governed:
+        The audit is running under resource governance (deadline /
+        memory watchdog): the differential oracle runs in *anytime* mode
+        and comparisons consume its ``[lb, ub]`` bracket soundly — a
+        bracket that spans the probe's reported value decides nothing
+        and bumps :attr:`inconclusive` instead of manufacturing a
+        violation.  Cooperative cancellations inside a check likewise
+        count as inconclusive, never as findings.
     """
 
     level: str = "off"
     max_exhaustive_nodes: int = 26
     max_exhaustive_states: int = 25_000
     check_cost_many: bool = True
+    governed: bool = False
 
     def __post_init__(self) -> None:
         level_index(self.level)  # validate eagerly
-        # (graph id, budget) -> (graph ref, optimum); the ref pins the
-        # graph so a recycled id can never alias a stale entry.
+        # (graph id, budget) -> (graph ref, (lb, ub) or None); the ref
+        # pins the graph so a recycled id can never alias a stale entry.
         self._opt_cache: dict = {}
         # Shared oracle memo: the A* transposition table inside is keyed
         # per graph (cost_many resets it on a graph change), so budget
         # probes of the same graph reuse heuristic values and search
         # results instead of re-exploring from scratch.
         self._oracle_memo: dict = {}
+        #: checks that could not be decided under governance (spanning
+        #: oracle bracket, cancelled sub-check) — never violations
+        self.inconclusive: int = 0
 
     @property
     def active(self) -> bool:
@@ -152,7 +165,8 @@ class Auditor:
         return {"level": self.level,
                 "max_exhaustive_nodes": self.max_exhaustive_nodes,
                 "max_exhaustive_states": self.max_exhaustive_states,
-                "check_cost_many": self.check_cost_many}
+                "check_cost_many": self.check_cost_many,
+                "governed": self.governed}
 
     # ------------------------------------------------------------------ #
 
@@ -241,6 +255,11 @@ class Auditor:
                     f"InfeasibleBudgetError at budget {budget}",
                     expected=math.inf)
             return
+        except ProbeCancelledError:
+            # Governance stopped the re-derivation, not the scheduler:
+            # no evidence either way.
+            self.inconclusive += 1
+            return
         except PebbleGameError as exc:
             if _finite(reported):
                 add("schedule-error",
@@ -249,6 +268,9 @@ class Auditor:
             return
         try:
             result = simulate(cdag, sched, budget=budget)
+        except ProbeCancelledError:
+            self.inconclusive += 1
+            return
         except PebbleGameError as exc:
             idx = getattr(exc, "index", None)
             add("invalid-schedule",
@@ -271,12 +293,17 @@ class Auditor:
     def _oracle(self):
         from ..schedulers.exhaustive import ExhaustiveScheduler
         return ExhaustiveScheduler(max_nodes=self.max_exhaustive_nodes,
-                                   max_states=self.max_exhaustive_states)
+                                   max_states=self.max_exhaustive_states,
+                                   anytime=self.governed)
 
-    def optimum(self, cdag: CDAG, budget: Optional[int]) -> Optional[float]:
-        """Exhaustive optimum for small instances, ``inf`` when no valid
-        schedule exists, ``None`` when the instance is out of the
-        differential regime (too large / state cap tripped)."""
+    def optimum_bracket(self, cdag: CDAG, budget: Optional[int]
+                        ) -> Optional[tuple]:
+        """Certified ``(lb, ub)`` on the exhaustive optimum for small
+        instances — ``lb == ub`` when the oracle finished, ``(inf, inf)``
+        when no valid schedule exists, a strict bracket when governance
+        stopped it early, ``None`` when the instance is out of the
+        differential regime (too large / state cap tripped ungoverned /
+        cancelled without an incumbent)."""
         if len(cdag) > self.max_exhaustive_nodes:
             return None
         key = (id(cdag), budget)
@@ -285,35 +312,67 @@ class Auditor:
             return hit[1]
         oracle = self._oracle()
         try:
-            opt = float(
+            ub = float(
                 oracle.cost_many(cdag, (budget,), memo=self._oracle_memo)[0])
+            bag = self._oracle_memo.get("anytime_results")
+            ares = bag.pop(budget, None) if bag else None
+            bracket = (ub, ub) if ares is None else \
+                (float(ares.lower_bound), ub)
+        except ProbeCancelledError:
+            bracket = None  # cancelled before any incumbent: no evidence
         except (StateSpaceTooLargeError, GraphStructureError):
-            opt = None
-        self._opt_cache[key] = (cdag, opt)
-        return opt
+            bracket = None
+        self._opt_cache[key] = (cdag, bracket)
+        return bracket
+
+    def optimum(self, cdag: CDAG, budget: Optional[int]) -> Optional[float]:
+        """Exhaustive optimum for small instances, ``inf`` when no valid
+        schedule exists, ``None`` when the instance is out of the
+        differential regime or the governed oracle only produced a
+        strict (undecided) bracket."""
+        bracket = self.optimum_bracket(cdag, budget)
+        if bracket is None or bracket[0] != bracket[1]:
+            return None
+        return bracket[1]
 
     def _check_differential(self, scheduler, cdag, budget, reported,
                             add) -> None:
         from ..schedulers.exhaustive import ExhaustiveScheduler
         if isinstance(scheduler, ExhaustiveScheduler):
             return  # comparing the oracle against itself proves nothing
-        opt = self.optimum(cdag, budget)
-        if opt is None:
+        bracket = self.optimum_bracket(cdag, budget)
+        if bracket is None:
             return
-        if _finite(reported) and reported < opt:
+        lb, ub = bracket
+        exact = lb == ub
+        if _finite(reported) and reported < lb:
+            # Sound even from a governed bracket: opt >= lb, so nothing
+            # can cost less than lb.
             add("below-optimum",
-                f"reported cost {reported} < exhaustive optimum {opt} — "
-                f"no valid schedule can cost less", expected=opt)
-        if scheduler.claims_optimal(cdag) and _as_float(reported) > opt:
-            add("suboptimal",
-                f"contract claims optimality on this family "
-                f"({scheduler.contract.notes or 'no notes'}) but reported "
-                f"{reported} > exhaustive optimum {opt}", expected=opt)
+                f"reported cost {reported} < exhaustive optimum "
+                f"{'bound ' if not exact else ''}{lb} — no valid schedule "
+                f"can cost less", expected=lb)
+        if scheduler.claims_optimal(cdag):
+            value = _as_float(reported)
+            if value > ub:
+                # opt <= ub, so a claimed-optimal cost above ub is a lie.
+                add("suboptimal",
+                    f"contract claims optimality on this family "
+                    f"({scheduler.contract.notes or 'no notes'}) but "
+                    f"reported {reported} > exhaustive optimum "
+                    f"{'bound ' if not exact else ''}{ub}", expected=ub)
+            elif not exact and lb <= value <= ub:
+                # The bracket spans the claim; optimality can be neither
+                # confirmed nor refuted under this budget of search.
+                self.inconclusive += 1
 
     def _check_cost_many(self, scheduler, cdag, budget, reported,
                          add) -> None:
         try:
             batch = scheduler.cost_many(cdag, (budget,))[0]
+        except ProbeCancelledError:
+            self.inconclusive += 1
+            return
         except PebbleGameError as exc:
             add("cost-many-mismatch",
                 f"cost_many() raised {type(exc).__name__} although the "
@@ -323,6 +382,9 @@ class Auditor:
             single: float = scheduler.cost(cdag, budget)
         except InfeasibleBudgetError:
             single = math.inf
+        except ProbeCancelledError:
+            self.inconclusive += 1
+            return
         except PebbleGameError as exc:
             add("cost-many-mismatch",
                 f"cost() raised {type(exc).__name__} although cost_many() "

@@ -64,7 +64,9 @@ from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
 from ..core.cdag import CDAG
 from ..core.exceptions import AuditFailure
 from .audit import Auditor, AuditViolation
-from .faults import (FailureRecord, FaultPolicy, SweepCheckpoint, run_probe)
+from .faults import (FailureRecord, FaultPolicy, SweepCheckpoint,
+                     normalize_probe, run_probe)
+from .governor import install_rlimit
 from .min_memory import cost_at, minimum_fast_memory
 from .sweep import SweepSeries
 
@@ -120,6 +122,19 @@ class SweepStats:
         fallback scheduler's (see :mod:`repro.analysis.audit`)."""
         return sum(1 for f in self.failures
                    if f.resolution == "quarantined")
+
+    @property
+    def anytime_probes(self) -> int:
+        """Governed probes answered with a certified ``[lb, ub]`` bracket
+        (deadline / memory watchdog / cancel — value is the bracket's ub)."""
+        return sum(1 for f in self.failures if f.resolution == "anytime")
+
+    @property
+    def inconclusive_probes(self) -> int:
+        """Bracket-vs-threshold comparisons that spanned the decision
+        point and were answered pessimistically instead of guessed."""
+        return sum(1 for f in self.failures
+                   if f.resolution == "inconclusive")
 
     def merge(self, other: "SweepStats") -> None:
         """Fold another stats record (e.g. from a pool worker) into this."""
@@ -197,7 +212,7 @@ class CachedCostFn:
 
     __slots__ = ("_fn", "_scheduler", "_cdag", "_cache", "_memo", "stats",
                  "_policy", "_fallback", "_fb_memo", "_key", "_context",
-                 "_on_eval", "_auditor", "degraded")
+                 "_on_eval", "_auditor", "degraded", "provenance", "brackets")
 
     def __init__(self, fn: Optional[CostFn] = None, *,
                  scheduler=None, cdag: Optional[CDAG] = None,
@@ -205,7 +220,9 @@ class CachedCostFn:
                  policy: Optional[FaultPolicy] = None,
                  fallback=None, key: Optional[str] = None,
                  context: Optional[Callable[[], str]] = None,
-                 on_eval: Optional[Callable[[int, float, bool], None]] = None,
+                 on_eval: Optional[
+                     Callable[[int, float, bool, str, Optional[float]],
+                              None]] = None,
                  auditor: Optional[Auditor] = None):
         if (fn is None) == (scheduler is None):
             raise ValueError("pass either fn or scheduler+cdag")
@@ -231,6 +248,11 @@ class CachedCostFn:
         self._auditor = auditor if auditor is not None and auditor.active \
             else None
         self.degraded: set = set()
+        #: budget -> ladder rung for every non-exact cached value
+        #: (see :data:`repro.analysis.faults.PROVENANCES`)
+        self.provenance: Dict[int, str] = {}
+        #: budget -> certified (lb, ub) for anytime-bracketed values
+        self.brackets: Dict[int, Tuple[float, float]] = {}
 
     # -- fault-tolerant single-budget evaluation ----------------------- #
 
@@ -266,20 +288,65 @@ class CachedCostFn:
             val, was_degraded = evaluate(), False
         self.stats.evals += 1
         self.stats.eval_time += time.perf_counter() - t0
+        if was_degraded:
+            provenance, lb = "fallback", None
+        else:
+            provenance, lb, was_degraded = self._absorb_anytime(
+                budget, time.perf_counter() - t0)
         if self._auditor is not None and not was_degraded:
             # Degraded probes already carry the fallback's (trusted) value;
             # auditing them against the primary scheduler's claims would
             # manufacture false mismatches.
             val, was_degraded = self._quarantine(budget, val)
+            if was_degraded:
+                provenance = "quarantined"
         self._cache[budget] = val
         if was_degraded:
             self.degraded.add(budget)
+            self.provenance[budget] = provenance
         if self._on_eval is not None:
-            self._on_eval(budget, val, was_degraded)
+            self._on_eval(budget, val, was_degraded, provenance, lb)
         entries = self.memo_entries()
         if entries > self.stats.peak_memo_entries:
             self.stats.peak_memo_entries = entries
         return val
+
+    def _absorb_anytime(self, budget: int, elapsed: float
+                        ) -> Tuple[str, Optional[float], bool]:
+        """Pop the inexact bracket a governed oracle parked for ``budget``
+        (``memo["anytime_results"]``, see ``ExhaustiveScheduler.
+        _cost_many_anytime``) and fold it into the ladder bookkeeping.
+        Returns ``(provenance, lb, degraded)`` — ``("exact", None,
+        False)`` when the probe completed normally."""
+        bag = self._memo.get("anytime_results")
+        ares = bag.pop(budget, None) if bag else None
+        if ares is None:
+            return "exact", None, False
+        provenance = "anytime" if ares.source == "search" else "fallback"
+        resolution = "anytime" if provenance == "anytime" else "degraded"
+        self.brackets[budget] = (ares.lower_bound, ares.upper_bound)
+        self.stats.failures.append(FailureRecord(
+            key=self._probe_key(budget), exception="AnytimeResult",
+            message=ares.describe(), attempts=1, elapsed=elapsed,
+            resolution=resolution,
+            context={"reason": ares.reason, "lb": ares.lower_bound,
+                     "ub": ares.upper_bound, **ares.stats}))
+        return provenance, ares.lower_bound, True
+
+    def bracket(self, budget: int) -> Tuple[float, float]:
+        """Certified ``(lb, ub)`` for a budget: ``(cost, cost)`` for
+        exact values, the recorded governance bracket for anytime values,
+        ``(0, cost)`` for plain fallback upper bounds, and ``(0, inf)``
+        when the budget was never probed."""
+        value = self._cache.get(budget)
+        if value is None:
+            return (0.0, math.inf)
+        bracket = self.brackets.get(budget)
+        if bracket is not None:
+            return bracket
+        if budget in self.degraded:
+            return (0.0, value)
+        return (value, value)
 
     def _quarantine(self, budget: int, val: float) -> Tuple[float, bool]:
         """Audit one fresh probe value; on violation, record the findings
@@ -322,16 +389,22 @@ class CachedCostFn:
         (``budget`` must have been probed or primed before)."""
         return self._cache[budget]
 
-    def preload(self, entries: Dict[int, Tuple[float, bool]]) -> None:
+    def preload(self, entries: Dict[int, tuple]) -> None:
         """Seed the cache from persisted probes (checkpoint resume):
-        ``budget -> (cost, degraded)``.  Already-cached budgets keep their
-        in-memory value; stats are untouched (a seeded probe later counts
-        as a cache hit, which is what it is)."""
-        for budget, (cost, was_degraded) in entries.items():
-            if budget not in self._cache:
-                self._cache[budget] = cost
-                if was_degraded:
-                    self.degraded.add(budget)
+        ``budget -> (cost, degraded[, provenance, lb])`` (historical
+        2-tuples normalize to the fallback/exact rungs).  Already-cached
+        budgets keep their in-memory value; stats are untouched (a seeded
+        probe later counts as a cache hit, which is what it is)."""
+        for budget, value in entries.items():
+            if budget in self._cache:
+                continue
+            cost, was_degraded, provenance, lb = normalize_probe(value)
+            self._cache[budget] = cost
+            if was_degraded:
+                self.degraded.add(budget)
+                self.provenance[budget] = provenance
+                if lb is not None:
+                    self.brackets[budget] = (lb, cost)
 
     def prime(self, budgets: Sequence[int]) -> None:
         """Batch-evaluate the not-yet-cached budgets in one
@@ -354,10 +427,16 @@ class CachedCostFn:
                                              memo=self._memo)
             self.stats.evals += len(missing)
             self.stats.eval_time += time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
             self._cache.update(zip(missing, vals))
-            if self._on_eval is not None:
-                for b, v in zip(missing, vals):
-                    self._on_eval(b, v, False)
+            for b, v in zip(missing, vals):
+                provenance, lb, was_degraded = self._absorb_anytime(
+                    b, elapsed)
+                if was_degraded:
+                    self.degraded.add(b)
+                    self.provenance[b] = provenance
+                if self._on_eval is not None:
+                    self._on_eval(b, v, was_degraded, provenance, lb)
         entries = self.memo_entries()
         if entries > self.stats.peak_memo_entries:
             self.stats.peak_memo_entries = entries
@@ -385,13 +464,22 @@ def _pool_task(fn, args, kwargs, setup: Optional[dict] = None):
     and ship back (result, stats, newly evaluated probes)."""
     setup = setup or {}
     audit = setup.get("audit")
+    if setup.get("mem_limit_mb") is not None:
+        # Hard backstop in this worker process on top of the cooperative
+        # RSS watchdog (generous headroom: the rlimit is for runaway
+        # native allocations the poll never sees).
+        install_rlimit(setup["mem_limit_mb"])
     engine = SweepEngine(jobs=1,
                          timeout=setup.get("timeout"),
                          retries=setup.get("retries", 0),
                          backoff=setup.get("backoff", 0.25),
                          jitter=setup.get("jitter", 0.25),
                          fallback=setup.get("fallback", AUTO_FALLBACK),
-                         audit=Auditor(**audit) if audit else "off")
+                         audit=Auditor(**audit) if audit else "off",
+                         deadline=setup.get("deadline"),
+                         mem_limit_mb=setup.get("mem_limit_mb"),
+                         anytime=setup.get("anytime", False),
+                         jitter_seed=setup.get("jitter_seed"))
     engine._context = setup.get("context", "")
     engine._collect_probes = True
     seed = setup.get("seed")
@@ -447,6 +535,23 @@ class SweepEngine:
         :class:`~repro.core.exceptions.AuditFailure` when the scheduler
         has no fallback.  ``"off"`` (default) leaves the evaluation path
         byte-identical to the un-audited engine.
+
+    Governance kwargs (:mod:`repro.analysis.governor`, all inert by
+    default):
+
+    deadline / mem_limit_mb:
+        Per-probe cooperative wall-clock budget (seconds) and RSS
+        watchdog threshold (MiB): each probe runs under its own
+        :class:`~repro.core.governor.CancellationToken`, so governed
+        schedulers *stop themselves* instead of burning CPU past a
+        daemon-thread timeout.
+    anytime:
+        Stopped oracle probes return certified ``[lb, ub]`` brackets
+        (recorded value = ub, provenance ``"anytime"``) instead of
+        immediately degrading to the greedy fallback.
+    jitter_seed:
+        Seed for the retry-backoff jitter RNG, making retry timing
+        reproducible (ships to pool workers).
     """
 
     def __init__(self, jobs: int = 1, *,
@@ -458,14 +563,23 @@ class SweepEngine:
                  max_pool_restarts: int = 2,
                  checkpoint: Optional[str] = None,
                  checkpoint_every: int = 16,
-                 audit: Union[str, Auditor] = "off"):
+                 audit: Union[str, Auditor] = "off",
+                 deadline: Optional[float] = None,
+                 mem_limit_mb: Optional[float] = None,
+                 anytime: bool = False,
+                 jitter_seed: Optional[int] = None):
         self.jobs = max(1, int(jobs))
         self.stats = SweepStats()
         self.auditor = audit if isinstance(audit, Auditor) \
             else Auditor(level=audit)
+        if self.auditor.active and (deadline is not None
+                                    or mem_limit_mb is not None or anytime):
+            self.auditor.governed = True
         self.policy = FaultPolicy(timeout=timeout, retries=max(0, int(retries)),
                                   backoff=backoff, jitter=jitter,
-                                  max_pool_restarts=max(0, int(max_pool_restarts)))
+                                  max_pool_restarts=max(0, int(max_pool_restarts)),
+                                  deadline=deadline, mem_limit_mb=mem_limit_mb,
+                                  anytime=anytime, seed=jitter_seed)
         self.fallback = fallback
         self.checkpoint: Optional[SweepCheckpoint] = (
             SweepCheckpoint(checkpoint, every=checkpoint_every)
@@ -475,10 +589,11 @@ class SweepEngine:
         self._bounds: Dict[int, Tuple] = {}
         # id(cdag) -> (cdag, stable content key) for persisted probes
         self._graph_keys: Dict[int, Tuple[CDAG, str]] = {}
-        #: persisted/absorbed probes: (sched key, graph key, budget) -> value
-        self._seed: Dict[Tuple[str, str, int], Tuple[float, bool]] = (
+        #: persisted/absorbed probes: (sched key, graph key, budget) ->
+        #: (cost, degraded, provenance, lb)
+        self._seed: Dict[Tuple[str, str, int], tuple] = (
             dict(self.checkpoint.entries) if self.checkpoint else {})
-        self._probe_log: List[Tuple[str, str, int, float, bool]] = []
+        self._probe_log: List[tuple] = []
         self._collect_probes = False
         self._context = ""
 
@@ -515,21 +630,25 @@ class SweepEngine:
         return entry[1]
 
     def _record_probe(self, sched_key: str, gkey: str, budget: int,
-                      cost: float, was_degraded: bool) -> None:
+                      cost: float, was_degraded: bool,
+                      provenance: str = "exact",
+                      lb: Optional[float] = None) -> None:
         """Journal one completed probe (checkpoint + worker export)."""
-        self._seed[(sched_key, gkey, budget)] = (cost, was_degraded)
+        self._seed[(sched_key, gkey, budget)] = (cost, was_degraded,
+                                                 provenance, lb)
         if self.checkpoint is not None:
             self.checkpoint.record(sched_key, gkey, budget, cost,
-                                   was_degraded)
+                                   was_degraded, provenance, lb)
         if self._collect_probes:
             self._probe_log.append((sched_key, gkey, budget, cost,
-                                    was_degraded))
+                                    was_degraded, provenance, lb))
 
     def _absorb_probes(self, probes) -> None:
         """Fold probes harvested from a worker into this engine's seed
-        (and checkpoint), so later cost functions reuse them."""
-        for sched_key, gkey, budget, cost, was_degraded in probes:
-            self._record_probe(sched_key, gkey, budget, cost, was_degraded)
+        (and checkpoint), so later cost functions reuse them.  Rows are
+        5-field (historical) or 7-field (with provenance + lb)."""
+        for row in probes:
+            self._record_probe(*row)
 
     def flush_checkpoint(self) -> None:
         """Persist any probes not yet written (no-op without a journal)."""
@@ -552,9 +671,9 @@ class SweepEngine:
             sched_key = scheduler.cache_key()
             gkey = self.graph_key(cdag)
             fallback = self._fallback_for(scheduler)
-            record = (lambda budget, cost, was_degraded:
+            record = (lambda budget, cost, was_degraded, provenance, lb:
                       self._record_probe(sched_key, gkey, budget, cost,
-                                         was_degraded))
+                                         was_degraded, provenance, lb))
             fn = CachedCostFn(scheduler=scheduler, cdag=cdag,
                               stats=self.stats, policy=self.policy,
                               fallback=fallback,
@@ -602,7 +721,10 @@ class SweepEngine:
         self.stats.sweeps += 1
         return SweepSeries(label=label, budgets=tuple(budgets), costs=costs,
                            degraded=tuple(b for b in budgets
-                                          if b in fn.degraded))
+                                          if b in fn.degraded),
+                           provenance=tuple(
+                               (b, fn.provenance.get(b, "fallback"))
+                               for b in budgets if b in fn.degraded))
 
     def sweep_fn(self, cost_fn: CostFn, budgets: Sequence[int], label: str,
                  key: Optional[Tuple] = None) -> SweepSeries:
@@ -645,9 +767,27 @@ class SweepEngine:
         if step is None:
             step = gcd_step
         fn = self.cost_fn(scheduler, cdag)
+        noted: set = set()
+
+        def inconclusive(budget: int, lb: float, ub: float) -> None:
+            # A bracket spanning the feasibility target decides nothing;
+            # the search treats it as infeasible (sound) and we record the
+            # undecided comparison once per budget for the profile.
+            if budget in noted:
+                return
+            noted.add(budget)
+            self.stats.failures.append(FailureRecord(
+                key=fn._probe_key(budget), exception="AnytimeResult",
+                message=f"bracket [{lb}, {ub}] spans min-memory target "
+                        f"{target}; treated infeasible",
+                attempts=1, elapsed=0.0, resolution="inconclusive",
+                context={"lb": lb, "ub": ub}))
+
         t0 = time.perf_counter()
         try:
-            result = minimum_fast_memory(fn, target, lo, hi, step, hint=hint)
+            result = minimum_fast_memory(fn, target, lo, hi, step, hint=hint,
+                                         bracket_fn=fn.bracket,
+                                         on_inconclusive=inconclusive)
         finally:
             self.stats.wall_time += time.perf_counter() - t0
             self.flush_checkpoint()
@@ -679,6 +819,10 @@ class SweepEngine:
             "context": self._context,
             "seed": dict(self._seed) if self._seed else None,
             "audit": self.auditor.config(),
+            "deadline": self.policy.deadline,
+            "mem_limit_mb": self.policy.mem_limit_mb,
+            "anytime": self.policy.anytime,
+            "jitter_seed": self.policy.seed,
         }
 
     def _task_key(self, fn, index: int) -> str:

@@ -30,12 +30,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.exceptions import (PebbleGameError, ProbeTimeoutError,
-                               StateSpaceTooLargeError)
+from ..core.exceptions import (PebbleGameError, ProbeCancelledError,
+                               ProbeTimeoutError, StateSpaceTooLargeError)
+from ..core.governor import CancellationToken, current_token, governed
 
 #: Resolutions a :class:`FailureRecord` can end with.
 RESOLUTIONS = ("retried", "degraded", "failed", "redispatched",
-               "serial-fallback", "quarantined")
+               "serial-fallback", "quarantined", "anytime", "inconclusive")
+
+#: Where a recorded probe value came from, most to least exact.  The
+#: degradation ladder moves down: ``"exact"`` (ungoverned or completed
+#: search), ``"anytime"`` (certified ``[lb, ub]`` bracket, value = ub),
+#: ``"fallback"`` (greedy upper bound after timeout/state guard),
+#: ``"quarantined"`` (fallback after a failed audit).
+PROVENANCES = ("exact", "anytime", "fallback", "quarantined")
 
 #: Exception types treated as transient (worth retrying) by default.
 #: Deterministic game errors (:class:`PebbleGameError`) are never retried —
@@ -63,6 +71,12 @@ class FailureRecord:
     * ``"quarantined"`` — the probe's answer failed the audit gauntlet
       (:mod:`repro.analysis.audit`); the recorded value came from the
       fallback scheduler and the violations are in ``stats.violations``.
+    * ``"anytime"`` — a governed probe was stopped (deadline, memory
+      watchdog, cancel) but returned a certified ``[lb, ub]`` bracket;
+      the recorded value is the bracket's achievable upper bound.
+    * ``"inconclusive"`` — a bracket spanned the comparison point of a
+      feasibility or audit decision; the decision was answered soundly
+      (pessimistically) rather than guessed.
     """
 
     key: str  #: probe/task identity, e.g. ``"fig6:OptimalDWT@DWT(16,4)#B=64"``
@@ -71,25 +85,44 @@ class FailureRecord:
     attempts: int  #: tries consumed by the episode
     elapsed: float  #: seconds from first try to resolution
     resolution: str  #: one of :data:`RESOLUTIONS`
+    context: Optional[dict] = None
+    #: structured snapshot from ``exc.context()`` / search stats — for
+    #: degraded probes this carries expanded/generated/pruned counters so
+    #: ``--profile`` can report search effort even when no exact answer
+    #: materialized
+
+    _CTX_KEYS = ("reason", "lb", "ub", "expanded", "generated",
+                 "bound_pruned", "dominated")
 
     def describe(self) -> str:
         msg = self.message if len(self.message) <= 120 else \
             self.message[:117] + "..."
+        extra = ""
+        if self.context:
+            bits = [f"{k}={self.context[k]}" for k in self._CTX_KEYS
+                    if self.context.get(k) is not None]
+            if bits:
+                extra = " {" + " ".join(bits) + "}"
         return (f"{self.key}: {self.exception} after {self.attempts} "
                 f"attempt(s) ({self.elapsed:.2f}s) -> {self.resolution}"
-                + (f" [{msg}]" if msg else ""))
+                + (f" [{msg}]" if msg else "") + extra)
 
 
 @dataclass
 class FaultPolicy:
     """Knobs for guarded probe evaluation (all off by default).
 
-    ``timeout`` bounds each probe's wall clock (``None`` = unbounded;
-    note the timed-out evaluation thread cannot be killed — it is
-    abandoned as a daemon and its result discarded).  ``retries`` bounds
-    re-tries of *transient* failures; the n-th retry sleeps
-    ``backoff * 2**n`` seconds, scaled by up to ``jitter`` of random
-    spread so herds of workers don't retry in lockstep.
+    ``timeout`` bounds each probe's wall clock; a timed-out evaluation
+    thread is told to stop through its cancellation token (cooperative —
+    governed schedulers observe it at their next poll and exit instead of
+    burning CPU as zombies).  ``deadline`` and ``mem_limit_mb`` arm the
+    token's own guards so the probe *itself* stops — with ``anytime``
+    set, governed oracles answer with a certified ``[lb, ub]`` bracket
+    instead of an error.  ``retries`` bounds re-tries of *transient*
+    failures; the n-th retry sleeps ``backoff * 2**n`` seconds, scaled by
+    up to ``jitter`` of random spread so herds of workers don't retry in
+    lockstep — seed the spread (``seed``) or inject an ``rng`` to make
+    retry timing reproducible.
     """
 
     timeout: Optional[float] = None  #: per-probe wall clock, seconds
@@ -98,16 +131,44 @@ class FaultPolicy:
     jitter: float = 0.25  #: random spread fraction on top of the backoff
     transient: tuple = DEFAULT_TRANSIENT  #: exception types worth retrying
     max_pool_restarts: int = 2  #: pool rebuilds before serial fallback
+    deadline: Optional[float] = None  #: per-probe cooperative deadline, s
+    mem_limit_mb: Optional[float] = None  #: RSS watchdog threshold, MiB
+    anytime: bool = False  #: degraded probes return brackets, not errors
+    seed: Optional[int] = None  #: jitter RNG seed (ships to pool workers)
+    rng: Optional[random.Random] = field(default=None, repr=False,
+                                         compare=False)
+    #: injectable jitter RNG; built from ``seed`` when not supplied
+
+    def __post_init__(self) -> None:
+        if self.rng is None and self.seed is not None:
+            self.rng = random.Random(self.seed)
 
     @property
     def active(self) -> bool:
         """True when any guard that changes evaluation batching is on."""
-        return self.timeout is not None or self.retries > 0
+        return self.timeout is not None or self.retries > 0 or self.governed
+
+    @property
+    def governed(self) -> bool:
+        """True when probes need a cancellation token of their own."""
+        return (self.deadline is not None or self.mem_limit_mb is not None
+                or self.anytime)
+
+    def make_token(self) -> Optional[CancellationToken]:
+        """Per-attempt token chaining under the caller's current one; or
+        ``None`` when no guard needs a token at all."""
+        if not self.governed and self.timeout is None:
+            return None
+        return CancellationToken(budget=self.deadline,
+                                 mem_limit_mb=self.mem_limit_mb,
+                                 anytime=self.anytime,
+                                 parent=current_token())
 
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based), jittered."""
         base = self.backoff * (2.0 ** attempt)
-        return base * (1.0 + self.jitter * random.random())
+        rng = self.rng if self.rng is not None else random
+        return base * (1.0 + self.jitter * rng.random())
 
     def is_transient(self, exc: BaseException) -> bool:
         return (isinstance(exc, self.transient)
@@ -115,22 +176,34 @@ class FaultPolicy:
 
 
 def call_with_timeout(fn: Callable[[], object], timeout: Optional[float],
-                      key: str = "") -> object:
-    """Run ``fn()`` with a wall-clock bound.
+                      key: str = "",
+                      token: Optional[CancellationToken] = None) -> object:
+    """Run ``fn()`` with a wall-clock bound, governed by ``token``.
 
-    ``timeout=None`` calls ``fn`` directly (zero overhead, identical
-    semantics).  Otherwise ``fn`` runs on a daemon thread; if it misses
-    the deadline a :class:`ProbeTimeoutError` is raised and the thread is
-    abandoned (pure-python cost functions cannot be interrupted safely —
+    ``timeout=None`` calls ``fn`` directly — under ``governed(token)``
+    when one is given, so cooperative guards (deadline, memory watchdog)
+    still reach it; with neither, this is a plain call with identical
+    semantics.  Otherwise ``fn`` runs on a daemon thread; if it misses
+    the deadline a :class:`ProbeTimeoutError` is raised *and the token is
+    cancelled* — a governed evaluation observes the cancellation at its
+    next poll and exits promptly instead of burning CPU as a zombie
+    (ungoverned pure-python cost functions still cannot be interrupted;
     the orphan finishes in the background and its result is discarded).
     """
     if timeout is None:
-        return fn()
+        if token is None:
+            return fn()
+        with governed(token):
+            return fn()
     box: list = []
 
     def runner():
         try:
-            box.append((True, fn()))
+            if token is None:
+                box.append((True, fn()))
+            else:
+                with governed(token):
+                    box.append((True, fn()))
         except BaseException as exc:  # propagated below
             box.append((False, exc))
 
@@ -139,6 +212,8 @@ def call_with_timeout(fn: Callable[[], object], timeout: Optional[float],
     t.start()
     t.join(timeout)
     if not box:
+        if token is not None:
+            token.cancel("timeout")
         raise ProbeTimeoutError(
             f"probe {key or '<anonymous>'} exceeded {timeout:.3g}s",
             key=key or None, timeout=timeout)
@@ -150,29 +225,52 @@ def call_with_timeout(fn: Callable[[], object], timeout: Optional[float],
 
 #: Faults that trigger degradation instead of retry: the probe is
 #: deterministic, just too expensive — re-running it cannot help, but a
-#: cheaper scheduler can still bound it from above.
-DEGRADABLE = (ProbeTimeoutError, StateSpaceTooLargeError)
+#: cheaper scheduler can still bound it from above.  Cooperative
+#: cancellations and memory exhaustion land here too: the guard already
+#: decided the probe must not finish.
+DEGRADABLE = (ProbeTimeoutError, StateSpaceTooLargeError,
+              ProbeCancelledError, MemoryError)
+
+
+def _exc_context(exc: BaseException) -> Optional[dict]:
+    """Best-effort structured context from an exception (satellite of the
+    governance layer: every degradable fault carries its search stats)."""
+    ctx_fn = getattr(exc, "context", None)
+    if callable(ctx_fn):
+        try:
+            return dict(ctx_fn())
+        except Exception:
+            return None
+    return None
 
 
 def run_probe(evaluate: Callable[[], object], *, key: str,
               policy: FaultPolicy,
               failures: Optional[List[FailureRecord]] = None,
               fallback: Optional[Callable[[], object]] = None,
-              sleep: Callable[[float], None] = time.sleep
+              sleep: Callable[[float], None] = time.sleep,
+              token: Optional[CancellationToken] = None
               ) -> Tuple[object, bool]:
     """One guarded evaluation.  Returns ``(value, degraded)``.
 
     * Transient exceptions (``policy.transient``) are retried up to
       ``policy.retries`` times with exponential backoff + jitter.
-    * :data:`DEGRADABLE` faults (timeout, state-space guard) switch to
-      ``fallback()`` when one is provided — the result is flagged
-      ``degraded=True`` (an upper bound) — and fail otherwise.
+    * :data:`DEGRADABLE` faults (timeout, state-space guard, cooperative
+      cancellation, memory exhaustion) switch to ``fallback()`` when one
+      is provided — the result is flagged ``degraded=True`` (an upper
+      bound) — and fail otherwise.  The fallback runs *ungoverned*: the
+      last rung of the ladder must not itself be cancellable.
     * Deterministic game errors propagate immediately (the evaluation
       itself maps infeasibility to ∞ before this layer sees it).
 
-    Every non-clean episode appends one :class:`FailureRecord` to
-    ``failures``.  With the default policy and no fallback this reduces
-    to ``(evaluate(), False)`` — no threads, no records, no overhead.
+    When the policy is governed (deadline / memory cap / anytime) or has
+    a timeout, each attempt runs under a fresh :class:`CancellationToken`
+    (chained to the caller's current one) unless ``token`` supplies one
+    explicitly.  Every non-clean episode appends one
+    :class:`FailureRecord` — carrying the fault's structured ``context()``
+    where available — to ``failures``.  With the default policy and no
+    fallback this reduces to ``(evaluate(), False)`` — no threads, no
+    tokens, no records, no overhead.
     """
     attempts = 0
     t0 = time.perf_counter()
@@ -182,16 +280,19 @@ def run_probe(evaluate: Callable[[], object], *, key: str,
             failures.append(FailureRecord(
                 key=key, exception=type(exc).__name__, message=str(exc),
                 attempts=attempts, elapsed=time.perf_counter() - t0,
-                resolution=resolution))
+                resolution=resolution, context=_exc_context(exc)))
 
     while True:
         attempts += 1
+        tok = token if token is not None else policy.make_token()
         try:
-            value = call_with_timeout(evaluate, policy.timeout, key=key)
+            value = call_with_timeout(evaluate, policy.timeout, key=key,
+                                      token=tok)
             break
         except DEGRADABLE as exc:
             if fallback is not None:
-                value = fallback()
+                with governed(None):
+                    value = fallback()
                 record(exc, "degraded")
                 return value, True
             record(exc, "failed")
@@ -212,19 +313,38 @@ def run_probe(evaluate: Callable[[], object], *, key: str,
 
 
 ProbeKey = Tuple[str, str, int]  # (scheduler key, graph key, budget)
-ProbeValue = Tuple[float, bool]  # (cost, degraded?)
+#: (cost, degraded?, provenance, lower bound or None) — see PROVENANCES.
+ProbeValue = Tuple[float, bool, str, Optional[float]]
+
+
+def normalize_probe(value) -> ProbeValue:
+    """Canonical 4-tuple probe value from any historical shape.
+
+    PR 2's checkpoints stored ``(cost, degraded)``; the governance layer
+    added ``(provenance, lb)``.  Old tuples normalize to provenance
+    ``"fallback"``/``"exact"`` (what the degraded flag used to mean) and
+    an unknown lower bound.
+    """
+    cost = value[0]
+    degraded = bool(value[1])
+    if len(value) >= 4:
+        provenance, lb = value[2], value[3]
+    else:
+        provenance, lb = ("fallback" if degraded else "exact"), None
+    return (cost, degraded, provenance, lb)
 
 
 class SweepCheckpoint:
     """Crash-safe journal of completed probes, resumable across runs.
 
     Entries map ``(scheduler key, graph key, budget)`` to ``(cost,
-    degraded)``.  The file (see ``repro.serialize.checkpoint_to_dict``)
-    is rewritten atomically — temp file + ``os.replace`` — every
-    ``every`` newly recorded probes and on :meth:`flush`, so a kill at
-    any instant leaves either the old or the new journal, never a torn
-    one.  Loading a pre-existing file merges its entries in; a malformed
-    file raises ``InvalidScheduleError`` (delete it to start over).
+    degraded, provenance, lb)``.  The file (see
+    ``repro.serialize.checkpoint_to_dict``) is rewritten atomically —
+    temp file + ``os.replace`` — every ``every`` newly recorded probes
+    and on :meth:`flush`, so a kill at any instant leaves either the old
+    or the new journal, never a torn one.  Loading a pre-existing file
+    merges its entries in; a malformed file raises
+    ``InvalidScheduleError`` (delete it to start over).
     """
 
     def __init__(self, path: str, every: int = 16):
@@ -249,20 +369,26 @@ class SweepCheckpoint:
                 if s == scheduler_key and g == graph_key}
 
     def record(self, scheduler_key: str, graph_key: str, budget: int,
-               cost: float, degraded: bool = False) -> None:
+               cost: float, degraded: bool = False,
+               provenance: Optional[str] = None,
+               lb: Optional[float] = None) -> None:
         key = (scheduler_key, graph_key, int(budget))
         if key in self.entries:
             return
-        self.entries[key] = (cost, bool(degraded))
+        self.entries[key] = normalize_probe(
+            (cost, degraded,
+             provenance if provenance is not None
+             else ("fallback" if degraded else "exact"), lb))
         self._pending += 1
         if self._pending >= self.every:
             self.flush()
 
-    def merge(self, triples) -> None:
+    def merge(self, rows) -> None:
         """Fold probes harvested from a worker: an iterable of
-        ``(scheduler_key, graph_key, budget, cost, degraded)``."""
-        for s, g, b, cost, degraded in triples:
-            self.record(s, g, b, cost, degraded)
+        ``(scheduler_key, graph_key, budget, cost, degraded[, provenance,
+        lb])`` rows (old 5-field rows still accepted)."""
+        for row in rows:
+            self.record(*row)
 
     def flush(self) -> None:
         """Atomically persist the journal (no-op when nothing changed

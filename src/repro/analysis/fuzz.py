@@ -25,6 +25,7 @@ same probe order, same repro bytes.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import math
 import os
@@ -34,7 +35,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..core.bounds import min_feasible_budget
 from ..core.cdag import CDAG
 from ..core.exceptions import (GraphStructureError, InfeasibleBudgetError,
-                               PebbleGameError, StateSpaceTooLargeError)
+                               PebbleGameError, ProbeCancelledError,
+                               StateSpaceTooLargeError)
+from ..core.governor import CancellationToken, governed
 from .. import serialize
 from ..graphs import (banded_mvm_graph, caterpillar_tree, complete_kary_tree,
                       conv_graph, disconnected_union, dwt_graph, kdwt_graph,
@@ -127,6 +130,11 @@ def _probe(auditor: Auditor, scheduler, cdag: CDAG,
         reported = math.inf
     except StateSpaceTooLargeError:
         return None
+    except ProbeCancelledError:
+        # Cooperative governance stopped the probe — that is resource
+        # exhaustion, not a scheduler bug; it must never be reported as
+        # a "schedule-error" violation.  The driver counts it.
+        raise
     except PebbleGameError as exc:
         return [AuditViolation(
             kind="schedule-error", scheduler=scheduler.cache_key(),
@@ -251,6 +259,8 @@ class FuzzReport:
     cases: int = 0  #: corpus graphs generated
     probes: int = 0  #: audited (scheduler, graph, budget) probes
     skipped: int = 0  #: probes skipped by the state-space guard
+    cancelled: int = 0  #: probes stopped by governance (deadline/memory)
+    inconclusive: int = 0  #: audit checks undecidable under governance
     failures: List[FuzzFailure] = field(default_factory=list)
     repro_paths: List[str] = field(default_factory=list)
 
@@ -259,9 +269,13 @@ class FuzzReport:
         return not self.failures
 
     def summary(self) -> str:
-        lines = [f"fuzz: seeds={list(self.seeds)} level={self.level} "
-                 f"cases={self.cases} probes={self.probes} "
-                 f"skipped={self.skipped} failures={len(self.failures)}"]
+        head = (f"fuzz: seeds={list(self.seeds)} level={self.level} "
+                f"cases={self.cases} probes={self.probes} "
+                f"skipped={self.skipped} failures={len(self.failures)}")
+        if self.cancelled or self.inconclusive:
+            head += (f" cancelled={self.cancelled} "
+                     f"inconclusive={self.inconclusive}")
+        lines = [head]
         for f in self.failures:
             lines.append(f"  {f.describe()}")
         for p in self.repro_paths:
@@ -308,7 +322,9 @@ def replay_repro(text: str, level: str = "differential"
 
 def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
          exclude: Sequence[str] = (), out_dir: Optional[str] = None,
-         shrink_failures: bool = True, max_failures: int = 10) -> FuzzReport:
+         shrink_failures: bool = True, max_failures: int = 10,
+         deadline: Optional[float] = None,
+         mem_limit_mb: Optional[float] = None) -> FuzzReport:
     """Run the gauntlet over the whole corpus.
 
     For every seed, every corpus graph, every applicable registered
@@ -318,9 +334,31 @@ def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
     fails on a graph is not probed again on that graph's other budgets
     (one counterexample per (scheduler, graph) is enough).  Stops early
     after ``max_failures`` distinct failures.
+
+    ``deadline`` / ``mem_limit_mb`` run every probe (and every shrink
+    attempt) under its own :class:`~repro.core.governor.
+    CancellationToken`.  Governance degrades the run, never its
+    soundness: a cancelled probe counts as ``cancelled`` (not a
+    violation), and the auditor — whose differential oracle runs in
+    anytime mode — records undecidable comparisons as ``inconclusive``
+    instead of guessing.  Same seeds still yield the same corpus and
+    probe order; only how far each probe gets may differ.
     """
-    auditor = Auditor(level=level)
+    governed_run = deadline is not None or mem_limit_mb is not None
+    auditor = Auditor(level=level, governed=governed_run)
     report = FuzzReport(seeds=tuple(seeds), level=level)
+
+    def make_token() -> Optional[CancellationToken]:
+        if not governed_run:
+            return None
+        return CancellationToken(budget=deadline, mem_limit_mb=mem_limit_mb)
+
+    def _scope(token):
+        # Ungoverned runs must not disturb any caller-installed token
+        # (``governed(None)`` would *suspend* it).
+        return governed(token) if token is not None \
+            else contextlib.nullcontext()
+
     for seed in seeds:
         for case_id, graph in corpus(seed):
             report.cases += 1
@@ -328,7 +366,13 @@ def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
             for key, scheduler in schedulers_for(graph,
                                                  exclude=tuple(exclude)):
                 for budget in budgets:
-                    violations = _probe(auditor, scheduler, graph, budget)
+                    try:
+                        with _scope(make_token()):
+                            violations = _probe(auditor, scheduler, graph,
+                                                budget)
+                    except ProbeCancelledError:
+                        report.cancelled += 1
+                        continue
                     if violations is None:
                         report.skipped += 1
                         continue
@@ -338,10 +382,16 @@ def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
                     failing_graph, budget_now, found = \
                         graph, budget, tuple(violations)
                     if shrink_failures:
-                        small, refound = shrink(key, graph, auditor)
-                        if refound is not None:
-                            failing_graph = small
-                            budget_now, found = refound
+                        # One fresh token for the whole shrink pass: a
+                        # cancelled shrink keeps the unshrunk repro.
+                        try:
+                            with _scope(make_token()):
+                                small, refound = shrink(key, graph, auditor)
+                            if refound is not None:
+                                failing_graph = small
+                                budget_now, found = refound
+                        except ProbeCancelledError:
+                            report.cancelled += 1
                     failure = FuzzFailure(case=case_id, scheduler=key,
                                           budget=budget_now,
                                           cdag=failing_graph,
@@ -351,6 +401,8 @@ def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
                         report.repro_paths.append(
                             write_repro(failure, out_dir))
                     if len(report.failures) >= max_failures:
+                        report.inconclusive = auditor.inconclusive
                         return report
                     break  # next scheduler; this pair is already indicted
+    report.inconclusive = auditor.inconclusive
     return report

@@ -1,0 +1,76 @@
+"""Resource governance policy for the analysis layer.
+
+The *mechanism* — :class:`~repro.core.governor.CancellationToken`,
+:class:`~repro.core.governor.AnytimeResult`, the thread-local
+:func:`~repro.core.governor.governed` scope — lives in
+:mod:`repro.core.governor` so schedulers and the simulator can poll it
+without importing the analysis layer.  This module is the *policy* side:
+it re-exports those primitives as the public analysis API and adds the
+process-level guard pool workers install before evaluating probes.
+
+Governance composes with the fault-tolerance layer
+(:mod:`repro.analysis.faults`) as a degradation ladder, most to least
+exact (see :data:`~repro.analysis.faults.PROVENANCES`):
+
+1. **exact** — the probe finished; the recorded value is the scheduler's
+   true answer.
+2. **anytime** — a governed oracle was stopped (deadline, memory
+   watchdog, external cancel) but returned a certified ``[lb, ub]``
+   bracket; the recorded value is the bracket's achievable upper bound.
+3. **fallback** — the probe was stopped without a usable incumbent (or
+   the scheduler has no anytime mode); the greedy fallback answers with
+   a plain upper bound.
+
+Consumers that *compare* probe values against a threshold (the
+min-memory binary search, the auditor's differential level) must treat
+non-exact values as brackets: a bracket that spans the comparison point
+decides nothing and is recorded ``inconclusive`` rather than guessed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.governor import (REASONS, SOURCES, AnytimeResult,
+                             CancellationToken, current_token, governed,
+                             process_rss_mb)
+
+__all__ = ["REASONS", "SOURCES", "AnytimeResult", "CancellationToken",
+           "current_token", "governed", "process_rss_mb", "install_rlimit"]
+
+#: Address-space headroom multiplier for :func:`install_rlimit`: the RSS
+#: watchdog is the precise guard; the rlimit is a backstop against runaway
+#: native allocations the cooperative poll never sees, so it sits well
+#: above the watchdog threshold to avoid spurious ``MemoryError`` from
+#: ordinary interpreter overhead and arena fragmentation.
+RLIMIT_HEADROOM = 4.0
+
+
+def install_rlimit(mem_limit_mb: Optional[float],
+                   headroom: float = RLIMIT_HEADROOM) -> bool:
+    """Install a hard address-space cap in *this* process (pool workers).
+
+    Sets ``RLIMIT_AS`` to ``mem_limit_mb * headroom`` MiB — but never
+    *raises* an existing tighter limit.  Returns ``True`` when a limit
+    was installed, ``False`` when ``mem_limit_mb`` is ``None`` or the
+    platform refuses (no :mod:`resource` module, or the kernel rejects
+    the value); failure is silent by design — the cooperative RSS
+    watchdog remains the primary guard either way.
+    """
+    if mem_limit_mb is None:
+        return False
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return False
+    limit = int(mem_limit_mb * headroom * 1024 * 1024)
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        for cur in (soft, hard):
+            if cur != resource.RLIM_INFINITY and cur < limit:
+                return False  # an existing tighter cap wins
+        new_hard = hard if hard != resource.RLIM_INFINITY else limit
+        resource.setrlimit(resource.RLIMIT_AS, (limit, max(limit, new_hard)))
+    except (ValueError, OSError):  # pragma: no cover - platform-dependent
+        return False
+    return True

@@ -12,7 +12,7 @@ non-monotone cost function raises instead of silently mis-reporting.
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
 from ..core.cdag import CDAG
@@ -36,6 +36,9 @@ def minimum_fast_memory(
     hi: int,
     step: int = 1,
     hint: Optional[int] = None,
+    *,
+    bracket_fn: Optional[Callable[[int], Tuple[float, float]]] = None,
+    on_inconclusive: Optional[Callable[[int, float, float], None]] = None,
 ) -> Optional[int]:
     """Smallest budget on the grid ``{lo, lo+step, ...} ∪ {hi}`` clamped
     into ``[lo, hi]`` with ``cost_fn(b) <= target``, or ``None`` when even
@@ -57,6 +60,15 @@ def minimum_fast_memory(
     degraded and exact probes can look non-monotone at the boundary,
     which this search rejects loudly (below) rather than mis-reporting a
     minimum.
+
+    Governance note: with ``bracket_fn`` given, each probed budget's
+    ``(lb, ub)`` bracket decides feasibility soundly — ``ub <= target``
+    is feasible, ``lb > target`` is infeasible, and a bracket *spanning*
+    the target decides nothing: ``on_inconclusive(budget, lb, ub)`` is
+    notified and the budget is treated infeasible (pessimistic but
+    sound — the returned minimum is always an achievable budget, never
+    an unproven one).  With exact probes the bracket degenerates to
+    ``(cost, cost)`` and the search is unchanged.
     """
     if lo > hi:
         raise ValueError(f"empty budget range [{lo}, {hi}]")
@@ -66,7 +78,17 @@ def minimum_fast_memory(
         return min(lo + k * step, hi)
 
     def feasible(k: int) -> bool:
-        return cost_at(cost_fn, grid(k)) <= target
+        value = cost_at(cost_fn, grid(k))
+        if bracket_fn is None:
+            return value <= target
+        lb, ub = bracket_fn(grid(k))
+        if ub <= target:
+            return True
+        if lb > target:
+            return False
+        if on_inconclusive is not None:
+            on_inconclusive(grid(k), lb, ub)
+        return False
 
     if top_k == 0:
         return lo if feasible(0) else None

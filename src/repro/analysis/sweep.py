@@ -18,14 +18,27 @@ class SweepSeries:
     ``degraded`` lists the budgets whose cost came from a *fallback*
     scheduler after the primary timed out or tripped a state-space guard
     (see :mod:`repro.analysis.faults`) — those entries are upper bounds,
-    not the labelled strategy's true cost.  Fault-free sweeps leave it
-    empty, so equality with directly-computed series is preserved.
+    not the labelled strategy's true cost.  ``provenance`` refines the
+    flag per the governance ladder (:data:`repro.analysis.faults.
+    PROVENANCES`): ``(budget, tag)`` pairs for every non-``"exact"``
+    budget — ``"anytime"`` entries additionally carry a certified lower
+    bound the engine recorded.  Fault-free sweeps leave both empty, so
+    equality with directly-computed series is preserved.
     """
 
     label: str
     budgets: Tuple[int, ...]
     costs: Tuple[float, ...]
     degraded: Tuple[int, ...] = ()
+    provenance: Tuple[Tuple[int, str], ...] = ()
+
+    def provenance_of(self, budget: int) -> str:
+        """Ladder rung the cost at ``budget`` came from (``"exact"``
+        unless listed in :attr:`provenance`)."""
+        for b, tag in self.provenance:
+            if b == budget:
+                return tag
+        return "exact"
 
     def points(self) -> List[Tuple[int, float]]:
         return list(zip(self.budgets, self.costs))

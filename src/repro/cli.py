@@ -176,7 +176,9 @@ def cmd_minmem(args) -> int:
     g = _load_graph(args.graph)
     scheduler = _make_scheduler(args.strategy, g, args)
     engine = SweepEngine(timeout=args.timeout, retries=args.retries,
-                         checkpoint=args.checkpoint, audit=args.audit)
+                         checkpoint=args.checkpoint, audit=args.audit,
+                         deadline=args.deadline, mem_limit_mb=args.mem_limit,
+                         anytime=args.anytime, jitter_seed=args.jitter_seed)
     bits = engine.min_memory(scheduler, g)
     if bits is None:
         print("strategy never reaches the lower bound")
@@ -221,7 +223,9 @@ def cmd_experiments(args) -> int:
     from .experiments.__main__ import main as run_all
     run_all(args.output_dir, jobs=args.jobs, profile=args.profile,
             timeout=args.timeout, retries=args.retries,
-            checkpoint=args.checkpoint, audit=args.audit)
+            checkpoint=args.checkpoint, audit=args.audit,
+            deadline=args.deadline, mem_limit_mb=args.mem_limit,
+            anytime=args.anytime, jitter_seed=args.jitter_seed)
     return 0
 
 
@@ -253,7 +257,8 @@ def cmd_fuzz(args) -> int:
         return 1 if failures else 0
     report = fuzz(seeds=args.seeds, level=args.level,
                   exclude=tuple(args.exclude or ()), out_dir=args.out,
-                  max_failures=args.max_failures)
+                  max_failures=args.max_failures,
+                  deadline=args.deadline, mem_limit_mb=args.mem_limit)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -275,6 +280,22 @@ def _add_fault_flags(parser) -> None:
                         help="verify every probe at this level; failed "
                              "audits quarantine the probe (fallback answer "
                              "+ degraded flag + violation in the profile)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                        help="cooperative per-probe deadline: governed "
+                             "schedulers stop themselves at the next poll "
+                             "instead of burning CPU past a timeout")
+    parser.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                        help="per-probe RSS watchdog threshold (MiB); pool "
+                             "workers additionally install a hard "
+                             "address-space rlimit backstop")
+    parser.add_argument("--anytime", action="store_true",
+                        help="governed oracle probes answer with certified "
+                             "[lb, ub] brackets (value = ub, provenance "
+                             "'anytime') instead of degrading straight to "
+                             "the greedy fallback")
+    parser.add_argument("--jitter-seed", type=int, default=None, metavar="N",
+                        help="seed the retry-backoff jitter RNG for "
+                             "reproducible retry timing")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -366,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--replay", nargs="+", metavar="FILE",
                    help="re-run saved repro files instead of fuzzing; "
                         "exits 1 if any still fails")
+    f.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                   help="cooperative per-probe deadline; cancelled probes "
+                        "count as 'cancelled', never as violations")
+    f.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                   help="per-probe RSS watchdog threshold (MiB)")
     f.set_defaults(fn=cmd_fuzz)
     return ap
 

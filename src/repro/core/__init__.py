@@ -24,9 +24,12 @@ from .prefetch import prefetch, stall_cycles
 from .exceptions import (AuditFailure, BudgetExceededError,
                          GraphStructureError,
                          InfeasibleBudgetError, InvalidScheduleError,
-                         PebbleGameError, ProbeTimeoutError,
+                         PebbleGameError, ProbeCancelledError,
+                         ProbeTimeoutError,
                          RuleViolationError, StateSpaceTooLargeError,
                          StoppingConditionError)
+from .governor import (AnytimeResult, CancellationToken, current_token,
+                       governed, process_rss_mb)
 
 __all__ = [
     "CDAG", "Node", "Label", "Move", "MoveType", "M1", "M2", "M3", "M4",
@@ -43,7 +46,10 @@ __all__ = [
     "prefetch", "stall_cycles",
     "AuditFailure", "BudgetExceededError", "GraphStructureError",
     "InfeasibleBudgetError",
-    "InvalidScheduleError", "PebbleGameError", "ProbeTimeoutError",
+    "InvalidScheduleError", "PebbleGameError", "ProbeCancelledError",
+    "ProbeTimeoutError",
     "RuleViolationError", "StateSpaceTooLargeError",
     "StoppingConditionError",
+    "AnytimeResult", "CancellationToken", "current_token", "governed",
+    "process_rss_mb",
 ]

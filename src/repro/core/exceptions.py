@@ -73,6 +73,45 @@ class ProbeTimeoutError(PebbleGameError):
         self.key = key
         self.timeout = timeout
 
+    def context(self) -> dict:
+        """Structured snapshot for logs and failure records."""
+        return {"key": self.key, "timeout": self.timeout}
+
+
+class ProbeCancelledError(PebbleGameError):
+    """A governed computation observed its cancellation token and stopped.
+
+    Raised by the cooperative poll sites (search cores, DP schedulers,
+    schedule replay) when the active :class:`repro.core.governor.
+    CancellationToken` fires in *strict* (non-anytime) mode.  Unlike
+    :class:`ProbeTimeoutError` — which the fault layer raises on behalf
+    of an abandoned worker — this error means the computation itself
+    stopped promptly and released its resources.
+
+    Attributes
+    ----------
+    reason:
+        Why the token fired: one of ``repro.core.governor.REASONS``
+        (``"deadline"``, ``"memory"``, ``"timeout"``, ``"cancelled"``).
+    key:
+        Identity of the cancelled probe when known, or ``None``.
+    stats:
+        Optional dict of search counters captured at cancellation (see
+        :class:`repro.schedulers.search.SearchStats`).
+    """
+
+    def __init__(self, message: str, reason=None, key=None, stats=None):
+        super().__init__(message)
+        self.reason = reason
+        self.key = key
+        self.stats = dict(stats) if stats else {}
+
+    def context(self) -> dict:
+        """Structured snapshot for logs and failure records."""
+        ctx = {"reason": self.reason}
+        ctx.update(self.stats)
+        return ctx
+
 
 class InfeasibleBudgetError(PebbleGameError):
     """No valid WRBPG schedule exists for the given budget (Prop. 2.3)."""

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional
 from .cdag import CDAG, Node
 from .exceptions import (BudgetExceededError, InvalidScheduleError,
                          RuleViolationError, StoppingConditionError)
+from .governor import current_token
 from .moves import Label, Move, MoveType
 from .schedule import Schedule
 
@@ -265,8 +266,14 @@ def simulate(
     """
     state = GameState(cdag, budget=budget, initial_red=initial_red,
                       initial_blue=initial_blue, strict=strict)
-    for move in schedule:
-        state.apply(move)
+    token = current_token()
+    if token is None:
+        for move in schedule:
+            state.apply(move)
+    else:
+        for move in schedule:
+            token.raise_if_cancelled("schedule replay")
+            state.apply(move)
     if require_stopping:
         missing = [v for v in cdag.sinks if v not in state.blue]
         if missing:

@@ -16,6 +16,13 @@ The fault-tolerance flags make multi-hour regenerations survivable:
 degrade to the scheduler's designated fallback and are reported in the
 profile), and ``--checkpoint FILE`` journals completed probes so a killed
 run resumes where it stopped instead of restarting from zero.
+
+The governance flags bound each probe's resources cooperatively:
+``--deadline SEC`` and ``--mem-limit MB`` arm a per-probe cancellation
+token (governed schedulers stop themselves at the next poll), and
+``--anytime`` makes stopped oracle probes answer with certified
+``[lb, ub]`` brackets — provenance-tagged in the artifacts and the
+profile — instead of degrading straight to the greedy fallback.
 """
 
 from __future__ import annotations
@@ -34,11 +41,15 @@ from .table1 import render_table1, run_table1
 
 def main(out_dir: str = "paper_artifacts", jobs: int = 1,
          profile: bool = False, timeout=None, retries: int = 0,
-         checkpoint=None, audit: str = "off") -> None:
+         checkpoint=None, audit: str = "off", deadline=None,
+         mem_limit_mb=None, anytime: bool = False,
+         jitter_seed=None) -> None:
     out = pathlib.Path(out_dir)
     out.mkdir(exist_ok=True)
     eng = SweepEngine(jobs=jobs, timeout=timeout, retries=retries,
-                      checkpoint=checkpoint, audit=audit)
+                      checkpoint=checkpoint, audit=audit,
+                      deadline=deadline, mem_limit_mb=mem_limit_mb,
+                      anytime=anytime, jitter_seed=jitter_seed)
     tasks = [
         ("table1", lambda: render_table1(run_table1(engine=eng))),
         ("fig5", lambda: render_fig5(run_fig5(engine=eng))),
@@ -82,6 +93,16 @@ def _parse_args(argv=None):
                     default="off",
                     help="verify every probe; failed audits quarantine "
                          "the probe and surface in --profile")
+    ap.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                    help="cooperative per-probe deadline (governed "
+                         "schedulers stop themselves at the next poll)")
+    ap.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                    help="per-probe RSS watchdog threshold (MiB)")
+    ap.add_argument("--anytime", action="store_true",
+                    help="stopped oracle probes answer with certified "
+                         "[lb, ub] brackets instead of greedy fallbacks")
+    ap.add_argument("--jitter-seed", type=int, default=None, metavar="N",
+                    help="seed the retry-backoff jitter RNG")
     return ap.parse_args(argv)
 
 
@@ -89,4 +110,6 @@ if __name__ == "__main__":
     _args = _parse_args()
     main(_args.output_dir, jobs=_args.jobs, profile=_args.profile,
          timeout=_args.timeout, retries=_args.retries,
-         checkpoint=_args.checkpoint, audit=_args.audit)
+         checkpoint=_args.checkpoint, audit=_args.audit,
+         deadline=_args.deadline, mem_limit_mb=_args.mem_limit,
+         anytime=_args.anytime, jitter_seed=_args.jitter_seed)

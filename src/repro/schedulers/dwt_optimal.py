@@ -39,6 +39,7 @@ from typing import Dict, Optional, Tuple
 from ..core.bounds import min_feasible_budget, require_feasible
 from ..core.cdag import CDAG
 from ..core.exceptions import GraphStructureError, InfeasibleBudgetError
+from ..core.governor import current_token
 from ..core.moves import M1, M2, M3, M4
 from ..core.schedule import Schedule
 from ..graphs import dwt as dwt_mod
@@ -149,8 +150,11 @@ class OptimalDWTScheduler(Scheduler):
         root_key = (v, b)
         if root_key in memo:
             return memo[root_key]
+        token = current_token()
         stack = [root_key]
         while stack:
+            if token is not None:
+                token.raise_if_cancelled("DWT cost DP")
             key = stack[-1]
             if key in memo:
                 stack.pop()
@@ -199,8 +203,11 @@ class OptimalDWTScheduler(Scheduler):
         root_key = (v, b)
         if root_key in memo:
             return memo[root_key]
+        token = current_token()
         stack = [root_key]
         while stack:
+            if token is not None:
+                token.raise_if_cancelled("DWT pebble-tree DP")
             key = stack[-1]
             if key in memo:
                 stack.pop()

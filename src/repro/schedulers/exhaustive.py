@@ -26,9 +26,12 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
-from ..core.bounds import require_feasible
+from ..core.bounds import algorithmic_lower_bound, require_feasible
 from ..core.cdag import CDAG
-from ..core.exceptions import GraphStructureError, StateSpaceTooLargeError
+from ..core.exceptions import (GraphStructureError, ProbeCancelledError,
+                               StateSpaceTooLargeError)
+from ..core.governor import (AnytimeResult, CancellationToken, current_token,
+                             governed)
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 from .base import OptimalityContract, Scheduler
@@ -70,9 +73,28 @@ class ExhaustiveScheduler(Scheduler):
     core:
         ``"search"`` (default) for the informed core, ``"legacy"`` for the
         original uninformed Dijkstra with explicit M4 moves.
+    anytime:
+        Degrade gracefully instead of raising: when a probe is cancelled
+        (deadline, memory watchdog, external cancel) or trips the
+        node/state caps, return a certified ``[lb, ub]`` bracket and the
+        best schedule found — see :meth:`solve` and the degradation
+        ladder exact → anytime incumbent → greedy fallback.  Anytime mode
+        also engages when the thread's active
+        :class:`~repro.core.governor.CancellationToken` carries
+        ``anytime=True``, so a governed sweep can flip it without
+        rebuilding schedulers.
     """
 
     name = "Exhaustive Optimal"
+
+    #: Class-level defaults so ``vars(self)`` — and therefore
+    #: ``cache_key()`` — only sees ``anytime`` when it is enabled: default
+    #: instances keep their historical probe-cache keys, while anytime
+    #: instances (whose degraded probes may return upper bounds, not
+    #: optima) key differently.  ``last_anytime`` likewise stays out of
+    #: the key (``None`` would fold in; an ``AnytimeResult`` does not).
+    anytime = False
+    last_anytime: Optional[AnytimeResult] = None
 
     contract = OptimalityContract(
         accepts=("*",), optimal_on=("*",),
@@ -89,9 +111,12 @@ class ExhaustiveScheduler(Scheduler):
                  max_states: Optional[int] = DEFAULT_MAX_STATES,
                  use_heuristic: bool = True,
                  use_dominance: bool = True,
-                 core: str = "search"):
+                 core: str = "search",
+                 anytime: bool = False):
         if core not in ("search", "legacy"):
             raise ValueError(f"core must be 'search' or 'legacy', got {core!r}")
+        if anytime:
+            self.anytime = True     # see the class-attribute note above
         self.max_nodes = max_nodes
         self.final_red = final_red
         self.require_blue_sinks = require_blue_sinks
@@ -114,6 +139,14 @@ class ExhaustiveScheduler(Scheduler):
 
     # ------------------------------------------------------------------ #
 
+    def _anytime_mode(self) -> bool:
+        """Anytime degradation is on when configured on the scheduler or
+        requested by the thread's active cancellation token."""
+        if self.anytime:
+            return True
+        tok = current_token()
+        return tok is not None and tok.anytime
+
     def min_cost(self, cdag: CDAG, budget: Optional[int] = None, *,
                  table: Optional[TranspositionTable] = None) -> int:
         """Optimal weighted I/O cost (no schedule reconstruction).
@@ -122,17 +155,62 @@ class ExhaustiveScheduler(Scheduler):
         probes of the same graph: exact hits and closed monotonicity
         brackets answer without searching, and the heuristic memo carries
         over between adjacent budgets.
+
+        In anytime mode a degraded probe returns the bracket's *upper*
+        bound (achievable, hence sound for feasibility decisions); the
+        full bracket is kept on :attr:`last_anytime`.
         """
+        if self._anytime_mode():
+            res = self.solve(cdag, budget, want_schedule=False, table=table)
+            return res.upper_bound
         cost, _ = self._search(cdag, budget, want_schedule=False, table=table)
         return cost
 
     def schedule(self, cdag: CDAG, budget: Optional[int] = None) -> Schedule:
+        if self._anytime_mode():
+            res = self.solve(cdag, budget, want_schedule=True)
+            assert res.schedule is not None
+            return res.schedule
         _, schedule = self._search(cdag, budget, want_schedule=True)
         assert schedule is not None
         return schedule
 
     def cost(self, cdag: CDAG, budget: Optional[int] = None) -> int:
         return self.min_cost(cdag, budget)
+
+    def solve(self, cdag: CDAG, budget: Optional[int] = None, *,
+              want_schedule: bool = True,
+              table: Optional[TranspositionTable] = None,
+              token: Optional[CancellationToken] = None) -> AnytimeResult:
+        """Governed best-effort solve: always an :class:`AnytimeResult`.
+
+        The degradation ladder, top rung first:
+
+        1. **exact** — the search finishes (or a transposition hit
+           answers): ``lb == ub``, ``reason == "exact"``.
+        2. **anytime incumbent** — the search is stopped (deadline,
+           memory watchdog, external cancel, state cap) after generating
+           at least one goal configuration: ``ub``/``schedule`` are the
+           best incumbent, ``lb`` the frontier bound tightened by
+           transposition monotonicity.
+        3. **greedy fallback** — stopped before any incumbent, or the
+           graph exceeds ``max_nodes``: ``ub``/``schedule`` come from
+           :meth:`fallback_scheduler` (valid on every feasible budget,
+           Prop. 2.3), run *ungoverned* so the last rung cannot itself be
+           cancelled; ``lb`` falls back to the Prop. 2.4 bound.
+
+        ``token`` (default: the thread's current token) governs the probe;
+        :class:`~repro.core.exceptions.InfeasibleBudgetError` still raises
+        — infeasibility is a property of the instance, not a resource
+        limit.  The result is also stored on :attr:`last_anytime`.
+        """
+        if token is not None:
+            with governed(token):
+                res = self._solve(cdag, budget, want_schedule, table)
+        else:
+            res = self._solve(cdag, budget, want_schedule, table)
+        self.last_anytime = res
+        return res
 
     def cost_many(self, cdag: CDAG, budgets, *, memo=None) -> List[float]:
         """Batched oracle probes sharing one transposition table.
@@ -141,7 +219,14 @@ class ExhaustiveScheduler(Scheduler):
         dict here, so ``minimum_fast_memory``'s binary search and repeated
         sweep probes reuse settled-search by-products (heuristic values,
         solved-budget brackets) instead of restarting from scratch.
+
+        In anytime mode, degraded probes report their upper bound in the
+        returned list and park the full bracket in the memo under
+        ``"anytime_results"`` (budget → :class:`AnytimeResult`), where the
+        sweep engine's provenance ladder picks it up.
         """
+        if self._anytime_mode():
+            return self._cost_many_anytime(cdag, budgets, memo)
         if self.core == "legacy":
             return super().cost_many(cdag, budgets, memo=memo)
         from ..core.exceptions import InfeasibleBudgetError
@@ -164,6 +249,36 @@ class ExhaustiveScheduler(Scheduler):
                 out.append(float("inf"))
         return out
 
+    def _cost_many_anytime(self, cdag: CDAG, budgets, memo) -> List[float]:
+        from ..core.exceptions import InfeasibleBudgetError
+        state = memo if memo is not None else {}
+        mode = (self.require_blue_sinks, self.final_red,
+                self.use_heuristic, self.use_dominance)
+        if state.get("graph") is not cdag or state.get("mode") != mode:
+            state.clear()
+            state["graph"] = cdag
+            state["mode"] = mode
+        table = None
+        if self.core == "search" and len(cdag) <= self.max_nodes:
+            table = state.get("table")
+            if table is None:
+                table = self._make_table(cdag)
+                state["table"] = table
+        out: List[float] = []
+        for b in budgets:
+            try:
+                res = self.solve(cdag, b, want_schedule=False, table=table)
+            except InfeasibleBudgetError:
+                out.append(float("inf"))
+                continue
+            bag = state.setdefault("anytime_results", {})
+            if res.exact:
+                bag.pop(b, None)
+            else:
+                bag[b] = res
+            out.append(res.upper_bound)
+        return out
+
     # ------------------------------------------------------------------ #
 
     def _check_size(self, cdag: CDAG) -> None:
@@ -177,6 +292,94 @@ class ExhaustiveScheduler(Scheduler):
         problem = SearchProblem(cdag, require_blue_sinks=self.require_blue_sinks,
                                 final_red=self.final_red)
         return TranspositionTable(problem)
+
+    def _greedy_bracket(self, cdag: CDAG, b: int, lb, reason: str,
+                        stats) -> AnytimeResult:
+        """Last rung of the degradation ladder: bound the optimum from
+        above with the universal greedy schedule (Prop. 2.3), run
+        *ungoverned* — the fallback that answers a cancellation must not
+        itself be cancellable."""
+        with governed(None):
+            fb = self.fallback_scheduler()
+            sched = fb.schedule(cdag, b)
+            ub = sched.cost(cdag)
+        if lb > ub:
+            lb = ub
+        return AnytimeResult(lower_bound=lb, upper_bound=ub, schedule=sched,
+                             reason=reason, source="greedy",
+                             stats=dict(stats) if stats else {})
+
+    def _solve(self, cdag: CDAG, budget: Optional[int], want_schedule: bool,
+               table: Optional[TranspositionTable]) -> AnytimeResult:
+        b = require_feasible(cdag, budget)
+        if len(cdag) > self.max_nodes:
+            # Hopeless to even compile the search problem: straight to the
+            # greedy rung, bounded below by Prop. 2.4.
+            return self._greedy_bracket(cdag, b, algorithmic_lower_bound(cdag),
+                                        "too-large", None)
+        if self.core == "legacy":
+            # The legacy core has no incumbent machinery: exact or ladder.
+            try:
+                cost, sched = self._search_legacy(cdag, b, want_schedule)
+            except ProbeCancelledError as exc:
+                return self._greedy_bracket(
+                    cdag, b, algorithmic_lower_bound(cdag),
+                    exc.reason or "cancelled", exc.stats)
+            except StateSpaceTooLargeError as exc:
+                return self._greedy_bracket(
+                    cdag, b, algorithmic_lower_bound(cdag), "states",
+                    exc.stats)
+            return AnytimeResult(lower_bound=cost, upper_bound=cost,
+                                 schedule=sched, reason="exact",
+                                 source="search",
+                                 stats=self.last_stats.as_dict())
+
+        if table is None or table.problem.cdag is not cdag:
+            table = self._make_table(cdag)
+        problem = table.problem
+        stats = table.stats
+        self.last_stats = stats
+        table.probes += 1
+        if not want_schedule:
+            hit = table.lookup(b)
+            if hit is not None:
+                stats.result_hits += 1
+                return AnytimeResult(lower_bound=hit, upper_bound=hit,
+                                     schedule=None, reason="exact",
+                                     source="search", stats=stats.as_dict())
+            lbT = table.lower_bound(b)
+            ubT = table.upper_bound(b)
+            if lbT == ubT and ubT != float("inf"):
+                stats.result_hits += 1
+                table.record(b, lbT)
+                return AnytimeResult(lower_bound=lbT, upper_bound=lbT,
+                                     schedule=None, reason="exact",
+                                     source="search", stats=stats.as_dict())
+        ubT = table.upper_bound(b)
+        res = astar(
+            problem, b,
+            want_schedule=want_schedule,
+            use_heuristic=self.use_heuristic,
+            use_dominance=self.use_dominance,
+            max_states=self.max_states,
+            upper_bound=None if ubT == float("inf") else int(ubT),
+            h_cache=table.h_cache if self.use_heuristic else None,
+            stats=stats, anytime=True)
+        if res.exact:
+            table.record(b, int(res.upper_bound))
+            return res
+        # Inexact: monotonicity brackets from solved budgets may tighten
+        # the frontier bound.  Never record inexact values in the table —
+        # they would poison future exact probes.
+        lb = max(res.lower_bound, table.lower_bound(b))
+        if res.schedule is None:
+            return self._greedy_bracket(cdag, b, lb, res.reason, res.stats)
+        if lb > res.lower_bound:
+            res = AnytimeResult(lower_bound=min(lb, res.upper_bound),
+                                upper_bound=res.upper_bound,
+                                schedule=res.schedule, reason=res.reason,
+                                source=res.source, stats=res.stats)
+        return res
 
     def _search(self, cdag: CDAG, budget: Optional[int], want_schedule: bool,
                 table: Optional[TranspositionTable] = None,
@@ -266,7 +469,14 @@ class ExhaustiveScheduler(Scheduler):
                 mask ^= low
             return total
 
+        token = current_token()
         while heap:
+            if token is not None:
+                r = token.poll()
+                if r is not None:
+                    raise ProbeCancelledError(
+                        f"legacy search on {cdag.name!r} cancelled ({r})",
+                        reason=r, stats=stats.as_dict())
             d, _, red, blue = heapq.heappop(heap)
             state = (red, blue)
             if d > dist.get(state, float("inf")):

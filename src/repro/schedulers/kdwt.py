@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 from ..core.bounds import require_feasible
 from ..core.cdag import CDAG
 from ..core.exceptions import InfeasibleBudgetError
+from ..core.governor import current_token
 from ..core.moves import M1, M2, M3, M4
 from ..core.schedule import Schedule
 from ..graphs import kdwt as kdwt_mod
@@ -90,8 +91,11 @@ class OptimalKDWTScheduler(Scheduler):
             return memo[root_key]
         # Explicit-stack post-order evaluation (same shape as the k-ary
         # tree DP): deep pruned trees must not hit the recursion limit.
+        token = current_token()
         stack = [root_key]
         while stack:
+            if token is not None:
+                token.raise_if_cancelled("k-DWT pebble DP")
             key = stack[-1]
             if key in memo:
                 stack.pop()

@@ -57,7 +57,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.cdag import CDAG
-from ..core.exceptions import GraphStructureError, StateSpaceTooLargeError
+from ..core.exceptions import (GraphStructureError, ProbeCancelledError,
+                               StateSpaceTooLargeError)
+from ..core.governor import AnytimeResult, CancellationToken, current_token
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 
@@ -231,8 +233,11 @@ class SearchProblem:
         for j in range(k - 1, -1, -1):
             suffix[j] = suffix[j + 1] + weights[j]
         out: List[int] = []
+        token = current_token()
 
         def rec(start: int, mask: int, wsum: int, minw: int) -> None:
+            if token is not None:
+                token.raise_if_cancelled("eviction enumeration")
             for t in range(start, k):
                 if wsum + suffix[t] < deficit:
                     return      # even taking every remaining node falls short
@@ -403,8 +408,13 @@ def astar(problem: SearchProblem, budget: int, *,
           upper_bound: Optional[int] = None,
           h_cache: Optional[Dict[Tuple[int, int], int]] = None,
           stats: Optional[SearchStats] = None,
-          ) -> Tuple[int, Optional[Schedule]]:
-    """A* over normalized WRBPG configurations; returns (cost, schedule).
+          token: Optional[CancellationToken] = None,
+          anytime: bool = False,
+          ):
+    """A* over normalized WRBPG configurations.
+
+    Returns ``(cost, schedule)`` by default, or an
+    :class:`~repro.core.governor.AnytimeResult` when ``anytime=True``.
 
     With ``use_heuristic=False`` the search degenerates to Dijkstra and
     with ``use_dominance=False`` no settled-state pruning is applied —
@@ -415,12 +425,30 @@ def astar(problem: SearchProblem, budget: int, *,
     :func:`repro.core.bounds.require_feasible` first).  ``max_states``
     caps *settled* configurations; tripping it raises
     :class:`StateSpaceTooLargeError` carrying the search statistics.
+
+    Governance: the search polls ``token`` (default: the thread's
+    :func:`~repro.core.governor.current_token`) once per pop, *before*
+    removing the frontier minimum, so on cancellation the heap top is
+    still the admissible frontier bound.  In strict mode cancellation
+    raises :class:`ProbeCancelledError`; in anytime mode the search
+    returns a bracket instead: ``lower_bound = min f`` over the intact
+    open frontier (every goal path must cross an open configuration
+    ``s`` and costs at least ``f(s)`` by consistency — dominance pruning
+    preserves this because a dominator replays the pruned suffix at no
+    extra cost, so a surviving optimal-cost path always crosses the
+    frontier), and ``upper_bound``/``schedule`` come from the best
+    incumbent goal *generated* so far (goal tests run at push time under
+    ``anytime`` — an admissible extra that also tightens pruning but
+    never changes the returned optimum).  In anytime mode a tripped
+    ``max_states`` cap likewise returns a bracket (reason ``"states"``)
+    instead of raising.
     """
     p = problem
     b = budget
     st = stats if stats is not None else SearchStats()
     hc = h_cache if h_cache is not None else {}
     ub = upper_bound if upper_bound is not None else _INF
+    tok = token if token is not None else current_token()
 
     w = p.w
     pm = p.parents_mask
@@ -449,10 +477,29 @@ def astar(problem: SearchProblem, budget: int, *,
     dom = DominanceIndex() if use_dominance else None
     settled = 0
     inf = _INF
+    keep_prev = want_schedule or anytime
+    best_g = inf                # best incumbent goal label (anytime only)
+    best_state: Optional[Tuple[int, int]] = None
+
+    def _finish(reason: str) -> AnytimeResult:
+        # The heap is intact (polls run before the pop), so its top f is
+        # an admissible lower bound on the optimum; the incumbent's
+        # reconstructed schedule backs the upper bound.
+        if best_state is not None:
+            sched = _reconstruct(best_state, prev)
+            ubv = sched.cost(p.cdag)    # prev rewrites only improve paths
+        else:
+            sched, ubv = None, inf
+        lbv = heap[0][0] if heap else ubv
+        if lbv > ubv:
+            lbv = ubv
+        return AnytimeResult(lower_bound=lbv, upper_bound=ubv,
+                             schedule=sched, reason=reason,
+                             source="search", stats=st.as_dict())
 
     def push(nred: int, nblue: int, ng: int, state: Tuple[int, int],
              evict_mask: int, final_move: Move) -> None:
-        nonlocal seq
+        nonlocal seq, ub, best_g, best_state
         nxt = (nred, nblue)
         if ng >= dist.get(nxt, inf):
             return
@@ -461,19 +508,38 @@ def astar(problem: SearchProblem, budget: int, *,
             st.bound_pruned += 1
             return
         dist[nxt] = ng
-        if want_schedule:
+        if keep_prev:
             prev[nxt] = (state, _expand_moves(p, evict_mask, final_move))
+        if anytime and ng < best_g and p.is_goal(nred, nblue):
+            best_g = ng
+            best_state = nxt
+            if ng < ub:
+                ub = ng     # incumbent tightens pruning (strict >, so the
+                            # incumbent's own f = g entry still pops)
         seq += 1
         heapq.heappush(heap, (nf, seq, ng, nred, nblue))
         st.generated += 1
 
     while heap:
+        if tok is not None:
+            r = tok.poll()
+            if r is not None:
+                if anytime:
+                    return _finish(r)
+                raise ProbeCancelledError(
+                    f"informed search on {p.cdag.name!r} cancelled ({r})",
+                    reason=r, stats=st.as_dict())
         _, _, g, red, blue = heapq.heappop(heap)
         state = (red, blue)
         if g > dist.get(state, inf):
             st.stale_pops += 1
             continue
         if p.is_goal(red, blue):
+            if anytime:
+                return AnytimeResult(
+                    lower_bound=g, upper_bound=g,
+                    schedule=_reconstruct(state, prev),
+                    reason="exact", source="search", stats=st.as_dict())
             if not want_schedule:
                 return g, None
             return g, _reconstruct(state, prev)
@@ -483,6 +549,12 @@ def astar(problem: SearchProblem, budget: int, *,
         settled += 1
         st.expanded += 1
         if max_states is not None and settled > max_states:
+            if anytime:
+                # Put the capped state back so the frontier bound stays
+                # admissible (it was already removed from the heap).
+                seq += 1
+                heapq.heappush(heap, (g + hval(red, blue), seq, g, red, blue))
+                return _finish("states")
             raise StateSpaceTooLargeError(
                 f"informed search on {p.cdag.name!r} settled {settled} "
                 f"configurations > state cap {max_states}; tighten the "
@@ -490,40 +562,60 @@ def astar(problem: SearchProblem, budget: int, *,
                 size=settled, limit=max_states, stats=st.as_dict())
         if dom is not None:
             dom.insert(red, blue, g)
-        rw = mask_weight(red)
-        # Stores: M2 for every red, not-yet-blue node.
-        m = red & ~blue
-        while m:
-            low = m & -m
-            m ^= low
-            i = low.bit_length() - 1
-            push(red, blue | low, g + w[i], state, 0, p.m2[i])
-        # Acquires: M1 (blue, not red) and M3 (parents red, not red),
-        # each with every minimal eviction set that makes it fit.
-        for cand, is_load in ((blue & ~red, True),
-                              (p.nonsource_mask & ~red, False)):
-            while cand:
-                low = cand & -cand
-                cand ^= low
+        try:
+            rw = mask_weight(red)
+            # Stores: M2 for every red, not-yet-blue node.
+            m = red & ~blue
+            while m:
+                low = m & -m
+                m ^= low
                 i = low.bit_length() - 1
-                if is_load:
-                    protected = 0
-                    cost = w[i]
-                    move = p.m1[i]
-                else:
-                    protected = pm[i]
-                    if protected & ~red:
-                        continue    # some parent not red: M3 illegal
-                    cost = 0
-                    move = p.m3[i]
-                deficit = rw + w[i] - b
-                if deficit <= 0:
-                    push(red | low, blue, g + cost, state, 0, move)
-                    continue
-                evictable = red & ~protected
-                for d_mask in p.minimal_evictions(evictable, deficit):
-                    push((red & ~d_mask) | low, blue, g + cost,
-                         state, d_mask, move)
+                push(red, blue | low, g + w[i], state, 0, p.m2[i])
+            # Acquires: M1 (blue, not red) and M3 (parents red, not red),
+            # each with every minimal eviction set that makes it fit.
+            for cand, is_load in ((blue & ~red, True),
+                                  (p.nonsource_mask & ~red, False)):
+                while cand:
+                    low = cand & -cand
+                    cand ^= low
+                    i = low.bit_length() - 1
+                    if is_load:
+                        protected = 0
+                        cost = w[i]
+                        move = p.m1[i]
+                    else:
+                        protected = pm[i]
+                        if protected & ~red:
+                            continue    # some parent not red: M3 illegal
+                        cost = 0
+                        move = p.m3[i]
+                    deficit = rw + w[i] - b
+                    if deficit <= 0:
+                        push(red | low, blue, g + cost, state, 0, move)
+                        continue
+                    evictable = red & ~protected
+                    for d_mask in p.minimal_evictions(evictable, deficit):
+                        push((red & ~d_mask) | low, blue, g + cost,
+                             state, d_mask, move)
+        except ProbeCancelledError as exc:
+            # Cancelled mid-expansion (inside the eviction enumeration).
+            exc.stats.update(st.as_dict())
+            if not anytime:
+                raise
+            # Re-open the half-expanded state: goal paths through its
+            # ungenerated successors must still cross the frontier for
+            # the lower bound to stay admissible.
+            seq += 1
+            heapq.heappush(heap, (g + hval(red, blue), seq, g, red, blue))
+            return _finish(exc.reason or "cancelled")
+    if anytime and best_state is not None:
+        # Frontier exhausted: every open label was dominated or pruned by
+        # the incumbent bound, so the incumbent is optimal.
+        sched = _reconstruct(best_state, prev)
+        cost = sched.cost(p.cdag)
+        return AnytimeResult(lower_bound=cost, upper_bound=cost,
+                             schedule=sched, reason="exact",
+                             source="search", stats=st.as_dict())
     raise GraphStructureError(
         f"no valid schedule found for {p.cdag.name!r} under budget {b}")
 

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from .core.cdag import CDAG
 from .core.exceptions import InvalidScheduleError
@@ -168,7 +168,13 @@ def loads_schedule(text: str) -> Schedule:
 # --------------------------------------------------------------------- #
 # Sweep checkpoints: (scheduler key, graph key, budget) -> (cost, degraded)
 
-ProbeEntries = Dict[Tuple[str, str, int], Tuple[float, bool]]
+#: (cost, degraded, provenance, lb) — see ``repro.analysis.faults``.
+ProbeEntries = Dict[Tuple[str, str, int], Tuple[float, bool, str,
+                                                Optional[float]]]
+
+#: Valid probe provenance tags (mirrors ``repro.analysis.faults.
+#: PROVENANCES``; duplicated here so the codec has no analysis import).
+_PROVENANCES = ("exact", "anytime", "fallback", "quarantined")
 
 
 def _encode_cost(cost: float) -> Any:
@@ -176,15 +182,33 @@ def _encode_cost(cost: float) -> Any:
 
 
 def checkpoint_to_dict(entries: Mapping) -> dict:
-    """Encode probe entries (sorted for stable, diffable files)."""
+    """Encode probe entries (sorted for stable, diffable files).
+
+    Entry values are ``(cost, degraded[, provenance, lb])``; the two
+    governance fields are emitted only when they carry information beyond
+    the degraded flag (``provenance`` other than the flag's implied
+    ``"exact"``/``"fallback"``, or a known lower bound), so checkpoints
+    written by ungoverned sweeps stay byte-identical to the historical
+    format.
+    """
+    encoded = []
+    for (s, g, b), value in sorted(entries.items()):
+        cost, degraded = value[0], bool(value[1])
+        provenance = value[2] if len(value) >= 4 else None
+        lb = value[3] if len(value) >= 4 else None
+        entry: Dict[str, Any] = {"scheduler": s, "graph": g, "budget": b,
+                                 "cost": _encode_cost(cost),
+                                 "degraded": degraded}
+        implied = "fallback" if degraded else "exact"
+        if provenance is not None and provenance != implied:
+            entry["provenance"] = provenance
+        if lb is not None:
+            entry["lb"] = _encode_cost(lb)
+        encoded.append(entry)
     return {
         "format": CHECKPOINT_FORMAT,
         "version": VERSION,
-        "entries": [
-            {"scheduler": s, "graph": g, "budget": b,
-             "cost": _encode_cost(cost), "degraded": bool(degraded)}
-            for (s, g, b), (cost, degraded) in sorted(entries.items())
-        ],
+        "entries": encoded,
     }
 
 
@@ -231,11 +255,33 @@ def checkpoint_from_dict(data: dict) -> ProbeEntries:
             raise InvalidScheduleError(
                 f"entries[{i}].degraded: expected a boolean, "
                 f"got {degraded!r}")
+        provenance = e.get("provenance", "fallback" if degraded else "exact")
+        if provenance not in _PROVENANCES:
+            raise InvalidScheduleError(
+                f"entries[{i}].provenance: expected one of "
+                f"{_PROVENANCES}, got {provenance!r}")
+        if degraded == (provenance == "exact"):
+            raise InvalidScheduleError(
+                f"entries[{i}]: provenance {provenance!r} inconsistent "
+                f"with degraded={degraded}")
+        lb = e.get("lb")
+        if lb is not None:
+            if lb == "inf":
+                lb = math.inf
+            elif not isinstance(lb, (int, float)) or isinstance(lb, bool) \
+                    or not math.isfinite(lb) or lb < 0:
+                raise InvalidScheduleError(
+                    f"entries[{i}].lb: expected a non-negative number or "
+                    f"'inf', got {lb!r}")
+            if lb > cost:
+                raise InvalidScheduleError(
+                    f"entries[{i}]: lower bound {lb!r} exceeds the "
+                    f"recorded cost {cost!r} — corrupt bracket")
         key = (sched, graph, budget)
         if key in entries:
             raise InvalidScheduleError(
                 f"entries[{i}]: duplicate probe {key!r}")
-        entries[key] = (cost, degraded)
+        entries[key] = (cost, degraded, provenance, lb)
     return entries
 
 

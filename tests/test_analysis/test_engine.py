@@ -218,7 +218,9 @@ class TestEngineMap:
                                               dwt_graph(4, 2, weights=equal()))
         assert stats.searches == 1 and stats.probes > 0
         # the worker exports its evaluated probes for checkpoint merging
-        assert probes and all(len(p) == 5 for p in probes)
+        # (7 fields since the governance layer: + provenance, lb)
+        assert probes and all(len(p) == 7 for p in probes)
+        assert all(p[5] == "exact" and p[6] is None for p in probes)
 
     def test_chunks_cover_in_order(self):
         eng = SweepEngine(jobs=3)

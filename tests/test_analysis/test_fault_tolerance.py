@@ -367,9 +367,11 @@ def test_sweep_checkpoint_round_trip(tmp_path):
     ck.flush()
     loaded = SweepCheckpoint(path)
     assert loaded.entries == ck.entries
-    assert loaded.seed("SchedA", "G#V4#abc") == {64: (128.0, False),
-                                                 32: (math.inf, False)}
-    assert loaded.seed("SchedB", "G#V4#abc")[64] == (96.0, True)
+    assert loaded.seed("SchedA", "G#V4#abc") == {
+        64: (128.0, False, "exact", None),
+        32: (math.inf, False, "exact", None)}
+    assert loaded.seed("SchedB", "G#V4#abc")[64] == (96.0, True,
+                                                     "fallback", None)
 
 
 def test_sweep_checkpoint_flushes_every_n_probes(tmp_path):
@@ -387,7 +389,8 @@ def test_checkpoint_decoder_rejects_malformed_documents():
             "entries": [{"scheduler": "S", "graph": "G", "budget": 16,
                          "cost": 1.5, "degraded": False}]}
     assert serialize.checkpoint_from_dict(good) == {("S", "G", 16):
-                                                    (1.5, False)}
+                                                    (1.5, False, "exact",
+                                                     None)}
     cases = [
         ({"format": "nope", "version": 1, "entries": []}, "not a"),
         ({"format": serialize.CHECKPOINT_FORMAT, "version": 9,
@@ -434,8 +437,8 @@ def test_checkpoint_decoder_rejects_duplicate_probes():
 def test_checkpoint_encodes_infinity_as_string():
     text = serialize.dumps_checkpoint({("S", "G", 16): (math.inf, False)})
     assert '"inf"' in text
-    assert serialize.loads_checkpoint(text)[("S", "G", 16)] == (math.inf,
-                                                                False)
+    assert serialize.loads_checkpoint(text)[("S", "G", 16)] == (
+        math.inf, False, "exact", None)
     json.loads(text)  # strict JSON, no bare Infinity
 
 
