@@ -56,6 +56,13 @@ def run(seeds, max_states, min_speedup, out_path, quick):
                 continue
             memo: dict = {}
             for budget in budgets_for(graph):
+                # Per-probe stats are *deltas* of the cumulative
+                # transposition-table counters, snapshotted around each
+                # probe (the table materializes in the memo on the first
+                # cost_many call, so the first snapshot may be empty).
+                tbl = memo.get("table")
+                stats_before = tbl.stats.as_dict() if tbl is not None else {}
+                tt_before = tbl.probes if tbl is not None else 0
                 t0 = time.perf_counter()
                 try:
                     a_cost = astar.cost_many(graph, (budget,), memo=memo)[0]
@@ -77,7 +84,7 @@ def run(seeds, max_states, min_speedup, out_path, quick):
                         mismatches.append(
                             {"graph": name, "budget": budget,
                              "astar": a_cost, "legacy": l_cost})
-                probes.append({
+                row = {
                     "graph": name, "budget": budget,
                     "astar_wall_s": round(a_wall, 6),
                     "legacy_wall_s": round(l_wall, 6),
@@ -87,12 +94,14 @@ def run(seeds, max_states, min_speedup, out_path, quick):
                     "legacy_cost": (None if l_cost is None else
                                     ("inf" if math.isinf(l_cost)
                                      else int(l_cost))),
-                })
-            table = memo.get("table")
-            if table is not None:
-                last = probes[-1]
-                last["stats"] = table.stats.as_dict()
-                last["transposition_probes"] = table.probes
+                }
+                tbl = memo.get("table")
+                if tbl is not None:
+                    after = tbl.stats.as_dict()
+                    row["stats"] = {k: v - stats_before.get(k, 0)
+                                    for k, v in after.items()}
+                    row["transposition_probes"] = tbl.probes - tt_before
+                probes.append(row)
 
     # Aggregate search statistics across the A* runs of the whole corpus.
     agg = {"expanded": 0, "generated": 0, "dominated": 0, "bound_pruned": 0,

@@ -137,7 +137,7 @@ class Auditor:
     """
 
     level: str = "off"
-    max_exhaustive_nodes: int = 26
+    max_exhaustive_nodes: int = 32
     max_exhaustive_states: int = 25_000
     check_cost_many: bool = True
     governed: bool = False

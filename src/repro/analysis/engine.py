@@ -212,7 +212,8 @@ class CachedCostFn:
 
     __slots__ = ("_fn", "_scheduler", "_cdag", "_cache", "_memo", "stats",
                  "_policy", "_fallback", "_fb_memo", "_key", "_context",
-                 "_on_eval", "_auditor", "degraded", "provenance", "brackets")
+                 "_on_eval", "_auditor", "_monotone", "degraded",
+                 "provenance", "brackets")
 
     def __init__(self, fn: Optional[CostFn] = None, *,
                  scheduler=None, cdag: Optional[CDAG] = None,
@@ -223,7 +224,8 @@ class CachedCostFn:
                  on_eval: Optional[
                      Callable[[int, float, bool, str, Optional[float]],
                               None]] = None,
-                 auditor: Optional[Auditor] = None):
+                 auditor: Optional[Auditor] = None,
+                 monotone: bool = True):
         if (fn is None) == (scheduler is None):
             raise ValueError("pass either fn or scheduler+cdag")
         if scheduler is not None and cdag is None:
@@ -247,6 +249,9 @@ class CachedCostFn:
         self._on_eval = on_eval
         self._auditor = auditor if auditor is not None and auditor.active \
             else None
+        # High-budget-first priming, honored only when the scheduler
+        # also advertises ``monotone_budget_probes`` (see prime()).
+        self._monotone = bool(monotone)
         self.degraded: set = set()
         #: budget -> ladder rung for every non-exact cached value
         #: (see :data:`repro.analysis.faults.PROVENANCES`)
@@ -418,6 +423,15 @@ class CachedCostFn:
         self.stats.cache_hits += len(unique) - len(missing)
         if not missing:
             return
+        if self._monotone and getattr(self._scheduler,
+                                      "monotone_budget_probes", False):
+            # Evaluate high-budget-first: the oracle's optimum is
+            # non-increasing in the budget, so each solved budget seeds
+            # ``upper_bound`` pruning (and closes monotonicity brackets)
+            # for every lower-budget probe after it.  Pure evaluation
+            # order — cached values and the caller's result order are
+            # untouched.
+            missing = sorted(missing, reverse=True)
         if self._guarded or self._scheduler is None:
             for b in missing:
                 self._evaluate(b)
@@ -479,9 +493,14 @@ def _pool_task(fn, args, kwargs, setup: Optional[dict] = None):
                          deadline=setup.get("deadline"),
                          mem_limit_mb=setup.get("mem_limit_mb"),
                          anytime=setup.get("anytime", False),
-                         jitter_seed=setup.get("jitter_seed"))
+                         jitter_seed=setup.get("jitter_seed"),
+                         monotone_probes=setup.get("monotone_probes", True))
     engine._context = setup.get("context", "")
     engine._collect_probes = True
+    # Attach (never own) the parent's shared-bound segment: cost
+    # functions built in this worker seed their memos with the name and
+    # the oracle's transposition tables read/publish through it.
+    engine._shared_name = setup.get("shared_bounds")
     seed = setup.get("seed")
     if seed:
         engine._seed.update(seed)
@@ -552,6 +571,22 @@ class SweepEngine:
     jitter_seed:
         Seed for the retry-backoff jitter RNG, making retry timing
         reproducible (ships to pool workers).
+    shared_bounds:
+        Host a :class:`~repro.core.shared_bounds.SharedBoundStore` for
+        this engine's lifetime and thread its segment name into every
+        oracle memo (here and in pool workers), so concurrent probes of
+        the same (graph, goal) exchange solved budgets, incumbents and
+        lower bounds across processes.  Purely an optimization: exact
+        values (and their provenance) are identical with it on or off,
+        and the engine degrades to local-only tables when shared memory
+        is unavailable.
+    monotone_probes:
+        Evaluate batched probes of budget-monotone schedulers (those
+        advertising ``monotone_budget_probes``, i.e. the exhaustive
+        oracle) high-budget-first, so every solved budget seeds
+        ``upper_bound`` pruning for the lower budgets after it.  On by
+        default — evaluation *order* only, values identical; ``False``
+        restores caller order.
     """
 
     def __init__(self, jobs: int = 1, *,
@@ -567,8 +602,11 @@ class SweepEngine:
                  deadline: Optional[float] = None,
                  mem_limit_mb: Optional[float] = None,
                  anytime: bool = False,
-                 jitter_seed: Optional[int] = None):
+                 jitter_seed: Optional[int] = None,
+                 shared_bounds: bool = False,
+                 monotone_probes: bool = True):
         self.jobs = max(1, int(jobs))
+        self.monotone_probes = bool(monotone_probes)
         self.stats = SweepStats()
         self.auditor = audit if isinstance(audit, Auditor) \
             else Auditor(level=audit)
@@ -596,6 +634,35 @@ class SweepEngine:
         self._probe_log: List[tuple] = []
         self._collect_probes = False
         self._context = ""
+        #: Cross-worker bound store (owner side).  ``_shared_name`` alone
+        #: is set on pool workers, which attach instead of owning.
+        self._shared_store = None
+        self._shared_name: Optional[str] = None
+        if shared_bounds:
+            try:
+                from ..core.shared_bounds import SharedBoundStore
+                self._shared_store = SharedBoundStore.create()
+                self._shared_name = self._shared_store.name
+            except Exception:  # degrade to local-only tables
+                self._shared_store = None
+                self._shared_name = None
+
+    def close(self) -> None:
+        """Release engine-owned resources: flush the checkpoint and
+        destroy the shared-bound segment (if hosting one).  Idempotent;
+        the engine remains usable afterwards, minus bound sharing."""
+        self.flush_checkpoint()
+        if self._shared_store is not None:
+            self._shared_store.unlink()
+            self._shared_store = None
+            self._shared_name = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            if self._shared_store is not None:
+                self._shared_store.unlink()
+        except Exception:
+            pass
 
     # ----------------------------------------------------------------- #
     # Probe labelling / persistence plumbing
@@ -680,9 +747,15 @@ class SweepEngine:
                               key=f"{sched_key}@{gkey}",
                               context=lambda: self._context,
                               on_eval=record,
-                              auditor=self.auditor)
+                              auditor=self.auditor,
+                              monotone=self.monotone_probes)
             fn.preload({b: v for (s, g, b), v in self._seed.items()
                         if s == sched_key and g == gkey})
+            if self._shared_name:
+                # Oracles thread this through their transposition tables
+                # (``ExhaustiveScheduler.cost_many``); schedulers that
+                # ignore the key are unaffected.
+                fn._memo["shared_store"] = self._shared_name
             self._fns[key] = fn
         return fn
 
@@ -785,9 +858,12 @@ class SweepEngine:
 
         t0 = time.perf_counter()
         try:
-            result = minimum_fast_memory(fn, target, lo, hi, step, hint=hint,
-                                         bracket_fn=fn.bracket,
-                                         on_inconclusive=inconclusive)
+            result = minimum_fast_memory(
+                fn, target, lo, hi, step, hint=hint,
+                bracket_fn=fn.bracket, on_inconclusive=inconclusive,
+                high_first=(self.monotone_probes
+                            and getattr(scheduler, "monotone_budget_probes",
+                                        False)))
         finally:
             self.stats.wall_time += time.perf_counter() - t0
             self.flush_checkpoint()
@@ -823,6 +899,8 @@ class SweepEngine:
             "mem_limit_mb": self.policy.mem_limit_mb,
             "anytime": self.policy.anytime,
             "jitter_seed": self.policy.seed,
+            "shared_bounds": self._shared_name,
+            "monotone_probes": self.monotone_probes,
         }
 
     def _task_key(self, fn, index: int) -> str:

@@ -39,6 +39,7 @@ def minimum_fast_memory(
     *,
     bracket_fn: Optional[Callable[[int], Tuple[float, float]]] = None,
     on_inconclusive: Optional[Callable[[int, float, float], None]] = None,
+    high_first: bool = False,
 ) -> Optional[int]:
     """Smallest budget on the grid ``{lo, lo+step, ...} ∪ {hi}`` clamped
     into ``[lo, hi]`` with ``cost_fn(b) <= target``, or ``None`` when even
@@ -53,6 +54,16 @@ def minimum_fast_memory(
     the boundary by galloping outward from the hint instead of bisecting
     the whole range, turning an accurate guess into O(1) probes.  The
     result is identical with or without a hint.
+
+    ``high_first`` probes the top of the range *before* any hint gallop
+    (the hint-less path already starts there).  For schedulers whose
+    cost is cheapest to prove at large budgets — the exhaustive oracle,
+    which turns each solved budget into an ``upper_bound`` seed for the
+    next (see ``ExhaustiveScheduler.monotone_budget_probes``) — this
+    makes every later probe of the search prunable.  At most one extra
+    probe; the result is unchanged (monotonicity: an infeasible top
+    means *every* budget is infeasible, which the gallop would have
+    concluded anyway).
 
     Fault-tolerance note: a cost function that *degrades* some probes to
     a fallback scheduler (see :mod:`repro.analysis.faults`) still returns
@@ -92,6 +103,9 @@ def minimum_fast_memory(
 
     if top_k == 0:
         return lo if feasible(0) else None
+
+    if high_first and hint is not None and not feasible(top_k):
+        return None
 
     if hint is None:
         if not feasible(top_k):

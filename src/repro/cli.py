@@ -178,8 +178,13 @@ def cmd_minmem(args) -> int:
     engine = SweepEngine(timeout=args.timeout, retries=args.retries,
                          checkpoint=args.checkpoint, audit=args.audit,
                          deadline=args.deadline, mem_limit_mb=args.mem_limit,
-                         anytime=args.anytime, jitter_seed=args.jitter_seed)
-    bits = engine.min_memory(scheduler, g)
+                         anytime=args.anytime, jitter_seed=args.jitter_seed,
+                         shared_bounds=args.shared_bounds,
+                         monotone_probes=not args.no_monotone_probes)
+    try:
+        bits = engine.min_memory(scheduler, g)
+    finally:
+        engine.close()
     if bits is None:
         print("strategy never reaches the lower bound")
         return 1
@@ -225,7 +230,9 @@ def cmd_experiments(args) -> int:
             timeout=args.timeout, retries=args.retries,
             checkpoint=args.checkpoint, audit=args.audit,
             deadline=args.deadline, mem_limit_mb=args.mem_limit,
-            anytime=args.anytime, jitter_seed=args.jitter_seed)
+            anytime=args.anytime, jitter_seed=args.jitter_seed,
+            shared_bounds=args.shared_bounds,
+            monotone_probes=not args.no_monotone_probes)
     return 0
 
 
@@ -296,6 +303,15 @@ def _add_fault_flags(parser) -> None:
     parser.add_argument("--jitter-seed", type=int, default=None, metavar="N",
                         help="seed the retry-backoff jitter RNG for "
                              "reproducible retry timing")
+    parser.add_argument("--shared-bounds", action="store_true",
+                        help="host a cross-worker shared-memory bound store: "
+                             "concurrent oracle probes of the same graph "
+                             "exchange solved budgets, incumbents and lower "
+                             "bounds (values are identical either way)")
+    parser.add_argument("--no-monotone-probes", action="store_true",
+                        help="disable high-budget-first ordering of batched "
+                             "oracle probes (the default ordering only "
+                             "changes evaluation order, never values)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,413 @@
+"""Cross-process bound sharing for concurrent oracle probes.
+
+When a :class:`~repro.analysis.engine.SweepEngine` fans probes of the
+same (graph, goal) pair across a worker pool, each worker owns a private
+:class:`~repro.schedulers.search.TranspositionTable` — solved budgets,
+monotonicity brackets and incumbents never cross process boundaries, so
+the pool re-solves what a sibling already proved.  This module closes
+that gap with a :class:`SharedBoundStore`: a fixed-size, lock-free slot
+table on :mod:`multiprocessing.shared_memory` through which workers
+exchange three kinds of facts about one *bound group* (a content
+fingerprint of graph + goal condition):
+
+* ``EXACT`` — budget → optimal cost (a solved transposition entry);
+* ``UB`` — an *achievable* cost at some budget (an anytime incumbent):
+  bounds the optimum from above for every budget ≥ it;
+* ``LB`` — an admissible frontier bound at some budget: bounds the
+  optimum from below for every budget ≤ it.
+
+Correctness under races
+-----------------------
+The table is deliberately lock-free; soundness comes from monotonicity,
+not mutual exclusion:
+
+* Every record carries a checksum over its fields, written *last*.  A
+  torn read (writer mid-update) or a two-writer collision fails the
+  checksum and the row is simply skipped — a lost row loses an
+  optimization, never an answer.
+* ``EXACT`` values are deterministic: two workers solving the same
+  (group, budget) write the *same* cost, so overwrites are idempotent.
+* ``UB``/``LB`` values are one-sided.  Any achievable cost is a valid
+  upper bound and any admissible bound a valid lower bound, so between
+  two racing writers either survivor is sound; the store merely prefers
+  the tighter one when it can read the incumbent.
+* Stale reads are monotone-safe: a reader that misses a fresher record
+  only prunes less.
+
+Consumers never *require* the store: :class:`BoundClient` is duck-typed
+against ``TranspositionTable.shared`` (``lookup`` / ``lower_bound`` /
+``upper_bound`` / ``record_exact`` / ``record_bracket``) and every
+failure path degrades to "no shared information".
+
+Governance
+----------
+Bound scans are chunked and poll the thread's active
+:class:`~repro.core.governor.CancellationToken` between chunks.  Because
+a shared read is purely an optimization, cancellation *aborts the scan*
+(returning the conservative partial answer) rather than raising — the
+probe's own poll sites then terminate it promptly.  A cancelled reader
+therefore never blocks on the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import Optional
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
+
+from .governor import current_token
+
+__all__ = ["EXACT", "UB", "LB", "SharedBoundStore", "BoundClient",
+           "bound_group_key", "attach_cached", "shared_bounds_available"]
+
+#: Record kinds (column 1 of a slot row).
+EXACT, UB, LB = 1, 2, 3
+
+_MAGIC = 0x5242_4F55_4E44_5331  # "RBOUNDS1"
+_HEADER_WORDS = 2               # [magic, slots]
+_ROW_WORDS = 5                  # [group, kind, budget, value, checksum]
+_WORD = 8
+_PROBE = 24                     # linear-probe window for keyed access
+_CHUNK = 1024                   # scan rows between token polls
+_M63 = (1 << 63) - 1
+#: Field sanity window: budgets/values outside it are never recorded
+#: (they could not round-trip through an int64 slot).
+_MAX_FIELD = 1 << 62
+
+# SplitMix64-style mixing constants (64-bit, applied mod 2**64).
+_C1 = 0x9E3779B97F4A7C15
+_C2 = 0xBF58476D1CE4E5B9
+_C3 = 0x94D049BB133111EB
+_C4 = 0x2545F4914F6CDD1D
+
+
+def shared_bounds_available() -> bool:
+    """Whether this interpreter can host a shared-bound store (needs
+    numpy and :mod:`multiprocessing.shared_memory`)."""
+    if _np is None:
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - stdlib since 3.8
+        return False
+    return True
+
+
+def _checksum(group: int, kind: int, budget: int, value: int) -> int:
+    """63-bit fence against torn rows; ``| 1`` keeps it nonzero so a
+    zeroed (empty) slot can never validate."""
+    x = (group * _C1 + kind * _C2 + budget * _C3 + value * _C4) & _M63
+    return x | 1
+
+
+def bound_group_key(cdag, require_blue_sinks: bool = True,
+                    final_red: Optional[tuple] = None) -> int:
+    """Content fingerprint of a (graph, goal condition) bound group.
+
+    Exact WRBPG costs depend only on the weighted DAG and the stopping
+    condition — never on search options — so two workers probing the
+    same content share one group even when their scheduler instances
+    differ.  Hashing content (names, weights, edges) rather than object
+    identity makes the key stable across processes.
+    """
+    h = hashlib.sha1()
+    fr = ",".join(sorted(map(str, final_red))) if final_red else ""
+    h.update(f"{cdag.name}|{int(bool(require_blue_sinks))}|{fr}".encode())
+    for v in cdag.topological_order():
+        preds = ",".join(sorted(map(str, cdag.predecessors(v))))
+        h.update(f";{v}:{cdag.weight(v)}:{preds}".encode())
+    return (int.from_bytes(h.digest()[:8], "big") & _M63) | 1
+
+
+class SharedBoundStore:
+    """A fixed-size slot table in POSIX shared memory.
+
+    Layout: a 2-word header ``[magic, slots]`` followed by ``slots``
+    rows of 5 little-int64 words ``[group, kind, budget, value,
+    checksum]``.  ``group == 0`` marks an empty slot (group keys are
+    forced odd-nonzero).  Keyed records (``EXACT`` and per-budget
+    bounds) linear-probe a :func:`_checksum`-derived home slot; when the
+    probe window is full the record is dropped — the store is a bounded
+    cache, not a database.
+    """
+
+    __slots__ = ("name", "slots", "owner", "_shm", "_table", "closed")
+
+    def __init__(self, shm, slots: int, owner: bool):
+        self.name = shm.name
+        self.slots = slots
+        self.owner = owner
+        self.closed = False
+        self._shm = shm
+        off = _HEADER_WORDS * _WORD
+        self._table = _np.ndarray((slots, _ROW_WORDS), dtype=_np.int64,
+                                  buffer=shm.buf, offset=off)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    @classmethod
+    def create(cls, slots: int = 4096) -> "SharedBoundStore":
+        """Create (and own) a new store; the creator should
+        :meth:`unlink` it when the sweep finishes."""
+        if _np is None:
+            raise RuntimeError("shared-bound store requires numpy")
+        from multiprocessing import shared_memory
+        size = (_HEADER_WORDS + slots * _ROW_WORDS) * _WORD
+        name = f"repro-bounds-{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        header = _np.ndarray((_HEADER_WORDS,), dtype=_np.int64,
+                             buffer=shm.buf)
+        store = cls(shm, slots, owner=True)
+        store._table[:] = 0
+        header[1] = slots
+        header[0] = _MAGIC  # magic last: attachers see a finished header
+        return store
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedBoundStore":
+        """Attach to an existing store by name (worker side).
+
+        Attaching must not register the segment with this process's
+        ``resource_tracker`` — on Python < 3.13 the tracker would unlink
+        the segment when the *worker* exits, yanking it out from under
+        the owner and its siblings.
+        """
+        if _np is None:
+            raise RuntimeError("shared-bound store requires numpy")
+        from multiprocessing import shared_memory
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track kwarg
+            shm = shared_memory.SharedMemory(name=name)
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        header = _np.ndarray((_HEADER_WORDS,), dtype=_np.int64,
+                             buffer=shm.buf)
+        if int(header[0]) != _MAGIC:
+            shm.close()
+            raise ValueError(f"shared segment {name!r} is not a bound store")
+        return cls(shm, int(header[1]), owner=False)
+
+    def close(self) -> None:
+        """Detach this process's mapping (the segment survives)."""
+        if not self.closed:
+            self.closed = True
+            self._table = None
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; idempotent)."""
+        self.close()
+        if self.owner:
+            self.owner = False
+            try:
+                # Forked workers share the owner's resource-tracker
+                # daemon, so an attach-side unregister (see attach) may
+                # have dropped the owner's registration too.  Re-register
+                # before unlinking so unlink's own unregister balances.
+                from multiprocessing import resource_tracker
+                resource_tracker.register(self._shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.unlink() if self.owner else self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+
+    def client(self, group: int) -> "BoundClient":
+        """A :class:`BoundClient` scoped to one bound group."""
+        return BoundClient(self, group)
+
+    def _probe_slots(self, group: int, kind: int, budget: int):
+        base = _checksum(group, kind, budget, 0) % self.slots
+        for off in range(_PROBE):
+            yield (base + off) % self.slots
+
+    def _read_valid(self, slot: int):
+        """Row at ``slot`` as ``(group, kind, budget, value)`` if its
+        checksum validates, else ``None`` (empty or torn)."""
+        row = self._table[slot]
+        g, k, b, v, cs = (int(row[0]), int(row[1]), int(row[2]),
+                          int(row[3]), int(row[4]))
+        if g == 0 or _checksum(g, k, b, v) != cs:
+            return None
+        return g, k, b, v
+
+    def _write(self, slot: int, group: int, kind: int, budget: int,
+               value: int) -> None:
+        # Invalidate first, checksum last: a concurrent reader sees the
+        # old valid row, an invalid row, or the new valid row — never a
+        # mix that validates.
+        row = self._table[slot]
+        row[4] = 0
+        row[0] = group
+        row[1] = kind
+        row[2] = budget
+        row[3] = value
+        row[4] = _checksum(group, kind, budget, value)
+
+    def record(self, group: int, kind: int, budget: int, value: int) -> None:
+        """Insert/refresh a keyed record.  Best-effort: a full probe
+        window or out-of-range fields drop the record silently."""
+        if self.closed or not (0 <= budget < _MAX_FIELD
+                               and 0 <= value < _MAX_FIELD):
+            return
+        fallback = None
+        for slot in self._probe_slots(group, kind, budget):
+            hit = self._read_valid(slot)
+            if hit is None:
+                if int(self._table[slot, 0]) == 0:
+                    self._write(slot, group, kind, budget, value)
+                    return
+                if fallback is None:
+                    fallback = slot  # torn row: reusable, but keep probing
+                continue
+            if hit[0] == group and hit[1] == kind and hit[2] == budget:
+                old = hit[3]
+                # Keep the tighter bound; EXACT rewrites are idempotent.
+                if (kind == UB and value >= old) or \
+                   (kind == LB and value <= old):
+                    return
+                self._write(slot, group, kind, budget, value)
+                return
+        if fallback is not None:
+            self._write(fallback, group, kind, budget, value)
+
+    def lookup(self, group: int, kind: int, budget: int) -> Optional[int]:
+        """Keyed point read (O(probe window), no table scan)."""
+        if self.closed:
+            return None
+        for slot in self._probe_slots(group, kind, budget):
+            hit = self._read_valid(slot)
+            if hit and hit[0] == group and hit[1] == kind \
+                    and hit[2] == budget:
+                return hit[3]
+        return None
+
+    def scan_bound(self, group: int, budget: int, *, lower: bool):
+        """Monotone bound from every record of this group.
+
+        ``lower=True``: max value over ``EXACT``/``LB`` rows with budget
+        ≥ ``budget`` (the optimum is non-increasing in budget, so a cost
+        proven at a *larger* budget bounds a smaller one from below).
+        ``lower=False``: min value over ``EXACT``/``UB`` rows with
+        budget ≤ ``budget``.  Chunked; a cancellation observed between
+        chunks aborts the scan and returns the (conservative) partial
+        answer — see the module docstring on governance.
+        """
+        if self.closed:
+            return None
+        tab = self._table
+        tok = current_token()
+        other = LB if lower else UB
+        best = None
+        for start in range(0, self.slots, _CHUNK):
+            if tok is not None and tok.poll() is not None:
+                break
+            rows = tab[start:start + _CHUNK]
+            g = rows[:, 0].view(_np.uint64)
+            k = rows[:, 1].view(_np.uint64)
+            b = rows[:, 2].view(_np.uint64)
+            v = rows[:, 3].view(_np.uint64)
+            cs = (g * _np.uint64(_C1) + k * _np.uint64(_C2)
+                  + b * _np.uint64(_C3) + v * _np.uint64(_C4))
+            cs &= _np.uint64(_M63)
+            cs |= _np.uint64(1)
+            ok = (cs == rows[:, 4].view(_np.uint64))
+            ok &= rows[:, 0] == group
+            ok &= (rows[:, 1] == EXACT) | (rows[:, 1] == other)
+            ok &= (rows[:, 2] >= budget) if lower else (rows[:, 2] <= budget)
+            vals = rows[:, 3][ok]
+            if vals.size:
+                ext = int(vals.max() if lower else vals.min())
+                if best is None or (ext > best if lower else ext < best):
+                    best = ext
+        return best
+
+
+#: Per-process cache of attached segments, so every transposition table
+#: built in a worker maps the store once.  Small LRU: sweeping engines
+#: come and go, and a mapping held past its owner's unlink only pins a
+#: few memory pages.
+_ATTACH_CACHE: dict = {}
+_ATTACH_CACHE_MAX = 4
+
+
+def attach_cached(name: str) -> SharedBoundStore:
+    """Attach to ``name``, reusing this process's existing mapping."""
+    store = _ATTACH_CACHE.get(name)
+    if store is not None and not store.closed:
+        return store
+    store = SharedBoundStore.attach(name)
+    _ATTACH_CACHE.pop(name, None)   # re-insert at the back of the LRU
+    _ATTACH_CACHE[name] = store
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        old = next(iter(_ATTACH_CACHE))
+        _ATTACH_CACHE.pop(old).close()
+    return store
+
+
+class BoundClient:
+    """Per-(process, bound group) view of a :class:`SharedBoundStore`,
+    duck-typed for ``TranspositionTable.shared``.  All methods are
+    best-effort and cheap to call with no store behind them."""
+
+    __slots__ = ("store", "group", "hits", "publishes")
+
+    def __init__(self, store: SharedBoundStore, group: int):
+        self.store = store
+        self.group = group
+        self.hits = 0        #: shared reads that tightened/answered
+        self.publishes = 0   #: records written through
+
+    def lookup(self, budget: int) -> Optional[int]:
+        hit = self.store.lookup(self.group, EXACT, budget)
+        if hit is not None:
+            self.hits += 1
+        return hit
+
+    def lower_bound(self, budget: int) -> int:
+        lb = self.store.scan_bound(self.group, budget, lower=True)
+        if lb is None:
+            return 0
+        self.hits += 1
+        return lb
+
+    def upper_bound(self, budget: int) -> float:
+        ub = self.store.scan_bound(self.group, budget, lower=False)
+        if ub is None:
+            return float("inf")
+        self.hits += 1
+        return float(ub)
+
+    def record_exact(self, budget: int, cost: int) -> None:
+        self.store.record(self.group, EXACT, budget, int(cost))
+        self.publishes += 1
+
+    def record_bracket(self, budget: int, lb, ub) -> None:
+        """Publish an inexact probe's certified bracket.  ``lb == 0``
+        carries no information and ``ub == inf`` is no incumbent; both
+        are skipped."""
+        if lb and lb > 0 and lb != float("inf"):
+            self.store.record(self.group, LB, budget, int(lb))
+            self.publishes += 1
+        if ub is not None and ub != float("inf"):
+            self.store.record(self.group, UB, budget, int(ub))
+            self.publishes += 1

@@ -43,13 +43,16 @@ def main(out_dir: str = "paper_artifacts", jobs: int = 1,
          profile: bool = False, timeout=None, retries: int = 0,
          checkpoint=None, audit: str = "off", deadline=None,
          mem_limit_mb=None, anytime: bool = False,
-         jitter_seed=None) -> None:
+         jitter_seed=None, shared_bounds: bool = False,
+         monotone_probes: bool = True) -> None:
     out = pathlib.Path(out_dir)
     out.mkdir(exist_ok=True)
     eng = SweepEngine(jobs=jobs, timeout=timeout, retries=retries,
                       checkpoint=checkpoint, audit=audit,
                       deadline=deadline, mem_limit_mb=mem_limit_mb,
-                      anytime=anytime, jitter_seed=jitter_seed)
+                      anytime=anytime, jitter_seed=jitter_seed,
+                      shared_bounds=shared_bounds,
+                      monotone_probes=monotone_probes)
     tasks = [
         ("table1", lambda: render_table1(run_table1(engine=eng))),
         ("fig5", lambda: render_fig5(run_fig5(engine=eng))),
@@ -67,7 +70,7 @@ def main(out_dir: str = "paper_artifacts", jobs: int = 1,
             print(f"\n{'=' * 72}\n{text}\n"
                   f"[{name}: {dt:.1f}s -> {out / name}.txt]")
     finally:
-        eng.flush_checkpoint()  # keep partial progress on any abort
+        eng.close()  # flush partial progress + release shared segments
     if profile:
         print(f"\n{'=' * 72}\n{eng.stats.report()}")
 
@@ -103,6 +106,11 @@ def _parse_args(argv=None):
                          "[lb, ub] brackets instead of greedy fallbacks")
     ap.add_argument("--jitter-seed", type=int, default=None, metavar="N",
                     help="seed the retry-backoff jitter RNG")
+    ap.add_argument("--shared-bounds", action="store_true",
+                    help="cross-worker shared-memory bound store for "
+                         "concurrent oracle probes")
+    ap.add_argument("--no-monotone-probes", action="store_true",
+                    help="disable high-budget-first oracle probe ordering")
     return ap.parse_args(argv)
 
 
@@ -112,4 +120,6 @@ if __name__ == "__main__":
          timeout=_args.timeout, retries=_args.retries,
          checkpoint=_args.checkpoint, audit=_args.audit,
          deadline=_args.deadline, mem_limit_mb=_args.mem_limit,
-         anytime=_args.anytime, jitter_seed=_args.jitter_seed)
+         anytime=_args.anytime, jitter_seed=_args.jitter_seed,
+         shared_bounds=_args.shared_bounds,
+         monotone_probes=not _args.no_monotone_probes)

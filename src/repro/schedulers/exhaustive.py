@@ -38,8 +38,9 @@ from .base import OptimalityContract, Scheduler
 from .search import SearchProblem, SearchStats, TranspositionTable, astar
 
 #: Soft cap on graph size; beyond this the search space is hopeless.  The
-#: informed core pushed this up from the uninformed-Dijkstra era's 22.
-DEFAULT_MAX_NODES = 26
+#: informed core pushed this up from the uninformed-Dijkstra era's 22, and
+#: the vectorized expansion kernels from 26 to 32.
+DEFAULT_MAX_NODES = 32
 
 #: Cap on settled (expanded) configurations; loose budgets on mid-size
 #: graphs can blow past 4^n reachable states even when the node count
@@ -73,6 +74,13 @@ class ExhaustiveScheduler(Scheduler):
     core:
         ``"search"`` (default) for the informed core, ``"legacy"`` for the
         original uninformed Dijkstra with explicit M4 moves.
+    vectorized:
+        Route the informed core's expansion through the numpy kernels
+        (incremental store heuristics, batched must-become-red closures).
+        The search trajectory — every cost and schedule — is
+        byte-identical to the scalar core; ``False`` forces the scalar
+        kernels (the automatic fallback when numpy is missing or the
+        weights would overflow int64).
     anytime:
         Degrade gracefully instead of raising: when a probe is cancelled
         (deadline, memory watchdog, external cancel) or trips the
@@ -93,8 +101,21 @@ class ExhaustiveScheduler(Scheduler):
     #: instances (whose degraded probes may return upper bounds, not
     #: optima) key differently.  ``last_anytime`` likewise stays out of
     #: the key (``None`` would fold in; an ``AnytimeResult`` does not).
+    #: ``vectorized`` works the same way and additionally *may* stay out
+    #: of the key entirely — the vector kernels are trajectory-identical,
+    #: so probe caches are interchangeable either way.
     anytime = False
+    vectorized = True
     last_anytime: Optional[AnytimeResult] = None
+
+    #: Exact probes of the same graph are cheapest high-budget-first:
+    #: the optimum is non-increasing in the budget, so every solved high
+    #: budget seeds ``upper_bound`` pruning for the lower-budget probes
+    #: that follow.  Batch callers (``CachedCostFn.prime``,
+    #: ``minimum_fast_memory``) consult this advisory class attribute to
+    #: reorder *evaluation* (never results).  Class-level for the same
+    #: cache-key reason as ``vectorized`` above.
+    monotone_budget_probes = True
 
     contract = OptimalityContract(
         accepts=("*",), optimal_on=("*",),
@@ -112,11 +133,14 @@ class ExhaustiveScheduler(Scheduler):
                  use_heuristic: bool = True,
                  use_dominance: bool = True,
                  core: str = "search",
-                 anytime: bool = False):
+                 anytime: bool = False,
+                 vectorized: bool = True):
         if core not in ("search", "legacy"):
             raise ValueError(f"core must be 'search' or 'legacy', got {core!r}")
         if anytime:
             self.anytime = True     # see the class-attribute note above
+        if not vectorized:
+            self.vectorized = False
         self.max_nodes = max_nodes
         self.final_red = final_red
         self.require_blue_sinks = require_blue_sinks
@@ -224,6 +248,11 @@ class ExhaustiveScheduler(Scheduler):
         returned list and park the full bracket in the memo under
         ``"anytime_results"`` (budget → :class:`AnytimeResult`), where the
         sweep engine's provenance ladder picks it up.
+
+        A ``"shared_store"`` memo key (the segment name of a
+        :class:`~repro.core.shared_bounds.SharedBoundStore`) survives
+        graph changes and attaches every table built here to the
+        cross-worker bound store.
         """
         if self._anytime_mode():
             return self._cost_many_anytime(cdag, budgets, memo)
@@ -234,12 +263,15 @@ class ExhaustiveScheduler(Scheduler):
         mode = (self.require_blue_sinks, self.final_red,
                 self.use_heuristic, self.use_dominance)
         if state.get("graph") is not cdag or state.get("mode") != mode:
+            shared_name = state.get("shared_store")
             state.clear()
             state["graph"] = cdag
             state["mode"] = mode
+            if shared_name:
+                state["shared_store"] = shared_name
         table = state.get("table")
         if table is None:
-            table = self._make_table(cdag)
+            table = self._make_table(cdag, state.get("shared_store"))
             state["table"] = table
         out: List[float] = []
         for b in budgets:
@@ -255,14 +287,17 @@ class ExhaustiveScheduler(Scheduler):
         mode = (self.require_blue_sinks, self.final_red,
                 self.use_heuristic, self.use_dominance)
         if state.get("graph") is not cdag or state.get("mode") != mode:
+            shared_name = state.get("shared_store")
             state.clear()
             state["graph"] = cdag
             state["mode"] = mode
+            if shared_name:
+                state["shared_store"] = shared_name
         table = None
         if self.core == "search" and len(cdag) <= self.max_nodes:
             table = state.get("table")
             if table is None:
-                table = self._make_table(cdag)
+                table = self._make_table(cdag, state.get("shared_store"))
                 state["table"] = table
         out: List[float] = []
         for b in budgets:
@@ -288,10 +323,23 @@ class ExhaustiveScheduler(Scheduler):
                 f"{self.max_nodes}; use a dataflow-specific scheduler",
                 size=len(cdag), limit=self.max_nodes)
 
-    def _make_table(self, cdag: CDAG) -> TranspositionTable:
+    def _make_table(self, cdag: CDAG,
+                    shared_name: Optional[str] = None) -> TranspositionTable:
+        shared = None
+        if shared_name:
+            # Best-effort: a vanished segment (owner already unlinked) or
+            # a platform without shared memory degrades to local-only.
+            try:
+                from ..core.shared_bounds import attach_cached, bound_group_key
+                store = attach_cached(shared_name)
+                shared = store.client(bound_group_key(
+                    cdag, require_blue_sinks=self.require_blue_sinks,
+                    final_red=self.final_red))
+            except Exception:
+                shared = None
         problem = SearchProblem(cdag, require_blue_sinks=self.require_blue_sinks,
                                 final_red=self.final_red)
-        return TranspositionTable(problem)
+        return TranspositionTable(problem, shared=shared)
 
     def _greedy_bracket(self, cdag: CDAG, b: int, lb, reason: str,
                         stats) -> AnytimeResult:
@@ -364,7 +412,7 @@ class ExhaustiveScheduler(Scheduler):
             max_states=self.max_states,
             upper_bound=None if ubT == float("inf") else int(ubT),
             h_cache=table.h_cache if self.use_heuristic else None,
-            stats=stats, anytime=True)
+            stats=stats, anytime=True, vectorized=self.vectorized)
         if res.exact:
             table.record(b, int(res.upper_bound))
             return res
@@ -372,6 +420,10 @@ class ExhaustiveScheduler(Scheduler):
         # the frontier bound.  Never record inexact values in the table —
         # they would poison future exact probes.
         lb = max(res.lower_bound, table.lower_bound(b))
+        # ... but do publish the certified bracket to the cross-worker
+        # store (kinds UB/LB, kept apart from exact records): a sibling
+        # probing nearby budgets prunes with our incumbent immediately.
+        table.publish_bracket(b, lb, res.upper_bound)
         if res.schedule is None:
             return self._greedy_bracket(cdag, b, lb, res.reason, res.stats)
         if lb > res.lower_bound:
@@ -417,7 +469,7 @@ class ExhaustiveScheduler(Scheduler):
             max_states=self.max_states,
             upper_bound=None if ub == float("inf") else int(ub),
             h_cache=table.h_cache if self.use_heuristic else None,
-            stats=stats)
+            stats=stats, vectorized=self.vectorized)
         table.record(b, cost)
         return cost, schedule
 

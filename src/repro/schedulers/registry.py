@@ -63,7 +63,7 @@ def _exhaustive(cdag: CDAG) -> Scheduler:
     # settled states keeps the slowest corpus probe under ~3 s while the
     # A* heuristic + dominance pruning let most 20+-node graphs finish
     # well inside it.
-    return ExhaustiveScheduler(max_nodes=26, max_states=25_000)
+    return ExhaustiveScheduler(max_nodes=32, max_states=25_000)
 
 
 def _dwt(cdag: CDAG) -> Scheduler:

@@ -52,6 +52,7 @@ Transposition across budgets
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -63,10 +64,30 @@ from ..core.governor import AnytimeResult, CancellationToken, current_token
 from ..core.moves import M1, M2, M3, M4, Move
 from ..core.schedule import Schedule
 
+try:                              # numpy is optional: the scalar core is
+    import numpy as _np           # always available and value-identical.
+except ImportError:               # pragma: no cover - numpy is baked in
+    _np = None
+
 __all__ = ["SearchProblem", "SearchStats", "DominanceIndex",
            "TranspositionTable", "astar"]
 
 _INF = float("inf")
+
+#: Below this many batched items the numpy fixed costs (array allocation,
+#: dtype churn) exceed the scalar loop they replace; the vector core then
+#: degrades to the scalar kernels, which compute the same values.
+_VEC_MIN_BATCH = 16
+
+#: The dominance index's packed header pass needs this many buckets
+#: before one vectorized superset test beats the plain dict walk.
+_DOM_VEC_MIN_KEYS = 256
+
+_U64 = (1 << 64) - 1
+
+#: Weights whose total exceeds this stay on the scalar (big-int) kernels:
+#: the vectorized tables hold int64 and must never overflow silently.
+_VEC_MAX_WEIGHT = 1 << 31
 
 #: Bits per precomputed popcount-weight table chunk (≤ 16 KiB of ints each).
 _CHUNK_BITS = 14
@@ -88,7 +109,10 @@ class SearchStats:
     dominated: int = 0         # pops discarded by dominance pruning
     bound_pruned: int = 0      # successors discarded by the upper bound
     heuristic_evals: int = 0   # heuristic closures actually computed
-    heuristic_hits: int = 0    # heuristic answers served from the memo
+    heuristic_hits: int = 0    # states whose heuristic the memo answered
+                               # (counted once, at first discovery, so a
+                               # probe's hits never exceed the entries
+                               # that existed before it ran)
     result_hits: int = 0       # whole probes answered by the transposition
 
     def as_dict(self) -> Dict[str, int]:
@@ -115,8 +139,8 @@ class SearchProblem:
 
     __slots__ = ("cdag", "nodes", "index", "n", "w", "parents_mask",
                  "source_mask", "nonsource_mask", "full_mask", "goal_blue",
-                 "goal_red", "require_blue_sinks", "final_red",
-                 "m1", "m2", "m3", "m4", "_tables", "_evict_cache")
+                 "goal_red", "require_blue_sinks", "final_red", "goal_w",
+                 "m1", "m2", "m3", "m4", "_tables", "_evict_cache", "_vec")
 
     def __init__(self, cdag: CDAG, require_blue_sinks: bool = True,
                  final_red: Optional[tuple] = None):
@@ -151,6 +175,10 @@ class SearchProblem:
         for v in self.final_red:
             goal_red |= 1 << index[v]
         self.goal_red = goal_red
+        # Per-node heuristic store-term weight: w[i] when i is a goal sink
+        # (storing it discharges one outstanding M2), else 0.
+        self.goal_w = [self.w[i] if goal_blue >> i & 1 else 0
+                       for i in range(n)]
         # Per-node Move objects, so expansion never rebuilds them.
         self.m1 = [M1(v) for v in nodes]
         self.m2 = [M2(v) for v in nodes]
@@ -170,8 +198,19 @@ class SearchProblem:
             tables.append(tab)
         self._tables = tables
         self._evict_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._vec: Optional["_VectorCore"] = None
 
     # ------------------------------------------------------------------ #
+
+    def vector(self) -> Optional["_VectorCore"]:
+        """The cached numpy kernel bundle for this problem, or ``None``
+        when numpy is unavailable or the weights would overflow int64
+        arithmetic (the scalar core then handles everything)."""
+        vec = self._vec
+        if vec is None and _np is not None and self.n:
+            if self.mask_weight(self.full_mask) < _VEC_MAX_WEIGHT:
+                vec = self._vec = _VectorCore(self)
+        return vec
 
     def mask_weight(self, mask: int) -> int:
         """Total weight of the nodes in ``mask``."""
@@ -258,6 +297,198 @@ class SearchProblem:
         return result
 
 
+class _VectorCore:
+    """Numpy kernels over packed bitmask states for one SearchProblem.
+
+    States are packed into uint64 *limbs*: one column for n ≤ 64 (the
+    fast path) and ``ceil(n / 64)`` columns above that, so every bitwise
+    kernel is a per-limb array op and nothing here caps the graph size.
+    Weight-of-mask lookups go through 16-bit-aligned per-limb tables
+    (never straddling a limb boundary), and the must-become-red closure
+    of the residual-I/O heuristic runs as a synchronized fixpoint across
+    the whole batch: each round ORs the parent masks of every
+    still-needed node into every row at once.  The fixpoint is
+    order-independent, so the converged ``need`` sets — and therefore the
+    heuristic values — are byte-identical to the scalar walk's.
+
+    Eviction-set enumeration stays scalar by design: minimal-set DFS
+    with suffix-weight pruning branches data-dependently per node, the
+    per-expansion candidate sets are small, and the enumeration is
+    memoized in :attr:`SearchProblem._evict_cache` — there is no batch
+    shape for numpy to exploit.
+    """
+
+    __slots__ = ("p", "limbs", "w_arr", "gw_arr", "pm_packed",
+                 "source_packed", "goal_blue_packed", "_w16")
+
+    def __init__(self, problem: SearchProblem):
+        self.p = problem
+        n = problem.n
+        self.limbs = (n + 63) // 64
+        self.w_arr = _np.array(problem.w, dtype=_np.int64)
+        self.gw_arr = _np.array(problem.goal_w, dtype=_np.int64)
+        self.pm_packed = _np.empty((n, self.limbs), dtype=_np.uint64)
+        for i in range(n):
+            self.pm_packed[i] = self.pack(problem.parents_mask[i])
+        self.source_packed = self.pack(problem.source_mask)
+        self.goal_blue_packed = self.pack(problem.goal_blue)
+        # 16-bit-aligned weight tables per limb: tab[(limb >> s) & 0xFFFF]
+        # sums the weights of the masked nodes.  Built with vectorized
+        # bit tests so construction is O(16) array ops per table.
+        w16: List[List[Tuple[int, "_np.ndarray"]]] = []
+        span = _np.arange(1 << 16, dtype=_np.int64)
+        for l in range(self.limbs):
+            tabs: List[Tuple[int, "_np.ndarray"]] = []
+            for s in range(0, 64, 16):
+                base = 64 * l + s
+                if base >= n:
+                    break
+                tab = _np.zeros(1 << 16, dtype=_np.int64)
+                for j in range(min(16, n - base)):
+                    wj = problem.w[base + j]
+                    if wj:
+                        tab += ((span >> j) & 1) * wj
+                tabs.append((s, tab))
+            w16.append(tabs)
+        self._w16 = w16
+
+    def pack(self, mask: int) -> "_np.ndarray":
+        """A Python-int bitmask as a ``(limbs,)`` uint64 row."""
+        row = _np.empty(self.limbs, dtype=_np.uint64)
+        for l in range(self.limbs):
+            row[l] = (mask >> (64 * l)) & _U64
+        return row
+
+    def pack_batch(self, masks: List[int]) -> "_np.ndarray":
+        """Python-int bitmasks as a ``(len(masks), limbs)`` uint64 array."""
+        out = _np.empty((len(masks), self.limbs), dtype=_np.uint64)
+        for j, m in enumerate(masks):
+            for l in range(self.limbs):
+                out[j, l] = (m >> (64 * l)) & _U64
+        return out
+
+    def weight_batch(self, masks: "_np.ndarray") -> "_np.ndarray":
+        """Per-row mask weights of a packed ``(B, limbs)`` batch."""
+        out = _np.zeros(masks.shape[0], dtype=_np.int64)
+        low16 = _np.uint64(0xFFFF)
+        for l, tabs in enumerate(self._w16):
+            col = masks[:, l]
+            for s, tab in tabs:
+                out += tab[(col >> _np.uint64(s)) & low16]
+        return out
+
+    def goal_batch(self, reds: "_np.ndarray", blues: "_np.ndarray"
+                   ) -> "_np.ndarray":
+        """Per-row goal test of packed ``(B, limbs)`` red/blue batches."""
+        gb = self.goal_blue_packed
+        gr = self.pack(self.p.goal_red)
+        ok = ((blues & gb) == gb).all(axis=1)
+        ok &= ((reds & gr) == gr).all(axis=1)
+        return ok
+
+    def store_batch(self, red: int, blue: int, g: int, h: int,
+                    use_heuristic: bool):
+        """All M2-store successors of ``(red, blue)`` as aligned arrays.
+
+        Returns ``(indices, ng, nf)`` in ascending node order.  ``nf``
+        uses the incremental store identity ``h(red, blue | i) = h - gw[i]``
+        (the stored node is red, so the must-become-red closure cannot
+        change; only the store term drops) — no closure walks at all.
+        """
+        idx: List[int] = []
+        m = red & ~blue
+        while m:
+            low = m & -m
+            m ^= low
+            idx.append(low.bit_length() - 1)
+        ia = _np.array(idx, dtype=_np.int64)
+        ng = g + self.w_arr[ia]
+        nf = ng + (h - self.gw_arr[ia]) if use_heuristic else ng
+        return idx, ng.tolist(), nf.tolist()
+
+    def acquire_heuristics(self, reds: List[int], blue: int, hc: Dict,
+                           st: SearchStats,
+                           tok: Optional[CancellationToken],
+                           fresh: Optional[List[bool]] = None) -> List[int]:
+        """Heuristic values for acquire successors (new reds, same blue).
+
+        Serves memo hits scalar, then evaluates the misses through the
+        batched closure (or the scalar walk below the batch threshold),
+        memoizing every result.  Values are identical to
+        :meth:`SearchProblem.heuristic` on each state.  ``fresh[j]``
+        marks states not yet discovered this probe; only those count as
+        memo hits, matching the scalar core's first-discovery rule.
+        """
+        p = self.p
+        out = [0] * len(reds)
+        miss_idx: List[int] = []
+        miss_reds: List[int] = []
+        for j, r in enumerate(reds):
+            v = hc.get((r, blue))
+            if v is None:
+                miss_idx.append(j)
+                miss_reds.append(r)
+            else:
+                if fresh is None or fresh[j]:
+                    st.heuristic_hits += 1
+                out[j] = v
+        if not miss_reds:
+            return out
+        st.heuristic_evals += len(miss_reds)
+        if len(miss_reds) < _VEC_MIN_BATCH:
+            for j, r in zip(miss_idx, miss_reds):
+                v = p.heuristic(r, blue)
+                hc[(r, blue)] = v
+                out[j] = v
+            return out
+        vals = self.closure_batch(miss_reds, blue, tok)
+        for j, r, v in zip(miss_idx, miss_reds, vals):
+            hc[(r, blue)] = v
+            out[j] = v
+        return out
+
+    def closure_batch(self, reds: List[int], blue: int,
+                      tok: Optional[CancellationToken] = None) -> List[int]:
+        """Residual-I/O heuristic for many red sets under one blue set.
+
+        The store term is shared (it depends only on ``blue``); the
+        must-become-red closures run as a synchronized fixpoint over the
+        packed batch.  Each round gathers the union of still-open nodes
+        across all rows, then ORs each such node's parent mask into
+        exactly the rows where it is open — popcount(union) array ops
+        per round, at most ``depth(cdag)`` rounds.
+        """
+        p = self.p
+        store = p.mask_weight(p.goal_blue & ~blue)
+        rarr = self.pack_batch(reds)
+        blue_row = self.pack(blue)
+        seed = self.pack((p.goal_blue & ~blue) | p.goal_red)
+        need = seed & ~rarr
+        todo = need & ~blue_row
+        pmp = self.pm_packed
+        one = _np.uint64(1)
+        while True:
+            union = 0
+            for l in range(self.limbs - 1, -1, -1):
+                union = (union << 64) | int(_np.bitwise_or.reduce(todo[:, l]))
+            if not union:
+                break
+            if tok is not None:
+                tok.raise_if_cancelled("batched heuristic closure")
+            add = _np.zeros_like(todo)
+            while union:
+                low = union & -union
+                union ^= low
+                j = low.bit_length() - 1
+                sel = (todo[:, j >> 6] >> _np.uint64(j & 63)) & one
+                add |= pmp[j] * sel[:, None]
+            new = add & ~rarr & ~need
+            need |= new
+            todo = new & ~blue_row
+        weights = self.weight_batch(need & self.source_packed)
+        return [store + int(v) for v in weights]
+
+
 class DominanceIndex:
     """Settled configurations indexed for superset-dominance queries.
 
@@ -274,14 +505,49 @@ class DominanceIndex:
     past what a bounded scan can cover, the check degrades to a partial
     scan instead of letting pruning overhead dominate the search (measured
     on tight-budget banded instances, an unbounded scan costs 4× more than
-    it saves).
+    it saves).  Only ``(red, cost)`` entries actually compared against the
+    query are charged — bucket headers, skipped popcount layers, and
+    non-superset blue buckets are free — and the budget is checked
+    *before* each inspection, so a query inspects exactly
+    ``min(scan_limit, candidate entries)`` entries regardless of bucket
+    layout.  :attr:`inspected` counts charged inspections cumulatively.
+
+    With ``vectorized=True`` (and numpy available) the cross-blue header
+    pass — the profiled hot spot: every settled blue mask is a bucket,
+    and each pop scans all the headers — becomes one packed-uint64
+    superset test over the bucket-key array.  Candidate buckets come out
+    in insertion order, exactly like dict iteration, and the per-entry
+    scans are unchanged, so queries return the same answers and charge
+    the same inspections as the scalar pass.  Bucket keys above 64 bits
+    flip the index back to the scalar pass permanently.
     """
 
-    __slots__ = ("_buckets", "scan_limit")
+    __slots__ = ("_buckets", "scan_limit", "inspected", "_keys", "_nkeys")
 
-    def __init__(self, scan_limit: int = 64) -> None:
+    def __init__(self, scan_limit: int = 64, vectorized: bool = False) -> None:
         self._buckets: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
         self.scan_limit = scan_limit
+        self.inspected = 0  # cumulative charged entry inspections
+        # Packed bucket keys, insertion-ordered (numpy growth buffer).
+        self._keys = (_np.zeros(256, dtype=_np.uint64)
+                      if vectorized and _np is not None else None)
+        self._nkeys = 0
+
+    def _scan(self, layers: Dict[int, List[Tuple[int, int]]], min_pc: int,
+              red: int, cost: int, budget: int) -> Tuple[bool, int]:
+        """Scan one bucket's layers of red popcount ≥ ``min_pc`` for a
+        dominator, charging ``budget`` per inspected entry."""
+        for pc, entries in layers.items():
+            if pc < min_pc:
+                continue
+            for r, c in entries:
+                if budget <= 0:
+                    return False, 0
+                budget -= 1
+                self.inspected += 1
+                if c <= cost and (r & red) == red:
+                    return True, budget
+        return False, budget
 
     def dominated(self, red: int, blue: int, cost: int) -> bool:
         """True iff a settled state with superset red *and* blue reached
@@ -290,38 +556,58 @@ class DominanceIndex:
         budget = self.scan_limit
         # Same-blue bucket first: direct lookup, and in practice where
         # nearly all dominators live (extra blue costs extra stores).
+        # Equal red popcount would be the query itself: skipped.
         layers = self._buckets.get(blue)
         if layers is not None:
-            for pc, entries in layers.items():
-                if pc <= rc:
+            hit, budget = self._scan(layers, rc + 1, red, cost, budget)
+            if hit:
+                return True
+        if budget <= 0:
+            return False
+        # Cross-blue buckets with strictly-superset blue, where equal red
+        # popcount is admissible.  Header tests are cheap mask compares —
+        # they stay outside the budget — and vectorize over the packed
+        # key array when it is available.
+        keys = self._keys
+        if keys is not None and self._nkeys >= _DOM_VEC_MIN_KEYS:
+            if blue > _U64:
+                return False    # every bucket key fits 64 bits: no superset
+            b64 = _np.uint64(blue)
+            k = keys[:self._nkeys]
+            for bl in k[(k & b64) == b64].tolist():
+                if bl == blue:
                     continue
-                for r, c in entries:
-                    budget -= 1
-                    if c <= cost and (r & red) == red:
-                        return True
-                    if budget <= 0:
-                        return False
-        # Cross-blue buckets: header inspections count toward the budget
-        # too, so a search with many distinct blue sets stays cheap.
+                hit, budget = self._scan(self._buckets[bl], rc, red, cost,
+                                         budget)
+                if hit:
+                    return True
+                if budget <= 0:
+                    return False
+            return False
         for bl, lay in self._buckets.items():
-            budget -= 1
-            if budget <= 0:
-                return False
             if bl == blue or (bl & blue) != blue:
                 continue
-            for pc, entries in lay.items():
-                if pc < rc:
-                    continue
-                for r, c in entries:
-                    budget -= 1
-                    if c <= cost and (r & red) == red:
-                        return True
-                    if budget <= 0:
-                        return False
+            hit, budget = self._scan(lay, rc, red, cost, budget)
+            if hit:
+                return True
+            if budget <= 0:
+                return False
         return False
 
     def insert(self, red: int, blue: int, cost: int) -> None:
-        layers = self._buckets.setdefault(blue, {})
+        layers = self._buckets.get(blue)
+        if layers is None:
+            layers = self._buckets[blue] = {}
+            if self._keys is not None:
+                if blue > _U64:
+                    self._keys = None   # big-int keys: scalar pass only
+                else:
+                    if self._nkeys == len(self._keys):
+                        grown = _np.zeros(2 * self._nkeys, dtype=_np.uint64)
+                        grown[:self._nkeys] = self._keys
+                        self._keys = grown
+                    self._keys[self._nkeys] = blue
+                    self._nkeys += 1
         rc = red.bit_count()
         budget = self.scan_limit
         for pc in list(layers):
@@ -347,44 +633,107 @@ class TranspositionTable:
     Holds the compiled :class:`SearchProblem`, the budget-independent
     heuristic memo, cumulative :class:`SearchStats`, and the finished
     budget → optimal-cost results that bracket future probes.
+
+    :meth:`lower_bound` / :meth:`upper_bound` are called inside the
+    ``minimum_fast_memory`` binary search and every sweep probe, so the
+    results are mirrored into a budget-sorted array with prefix-min /
+    suffix-max overlays: each bound query is two :mod:`bisect` lookups
+    instead of a scan over every solved budget.  The overlays are rebuilt
+    on :meth:`record` — recording happens once per *solved* budget, which
+    is orders of magnitude rarer than bound probes — and return exactly
+    what the full scan would, even for (impossible, but unverified)
+    non-monotone result sets.
+
+    ``shared`` optionally attaches a
+    :class:`~repro.core.shared_bounds.BoundClient`: exact results are
+    written through to the cross-process store, and bound queries take
+    the tighter of the local overlay and the shared scan.
     """
 
-    __slots__ = ("problem", "h_cache", "results", "stats", "probes")
+    __slots__ = ("problem", "h_cache", "results", "stats", "probes",
+                 "shared", "_budgets", "_costs", "_prefix_min",
+                 "_suffix_max")
 
-    def __init__(self, problem: SearchProblem):
+    def __init__(self, problem: SearchProblem, shared=None):
         self.problem = problem
         self.h_cache: Dict[Tuple[int, int], int] = {}
         self.results: Dict[int, int] = {}
         self.stats = SearchStats()
         self.probes = 0
+        self.shared = shared
+        self._budgets: List[int] = []   # sorted solved budgets
+        self._costs: List[int] = []     # aligned with _budgets
+        self._prefix_min: List[float] = [_INF]  # min cost over budgets < i
+        self._suffix_max: List[int] = [0]       # max cost over budgets >= i
 
     def __len__(self) -> int:
         """Sized for memo instrumentation (engine peak_memo_entries)."""
         return len(self.h_cache) + len(self.results)
 
     def lookup(self, budget: int) -> Optional[int]:
-        """Exact transposition hit, if this budget was already solved."""
-        return self.results.get(budget)
+        """Exact transposition hit, if this budget was already solved
+        (locally or by any worker publishing to the shared store)."""
+        hit = self.results.get(budget)
+        if hit is None and self.shared is not None:
+            hit = self.shared.lookup(budget)
+            if hit is not None:
+                self._record_local(budget, hit)
+        return hit
 
     def lower_bound(self, budget: int) -> int:
         """Optimal cost is non-increasing in the budget, so any solved
         budget ≥ this one bounds the optimum from below."""
-        lb = 0
-        for b, c in self.results.items():
-            if b >= budget and c > lb:
-                lb = c
+        lb = self._suffix_max[bisect.bisect_left(self._budgets, budget)]
+        if self.shared is not None:
+            slb = self.shared.lower_bound(budget)
+            if slb > lb:
+                lb = slb
         return lb
 
     def upper_bound(self, budget: int) -> float:
         """Any solved budget ≤ this one bounds the optimum from above."""
-        ub = _INF
-        for b, c in self.results.items():
-            if b <= budget and c < ub:
-                ub = c
+        ub = self._prefix_min[bisect.bisect_right(self._budgets, budget)]
+        if self.shared is not None:
+            sub = self.shared.upper_bound(budget)
+            if sub < ub:
+                ub = sub
         return ub
 
-    def record(self, budget: int, cost: int) -> None:
+    def _record_local(self, budget: int, cost: int) -> None:
+        known = self.results.get(budget)
         self.results[budget] = cost
+        if known == cost:
+            return
+        if known is None:
+            i = bisect.bisect_left(self._budgets, budget)
+            self._budgets.insert(i, budget)
+            self._costs.insert(i, cost)
+        else:  # pragma: no cover - re-recording a solved budget
+            self._costs[self._budgets.index(budget)] = cost
+        n = len(self._costs)
+        pmin: List[float] = [_INF] * (n + 1)
+        for i in range(n):
+            c = self._costs[i]
+            pmin[i + 1] = c if c < pmin[i] else pmin[i]
+        smax = [0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            c = self._costs[i]
+            smax[i] = c if c > smax[i + 1] else smax[i + 1]
+        self._prefix_min = pmin
+        self._suffix_max = smax
+
+    def record(self, budget: int, cost: int) -> None:
+        self._record_local(budget, cost)
+        if self.shared is not None:
+            self.shared.record_exact(budget, cost)
+
+    def publish_bracket(self, budget: int, lb: float, ub: float) -> None:
+        """Share an *inexact* probe's certified bracket: the incumbent's
+        achievable cost bounds budgets ≥ ``budget`` from above and the
+        frontier bound bounds budgets ≤ ``budget`` from below.  Never
+        stored locally — inexact values must not poison exact results."""
+        if self.shared is not None:
+            self.shared.record_bracket(budget, lb, ub)
 
 
 def _expand_moves(problem: SearchProblem, evict_mask: int,
@@ -410,6 +759,7 @@ def astar(problem: SearchProblem, budget: int, *,
           stats: Optional[SearchStats] = None,
           token: Optional[CancellationToken] = None,
           anytime: bool = False,
+          vectorized: bool = False,
           ):
     """A* over normalized WRBPG configurations.
 
@@ -442,6 +792,13 @@ def astar(problem: SearchProblem, budget: int, *,
     never changes the returned optimum).  In anytime mode a tripped
     ``max_states`` cap likewise returns a bracket (reason ``"states"``)
     instead of raising.
+
+    ``vectorized`` routes expansion through the numpy kernels of
+    :class:`_VectorCore` — same push order, same heuristic values, same
+    pruning decisions, so the search trajectory (and with it every cost
+    and schedule) is byte-identical to the scalar core.  The flag
+    silently falls back to scalar when numpy is unavailable or the
+    weights would overflow the int64 kernels.
     """
     p = problem
     b = budget
@@ -449,13 +806,19 @@ def astar(problem: SearchProblem, budget: int, *,
     hc = h_cache if h_cache is not None else {}
     ub = upper_bound if upper_bound is not None else _INF
     tok = token if token is not None else current_token()
+    vec = p.vector() if vectorized else None
 
     w = p.w
     pm = p.parents_mask
     mask_weight = p.mask_weight
     n = p.n
 
-    def hval(red: int, blue: int) -> int:
+    def hval(red: int, blue: int, count_hit: bool = True) -> int:
+        # ``count_hit=False`` marks re-services of a state discovered
+        # earlier in this probe (dist re-improvements, frontier
+        # re-pushes): the memo answer was already accounted at first
+        # discovery, and counting repeats would let a probe's hits
+        # exceed the memo entries that existed when it started.
         if not use_heuristic:
             return 0
         key = (red, blue)
@@ -464,7 +827,7 @@ def astar(problem: SearchProblem, budget: int, *,
             v = p.heuristic(red, blue)
             hc[key] = v
             st.heuristic_evals += 1
-        else:
+        elif count_hit:
             st.heuristic_hits += 1
         return v
 
@@ -474,7 +837,8 @@ def astar(problem: SearchProblem, budget: int, *,
     seq = 0
     heap: List[Tuple[int, int, int, int, int]] = [
         (hval(*start), 0, 0, start[0], start[1])]
-    dom = DominanceIndex() if use_dominance else None
+    dom = (DominanceIndex(vectorized=vec is not None)
+           if use_dominance else None)
     settled = 0
     inf = _INF
     keep_prev = want_schedule or anytime
@@ -498,14 +862,27 @@ def astar(problem: SearchProblem, budget: int, *,
                              source="search", stats=st.as_dict())
 
     def push(nred: int, nblue: int, ng: int, state: Tuple[int, int],
-             evict_mask: int, final_move: Move) -> None:
+             evict_mask: int, final_move: Move,
+             nf: Optional[int] = None) -> None:
+        # ``nf`` lets the vectorized expansion hand in a pre-batched
+        # f-value; it always equals ``ng + hval(nred, nblue)``.
         nonlocal seq, ub, best_g, best_state
         nxt = (nred, nblue)
-        if ng >= dist.get(nxt, inf):
+        old = dist.get(nxt, inf)
+        if ng >= old:
             return
-        nf = ng + hval(nred, nblue)
+        if nf is None:
+            nf = ng + hval(nred, nblue, old == inf)
         if nf > ub:
             st.bound_pruned += 1
+            # Remember the pruned label: f depends only on (g, state), so
+            # a re-push at the same or worse g would re-derive the same
+            # doomed f.  Recording g suppresses those repeats (the heap
+            # never sees pruned labels either way) and keeps "first
+            # discovery" well-defined: a state serves at most one memo
+            # hit per probe, so a probe's hits are bounded by the memo
+            # entries that existed when it started.
+            dist[nxt] = ng
             return
         dist[nxt] = ng
         if keep_prev:
@@ -529,7 +906,7 @@ def astar(problem: SearchProblem, budget: int, *,
                 raise ProbeCancelledError(
                     f"informed search on {p.cdag.name!r} cancelled ({r})",
                     reason=r, stats=st.as_dict())
-        _, _, g, red, blue = heapq.heappop(heap)
+        f, _, g, red, blue = heapq.heappop(heap)
         state = (red, blue)
         if g > dist.get(state, inf):
             st.stale_pops += 1
@@ -553,7 +930,8 @@ def astar(problem: SearchProblem, budget: int, *,
                 # Put the capped state back so the frontier bound stays
                 # admissible (it was already removed from the heap).
                 seq += 1
-                heapq.heappush(heap, (g + hval(red, blue), seq, g, red, blue))
+                heapq.heappush(heap,
+                               (g + hval(red, blue, False), seq, g, red, blue))
                 return _finish("states")
             raise StateSpaceTooLargeError(
                 f"informed search on {p.cdag.name!r} settled {settled} "
@@ -564,39 +942,116 @@ def astar(problem: SearchProblem, budget: int, *,
             dom.insert(red, blue, g)
         try:
             rw = mask_weight(red)
-            # Stores: M2 for every red, not-yet-blue node.
-            m = red & ~blue
-            while m:
-                low = m & -m
-                m ^= low
-                i = low.bit_length() - 1
-                push(red, blue | low, g + w[i], state, 0, p.m2[i])
-            # Acquires: M1 (blue, not red) and M3 (parents red, not red),
-            # each with every minimal eviction set that makes it fit.
-            for cand, is_load in ((blue & ~red, True),
-                                  (p.nonsource_mask & ~red, False)):
-                while cand:
-                    low = cand & -cand
-                    cand ^= low
+            if vec is not None:
+                # Vectorized expansion.  Same successor order and values
+                # as the scalar branch below; only *where* the heuristic
+                # values come from differs (see _VectorCore).  The popped
+                # entry carries f = g + h, so the parent's heuristic is
+                # recovered without a memo lookup.
+                h_par = (f - g) if use_heuristic else 0
+                gw = p.goal_w
+                # Stores: incremental h (the stored node is red, so only
+                # the store term drops), batched through numpy arithmetic
+                # once the run of candidates is long enough to pay off.
+                m = red & ~blue
+                if use_heuristic and m.bit_count() >= _VEC_MIN_BATCH:
+                    for i, ng, nf in zip(*vec.store_batch(
+                            red, blue, g, h_par, use_heuristic)):
+                        push(red, blue | (1 << i), ng, state, 0, p.m2[i],
+                             nf=nf)
+                else:
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        i = low.bit_length() - 1
+                        ng = g + w[i]
+                        nf = ng + h_par - gw[i] if use_heuristic else ng
+                        push(red, blue | low, ng, state, 0, p.m2[i], nf=nf)
+                # Acquires: scalar pushes, except that a candidate whose
+                # eviction fan is large batches its successors' heuristics
+                # through the synchronized closure.  Per-candidate runs
+                # are contiguous in push order, their red sets pairwise
+                # distinct, and their blue set unchanged, so deferring the
+                # pushes to the end of the run changes nothing.
+                for cand, is_load in ((blue & ~red, True),
+                                      (p.nonsource_mask & ~red, False)):
+                    while cand:
+                        low = cand & -cand
+                        cand ^= low
+                        i = low.bit_length() - 1
+                        if is_load:
+                            protected = 0
+                            cost = w[i]
+                            move = p.m1[i]
+                        else:
+                            protected = pm[i]
+                            if protected & ~red:
+                                continue    # some parent not red
+                            cost = 0
+                            move = p.m3[i]
+                        ng = g + cost
+                        deficit = rw + w[i] - b
+                        if deficit <= 0:
+                            push(red | low, blue, ng, state, 0, move)
+                            continue
+                        evictable = red & ~protected
+                        evs = p.minimal_evictions(evictable, deficit)
+                        if not use_heuristic or len(evs) < _VEC_MIN_BATCH:
+                            for d_mask in evs:
+                                push((red & ~d_mask) | low, blue, ng,
+                                     state, d_mask, move)
+                            continue
+                        items = [((red & ~d_mask) | low, d_mask)
+                                 for d_mask in evs]
+                        items = [t for t in items
+                                 if ng < dist.get((t[0], blue), inf)]
+                        if len(items) >= _VEC_MIN_BATCH:
+                            hv = vec.acquire_heuristics(
+                                [t[0] for t in items], blue, hc, st, tok,
+                                fresh=[(t[0], blue) not in dist
+                                       for t in items])
+                            for (nred, d_mask), h_new in zip(items, hv):
+                                push(nred, blue, ng, state, d_mask, move,
+                                     nf=ng + h_new)
+                        else:
+                            for nred, d_mask in items:
+                                push(nred, blue, ng, state, d_mask, move)
+            else:
+                # Stores: M2 for every red, not-yet-blue node.
+                m = red & ~blue
+                while m:
+                    low = m & -m
+                    m ^= low
                     i = low.bit_length() - 1
-                    if is_load:
-                        protected = 0
-                        cost = w[i]
-                        move = p.m1[i]
-                    else:
-                        protected = pm[i]
-                        if protected & ~red:
-                            continue    # some parent not red: M3 illegal
-                        cost = 0
-                        move = p.m3[i]
-                    deficit = rw + w[i] - b
-                    if deficit <= 0:
-                        push(red | low, blue, g + cost, state, 0, move)
-                        continue
-                    evictable = red & ~protected
-                    for d_mask in p.minimal_evictions(evictable, deficit):
-                        push((red & ~d_mask) | low, blue, g + cost,
-                             state, d_mask, move)
+                    push(red, blue | low, g + w[i], state, 0, p.m2[i])
+                # Acquires: M1 (blue, not red) and M3 (parents red, not
+                # red), each with every minimal eviction set that makes
+                # it fit.
+                for cand, is_load in ((blue & ~red, True),
+                                      (p.nonsource_mask & ~red, False)):
+                    while cand:
+                        low = cand & -cand
+                        cand ^= low
+                        i = low.bit_length() - 1
+                        if is_load:
+                            protected = 0
+                            cost = w[i]
+                            move = p.m1[i]
+                        else:
+                            protected = pm[i]
+                            if protected & ~red:
+                                continue    # some parent not red: M3 illegal
+                            cost = 0
+                            move = p.m3[i]
+                        deficit = rw + w[i] - b
+                        if deficit <= 0:
+                            push(red | low, blue, g + cost, state, 0, move)
+                            continue
+                        evictable = red & ~protected
+                        for d_mask in p.minimal_evictions(evictable,
+                                                          deficit):
+                            push((red & ~d_mask) | low, blue, g + cost,
+                                 state, d_mask, move)
         except ProbeCancelledError as exc:
             # Cancelled mid-expansion (inside the eviction enumeration).
             exc.stats.update(st.as_dict())
@@ -606,7 +1061,8 @@ def astar(problem: SearchProblem, budget: int, *,
             # ungenerated successors must still cross the frontier for
             # the lower bound to stay admissible.
             seq += 1
-            heapq.heappush(heap, (g + hval(red, blue), seq, g, red, blue))
+            heapq.heappush(heap,
+                           (g + hval(red, blue, False), seq, g, red, blue))
             return _finish(exc.reason or "cancelled")
     if anytime and best_state is not None:
         # Frontier exhausted: every open label was dominated or pruned by

@@ -1,0 +1,260 @@
+"""Cross-worker shared-bound store (:mod:`repro.core.shared_bounds`).
+
+Unit semantics of the lock-free slot table (records, tighter-bound
+preference, torn-row rejection, monotone scans), its governance contract
+(a cancelled reader degrades to "no shared information", never blocks or
+raises), the memo plumbing that keeps a store attached across graph
+changes, and the end-to-end determinism claim: a pooled sweep with bound
+sharing returns exactly the serial sweep's values and provenance.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import SweepEngine
+from repro.core import CancellationToken, governed
+from repro.core.exceptions import ProbeCancelledError
+from repro.core.shared_bounds import (EXACT, LB, UB, BoundClient,
+                                      SharedBoundStore, _checksum,
+                                      attach_cached, bound_group_key,
+                                      shared_bounds_available)
+from repro.experiments.fig6 import dwt_panel
+from repro.graphs import dwt_graph, mvm_graph
+from repro.schedulers import ExhaustiveScheduler, TranspositionTable
+
+pytestmark = pytest.mark.skipif(not shared_bounds_available(),
+                                reason="needs numpy + shared_memory")
+
+
+@pytest.fixture
+def store():
+    s = SharedBoundStore.create(slots=256)
+    try:
+        yield s
+    finally:
+        s.unlink()
+
+
+GROUP = bound_group_key(dwt_graph(4, 2))
+
+
+# --------------------------------------------------------------------- #
+# Slot-table unit semantics
+
+
+def test_exact_roundtrip_and_misses(store):
+    store.record(GROUP, EXACT, 8, 20)
+    assert store.lookup(GROUP, EXACT, 8) == 20
+    assert store.lookup(GROUP, EXACT, 9) is None        # other budget
+    assert store.lookup(GROUP + 2, EXACT, 8) is None    # other group
+    assert store.lookup(GROUP, UB, 8) is None           # other kind
+
+
+def test_exact_rewrite_is_idempotent(store):
+    store.record(GROUP, EXACT, 8, 20)
+    store.record(GROUP, EXACT, 8, 20)
+    assert store.lookup(GROUP, EXACT, 8) == 20
+
+
+def test_bounds_keep_the_tighter_value(store):
+    store.record(GROUP, UB, 8, 10)
+    store.record(GROUP, UB, 8, 12)      # looser: ignored
+    assert store.lookup(GROUP, UB, 8) == 10
+    store.record(GROUP, UB, 8, 7)       # tighter: replaces
+    assert store.lookup(GROUP, UB, 8) == 7
+    store.record(GROUP, LB, 8, 5)
+    store.record(GROUP, LB, 8, 3)       # looser: ignored
+    assert store.lookup(GROUP, LB, 8) == 5
+    store.record(GROUP, LB, 8, 6)       # tighter: replaces
+    assert store.lookup(GROUP, LB, 8) == 6
+
+
+def test_scan_bound_monotone_semantics(store):
+    # Optimal cost is non-increasing in budget: EXACT(10)=20, EXACT(14)=16.
+    store.record(GROUP, EXACT, 10, 20)
+    store.record(GROUP, EXACT, 14, 16)
+    store.record(GROUP, LB, 12, 18)     # admissible bound at budget 12
+    store.record(GROUP, UB, 9, 30)      # incumbent at budget 9
+    # lower bound at b: max over EXACT/LB rows with budget >= b.
+    assert store.scan_bound(GROUP, 9, lower=True) == 20
+    assert store.scan_bound(GROUP, 11, lower=True) == 18
+    assert store.scan_bound(GROUP, 14, lower=True) == 16
+    assert store.scan_bound(GROUP, 15, lower=True) is None
+    # upper bound at b: min over EXACT/UB rows with budget <= b.
+    assert store.scan_bound(GROUP, 14, lower=False) == 16
+    assert store.scan_bound(GROUP, 12, lower=False) == 20
+    assert store.scan_bound(GROUP, 9, lower=False) == 30
+    assert store.scan_bound(GROUP, 8, lower=False) is None
+    # Other groups see nothing.
+    assert store.scan_bound(GROUP + 2, 10, lower=True) is None
+
+
+def test_torn_rows_are_invisible(store):
+    store.record(GROUP, EXACT, 8, 20)
+    # Corrupt the value without refreshing the checksum: a writer died
+    # mid-update.  Every read path must skip the row, not trust it.
+    for slot in range(store.slots):
+        if int(store._table[slot, 0]) == GROUP:
+            store._table[slot, 3] = 999
+    assert store.lookup(GROUP, EXACT, 8) is None
+    assert store.scan_bound(GROUP, 8, lower=True) is None
+    assert store.scan_bound(GROUP, 8, lower=False) is None
+    # A later clean write through the same key repairs the slot.
+    store.record(GROUP, EXACT, 8, 20)
+    assert store.lookup(GROUP, EXACT, 8) == 20
+
+
+def test_checksum_never_validates_a_zeroed_slot():
+    # ``| 1`` keeps every checksum odd-nonzero, so an all-zero (empty)
+    # row can never masquerade as a record.
+    assert _checksum(0, 0, 0, 0) != 0
+
+
+def test_attach_sees_owner_writes(store):
+    store.record(GROUP, EXACT, 8, 20)
+    other = SharedBoundStore.attach(store.name)
+    try:
+        assert other.lookup(GROUP, EXACT, 8) == 20
+        other.record(GROUP, EXACT, 9, 18)
+        assert store.lookup(GROUP, EXACT, 9) == 18
+    finally:
+        other.close()
+
+
+# --------------------------------------------------------------------- #
+# Governance: cancelled readers degrade, never block or raise
+
+
+def test_cancelled_reader_returns_conservative_defaults(store):
+    client = store.client(GROUP)
+    client.record_exact(10, 20)
+    tok = CancellationToken()
+    tok.cancel("test")
+    with governed(tok):
+        # Scans abort before their first chunk: no shared information.
+        assert client.lower_bound(8) == 0
+        assert client.upper_bound(12) == math.inf
+    # Outside the cancelled scope the same reads tighten again.
+    assert client.lower_bound(8) == 20
+    assert client.upper_bound(12) == 20.0
+
+
+def test_strict_mode_probe_still_cancels_with_store_attached(store):
+    sched = ExhaustiveScheduler()
+    memo = {"shared_store": store.name}
+    tok = CancellationToken()
+    tok.cancel("deadline")
+    with governed(tok):
+        with pytest.raises(ProbeCancelledError):
+            sched.cost_many(dwt_graph(4, 2), (8,), memo=memo)
+
+
+# --------------------------------------------------------------------- #
+# Client + transposition-table integration
+
+
+def test_record_bracket_skips_vacuous_bounds(store):
+    client = store.client(GROUP)
+    client.record_bracket(8, 0, math.inf)
+    assert client.publishes == 0
+    client.record_bracket(8, 5, 9)
+    assert client.publishes == 2
+    assert store.lookup(GROUP, LB, 8) == 5
+    assert store.lookup(GROUP, UB, 8) == 9
+
+
+def test_tables_exchange_results_through_the_store(store):
+    cdag = dwt_graph(4, 2)
+    sched = ExhaustiveScheduler()
+    t1 = sched._make_table(cdag, store.name)
+    assert isinstance(t1, TranspositionTable) and t1.shared is not None
+    t1.record(8, 14)
+    t1.publish_bracket(6, 9, 17)
+    # A sibling worker's fresh table sees all three facts.
+    t2 = sched._make_table(cdag, store.name)
+    assert t2.lookup(8) == 14
+    assert t2.lookup(8) == 14           # now a local transposition hit
+    assert t2.lower_bound(5) >= 14      # EXACT(8) bounds smaller budgets
+    assert t2.lower_bound(6) >= 9
+    assert t2.upper_bound(7) <= 17      # UB(6) bounds larger budgets
+    # A different goal condition is a different bound group: isolated.
+    t3 = ExhaustiveScheduler(require_blue_sinks=False)._make_table(
+        cdag, store.name)
+    assert t3.lookup(8) is None
+
+
+def test_bound_group_key_tracks_content_not_identity():
+    a, b = dwt_graph(4, 2), dwt_graph(4, 2)
+    assert a is not b
+    assert bound_group_key(a) == bound_group_key(b)
+    assert bound_group_key(a) != bound_group_key(dwt_graph(8, 2))
+    assert bound_group_key(a) != bound_group_key(mvm_graph(2, 2))
+    assert bound_group_key(a) != bound_group_key(a, require_blue_sinks=False)
+
+
+def test_memo_shared_store_survives_graph_change(store):
+    sched = ExhaustiveScheduler()
+    memo = {"shared_store": store.name}
+    c1 = sched.cost_many(dwt_graph(4, 2), (8,), memo=memo)[0]
+    assert math.isfinite(c1)
+    assert memo["table"].shared is not None
+    first_group = memo["table"].shared.group
+    # Switching graphs clears the memo but must re-thread the store.
+    c2 = sched.cost_many(mvm_graph(2, 2), (6,), memo=memo)[0]
+    assert math.isfinite(c2)
+    assert memo["shared_store"] == store.name
+    assert memo["table"].shared is not None
+    assert memo["table"].shared.group != first_group
+
+
+def test_vanished_segment_degrades_to_local_only():
+    dead = SharedBoundStore.create(slots=64)
+    name = dead.name
+    dead.unlink()
+    sched = ExhaustiveScheduler()
+    memo = {"shared_store": name}
+    cost = sched.cost_many(dwt_graph(4, 2), (8,), memo=memo)[0]
+    assert math.isfinite(cost)
+    assert memo["table"].shared is None
+
+
+def test_attach_cached_reuses_one_mapping(store):
+    a = attach_cached(store.name)
+    b = attach_cached(store.name)
+    assert a is b
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: pooled sweep with bound sharing is bit-identical to serial
+
+
+def test_pooled_shared_sweep_matches_serial():
+    serial = dwt_panel(False, n_max=16, stride=4, engine=SweepEngine())
+    eng = SweepEngine(jobs=2, shared_bounds=True)
+    try:
+        pooled = dwt_panel(False, n_max=16, stride=4, engine=eng)
+    finally:
+        eng.close()
+    assert pooled == serial
+
+
+def test_serial_shared_sweep_publishes_and_rereads():
+    # The DWT panel runs dataflow-specific schedulers (no transposition
+    # table), so exercise the store through the exhaustive oracle, whose
+    # tables are the only shared-bound producers and consumers.
+    cdag = dwt_graph(4, 2)
+    budgets = [4, 6, 8]
+    plain = SweepEngine().sweep(ExhaustiveScheduler(), cdag, budgets, "p")
+    eng = SweepEngine(shared_bounds=True)
+    try:
+        shared = eng.sweep(ExhaustiveScheduler(), cdag, budgets, "p")
+        assert shared.costs == plain.costs
+        clients = [fn._memo["table"].shared
+                   for fn in eng._fns.values()
+                   if fn._memo.get("table") is not None
+                   and fn._memo["table"].shared is not None]
+        assert clients, "no table attached to the shared store"
+        assert sum(c.publishes for c in clients) > 0
+    finally:
+        eng.close()

@@ -266,3 +266,168 @@ def test_stats_do_not_change_cache_key():
     key = ex.cache_key()
     ex.min_cost(dwt_graph(4, 1, weights=equal()), 64)
     assert ex.cache_key() == key
+
+
+# --------------------------------------------------------------------- #
+# Dominance scan-budget accounting (the scan charges only what it
+# inspects, and checks the budget *before* each inspection)
+
+
+def _incomparable_index(scan_limit, vectorized=False):
+    """Index holding five pairwise-incomparable 3-bit reds in one bucket
+    (none prunes another on insert), in a known insertion order."""
+    idx = DominanceIndex(scan_limit=scan_limit, vectorized=vectorized)
+    for red in (0b00111, 0b01011, 0b01101, 0b10011, 0b10101):
+        idx.insert(red, 0, 10)
+    return idx
+
+
+def test_dominance_scan_charges_exactly_the_inspected_entries():
+    idx = _incomparable_index(scan_limit=3)
+    base = idx.inspected
+    # No entry is a superset of {3, 4}: the scan runs to its budget and
+    # must charge exactly scan_limit inspections — not one more.
+    assert not idx.dominated(0b11000, 0, 10)
+    assert idx.inspected - base == 3
+
+
+def test_dominance_budget_checked_before_inspection():
+    # The dominator of {0, 1} is the *first* inserted entry (0b00111),
+    # inspected third under the insertion order below.
+    order = (0b01101, 0b10101, 0b00111, 0b01011, 0b10011)
+
+    def build(limit):
+        idx = DominanceIndex(scan_limit=limit)
+        for red in order:
+            idx.insert(red, 0, 10)
+        return idx
+
+    idx = build(3)
+    base = idx.inspected
+    assert idx.dominated(0b00011, 0, 10)     # found exactly at the limit
+    assert idx.inspected - base == 3
+
+    idx = build(2)
+    base = idx.inspected
+    assert not idx.dominated(0b00011, 0, 10)  # budget stops inspection 3
+    assert idx.inspected - base == 2
+
+
+def test_dominance_cross_blue_scan_budget_spans_buckets():
+    # Same-blue bucket consumes part of the budget; the cross-blue pass
+    # only gets the remainder.  Query blue=0 sees bucket blue=1 (strict
+    # superset) but the budget is exhausted by the same-blue entries.
+    idx = DominanceIndex(scan_limit=2)
+    idx.insert(0b00111, 0, 10)   # same-blue, not a superset of {3, 4}
+    idx.insert(0b01011, 0, 10)   # same-blue, not a superset either
+    idx.insert(0b11000, 1, 5)    # cross-blue dominator, never inspected
+    base = idx.inspected
+    assert not idx.dominated(0b11000, 0, 10)
+    assert idx.inspected - base == 2
+    # With budget to spare, the cross-blue dominator is found.
+    idx2 = DominanceIndex(scan_limit=8)
+    idx2.insert(0b00111, 0, 10)
+    idx2.insert(0b01011, 0, 10)
+    idx2.insert(0b11000, 1, 5)
+    assert idx2.dominated(0b11000, 0, 10)
+
+
+# --------------------------------------------------------------------- #
+# Transposition bound overlays == naive full scans
+
+
+def test_transposition_bounds_match_naive_reference():
+    import random
+
+    problem = SearchProblem(dwt_graph(4, 1, weights=equal()))
+    rng = random.Random(20260808)
+    for _ in range(60):
+        table = TranspositionTable(problem)
+        solved = {}
+        for _ in range(rng.randint(1, 25)):
+            b = rng.randint(0, 120)
+            c = rng.randint(0, 80)  # deliberately non-monotone data
+            table.record(b, c)
+            solved[b] = c
+            for q in range(0, 130, 7):
+                want_lb = max((cc for bb, cc in solved.items() if bb >= q),
+                              default=0)
+                want_ub = min((cc for bb, cc in solved.items() if bb <= q),
+                              default=math.inf)
+                assert table.lower_bound(q) == want_lb, (solved, q)
+                assert table.upper_bound(q) == want_ub, (solved, q)
+                assert table.lookup(q) == solved.get(q)
+
+
+# --------------------------------------------------------------------- #
+# Vectorized expansion == scalar expansion (costs AND schedules)
+
+
+def test_vectorized_core_matches_scalar_on_corpus():
+    compared = 0
+    for name, graph in corpus(0):
+        if len(graph) > 11:
+            continue
+        vec = ExhaustiveScheduler(max_states=50_000)  # vectorized default
+        sca = ExhaustiveScheduler(max_states=50_000, vectorized=False)
+        memo_v: dict = {}
+        memo_s: dict = {}
+        for budget in budgets_for(graph):
+            try:
+                v_cost = vec.cost_many(graph, (budget,), memo=memo_v)[0]
+                s_cost = sca.cost_many(graph, (budget,), memo=memo_s)[0]
+            except StateSpaceTooLargeError:
+                continue
+            assert v_cost == s_cost, (name, budget)
+            compared += 1
+    assert compared >= 20
+
+
+def test_vectorized_schedules_identical_to_scalar():
+    for graph in (dwt_graph(4, 2), mvm_graph(2, 3, weights=equal()),
+                  complete_kary_tree(2, 3)):
+        for budget in budgets_for(graph)[1:3]:
+            try:
+                sv = ExhaustiveScheduler().schedule(graph, budget)
+                ss = ExhaustiveScheduler(vectorized=False).schedule(
+                    graph, budget)
+            except InfeasibleBudgetError:
+                continue
+            assert list(sv) == list(ss), (graph.name, budget)
+
+
+def test_vectorized_forced_thresholds_still_identical(monkeypatch):
+    """Force every store/acquire batch and dominance pass through the
+    numpy kernels regardless of size: still byte-identical."""
+    import repro.schedulers.search as search_mod
+    monkeypatch.setattr(search_mod, "_VEC_MIN_BATCH", 1)
+    monkeypatch.setattr(search_mod, "_DOM_VEC_MIN_KEYS", 0)
+    for graph in (dwt_graph(4, 2), mvm_graph(2, 3, weights=equal())):
+        for budget in budgets_for(graph)[:3]:
+            vec = ExhaustiveScheduler()
+            sca = ExhaustiveScheduler(vectorized=False)
+            assert _cost(vec, graph, budget) == _cost(sca, graph, budget)
+
+
+def test_vector_core_closure_matches_scalar_heuristic_beyond_64_nodes():
+    """The chunked big-int limb path (n > 64) computes the same residual
+    I/O values as the scalar closure."""
+    graph = dwt_graph(32, 2)  # > 64 nodes: two uint64 limbs
+    problem = SearchProblem(graph)
+    vec = problem.vector()
+    if vec is None:
+        pytest.skip("numpy unavailable")
+    assert vec.limbs >= 2
+    import random
+    rng = random.Random(7)
+    all_bits = [1 << i for i in range(problem.n)]
+    blue = 0
+    reds = []
+    for _ in range(24):
+        red = problem.source_mask
+        for bit in rng.sample(all_bits, rng.randint(0, problem.n // 2)):
+            red |= bit
+        reds.append(red)
+    got = vec.closure_batch(reds, blue)
+    want = [problem.heuristic(red, blue) for red in reds]
+    assert got == want
