@@ -1,0 +1,329 @@
+"""Crash-injection harness for the durable result store.
+
+Durability claims are worthless untested: this module *kills real
+processes* inside the store's commit and compaction protocols and then
+asserts the three recovery invariants of
+:mod:`repro.core.store`:
+
+1. **no committed record is ever lost** — once :meth:`ResultStore.flush`
+   returns (the batch is fsync'd), every later reader serves the batch;
+2. **no corrupt record is ever served** — torn tails are ignored,
+   checksum/schema failures are quarantined, and every record a reader
+   *does* serve carries exactly the value the reference computation
+   produces;
+3. **a resumed sweep is free** — re-running a completed sweep against
+   the store is byte-identical and performs zero scheduler evaluations.
+
+Two attack modes:
+
+* **deterministic crash points** (:func:`run_crash_points`): for every
+  named point in :data:`repro.core.store.CRASH_POINTS` a fresh victim
+  subprocess installs :func:`repro.core.store.crash_at` and dies via
+  ``os._exit`` exactly there — mid-append, between fsyncs, between
+  compaction's rename and its deletes — and the parent checks what a
+  recovering store serves.  ``os._exit`` preserves the page cache, so a
+  pre-fsync crash typically *keeps* the written bytes: assertions before
+  the commit point are therefore one-directional (present records must
+  be correct; presence itself is not required).
+
+* **randomized SIGKILL soak** (:func:`run_sigkill_soak`): a victim
+  subprocess runs a real governed sweep (the exhaustive oracle through
+  :class:`~repro.analysis.engine.SweepEngine`, write-through store) and
+  the parent ``SIGKILL``s it at a random offset, ``--kills`` times,
+  asserting after every kill that the committed key set only grows and
+  every served record matches the reference; a final unkilled run plus a
+  fresh-engine resume closes with invariant 3.
+
+CLI (the CI crash-soak job)::
+
+    python -m repro.analysis.chaos --store DIR --kills 20 --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from ..core.store import CRASH_POINTS, ResultStore, crash_at, \
+    graph_fingerprint
+
+CRASH_EXIT = 7  #: exit code the injected crash hooks die with
+
+#: (scheduler, graph, budget) triples for the synthetic protocol victims.
+_SKEY, _GKEY = "chaos-sched", "chaos-graph"
+_BATCH_A = tuple((_SKEY, _GKEY, b, 100 + b) for b in (1, 2, 3, 4))
+_BATCH_B = tuple((_SKEY, _GKEY, b, 100 + b) for b in (5, 6, 7, 8))
+
+
+def _soak_workload():
+    """The sweep the SIGKILL victims run: small graphs the oracle solves
+    exactly in milliseconds (determinism is the point — every committed
+    record must equal the reference, kill or no kill)."""
+    from ..graphs import dwt_graph, mvm_graph
+    return [(dwt_graph(4, 2), (3, 4, 5, 6, 7, 8)),
+            (mvm_graph(2, 2), (4, 5, 6, 7, 8))]
+
+
+def _reference() -> Dict[Tuple[str, str, int], float]:
+    """Ground truth for every soak probe, computed store-less in this
+    process."""
+    from ..schedulers import ExhaustiveScheduler
+    sched = ExhaustiveScheduler()
+    skey = sched.cache_key()
+    expected: Dict[Tuple[str, str, int], float] = {}
+    for cdag, budgets in _soak_workload():
+        gkey = graph_fingerprint(cdag)
+        memo: dict = {}
+        for b, cost in zip(budgets,
+                           sched.cost_many(cdag, budgets, memo=memo)):
+            expected[(skey, gkey, b)] = cost
+    return expected
+
+
+# --------------------------------------------------------------------- #
+# Victim entry points (run in the subprocess that gets crashed)
+
+
+def _victim_commit(store_dir: str, point: str) -> None:
+    """Commit batch A durably, then die at ``point`` committing batch B."""
+    store = ResultStore(store_dir, every=10 ** 9)
+    for s, g, b, cost in _BATCH_A:
+        store.put_probe(s, g, b, cost)
+    store.flush()  # batch A is now committed: it must survive anything
+    store.crash_hook = crash_at(point, CRASH_EXIT)
+    for s, g, b, cost in _BATCH_B:
+        store.put_probe(s, g, b, cost)
+    store.flush()  # dies inside (or the point was never reached: exit 0)
+
+
+def _victim_compact(store_dir: str, point: str) -> None:
+    """Create dead records (anytime brackets upgraded to exact), then die
+    at ``point`` inside compaction."""
+    store = ResultStore(store_dir, every=10 ** 9)
+    for s, g, b, cost in _BATCH_A:
+        store.put_probe(s, g, b, cost + 5, degraded=True,
+                        provenance="anytime", lb=cost - 5)
+    store.flush()
+    for s, g, b, cost in _BATCH_A:  # upgrade: the brackets become dead
+        store.put_probe(s, g, b, cost)
+    store.flush()
+    store.crash_hook = crash_at(point, CRASH_EXIT)
+    store.compact()
+
+
+def _victim_sweep(store_dir: str, dawdle: float) -> None:
+    """Run the governed soak sweep with write-through durability,
+    dawdling between probes so the parent's SIGKILL lands mid-run."""
+    from ..schedulers import ExhaustiveScheduler
+    from .engine import SweepEngine
+    sched = ExhaustiveScheduler()
+    with SweepEngine(store=store_dir, deadline=30.0) as eng:
+        for cdag, budgets in _soak_workload():
+            for b in budgets:
+                eng.sweep(sched, cdag, [b], "chaos")
+                if dawdle:
+                    time.sleep(dawdle)
+
+
+# --------------------------------------------------------------------- #
+# Parent-side orchestration
+
+
+def _spawn(args: List[str]) -> subprocess.Popen:
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.analysis.chaos"] + args,
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+
+
+def _load_clean(store_dir: str) -> ResultStore:
+    """Open the store asserting invariant 2's first half: recovery never
+    quarantines anything our own crashes wrote (torn tails are dropped
+    silently; only external corruption quarantines)."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        store = ResultStore(store_dir)
+    assert store.quarantined == 0, (
+        f"recovery quarantined {store.quarantined} record(s) after a "
+        f"crash: the commit protocol wrote something unparseable "
+        f"({[str(w.message) for w in caught]})")
+    return store
+
+
+def _served_probes(store: ResultStore) -> Dict[Tuple[str, str, int], tuple]:
+    return store.probe_entries()
+
+
+def run_crash_points(root: str, log=print) -> int:
+    """Deterministic phase: one victim per named crash point, for both
+    the commit and the compaction protocol.  Returns the number of
+    injected crashes."""
+    commit_expect_b = {"commit-post-fsync", "commit-end"}
+    crashes = 0
+    for point in CRASH_POINTS:
+        is_compact = point.startswith("compact-")
+        store_dir = os.path.join(root, f"point-{point}")
+        shutil.rmtree(store_dir, ignore_errors=True)
+        proc = _spawn(["--victim", "compact" if is_compact else "commit",
+                       "--store", store_dir, "--point", point])
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == CRASH_EXIT, (
+            f"victim for {point} exited {proc.returncode}, expected "
+            f"{CRASH_EXIT} (the crash point never fired?)\n"
+            f"{err.decode(errors='replace')}")
+        crashes += 1
+        store = _load_clean(store_dir)
+        served = _served_probes(store)
+        exact_a = {(s, g, b): cost for s, g, b, cost in _BATCH_A}
+        if is_compact:
+            # Setup committed exact batch A before the crash: compaction
+            # must never lose it, at any point, and the merged view must
+            # hold exactly one (exact) record per key.
+            for key, cost in exact_a.items():
+                assert key in served, f"{point}: lost committed {key}"
+                assert served[key] == (cost, False, "exact", None), (
+                    f"{point}: served {served[key]} for {key}, "
+                    f"expected exact {cost}")
+            assert len(served) == len(exact_a), (
+                f"{point}: duplicate/phantom records {sorted(served)}")
+        else:
+            for key, cost in exact_a.items():
+                assert key in served, (
+                    f"{point}: lost committed batch-A record {key}")
+                assert served[key] == (cost, False, "exact", None)
+            batch_b = {(s, g, b): cost for s, g, b, cost in _BATCH_B}
+            for key, value in served.items():
+                expect = exact_a.get(key, batch_b.get(key))
+                assert expect is not None, f"{point}: phantom record {key}"
+                assert value == (expect, False, "exact", None), (
+                    f"{point}: served {value} for {key}")
+            if point in commit_expect_b:
+                # At/after the commit point the whole batch is durable.
+                missing = [k for k in batch_b if k not in served]
+                assert not missing, (
+                    f"{point}: lost committed batch-B records {missing}")
+        # The store must stay fully writable after recovery: truncate
+        # any torn tail, commit one more record, read it back fresh.
+        writer = ResultStore(store_dir)
+        writer.recover_tail()
+        writer.put_probe(_SKEY, _GKEY, 99, 1)
+        writer.close()
+        assert ResultStore(store_dir).get_probe(_SKEY, _GKEY, 99) == \
+            (1, False, "exact", None), f"{point}: store not writable"
+        log(f"crash point {point:<22} recovered "
+            f"({len(served)} records served)")
+    return crashes
+
+
+def run_sigkill_soak(root: str, kills: int = 20, seed: int = 0,
+                     dawdle: float = 0.02, log=print) -> int:
+    """Randomized phase: ``kills`` SIGKILLs of a live governed sweep at
+    random offsets, then a clean finish and a zero-eval resume.  Returns
+    the number of kills that landed mid-run."""
+    from ..schedulers import ExhaustiveScheduler
+    from .engine import SweepEngine
+    store_dir = os.path.join(root, "soak")
+    shutil.rmtree(store_dir, ignore_errors=True)
+    expected = _reference()
+    rng = random.Random(seed)
+    committed: set = set()
+    landed = 0
+    for i in range(max(0, int(kills))):
+        proc = _spawn(["--victim", "sweep", "--store", store_dir,
+                       "--dawdle", str(dawdle)])
+        time.sleep(rng.uniform(0.05, 1.5))
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+            landed += 1
+        proc.communicate(timeout=120)
+        store = _load_clean(store_dir)
+        served = _served_probes(store)
+        lost = [k for k in committed if k not in served]
+        assert not lost, f"kill #{i}: lost committed records {lost}"
+        for key, value in served.items():
+            assert key in expected, f"kill #{i}: phantom record {key}"
+            assert value == (expected[key], False, "exact", None), (
+                f"kill #{i}: served {value} for {key}, expected exact "
+                f"{expected[key]}")
+        committed = set(served)
+        log(f"kill #{i + 1:>3}: {len(served)}/{len(expected)} records "
+            f"durable{'' if landed > i else ' (victim finished first)'}")
+    # Clean finish: an unkilled victim completes the sweep.
+    proc = _spawn(["--victim", "sweep", "--store", store_dir,
+                   "--dawdle", "0"])
+    _, err = proc.communicate(timeout=600)
+    assert proc.returncode == 0, err.decode(errors="replace")
+    served = _served_probes(_load_clean(store_dir))
+    assert set(served) == set(expected), (
+        f"completed sweep missing {sorted(set(expected) - set(served))}")
+    # Invariant 3: resuming against the store re-evaluates nothing and
+    # reproduces every cost byte-identically.
+    sched = ExhaustiveScheduler()
+    with SweepEngine(store=store_dir) as eng:
+        resumed = [tuple(eng.sweep(sched, cdag, list(budgets), "resume")
+                         .costs)
+                   for cdag, budgets in _soak_workload()]
+        assert eng.stats.evals == 0, (
+            f"resume re-evaluated {eng.stats.evals} probes:\n"
+            f"{eng.stats.report()}")
+    fresh = [tuple(expected[(sched.cache_key(), graph_fingerprint(cdag), b)]
+                   for b in budgets)
+             for cdag, budgets in _soak_workload()]
+    assert resumed == fresh, f"resume drifted: {resumed} != {fresh}"
+    log(f"soak: {landed}/{kills} kills landed mid-run, "
+        f"{len(served)} records durable, resume byte-identical with "
+        f"0 re-evaluations")
+    return landed
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.chaos",
+        description="crash-injection soak for the durable result store")
+    ap.add_argument("--store", default="chaos-store", metavar="DIR",
+                    help="working directory for the attacked stores")
+    ap.add_argument("--kills", type=int, default=20, metavar="N",
+                    help="randomized SIGKILLs of the governed sweep")
+    ap.add_argument("--seed", type=int, default=0, metavar="S",
+                    help="seed for the kill-offset RNG")
+    ap.add_argument("--dawdle", type=float, default=0.02, metavar="SEC",
+                    help="victim sleep between probes (widens the window)")
+    ap.add_argument("--skip-points", action="store_true",
+                    help="skip the deterministic crash-point phase")
+    # Internal: victim entry points (the processes that get crashed).
+    ap.add_argument("--victim", choices=["commit", "compact", "sweep"],
+                    help=argparse.SUPPRESS)
+    ap.add_argument("--point", help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+    if args.victim == "commit":
+        _victim_commit(args.store, args.point)
+        return 0  # the crash point never fired — parent flags this
+    if args.victim == "compact":
+        _victim_compact(args.store, args.point)
+        return 0
+    if args.victim == "sweep":
+        _victim_sweep(args.store, args.dawdle)
+        return 0
+    crashes = 0
+    if not args.skip_points:
+        crashes = run_crash_points(args.store)
+    landed = run_sigkill_soak(args.store, kills=args.kills,
+                              seed=args.seed, dawdle=args.dawdle)
+    print(f"chaos: {crashes} injected crash points + {args.kills} "
+          f"SIGKILL rounds ({landed} landed) — all invariants held")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

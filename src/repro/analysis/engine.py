@@ -52,7 +52,6 @@ output are byte-identical to the un-guarded engine.
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -494,7 +493,8 @@ def _pool_task(fn, args, kwargs, setup: Optional[dict] = None):
                          mem_limit_mb=setup.get("mem_limit_mb"),
                          anytime=setup.get("anytime", False),
                          jitter_seed=setup.get("jitter_seed"),
-                         monotone_probes=setup.get("monotone_probes", True))
+                         monotone_probes=setup.get("monotone_probes", True),
+                         store=setup.get("store"))
     engine._context = setup.get("context", "")
     engine._collect_probes = True
     # Attach (never own) the parent's shared-bound segment: cost
@@ -504,7 +504,11 @@ def _pool_task(fn, args, kwargs, setup: Optional[dict] = None):
     seed = setup.get("seed")
     if seed:
         engine._seed.update(seed)
-    result = fn(*args, engine=engine, **kwargs)
+    try:
+        result = fn(*args, engine=engine, **kwargs)
+    finally:
+        if engine.store is not None:
+            engine.store.close()  # commit this worker's probes durably
     return result, engine.stats, engine._probe_log
 
 
@@ -587,6 +591,21 @@ class SweepEngine:
         ``upper_bound`` pruning for the lower budgets after it.  On by
         default — evaluation *order* only, values identical; ``False``
         restores caller order.
+    store:
+        Path of a durable cross-run :class:`~repro.core.store.ResultStore`
+        directory (created if missing) or an open store instance.  Every
+        completed probe is written through to it (fsync'd, crash-safe),
+        every cost function preloads from it, its name ships to pool
+        workers (each opens its own handle; the store's locked commit
+        protocol deduplicates), and the oracle reuses its exact records
+        via ``memo["result_store"]``.  A configured ``checkpoint``
+        journal is migrated into the store on startup.  ``None``
+        (default) leaves every artifact byte-identical to a store-less
+        engine.
+
+    The engine is a context manager: ``with SweepEngine(...) as eng:``
+    guarantees :meth:`close` (checkpoint flush, shared-bound segment,
+    store handle) on every exit path.
     """
 
     def __init__(self, jobs: int = 1, *,
@@ -604,7 +623,8 @@ class SweepEngine:
                  anytime: bool = False,
                  jitter_seed: Optional[int] = None,
                  shared_bounds: bool = False,
-                 monotone_probes: bool = True):
+                 monotone_probes: bool = True,
+                 store=None):
         self.jobs = max(1, int(jobs))
         self.monotone_probes = bool(monotone_probes)
         self.stats = SweepStats()
@@ -646,16 +666,44 @@ class SweepEngine:
             except Exception:  # degrade to local-only tables
                 self._shared_store = None
                 self._shared_name = None
+        #: Durable cross-run result store (open-failure raises: a user
+        #: who asked for durability should not silently lose it).
+        self.store = None
+        self._store_path: Optional[str] = None
+        if store is not None:
+            from ..core.store import ResultStore
+            if isinstance(store, ResultStore):
+                self.store = store
+            else:
+                self.store = ResultStore(store)
+            self._store_path = self.store.path
+            # Seed order: checkpoint entries were loaded above; store
+            # records layer on top (the store is the cross-run
+            # authority), then the journal migrates into the store so
+            # future runs need only the store.
+            self._seed.update(self.store.probe_entries())
+            if self.checkpoint is not None and self.checkpoint.entries:
+                self.store.absorb_probes(self.checkpoint.entries)
 
     def close(self) -> None:
-        """Release engine-owned resources: flush the checkpoint and
-        destroy the shared-bound segment (if hosting one).  Idempotent;
-        the engine remains usable afterwards, minus bound sharing."""
+        """Release engine-owned resources: flush the checkpoint, commit
+        and release the result store, and destroy the shared-bound
+        segment (if hosting one).  Idempotent; the engine remains usable
+        afterwards, minus bound sharing and store write-through."""
         self.flush_checkpoint()
+        if self.store is not None:
+            self.store.close()
+            self.store = None
         if self._shared_store is not None:
             self._shared_store.unlink()
             self._shared_store = None
             self._shared_name = None
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
@@ -683,16 +731,15 @@ class SweepEngine:
     def graph_key(self, cdag: CDAG) -> str:
         """Stable content identity of a graph for persisted probes: name,
         node count, and a fingerprint of the weighted structure — safe
-        across processes and runs (unlike ``id``)."""
+        across processes and runs (unlike ``id``).  Computed by
+        :func:`repro.core.store.graph_fingerprint` (one address shared by
+        checkpoints, the result store, and the oracle), cached per graph
+        object here."""
+        from ..core.store import graph_fingerprint
         key = id(cdag)
         entry = self._graph_keys.get(key)
         if entry is None or entry[0] is not cdag:
-            h = hashlib.sha1()
-            for v in sorted(cdag, key=repr):
-                h.update(repr((v, cdag.weight(v),
-                               sorted(cdag.predecessors(v), key=repr))
-                              ).encode())
-            entry = (cdag, f"{cdag.name}#V{len(cdag)}#{h.hexdigest()[:12]}")
+            entry = (cdag, graph_fingerprint(cdag))
             self._graph_keys[key] = entry
         return entry[1]
 
@@ -700,12 +747,16 @@ class SweepEngine:
                       cost: float, was_degraded: bool,
                       provenance: str = "exact",
                       lb: Optional[float] = None) -> None:
-        """Journal one completed probe (checkpoint + worker export)."""
+        """Journal one completed probe (checkpoint + store + worker
+        export)."""
         self._seed[(sched_key, gkey, budget)] = (cost, was_degraded,
                                                  provenance, lb)
         if self.checkpoint is not None:
             self.checkpoint.record(sched_key, gkey, budget, cost,
                                    was_degraded, provenance, lb)
+        if self.store is not None:
+            self.store.put_probe(sched_key, gkey, budget, cost,
+                                 was_degraded, provenance, lb)
         if self._collect_probes:
             self._probe_log.append((sched_key, gkey, budget, cost,
                                     was_degraded, provenance, lb))
@@ -756,6 +807,10 @@ class SweepEngine:
                 # (``ExhaustiveScheduler.cost_many``); schedulers that
                 # ignore the key are unaffected.
                 fn._memo["shared_store"] = self._shared_name
+            if self.store is not None:
+                # The oracle serves exact records straight from the
+                # durable store and writes fresh results back through it.
+                fn._memo["result_store"] = self.store
             self._fns[key] = fn
         return fn
 
@@ -901,6 +956,7 @@ class SweepEngine:
             "jitter_seed": self.policy.seed,
             "shared_bounds": self._shared_name,
             "monotone_probes": self.monotone_probes,
+            "store": self._store_path,
         }
 
     def _task_key(self, fn, index: int) -> str:

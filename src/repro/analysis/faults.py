@@ -27,6 +27,7 @@ import os
 import random
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -339,12 +340,15 @@ class SweepCheckpoint:
 
     Entries map ``(scheduler key, graph key, budget)`` to ``(cost,
     degraded, provenance, lb)``.  The file (see
-    ``repro.serialize.checkpoint_to_dict``) is rewritten atomically —
-    temp file + ``os.replace`` — every ``every`` newly recorded probes
-    and on :meth:`flush`, so a kill at any instant leaves either the old
-    or the new journal, never a torn one.  Loading a pre-existing file
-    merges its entries in; a malformed file raises
-    ``InvalidScheduleError`` (delete it to start over).
+    ``repro.serialize.checkpoint_to_dict``) is rewritten atomically and
+    durably — temp file, flush + ``fsync``, ``os.replace``, then a
+    directory ``fsync`` so the rename itself survives power loss — every
+    ``every`` newly recorded probes and on :meth:`flush`, so a kill at
+    any instant leaves either the old or the new journal, never a torn
+    one.  Loading a pre-existing file merges its entries in; a malformed
+    file is set aside as ``<path>.corrupt`` with a ``RuntimeWarning``
+    and the run starts from an empty journal — resuming loses only the
+    cached probes, never the run.
     """
 
     def __init__(self, path: str, every: int = 16):
@@ -357,7 +361,19 @@ class SweepCheckpoint:
             with open(self.path) as fh:
                 text = fh.read()
             if text.strip():
-                self.entries.update(serialize.loads_checkpoint(text))
+                try:
+                    self.entries.update(serialize.loads_checkpoint(text))
+                except Exception as exc:
+                    quarantined = f"{self.path}.corrupt"
+                    try:
+                        os.replace(self.path, quarantined)
+                        where = f"set aside as {quarantined}"
+                    except OSError:
+                        where = "left in place (could not set it aside)"
+                    warnings.warn(
+                        f"checkpoint {self.path} is unreadable ({exc}); "
+                        f"{where} — resuming with an empty journal",
+                        RuntimeWarning, stacklevel=2)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -391,13 +407,26 @@ class SweepCheckpoint:
             self.record(*row)
 
     def flush(self) -> None:
-        """Atomically persist the journal (no-op when nothing changed
-        since the last write and the file already exists)."""
+        """Atomically and durably persist the journal (no-op when
+        nothing changed since the last write and the file already
+        exists).  The temp file is fsync'd before the rename and the
+        directory after it: without the latter, a power loss can forget
+        the rename and resurrect the old journal — or no journal at
+        all — even though :meth:`flush` already returned."""
         from .. import serialize
         if self._pending == 0 and os.path.exists(self.path):
             return
         tmp = f"{self.path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fh:
             fh.write(serialize.dumps_checkpoint(self.entries))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        dirfd = os.open(os.path.dirname(self.path) or ".", os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(dirfd)
         self._pending = 0

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import json
 import math
 import os
 from dataclasses import dataclass, field
@@ -324,7 +325,8 @@ def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
          exclude: Sequence[str] = (), out_dir: Optional[str] = None,
          shrink_failures: bool = True, max_failures: int = 10,
          deadline: Optional[float] = None,
-         mem_limit_mb: Optional[float] = None) -> FuzzReport:
+         mem_limit_mb: Optional[float] = None,
+         store=None) -> FuzzReport:
     """Run the gauntlet over the whole corpus.
 
     For every seed, every corpus graph, every applicable registered
@@ -343,10 +345,39 @@ def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
     anytime mode — records undecidable comparisons as ``inconclusive``
     instead of guessing.  Same seeds still yield the same corpus and
     probe order; only how far each probe gets may differ.
+
+    ``store`` (an open :class:`~repro.core.store.ResultStore` or a store
+    directory path) makes repeated fuzz runs cheap: the differential
+    auditor's oracle probes read and write durable exact records through
+    it (a re-fuzzed seed reuses every prior optimum), and each failure's
+    repro document is archived in it alongside any ``out_dir`` file.
     """
     governed_run = deadline is not None or mem_limit_mb is not None
     auditor = Auditor(level=level, governed=governed_run)
     report = FuzzReport(seeds=tuple(seeds), level=level)
+    owns_store = store is not None and not hasattr(store, "put_doc")
+    if owns_store:
+        from ..core.store import ResultStore
+        store = ResultStore(store)
+    if store is not None:
+        # The auditor threads one memo through every differential oracle
+        # probe; seeding it routes those probes through the store.
+        auditor._oracle_memo["result_store"] = store
+
+    def archive(failure: FuzzFailure) -> None:
+        if store is None:
+            return
+        from ..core.store import graph_fingerprint
+        store.put_doc(failure.scheduler, graph_fingerprint(failure.cdag),
+                      failure.budget, json.loads(failure.to_json()))
+
+    def finish() -> FuzzReport:
+        report.inconclusive = auditor.inconclusive
+        if owns_store:
+            store.close()
+        elif store is not None:
+            store.flush()
+        return report
 
     def make_token() -> Optional[CancellationToken]:
         if not governed_run:
@@ -397,12 +428,11 @@ def fuzz(seeds: Sequence[int] = (0, 1, 2), level: str = "differential",
                                           cdag=failing_graph,
                                           violations=found, seed=seed)
                     report.failures.append(failure)
+                    archive(failure)
                     if out_dir is not None:
                         report.repro_paths.append(
                             write_repro(failure, out_dir))
                     if len(report.failures) >= max_failures:
-                        report.inconclusive = auditor.inconclusive
-                        return report
+                        return finish()
                     break  # next scheduler; this pair is already indicted
-    report.inconclusive = auditor.inconclusive
-    return report
+    return finish()

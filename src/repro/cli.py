@@ -175,16 +175,14 @@ def cmd_minmem(args) -> int:
     from .analysis import SweepEngine
     g = _load_graph(args.graph)
     scheduler = _make_scheduler(args.strategy, g, args)
-    engine = SweepEngine(timeout=args.timeout, retries=args.retries,
-                         checkpoint=args.checkpoint, audit=args.audit,
-                         deadline=args.deadline, mem_limit_mb=args.mem_limit,
-                         anytime=args.anytime, jitter_seed=args.jitter_seed,
-                         shared_bounds=args.shared_bounds,
-                         monotone_probes=not args.no_monotone_probes)
-    try:
+    with SweepEngine(timeout=args.timeout, retries=args.retries,
+                     checkpoint=args.checkpoint, audit=args.audit,
+                     deadline=args.deadline, mem_limit_mb=args.mem_limit,
+                     anytime=args.anytime, jitter_seed=args.jitter_seed,
+                     shared_bounds=args.shared_bounds,
+                     monotone_probes=not args.no_monotone_probes,
+                     store=args.store) as engine:
         bits = engine.min_memory(scheduler, g)
-    finally:
-        engine.close()
     if bits is None:
         print("strategy never reaches the lower bound")
         return 1
@@ -232,7 +230,8 @@ def cmd_experiments(args) -> int:
             deadline=args.deadline, mem_limit_mb=args.mem_limit,
             anytime=args.anytime, jitter_seed=args.jitter_seed,
             shared_bounds=args.shared_bounds,
-            monotone_probes=not args.no_monotone_probes)
+            monotone_probes=not args.no_monotone_probes,
+            store=args.store)
     return 0
 
 
@@ -265,7 +264,8 @@ def cmd_fuzz(args) -> int:
     report = fuzz(seeds=args.seeds, level=args.level,
                   exclude=tuple(args.exclude or ()), out_dir=args.out,
                   max_failures=args.max_failures,
-                  deadline=args.deadline, mem_limit_mb=args.mem_limit)
+                  deadline=args.deadline, mem_limit_mb=args.mem_limit,
+                  store=args.store)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -312,6 +312,11 @@ def _add_fault_flags(parser) -> None:
                         help="disable high-budget-first ordering of batched "
                              "oracle probes (the default ordering only "
                              "changes evaluation order, never values)")
+    parser.add_argument("--store", metavar="DIR",
+                        help="durable cross-run result store directory "
+                             "(created if missing): fsync'd, crash-safe, "
+                             "shared across concurrent processes; probes "
+                             "answered from it are never recomputed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -408,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "count as 'cancelled', never as violations")
     f.add_argument("--mem-limit", type=float, default=None, metavar="MB",
                    help="per-probe RSS watchdog threshold (MiB)")
+    f.add_argument("--store", metavar="DIR",
+                   help="durable result store: differential-audit oracle "
+                        "optima are served from and written through it "
+                        "(repeated seeds stop re-solving), and repro "
+                        "documents are archived in it")
     f.set_defaults(fn=cmd_fuzz)
     return ap
 

@@ -30,6 +30,7 @@ from .exceptions import (AuditFailure, BudgetExceededError,
                          StoppingConditionError)
 from .governor import (AnytimeResult, CancellationToken, current_token,
                        governed, process_rss_mb)
+from .store import ResultStore, StoreRecord, graph_fingerprint
 
 __all__ = [
     "CDAG", "Node", "Label", "Move", "MoveType", "M1", "M2", "M3", "M4",
@@ -52,4 +53,5 @@ __all__ = [
     "StoppingConditionError",
     "AnytimeResult", "CancellationToken", "current_token", "governed",
     "process_rss_mb",
+    "ResultStore", "StoreRecord", "graph_fingerprint",
 ]

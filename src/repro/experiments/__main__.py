@@ -44,7 +44,7 @@ def main(out_dir: str = "paper_artifacts", jobs: int = 1,
          checkpoint=None, audit: str = "off", deadline=None,
          mem_limit_mb=None, anytime: bool = False,
          jitter_seed=None, shared_bounds: bool = False,
-         monotone_probes: bool = True) -> None:
+         monotone_probes: bool = True, store=None) -> None:
     out = pathlib.Path(out_dir)
     out.mkdir(exist_ok=True)
     eng = SweepEngine(jobs=jobs, timeout=timeout, retries=retries,
@@ -52,7 +52,7 @@ def main(out_dir: str = "paper_artifacts", jobs: int = 1,
                       deadline=deadline, mem_limit_mb=mem_limit_mb,
                       anytime=anytime, jitter_seed=jitter_seed,
                       shared_bounds=shared_bounds,
-                      monotone_probes=monotone_probes)
+                      monotone_probes=monotone_probes, store=store)
     tasks = [
         ("table1", lambda: render_table1(run_table1(engine=eng))),
         ("fig5", lambda: render_fig5(run_fig5(engine=eng))),
@@ -70,7 +70,7 @@ def main(out_dir: str = "paper_artifacts", jobs: int = 1,
             print(f"\n{'=' * 72}\n{text}\n"
                   f"[{name}: {dt:.1f}s -> {out / name}.txt]")
     finally:
-        eng.close()  # flush partial progress + release shared segments
+        eng.close()  # flush partial progress + release store/segments
     if profile:
         print(f"\n{'=' * 72}\n{eng.stats.report()}")
 
@@ -111,6 +111,9 @@ def _parse_args(argv=None):
                          "concurrent oracle probes")
     ap.add_argument("--no-monotone-probes", action="store_true",
                     help="disable high-budget-first oracle probe ordering")
+    ap.add_argument("--store", metavar="DIR",
+                    help="durable cross-run result store directory "
+                         "(fsync'd, crash-safe, multi-process)")
     return ap.parse_args(argv)
 
 
@@ -122,4 +125,5 @@ if __name__ == "__main__":
          deadline=_args.deadline, mem_limit_mb=_args.mem_limit,
          anytime=_args.anytime, jitter_seed=_args.jitter_seed,
          shared_bounds=_args.shared_bounds,
-         monotone_probes=not _args.no_monotone_probes)
+         monotone_probes=not _args.no_monotone_probes,
+         store=_args.store)

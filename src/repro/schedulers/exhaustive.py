@@ -24,6 +24,8 @@ both paths return byte-identical optimal costs wherever both complete.
 from __future__ import annotations
 
 import heapq
+import math
+import os
 from typing import Dict, List, Optional, Tuple
 
 from ..core.bounds import algorithmic_lower_bound, require_feasible
@@ -253,6 +255,14 @@ class ExhaustiveScheduler(Scheduler):
         :class:`~repro.core.shared_bounds.SharedBoundStore`) survives
         graph changes and attaches every table built here to the
         cross-worker bound store.
+
+        A ``"result_store"`` memo key (an open
+        :class:`~repro.core.store.ResultStore` or a store directory
+        path) likewise survives graph changes and makes the oracle
+        durable: probes with a committed ``exact`` record are served
+        from the store without searching (and seed the transposition
+        table), and every fresh exact cost — including infeasibility —
+        is written back through it.
         """
         if self._anytime_mode():
             return self._cost_many_anytime(cdag, budgets, memo)
@@ -264,21 +274,38 @@ class ExhaustiveScheduler(Scheduler):
                 self.use_heuristic, self.use_dominance)
         if state.get("graph") is not cdag or state.get("mode") != mode:
             shared_name = state.get("shared_store")
+            store_ref = state.get("result_store")
             state.clear()
             state["graph"] = cdag
             state["mode"] = mode
             if shared_name:
                 state["shared_store"] = shared_name
+            if store_ref is not None:
+                state["result_store"] = store_ref
         table = state.get("table")
         if table is None:
             table = self._make_table(cdag, state.get("shared_store"))
             state["table"] = table
+        store, skey, gkey = self._store_keys(state, cdag)
         out: List[float] = []
         for b in budgets:
+            durable = (store is not None and isinstance(b, int)
+                       and not isinstance(b, bool) and b > 0)
+            if durable:
+                stored = store.get_probe(skey, gkey, b)
+                if stored is not None and stored[2] == "exact":
+                    cost = stored[0]
+                    if math.isfinite(cost):
+                        table.record(b, int(cost))
+                    out.append(cost)
+                    continue
             try:
-                out.append(self.min_cost(cdag, b, table=table))
+                cost = self.min_cost(cdag, b, table=table)
             except InfeasibleBudgetError:
-                out.append(float("inf"))
+                cost = float("inf")
+            if durable:
+                store.put_probe(skey, gkey, b, cost)
+            out.append(cost)
         return out
 
     def _cost_many_anytime(self, cdag: CDAG, budgets, memo) -> List[float]:
@@ -288,31 +315,85 @@ class ExhaustiveScheduler(Scheduler):
                 self.use_heuristic, self.use_dominance)
         if state.get("graph") is not cdag or state.get("mode") != mode:
             shared_name = state.get("shared_store")
+            store_ref = state.get("result_store")
             state.clear()
             state["graph"] = cdag
             state["mode"] = mode
             if shared_name:
                 state["shared_store"] = shared_name
+            if store_ref is not None:
+                state["result_store"] = store_ref
         table = None
         if self.core == "search" and len(cdag) <= self.max_nodes:
             table = state.get("table")
             if table is None:
                 table = self._make_table(cdag, state.get("shared_store"))
                 state["table"] = table
+        store, skey, gkey = self._store_keys(state, cdag)
         out: List[float] = []
         for b in budgets:
+            durable = (store is not None and isinstance(b, int)
+                       and not isinstance(b, bool) and b > 0)
+            if durable:
+                stored = store.get_probe(skey, gkey, b)
+                if stored is not None and stored[2] == "exact":
+                    cost = stored[0]
+                    if table is not None and math.isfinite(cost):
+                        table.record(b, int(cost))
+                    state.setdefault("anytime_results", {}).pop(b, None)
+                    out.append(cost)
+                    continue
             try:
                 res = self.solve(cdag, b, want_schedule=False, table=table)
             except InfeasibleBudgetError:
+                if durable:
+                    store.put_probe(skey, gkey, b, float("inf"))
                 out.append(float("inf"))
                 continue
             bag = state.setdefault("anytime_results", {})
             if res.exact:
                 bag.pop(b, None)
+                if durable:
+                    store.put_probe(skey, gkey, b, res.upper_bound)
             else:
                 bag[b] = res
+                if durable:
+                    # A certified bracket is worth persisting too: the
+                    # store's merge rule replaces it the moment anyone
+                    # computes the exact answer (or a tighter bracket).
+                    store.put_probe(skey, gkey, b, res.upper_bound,
+                                    degraded=True, provenance="anytime",
+                                    lb=res.lower_bound)
             out.append(res.upper_bound)
         return out
+
+    def _store_keys(self, state, cdag: CDAG):
+        """Resolve the memo's durable result store (open handle or
+        directory path) plus this probe family's content addresses.
+        Best-effort like the shared-bound attach: an unopenable path
+        degrades to local-only, never raises."""
+        ref = state.get("result_store")
+        if ref is None:
+            return None, None, None
+        store = state.get("_result_store")
+        if store is None:
+            if isinstance(ref, (str, bytes, os.PathLike)):
+                try:
+                    from ..core.store import open_cached
+                    store = open_cached(ref)
+                except Exception:
+                    store = False  # remembered failure: don't re-probe
+            else:
+                store = ref
+            state["_result_store"] = store
+        if store is False or getattr(store, "_closed", False):
+            return None, None, None
+        keys = state.get("_store_keys")
+        if keys is None:
+            from ..core.store import graph_fingerprint
+            keys = (self.cache_key(), graph_fingerprint(cdag))
+            state["_store_keys"] = keys
+        return store, keys[0], keys[1]
 
     # ------------------------------------------------------------------ #
 

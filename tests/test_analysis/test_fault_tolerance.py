@@ -470,12 +470,21 @@ def test_cdag_decoder_names_the_offending_field():
             serialize.cdag_from_dict(corrupt(mutate))
 
 
-def test_sweep_checkpoint_rejects_malformed_file(tmp_path):
+def test_sweep_checkpoint_quarantines_malformed_file(tmp_path):
+    # A corrupt journal must not kill the run it was supposed to speed
+    # up: it is set aside (evidence preserved) with a warning and the
+    # checkpoint starts empty — and the next flush writes a clean file.
     path = tmp_path / "bad.json"
     path.write_text('{"format": "wrbpg-sweep-checkpoint", "version": 1, '
                     '"entries": [{"scheduler": "S"}]}')
-    with pytest.raises(InvalidScheduleError):
-        SweepCheckpoint(str(path))
+    with pytest.warns(RuntimeWarning, match="unreadable"):
+        ck = SweepCheckpoint(str(path))
+    assert len(ck) == 0
+    assert not path.exists()
+    assert (tmp_path / "bad.json.corrupt").exists()
+    ck.record("S", "G", 16, 1.0)
+    ck.flush()
+    assert len(SweepCheckpoint(str(path))) == 1
 
 
 # --------------------------------------------------------------------- #
@@ -582,3 +591,133 @@ def test_fig6_mini_panel_resumes_identically(tmp_path):
     eng2 = SweepEngine(jobs=2, checkpoint=path)
     assert dwt_panel(False, n_max=16, stride=2, engine=eng2) == fresh
     assert eng2.stats.evals == 0
+
+
+# --------------------------------------------------------------------- #
+# Durable result store: engine / oracle / min-memory integration
+
+
+def test_store_write_through_and_zero_eval_resume(tmp_path):
+    store_dir = str(tmp_path / "store")
+    g = dwt_graph(16, 4)
+    grid = log_budget_grid(min_feasible_budget(g), g.total_weight(), 8)
+    fresh = SweepEngine().sweep(OptimalDWTScheduler(), g, grid, "opt")
+
+    with SweepEngine(store=store_dir) as eng1:
+        assert eng1.sweep(OptimalDWTScheduler(), g, grid, "opt") == fresh
+
+    # Resume with brand-new engine/scheduler/graph objects against the
+    # store alone: byte-identical series, zero re-evaluations.
+    with SweepEngine(store=store_dir) as eng2:
+        resumed = eng2.sweep(OptimalDWTScheduler(), dwt_graph(16, 4),
+                             grid, "opt")
+    assert resumed == fresh
+    assert eng2.stats.evals == 0
+    assert eng2.stats.cache_hits == eng2.stats.probes == len(grid)
+
+
+def test_checkpoint_journal_migrates_into_store(tmp_path):
+    ckpt = str(tmp_path / "ckpt.json")
+    store_dir = str(tmp_path / "store")
+    g = dwt_graph(16, 4)
+    grid = log_budget_grid(min_feasible_budget(g), g.total_weight(), 6)
+    fresh = SweepEngine().sweep(OptimalDWTScheduler(), g, grid, "opt")
+
+    with SweepEngine(checkpoint=ckpt) as eng1:  # journal only, no store
+        assert eng1.sweep(OptimalDWTScheduler(), g, grid, "opt") == fresh
+
+    # Opening journal + store migrates every journaled probe durably:
+    # a later store-only engine resumes without the journal file.
+    with SweepEngine(checkpoint=ckpt, store=store_dir) as eng2:
+        assert eng2.sweep(OptimalDWTScheduler(), g, grid, "opt") == fresh
+        assert eng2.stats.evals == 0
+    os.remove(ckpt)
+    with SweepEngine(store=store_dir) as eng3:
+        assert eng3.sweep(OptimalDWTScheduler(), g, grid, "opt") == fresh
+    assert eng3.stats.evals == 0
+
+
+def test_pooled_sweep_writes_through_one_store(tmp_path):
+    from repro.experiments.fig6 import dwt_panel
+    store_dir = str(tmp_path / "store")
+    fresh = dwt_panel(False, n_max=16, stride=2, engine=SweepEngine())
+
+    with SweepEngine(jobs=2, store=store_dir) as eng1:
+        assert dwt_panel(False, n_max=16, stride=2, engine=eng1) == fresh
+
+    with SweepEngine(jobs=2, store=store_dir) as eng2:
+        assert dwt_panel(False, n_max=16, stride=2, engine=eng2) == fresh
+    assert eng2.stats.evals == 0
+
+
+def test_oracle_serves_and_persists_exact_records_via_memo(tmp_path):
+    from repro.core.store import ResultStore
+    store_dir = str(tmp_path / "store")
+    g = dwt_graph(4, 2)
+    budgets = (4, 6, 8)
+    plain = ExhaustiveScheduler().cost_many(g, budgets, memo={})
+
+    store = ResultStore(store_dir)
+    sched = ExhaustiveScheduler()
+    memo = {"result_store": store}
+    assert sched.cost_many(g, budgets, memo=memo) == plain
+    assert store.appends == len(budgets)  # write-through, one per budget
+    store.close()
+
+    # A fresh scheduler with a path reference is served from disk: the
+    # probes are store hits, and the values are byte-identical.
+    memo2: dict = {"result_store": store_dir}
+    assert ExhaustiveScheduler().cost_many(dwt_graph(4, 2), budgets,
+                                           memo=memo2) == plain
+    served = memo2["_result_store"]
+    assert served.hits >= len(budgets)
+    assert served.appends == 0  # nothing re-evaluated, nothing rewritten
+
+
+def test_oracle_memo_store_survives_graph_change(tmp_path):
+    from repro.core.store import ResultStore
+    from repro.graphs import mvm_graph
+    store = ResultStore(str(tmp_path / "store"))
+    sched = ExhaustiveScheduler()
+    memo = {"result_store": store}
+    sched.cost_many(dwt_graph(4, 2), (6,), memo=memo)
+    sched.cost_many(mvm_graph(2, 2), (6,), memo=memo)  # clears the memo
+    assert memo["result_store"] is store
+    assert store.appends == 2
+
+
+def test_anytime_oracle_records_exact_when_it_finishes(tmp_path):
+    from repro.core.store import ResultStore
+    store = ResultStore(str(tmp_path / "store"))
+    sched = ExhaustiveScheduler(anytime=True)
+    g = dwt_graph(4, 2)
+    costs = sched.cost_many(g, (6, 8), memo={"result_store": store})
+    from repro.core.store import graph_fingerprint
+    for b, cost in zip((6, 8), costs):
+        assert store.get_probe(sched.cache_key(), graph_fingerprint(g),
+                               b) == (cost, False, "exact", None)
+
+
+def test_min_memory_search_reuses_the_store(tmp_path):
+    from repro.analysis.min_memory import scheduler_min_memory
+    from repro.core.store import ResultStore
+    g = dwt_graph(4, 2)
+    fresh = scheduler_min_memory(ExhaustiveScheduler(), g)
+
+    store = ResultStore(str(tmp_path / "store"))
+    assert scheduler_min_memory(ExhaustiveScheduler(), g,
+                                store=store) == fresh
+    assert store.appends > 0
+    first_appends = store.appends
+    assert scheduler_min_memory(ExhaustiveScheduler(), dwt_graph(4, 2),
+                                store=store) == fresh
+    assert store.appends == first_appends  # second search: pure reads
+    assert store.hits > 0
+
+
+def test_engine_close_is_idempotent_with_store(tmp_path):
+    eng = SweepEngine(store=str(tmp_path / "store"))
+    eng.sweep(GreedyTopologicalScheduler(), dwt_graph(8, 3), [32, 64], "g")
+    eng.close()
+    eng.close()
+    assert eng.store is None

@@ -193,3 +193,33 @@ class TestFuzzDriver:
         assert report.ok, report.summary()
         assert report.probes > 100
         assert report.cases == len(corpus(0))
+
+    def test_repro_docs_and_optima_flow_through_the_store(self, planted,
+                                                          tmp_path):
+        from repro.core.store import ResultStore
+        store_dir = str(tmp_path / "store")
+        report = fuzz(seeds=(0,), exclude=planted, max_failures=2,
+                      store=store_dir)
+        assert not report.ok
+
+        with ResultStore(store_dir) as store:
+            from repro.core.store import graph_fingerprint
+            # Repro docs are keyed by (scheduler, graph, budget); failures
+            # that collide on a key overwrite (last-writer-wins), so the
+            # store holds exactly the distinct keys with the last doc each.
+            expected = {}
+            for f in report.failures:
+                key = (f.scheduler, graph_fingerprint(f.cdag), f.budget)
+                expected[key] = json.loads(f.to_json())
+            docs = {(r.scheduler, r.graph, r.budget): r.doc
+                    for r in store.records() if r.kind == "repro"}
+            assert docs == expected
+            assert all(s == "planted" for s, _, _ in docs)
+            # The differential audit's exhaustive optima were archived
+            # too, so a second run is served from disk.
+            assert any(r.kind == "probe" and r.provenance == "exact"
+                       for r in store.records())
+            second = fuzz(seeds=(0,), exclude=planted, max_failures=2,
+                          store=store)
+            assert len(second.failures) == len(report.failures)
+            assert store.hits > 0

@@ -231,11 +231,8 @@ def test_attach_cached_reuses_one_mapping(store):
 
 def test_pooled_shared_sweep_matches_serial():
     serial = dwt_panel(False, n_max=16, stride=4, engine=SweepEngine())
-    eng = SweepEngine(jobs=2, shared_bounds=True)
-    try:
+    with SweepEngine(jobs=2, shared_bounds=True) as eng:
         pooled = dwt_panel(False, n_max=16, stride=4, engine=eng)
-    finally:
-        eng.close()
     assert pooled == serial
 
 
@@ -246,8 +243,9 @@ def test_serial_shared_sweep_publishes_and_rereads():
     cdag = dwt_graph(4, 2)
     budgets = [4, 6, 8]
     plain = SweepEngine().sweep(ExhaustiveScheduler(), cdag, budgets, "p")
-    eng = SweepEngine(shared_bounds=True)
-    try:
+    # The engine is a context manager: the segment is unlinked (and the
+    # close is idempotent) on every exit path, not just the happy one.
+    with SweepEngine(shared_bounds=True) as eng:
         shared = eng.sweep(ExhaustiveScheduler(), cdag, budgets, "p")
         assert shared.costs == plain.costs
         clients = [fn._memo["table"].shared
@@ -256,5 +254,5 @@ def test_serial_shared_sweep_publishes_and_rereads():
                    and fn._memo["table"].shared is not None]
         assert clients, "no table attached to the shared store"
         assert sum(c.publishes for c in clients) > 0
-    finally:
-        eng.close()
+    eng.close()  # idempotent: a second close must be a no-op
+    assert eng._shared_store is None

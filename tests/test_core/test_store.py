@@ -1,0 +1,338 @@
+"""Tests for the durable result store (:mod:`repro.core.store`).
+
+Codec and merge semantics, the recovery invariants (torn tails dropped,
+corrupt committed records quarantined — never served, never fatal),
+compaction, and the multi-process contract of satellite coverage: two
+processes committing into one store concurrently produce no torn and no
+duplicate records, and a lock-free reader watching a live writer only
+ever observes valid, monotonically accumulating records.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import time
+import zlib
+
+import pytest
+
+from repro.core.store import (CRASH_POINTS, ResultStore, StoreRecord,
+                              _decode_payload, _encode_record, _prefer,
+                              crash_at, graph_fingerprint, open_cached)
+from repro.graphs import dwt_graph, mvm_graph
+
+
+def _segment_paths(store):
+    return [os.path.join(store.path, "segments", n)
+            for n in store._segment_names()]
+
+
+def _raw_lines(store):
+    lines = []
+    for path in _segment_paths(store):
+        with open(path, "rb") as fh:
+            lines.extend(l for l in fh.read().split(b"\n") if l)
+    return lines
+
+
+# --------------------------------------------------------------------- #
+# Codec + merge rule
+
+
+def test_probe_record_roundtrip(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 8, 20)
+    s.put_probe("S", "G", 9, 18, degraded=True, provenance="anytime", lb=12)
+    s.put_probe("S", "G", 2, float("inf"))
+    s.put_probe("S", "G", 10, 16, schedule=((1, "a"), (3, ["b", 1])))
+    s.close()
+    r = ResultStore(tmp_path / "st")
+    assert r.get_probe("S", "G", 8) == (20, False, "exact", None)
+    assert r.get_probe("S", "G", 9) == (18, True, "anytime", 12)
+    assert r.get_probe("S", "G", 2) == (math.inf, False, "exact", None)
+    rec = r.get("probe", "S", "G", 10)
+    assert rec.schedule == ((1, "a"), (3, ["b", 1]))
+    assert r.get_probe("S", "G", 99) is None
+    assert r.hits == 4 and r.misses == 1
+
+
+def test_repro_doc_roundtrip(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.put_doc("S", "G", 5, {"cdag": {"nodes": ["a"]}, "budget": 5})
+    s.close()
+    r = ResultStore(tmp_path / "st")
+    assert r.get("repro", "S", "G", 5).doc["budget"] == 5
+
+
+def test_exactness_ladder_governs_replacement(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 8, 25, degraded=True)  # fallback
+    s.put_probe("S", "G", 8, 22, degraded=True, provenance="anytime", lb=10)
+    assert s.get_probe("S", "G", 8)[2] == "anytime"
+    # Looser bracket ignored, tighter bracket wins.
+    s.put_probe("S", "G", 8, 24, degraded=True, provenance="anytime", lb=9)
+    assert s.get_probe("S", "G", 8)[0] == 22
+    s.put_probe("S", "G", 8, 23, degraded=True, provenance="anytime", lb=18)
+    assert s.get_probe("S", "G", 8) == (23, True, "anytime", 18)
+    # Exact beats every bracket; a later bracket never demotes it.
+    s.put_probe("S", "G", 8, 20)
+    s.put_probe("S", "G", 8, 19, degraded=True, provenance="anytime", lb=19)
+    assert s.get_probe("S", "G", 8) == (20, False, "exact", None)
+    # Re-putting the identical exact record appends nothing (idempotent).
+    before = s.appends
+    s.put_probe("S", "G", 8, 20)
+    assert s.appends == before
+
+
+def test_exact_with_schedule_beats_bare_exact():
+    bare = StoreRecord(kind="probe", scheduler="S", graph="G", budget=8,
+                       cost=20)
+    rich = StoreRecord(kind="probe", scheduler="S", graph="G", budget=8,
+                       cost=20, schedule=((1, "a"),))
+    assert _prefer(rich, bare) and not _prefer(bare, rich)
+
+
+def test_decode_rejects_schema_violations():
+    good = StoreRecord(kind="probe", scheduler="S", graph="G", budget=8,
+                       cost=20)
+    payload = _encode_record(good)[9:-1]
+    assert _decode_payload(payload) == good
+    for mutate in [lambda d: d.update(kind="nope"),
+                   lambda d: d.update(scheduler=""),
+                   lambda d: d.update(budget=0),
+                   lambda d: d.update(budget=True),
+                   lambda d: d.update(cost=-1),
+                   lambda d: d.update(cost="huge"),
+                   lambda d: d.update(degraded=True, provenance="exact"),
+                   lambda d: d.update(provenance="guess"),
+                   lambda d: d.update(lb=99)]:  # lb > cost
+        doc = json.loads(payload)
+        mutate(doc)
+        with pytest.raises(ValueError):
+            _decode_payload(json.dumps(doc).encode())
+
+
+# --------------------------------------------------------------------- #
+# Recovery: torn tails, corruption, quarantine
+
+
+def test_torn_tail_is_invisible_and_truncated(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 8, 20)
+    s.close()
+    seg = _segment_paths(s)[-1]
+    with open(seg, "ab") as fh:
+        fh.write(b"00000000 {\"half-a-rec")  # crash mid-append
+    r = ResultStore(tmp_path / "st")
+    assert len(r) == 1 and r.quarantined == 0
+    assert r.recover_tail() > 0
+    assert r.recover_tail() == 0  # idempotent
+    assert ResultStore(tmp_path / "st").get_probe("S", "G", 8) == \
+        (20, False, "exact", None)
+
+
+def test_corrupt_committed_record_is_quarantined_not_served(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 8, 20)
+    s.put_probe("S", "G", 9, 18)
+    s.close()
+    seg = _segment_paths(s)[-1]
+    data = bytearray(open(seg, "rb").read())
+    data[15] ^= 0xFF  # bitrot inside the first committed record
+    with open(seg, "wb") as fh:
+        fh.write(bytes(data))
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        r = ResultStore(tmp_path / "st")
+    assert r.quarantined == 1
+    assert r.get_probe("S", "G", 8) is None  # never served corrupt
+    assert r.get_probe("S", "G", 9) == (18, False, "exact", None)
+    bad = os.listdir(os.path.join(str(tmp_path / "st"), "quarantine"))
+    assert bad, "corrupt record bytes were not preserved"
+
+
+def test_checksum_valid_schema_invalid_record_is_quarantined(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 8, 20)
+    s.close()
+    payload = json.dumps({"kind": "probe", "scheduler": "S", "graph": "G",
+                          "budget": 8, "cost": -5}).encode()
+    with open(_segment_paths(s)[-1], "ab") as fh:
+        fh.write(b"%08x %s\n" % (zlib.crc32(payload), payload))
+        fh.write(b"trailer must make it non-tail\n")
+    with pytest.warns(RuntimeWarning):
+        r = ResultStore(tmp_path / "st")
+    assert r.quarantined >= 1
+    assert r.get_probe("S", "G", 8) == (20, False, "exact", None)
+
+
+# --------------------------------------------------------------------- #
+# Compaction + segments
+
+
+def test_compaction_retires_dead_records_and_segments(tmp_path):
+    s = ResultStore(tmp_path / "st", segment_bytes=1 << 12)
+    for b in range(1, 60):
+        s.put_probe("S", "G", b, b + 100, degraded=True,
+                    provenance="anytime", lb=b)
+    for b in range(1, 60):  # upgrade everything: brackets become dead
+        s.put_probe("S", "G", b, b + 50)
+    assert len(s._segment_names()) > 1
+    assert len(_raw_lines(s)) == 118
+    s.compact()
+    assert len(s._segment_names()) == 1
+    assert len(_raw_lines(s)) == 59  # one live record per key
+    r = ResultStore(tmp_path / "st")
+    assert len(r) == 59
+    assert r.get_probe("S", "G", 7) == (57, False, "exact", None)
+    # A handle that remembers pre-compaction segments reloads cleanly.
+    s.put_probe("S", "G", 99, 1)
+    assert ResultStore(tmp_path / "st").get_probe("S", "G", 99) is not None
+
+
+def test_batched_commits_respect_every(tmp_path):
+    s = ResultStore(tmp_path / "st", every=3)
+    s.put_probe("S", "G", 1, 10)
+    s.put_probe("S", "G", 2, 11)
+    assert len(ResultStore(tmp_path / "st")) == 0  # below the cadence
+    s.put_probe("S", "G", 3, 12)
+    assert len(ResultStore(tmp_path / "st")) == 3  # auto-committed
+    s.close()
+
+
+def test_closed_store_rejects_writes_and_close_is_idempotent(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 1, 10)
+    s.close()
+    s.close()
+    with pytest.raises(ValueError, match="closed"):
+        s.put_probe("S", "G", 2, 11)
+    assert s.get_probe("S", "G", 1) is not None  # reads keep working
+
+
+def test_context_manager_commits_on_exit(tmp_path):
+    with ResultStore(tmp_path / "st", every=100) as s:
+        s.put_probe("S", "G", 1, 10)
+    assert ResultStore(tmp_path / "st").get_probe("S", "G", 1) is not None
+
+
+def test_crash_at_validates_point_names():
+    assert crash_at(CRASH_POINTS[0]) is not None
+    with pytest.raises(ValueError):
+        crash_at("commit-never-heard-of-it")
+
+
+def test_graph_fingerprint_tracks_content_not_identity():
+    a, b = dwt_graph(4, 2), dwt_graph(4, 2)
+    assert a is not b
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+    assert graph_fingerprint(a) != graph_fingerprint(dwt_graph(8, 2))
+    assert graph_fingerprint(a) != graph_fingerprint(mvm_graph(2, 2))
+
+
+def test_graph_fingerprint_matches_engine_graph_key():
+    from repro.analysis import SweepEngine
+    g = dwt_graph(4, 2)
+    assert SweepEngine().graph_key(g) == graph_fingerprint(g)
+
+
+def test_open_cached_reuses_one_handle_per_path(tmp_path):
+    a = open_cached(tmp_path / "st")
+    b = open_cached(tmp_path / "st")
+    assert a is b
+    a.close()
+    assert open_cached(tmp_path / "st") is not a  # closed: reopen
+
+
+def test_checkpoint_migration_absorbs_both_shapes(tmp_path):
+    s = ResultStore(tmp_path / "st")
+    s.absorb_probes({("S", "G", 8): (20, False),  # historical 2-tuple
+                     ("S", "G", 9): (18, True, "anytime", 12)})
+    r = ResultStore(tmp_path / "st")
+    assert r.get_probe("S", "G", 8) == (20, False, "exact", None)
+    assert r.get_probe("S", "G", 9) == (18, True, "anytime", 12)
+
+
+# --------------------------------------------------------------------- #
+# Satellite: concurrent access
+
+
+def _contending_writer(store_dir, wid, n, barrier):
+    s = ResultStore(store_dir)
+    barrier.wait()  # maximize lock contention: start together
+    for i in range(n):
+        s.put_probe("W", f"G{wid}", i + 1, 1000 * wid + i)  # disjoint
+        s.put_probe("W", "SHARED", i + 1, 7)  # same key, same value
+    s.close()
+
+
+def test_two_processes_interleave_commits_without_torn_or_dup(tmp_path):
+    store_dir = str(tmp_path / "st")
+    n = 25
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(2)
+    procs = [ctx.Process(target=_contending_writer,
+                         args=(store_dir, wid, n, barrier))
+             for wid in (1, 2)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(120)
+        assert p.exitcode == 0
+    r = ResultStore(store_dir)
+    assert r.quarantined == 0
+    for wid in (1, 2):
+        for i in range(n):
+            assert r.get_probe("W", f"G{wid}", i + 1) == \
+                (1000 * wid + i, False, "exact", None)
+    for i in range(n):
+        assert r.get_probe("W", "SHARED", i + 1) == (7, False, "exact",
+                                                     None)
+    # Interleaved commits must dedup under the lock: every committed
+    # line decodes, and no key was physically written twice.
+    lines = _raw_lines(r)
+    keys = []
+    for line in lines:
+        rec = r._parse_line(line)
+        assert rec is not None, f"torn/corrupt committed line: {line!r}"
+        keys.append(rec.key)
+    assert len(keys) == len(set(keys)) == 3 * n
+
+
+def _slow_writer(store_dir, n):
+    s = ResultStore(store_dir)
+    for i in range(n):
+        s.put_probe("W", "G", i + 1, i)
+        time.sleep(0.005)
+    s.close()
+
+
+def test_lockfree_reader_sees_only_valid_monotone_state(tmp_path):
+    store_dir = str(tmp_path / "st")
+    n = 40
+    ctx = multiprocessing.get_context("fork")
+    writer = ctx.Process(target=_slow_writer, args=(store_dir, n))
+    writer.start()
+    try:
+        reader = None
+        seen = set()
+        deadline = time.time() + 120
+        while len(seen) < n and time.time() < deadline:
+            if reader is None and os.path.isdir(store_dir):
+                reader = ResultStore(store_dir)  # never takes the lock
+            if reader is None:
+                continue
+            reader.refresh()
+            now = set()
+            for (s, g, b), value in reader.probe_entries().items():
+                assert value == (b - 1, False, "exact", None)
+                now.add(b)
+            assert seen <= now, "reader observed a committed record vanish"
+            seen = now
+        assert reader is not None and reader.quarantined == 0
+        assert len(seen) == n, f"reader only ever saw {len(seen)}/{n}"
+    finally:
+        writer.join(120)
+    assert writer.exitcode == 0
