@@ -677,13 +677,15 @@ class SweepEngine:
             else:
                 self.store = ResultStore(store)
             self._store_path = self.store.path
-            # Seed order: checkpoint entries were loaded above; store
-            # records layer on top (the store is the cross-run
-            # authority), then the journal migrates into the store so
-            # future runs need only the store.
-            self._seed.update(self.store.probe_entries())
+            # Seed order: the checkpoint journal migrates into the
+            # store first (its merge rule keeps whichever side is more
+            # exact per key), and the *merged* view then seeds this run
+            # — so a store-side anytime/fallback record can never
+            # shadow a checkpoint's exact value in the in-memory seed,
+            # and future runs need only the store.
             if self.checkpoint is not None and self.checkpoint.entries:
                 self.store.absorb_probes(self.checkpoint.entries)
+            self._seed.update(self.store.probe_entries())
 
     def close(self) -> None:
         """Release engine-owned resources: flush the checkpoint, commit

@@ -361,12 +361,22 @@ class ResultStore:
 
     def _quarantine_line(self, segment: str, line: bytes) -> None:
         """Preserve a corrupt committed record's bytes for post-mortem
-        and count it; the load continues without it."""
+        and count it; the load continues without it.  A line whose exact
+        bytes are already quarantined (every handle re-scans a persistent
+        corrupt record until compaction retires its segment) is counted
+        but neither re-appended nor re-warned, so the ``.bad`` file stays
+        bounded across processes and runs."""
         self.quarantined += 1
+        bad_path = os.path.join(self._quarantine_dir, f"{segment}.bad")
+        try:
+            with open(bad_path, "rb") as fh:
+                if line in fh.read().split(b"\n"):
+                    return  # already preserved by an earlier scan
+        except OSError:
+            pass  # no .bad file yet (or unreadable): treat as new
         try:
             os.makedirs(self._quarantine_dir, exist_ok=True)
-            with open(os.path.join(self._quarantine_dir,
-                                   f"{segment}.bad"), "ab") as fh:
+            with open(bad_path, "ab") as fh:
                 fh.write(line + b"\n")
         except OSError:  # pragma: no cover - quarantine is best-effort
             pass
@@ -447,27 +457,44 @@ class ResultStore:
             if old is None or _prefer(record, old):
                 self._index[record.key] = record
 
+    def _truncate_uncommitted(self, name: str) -> int:
+        """Physically drop a segment's uncommitted suffix — every byte
+        past the committed length the scan established.  Returns the
+        number of bytes dropped.  The caller must hold the writer lock
+        and have scanned ``name`` already (so ``_offsets[name]`` is the
+        committed length); with the lock held no writer is mid-append,
+        so any surplus bytes are a crashed writer's torn tail."""
+        path = os.path.join(self._segments_dir, name)
+        committed = self._offsets.get(name, 0)
+        try:
+            size = os.path.getsize(path)
+        except FileNotFoundError:  # pragma: no cover - compaction race
+            return 0
+        if size <= committed:
+            return 0
+        with open(path, "r+b") as fh:
+            fh.truncate(committed)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return size - committed
+
     def recover_tail(self) -> int:
         """Physically truncate the active segment's uncommitted suffix
         (bytes after the last committed record).  Returns the number of
         bytes dropped.  Runs under the writer lock; readers never need
-        it — they simply ignore the tail."""
-        names = self._segment_names()
-        if not names:
+        it — they simply ignore the tail — and :meth:`flush` performs
+        the same truncation before every append, so explicit calls are
+        only needed to reclaim space without writing."""
+        if not self._segment_names():
             return 0
         with self._writer_lock():
-            name = self._segment_names()[-1]
-            path = os.path.join(self._segments_dir, name)
-            size = os.path.getsize(path)
+            names = self._segment_names()
+            if not names:  # pragma: no cover - compacted away meanwhile
+                return 0
+            name = names[-1]
             self._offsets.pop(name, None)
-            keep = self._scan_segment(name, tail_segment=True)
-            dropped = size - keep
-            if dropped > 0:
-                with open(path, "r+b") as fh:
-                    fh.truncate(keep)
-                    fh.flush()
-                    os.fsync(fh.fileno())
-        return dropped
+            self._scan_segment(name, tail_segment=True)
+            return self._truncate_uncommitted(name)
 
     # -- reads --------------------------------------------------------- #
 
@@ -509,6 +536,17 @@ class ResultStore:
     def _put(self, record: StoreRecord) -> None:
         if self._closed:
             raise ValueError(f"result store {self.path} is closed")
+        # Enforce the read path's schema invariants at write time: a
+        # record _decode_payload would reject (inconsistent provenance,
+        # lb > cost, NaN cost, unserializable doc, ...) must fail the
+        # caller *now*, not fsync successfully and then be quarantined
+        # on every subsequent load.  Cheapest correct check: round-trip
+        # the encoded payload through the decoder itself.
+        try:
+            _decode_payload(_encode_record(record)[9:-1])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"refusing to stage an invalid record for "
+                             f"key {record.key}: {exc}") from exc
         old = self._index.get(record.key)
         if old is not None and not _prefer(record, old):
             return  # nothing new to persist
@@ -575,6 +613,13 @@ class ResultStore:
                 return
             self._crash("commit-begin")
             names = self._segment_names()
+            if names:
+                # A crashed writer may have left a torn suffix on the
+                # active segment.  Appending after it would fuse the
+                # torn bytes with our first record into one CRC-failing
+                # line, losing a *committed* record to quarantine — so
+                # every commit starts at a record boundary.
+                self._truncate_uncommitted(names[-1])
             created = False
             if names and os.path.getsize(os.path.join(
                     self._segments_dir, names[-1])) < self.segment_bytes:

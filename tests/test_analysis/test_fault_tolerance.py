@@ -637,6 +637,26 @@ def test_checkpoint_journal_migrates_into_store(tmp_path):
     assert eng3.stats.evals == 0
 
 
+def test_store_degraded_record_does_not_shadow_checkpoint_exact(tmp_path):
+    """Opening checkpoint + store must seed the run from the *merged*
+    view: a store-side anytime bracket never replaces a checkpoint's
+    exact value for the same key, in memory or on disk."""
+    from repro.core.store import ResultStore
+    ckpt = str(tmp_path / "ckpt.json")
+    store_dir = str(tmp_path / "store")
+    with ResultStore(store_dir) as st:  # degraded bracket in the store
+        st.put_probe("S", "G", 8, 25, degraded=True,
+                     provenance="anytime", lb=10)
+    journal = SweepCheckpoint(ckpt)  # exact answer in the journal
+    journal.record("S", "G", 8, 20, False, "exact", None)
+    journal.flush()
+
+    with SweepEngine(checkpoint=ckpt, store=store_dir) as eng:
+        assert eng._seed[("S", "G", 8)] == (20, False, "exact", None)
+        assert eng.store.get_probe("S", "G", 8) == (20, False, "exact",
+                                                    None)
+
+
 def test_pooled_sweep_writes_through_one_store(tmp_path):
     from repro.experiments.fig6 import dwt_panel
     store_dir = str(tmp_path / "store")

@@ -15,6 +15,7 @@ import math
 import multiprocessing
 import os
 import time
+import warnings
 import zlib
 
 import pytest
@@ -134,6 +135,43 @@ def test_torn_tail_is_invisible_and_truncated(tmp_path):
         (20, False, "exact", None)
 
 
+def test_flush_truncates_torn_tail_before_appending(tmp_path):
+    """The production resume path (a fresh handle that just writes — no
+    explicit recover_tail) must not fuse a crashed writer's torn suffix
+    with its first appended record into one corrupt line."""
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 8, 20)
+    s.close()
+    with open(_segment_paths(s)[-1], "ab") as fh:
+        fh.write(b"00000000 {\"half-a-rec")  # crash mid-append
+    w = ResultStore(tmp_path / "st")
+    w.put_probe("S", "G", 9, 18)
+    w.close()
+    r = ResultStore(tmp_path / "st")
+    assert r.quarantined == 0
+    assert r.get_probe("S", "G", 8) == (20, False, "exact", None)
+    assert r.get_probe("S", "G", 9) == (18, False, "exact", None)
+    # every physical line is a committed record again — the torn bytes
+    # were truncated, not buried under the new append
+    assert all(r._parse_line(l) is not None for l in _raw_lines(r))
+
+
+def test_put_rejects_records_the_decoder_would_quarantine(tmp_path):
+    """Write-time schema enforcement: a record the read path would
+    quarantine must fail the caller immediately, not commit."""
+    s = ResultStore(tmp_path / "st")
+    with pytest.raises(ValueError, match="invalid record"):
+        s.put_probe("S", "G", 8, 20, lb=25)  # lb > cost
+    with pytest.raises(ValueError, match="invalid record"):
+        s.put_probe("S", "G", 8, 20, provenance="anytime")  # not degraded
+    with pytest.raises(ValueError, match="invalid record"):
+        s.put_probe("S", "G", 8, float("nan"))
+    with pytest.raises(ValueError, match="invalid record"):
+        s.put_doc("S", "G", 8, {"x": object()})  # unserializable doc
+    s.close()
+    assert len(ResultStore(tmp_path / "st")) == 0
+
+
 def test_corrupt_committed_record_is_quarantined_not_served(tmp_path):
     s = ResultStore(tmp_path / "st")
     s.put_probe("S", "G", 8, 20)
@@ -166,6 +204,32 @@ def test_checksum_valid_schema_invalid_record_is_quarantined(tmp_path):
         r = ResultStore(tmp_path / "st")
     assert r.quarantined >= 1
     assert r.get_probe("S", "G", 8) == (20, False, "exact", None)
+
+
+def test_quarantine_is_deduped_across_handles(tmp_path):
+    """A persistent corrupt record (bit-rot compaction hasn't retired)
+    is preserved once: later handles skip and count it without growing
+    the .bad file or re-warning every run."""
+    s = ResultStore(tmp_path / "st")
+    s.put_probe("S", "G", 8, 20)
+    s.put_probe("S", "G", 9, 18)
+    s.close()
+    seg = _segment_paths(s)[-1]
+    data = bytearray(open(seg, "rb").read())
+    data[15] ^= 0xFF  # bitrot inside the first committed record
+    with open(seg, "wb") as fh:
+        fh.write(bytes(data))
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        ResultStore(tmp_path / "st")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any re-warn fails the test
+        r2 = ResultStore(tmp_path / "st")
+    assert r2.quarantined == 1  # still counted and skipped
+    bad_dir = os.path.join(str(tmp_path / "st"), "quarantine")
+    (bad_name,) = os.listdir(bad_dir)
+    with open(os.path.join(bad_dir, bad_name), "rb") as fh:
+        preserved = [l for l in fh.read().split(b"\n") if l]
+    assert len(preserved) == 1  # bytes preserved exactly once
 
 
 # --------------------------------------------------------------------- #
