@@ -9,7 +9,7 @@ from .governor import (AnytimeResult, CancellationToken, current_token,
                        governed, install_rlimit, process_rss_mb)
 from .audit import (AuditViolation, Auditor, LEVELS as AUDIT_LEVELS,
                     audit_schedule)
-from .engine import (CachedCostFn, SweepEngine, SweepStats,
+from .engine import (CachedCostFn, ProbeOutcome, SweepEngine, SweepStats,
                      get_default_engine, set_default_engine)
 from .fuzz import (FuzzFailure, FuzzReport, fuzz, replay_repro, shrink,
                    write_repro)
@@ -28,7 +28,7 @@ __all__ = ["cost_at", "minimum_fast_memory", "scheduler_min_memory",
            "AuditViolation", "Auditor", "AUDIT_LEVELS", "audit_schedule",
            "FuzzFailure", "FuzzReport", "fuzz", "replay_repro", "shrink",
            "write_repro",
-           "CachedCostFn", "SweepEngine", "SweepStats",
+           "CachedCostFn", "ProbeOutcome", "SweepEngine", "SweepStats",
            "get_default_engine", "set_default_engine",
            "format_series", "format_table", "percent_reduction",
            "DesignPoint", "best_under_power_cap", "explore", "pareto_frontier",

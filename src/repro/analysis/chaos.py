@@ -34,20 +34,35 @@ Two attack modes:
   every served record matches the reference; a final unkilled run plus a
   fresh-engine resume closes with invariant 3.
 
-CLI (the CI crash-soak job)::
+* **service soak** (:func:`run_service_soak`): the scheduling daemon
+  (``python -m repro.cli serve``) under concurrent mixed-tenant client
+  load is SIGKILLed mid-request and restarted; after every kill the
+  committed record set must only grow and match a store-less reference,
+  after the final restart every answer must be served byte-identical
+  (previously-committed records without re-evaluation), and a SIGTERM
+  must drain in-flight work and exit 0.
+
+CLI (the CI crash-soak + service-soak jobs)::
 
     python -m repro.analysis.chaos --store DIR --kills 20 --seed 0
+    python -m repro.analysis.chaos --store DIR --skip-points --skip-soak \
+        --service-kills 3
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
+import re
+import select
 import shutil
 import signal
+import socket
 import subprocess
 import sys
+import threading
 import time
 import warnings
 from typing import Dict, List, Optional, Tuple
@@ -287,6 +302,192 @@ def run_sigkill_soak(root: str, kills: int = 20, seed: int = 0,
     return landed
 
 
+# --------------------------------------------------------------------- #
+# Service soak (the scheduling daemon under kills)
+
+#: (graph spec, strategy, budgets) triples the service soak requests.
+#: Specs resolve through :func:`repro.service.protocol.resolve_graph`,
+#: so the reference below is consistent with the daemon by construction.
+_SERVICE_WORKLOAD = (
+    ({"family": "dwt", "n": 4, "d": 2, "weights": "equal"},
+     "exhaustive", (48, 64, 80, 96, 112, 128)),
+    ({"family": "mvm", "m": 2, "n": 2, "weights": "equal"},
+     "exhaustive", (64, 80, 96, 112, 128)),
+)
+
+
+def _service_reference() -> Dict[Tuple[str, str, int], float]:
+    """Store-less ground truth for every service-soak probe."""
+    from ..schedulers import ExhaustiveScheduler
+    from ..service.protocol import resolve_graph
+    sched = ExhaustiveScheduler()
+    skey = sched.cache_key()
+    expected: Dict[Tuple[str, str, int], float] = {}
+    for spec, _strategy, budgets in _SERVICE_WORKLOAD:
+        cdag = resolve_graph(spec)
+        gkey = graph_fingerprint(cdag)
+        memo: dict = {}
+        for b, cost in zip(budgets,
+                           sched.cost_many(cdag, budgets, memo=memo)):
+            expected[(skey, gkey, b)] = cost
+    return expected
+
+
+def _spawn_serve(store_dir: str, *extra: str,
+                 ready_timeout: float = 60.0):
+    """Launch ``repro.cli serve`` on an ephemeral port; parse the ready
+    line.  Returns ``(proc, host, port)``."""
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--store", store_dir,
+         "--port", "0", "--max-inflight", "2", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    deadline = time.monotonic() + ready_timeout
+    line = b""
+    while time.monotonic() < deadline:
+        remaining = deadline - time.monotonic()
+        ready, _, _ = select.select([proc.stdout], [], [],
+                                    max(0.0, remaining))
+        if not ready:
+            break
+        line = proc.stdout.readline()
+        break
+    m = re.match(rb"repro-serve listening on ([\d.]+):(\d+)", line)
+    if not m:
+        proc.kill()
+        _, err = proc.communicate(timeout=30)
+        raise AssertionError(
+            f"daemon never announced readiness (got {line!r})\n"
+            f"{err.decode(errors='replace')}")
+    return proc, m.group(1).decode(), int(m.group(2))
+
+
+def run_service_soak(root: str, kills: int = 2, seed: int = 0,
+                     clients: int = 3, log=print) -> int:
+    """SIGKILL the serving daemon under concurrent client load, restart,
+    and assert the service-level durability invariants:
+
+    1. after every kill, the committed record set only grows and every
+       committed record matches the store-less reference;
+    2. after the final restart, every workload answer is served exact
+       and byte-identical to the reference, and previously-committed
+       records are served without re-evaluation;
+    3. clients never hang — every receive is timeout-bounded — and a
+       SIGTERM drains in-flight work and exits 0.
+
+    Returns the number of kills delivered.
+    """
+    from ..service.protocol import ServiceClient
+    store_dir = os.path.join(root, "service")
+    shutil.rmtree(store_dir, ignore_errors=True)
+    expected = _service_reference()
+    rng = random.Random(seed)
+    tenants = ("alpha", "beta", "gamma")
+    committed: set = set()
+    kills = max(2, int(kills))
+
+    def hammer(idx: int, host: str, port: int, stop: threading.Event,
+               mismatches: List[str]) -> None:
+        """One client thread: mixed-tenant probes in a loop until the
+        daemon dies under it (expected) or ``stop`` is set.  Successful
+        exact answers are checked against the reference immediately."""
+        try:
+            with ServiceClient(host, port, timeout=15.0) as c:
+                j = idx
+                while not stop.is_set():
+                    spec, strategy, budgets = \
+                        _SERVICE_WORKLOAD[j % len(_SERVICE_WORKLOAD)]
+                    b = budgets[j % len(budgets)]
+                    frames = c.request({
+                        "verb": "probe", "graph": spec,
+                        "strategy": strategy, "budget": b,
+                        "tenant": tenants[idx % len(tenants)], "id": j})
+                    last = frames[-1]
+                    if last.get("ok") and last["result"].get("exact"):
+                        from ..service.protocol import resolve_graph
+                        from ..schedulers import ExhaustiveScheduler
+                        key = (ExhaustiveScheduler().cache_key(),
+                               graph_fingerprint(resolve_graph(spec)), b)
+                        if last["result"]["cost"] != expected[key]:
+                            mismatches.append(
+                                f"served {last['result']['cost']} for "
+                                f"{key}, expected {expected[key]}")
+                    j += 1
+        except (ConnectionError, OSError, socket.timeout,
+                json.JSONDecodeError):
+            pass  # the daemon was SIGKILLed mid-exchange — expected
+
+    landed = 0
+    for i in range(kills):
+        proc, host, port = _spawn_serve(store_dir)
+        stop = threading.Event()
+        mismatches: List[str] = []
+        threads = [threading.Thread(target=hammer,
+                                    args=(k, host, port, stop, mismatches),
+                                    daemon=True)
+                   for k in range(max(1, clients))]
+        for t in threads:
+            t.start()
+        time.sleep(rng.uniform(0.3, 1.2))
+        proc.kill()
+        landed += 1
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        hung = [t for t in threads if t.is_alive()]
+        assert not hung, (f"kill #{i}: {len(hung)} client(s) hung past "
+                          f"their bounded timeouts — protocol wedge")
+        proc.communicate(timeout=60)
+        assert not mismatches, f"kill #{i}: wrong answers: {mismatches}"
+        store = _load_clean(store_dir)
+        served = _served_probes(store)
+        lost = [k for k in committed if k not in served]
+        assert not lost, f"kill #{i}: lost committed records {lost}"
+        for key, value in served.items():
+            assert key in expected, f"kill #{i}: phantom record {key}"
+            assert value == (expected[key], False, "exact", None), (
+                f"kill #{i}: served {value} for {key}, expected exact "
+                f"{expected[key]}")
+        committed = set(served)
+        log(f"service kill #{i + 1:>2}: {len(served)}/{len(expected)} "
+            f"records durable")
+    # Restart: every answer byte-identical; committed records are served
+    # from the store (no re-evaluation of what survived the kills).
+    proc, host, port = _spawn_serve(store_dir)
+    from ..schedulers import ExhaustiveScheduler
+    from ..service.protocol import resolve_graph
+    skey = ExhaustiveScheduler().cache_key()
+    with ServiceClient(host, port, timeout=60.0) as c:
+        for spec, strategy, budgets in _SERVICE_WORKLOAD:
+            gkey = graph_fingerprint(resolve_graph(spec))
+            for b in budgets:
+                frame = c.probe(spec, strategy, b, tenant="restart")
+                assert frame["ok"], f"restart probe failed: {frame}"
+                res = frame["result"]
+                assert res["exact"], f"restart served non-exact: {res}"
+                assert res["cost"] == expected[(skey, gkey, b)], (
+                    f"restart served {res['cost']} for ({spec}, {b}), "
+                    f"expected {expected[(skey, gkey, b)]}")
+        stats = c.stats()["result"]
+        evals = stats["engine"]["evals"]
+        fresh = len(expected) - len(committed)
+        assert evals <= fresh, (
+            f"restart re-evaluated {evals} probes; only {fresh} were "
+            f"uncommitted — committed records must serve from the store")
+    # Graceful exit: SIGTERM drains and exits 0; everything is durable.
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0, "SIGTERM drain exited non-zero"
+    served = _served_probes(_load_clean(store_dir))
+    missing = sorted(set(expected) - set(served))
+    assert not missing, f"after drain, store is missing {missing}"
+    log(f"service soak: {landed} kills, restart byte-identical "
+        f"({len(served)} records durable), SIGTERM drained cleanly")
+    return landed
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis.chaos",
@@ -301,6 +502,13 @@ def main(argv=None) -> int:
                     help="victim sleep between probes (widens the window)")
     ap.add_argument("--skip-points", action="store_true",
                     help="skip the deterministic crash-point phase")
+    ap.add_argument("--skip-soak", action="store_true",
+                    help="skip the randomized sweep-SIGKILL phase")
+    ap.add_argument("--service-kills", type=int, default=0, metavar="N",
+                    help="run the daemon service soak with N SIGKILLs "
+                         "(0 = skip; minimum 2 when enabled)")
+    ap.add_argument("--clients", type=int, default=3, metavar="N",
+                    help="concurrent client threads for the service soak")
     # Internal: victim entry points (the processes that get crashed).
     ap.add_argument("--victim", choices=["commit", "compact", "sweep"],
                     help=argparse.SUPPRESS)
@@ -318,10 +526,19 @@ def main(argv=None) -> int:
     crashes = 0
     if not args.skip_points:
         crashes = run_crash_points(args.store)
-    landed = run_sigkill_soak(args.store, kills=args.kills,
-                              seed=args.seed, dawdle=args.dawdle)
+    landed = 0
+    if not args.skip_soak:
+        landed = run_sigkill_soak(args.store, kills=args.kills,
+                                  seed=args.seed, dawdle=args.dawdle)
+    service_kills = 0
+    if args.service_kills > 0:
+        service_kills = run_service_soak(args.store,
+                                         kills=args.service_kills,
+                                         seed=args.seed,
+                                         clients=args.clients)
     print(f"chaos: {crashes} injected crash points + {args.kills} "
-          f"SIGKILL rounds ({landed} landed) — all invariants held")
+          f"SIGKILL rounds ({landed} landed) + {service_kills} service "
+          f"kills — all invariants held")
     return 0
 
 

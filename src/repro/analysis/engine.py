@@ -53,7 +53,9 @@ from __future__ import annotations
 
 import contextlib
 import math
+import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -62,6 +64,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..core.bounds import algorithmic_lower_bound, min_feasible_budget
 from ..core.cdag import CDAG
 from ..core.exceptions import AuditFailure
+from ..core.governor import CancellationToken, governed
 from .audit import Auditor, AuditViolation
 from .faults import (FailureRecord, FaultPolicy, SweepCheckpoint,
                      normalize_probe, run_probe)
@@ -184,6 +187,28 @@ class SweepStats:
             lines.append(f"    ... and "
                          f"{len(self.violations) - max_failures} more")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """One service-facing probe answer with its certainty bracket.
+
+    ``cost`` is what the probe reported (the bracket's upper bound for
+    anytime answers); ``(lb, ub)`` is the certified bracket — equal for
+    exact answers; ``cached`` means the answer was served without a fresh
+    scheduler evaluation (in-memory cache, checkpoint seed, or durable
+    store read-through)."""
+
+    cost: float
+    degraded: bool
+    provenance: str  #: one of :data:`repro.analysis.faults.PROVENANCES`
+    lb: float
+    ub: float
+    cached: bool
+
+    @property
+    def exact(self) -> bool:
+        return self.provenance == "exact"
 
 
 # --------------------------------------------------------------------- #
@@ -351,6 +376,33 @@ class CachedCostFn:
         if budget in self.degraded:
             return (0.0, value)
         return (value, value)
+
+    def refine(self, budget: int) -> float:
+        """Exactness-forcing probe: a cached *exact* value is a plain
+        cache hit, while a cached bracket / fallback answer is dropped
+        and re-evaluated **ungoverned** (outside any ambient cancellation
+        scope), so the refreshed value is the scheduler's true answer
+        whenever the engine itself carries no governance policy.
+
+        This is the background-tightening half of the service layer's
+        anytime streaming: a request answered early with an ``[lb, ub]``
+        bracket is later refined to the exact value, and because the
+        re-evaluation runs through the normal ``on_eval`` plumbing the
+        exact record also upgrades the checkpoint and the durable store
+        through the provenance merge ladder — a refined budget can never
+        regress to a stale bracket."""
+        self.stats.probes += 1
+        hit = self._cache.get(budget)
+        if hit is not None and budget not in self.degraded:
+            self.stats.cache_hits += 1
+            return hit
+        if budget in self._cache:
+            del self._cache[budget]
+            self.degraded.discard(budget)
+            self.provenance.pop(budget, None)
+            self.brackets.pop(budget, None)
+        with governed(None):
+            return self._evaluate(budget)
 
     def _quarantine(self, budget: int, val: float) -> Tuple[float, bool]:
         """Audit one fresh probe value; on violation, record the findings
@@ -654,6 +706,13 @@ class SweepEngine:
         self._probe_log: List[tuple] = []
         self._collect_probes = False
         self._context = ""
+        #: Service-layer thread-safety (see :meth:`probe`): a creation
+        #: lock for the cost-fn registry plus one lock per (scheduler,
+        #: graph) serializing evaluations that share a memo/table, and a
+        #: journal lock serializing checkpoint/store/seed writes.
+        self._submit_lock = threading.Lock()
+        self._fn_locks: Dict[Tuple, threading.Lock] = {}
+        self._record_lock = threading.Lock()
         #: Cross-worker bound store (owner side).  ``_shared_name`` alone
         #: is set on pool workers, which attach instead of owning.
         self._shared_store = None
@@ -691,15 +750,38 @@ class SweepEngine:
         """Release engine-owned resources: flush the checkpoint, commit
         and release the result store, and destroy the shared-bound
         segment (if hosting one).  Idempotent; the engine remains usable
-        afterwards, minus bound sharing and store write-through."""
-        self.flush_checkpoint()
-        if self.store is not None:
-            self.store.close()
-            self.store = None
-        if self._shared_store is not None:
-            self._shared_store.unlink()
+        afterwards, minus bound sharing and store write-through.
+
+        Safe to call from ``atexit`` handlers, signal handlers, and
+        ``finally`` blocks around a constructor — i.e. on an engine that
+        never ran a sweep, whose pool already died, or whose ``__init__``
+        raised partway (missing attributes count as already-released).
+        Each teardown step is guarded independently, so a failing store
+        flush (reported as a :class:`RuntimeWarning`, since silently
+        dropping durable records would be worse) still releases the
+        shared-memory segment instead of leaking it."""
+        checkpoint = getattr(self, "checkpoint", None)
+        if checkpoint is not None:
+            try:
+                checkpoint.flush()
+            except Exception as exc:
+                warnings.warn(f"engine close: checkpoint flush failed "
+                              f"({exc})", RuntimeWarning, stacklevel=2)
+        store = getattr(self, "store", None)
+        self.store = None
+        try:
+            if store is not None:
+                store.close()
+        except Exception as exc:
+            warnings.warn(f"engine close: result-store flush failed "
+                          f"({exc})", RuntimeWarning, stacklevel=2)
+        finally:
+            shared = getattr(self, "_shared_store", None)
             self._shared_store = None
             self._shared_name = None
+            if shared is not None:
+                with contextlib.suppress(Exception):
+                    shared.unlink()
 
     def __enter__(self) -> "SweepEngine":
         return self
@@ -750,18 +832,21 @@ class SweepEngine:
                       provenance: str = "exact",
                       lb: Optional[float] = None) -> None:
         """Journal one completed probe (checkpoint + store + worker
-        export)."""
-        self._seed[(sched_key, gkey, budget)] = (cost, was_degraded,
-                                                 provenance, lb)
-        if self.checkpoint is not None:
-            self.checkpoint.record(sched_key, gkey, budget, cost,
-                                   was_degraded, provenance, lb)
-        if self.store is not None:
-            self.store.put_probe(sched_key, gkey, budget, cost,
-                                 was_degraded, provenance, lb)
-        if self._collect_probes:
-            self._probe_log.append((sched_key, gkey, budget, cost,
-                                    was_degraded, provenance, lb))
+        export).  Serialized under the journal lock so concurrent
+        service-layer probes of *different* graphs (see :meth:`probe`)
+        never interleave checkpoint/store commits."""
+        with self._record_lock:
+            self._seed[(sched_key, gkey, budget)] = (cost, was_degraded,
+                                                     provenance, lb)
+            if self.checkpoint is not None:
+                self.checkpoint.record(sched_key, gkey, budget, cost,
+                                       was_degraded, provenance, lb)
+            if self.store is not None:
+                self.store.put_probe(sched_key, gkey, budget, cost,
+                                     was_degraded, provenance, lb)
+            if self._collect_probes:
+                self._probe_log.append((sched_key, gkey, budget, cost,
+                                        was_degraded, provenance, lb))
 
     def _absorb_probes(self, probes) -> None:
         """Fold probes harvested from a worker into this engine's seed
@@ -926,6 +1011,75 @@ class SweepEngine:
             self.flush_checkpoint()
         self.stats.searches += 1
         return result
+
+    # ----------------------------------------------------------------- #
+    # Service submission hooks (thread-safe single requests)
+
+    def _probe_fn(self, scheduler, cdag: CDAG
+                  ) -> Tuple[CachedCostFn, threading.Lock]:
+        """The cost function for a (scheduler, graph) plus the lock that
+        serializes evaluations against it.  Registry mutation happens
+        under the submission lock, so concurrent first requests for the
+        same pair race safely."""
+        with self._submit_lock:
+            fn = self.cost_fn(scheduler, cdag)
+            key = (id(scheduler), id(cdag))
+            lock = self._fn_locks.get(key)
+            if lock is None:
+                lock = self._fn_locks[key] = threading.Lock()
+            return fn, lock
+
+    def probe(self, scheduler, cdag: CDAG, budget: int, *,
+              token: Optional[CancellationToken] = None,
+              refine: bool = False) -> ProbeOutcome:
+        """One blocking cost probe for the service layer: evaluate (or
+        serve from cache/store), then report the value with its certified
+        bracket as a :class:`ProbeOutcome`.
+
+        Unlike :meth:`sweep`/:meth:`min_memory`, this entry point is
+        **thread-safe**: the daemon calls it from executor threads, and
+        probes of the same (scheduler, graph) — which share a DP memo /
+        transposition table — are serialized on a per-pair lock while
+        probes of different pairs run concurrently.  (Identical in-flight
+        requests are additionally coalesced one layer up, in
+        :mod:`repro.service.coalesce`, so the lock rarely contends.)
+
+        ``token`` governs the evaluation (chained per-request/per-tenant
+        deadlines and memory caps reach the solve through the thread's
+        ambient token); ``refine=True`` instead forces exactness — see
+        :meth:`CachedCostFn.refine`."""
+        fn, lock = self._probe_fn(scheduler, cdag)
+        with lock:
+            cached = budget in fn._cache and not (refine
+                                                  and budget in fn.degraded)
+            if refine:
+                value = fn.refine(budget)
+            elif token is not None:
+                with governed(token):
+                    value = fn(budget)
+            else:
+                value = fn(budget)
+            lb, ub = fn.bracket(budget)
+            outcome = ProbeOutcome(
+                cost=value, degraded=budget in fn.degraded,
+                provenance=fn.provenance.get(budget, "exact"),
+                lb=lb, ub=ub, cached=cached)
+        with self._record_lock:
+            self.flush_checkpoint()
+        return outcome
+
+    def probe_min_memory(self, scheduler, cdag: CDAG, *,
+                         token: Optional[CancellationToken] = None,
+                         **kwargs) -> Optional[int]:
+        """Thread-safe :meth:`min_memory` for the service layer — same
+        per-(scheduler, graph) serialization as :meth:`probe`, with
+        ``token`` governing every probe of the search."""
+        fn, lock = self._probe_fn(scheduler, cdag)
+        with lock:
+            if token is not None:
+                with governed(token):
+                    return self.min_memory(scheduler, cdag, **kwargs)
+            return self.min_memory(scheduler, cdag, **kwargs)
 
     # ----------------------------------------------------------------- #
     # Fan-out

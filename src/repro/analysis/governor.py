@@ -32,11 +32,12 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.governor import (REASONS, SOURCES, AnytimeResult,
-                             CancellationToken, current_token, governed,
-                             process_rss_mb)
+                             CancellationToken, TokenBucket, chained_token,
+                             current_token, governed, process_rss_mb)
 
 __all__ = ["REASONS", "SOURCES", "AnytimeResult", "CancellationToken",
-           "current_token", "governed", "process_rss_mb", "install_rlimit"]
+           "TokenBucket", "chained_token", "current_token", "governed",
+           "process_rss_mb", "install_rlimit"]
 
 #: Address-space headroom multiplier for :func:`install_rlimit`: the RSS
 #: watchdog is the precise guard; the rlimit is a backstop against runaway

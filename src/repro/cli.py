@@ -270,6 +270,31 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .analysis import SweepEngine
+    from .service import SchedulingDaemon, TenantGovernor
+
+    try:
+        governor = TenantGovernor.parse(args.tenant or [])
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    engine = SweepEngine(store=args.store, anytime=True,
+                         checkpoint=args.checkpoint)
+    daemon = SchedulingDaemon(engine, host=args.host, port=args.port,
+                              max_pending=args.max_pending,
+                              max_inflight=args.max_inflight,
+                              tenants=governor,
+                              drain_deadline=args.drain_deadline,
+                              log=(print if args.verbose else None))
+    try:
+        asyncio.run(daemon.run(announce=lambda msg: print(msg, flush=True)))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
 def _add_fault_flags(parser) -> None:
     """Fault-tolerance flags shared by the sweep-driving subcommands."""
     parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
@@ -390,6 +415,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print sweep-engine instrumentation")
     _add_fault_flags(e)
     e.set_defaults(fn=cmd_experiments)
+
+    v = sub.add_parser(
+        "serve", help="long-lived scheduling daemon (JSON over TCP)")
+    v.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    v.add_argument("--port", type=int, default=0,
+                   help="TCP port; 0 picks an ephemeral port, announced "
+                        "on stdout as 'repro-serve listening on H:P'")
+    v.add_argument("--store", metavar="DIR",
+                   help="durable result store backing the daemon "
+                        "(crash-safe; probes served from it are never "
+                        "recomputed)")
+    v.add_argument("--checkpoint", metavar="FILE",
+                   help="probe journal (see --checkpoint on minmem)")
+    v.add_argument("--max-inflight", type=int, default=2, metavar="N",
+                   help="solver threads (default 2)")
+    v.add_argument("--max-pending", type=int, default=16, metavar="N",
+                   help="admitted-but-waiting solves beyond the inflight "
+                        "limit before requests get structured "
+                        "'overloaded' rejections (default 16)")
+    v.add_argument("--drain-deadline", type=float, default=10.0,
+                   metavar="SEC",
+                   help="SIGTERM grace: seconds to let in-flight requests "
+                        "finish before cooperative cancellation")
+    v.add_argument("--tenant", action="append", metavar="SPEC",
+                   help="per-tenant policy 'NAME:rate=R,burst=B,"
+                        "deadline=S,mem=MB' (NAME '*' sets the default; "
+                        "repeatable)")
+    v.add_argument("--verbose", action="store_true",
+                   help="log request-level events to stdout")
+    v.set_defaults(fn=cmd_serve)
 
     f = sub.add_parser(
         "fuzz", help="property-based audit fuzzing of every scheduler")

@@ -41,7 +41,8 @@ from .exceptions import ProbeCancelledError
 from .schedule import Schedule
 
 __all__ = ["REASONS", "SOURCES", "CancellationToken", "AnytimeResult",
-           "current_token", "governed", "process_rss_mb"]
+           "TokenBucket", "chained_token", "current_token", "governed",
+           "process_rss_mb"]
 
 #: Termination reasons a governed search can end with.  ``"exact"`` means
 #: the search completed; everything else names the guard that stopped it.
@@ -197,6 +198,97 @@ class CancellationToken:
         if r is not None:
             raise ProbeCancelledError(
                 f"{where or 'probe'} cancelled ({r})", reason=r)
+
+
+def chained_token(*, budget: Optional[float] = None,
+                  deadline: Optional[float] = None,
+                  mem_limit_mb: Optional[float] = None,
+                  anytime: bool = False,
+                  parent: Optional[CancellationToken] = None,
+                  poll_interval: int = 512) -> CancellationToken:
+    """A :class:`CancellationToken` chained under ``parent`` — or, when
+    ``parent`` is ``None``, under the thread's currently installed token
+    (:func:`current_token`), so nested scopes compose automatically:
+    cancelling any ancestor cancels this token at its next full check.
+    The service layer uses this to hang a per-request deadline/memory cap
+    under the per-tenant budget token, which itself hangs under the
+    daemon-wide drain token."""
+    return CancellationToken(budget=budget, deadline=deadline,
+                             mem_limit_mb=mem_limit_mb, anytime=anytime,
+                             parent=parent if parent is not None
+                             else current_token(),
+                             poll_interval=poll_interval)
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter (thread-safe, injectable clock).
+
+    The bucket holds up to ``capacity`` tokens and refills continuously
+    at ``rate`` tokens per second.  :meth:`try_acquire` either debits the
+    requested tokens and returns ``True``, or leaves the bucket untouched
+    and returns ``False`` — it never blocks, because the service layer
+    answers an over-budget tenant with a structured rejection instead of
+    queueing them (:meth:`wait_time` tells the caller how long to advise
+    the client to back off).
+
+    ``rate=None`` builds an unlimited bucket: every acquire succeeds and
+    the wait time is always zero — the inert default, so governance-off
+    service configs pay one ``is None`` test per request.
+    """
+
+    __slots__ = ("rate", "capacity", "_tokens", "_stamp", "_clock", "_lock")
+
+    def __init__(self, rate: Optional[float], capacity: Optional[float] = None,
+                 *, clock: Callable[[], float] = time.monotonic):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate!r}")
+        self.rate = rate
+        self.capacity = (float(capacity) if capacity is not None
+                         else (rate if rate is not None else 0.0))
+        if rate is not None and self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self._tokens = self.capacity
+        self._clock = clock
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0:
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed * self.rate)
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (∞ for an unlimited bucket)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Debit ``tokens`` if available; never blocks."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def wait_time(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` would be available (0.0 when they
+        already are) — advisory retry-after for rejected callers."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            self._refill()
+            deficit = tokens - self._tokens
+            return max(0.0, deficit / self.rate)
 
 
 # --------------------------------------------------------------------- #

@@ -692,11 +692,21 @@ class ResultStore:
 
     def close(self) -> None:
         """Commit pending records and mark the handle closed.
-        Idempotent; reads keep working, writes raise."""
+        Idempotent; reads keep working, writes raise.
+
+        A handle that is (or shadows) this process's :func:`open_cached`
+        entry also evicts itself from the cache, so a long-lived process
+        that closes a store and later reopens the same path — a daemon
+        restarting its engine in-process, a test tearing one engine down
+        and building another — gets a *fresh* handle with a fresh scan
+        instead of the closed (write-refusing) one."""
         if self._closed:
             return
         self.flush()
         self._closed = True
+        key = (os.path.abspath(self.path), os.getpid())
+        if _OPEN_STORES.get(key) is self:
+            del _OPEN_STORES[key]
 
     def __enter__(self) -> "ResultStore":
         return self

@@ -1,0 +1,107 @@
+"""Single-flight request coalescing for the scheduling daemon.
+
+Identical in-flight requests — same ``Scheduler.cache_key()``, same
+``graph_fingerprint``, same budget — share **one** computation: the
+first arrival (the *leader*) starts the solve, later arrivals (the
+*waiters*) await the same task and receive the same answer.  N identical
+concurrent probes therefore cost exactly one engine evaluation.
+
+Cancellation semantics are the subtle part and are what the tests pin:
+
+* a waiter's cancellation (client disconnect, drain) must **not**
+  cancel the shared solve while other waiters remain — each waiter
+  awaits through :func:`asyncio.shield`;
+* when the **last** waiter departs, the solve is abandoned: the shared
+  task is cancelled, which (in the daemon) cancels the request's
+  :class:`~repro.core.governor.CancellationToken` so the worker thread
+  exits at its next poll instead of computing for nobody;
+* a joiner that races an abandonment never inherits the dying task — an
+  abandoned flight is evicted from the registry eagerly and the joiner
+  becomes a fresh leader.
+
+Everything here runs on the event-loop thread; no locks needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Hashable, Optional
+
+
+class _Flight:
+    __slots__ = ("task", "waiters", "abandoned")
+
+    def __init__(self, task: "asyncio.Task"):
+        self.task = task
+        self.waiters = 0
+        self.abandoned = False
+
+
+class Coalescer:
+    """Async single-flight registry keyed by request identity."""
+
+    def __init__(self):
+        self._flights: Dict[Hashable, _Flight] = {}
+        self.hits = 0  #: requests that joined an existing flight
+        self.started = 0  #: flights created (leader computations)
+        self.abandoned = 0  #: flights cancelled by last-waiter departure
+
+    @property
+    def inflight(self) -> int:
+        """Live shared computations right now."""
+        return sum(1 for f in self._flights.values()
+                   if not f.task.done() and not f.abandoned)
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "started": self.started,
+                "abandoned": self.abandoned, "inflight": self.inflight}
+
+    async def run(self, key: Hashable,
+                  make: Callable[[], "asyncio.Future"]):
+        """Await the flight for ``key``, creating it if absent.
+
+        ``make`` is invoked **synchronously** (on the loop thread, with
+        no awaits in between) only when a new flight is needed, and must
+        return an awaitable.  Synchronous exceptions from ``make`` —
+        admission rejections — propagate to this caller alone and
+        register nothing, so a rejected leader never blocks later
+        arrivals from trying again.
+        """
+        flight = self._flights.get(key)
+        if flight is None or flight.abandoned or flight.task.cancelled():
+            task = asyncio.ensure_future(make())
+            flight = _Flight(task)
+            self._flights[key] = flight
+            self.started += 1
+            task.add_done_callback(lambda _t, k=key, f=flight:
+                                   self._evict(k, f))
+        else:
+            self.hits += 1
+        flight.waiters += 1
+        try:
+            return await asyncio.shield(flight.task)
+        finally:
+            flight.waiters -= 1
+            if (flight.waiters == 0 and not flight.task.done()
+                    and not flight.abandoned):
+                # Last waiter departed mid-solve: abandon the flight.
+                flight.abandoned = True
+                self.abandoned += 1
+                self._evict(key, flight)
+                flight.task.cancel()
+
+    def _evict(self, key: Hashable, flight: _Flight) -> None:
+        if self._flights.get(key) is flight:
+            del self._flights[key]
+
+    def cancel_all(self, reason: Optional[str] = None) -> int:
+        """Cancel every live flight (daemon drain timeout).  Waiters see
+        ``CancelledError``; returns the number of flights cancelled."""
+        cancelled = 0
+        for key, flight in list(self._flights.items()):
+            if not flight.task.done():
+                flight.abandoned = True
+                self._evict(key, flight)
+                flight.task.cancel()
+                cancelled += 1
+        return cancelled

@@ -11,7 +11,8 @@ path is still exercised.
 from __future__ import annotations
 
 from repro.analysis.chaos import (_reference, _soak_workload,
-                                  run_crash_points, run_sigkill_soak)
+                                  run_crash_points, run_service_soak,
+                                  run_sigkill_soak)
 from repro.core.store import CRASH_POINTS
 
 
@@ -32,3 +33,12 @@ def test_soak_reference_is_deterministic():
     first, second = _reference(), _reference()
     assert first == second
     assert len(first) == sum(len(b) for _, b in _soak_workload())
+
+
+def test_service_soak_survives_sigkill_and_drains(tmp_path):
+    # Tentpole acceptance: a real daemon subprocess under concurrent
+    # multi-tenant load, SIGKILLed twice mid-flight, restarted — zero
+    # committed records lost, restart answers byte-identical to the
+    # store-less reference, final SIGTERM drains with exit code 0.
+    run_service_soak(str(tmp_path), kills=2, seed=2, clients=2,
+                     log=lambda *a: None)

@@ -264,3 +264,62 @@ class TestDefaultEngine:
             assert get_default_engine() is mine
         finally:
             set_default_engine(None)
+
+
+class TestCloseHardening:
+    """Satellite: ``close()`` must be safe from atexit/signal handlers,
+    including on engines whose ``__init__`` never finished."""
+
+    def test_close_on_uninitialized_engine_is_a_noop(self):
+        eng = SweepEngine.__new__(SweepEngine)  # __init__ never ran
+        eng.close()  # must not raise on missing attributes
+
+    def test_close_is_idempotent(self, tmp_path):
+        eng = SweepEngine(store=tmp_path / "st")
+        eng.close()
+        eng.close()
+
+    def test_close_before_first_sweep_flushes_checkpoint(self, tmp_path):
+        eng = SweepEngine(store=tmp_path / "st",
+                          checkpoint=tmp_path / "ckpt.json")
+        eng.close()
+        # A later engine on the same paths sees a consistent (empty)
+        # store rather than a half-built one.
+        eng2 = SweepEngine(store=tmp_path / "st",
+                           checkpoint=tmp_path / "ckpt.json")
+        assert eng2.store is not None and len(eng2.store) == 0
+        eng2.close()
+
+    def test_failing_checkpoint_flush_warns_but_still_releases(self,
+                                                               tmp_path):
+        eng = SweepEngine(store=tmp_path / "st",
+                          checkpoint=tmp_path / "ckpt.json")
+
+        class Boom:
+            entries = {}
+
+            def flush(self):
+                raise OSError("disk gone")
+
+        eng.checkpoint = Boom()
+        with pytest.warns(RuntimeWarning, match="checkpoint flush"):
+            eng.close()
+        assert eng.store is None  # store was still detached/closed
+
+    def test_failing_store_close_warns_not_raises(self):
+        eng = SweepEngine()
+
+        class BadStore:
+            def close(self):
+                raise OSError("fs died")
+
+        eng.store = BadStore()
+        with pytest.warns(RuntimeWarning, match="result-store"):
+            eng.close()
+        assert eng.store is None
+
+    def test_engine_usable_after_close_minus_write_through(self, dwt16):
+        eng = SweepEngine()
+        eng.close()
+        sched = OptimalDWTScheduler()
+        assert eng.cost_fn(sched, dwt16)(256) == sched.cost(dwt16, 256)

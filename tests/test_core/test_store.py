@@ -400,3 +400,87 @@ def test_lockfree_reader_sees_only_valid_monotone_state(tmp_path):
     finally:
         writer.join(120)
     assert writer.exitcode == 0
+
+
+def test_close_evicts_only_the_cached_handle(tmp_path):
+    """Satellite: ``close()`` drops the process-wide ``open_cached``
+    entry — but only when the closing handle *is* that entry.  A
+    private ``ResultStore`` on the same path closing must not evict the
+    cached one out from under other holders."""
+    cached = open_cached(tmp_path / "st")
+    private = ResultStore(tmp_path / "st")
+    private.close()
+    assert open_cached(tmp_path / "st") is cached  # untouched
+
+    cached.put_probe("S", "G", 8, 21)
+    cached.close()
+    reopened = open_cached(tmp_path / "st")
+    assert reopened is not cached  # fresh handle, fresh scan
+    assert reopened.get_probe("S", "G", 8) == (21, False, "exact", None)
+    reopened.close()
+
+
+def _compacting_writer(store_dir, rounds, stop):
+    """Interleave upgrades (anytime → exact leaves dead records) with
+    repeated compactions so the reader races segment replacement."""
+    s = ResultStore(store_dir)
+    try:
+        for i in range(rounds):
+            s.put_probe("W", f"G{i}", 8, 100 + i, degraded=True,
+                        provenance="anytime", lb=float(50 + i))
+            s.flush()
+            s.put_probe("W", f"G{i}", 8, 100 + i)  # exact supersedes
+            s.flush()
+            s.compact()
+    finally:
+        stop.set()
+        s.close()
+
+
+def test_compaction_racing_lockfree_reader_stays_monotone(tmp_path):
+    """Satellite: a lock-free reader polling ``refresh()`` while the
+    writer compacts (rename-before-delete) never crashes, never sees a
+    committed key vanish, and never observes an exact record regress to
+    its superseded anytime value."""
+    import threading
+    store_dir = str(tmp_path / "st")
+    ResultStore(store_dir).close()  # ensure layout exists for reader
+    rounds, stop = 30, threading.Event()
+    failures = []
+    seen = {}
+
+    def read_loop():
+        reader = ResultStore(store_dir)
+        try:
+            while not stop.is_set() or not seen_all():
+                reader.refresh()
+                for (s, g, b), val in reader.probe_entries().items():
+                    i = int(g[1:])
+                    assert val in ((100 + i, True, "anytime", 50 + i),
+                                   (100 + i, False, "exact", None)), val
+                    if seen.get(g) == "exact":
+                        assert val[2] == "exact", \
+                            "exact record regressed to anytime"
+                    seen[g] = val[2]
+                if stop.is_set() and seen_all():
+                    break
+            assert reader.quarantined == 0
+        except BaseException as exc:  # surface into the main thread
+            failures.append(exc)
+        finally:
+            reader.close()
+
+    def seen_all():
+        return sum(1 for v in seen.values() if v == "exact") == rounds
+
+    t = threading.Thread(target=read_loop)
+    t.start()
+    try:
+        _compacting_writer(store_dir, rounds, stop)
+    finally:
+        stop.set()
+        t.join(120)
+    assert not t.is_alive(), "reader wedged"
+    if failures:
+        raise failures[0]
+    assert sum(1 for v in seen.values() if v == "exact") == rounds

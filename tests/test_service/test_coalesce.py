@@ -1,0 +1,193 @@
+"""Single-flight coalescing semantics (:mod:`repro.service.coalesce`).
+
+The contract: identical keys share one computation; a waiter's
+cancellation never kills the shared flight while other waiters remain;
+the last waiter's departure abandons it; a joiner racing an abandonment
+becomes a fresh leader instead of inheriting a dying task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_identical_keys_share_one_computation():
+    async def main():
+        c = Coalescer()
+        calls = []
+
+        def make():
+            async def work():
+                calls.append(1)
+                await asyncio.sleep(0.05)
+                return 42
+            return work()
+
+        results = await asyncio.gather(*(c.run("k", make)
+                                         for _ in range(8)))
+        assert results == [42] * 8
+        assert len(calls) == 1
+        assert c.started == 1 and c.hits == 7 and c.abandoned == 0
+        assert c.inflight == 0
+    run(main())
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def main():
+        c = Coalescer()
+        calls = []
+
+        def make(i):
+            async def work():
+                calls.append(i)
+                return i
+            return work
+
+        got = await asyncio.gather(c.run("a", make(1)), c.run("b", make(2)))
+        assert got == [1, 2] and sorted(calls) == [1, 2]
+        assert c.started == 2 and c.hits == 0
+    run(main())
+
+
+def test_waiter_cancel_keeps_shared_flight_alive():
+    async def main():
+        c = Coalescer()
+        release = asyncio.Event()
+        cancelled_inside = []
+
+        def make():
+            async def work():
+                try:
+                    await release.wait()
+                except asyncio.CancelledError:
+                    cancelled_inside.append(True)
+                    raise
+                return "done"
+            return work()
+
+        t1 = asyncio.ensure_future(c.run("k", make))
+        await asyncio.sleep(0)  # t1 registers the flight
+        t2 = asyncio.ensure_future(c.run("k", make))
+        await asyncio.sleep(0)
+        t1.cancel()
+        await asyncio.gather(t1, return_exceptions=True)
+        # The survivor still completes from the shared flight.
+        release.set()
+        assert await t2 == "done"
+        assert not cancelled_inside
+        assert c.started == 1 and c.hits == 1 and c.abandoned == 0
+    run(main())
+
+
+def test_last_waiter_departure_abandons_flight():
+    async def main():
+        c = Coalescer()
+        cancelled_inside = asyncio.Event()
+
+        def make():
+            async def work():
+                try:
+                    await asyncio.sleep(30)
+                except asyncio.CancelledError:
+                    cancelled_inside.set()
+                    raise
+            return work()
+
+        t1 = asyncio.ensure_future(c.run("k", make))
+        t2 = asyncio.ensure_future(c.run("k", make))
+        await asyncio.sleep(0.01)
+        t1.cancel()
+        await asyncio.gather(t1, return_exceptions=True)
+        assert not cancelled_inside.is_set()  # t2 still waiting
+        t2.cancel()
+        await asyncio.gather(t2, return_exceptions=True)
+        await asyncio.wait_for(cancelled_inside.wait(), 1.0)
+        assert c.abandoned == 1 and c.inflight == 0
+    run(main())
+
+
+def test_joiner_after_abandonment_is_a_fresh_leader():
+    async def main():
+        c = Coalescer()
+        calls = []
+
+        def make():
+            async def work():
+                calls.append(1)
+                await asyncio.sleep(0.02)
+                return len(calls)
+            return work()
+
+        t1 = asyncio.ensure_future(c.run("k", make))
+        await asyncio.sleep(0.01)
+        t1.cancel()
+        await asyncio.gather(t1, return_exceptions=True)
+        # The abandoned flight is evicted eagerly: a new arrival starts
+        # a fresh computation instead of awaiting a cancelled task.
+        assert await c.run("k", make) == 2
+        assert c.started == 2 and len(calls) == 2
+    run(main())
+
+
+def test_make_exception_registers_nothing():
+    async def main():
+        c = Coalescer()
+
+        def boom():
+            raise RuntimeError("rejected at admission")
+
+        with pytest.raises(RuntimeError):
+            await c.run("k", boom)
+        assert c.started == 0 and c.inflight == 0
+
+        def make():
+            async def work():
+                return "ok"
+            return work()
+
+        assert await c.run("k", make) == "ok"  # key not poisoned
+    run(main())
+
+
+def test_flight_exception_propagates_to_every_waiter():
+    async def main():
+        c = Coalescer()
+
+        def make():
+            async def work():
+                await asyncio.sleep(0.01)
+                raise ValueError("shared failure")
+            return work()
+
+        results = await asyncio.gather(*(c.run("k", make)
+                                         for _ in range(3)),
+                                       return_exceptions=True)
+        assert all(isinstance(r, ValueError) for r in results)
+        assert c.started == 1 and c.hits == 2
+    run(main())
+
+
+def test_cancel_all_cancels_live_flights():
+    async def main():
+        c = Coalescer()
+
+        def make():
+            async def work():
+                await asyncio.sleep(30)
+            return work()
+
+        t = asyncio.ensure_future(c.run("k", make))
+        await asyncio.sleep(0.01)
+        assert c.cancel_all() == 1
+        with pytest.raises(asyncio.CancelledError):
+            await t
+        assert c.inflight == 0
+    run(main())

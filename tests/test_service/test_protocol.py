@@ -1,0 +1,279 @@
+"""Wire-protocol validation and fuzz smoke (:mod:`repro.service.protocol`).
+
+Two layers: pure validation (``parse_request`` / ``decode_line`` raise
+:class:`ProtocolError` with the right code) and the live fuzz smoke —
+every malformed input fed to a running daemon gets a structured error
+frame, never a traceback, never a wedged connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.analysis import SweepEngine
+from repro.core.store import graph_fingerprint
+from repro.graphs import dwt_graph, mvm_graph
+from repro.service import SchedulingDaemon
+from repro.service.protocol import (MAX_FRAME_BYTES, ProtocolError,
+                                    decode_line, encode, parse_request,
+                                    resolve_graph, resolve_scheduler)
+
+DWT8 = {"family": "dwt", "n": 8, "d": 2}
+
+
+def code_of(obj) -> str:
+    with pytest.raises(ProtocolError) as err:
+        parse_request(obj)
+    return err.value.code
+
+
+class TestValidation:
+
+    def test_minimal_probe_parses(self):
+        req = parse_request({"verb": "probe", "graph": DWT8,
+                             "strategy": "dwt-optimal", "budget": 64})
+        assert req.verb == "probe" and req.budget == 64
+        assert req.tenant == "default" and not req.stream
+        assert req.graph["weights"] == "equal"  # canonical default
+
+    def test_strategy_string_and_object_canonicalize_identically(self):
+        a = parse_request({"verb": "probe", "graph": DWT8,
+                           "strategy": "greedy", "budget": 8})
+        b = parse_request({"verb": "probe", "graph": DWT8,
+                           "strategy": {"name": "greedy"}, "budget": 8})
+        assert a.instance_key == b.instance_key
+
+    @pytest.mark.parametrize("mutate, want", [
+        (lambda o: o.update(verb="zap"), "unknown-verb"),
+        (lambda o: o.pop("verb"), "unknown-verb"),
+        (lambda o: o.update(graph=None), "bad-request"),
+        (lambda o: o.update(graph={"family": "nope", "n": 4}),
+         "bad-request"),
+        (lambda o: o.update(graph={"family": "dwt", "n": 0, "d": 2}),
+         "bad-request"),
+        (lambda o: o.update(graph={"family": "dwt", "n": 10 ** 9,
+                                   "d": 2}), "bad-request"),
+        (lambda o: o.update(graph={"family": "dwt", "n": True, "d": 2}),
+         "bad-request"),
+        (lambda o: o.update(graph={"family": "dwt", "n": 4, "d": 2,
+                                   "evil": 1}), "bad-request"),
+        (lambda o: o.update(graph={"family": "dwt", "n": 4, "d": 2,
+                                   "weights": "gold"}), "bad-request"),
+        (lambda o: o.update(strategy="nope"), "bad-request"),
+        (lambda o: o.update(strategy={"name": "greedy", "evil": 1}),
+         "bad-request"),
+        (lambda o: o.update(budget="lots"), "bad-request"),
+        (lambda o: o.update(budget=True), "bad-request"),
+        (lambda o: o.update(budget=-1), "bad-request"),
+        (lambda o: o.update(tenant=""), "bad-request"),
+        (lambda o: o.update(tenant="x" * 100), "bad-request"),
+        (lambda o: o.update(deadline=-2), "bad-request"),
+        (lambda o: o.update(mem_limit_mb=0), "bad-request"),
+        (lambda o: o.update(id={"not": "scalar"}), "bad-request"),
+    ])
+    def test_bad_probe_requests(self, mutate, want):
+        obj = {"verb": "probe", "graph": dict(DWT8),
+               "strategy": "dwt-optimal", "budget": 64}
+        mutate(obj)
+        assert code_of(obj) == want
+
+    @pytest.mark.parametrize("budgets", [None, [], "48", [48, "x"],
+                                         [48, True], list(range(300))])
+    def test_bad_sweep_budgets(self, budgets):
+        assert code_of({"verb": "sweep", "graph": dict(DWT8),
+                        "strategy": "greedy",
+                        "budgets": budgets}) == "bad-request"
+
+    def test_decode_line_errors(self):
+        with pytest.raises(ProtocolError) as e:
+            decode_line(b"not json")
+        assert e.value.code == "invalid-json"
+        with pytest.raises(ProtocolError) as e:
+            decode_line(b"\xff\xfe{}")
+        assert e.value.code == "invalid-json"
+        with pytest.raises(ProtocolError) as e:
+            decode_line(b"[1, 2, 3]")
+        assert e.value.code == "bad-request"
+        with pytest.raises(ProtocolError) as e:
+            decode_line(b"x" * (MAX_FRAME_BYTES + 1))
+        assert e.value.code == "frame-too-large"
+
+    def test_error_frames_are_strict_json(self):
+        frame = ProtocolError("overloaded", "busy",
+                              retry_after=0.5).frame(id=7)
+        wire = encode(frame)
+        back = json.loads(wire)
+        assert back["error"]["code"] == "overloaded"
+        assert back["error"]["retry_after"] == 0.5 and back["id"] == 7
+
+
+class TestResolution:
+
+    def test_resolved_graphs_match_cli_built_fingerprints(self):
+        from repro.core import double_accumulator, equal
+        cases = [
+            ({"family": "dwt", "n": 8, "d": 2, "weights": "equal"},
+             dwt_graph(8, 2, weights=equal())),
+            ({"family": "mvm", "m": 3, "n": 2, "weights": "da"},
+             mvm_graph(3, 2, weights=double_accumulator())),
+        ]
+        for spec, want in cases:
+            got = resolve_graph(parse_request(
+                {"verb": "probe", "graph": spec, "strategy": "greedy",
+                 "budget": 1}).graph)
+            assert graph_fingerprint(got) == graph_fingerprint(want)
+
+    def test_resolved_schedulers_carry_stable_cache_keys(self):
+        a = resolve_scheduler({"name": "exhaustive", "max_nodes": 20})
+        b = resolve_scheduler({"name": "exhaustive", "max_nodes": 20})
+        c = resolve_scheduler({"name": "exhaustive"})
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+
+# --------------------------------------------------------------------- #
+# Live fuzz smoke
+
+
+def fuzz_daemon(body):
+    engine = SweepEngine()
+
+    async def main():
+        daemon = SchedulingDaemon(engine, close_engine=False)
+        await daemon.start()
+        try:
+            return await body(daemon)
+        finally:
+            await daemon.shutdown()
+    try:
+        return asyncio.run(main())
+    finally:
+        engine.close()
+
+
+async def raw_exchange(port, payload: bytes, timeout=10.0):
+    """Ship raw bytes; read one response line (None on clean EOF)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        return json.loads(line) if line else None
+    finally:
+        writer.close()
+
+
+async def valid_probe_roundtrip(port):
+    frame = await raw_exchange(port, encode(
+        {"verb": "probe", "graph": DWT8, "strategy": "dwt-optimal",
+         "budget": 64}))
+    assert frame is not None and frame["ok"], frame
+    return frame
+
+
+MALFORMED = [
+    pytest.param(b"not json at all\n", "invalid-json", id="garbage"),
+    pytest.param(b"\xff\xfe\xfd{}\n", "invalid-json", id="non-utf8"),
+    pytest.param(b"[1, 2, 3]\n", "bad-request", id="non-object"),
+    pytest.param(b'"just a string"\n', "bad-request", id="string"),
+    pytest.param(b'{"verb": "zap"}\n', "unknown-verb", id="unknown-verb"),
+    pytest.param(b'{}\n', "unknown-verb", id="empty-object"),
+    pytest.param(b'{"verb": "probe"}\n', "bad-request", id="no-graph"),
+    pytest.param(
+        b'{"verb": "probe", "graph": {"family": "dwt", "n": 8, "d": 2}, '
+        b'"strategy": "dwt-optimal", "budget": "many"}\n',
+        "bad-request", id="string-budget"),
+    pytest.param(
+        b'{"verb": "probe", "graph": {"family": "dwt", "n": 999999999, '
+        b'"d": 2}, "strategy": "dwt-optimal", "budget": 8}\n',
+        "bad-request", id="oversized-graph-param"),
+]
+
+
+class TestFuzzSmoke:
+
+    @pytest.mark.parametrize("payload, want_code", MALFORMED)
+    def test_malformed_input_gets_structured_error(self, payload,
+                                                   want_code):
+        async def body(daemon):
+            frame = await raw_exchange(daemon.port, payload)
+            assert frame is not None, "daemon closed without answering"
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == want_code
+            assert "Traceback" not in json.dumps(frame)
+            # The daemon survives: a fresh valid request still works.
+            await valid_probe_roundtrip(daemon.port)
+            assert daemon.internal_errors == 0
+        fuzz_daemon(body)
+
+    def test_oversized_frame_errors_then_closes(self):
+        async def body(daemon):
+            blob = b'{"verb": "probe", "pad": "' \
+                   + b"x" * (MAX_FRAME_BYTES + 100) + b'"}\n'
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port)
+            try:
+                writer.write(blob)
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), 10.0)
+                frame = json.loads(line)
+                assert frame["ok"] is False
+                assert frame["error"]["code"] == "frame-too-large"
+                # The stream cannot be resynchronized: EOF follows.
+                tail = await asyncio.wait_for(reader.read(), 10.0)
+                assert tail == b""
+            finally:
+                writer.close()
+            await valid_probe_roundtrip(daemon.port)  # daemon survives
+        fuzz_daemon(body)
+
+    def test_truncated_frame_then_eof_does_not_wedge(self):
+        async def body(daemon):
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port)
+            writer.write(b'{"verb": "probe", "graph"')  # no newline
+            await writer.drain()
+            writer.close()  # client dies mid-frame
+            await asyncio.sleep(0.05)
+            await valid_probe_roundtrip(daemon.port)
+            assert daemon.internal_errors == 0
+        fuzz_daemon(body)
+
+    def test_blank_lines_are_tolerated(self):
+        async def body(daemon):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port)
+            try:
+                writer.write(b"\n\n" + encode(
+                    {"verb": "health"}) + b"\n")
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), 10.0)
+                assert json.loads(line)["ok"]
+            finally:
+                writer.close()
+        fuzz_daemon(body)
+
+    def test_pipelined_requests_answer_with_matching_ids(self):
+        async def body(daemon):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port)
+            try:
+                for i in range(4):
+                    writer.write(encode(
+                        {"verb": "probe", "graph": DWT8,
+                         "strategy": "dwt-optimal",
+                         "budget": 64 + 16 * i, "id": i}))
+                await writer.drain()
+                seen = set()
+                for _ in range(4):
+                    frame = json.loads(await asyncio.wait_for(
+                        reader.readline(), 15.0))
+                    assert frame["ok"]
+                    seen.add(frame["id"])
+                assert seen == {0, 1, 2, 3}
+            finally:
+                writer.close()
+        fuzz_daemon(body)
