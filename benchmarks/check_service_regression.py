@@ -1,0 +1,102 @@
+"""Service micro-batching regression gate over ``BENCH_service.json``.
+
+Reads one report produced by :mod:`benchmarks.bench_service` and fails
+when
+
+* any served cost drifted from the store-less single-probe reference
+  (``drift`` must be 0 — batching may change performance, never
+  answers), or
+* the batched/unbatched throughput ratio falls below the floor for the
+  report's mode: quick runs must show batching is at least break-even
+  (>= 1.0 — CI runners are too noisy for a stronger claim on a smoke
+  corpus), full runs must clear the paper-claim floor (>= 2.0), or
+* the batching counters are inconsistent with a healthy batched side
+  (no dispatches, or fused probes not covering the request count).
+
+Raw req/s is machine-dependent; the batched/unbatched ratio comes from
+two daemons on the same machine in the same run, making it the stable
+figure of merit — the same normalization trick the oracle gate uses.
+
+Usage::
+
+    python benchmarks/check_service_regression.py BENCH_service.json \
+        [--min-speedup-quick 1.0] [--min-speedup-full 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(report: dict, min_quick: float, min_full: float):
+    """Returns (failures, summary lines)."""
+    failures = []
+    lines = []
+    mode = report.get("mode")
+    if mode not in ("quick", "full"):
+        return [f"unrecognized mode {mode!r} (want 'quick' or 'full')"], lines
+    floor = min_quick if mode == "quick" else min_full
+
+    drift = report.get("drift")
+    lines.append(f"mode: {mode}, drift: {drift}")
+    if drift != 0:
+        details = "; ".join(report.get("drift_details", [])[:5])
+        failures.append(f"served costs drifted from the single-probe "
+                        f"reference ({drift} probes): {details}")
+
+    speedup = report.get("speedup")
+    unbatched = report.get("unbatched", {}) or {}
+    batched = report.get("batched", {}) or {}
+    lines.append(f"throughput: unbatched {unbatched.get('req_per_s')} req/s"
+                 f", batched {batched.get('req_per_s')} req/s"
+                 f" -> speedup {speedup}x (floor {floor}x)")
+    if not isinstance(speedup, (int, float)):
+        failures.append(f"report carries no speedup ratio (got {speedup!r})")
+    elif speedup < floor:
+        failures.append(f"batched daemon is only {speedup}x the unbatched "
+                        f"one; {mode} floor is {floor}x")
+
+    # The batched side must actually have batched: a window misconfig
+    # that degenerates to probe-at-a-time would sail through a >= 1.0
+    # ratio check while measuring nothing.
+    stats = batched.get("batch")
+    if not stats:
+        failures.append("batched side reports no batching stats — was "
+                        "--batch-window actually set?")
+    else:
+        dispatches = stats.get("dispatches", 0)
+        fused = stats.get("fused_probes", 0)
+        requests = batched.get("requests", 0)
+        lines.append(f"batching: {dispatches} dispatches, {fused} fused "
+                     f"probes, {stats.get('saved_dispatches')} saved")
+        if dispatches < 1:
+            failures.append("batched side never dispatched a batch")
+        if fused < requests:
+            failures.append(f"only {fused} of {requests} probes went "
+                            f"through the batcher")
+    return failures, lines
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="BENCH_service.json to gate")
+    ap.add_argument("--min-speedup-quick", type=float, default=1.0,
+                    help="ratio floor for --quick reports (default 1.0)")
+    ap.add_argument("--min-speedup-full", type=float, default=2.0,
+                    help="ratio floor for full reports (default 2.0)")
+    args = ap.parse_args(argv)
+    with open(args.report) as fh:
+        report = json.load(fh)
+    failures, lines = check(report, args.min_speedup_quick,
+                            args.min_speedup_full)
+    for line in lines:
+        print(line)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -292,6 +292,25 @@ class CachedCostFn:
         return self._policy is not None and (self._policy.active
                                              or self._fallback is not None)
 
+    @property
+    def _fusable(self) -> bool:
+        """True when a multi-budget batch may run as ONE ``cost_many``
+        dispatch without weakening per-probe guard semantics.  Timeouts,
+        retries, per-probe deadlines/memory caps, and audits all require
+        individually supervised probes; a fallback scheduler without
+        anytime degradation does too — only the anytime ladder can absorb
+        a state-space trip *inside* a fused call.  The plain engine and
+        the ``anytime``-governed service engine both qualify."""
+        if self._scheduler is None or self._auditor is not None:
+            return False
+        p = self._policy
+        if p is None:
+            return True
+        if (p.timeout is not None or p.retries > 0 or p.deadline is not None
+                or p.mem_limit_mb is not None):
+            return False
+        return p.anytime or self._fallback is None
+
     def _probe_key(self, budget: int) -> str:
         ctx = self._context() if self._context is not None else ""
         return f"{ctx}{self._key}#B={budget}"
@@ -462,12 +481,19 @@ class CachedCostFn:
                 if lb is not None:
                     self.brackets[budget] = (lb, cost)
 
-    def prime(self, budgets: Sequence[int]) -> None:
+    def prime(self, budgets: Sequence[int], *, fused: bool = False) -> None:
         """Batch-evaluate the not-yet-cached budgets in one
         ``cost_many`` call (one pass over a shared memo).  Under an
         active fault policy the batch is evaluated one budget at a time
         instead, so each probe is individually timed out / retried /
-        degraded (the shared memo still carries DP state across them)."""
+        degraded (the shared memo still carries DP state across them).
+
+        ``fused=True`` (the service batching path, see
+        :meth:`SweepEngine.probe_many`) asks for the single-dispatch
+        batch even under an active policy, honored exactly when
+        :attr:`_fusable` says the policy has no per-probe guard that
+        fusion would weaken — an ``anytime``-only service engine
+        qualifies, a timeout/retry/audit engine does not."""
         unique = list(dict.fromkeys(budgets))
         self.stats.probes += len(unique)
         missing = [b for b in unique if b not in self._cache]
@@ -483,7 +509,8 @@ class CachedCostFn:
             # order — cached values and the caller's result order are
             # untouched.
             missing = sorted(missing, reverse=True)
-        if self._guarded or self._scheduler is None:
+        if (self._guarded and not (fused and self._fusable)) \
+                or self._scheduler is None:
             for b in missing:
                 self._evaluate(b)
         else:
@@ -1067,6 +1094,50 @@ class SweepEngine:
         with self._record_lock:
             self.flush_checkpoint()
         return outcome
+
+    def probe_many(self, scheduler, cdag: CDAG, budgets: Sequence[int], *,
+                   token: Optional[CancellationToken] = None
+                   ) -> List[ProbeOutcome]:
+        """Fused multi-budget probe for the service layer: answer every
+        budget in ``budgets`` and return one :class:`ProbeOutcome` per
+        entry, in caller order.
+
+        This is the dispatch target of the daemon's micro-batcher
+        (:mod:`repro.service.batcher`): budgets already cached (memory,
+        checkpoint seed, or durable store) are stripped from the batch,
+        and the rest run as **one** ``cost_many`` call over the shared
+        DP memo / transposition table (``prime(fused=True)``) — for
+        budget-monotone schedulers evaluated high-first, so each exact
+        answer seeds upper-bound pruning for the budgets below it.
+        Thread-safety matches :meth:`probe`: per-(scheduler, graph)
+        serialization, concurrent across pairs.
+
+        ``token`` governs the whole fused solve (the batcher passes a
+        batch token that is cancelled only when the *last* waiter
+        departs).  Without one, an ``anytime`` engine still arms an
+        ambient anytime token so a stopped or capped solve yields
+        certified brackets instead of raising mid-batch."""
+        fn, lock = self._probe_fn(scheduler, cdag)
+        with lock:
+            was_cached = {b: b in fn._cache for b in set(budgets)}
+            tok = token
+            if tok is None and self.policy.anytime and fn._fusable:
+                tok = CancellationToken(anytime=True)
+            if tok is not None:
+                with governed(tok):
+                    fn.prime(budgets, fused=True)
+            else:
+                fn.prime(budgets, fused=True)
+            outcomes = []
+            for b in budgets:
+                lb, ub = fn.bracket(b)
+                outcomes.append(ProbeOutcome(
+                    cost=fn.value(b), degraded=b in fn.degraded,
+                    provenance=fn.provenance.get(b, "exact"),
+                    lb=lb, ub=ub, cached=was_cached[b]))
+        with self._record_lock:
+            self.flush_checkpoint()
+        return outcomes
 
     def probe_min_memory(self, scheduler, cdag: CDAG, *,
                          token: Optional[CancellationToken] = None,

@@ -287,6 +287,8 @@ def cmd_serve(args) -> int:
                               max_inflight=args.max_inflight,
                               tenants=governor,
                               drain_deadline=args.drain_deadline,
+                              batch_window=args.batch_window / 1000.0,
+                              batch_max=args.batch_max,
                               log=(print if args.verbose else None))
     try:
         asyncio.run(daemon.run(announce=lambda msg: print(msg, flush=True)))
@@ -439,6 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SEC",
                    help="SIGTERM grace: seconds to let in-flight requests "
                         "finish before cooperative cancellation")
+    v.add_argument("--batch-window", type=float, default=0.0, metavar="MS",
+                   help="micro-batching window in milliseconds: distinct "
+                        "budgets of one (strategy, graph) arriving within "
+                        "the window fuse into ONE cost_many dispatch, "
+                        "high-budget-first (default 0 = off, wire "
+                        "byte-identical to the unbatched daemon)")
+    v.add_argument("--batch-max", type=int, default=16, metavar="N",
+                   help="distinct budgets per batch before it fires "
+                        "early, window notwithstanding (default 16)")
     v.add_argument("--tenant", action="append", metavar="SPEC",
                    help="per-tenant policy 'NAME:rate=R,burst=B,"
                         "deadline=S,mem=MB' (NAME '*' sets the default; "

@@ -287,26 +287,40 @@ class ExhaustiveScheduler(Scheduler):
             table = self._make_table(cdag, state.get("shared_store"))
             state["table"] = table
         store, skey, gkey = self._store_keys(state, cdag)
-        out: List[float] = []
-        for b in budgets:
-            durable = (store is not None and isinstance(b, int)
-                       and not isinstance(b, bool) and b > 0)
-            if durable:
+        # One solve per *distinct* budget (batched service dispatches may
+        # fan duplicate budgets into one call), and a store read-through
+        # pre-pass: every budget with a committed exact record seeds the
+        # table *before* the first fresh search, so a stored high-budget
+        # optimum prunes every fresh search in this call regardless of
+        # the caller's budget order.
+        unique = list(dict.fromkeys(budgets))
+        resolved: Dict = {}
+        if store is not None:
+            for b in unique:
+                if not self._durable_budget(b):
+                    continue
                 stored = store.get_probe(skey, gkey, b)
                 if stored is not None and stored[2] == "exact":
                     cost = stored[0]
                     if math.isfinite(cost):
                         table.record(b, int(cost))
-                    out.append(cost)
-                    continue
+                    resolved[b] = cost
+        for b in unique:
+            if b in resolved:
+                continue
             try:
                 cost = self.min_cost(cdag, b, table=table)
             except InfeasibleBudgetError:
                 cost = float("inf")
-            if durable:
+            if store is not None and self._durable_budget(b):
                 store.put_probe(skey, gkey, b, cost)
-            out.append(cost)
-        return out
+            resolved[b] = cost
+        return [resolved[b] for b in budgets]
+
+    @staticmethod
+    def _durable_budget(b) -> bool:
+        """Budgets addressable in the durable store: true positive ints."""
+        return isinstance(b, int) and not isinstance(b, bool) and b > 0
 
     def _cost_many_anytime(self, cdag: CDAG, budgets, memo) -> List[float]:
         from ..core.exceptions import InfeasibleBudgetError
@@ -330,25 +344,31 @@ class ExhaustiveScheduler(Scheduler):
                 table = self._make_table(cdag, state.get("shared_store"))
                 state["table"] = table
         store, skey, gkey = self._store_keys(state, cdag)
-        out: List[float] = []
-        for b in budgets:
-            durable = (store is not None and isinstance(b, int)
-                       and not isinstance(b, bool) and b > 0)
-            if durable:
+        # Same dedup + store pre-pass as the exact path: committed exact
+        # records seed the table before any fresh (governed) search runs.
+        unique = list(dict.fromkeys(budgets))
+        resolved: Dict = {}
+        if store is not None:
+            for b in unique:
+                if not self._durable_budget(b):
+                    continue
                 stored = store.get_probe(skey, gkey, b)
                 if stored is not None and stored[2] == "exact":
                     cost = stored[0]
                     if table is not None and math.isfinite(cost):
                         table.record(b, int(cost))
                     state.setdefault("anytime_results", {}).pop(b, None)
-                    out.append(cost)
-                    continue
+                    resolved[b] = cost
+        for b in unique:
+            if b in resolved:
+                continue
+            durable = store is not None and self._durable_budget(b)
             try:
                 res = self.solve(cdag, b, want_schedule=False, table=table)
             except InfeasibleBudgetError:
                 if durable:
                     store.put_probe(skey, gkey, b, float("inf"))
-                out.append(float("inf"))
+                resolved[b] = float("inf")
                 continue
             bag = state.setdefault("anytime_results", {})
             if res.exact:
@@ -364,8 +384,8 @@ class ExhaustiveScheduler(Scheduler):
                     store.put_probe(skey, gkey, b, res.upper_bound,
                                     degraded=True, provenance="anytime",
                                     lb=res.lower_bound)
-            out.append(res.upper_bound)
-        return out
+            resolved[b] = res.upper_bound
+        return [resolved[b] for b in budgets]
 
     def _store_keys(self, state, cdag: CDAG):
         """Resolve the memo's durable result store (open handle or

@@ -1,0 +1,364 @@
+"""Cross-request micro-batching for the scheduling daemon.
+
+The :class:`~repro.service.coalesce.Coalescer` fuses *byte-identical*
+requests; this module fuses **distinct budgets** of the same probe
+family.  Requests for the same group key — ``(scheduler.cache_key(),
+graph_fingerprint)`` — accumulate in a pending batch for a bounded
+window: the first arrival starts a timer (``--batch-window``), a full
+batch (``--batch-max`` distinct budgets) fires immediately, and the
+batch then dispatches as **one** fused ``cost_many`` call
+(:meth:`~repro.analysis.SweepEngine.probe_many`) with budgets sorted
+high-first, so each exact answer seeds upper-bound pruning for every
+budget below it (the PR-6 budget-monotone machinery).  N concurrent
+clients probing one graph at N budgets therefore pay one dispatch —
+batched-inference serving for the solver.
+
+Semantics the tests pin, generalizing the coalescer's:
+
+* every waiter gets **its own budget's** outcome (plus the batch size it
+  rode in, for response provenance);
+* a waiter's cancellation or deadline expiry must not disturb the shared
+  flight while other waiters remain — waiters await through
+  :func:`asyncio.shield`, and a per-waiter ``deadline`` bounds only the
+  *wait*, surfacing :class:`BatchWaitExpired` to that waiter alone;
+* when the **last** waiter departs mid-solve the flight is abandoned
+  (task cancelled → the daemon cancels the batch token, the worker
+  thread exits at its next poll);
+* a budget that departs *before* its batch fires is removed from the
+  batch and its admission slot released immediately; a batch everyone
+  abandoned before the window closed never dispatches at all;
+* a budget already being solved by an in-flight batch **joins that
+  flight** instead of starting a new one (single-flight is preserved
+  under batching);
+* admission is charged per *distinct new* budget (``admit(k)``) before
+  anything is registered, so a fused batch of k probes counts as k
+  toward ``max_inflight`` / tenant buckets and an admission rejection
+  registers nothing.
+
+Everything here runs on the event-loop thread; no locks needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import (Awaitable, Callable, Dict, Hashable, List, Optional,
+                    Sequence, Tuple)
+
+__all__ = ["BatchingDispatcher", "BatchWaitExpired"]
+
+#: async ``budgets -> [outcome, ...]`` (same order as ``budgets``)
+Dispatch = Callable[[Tuple[int, ...]], Awaitable[Sequence]]
+
+
+class BatchWaitExpired(Exception):
+    """A waiter's deadline expired while its batch was still solving.
+
+    Raised to that waiter only; the shared flight keeps running for the
+    surviving waiters (the daemon answers this with a structured
+    ``cancelled`` error frame)."""
+
+
+class _Batch:
+    __slots__ = ("key", "dispatch", "budgets", "timer", "task", "fired",
+                 "admitted", "waiters", "created", "size")
+
+    def __init__(self, key: Hashable, dispatch: Dispatch, created: float):
+        self.key = key
+        self.dispatch = dispatch
+        #: budget -> live waiter futures, in arrival order
+        self.budgets: Dict[int, List["asyncio.Future"]] = {}
+        self.timer: Optional[asyncio.TimerHandle] = None
+        self.task: Optional[asyncio.Task] = None
+        self.fired = False
+        self.admitted = 0  #: admission slots currently charged
+        self.waiters = 0  #: live waiters across all budgets
+        self.created = created
+        self.size = 0  #: distinct budgets at fire time
+
+
+class BatchingDispatcher:
+    """Windowed batch registry keyed by probe-family identity."""
+
+    def __init__(self, window: float, max_batch: int = 16, *,
+                 on_release: Optional[Callable[[int], None]] = None):
+        if window <= 0:
+            raise ValueError("batch window must be > 0 (0 disables "
+                             "batching: don't construct a dispatcher)")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._on_release = on_release
+        self._pending: Dict[Hashable, _Batch] = {}
+        self._inflight: Dict[Hashable, List[_Batch]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # -- counters (daemon ``stats`` verb) --
+        self.dispatches = 0  #: fused cost_many calls issued
+        self.fused_probes = 0  #: distinct budgets shipped in those calls
+        self.joined = 0  #: waiters that joined an already-registered budget
+        self.expired = 0  #: waiters bounced by their own deadline
+        self.abandoned = 0  #: flights cancelled by last-waiter departure
+        self.killed = 0  #: batches/flights killed by :meth:`cancel_all`
+        self.flushed = 0  #: pending batches force-fired by :meth:`flush`
+        self._occupancy: Dict[int, int] = {}  #: batch size -> dispatches
+        self._wait_total = 0.0  #: sum of first-arrival -> fire latencies
+        self._wait_max = 0.0
+
+    # -- registration (synchronous, loop thread) ----------------------- #
+
+    def _find_inflight(self, key: Hashable, budget: int) -> Optional[_Batch]:
+        for batch in self._inflight.get(key, ()):
+            if budget in batch.budgets and batch.task is not None \
+                    and not batch.task.done():
+                return batch
+        return None
+
+    def _pending_batch(self, key: Hashable, dispatch: Dispatch,
+                       loop: asyncio.AbstractEventLoop) -> _Batch:
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _Batch(key, dispatch, loop.time())
+            self._pending[key] = batch
+            batch.timer = loop.call_later(self.window, self._fire, batch)
+        return batch
+
+    def _release(self, slots: int) -> None:
+        if self._on_release is not None and slots > 0:
+            self._on_release(slots)
+
+    # -- the front door ------------------------------------------------ #
+
+    async def join(self, key: Hashable, budget: int, dispatch: Dispatch, *,
+                   admit: Optional[Callable[[int], None]] = None,
+                   deadline: Optional[float] = None):
+        """Await one budget's answer; returns ``(outcome, batch_size)``."""
+        results = await self.join_many(key, (budget,), dispatch,
+                                       admit=admit, deadline=deadline)
+        return results[budget]
+
+    async def join_many(self, key: Hashable, budgets: Sequence[int],
+                        dispatch: Dispatch, *,
+                        admit: Optional[Callable[[int], None]] = None,
+                        deadline: Optional[float] = None) -> dict:
+        """Await every distinct budget in ``budgets``; returns ``budget ->
+        (outcome, batch_size)``.
+
+        Registration is synchronous (no awaits), so the admission charge
+        — ``admit(k)`` for the k budgets not already pending or in
+        flight — happens atomically before anything is enqueued:
+        a rejection propagates to this caller alone and registers
+        nothing.  ``deadline`` (seconds) bounds the *total wait*, not
+        the shared solves; expiry raises :class:`BatchWaitExpired`.
+        """
+        unique = list(dict.fromkeys(budgets))
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        # Plan placements against the current snapshot; charge admission
+        # for genuinely new budgets before registering anything.
+        pending = self._pending.get(key)
+        placements: List[Tuple[int, Optional[_Batch]]] = []
+        charge = 0
+        for b in unique:
+            if pending is not None and b in pending.budgets:
+                placements.append((b, pending))
+            else:
+                flight = self._find_inflight(key, b)
+                placements.append((b, flight))
+                if flight is None:
+                    charge += 1
+        if admit is not None and charge:
+            admit(charge)
+        # Register (still no awaits: the plan cannot go stale).
+        futs: Dict[int, "asyncio.Future"] = {}
+        owners: Dict[int, _Batch] = {}
+        for b, target in placements:
+            if target is None:
+                target = self._pending_batch(key, dispatch, loop)
+                target.budgets[b] = []
+                target.admitted += 1
+            else:
+                self.joined += 1
+            fut = loop.create_future()
+            target.budgets[b].append(fut)
+            target.waiters += 1
+            futs[b] = fut
+            owners[b] = target
+            if not target.fired and len(target.budgets) >= self.max_batch:
+                self._fire(target)
+        # Await (shielded: a bounced waiter never cancels the flight).
+        expires = None if deadline is None else loop.time() + deadline
+        results: dict = {}
+        try:
+            for b in unique:
+                if expires is None:
+                    results[b] = await asyncio.shield(futs[b])
+                    continue
+                try:
+                    results[b] = await asyncio.wait_for(
+                        asyncio.shield(futs[b]),
+                        max(0.0, expires - loop.time()))
+                except asyncio.TimeoutError:
+                    self.expired += 1
+                    raise BatchWaitExpired(
+                        f"deadline expired awaiting batched solve "
+                        f"(budget {b})") from None
+            return results
+        finally:
+            for b in unique:
+                self._depart(owners[b], b, futs[b])
+
+    def _depart(self, batch: _Batch, budget: int,
+                fut: "asyncio.Future") -> None:
+        """One waiter is gone (answered, expired, or disconnected)."""
+        batch.waiters -= 1
+        waiting = batch.budgets.get(budget)
+        if waiting is not None and fut in waiting:
+            waiting.remove(fut)
+            if not waiting and not batch.fired:
+                # Sole requester of this budget left before the window
+                # closed: never solve it, give the slot back now.
+                del batch.budgets[budget]
+                batch.admitted -= 1
+                self._release(1)
+        if not batch.fired:
+            if not batch.budgets:
+                # Everyone abandoned the batch pre-fire: tear it down.
+                batch.fired = True
+                if batch.timer is not None:
+                    batch.timer.cancel()
+                if self._pending.get(batch.key) is batch:
+                    del self._pending[batch.key]
+        elif (batch.waiters <= 0 and batch.task is not None
+                and not batch.task.done()):
+            # Last waiter departed mid-solve: abandon the flight.
+            self.abandoned += 1
+            batch.task.cancel()
+
+    # -- firing and resolution ----------------------------------------- #
+
+    def _fire(self, batch: _Batch) -> None:
+        if batch.fired:
+            return
+        batch.fired = True
+        if batch.timer is not None:
+            batch.timer.cancel()
+            batch.timer = None
+        if self._pending.get(batch.key) is batch:
+            del self._pending[batch.key]
+        if not batch.budgets:
+            return
+        # High-first: exact answers seed ub pruning downward (sound for
+        # budget-monotone schedulers; pure evaluation order otherwise).
+        order = tuple(sorted(batch.budgets, reverse=True))
+        batch.size = len(order)
+        self.dispatches += 1
+        self.fused_probes += batch.size
+        self._occupancy[batch.size] = self._occupancy.get(batch.size, 0) + 1
+        if self._loop is not None:
+            wait = max(0.0, self._loop.time() - batch.created)
+            self._wait_total += wait
+            self._wait_max = max(self._wait_max, wait)
+        batch.task = asyncio.ensure_future(batch.dispatch(order))
+        self._inflight.setdefault(batch.key, []).append(batch)
+        batch.task.add_done_callback(
+            lambda task, b=batch, o=order: self._finish(b, o, task))
+
+    def _finish(self, batch: _Batch, order: Tuple[int, ...],
+                task: "asyncio.Task") -> None:
+        flights = self._inflight.get(batch.key)
+        if flights is not None and batch in flights:
+            flights.remove(batch)
+            if not flights:
+                del self._inflight[batch.key]
+        self._release(batch.admitted)
+        batch.admitted = 0
+        if task.cancelled():
+            for waiting in batch.budgets.values():
+                for fut in waiting:
+                    if not fut.done():
+                        fut.cancel()
+            return
+        exc = task.exception()
+        if exc is not None:
+            for waiting in batch.budgets.values():
+                for fut in waiting:
+                    if not fut.done():
+                        fut.set_exception(exc)
+            return
+        outcomes = task.result()
+        for i, b in enumerate(order):
+            for fut in batch.budgets.get(b, ()):
+                if not fut.done():
+                    fut.set_result((outcomes[i], batch.size))
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def flush(self) -> int:
+        """Fire every pending batch now (graceful drain: SIGTERM must
+        answer accumulating waiters, not strand them in the window)."""
+        fired = 0
+        for batch in list(self._pending.values()):
+            self._fire(batch)
+            fired += 1
+        self.flushed += fired
+        return fired
+
+    def cancel_all(self) -> int:
+        """Kill every pending batch and in-flight fused solve (drain
+        deadline).  Waiters see ``CancelledError``; returns the count."""
+        killed = 0
+        for batch in list(self._pending.values()):
+            batch.fired = True
+            if batch.timer is not None:
+                batch.timer.cancel()
+            if self._pending.get(batch.key) is batch:
+                del self._pending[batch.key]
+            for waiting in batch.budgets.values():
+                for fut in waiting:
+                    if not fut.done():
+                        fut.cancel()
+            self._release(batch.admitted)
+            batch.admitted = 0
+            killed += 1
+        for flights in list(self._inflight.values()):
+            for batch in list(flights):
+                if batch.task is not None and not batch.task.done():
+                    batch.task.cancel()
+                    killed += 1
+        self.killed += killed
+        return killed
+
+    # -- introspection -------------------------------------------------- #
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        return sum(len(v) for v in self._inflight.values())
+
+    def stats(self) -> dict:
+        """Batching counters for the daemon ``stats`` verb: occupancy
+        histogram (batch size → fused dispatches), first-arrival → fire
+        window latency, and fused-probe savings."""
+        mean_wait = (self._wait_total / self.dispatches
+                     if self.dispatches else 0.0)
+        return {
+            "window_ms": self.window * 1000.0,
+            "max_batch": self.max_batch,
+            "dispatches": self.dispatches,
+            "fused_probes": self.fused_probes,
+            "saved_dispatches": self.fused_probes - self.dispatches,
+            "joined": self.joined,
+            "expired": self.expired,
+            "abandoned": self.abandoned,
+            "killed": self.killed,
+            "flushed": self.flushed,
+            "pending": self.pending,
+            "inflight": self.inflight,
+            "occupancy": {str(size): count for size, count
+                          in sorted(self._occupancy.items())},
+            "window_wait_ms": {"mean": mean_wait * 1000.0,
+                               "max": self._wait_max * 1000.0},
+        }

@@ -45,6 +45,8 @@ class Coalescer:
         self.hits = 0  #: requests that joined an existing flight
         self.started = 0  #: flights created (leader computations)
         self.abandoned = 0  #: flights cancelled by last-waiter departure
+        self.cancelled = 0  #: flights killed externally (:meth:`cancel_all`)
+        self.joined = 0  #: total arrivals awaited (leaders + joiners)
 
     @property
     def inflight(self) -> int:
@@ -54,7 +56,8 @@ class Coalescer:
 
     def stats(self) -> dict:
         return {"hits": self.hits, "started": self.started,
-                "abandoned": self.abandoned, "inflight": self.inflight}
+                "abandoned": self.abandoned, "cancelled": self.cancelled,
+                "joined": self.joined, "inflight": self.inflight}
 
     async def run(self, key: Hashable,
                   make: Callable[[], "asyncio.Future"]):
@@ -77,6 +80,7 @@ class Coalescer:
                                    self._evict(k, f))
         else:
             self.hits += 1
+        self.joined += 1
         flight.waiters += 1
         try:
             return await asyncio.shield(flight.task)
@@ -104,4 +108,5 @@ class Coalescer:
                 self._evict(key, flight)
                 flight.task.cancel()
                 cancelled += 1
+        self.cancelled += cancelled
         return cancelled

@@ -19,6 +19,16 @@ Robustness invariants (each pinned by a test):
   (:mod:`repro.service.coalesce`); the shared solve is cancelled only
   when its *last* waiter departs, via the request's
   :class:`~repro.core.governor.CancellationToken`.
+* **micro-batching** (``batch_window > 0``) — *distinct* budgets of one
+  probe family accumulate for the window and dispatch as one fused
+  ``cost_many`` call, high-budget-first
+  (:mod:`repro.service.batcher` → :meth:`~repro.analysis.engine.
+  SweepEngine.probe_many`).  A fused batch of k budgets counts k toward
+  admission, per-waiter deadlines bound the *wait* (expiry answers that
+  waiter ``cancelled``, survivors still get exact answers), and the
+  batch token is cancelled only when the last waiter departs.  With the
+  window at 0 (default) this layer does not exist and the wire is
+  byte-identical to the unbatched daemon.
 * **governance** — per-tenant deadline/memory caps chain into the solve
   (:mod:`repro.service.tenants`); a stopped oracle answers with a
   certified anytime ``[lb, ub]`` bracket.  With ``stream: true`` the
@@ -48,6 +58,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..core.governor import CancellationToken, governed
+from .batcher import BatchingDispatcher, BatchWaitExpired
 from .coalesce import Coalescer
 from .protocol import (MAX_FRAME_BYTES, ProtocolError, Request, decode_line,
                        encode, error_frame, ok_frame, parse_request,
@@ -73,6 +84,8 @@ class SchedulingDaemon:
                  max_pending: int = 16, max_inflight: int = 2,
                  tenants: Optional[TenantGovernor] = None,
                  drain_deadline: float = 10.0,
+                 batch_window: float = 0.0,
+                 batch_max: int = 16,
                  close_engine: bool = True,
                  log: Optional[Callable[[str], None]] = None):
         self.engine = engine
@@ -83,6 +96,12 @@ class SchedulingDaemon:
         self.tenants = tenants if tenants is not None else TenantGovernor()
         self.drain_deadline = float(drain_deadline)
         self.coalescer = Coalescer()
+        #: Cross-request micro-batcher (``batch_window`` seconds; 0 = off
+        #: = the PR-8 probe-at-a-time wire, byte-identical).
+        self.batcher: Optional[BatchingDispatcher] = (
+            BatchingDispatcher(batch_window, batch_max,
+                               on_release=self._release_slots)
+            if batch_window > 0 else None)
         self._close_engine = close_engine
         self._log = log if log is not None else (lambda msg: None)
         self._pool = ThreadPoolExecutor(max_workers=self.max_inflight,
@@ -160,6 +179,12 @@ class SchedulingDaemon:
             self._server.close()
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
+        if self.batcher is not None:
+            # Waiters parked in an open window must be answered, not
+            # stranded: fire every pending batch before the drain wait.
+            fired = self.batcher.flush()
+            if fired:
+                self._log(f"flushed {fired} pending batch(es)")
         if drain:
             deadline = loop.time() + max(0.0, self.drain_deadline)
             while self._request_tasks and loop.time() < deadline:
@@ -170,6 +195,8 @@ class SchedulingDaemon:
             for token in list(self._live_tokens):
                 token.cancel("draining")
             self.coalescer.cancel_all()
+            if self.batcher is not None:
+                self.batcher.cancel_all()
             grace = loop.time() + 2.0
             while self._request_tasks and loop.time() < grace:
                 await asyncio.sleep(0.02)
@@ -309,7 +336,11 @@ class SchedulingDaemon:
         if self._draining:
             raise ProtocolError("shutting-down",
                                 "daemon is draining; no new work accepted")
-        retry = self.tenants.admit(req.tenant)
+        # A fused multi-budget probe of k distinct budgets is k requests'
+        # worth of work: charge the tenant bucket accordingly.
+        slots = (len(dict.fromkeys(req.budgets))
+                 if req.verb == "probe" and req.budgets else 1)
+        retry = self.tenants.admit(req.tenant, slots)
         if retry is not None:
             raise ProtocolError(
                 "tenant-rejected",
@@ -344,6 +375,25 @@ class SchedulingDaemon:
     async def _probe(self, req: Request, writer, wlock, scheduler, cdag,
                      skey: str, gkey: str,
                      token: Optional[CancellationToken]) -> None:
+        if req.budgets:
+            await self._probe_multi(req, writer, wlock, scheduler, cdag,
+                                    skey, gkey, token)
+            return
+        if self.batcher is not None:
+            outcome, size = await self._batch_join(req, scheduler, cdag,
+                                                   skey, gkey, token,
+                                                   (req.budget,))
+            payload = self._probe_payload(outcome, batch_size=size)
+            if outcome.exact or not req.stream:
+                await self._send(writer, wlock,
+                                 ok_frame(req.id, "probe", payload))
+                return
+            await self._send(writer, wlock,
+                             ok_frame(req.id, "probe", payload,
+                                      final=False))
+            await self._refine(req, writer, wlock, scheduler, cdag,
+                               skey, gkey)
+            return
         key = ("probe", skey, gkey, req.budget)
         outcome = await self.coalescer.run(key, self._solve_factory(
             lambda: self.engine.probe(scheduler, cdag, req.budget,
@@ -357,19 +407,104 @@ class SchedulingDaemon:
         # the exact value when the (coalesced, ungoverned) refine lands.
         await self._send(writer, wlock,
                          ok_frame(req.id, "probe", payload, final=False))
+        await self._refine(req, writer, wlock, scheduler, cdag, skey, gkey)
+
+    async def _refine(self, req: Request, writer, wlock, scheduler, cdag,
+                      skey: str, gkey: str) -> None:
+        """Background-tightening half of a streamed probe: coalesced,
+        ungoverned, answered with the exact value (``final: true``)."""
         refined = await self.coalescer.run(
             ("refine", skey, gkey, req.budget), self._solve_factory(
                 lambda: self.engine.probe(scheduler, cdag, req.budget,
                                           refine=True), None))
         await self._send(writer, wlock, ok_frame(
-            req.id, "probe", self._probe_payload(refined)))
+            req.id, "probe", self._probe_payload(refined, batch_size=1)))
 
-    @staticmethod
-    def _probe_payload(outcome) -> dict:
-        return {"cost": _json_num(outcome.cost),
-                "lb": _json_num(outcome.lb), "ub": _json_num(outcome.ub),
-                "provenance": outcome.provenance, "exact": outcome.exact,
-                "degraded": outcome.degraded, "cached": outcome.cached}
+    async def _probe_multi(self, req: Request, writer, wlock, scheduler,
+                           cdag, skey: str, gkey: str,
+                           token: Optional[CancellationToken]) -> None:
+        """Multi-budget probe: every distinct budget answered by one
+        fused dispatch (through the batcher when enabled — where other
+        requests' budgets may ride along — else directly through
+        :meth:`~repro.analysis.engine.SweepEngine.probe_many`).
+        Duplicate budgets in the request collapse; the response lists
+        the distinct budgets in arrival order."""
+        budgets = list(dict.fromkeys(req.budgets))
+        if self.batcher is not None:
+            results = await self._batch_join(req, scheduler, cdag,
+                                             skey, gkey, token, budgets,
+                                             many=True)
+            probes = [self._probe_payload(results[b][0],
+                                          batch_size=results[b][1])
+                      for b in budgets]
+        else:
+            key = ("probe-many", skey, gkey, tuple(budgets))
+            outcomes = await self.coalescer.run(key, self._solve_factory(
+                lambda: self.engine.probe_many(scheduler, cdag, budgets,
+                                               token=token),
+                token, slots=len(budgets)))
+            probes = [self._probe_payload(o) for o in outcomes]
+        await self._send(writer, wlock, ok_frame(
+            req.id, "probe", {"budgets": budgets, "probes": probes}))
+
+    async def _batch_join(self, req: Request, scheduler, cdag, skey: str,
+                          gkey: str, token: Optional[CancellationToken],
+                          budgets, many: bool = False):
+        """Join this request's budget(s) to the micro-batcher.  The
+        tenant/request deadline bounds the *wait* — expiry answers this
+        waiter ``cancelled`` while the shared flight (and its surviving
+        waiters) continue."""
+        deadline = token.remaining() if token is not None else None
+        try:
+            if many:
+                return await self.batcher.join_many(
+                    (skey, gkey), budgets,
+                    self._batch_dispatch(scheduler, cdag),
+                    admit=self._admit_slots, deadline=deadline)
+            return await self.batcher.join(
+                (skey, gkey), budgets[0],
+                self._batch_dispatch(scheduler, cdag),
+                admit=self._admit_slots, deadline=deadline)
+        except BatchWaitExpired as exc:
+            raise ProtocolError("cancelled", str(exc))
+
+    def _batch_dispatch(self, scheduler, cdag):
+        """The batcher's flight-runner: one fused ``probe_many`` on an
+        executor thread under a batch-scoped anytime token.  Cancelled
+        (last waiter departed, hard drain) → the token tells the worker
+        to stop at its next poll."""
+        async def dispatch(budgets):
+            # No draining check here: a drain *flushes* pending batches
+            # precisely so their waiters get answered; refusing new work
+            # is admission's job (:meth:`_admit_slots`).
+            loop = self._loop
+            token = CancellationToken(anytime=True)
+            self._live_tokens.add(token)
+            cf = self._pool.submit(
+                lambda: self.engine.probe_many(scheduler, cdag,
+                                               list(budgets), token=token))
+            cf.add_done_callback(
+                lambda _f: loop.call_soon_threadsafe(
+                    self._live_tokens.discard, token))
+            try:
+                return await asyncio.wrap_future(cf)
+            except asyncio.CancelledError:
+                token.cancel("abandoned")
+                raise
+        return dispatch
+
+    def _probe_payload(self, outcome, batch_size: Optional[int] = None
+                       ) -> dict:
+        payload = {"cost": _json_num(outcome.cost),
+                   "lb": _json_num(outcome.lb), "ub": _json_num(outcome.ub),
+                   "provenance": outcome.provenance, "exact": outcome.exact,
+                   "degraded": outcome.degraded, "cached": outcome.cached}
+        if self.batcher is not None:
+            # Batching provenance only exists when batching does: the
+            # batch-window-0 wire stays byte-identical to PR 8.
+            payload["batched"] = (batch_size or 1) > 1
+            payload["batch_size"] = batch_size or 1
+        return payload
 
     def _sweep_work(self, scheduler, cdag, budgets, token):
         # engine.sweep is not itself thread-safe; serialize on the same
@@ -403,31 +538,42 @@ class SchedulingDaemon:
     # ----------------------------------------------------------------- #
     # Solve admission + executor bridge
 
+    def _admit_slots(self, slots: int) -> None:
+        """Charge ``slots`` against the bounded queue or reject (the
+        batcher calls this per distinct new budget batch-side, so a
+        fused batch of k probes counts as k, never 1)."""
+        if self._draining:
+            raise ProtocolError("shutting-down", "daemon is draining")
+        if self._active + slots > self.max_inflight + self.max_pending:
+            self.rejected_overloaded += 1
+            raise ProtocolError(
+                "overloaded",
+                f"{self._active} solve(s) active "
+                f"(max_inflight={self.max_inflight}, "
+                f"max_pending={self.max_pending}); retry later",
+                retry_after=0.25)
+        self._active += slots
+
+    def _release_slots(self, slots: int) -> None:
+        self._active -= slots
+
     def _solve_factory(self, work: Callable[[], object],
-                       token: Optional[CancellationToken]):
+                       token: Optional[CancellationToken],
+                       slots: int = 1):
         """A synchronous flight-maker for the coalescer: admission check
         + executor submission happen atomically on the loop thread, so a
         rejected leader registers nothing and a created flight owns
-        exactly one executor slot until its future resolves."""
+        exactly ``slots`` queue slots until its future resolves (a
+        multi-budget probe of k budgets owns k)."""
         def make():
-            if self._draining:
-                raise ProtocolError("shutting-down", "daemon is draining")
-            if self._active >= self.max_inflight + self.max_pending:
-                self.rejected_overloaded += 1
-                raise ProtocolError(
-                    "overloaded",
-                    f"{self._active} solve(s) active "
-                    f"(max_inflight={self.max_inflight}, "
-                    f"max_pending={self.max_pending}); retry later",
-                    retry_after=0.25)
+            self._admit_slots(slots)
             loop = self._loop
-            self._active += 1
             if token is not None:
                 self._live_tokens.add(token)
             cf = self._pool.submit(work)
             cf.add_done_callback(
                 lambda _f: loop.call_soon_threadsafe(
-                    self._solve_finished, token))
+                    self._solve_finished, token, slots))
 
             async def waiter():
                 try:
@@ -441,8 +587,9 @@ class SchedulingDaemon:
             return waiter()
         return make
 
-    def _solve_finished(self, token: Optional[CancellationToken]) -> None:
-        self._active -= 1
+    def _solve_finished(self, token: Optional[CancellationToken],
+                        slots: int = 1) -> None:
+        self._active -= slots
         if token is not None:
             self._live_tokens.discard(token)
 
@@ -470,6 +617,8 @@ class SchedulingDaemon:
         return {"requests": dict(self.requests),
                 "responses": self.responses,
                 "coalesce": self.coalescer.stats(),
+                "batch": (self.batcher.stats()
+                          if self.batcher is not None else None),
                 "rejections": {
                     "overloaded": self.rejected_overloaded,
                     "tenant": sum(v["rejected"]

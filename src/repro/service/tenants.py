@@ -77,16 +77,19 @@ class TenantGovernor:
             self._buckets[tenant] = bucket
         return bucket
 
-    def admit(self, tenant: str) -> Optional[float]:
-        """Charge one request to ``tenant``.  Returns ``None`` when
-        admitted, else the advisory seconds until a token is free."""
+    def admit(self, tenant: str, slots: int = 1) -> Optional[float]:
+        """Charge ``slots`` request tokens to ``tenant`` (a fused
+        multi-budget probe of k budgets costs k — batching must not
+        bypass admission).  Returns ``None`` when admitted, else the
+        advisory seconds until the tokens are free."""
         with self._lock:
             bucket = self._bucket(tenant)
-            if bucket.try_acquire():
-                self._requests[tenant] = self._requests.get(tenant, 0) + 1
+            if bucket.try_acquire(float(slots)):
+                self._requests[tenant] = \
+                    self._requests.get(tenant, 0) + slots
                 return None
             self._rejections[tenant] = self._rejections.get(tenant, 0) + 1
-            return bucket.wait_time()
+            return bucket.wait_time(float(slots))
 
     def token_for(self, tenant: str, *,
                   deadline: Optional[float] = None,

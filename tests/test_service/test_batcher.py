@@ -1,0 +1,510 @@
+"""Cross-request micro-batching (:mod:`repro.service.batcher`).
+
+Two layers of proof:
+
+* **unit** — the :class:`BatchingDispatcher` against fake dispatches:
+  fusion, high-first ordering, fire-on-full, join-in-flight,
+  per-waiter deadline expiry, last-waiter abandonment, pre-fire
+  departure slot release, atomic admission, flush/cancel lifecycle;
+* **daemon integration** — the batched daemon end to end: distinct
+  budgets of concurrent clients answered by one fused ``probe_many``
+  dispatch with per-budget exact answers, ``cancelled`` to a deadline-
+  expired waiter only, drain flushing open windows, fused admission
+  counting k slots against both the bounded queue and tenant buckets,
+  and the window-0 wire carrying no batching keys at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.analysis import SweepEngine
+from repro.core import equal
+from repro.graphs import dwt_graph
+from repro.schedulers import ExhaustiveScheduler
+from repro.service import (BatchingDispatcher, BatchWaitExpired,
+                           TenantGovernor, TenantPolicy)
+
+from test_daemon import DWT8, probe_req, rpc, run_daemon
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def echo_dispatch(record, gate=None, cancelled=None):
+    """Fake flight-runner: records the fused budget tuple, optionally
+    parks on ``gate``, answers each budget with ``budget * 10``."""
+    async def dispatch(budgets):
+        record.append(tuple(budgets))
+        if gate is not None:
+            try:
+                await gate.wait()
+            except asyncio.CancelledError:
+                if cancelled is not None:
+                    cancelled.set()
+                raise
+        return [b * 10 for b in budgets]
+    return dispatch
+
+
+class SlowGateMany:
+    """Like test_daemon.SlowGate, but for the fused ``probe_many`` path:
+    the first call blocks until released."""
+
+    def __init__(self, engine):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._orig = engine.probe_many
+        engine.probe_many = self  # instance attribute shadows the method
+
+    def __call__(self, *args, **kwargs):
+        self.started.set()
+        assert self.release.wait(20), "gate never released"
+        return self._orig(*args, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Unit: the dispatcher against fake dispatches
+
+
+class TestDispatcherUnit:
+
+    def test_rejects_non_positive_window_and_batch(self):
+        with pytest.raises(ValueError):
+            BatchingDispatcher(0.0)
+        with pytest.raises(ValueError):
+            BatchingDispatcher(-1.0)
+        with pytest.raises(ValueError):
+            BatchingDispatcher(0.01, 0)
+
+    def test_distinct_budgets_fuse_high_first(self):
+        async def main():
+            d = BatchingDispatcher(0.05)
+            record = []
+            results = await asyncio.gather(
+                d.join("k", 48, echo_dispatch(record)),
+                d.join("k", 96, echo_dispatch(record)),
+                d.join("k", 64, echo_dispatch(record)))
+            # One fused dispatch, budgets sorted high-first.
+            assert record == [(96, 64, 48)]
+            # Every waiter got its own budget's outcome + the batch size.
+            assert results == [(480, 3), (960, 3), (640, 3)]
+            assert d.dispatches == 1 and d.fused_probes == 3
+            assert d.stats()["saved_dispatches"] == 2
+            assert d.stats()["occupancy"] == {"3": 1}
+            assert d.pending == 0 and d.inflight == 0
+        run(main())
+
+    def test_full_batch_fires_before_window(self):
+        async def main():
+            d = BatchingDispatcher(30.0, max_batch=2)  # window never fires
+            record = []
+            got = await asyncio.wait_for(asyncio.gather(
+                d.join("k", 48, echo_dispatch(record)),
+                d.join("k", 64, echo_dispatch(record))), 5.0)
+            assert record == [(64, 48)]
+            assert got == [(480, 2), (640, 2)]
+        run(main())
+
+    def test_duplicate_budget_joins_one_seat(self):
+        async def main():
+            d = BatchingDispatcher(0.05)
+            record = []
+            got = await asyncio.gather(
+                d.join("k", 64, echo_dispatch(record)),
+                d.join("k", 64, echo_dispatch(record)))
+            assert record == [(64,)]  # one distinct budget, one seat
+            assert got == [(640, 1), (640, 1)]
+            assert d.joined == 1
+        run(main())
+
+    def test_distinct_keys_never_fuse(self):
+        async def main():
+            d = BatchingDispatcher(0.05)
+            record = []
+            await asyncio.gather(
+                d.join("a", 64, echo_dispatch(record)),
+                d.join("b", 64, echo_dispatch(record)))
+            assert sorted(record) == [(64,), (64,)]
+            assert d.dispatches == 2
+        run(main())
+
+    def test_join_in_flight_shares_the_running_solve(self):
+        async def main():
+            d = BatchingDispatcher(0.01, max_batch=1)  # fires immediately
+            record = []
+            gate = asyncio.Event()
+            t1 = asyncio.ensure_future(
+                d.join("k", 64, echo_dispatch(record, gate)))
+            while not d.inflight:
+                await asyncio.sleep(0.005)
+            # Same budget while the flight runs: join it, no new dispatch.
+            t2 = asyncio.ensure_future(
+                d.join("k", 64, echo_dispatch(record, gate)))
+            await asyncio.sleep(0.05)
+            gate.set()
+            assert await t1 == (640, 1) and await t2 == (640, 1)
+            assert record == [(64,)] and d.dispatches == 1
+            assert d.joined == 1
+        run(main())
+
+    def test_deadline_expiry_bounces_that_waiter_only(self):
+        async def main():
+            d = BatchingDispatcher(30.0, max_batch=2)
+            record = []
+            gate = asyncio.Event()
+            tight = asyncio.ensure_future(d.join(
+                "k", 64, echo_dispatch(record, gate), deadline=0.05))
+            loose = asyncio.ensure_future(d.join(
+                "k", 96, echo_dispatch(record, gate)))
+            with pytest.raises(BatchWaitExpired):
+                await tight
+            # The shared flight is still running for the survivor.
+            assert d.inflight == 1 and d.abandoned == 0
+            gate.set()
+            assert await loose == (960, 2)
+            assert d.expired == 1
+        run(main())
+
+    def test_last_waiter_departure_cancels_the_flight(self):
+        async def main():
+            d = BatchingDispatcher(0.01, max_batch=1)
+            record = []
+            gate = asyncio.Event()
+            cancelled = asyncio.Event()
+            t = asyncio.ensure_future(
+                d.join("k", 64, echo_dispatch(record, gate, cancelled)))
+            while not d.inflight:
+                await asyncio.sleep(0.005)
+            t.cancel()
+            await asyncio.gather(t, return_exceptions=True)
+            await asyncio.wait_for(cancelled.wait(), 1.0)
+            assert d.abandoned == 1
+            await asyncio.sleep(0)  # let _finish run
+            assert d.inflight == 0
+        run(main())
+
+    def test_pre_fire_departure_releases_the_slot_and_never_solves(self):
+        async def main():
+            released = []
+            d = BatchingDispatcher(0.05, on_release=released.append)
+            record = []
+            t = asyncio.ensure_future(d.join("k", 64, echo_dispatch(record)))
+            await asyncio.sleep(0)  # registered, window still open
+            assert d.pending == 1
+            t.cancel()
+            await asyncio.gather(t, return_exceptions=True)
+            assert d.pending == 0 and released == [1]
+            await asyncio.sleep(0.1)  # past the window: nothing fires
+            assert record == [] and d.dispatches == 0
+        run(main())
+
+    def test_admission_charged_atomically_per_new_budget(self):
+        async def main():
+            d = BatchingDispatcher(0.05)
+            charges = []
+            record = []
+
+            results = await d.join_many(
+                "k", (64, 48, 64), echo_dispatch(record),
+                admit=charges.append)
+            assert charges == [2]  # duplicate collapses pre-admission
+            assert results == {64: (640, 2), 48: (480, 2)}
+        run(main())
+
+    def test_admission_rejection_registers_nothing(self):
+        async def main():
+            d = BatchingDispatcher(0.05)
+            record = []
+
+            def reject(slots):
+                raise RuntimeError(f"no room for {slots}")
+
+            with pytest.raises(RuntimeError):
+                await d.join_many("k", (48, 64), echo_dispatch(record),
+                                  admit=reject)
+            assert d.pending == 0 and record == []
+            # The key is not poisoned for later arrivals.
+            got = await d.join("k", 64, echo_dispatch(record))
+            assert got == (640, 1)
+        run(main())
+
+    def test_flush_fires_open_windows(self):
+        async def main():
+            d = BatchingDispatcher(30.0)  # would park for 30 s
+            record = []
+            t = asyncio.ensure_future(d.join("k", 64, echo_dispatch(record)))
+            await asyncio.sleep(0)
+            assert d.flush() == 1
+            assert await asyncio.wait_for(t, 2.0) == (640, 1)
+            assert d.flushed == 1
+        run(main())
+
+    def test_cancel_all_kills_pending_and_inflight(self):
+        async def main():
+            released = []
+            d = BatchingDispatcher(30.0, max_batch=2,
+                                   on_release=released.append)
+            record = []
+            gate = asyncio.Event()
+            parked = asyncio.ensure_future(
+                d.join("k", 48, echo_dispatch(record, gate)))
+            await asyncio.sleep(0)
+            flying = asyncio.ensure_future(asyncio.gather(
+                d.join("j", 64, echo_dispatch(record, gate)),
+                d.join("j", 96, echo_dispatch(record, gate))))
+            while not d.inflight:
+                await asyncio.sleep(0.005)
+            assert d.cancel_all() == 2  # one pending batch + one flight
+            results = await asyncio.gather(parked, flying,
+                                           return_exceptions=True)
+            assert all(isinstance(r, asyncio.CancelledError)
+                       for r in results)
+            assert d.pending == 0
+            await asyncio.sleep(0.05)
+            assert sum(released) == 3  # 1 pending + 2 in-flight slots
+        run(main())
+
+    def test_stats_shape(self):
+        async def main():
+            d = BatchingDispatcher(0.02, max_batch=8)
+            record = []
+            await asyncio.gather(d.join("k", 48, echo_dispatch(record)),
+                                 d.join("k", 64, echo_dispatch(record)))
+            s = d.stats()
+            assert s["window_ms"] == 20.0 and s["max_batch"] == 8
+            assert s["dispatches"] == 1 and s["fused_probes"] == 2
+            assert s["occupancy"] == {"2": 1}
+            assert s["window_wait_ms"]["mean"] >= 0.0
+            assert s["window_wait_ms"]["max"] >= s["window_wait_ms"]["mean"]
+            for key in ("joined", "expired", "abandoned", "killed",
+                        "flushed", "pending", "inflight",
+                        "saved_dispatches"):
+                assert key in s
+        run(main())
+
+
+# --------------------------------------------------------------------- #
+# Integration: the batched daemon end to end
+
+
+class TestBatchedDaemon:
+
+    def test_concurrent_distinct_budgets_share_one_dispatch(self):
+        # Budgets chosen where the oracle is fast (boundary budgets like
+        # 48 or 96 cost seconds each): the test is about fusion, not
+        # search effort — and 56 vs 64+ still spans a cost transition.
+        budgets = [56, 64, 72, 80]
+        g = dwt_graph(8, 2, weights=equal())
+        ref = SweepEngine().sweep(ExhaustiveScheduler(), g,
+                                  budgets, "ref").costs
+
+        async def body(daemon):
+            tasks = [asyncio.ensure_future(rpc(daemon.port, probe_req(
+                b, strategy="exhaustive", id=i)))
+                for i, b in enumerate(budgets)]
+            finals = [f[-1] for f in await asyncio.gather(*tasks)]
+            assert all(f["ok"] for f in finals)
+            by_id = {f["id"]: f["result"] for f in finals}
+            for i, b in enumerate(budgets):
+                res = by_id[i]
+                assert res["exact"] and res["cost"] == ref[i]
+                assert res["batched"] is True and res["batch_size"] == 4
+            assert daemon.batcher.dispatches == 1
+            assert daemon.batcher.fused_probes == 4
+            s = (await rpc(daemon.port, {"verb": "stats"}))[-1]["result"]
+            assert s["batch"]["dispatches"] == 1
+            assert s["batch"]["occupancy"] == {"4": 1}
+        # max_batch == client count: the batch fires when full, never on
+        # the (long) window timer — deterministic under CI jitter.
+        run_daemon(body, batch_window=30.0, batch_max=len(budgets),
+                   max_inflight=2, max_pending=16)
+
+    def test_lone_probe_rides_the_window_timer(self):
+        async def body(daemon):
+            res = (await rpc(daemon.port, probe_req(64)))[-1]["result"]
+            assert res["exact"]
+            assert res["batched"] is False and res["batch_size"] == 1
+            assert daemon.batcher.dispatches == 1
+        run_daemon(body, batch_window=0.02)
+
+    def test_multi_budget_probe_collapses_duplicates(self):
+        g = dwt_graph(8, 2, weights=equal())
+        ref = SweepEngine().sweep(ExhaustiveScheduler(), g,
+                                  [56, 64, 72], "ref").costs
+
+        async def body(daemon):
+            frame = (await rpc(daemon.port, {
+                "verb": "probe", "graph": DWT8, "strategy": "exhaustive",
+                "budgets": [56, 64, 72, 64]}))[-1]
+            assert frame["ok"]
+            result = frame["result"]
+            assert result["budgets"] == [56, 64, 72]
+            costs = [p["cost"] for p in result["probes"]]
+            assert costs == list(ref)
+            assert all(p["exact"] for p in result["probes"])
+            assert all(p["batch_size"] == 3 for p in result["probes"])
+        run_daemon(body, batch_window=0.02)
+
+    def test_deadline_expired_waiter_cancelled_survivors_exact(self):
+        engine = SweepEngine(anytime=True)
+        gate = SlowGateMany(engine)
+        g = dwt_graph(8, 2, weights=equal())
+        ref = SweepEngine().sweep(ExhaustiveScheduler(), g,
+                                  [72], "ref").costs[0]
+
+        async def body(daemon):
+            tight = asyncio.ensure_future(rpc(daemon.port, probe_req(
+                64, strategy="exhaustive", deadline=0.2, id="tight")))
+            survivor = asyncio.ensure_future(rpc(daemon.port, probe_req(
+                72, strategy="exhaustive", id="survivor")))
+            # Both seated -> the batch fires (max_batch=2) -> gate holds
+            # the fused solve past the tight waiter's deadline.
+            assert await asyncio.get_running_loop().run_in_executor(
+                None, gate.started.wait, 5)
+            bounced = (await asyncio.wait_for(tight, 5.0))[-1]
+            assert bounced["ok"] is False
+            assert bounced["error"]["code"] == "cancelled"
+            assert daemon.batcher.expired == 1
+            assert daemon.batcher.abandoned == 0  # flight still live
+            gate.release.set()
+            kept = (await asyncio.wait_for(survivor, 10.0))[-1]
+            assert kept["ok"] and kept["result"]["exact"]
+            assert kept["result"]["cost"] == ref
+        run_daemon(body, engine=engine, batch_window=30.0, batch_max=2)
+
+    def test_last_client_disconnect_abandons_the_flight(self):
+        engine = SweepEngine(anytime=True)
+        gate = SlowGateMany(engine)
+
+        async def body(daemon):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port)
+            from repro.service.protocol import encode
+            writer.write(encode(probe_req(64)))
+            await writer.drain()
+            assert await asyncio.get_running_loop().run_in_executor(
+                None, gate.started.wait, 5)
+            writer.close()  # sole waiter departs mid-solve
+            while daemon.batcher.abandoned == 0:
+                await asyncio.sleep(0.01)
+            gate.release.set()  # let the worker thread observe the cancel
+            assert daemon.batcher.abandoned == 1
+        run_daemon(body, engine=engine, batch_window=0.02, batch_max=1)
+
+    def test_drain_flushes_open_windows(self):
+        async def body(daemon):
+            # The window is 30 s: without the drain-time flush this
+            # waiter would outlive the drain deadline and be cancelled.
+            parked = asyncio.ensure_future(rpc(daemon.port, probe_req(64)))
+            while daemon.batcher.pending == 0:
+                await asyncio.sleep(0.005)
+            await daemon.shutdown()
+            frames = await asyncio.wait_for(parked, 5.0)
+            assert frames[-1]["ok"] and frames[-1]["result"]["exact"]
+            assert daemon.batcher.flushed == 1
+        run_daemon(body, batch_window=30.0, drain_deadline=5.0)
+
+
+class TestBatchAdmission:
+
+    def test_fused_batch_counts_k_toward_max_inflight(self):
+        # Total capacity is 1 slot: a 2-budget fused probe must be
+        # rejected ``overloaded`` (it is 2 requests' worth of work),
+        # while a single-budget probe fits.
+        async def body(daemon):
+            rej = (await rpc(daemon.port, {
+                "verb": "probe", "graph": DWT8, "strategy": "dwt-optimal",
+                "budgets": [48, 64]}))[-1]
+            assert rej["ok"] is False
+            assert rej["error"]["code"] == "overloaded"
+            assert daemon.rejected_overloaded == 1
+            ok = (await rpc(daemon.port, probe_req(64)))[-1]
+            assert ok["ok"]
+        for kwargs in ({}, {"batch_window": 0.02}):  # both dispatch paths
+            run_daemon(body, max_inflight=1, max_pending=0, **kwargs)
+
+    def test_fused_batch_counts_k_toward_tenant_bucket(self):
+        governor = TenantGovernor(policies={
+            "quota": TenantPolicy(rate=0.001, burst=2)})
+
+        async def body(daemon):
+            rej = (await rpc(daemon.port, {
+                "verb": "probe", "graph": DWT8, "strategy": "dwt-optimal",
+                "budgets": [48, 64, 96], "tenant": "quota"}))[-1]
+            assert rej["ok"] is False
+            assert rej["error"]["code"] == "tenant-rejected"
+            assert rej["error"]["retry_after"] > 0
+            ok = (await rpc(daemon.port, {
+                "verb": "probe", "graph": DWT8, "strategy": "dwt-optimal",
+                "budgets": [48, 64], "tenant": "quota"}))[-1]
+            assert ok["ok"]  # exactly the remaining 2 tokens
+            stats = (await rpc(daemon.port, {"verb": "stats"}))[-1]
+            assert stats["result"]["tenants"]["quota"]["requests"] == 2
+            assert stats["result"]["tenants"]["quota"]["rejected"] == 1
+        run_daemon(body, tenants=governor)
+
+    def test_concurrent_batch_members_each_own_a_slot(self):
+        engine = SweepEngine(anytime=True)
+        gate = SlowGateMany(engine)
+
+        async def body(daemon):
+            seated = [asyncio.ensure_future(rpc(daemon.port, probe_req(
+                48 + 16 * i, id=i))) for i in range(2)]
+            while daemon._active < 2:
+                await asyncio.sleep(0.005)
+            # Two batch seats occupy both slots: a third distinct budget
+            # is rejected even though zero executor threads are busy yet.
+            rej = (await asyncio.wait_for(
+                rpc(daemon.port, probe_req(96)), 2.0))[-1]
+            assert rej["ok"] is False
+            assert rej["error"]["code"] == "overloaded"
+            gate.release.set()
+            daemon.batcher.flush()
+            finals = [f[-1] for f in await asyncio.gather(*seated)]
+            assert all(f["ok"] for f in finals)
+            assert daemon._active == 0  # every slot returned
+        run_daemon(body, engine=engine, batch_window=30.0, batch_max=8,
+                   max_inflight=2, max_pending=0)
+
+
+class TestWireCompatibility:
+
+    def test_window_zero_wire_has_no_batching_keys(self):
+        # --batch-window 0 must be byte-identical to the unbatched
+        # daemon: no batcher exists, so no ``batched``/``batch_size``
+        # keys may appear anywhere in a probe payload.
+        async def body(daemon):
+            assert daemon.batcher is None
+            frame = (await rpc(daemon.port, probe_req(64)))[-1]
+            assert set(frame["result"]) == {
+                "cost", "lb", "ub", "provenance", "exact", "degraded",
+                "cached"}
+            multi = (await rpc(daemon.port, {
+                "verb": "probe", "graph": DWT8, "strategy": "dwt-optimal",
+                "budgets": [48, 64]}))[-1]
+            for payload in multi["result"]["probes"]:
+                assert "batched" not in payload
+                assert "batch_size" not in payload
+            stats = (await rpc(daemon.port, {"verb": "stats"}))[-1]
+            assert stats["result"]["batch"] is None
+        run_daemon(body, batch_window=0.0)
+
+    def test_unbatched_multi_budget_probe_matches_reference(self):
+        g = dwt_graph(8, 2, weights=equal())
+        ref = SweepEngine().sweep(ExhaustiveScheduler(), g,
+                                  [56, 64, 72], "ref").costs
+
+        async def body(daemon):
+            frame = (await rpc(daemon.port, {
+                "verb": "probe", "graph": DWT8, "strategy": "exhaustive",
+                "budgets": [56, 64, 72]}))[-1]
+            assert frame["ok"]
+            costs = [p["cost"] for p in frame["result"]["probes"]]
+            assert costs == list(ref)
+            assert all(p["exact"] for p in frame["result"]["probes"])
+        run_daemon(body, max_inflight=2, max_pending=16)

@@ -191,3 +191,42 @@ def test_cancel_all_cancels_live_flights():
             await t
         assert c.inflight == 0
     run(main())
+
+
+def test_stats_count_every_outcome_class():
+    # The ISSUE's undercount fix: ``joined`` (arrivals awaited, leaders
+    # included), ``cancelled`` (external kills), and ``abandoned``
+    # (last-waiter departures) are all first-class counters.
+    async def main():
+        c = Coalescer()
+
+        def make():
+            async def work():
+                await asyncio.sleep(0.02)
+                return "ok"
+            return work()
+
+        # 3 arrivals on one key: 1 leader + 2 joiners, all joined.
+        assert await asyncio.gather(*(c.run("a", make)
+                                      for _ in range(3))) == ["ok"] * 3
+
+        def slow():
+            async def work():
+                await asyncio.sleep(30)
+            return work()
+
+        # One abandoned flight (sole waiter departs)...
+        t = asyncio.ensure_future(c.run("b", slow))
+        await asyncio.sleep(0.01)
+        t.cancel()
+        await asyncio.gather(t, return_exceptions=True)
+        # ... and one externally cancelled flight.
+        t2 = asyncio.ensure_future(c.run("c", slow))
+        await asyncio.sleep(0.01)
+        c.cancel_all()
+        await asyncio.gather(t2, return_exceptions=True)
+
+        s = c.stats()
+        assert s == {"hits": 2, "started": 3, "abandoned": 1,
+                     "cancelled": 1, "joined": 5, "inflight": 0}
+    run(main())

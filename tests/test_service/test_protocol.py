@@ -87,6 +87,29 @@ class TestValidation:
                         "strategy": "greedy",
                         "budgets": budgets}) == "bad-request"
 
+    def test_multi_budget_probe_parses(self):
+        req = parse_request({"verb": "probe", "graph": dict(DWT8),
+                             "strategy": "dwt-optimal",
+                             "budgets": [96, 48, 64]})
+        assert req.budget is None
+        assert req.budgets == (96, 48, 64)  # arrival order preserved
+
+    @pytest.mark.parametrize("mutate", [
+        lambda o: o.update(budget=64),  # both forms at once
+        lambda o: o.update(stream=True),  # streaming is single-budget
+        lambda o: o.update(budgets=[]),
+        lambda o: o.update(budgets="48"),
+        lambda o: o.update(budgets=[48, "x"]),
+        lambda o: o.update(budgets=[48, True]),
+        lambda o: o.update(budgets=[48, -1]),
+        lambda o: o.update(budgets=list(range(300))),
+    ])
+    def test_bad_multi_budget_probes(self, mutate):
+        obj = {"verb": "probe", "graph": dict(DWT8),
+               "strategy": "dwt-optimal", "budgets": [48, 64]}
+        mutate(obj)
+        assert code_of(obj) == "bad-request"
+
     def test_decode_line_errors(self):
         with pytest.raises(ProtocolError) as e:
             decode_line(b"not json")
