@@ -1,0 +1,226 @@
+"""Hedging benchmark: tail latency against a slow replica, hedged vs not.
+
+The fleet shape hedged sends exist for: two replicas over ONE shared
+durable store, the *preferred* replica slowed by a deterministic
+latency toxic (``repro.service.faultproxy``), the backup healthy.  An
+unhedged :class:`~repro.service.resilience.ResilientClient` eats the
+slow replica's latency on every request; a hedged one engages the
+backup after ``hedge_after`` seconds and takes whichever final frame
+lands first — the loser's solve is cancelled through the daemon's
+waiter-departure plumbing, so the hedge costs a socket, not a second
+evaluation of committed work.
+
+Both passes verify **every** served cost against a store-less reference
+computed in this process (zero drift tolerated: hedging must change
+latency, never answers).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py           # full
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick   # CI
+
+Writes ``benchmarks/results/BENCH_resilience.json``.  Exit status is
+non-zero on any cost drift, or when the unhedged/hedged p95 ratio falls
+below ``--min-tail-win`` (default 1.5 full, 1.0 quick; 0 records
+without asserting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import select
+import shutil
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.core.store import graph_fingerprint
+from repro.service.faultproxy import FaultProxy, Toxic
+from repro.service.protocol import resolve_graph, resolve_scheduler
+from repro.service.resilience import ResilientClient
+
+STRATEGY = "dwt-optimal"
+SPEC = {"family": "dwt", "n": 8, "d": 2, "weights": "equal"}
+BUDGETS_FULL = tuple(range(64, 256, 8))
+BUDGETS_QUICK = tuple(range(64, 128, 8))
+
+#: the slow replica's injected one-way latency, seconds
+SLOW_S = 0.12
+HEDGE_AFTER_S = 0.03
+
+
+def reference(budgets):
+    cdag = resolve_graph(SPEC)
+    gkey = graph_fingerprint(cdag)
+    sched = resolve_scheduler({"name": STRATEGY})
+    memo: dict = {}
+    return {(gkey, b): sched.cost_many(cdag, (b,), memo=memo)[0]
+            for b in budgets}, gkey
+
+
+def spawn_daemon(store_dir, name, ready_timeout=60.0):
+    src_root = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--store", store_dir, "--name", name, "--max-inflight", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    deadline = time.monotonic() + ready_timeout
+    line = b""
+    while time.monotonic() < deadline:
+        ready, _, _ = select.select([proc.stdout], [], [],
+                                    max(0.0, deadline - time.monotonic()))
+        if not ready:
+            break
+        line = proc.stdout.readline()
+        break
+    m = re.match(rb"repro-serve listening on ([\d.]+):(\d+)", line)
+    if not m:
+        proc.kill()
+        _, err = proc.communicate(timeout=30)
+        raise RuntimeError(f"daemon never announced readiness "
+                           f"(got {line!r})\n{err.decode(errors='replace')}")
+    return proc, m.group(1).decode(), int(m.group(2))
+
+
+def drive(endpoints, budgets, expected, gkey, hedge_after, rounds):
+    """Sequential probes over the budget grid; returns per-request
+    latencies, drift list, and the client's stats dump."""
+    latencies, drift = [], []
+    with ResilientClient(endpoints, timeout=30.0, retries=4,
+                         hedge_after=hedge_after, seed=0,
+                         client_id="bench") as client:
+        for r in range(rounds):
+            for b in budgets:
+                t0 = time.monotonic()
+                frame = client.probe(SPEC, STRATEGY, b, tenant="bench")
+                latencies.append(time.monotonic() - t0)
+                if not frame.get("ok"):
+                    drift.append(f"round {r} budget {b}: error frame "
+                                 f"{frame.get('error')}")
+                    continue
+                res = frame["result"]
+                if res.get("exact") and res["cost"] != expected[(gkey, b)]:
+                    drift.append(f"round {r} budget {b}: served "
+                                 f"{res['cost']}, expected "
+                                 f"{expected[(gkey, b)]}")
+        stats = client.client_stats()
+    return latencies, drift, stats
+
+
+def pcts(latencies):
+    ms = sorted(x * 1000.0 for x in latencies)
+    return {
+        "n": len(ms),
+        "p50_ms": round(statistics.median(ms), 2),
+        "p95_ms": round(ms[min(len(ms) - 1, int(0.95 * len(ms)))], 2),
+        "max_ms": round(ms[-1], 2),
+    }
+
+
+def run(quick, min_tail_win, out_path, log=print):
+    budgets = BUDGETS_QUICK if quick else BUDGETS_FULL
+    rounds = 2 if quick else 3
+    expected, gkey = reference(budgets)
+    workdir = tempfile.mkdtemp(prefix="bench-resilience-")
+    store = os.path.join(workdir, "store")
+    daemons, proxies = [], []
+    try:
+        for i in range(2):
+            proc, host, port = spawn_daemon(store, f"replica-{i}")
+            daemons.append(proc)
+            proxies.append(FaultProxy((host, port), seed=i).start())
+        # The preferred replica is slow: every reply eats SLOW_S.
+        proxies[0].add(Toxic("latency", start=0.0, direction="down",
+                             latency_s=SLOW_S))
+        endpoints = [p.addr for p in proxies]
+        log(f"fleet up: slow={endpoints[0]} (+{SLOW_S * 1000:.0f}ms), "
+            f"fast={endpoints[1]}")
+
+        unhedged_lat, drift_a, unhedged_stats = drive(
+            endpoints, budgets, expected, gkey, None, rounds)
+        hedged_lat, drift_b, hedged_stats = drive(
+            endpoints, budgets, expected, gkey, HEDGE_AFTER_S, rounds)
+        drift = drift_a + drift_b
+    finally:
+        for proc in daemons:
+            proc.send_signal(signal.SIGTERM)
+        for proc in daemons:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        for proxy in proxies:
+            proxy.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    unhedged = pcts(unhedged_lat)
+    hedged = pcts(hedged_lat)
+    tail_win = (unhedged["p95_ms"] / hedged["p95_ms"]
+                if hedged["p95_ms"] else None)
+    report = {
+        "benchmark": "resilience-hedging",
+        "mode": "quick" if quick else "full",
+        "graph": SPEC, "strategy": STRATEGY,
+        "budgets": list(budgets), "rounds": rounds,
+        "slow_replica_latency_ms": SLOW_S * 1000.0,
+        "hedge_after_ms": HEDGE_AFTER_S * 1000.0,
+        "unhedged": {**unhedged,
+                     "hedges": unhedged_stats["hedges"]},
+        "hedged": {**hedged, "hedges": hedged_stats["hedges"]},
+        "tail_win_p95": round(tail_win, 3) if tail_win else None,
+        "drift": len(drift),
+        "drift_details": drift[:20],
+    }
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    log(f"wrote {out_path}")
+    log(f"unhedged p95 {unhedged['p95_ms']}ms -> hedged p95 "
+        f"{hedged['p95_ms']}ms (win {report['tail_win_p95']}x, floor "
+        f"{min_tail_win}x); hedges won "
+        f"{hedged_stats['hedges']['won']}, drift {len(drift)}")
+    if drift:
+        log("DRIFT (first 20):")
+        for d in drift[:20]:
+            log(f"  {d}")
+        return 1
+    if hedged_stats["hedges"]["started"] == 0:
+        log("FAIL: the hedged pass never hedged — the benchmark "
+            "measured nothing")
+        return 1
+    if min_tail_win > 0 and (tail_win is None or tail_win < min_tail_win):
+        log(f"FAIL: hedged p95 win is {report['tail_win_p95']}x; floor "
+            f"is {min_tail_win}x")
+        return 1
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: smaller grid, tail-win floor 1.0")
+    ap.add_argument("--min-tail-win", type=float, default=None,
+                    help="unhedged/hedged p95 ratio floor (default 1.5; "
+                         "1.0 with --quick; 0 records without asserting)")
+    ap.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "results",
+        "BENCH_resilience.json"))
+    args = ap.parse_args(argv)
+    min_tail_win = args.min_tail_win
+    if min_tail_win is None:
+        min_tail_win = 1.0 if args.quick else 1.5
+    return run(args.quick, min_tail_win, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

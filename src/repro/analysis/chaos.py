@@ -42,11 +42,23 @@ Two attack modes:
   (previously-committed records without re-evaluation), and a SIGTERM
   must drain in-flight work and exit 0.
 
-CLI (the CI crash-soak + service-soak jobs)::
+* **partition soak** (:func:`run_partition_soak`): a 2–3 replica fleet
+  over ONE shared store, each replica behind a deterministic
+  :class:`~repro.service.faultproxy.FaultProxy`, is killed and
+  partitioned mid-flight under concurrent multi-tenant
+  :class:`~repro.service.resilience.ResilientClient` load — zero
+  client-visible hangs, zero wrong answers vs the store-less reference,
+  and retry amplification bounded by the daemons' own
+  ``duplicate_dispatches`` counters (total dispatch ≤ 2× unique
+  requests).
+
+CLI (the CI crash-soak + service-soak + partition-soak jobs)::
 
     python -m repro.analysis.chaos --store DIR --kills 20 --seed 0
     python -m repro.analysis.chaos --store DIR --skip-points --skip-soak \
         --service-kills 3
+    python -m repro.analysis.chaos --store DIR --skip-points --skip-soak \
+        --partition-soak --replicas 2 --partition-kills 3
 """
 
 from __future__ import annotations
@@ -386,7 +398,7 @@ def run_service_soak(root: str, kills: int = 2, seed: int = 0,
 
     Returns the number of kills delivered.
     """
-    from ..service.protocol import ServiceClient
+    from ..service.protocol import ProtocolError, ServiceClient
     store_dir = os.path.join(root, "service")
     shutil.rmtree(store_dir, ignore_errors=True)
     expected = _service_reference()
@@ -444,7 +456,7 @@ def run_service_soak(root: str, kills: int = 2, seed: int = 0,
                                 f"{key}, expected {expected[key]}")
                     j += 1
         except (ConnectionError, OSError, socket.timeout,
-                json.JSONDecodeError):
+                json.JSONDecodeError, ProtocolError):
             pass  # the daemon was SIGKILLed mid-exchange — expected
 
     landed = 0
@@ -515,6 +527,228 @@ def run_service_soak(root: str, kills: int = 2, seed: int = 0,
     return landed
 
 
+# --------------------------------------------------------------------- #
+# Partition soak (a replica fleet behind fault proxies)
+
+
+def run_partition_soak(root: str, replicas: int = 2, kills: int = 3,
+                       seed: int = 0, clients: int = 3,
+                       deadline_s: float = 120.0, log=print) -> int:
+    """Run a replica fleet over ONE shared durable store, each replica
+    behind its own deterministic :class:`~repro.service.faultproxy.
+    FaultProxy`, and kill/partition replicas mid-flight under concurrent
+    multi-tenant :class:`~repro.service.resilience.ResilientClient`
+    load.  Asserts the fleet-resilience invariants of the PR:
+
+    1. **zero client-visible hangs** — every client completes its fixed
+       request list within the soak deadline (all receives are
+       timeout-bounded, all retries are counted and capped);
+    2. **zero wrong answers** — every exact answer matches the
+       store-less reference byte-for-byte, no matter how many retries,
+       hedges, failovers, torn frames, or resets it survived;
+    3. **bounded retry amplification** — the daemons' own
+       ``duplicate_dispatches`` counters (fresh evaluations beyond the
+       first for one ``request_id``) stay at or below the unique request
+       count, i.e. total dispatch ≤ 2× what a fault-free run performs;
+    4. a final fault-free pass over the full workload is byte-identical
+       to the reference, and every replica drains cleanly on SIGTERM.
+
+    The fault schedule is seeded and scripted: each round partitions one
+    replica's proxy, SIGKILLs the daemon behind it mid-partition,
+    restarts it on a fresh port (retargeting the proxy, whose address is
+    what clients dial), heals, and sprinkles one-shot torn-frame and
+    reset toxics plus latency on the surviving replica so hedges and
+    mid-stream failovers actually fire.
+
+    Returns the number of kills delivered.
+    """
+    from ..schedulers import ExhaustiveScheduler
+    from ..service.faultproxy import FaultProxy, Toxic
+    from ..service.protocol import ServiceClient, resolve_graph
+    from ..service.resilience import BackoffPolicy, ResilientClient
+
+    store_dir = os.path.join(root, "fleet")
+    shutil.rmtree(store_dir, ignore_errors=True)
+    expected = _service_reference()
+    rng = random.Random(seed)
+    replicas = max(2, int(replicas))
+    kills = max(1, int(kills))
+    tenants = ("alpha", "beta", "gamma")
+    skey = ExhaustiveScheduler().cache_key()
+
+    daemons: List[Optional[subprocess.Popen]] = []
+    proxies: List[FaultProxy] = []
+    for i in range(replicas):
+        proc, host, port = _spawn_serve(store_dir, "--name",
+                                        f"replica-{i}")
+        daemons.append(proc)
+        proxies.append(FaultProxy((host, port), seed=seed * 101 + i)
+                       .start())
+
+    # Every client hammers the workload for the whole fault schedule
+    # (and at least one full lap): every request must *eventually* be
+    # served ok — that, plus the bounded join, is the hang check.
+    def hammer(idx: int, stop: threading.Event, stop_by: float,
+               failures: List[str], client_stats: List[dict]) -> None:
+        client = ResilientClient(
+            [p.addr for p in proxies], timeout=10.0, retries=6,
+            backoff=BackoffPolicy(base=0.05, factor=2.0, max_delay=0.5),
+            hedge_after=0.4, seed=seed * 1009 + idx,
+            client_id=f"soak-{idx}")
+        try:
+            j = idx
+            done = 0
+            while not stop.is_set() or done < 14:
+                spec, strategy, budgets = \
+                    _SERVICE_WORKLOAD[j % len(_SERVICE_WORKLOAD)]
+                b = budgets[j % len(budgets)]
+                gkey = graph_fingerprint(resolve_graph(spec))
+                tenant = tenants[idx % len(tenants)]
+                ok = False
+                while time.monotonic() < stop_by:
+                    try:
+                        frame = client.probe(spec, strategy, b,
+                                             tenant=tenant)
+                    except ConnectionError:
+                        continue  # fleet-wide blip: re-issue (new rid)
+                    if not frame.get("ok"):
+                        continue  # non-retryable code: re-issue
+                    res = frame["result"]
+                    if res.get("exact"):
+                        key = (skey, gkey, b)
+                        if res["cost"] != expected[key]:
+                            failures.append(
+                                f"client {idx}: served {res['cost']} "
+                                f"for {key}, expected {expected[key]}")
+                    ok = True
+                    break
+                if not ok:
+                    failures.append(
+                        f"client {idx}: request (({spec}, {b})) never "
+                        f"served before the soak deadline — hang or "
+                        f"unavailability beyond bounds")
+                    break
+                j += 1
+                done += 1
+                time.sleep(0.01)  # leave room for faults to land mid-gap
+        except Exception as exc:  # noqa: BLE001 - any leak is a failure
+            failures.append(f"client {idx}: unexpected "
+                            f"{type(exc).__name__}: {exc}")
+        finally:
+            client_stats.append(client.client_stats())
+            client.close()
+
+    deadline = time.monotonic() + deadline_s
+    stop = threading.Event()
+    failures: List[str] = []
+    client_stats: List[dict] = []
+    threads = [threading.Thread(
+        target=hammer, args=(k, stop, deadline, failures, client_stats),
+        daemon=True) for k in range(max(1, clients))]
+    for t in threads:
+        t.start()
+
+    # -- the scripted fault schedule ----------------------------------- #
+    landed = 0
+    for round_no in range(kills):
+        victim = round_no % replicas
+        survivor = (victim + 1) % replicas
+        time.sleep(rng.uniform(0.3, 0.6))
+        # make the survivor interesting: a one-shot torn frame or reset,
+        # plus latency so answers are not instantaneous.
+        now = proxies[survivor].now()
+        proxies[survivor].add(Toxic(
+            "torn" if round_no % 2 == 0 else "reset",
+            start=now, direction="down"))
+        proxies[survivor].add(Toxic(
+            "latency", start=now, stop=now + 0.6, direction="down",
+            latency_s=0.05, jitter_s=0.02))
+        # blackhole the victim first: requests stall silently (no error,
+        # no EOF), which is exactly what hedged sends exist for.
+        hole = proxies[victim].add(Toxic(
+            "blackhole", start=proxies[victim].now(), direction="both",
+            name=f"hole-{round_no}"))
+        time.sleep(rng.uniform(0.6, 0.9))
+        hole.stop = proxies[victim].now()
+        # now partition it and kill the daemon behind the curtain.
+        proxies[victim].partition()
+        time.sleep(rng.uniform(0.2, 0.5))
+        daemons[victim].kill()
+        daemons[victim].communicate(timeout=60)
+        landed += 1
+        time.sleep(rng.uniform(0.2, 0.5))
+        proc, host, port = _spawn_serve(store_dir, "--name",
+                                        f"replica-{victim}")
+        daemons[victim] = proc
+        proxies[victim].set_upstream((host, port))
+        proxies[victim].heal()
+        log(f"partition round #{round_no + 1}: replica-{victim} "
+            f"blackholed + partitioned + SIGKILLed + restarted "
+            f"(survivor replica-{survivor} torn/latent)")
+    stop.set()
+
+    join_by = max(5.0, deadline - time.monotonic() + 30.0)
+    for t in threads:
+        t.join(timeout=join_by)
+    hung = [t for t in threads if t.is_alive()]
+    assert not hung, (f"{len(hung)} client(s) hung past the soak "
+                      f"deadline — client-visible hang")
+    assert not failures, "partition soak failures:\n  " + \
+        "\n  ".join(failures)
+
+    # -- amplification bound from the daemons' own counters ------------- #
+    unique_requests = sum(cs["requests"] for cs in client_stats)
+    duplicate_dispatches = 0
+    retries_served = 0
+    for proxy in proxies:
+        host, port = proxy._upstream
+        with ServiceClient(host, int(port), timeout=30.0) as c:
+            stats = c.stats()["result"]
+            res = stats.get("resilience", {})
+            duplicate_dispatches += res.get("duplicate_dispatches", 0)
+            retries_served += res.get("retries_served", 0)
+    assert duplicate_dispatches <= unique_requests, (
+        f"retry amplification out of bounds: {duplicate_dispatches} "
+        f"duplicate dispatches for {unique_requests} unique requests "
+        f"(> 2x total dispatch)")
+
+    # -- final fault-free byte-identity pass ---------------------------- #
+    with ResilientClient([p.addr for p in proxies], timeout=30.0,
+                         retries=4, seed=seed,
+                         client_id="soak-final") as final:
+        for spec, strategy, budgets in _SERVICE_WORKLOAD:
+            gkey = graph_fingerprint(resolve_graph(spec))
+            for b in budgets:
+                frame = final.probe(spec, strategy, b, tenant="final")
+                assert frame.get("ok"), f"final pass failed: {frame}"
+                res = frame["result"]
+                assert res["exact"], f"final pass non-exact: {res}"
+                assert res["cost"] == expected[(skey, gkey, b)], (
+                    f"final pass served {res['cost']} for ({spec}, {b})"
+                    f", expected {expected[(skey, gkey, b)]}")
+        fleet = final.client_stats()
+
+    for proc in daemons:
+        proc.send_signal(signal.SIGTERM)
+    for i, proc in enumerate(daemons):
+        assert proc.wait(timeout=60) == 0, (
+            f"replica-{i} SIGTERM drain exited non-zero")
+    for proxy in proxies:
+        proxy.stop()
+
+    hedges = {k: sum(cs["hedges"][k] for cs in client_stats)
+              for k in ("started", "won", "lost")}
+    log(f"partition soak: {landed} kills across {replicas} replicas, "
+        f"{unique_requests} requests, "
+        f"{sum(cs['retries'] for cs in client_stats)} client retries, "
+        f"{sum(cs['failovers'] for cs in client_stats)} failovers, "
+        f"hedges {hedges}, {retries_served} retries served, "
+        f"{duplicate_dispatches} duplicate dispatches "
+        f"(bound: <= {unique_requests}), fleet store "
+        f"{fleet['fleet_fingerprint']}, final pass byte-identical")
+    return landed
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis.chaos",
@@ -536,6 +770,15 @@ def main(argv=None) -> int:
                          "(0 = skip; minimum 2 when enabled)")
     ap.add_argument("--clients", type=int, default=3, metavar="N",
                     help="concurrent client threads for the service soak")
+    ap.add_argument("--partition-soak", action="store_true",
+                    help="run the replica-fleet partition soak: N "
+                         "daemons over one shared store behind "
+                         "deterministic fault proxies, killed and "
+                         "partitioned under ResilientClient load")
+    ap.add_argument("--replicas", type=int, default=2, metavar="N",
+                    help="fleet size for the partition soak (minimum 2)")
+    ap.add_argument("--partition-kills", type=int, default=3, metavar="N",
+                    help="kill/partition rounds for the partition soak")
     ap.add_argument("--service-batch-window", type=float, default=5.0,
                     metavar="MS",
                     help="micro-batch window for the service soak daemon "
@@ -567,9 +810,16 @@ def main(argv=None) -> int:
             args.store, kills=args.service_kills, seed=args.seed,
             clients=args.clients,
             batch_window_ms=args.service_batch_window)
+    partition_kills = 0
+    if args.partition_soak:
+        partition_kills = run_partition_soak(
+            args.store, replicas=args.replicas,
+            kills=args.partition_kills, seed=args.seed,
+            clients=args.clients)
     print(f"chaos: {crashes} injected crash points + {args.kills} "
           f"SIGKILL rounds ({landed} landed) + {service_kills} service "
-          f"kills — all invariants held")
+          f"kills + {partition_kills} partition kills — all invariants "
+          f"held")
     return 0
 
 

@@ -289,6 +289,7 @@ def cmd_serve(args) -> int:
                               drain_deadline=args.drain_deadline,
                               batch_window=args.batch_window / 1000.0,
                               batch_max=args.batch_max,
+                              name=args.name,
                               log=(print if args.verbose else None))
     try:
         asyncio.run(daemon.run(announce=lambda msg: print(msg, flush=True)))
@@ -450,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--batch-max", type=int, default=16, metavar="N",
                    help="distinct budgets per batch before it fires "
                         "early, window notwithstanding (default 16)")
+    v.add_argument("--name", default=None, metavar="NAME",
+                   help="replica label reported in the health/stats "
+                        "'replica' stanza (default: replica-<pid>); a "
+                        "fleet client shows it in failover diagnostics")
     v.add_argument("--tenant", action="append", metavar="SPEC",
                    help="per-tenant policy 'NAME:rate=R,burst=B,"
                         "deadline=S,mem=MB' (NAME '*' sets the default; "

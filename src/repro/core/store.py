@@ -61,6 +61,7 @@ import hashlib
 import json
 import math
 import os
+import uuid
 import warnings
 import zlib
 from dataclasses import dataclass
@@ -311,6 +312,7 @@ class ResultStore:
         #: bytes already consumed per segment file name
         self._offsets: Dict[str, int] = {}
         self._pending: List[StoreRecord] = []
+        self._store_id: Optional[str] = None
         self._closed = False
         self.hits = 0  #: lookups answered from the index
         self.misses = 0  #: lookups that found nothing
@@ -346,6 +348,42 @@ class ResultStore:
             os.fsync(fd)
         finally:
             os.close(fd)
+
+    @property
+    def store_id(self) -> str:
+        """Stable identity of the *directory* this store serves, minted
+        once (under the writer lock) and shared by every process that
+        opens the same path.  The service layer's replica stanza reports
+        it so a fleet client can refuse to mix replicas that serve
+        different stores — two daemons answering from different record
+        sets must never look interchangeable."""
+        if self._store_id is not None:
+            return self._store_id
+        id_path = os.path.join(self.path, "STORE_ID")
+        sid = self._read_store_id(id_path)
+        if sid is None:
+            with self._writer_lock():
+                sid = self._read_store_id(id_path)
+                if sid is None:
+                    sid = uuid.uuid4().hex
+                    tmp = id_path + ".tmp"
+                    with open(tmp, "w") as fh:
+                        fh.write(sid + "\n")
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, id_path)
+                    self._fsync_dir(self.path)
+        self._store_id = sid
+        return sid
+
+    @staticmethod
+    def _read_store_id(id_path: str) -> Optional[str]:
+        try:
+            with open(id_path) as fh:
+                sid = fh.read().strip()
+        except (FileNotFoundError, OSError):
+            return None
+        return sid or None
 
     def _segment_names(self) -> List[str]:
         try:

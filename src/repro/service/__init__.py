@@ -14,7 +14,14 @@ The ROADMAP's serving story in one package:
   and governance caps (deadline / memory) chained into every solve.
 * :mod:`repro.service.daemon` — the asyncio TCP daemon tying them
   together: admission control, streaming anytime answers, graceful
-  drain, health/stats observability.
+  drain, health/stats observability, and the fleet-awareness
+  ``replica`` stanza (store fingerprint, drain state).
+* :mod:`repro.service.resilience` — the fleet client: idempotent
+  retries with backoff honoring ``retry_after``, per-endpoint circuit
+  breakers, hedged sends, transparent failover across replicas.
+* :mod:`repro.service.faultproxy` — a deterministic, seeded TCP
+  fault-injection proxy (latency, bandwidth, torn frames, blackholes,
+  resets, asymmetric partitions) powering the partition soak.
 
 Launch with ``python -m repro.cli serve --store DIR``.
 """
@@ -22,13 +29,20 @@ Launch with ``python -m repro.cli serve --store DIR``.
 from .batcher import BatchingDispatcher, BatchWaitExpired
 from .coalesce import Coalescer
 from .daemon import SchedulingDaemon
+from .faultproxy import FaultProxy, Toxic
 from .protocol import (MAX_FRAME_BYTES, ProtocolError, ServiceClient,
                        decode_line, encode, error_frame, ok_frame,
                        parse_request, resolve_graph, resolve_scheduler)
+from .resilience import (BackoffPolicy, CircuitBreaker, FleetError,
+                         MixedStoreError, ResilientClient,
+                         RetriesExhausted)
 from .tenants import TenantGovernor, TenantPolicy
 
 __all__ = ["BatchingDispatcher", "BatchWaitExpired", "Coalescer",
            "SchedulingDaemon", "MAX_FRAME_BYTES",
            "ProtocolError", "ServiceClient", "decode_line", "encode",
            "error_frame", "ok_frame", "parse_request", "resolve_graph",
-           "resolve_scheduler", "TenantGovernor", "TenantPolicy"]
+           "resolve_scheduler", "TenantGovernor", "TenantPolicy",
+           "BackoffPolicy", "CircuitBreaker", "FleetError",
+           "MixedStoreError", "ResilientClient", "RetriesExhausted",
+           "FaultProxy", "Toxic"]

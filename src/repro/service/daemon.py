@@ -54,6 +54,7 @@ import os
 import signal
 import time
 import traceback
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional, Set, Tuple
 
@@ -64,6 +65,10 @@ from .protocol import (MAX_FRAME_BYTES, ProtocolError, Request, decode_line,
                        encode, error_frame, ok_frame, parse_request,
                        resolve_graph, resolve_scheduler, resolve_tiling)
 from .tenants import TenantGovernor
+
+#: Most recently seen client ``request_id``s remembered for retry
+#: accounting (an LRU: a fleet client retries within seconds, not days).
+RID_TRACK_CAP = 4096
 
 
 def _json_num(v: float):
@@ -87,10 +92,13 @@ class SchedulingDaemon:
                  batch_window: float = 0.0,
                  batch_max: int = 16,
                  close_engine: bool = True,
+                 name: Optional[str] = None,
                  log: Optional[Callable[[str], None]] = None):
         self.engine = engine
         self.host = host
         self.port = port
+        #: replica label surfaced in the health/stats ``replica`` stanza
+        self.name = name if name else f"replica-{os.getpid()}"
         self.max_pending = max(0, int(max_pending))
         self.max_inflight = max(1, int(max_inflight))
         self.tenants = tenants if tenants is not None else TenantGovernor()
@@ -125,6 +133,15 @@ class SchedulingDaemon:
         self.rejected_overloaded = 0
         self.bad_frames = 0
         self.internal_errors = 0
+        # retry/duplicate accounting: request_id -> "ever cost this
+        # replica a fresh (uncached) dispatch".  The fleet client tags
+        # every request with a request_id; re-serving one it has seen is
+        # a retry, and a retry that could not be answered from the
+        # cache/store/coalescer is a duplicate dispatch — the quantity
+        # the partition soak bounds.
+        self._rids: "OrderedDict[str, bool]" = OrderedDict()
+        self.retries_served = 0
+        self.duplicate_dispatches = 0
 
     # ----------------------------------------------------------------- #
     # Lifecycle
@@ -351,26 +368,42 @@ class SchedulingDaemon:
                                        mem_limit_mb=req.mem_limit_mb)
         skey = scheduler.cache_key()
         gkey = self.engine.graph_key(cdag)
+        self._note_rid(req.request_id)
         if req.verb == "probe":
             await self._probe(req, writer, wlock, scheduler, cdag,
                               skey, gkey, token)
         elif req.verb == "sweep":
+            led = [False]
             key = ("sweep", skey, gkey, req.budgets)
             result = await self.coalescer.run(key, self._solve_factory(
-                lambda: self._sweep_work(scheduler, cdag, req.budgets,
-                                         token), token))
+                self._led(led, lambda: self._sweep_work(
+                    scheduler, cdag, req.budgets, token)), token))
+            self._note_dispatch(req.request_id, led[0])
             await self._send(writer, wlock,
                              ok_frame(req.id, "sweep", result))
         elif req.verb == "min-memory":
+            led = [False]
             key = ("minmem", skey, gkey)
             bits = await self.coalescer.run(key, self._solve_factory(
-                lambda: self.engine.probe_min_memory(scheduler, cdag,
-                                                     token=token), token))
+                self._led(led, lambda: self.engine.probe_min_memory(
+                    scheduler, cdag, token=token)), token))
+            self._note_dispatch(req.request_id, led[0])
             words = bits // 16 if bits is not None else None
             await self._send(writer, wlock, ok_frame(
                 req.id, "min-memory", {"bits": bits, "words": words}))
         else:  # pragma: no cover - parse_request restricts verbs
             raise ProtocolError("unknown-verb", f"verb {req.verb!r}")
+
+    @staticmethod
+    def _led(led, work: Callable[[], object]) -> Callable[[], object]:
+        """Wrap ``work`` so its *execution* flips ``led[0]`` — the
+        coalescer only runs the leader's work, so after awaiting the
+        flight the flag says whether this request started it (joiners
+        share the answer without a dispatch of their own)."""
+        def wrapped():
+            led[0] = True
+            return work()
+        return wrapped
 
     async def _probe(self, req: Request, writer, wlock, scheduler, cdag,
                      skey: str, gkey: str,
@@ -380,9 +413,13 @@ class SchedulingDaemon:
                                     skey, gkey, token)
             return
         if self.batcher is not None:
+            charged = [0]
             outcome, size = await self._batch_join(req, scheduler, cdag,
                                                    skey, gkey, token,
-                                                   (req.budget,))
+                                                   (req.budget,),
+                                                   charged=charged)
+            self._note_dispatch(req.request_id,
+                                charged[0] > 0 and not outcome.cached)
             payload = self._probe_payload(outcome, batch_size=size)
             if outcome.exact or not req.stream:
                 await self._send(writer, wlock,
@@ -394,10 +431,13 @@ class SchedulingDaemon:
             await self._refine(req, writer, wlock, scheduler, cdag,
                                skey, gkey)
             return
+        led = [False]
         key = ("probe", skey, gkey, req.budget)
         outcome = await self.coalescer.run(key, self._solve_factory(
-            lambda: self.engine.probe(scheduler, cdag, req.budget,
-                                      token=token), token))
+            self._led(led, lambda: self.engine.probe(
+                scheduler, cdag, req.budget, token=token)), token))
+        self._note_dispatch(req.request_id,
+                            led[0] and not outcome.cached)
         payload = self._probe_payload(outcome)
         if outcome.exact or not req.stream:
             await self._send(writer, wlock,
@@ -431,40 +471,58 @@ class SchedulingDaemon:
         the distinct budgets in arrival order."""
         budgets = list(dict.fromkeys(req.budgets))
         if self.batcher is not None:
+            charged = [0]
             results = await self._batch_join(req, scheduler, cdag,
                                              skey, gkey, token, budgets,
-                                             many=True)
+                                             many=True, charged=charged)
+            self._note_dispatch(
+                req.request_id,
+                charged[0] > 0 and any(not results[b][0].cached
+                                       for b in budgets))
             probes = [self._probe_payload(results[b][0],
                                           batch_size=results[b][1])
                       for b in budgets]
         else:
+            led = [False]
             key = ("probe-many", skey, gkey, tuple(budgets))
             outcomes = await self.coalescer.run(key, self._solve_factory(
-                lambda: self.engine.probe_many(scheduler, cdag, budgets,
-                                               token=token),
+                self._led(led, lambda: self.engine.probe_many(
+                    scheduler, cdag, budgets, token=token)),
                 token, slots=len(budgets)))
+            self._note_dispatch(req.request_id,
+                                led[0] and any(not o.cached
+                                               for o in outcomes))
             probes = [self._probe_payload(o) for o in outcomes]
         await self._send(writer, wlock, ok_frame(
             req.id, "probe", {"budgets": budgets, "probes": probes}))
 
     async def _batch_join(self, req: Request, scheduler, cdag, skey: str,
                           gkey: str, token: Optional[CancellationToken],
-                          budgets, many: bool = False):
+                          budgets, many: bool = False,
+                          charged=None):
         """Join this request's budget(s) to the micro-batcher.  The
         tenant/request deadline bounds the *wait* — expiry answers this
         waiter ``cancelled`` while the shared flight (and its surviving
-        waiters) continue."""
+        waiters) continue.  ``charged`` (a one-slot list) receives the
+        admission charge: 0 means every budget joined a batch some other
+        request already registered — this request added no dispatch work
+        of its own (how a hedged duplicate stays amplification-free)."""
         deadline = token.remaining() if token is not None else None
+
+        def admit(slots: int) -> None:
+            self._admit_slots(slots)
+            if charged is not None:
+                charged[0] += slots
         try:
             if many:
                 return await self.batcher.join_many(
                     (skey, gkey), budgets,
                     self._batch_dispatch(scheduler, cdag),
-                    admit=self._admit_slots, deadline=deadline)
+                    admit=admit, deadline=deadline)
             return await self.batcher.join(
                 (skey, gkey), budgets[0],
                 self._batch_dispatch(scheduler, cdag),
-                admit=self._admit_slots, deadline=deadline)
+                admit=admit, deadline=deadline)
         except BatchWaitExpired as exc:
             raise ProtocolError("cancelled", str(exc))
 
@@ -522,6 +580,32 @@ class SchedulingDaemon:
                 "costs": [_json_num(c) for c in series.costs],
                 "degraded": list(series.degraded),
                 "provenance": [list(p) for p in series.provenance]}
+
+    def _note_rid(self, request_id: Optional[str]) -> None:
+        """Remember a client ``request_id``; re-seeing one means this
+        frame is a retry (or a hedged duplicate) of an already-served
+        request."""
+        if request_id is None:
+            return
+        if request_id in self._rids:
+            self._rids.move_to_end(request_id)
+            self.retries_served += 1
+        else:
+            self._rids[request_id] = False
+            while len(self._rids) > RID_TRACK_CAP:
+                self._rids.popitem(last=False)
+
+    def _note_dispatch(self, request_id: Optional[str],
+                       fresh: bool) -> None:
+        """Record that serving ``request_id`` cost a *fresh* engine
+        evaluation (this request led a flight and the answer was not
+        cached).  The second fresh evaluation for one id is a duplicate
+        dispatch — retry amplification the partition soak bounds."""
+        if request_id is None or not fresh:
+            return
+        if self._rids.get(request_id):
+            self.duplicate_dispatches += 1
+        self._rids[request_id] = True
 
     def _instance(self, req: Request) -> tuple:
         key = req.instance_key
@@ -596,6 +680,26 @@ class SchedulingDaemon:
     # ----------------------------------------------------------------- #
     # Observability
 
+    def replica_payload(self) -> dict:
+        """Fleet-awareness stanza: who this replica is, which store it
+        answers from, and whether it is draining.  A fleet client uses
+        the store fingerprint to refuse mixing replicas that serve
+        different stores, and the drain flag to prefer drained-last
+        replicas."""
+        store = getattr(self.engine, "store", None)
+        store_info = None
+        if store is not None:
+            store_info = {"path": store.path,
+                          "fingerprint": store.store_id,
+                          "records": len(store)}
+        return {"name": self.name,
+                "pid": os.getpid(),
+                "store": store_info,
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "inflight": min(self._active, self.max_inflight),
+                "active": self._active,
+                "draining": self._draining}
+
     def health_payload(self) -> dict:
         return {"status": "draining" if self._draining else "ok",
                 "pid": os.getpid(),
@@ -605,7 +709,8 @@ class SchedulingDaemon:
                 "max_inflight": self.max_inflight,
                 "max_pending": self.max_pending,
                 "connections": len(self._conn_tasks),
-                "uptime_s": round(time.monotonic() - self._started, 3)}
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "replica": self.replica_payload()}
 
     def stats_payload(self) -> dict:
         tenant_stats = self.tenants.stats()
@@ -616,6 +721,11 @@ class SchedulingDaemon:
             store_info = {"path": store.path, "records": len(store)}
         return {"requests": dict(self.requests),
                 "responses": self.responses,
+                "replica": self.replica_payload(),
+                "resilience": {
+                    "retries_served": self.retries_served,
+                    "duplicate_dispatches": self.duplicate_dispatches,
+                    "request_ids_tracked": len(self._rids)},
                 "coalesce": self.coalescer.stats(),
                 "batch": (self.batcher.stats()
                           if self.batcher is not None else None),

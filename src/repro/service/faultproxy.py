@@ -1,0 +1,353 @@
+"""Deterministic, seeded TCP fault-injection proxy (toxiproxy-style).
+
+The chaos harness needs *reproducible* network failures: the same seed
+and toxic schedule must tear the same frames and drop the same
+connections on every run, or a soak failure can never be replayed.
+Real-network fault injection (tc/netem, iptables) needs root and is
+host-global; :class:`FaultProxy` instead sits between client and daemon
+as a plain userspace TCP relay, so each replica in a fleet gets its own
+independently-scripted failure domain.
+
+Supported toxics (:class:`Toxic`):
+
+``latency``
+    Delay each forwarded chunk by ``latency_s`` (plus seeded jitter).
+``bandwidth``
+    Cap throughput at ``rate_bps`` by sleeping between chunks.
+``blackhole``
+    Swallow bytes in the toxic's direction while it is active — the
+    connection stays open but nothing arrives (the classic "wedged but
+    not dead" failure; clients survive it only via receive timeouts).
+``reset``
+    Hard-close the connection with ``SO_LINGER(1, 0)`` so the peer sees
+    ECONNRESET, not orderly EOF.  One-shot.
+``torn``
+    Forward a *prefix* of the next frame — deliberately cut mid-JSON
+    line (never at a newline boundary) — then hard-close.  One-shot.
+    This is the wire failure the client's mid-frame poisoning exists
+    for.
+``partition``
+    Refuse new connections and reset existing ones while active;
+    ``direction`` makes it asymmetric (``up`` = client→server bytes are
+    swallowed, replies still flow).
+
+Toxics activate on a relative clock (``start``/``stop`` seconds after
+:meth:`FaultProxy.start`, or after :meth:`reset_clock`), so a schedule
+is data: a list of ``Toxic`` rows fully scripts a soak.  All injected
+events append to :attr:`FaultProxy.events` for post-mortem assertions.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["FaultProxy", "Toxic"]
+
+_KINDS = ("latency", "bandwidth", "blackhole", "reset", "torn", "partition")
+_CHUNK = 8192
+_POLL_S = 0.05  # pump re-checks toxics/shutdown at this cadence
+
+
+@dataclass
+class Toxic:
+    """One scripted fault.  ``start``/``stop`` are seconds on the
+    proxy's relative clock; ``stop=None`` means "until healed".
+    ``direction`` is ``"up"`` (client→server), ``"down"``
+    (server→client) or ``"both"``."""
+
+    kind: str
+    start: float = 0.0
+    stop: Optional[float] = None
+    direction: str = "both"
+    latency_s: float = 0.0
+    jitter_s: float = 0.0
+    rate_bps: float = 0.0
+    name: str = ""
+    fired: bool = field(default=False, repr=False)  # one-shot latch
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown toxic kind {self.kind!r}")
+        if self.direction not in ("up", "down", "both"):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if not self.name:
+            self.name = f"{self.kind}@{self.start:g}"
+
+    def active(self, now: float) -> bool:
+        if now < self.start:
+            return False
+        if self.stop is not None and now >= self.stop:
+            return False
+        if self.kind in ("reset", "torn") and self.fired:
+            return False  # one-shot: fires on the first affected chunk
+        return True
+
+    def applies(self, direction: str) -> bool:
+        return self.direction == "both" or self.direction == direction
+
+
+class _HardClose(Exception):
+    """Internal pump signal: close both sockets abruptly (RST)."""
+
+
+class FaultProxy:
+    """A threaded TCP relay with scripted fault injection.
+
+    One listener thread accepts clients; each connection gets two pump
+    threads (one per direction) that forward chunks through the active
+    toxics.  Pumps use short receive timeouts so new toxics (and
+    shutdown) take effect within ``_POLL_S`` even on idle connections.
+
+    ``set_upstream`` retargets where *new* connections go — the chaos
+    harness uses it when a killed daemon restarts on a fresh port while
+    clients keep dialing the stable proxy address.
+    """
+
+    def __init__(self, upstream: Tuple[str, int], *, host: str = "127.0.0.1",
+                 port: int = 0, seed: int = 0):
+        self._upstream = (str(upstream[0]), int(upstream[1]))
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._toxics: List[Toxic] = []
+        self._epoch = time.monotonic()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, int(port)))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conns: List[Tuple[socket.socket, socket.socket]] = []
+        self.events: List[dict] = []
+        self.connections_accepted = 0
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "FaultProxy":
+        self._epoch = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"faultproxy-{self.port}",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for a, b in conns:
+            for s in (a, b):
+                try:
+                    s.close()
+                except OSError:
+                    pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- scripting ------------------------------------------------------ #
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def reset_clock(self) -> None:
+        self._epoch = time.monotonic()
+
+    def set_upstream(self, upstream: Tuple[str, int]) -> None:
+        with self._lock:
+            self._upstream = (str(upstream[0]), int(upstream[1]))
+        self._event("retarget", f"{upstream[0]}:{upstream[1]}")
+
+    def add(self, toxic: Toxic) -> Toxic:
+        with self._lock:
+            self._toxics.append(toxic)
+        return toxic
+
+    def clear(self) -> None:
+        with self._lock:
+            self._toxics = [t for t in self._toxics
+                            if t.kind == "partition" and t.active(self.now())]
+
+    def partition(self, *, direction: str = "both") -> Toxic:
+        """Partition *now* until :meth:`heal`: new connections refused,
+        existing ones reset, in-flight bytes (in ``direction``)
+        swallowed."""
+        toxic = self.add(Toxic("partition", start=self.now(),
+                               direction=direction, name="partition"))
+        self._event("partition", direction)
+        # reset existing connections so the partition is immediate
+        with self._lock:
+            conns = list(self._conns)
+        for a, b in conns:
+            for s in (a, b):
+                self._hard_close(s)
+        return toxic
+
+    def heal(self) -> None:
+        now = self.now()
+        with self._lock:
+            for t in self._toxics:
+                if t.kind == "partition" and t.active(now):
+                    t.stop = now
+        self._event("heal", "")
+
+    # -- internals ------------------------------------------------------ #
+
+    def _event(self, kind: str, detail: str) -> None:
+        with self._lock:
+            self.events.append({"t": round(self.now(), 4), "kind": kind,
+                                "detail": detail})
+
+    def _active(self, direction: str) -> List[Toxic]:
+        now = self.now()
+        with self._lock:
+            return [t for t in self._toxics
+                    if t.active(now) and t.applies(direction)]
+
+    def _partitioned(self) -> bool:
+        now = self.now()
+        with self._lock:
+            return any(t.kind == "partition" and t.active(now)
+                       for t in self._toxics)
+
+    @staticmethod
+    def _hard_close(sock: socket.socket) -> None:
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            b"\x01\x00\x00\x00\x00\x00\x00\x00")
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _accept_loop(self) -> None:
+        self._listener.settimeout(0.2)
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if self._partitioned():
+                self._event("refuse", "partition active")
+                self._hard_close(client)
+                continue
+            with self._lock:
+                upstream = self._upstream
+            try:
+                server = socket.create_connection(upstream, timeout=5.0)
+            except OSError as exc:
+                self._event("upstream-down", str(exc))
+                self._hard_close(client)
+                continue
+            self.connections_accepted += 1
+            with self._lock:
+                self._conns.append((client, server))
+            for src, dst, direction in ((client, server, "up"),
+                                        (server, client, "down")):
+                threading.Thread(target=self._pump,
+                                 args=(src, dst, direction),
+                                 daemon=True).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket,
+              direction: str) -> None:
+        try:
+            # The peer-direction pump may have hard-closed both sockets
+            # already (reset/torn) — every fd touch can raise.
+            src.settimeout(_POLL_S)
+            while not self._stopping.is_set():
+                try:
+                    data = src.recv(_CHUNK)
+                except socket.timeout:
+                    # idle: a partition that started mid-silence still
+                    # has to cut the connection.
+                    if self._partitioned():
+                        raise _HardClose()
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                self._forward(data, dst, direction)
+        except _HardClose:
+            self._hard_close(src)
+            self._hard_close(dst)
+            return
+        except OSError:
+            pass
+        for s in (src, dst):
+            try:
+                s.close()
+            except OSError:
+                pass
+
+    def _forward(self, data: bytes, dst: socket.socket,
+                 direction: str) -> None:
+        for toxic in self._active(direction):
+            if toxic.kind == "partition":
+                self._event("swallow", f"{direction}:{len(data)}B")
+                raise _HardClose()
+            if toxic.kind == "blackhole":
+                self._event("blackhole", f"{direction}:{len(data)}B")
+                return  # swallowed; connection stays open
+            if toxic.kind == "latency":
+                delay = toxic.latency_s
+                if toxic.jitter_s:
+                    with self._lock:
+                        delay += self._rng.uniform(0, toxic.jitter_s)
+                time.sleep(delay)
+            elif toxic.kind == "bandwidth" and toxic.rate_bps > 0:
+                time.sleep(len(data) / toxic.rate_bps)
+            elif toxic.kind == "reset":
+                toxic.fired = True
+                self._event("reset", direction)
+                raise _HardClose()
+            elif toxic.kind == "torn":
+                toxic.fired = True
+                cut = self._torn_cut(data)
+                self._event("torn",
+                            f"{direction}:{cut}/{len(data)}B")
+                if cut:
+                    try:
+                        dst.sendall(data[:cut])
+                    except OSError:
+                        pass
+                raise _HardClose()
+        try:
+            dst.sendall(data)
+        except OSError:
+            raise _HardClose()
+
+    def _torn_cut(self, data: bytes) -> int:
+        """Pick a deterministic cut point strictly inside the chunk and
+        *not* at a newline boundary, so the victim receives a prefix of
+        a JSON line — a genuinely torn frame, not a clean short read."""
+        if len(data) < 2:
+            return 0
+        with self._lock:
+            for _ in range(8):
+                cut = self._rng.randrange(1, len(data))
+                if data[cut - 1:cut] != b"\n":
+                    return cut
+        return max(1, len(data) // 2)

@@ -141,6 +141,7 @@ class Request:
     verb: str
     id: Optional[object] = None
     tenant: str = "default"
+    request_id: Optional[str] = None  #: client-generated idempotency key
     graph: Optional[dict] = None  #: canonicalized graph specification
     strategy: Optional[dict] = None  #: canonicalized strategy specification
     budget: Optional[int] = None
@@ -233,8 +234,14 @@ def parse_request(obj: dict) -> Request:
     tenant = obj.get("tenant", "default")
     _require(isinstance(tenant, str) and 0 < len(tenant) <= 64,
              "'tenant' must be a non-empty string (<= 64 chars)")
+    request_id = obj.get("request_id")
+    if request_id is not None:
+        _require(isinstance(request_id, str)
+                 and 0 < len(request_id) <= 128,
+                 "'request_id' must be a non-empty string (<= 128 chars)")
     if verb in ("health", "stats"):
-        return Request(verb=verb, id=rid, tenant=tenant)
+        return Request(verb=verb, id=rid, tenant=tenant,
+                       request_id=request_id)
     graph = _canonical_graph(obj.get("graph"))
     strategy = _canonical_strategy(obj.get("strategy"))
     budget = None
@@ -256,7 +263,8 @@ def parse_request(obj: dict) -> Request:
         _require(isinstance(raw, list) and 0 < len(raw) <= 256,
                  "'budgets' must be a non-empty list (<= 256 entries)")
         budgets = tuple(_budget(b, "budgets[]") for b in raw)
-    return Request(verb=verb, id=rid, tenant=tenant, graph=graph,
+    return Request(verb=verb, id=rid, tenant=tenant,
+                   request_id=request_id, graph=graph,
                    strategy=strategy, budget=budget, budgets=budgets,
                    stream=bool(obj.get("stream", False)),
                    deadline=_cap(obj, "deadline"),
@@ -313,31 +321,90 @@ class ServiceClient:
 
     Every receive is bounded by ``timeout`` — a wedged daemon surfaces as
     ``socket.timeout``, never as an infinite hang (the chaos soak relies
-    on this to prove "zero protocol-level hangs")."""
+    on this to prove "zero protocol-level hangs").
+
+    The connection **poisons itself** after any framing failure — a
+    receive timeout, a torn/unparseable frame, a peer that streams past
+    the frame cap, or EOF mid-frame.  A poisoned connection has
+    half-read bytes in its buffer, so the next ``request()`` could pair
+    frames with the *wrong* request; instead every later use raises
+    ``ConnectionError`` and the caller must open a fresh client (the
+    :class:`~repro.service.resilience.ResilientClient` does this
+    automatically)."""
 
     def __init__(self, host: str, port: int, timeout: float = 30.0):
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.settimeout(timeout)
         self._buf = b""
+        self._poisoned: Optional[str] = None
 
     # -- framing ------------------------------------------------------- #
 
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned is not None
+
+    def _poison(self, why: str) -> None:
+        """Mark the stream unusable and close the socket: after a
+        timeout or mid-frame failure the next frame on this connection
+        can belong to an abandoned request."""
+        if self._poisoned is None:
+            self._poisoned = why
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+
+    def _usable(self) -> None:
+        if self._poisoned is not None:
+            raise ConnectionError(
+                f"connection poisoned ({self._poisoned}); responses on "
+                f"this stream can no longer be paired with requests — "
+                f"open a fresh ServiceClient")
+
     def send(self, obj: dict) -> None:
-        self.sock.sendall(encode(obj))
+        self._usable()
+        try:
+            self.sock.sendall(encode(obj))
+        except (OSError, socket.timeout):
+            self._poison("send failed")
+            raise
 
     def send_raw(self, data: bytes) -> None:
         """Ship arbitrary bytes (protocol fuzzing)."""
+        self._usable()
         self.sock.sendall(data)
 
     def recv(self) -> Optional[dict]:
         """One response frame, or ``None`` on EOF."""
+        self._usable()
         while b"\n" not in self._buf:
-            chunk = self.sock.recv(65536)
+            if len(self._buf) > MAX_FRAME_BYTES:
+                # Mirror of the server's frame cap: a broken peer
+                # streaming bytes with no newline must exhaust this
+                # bound, not the process's memory.
+                self._poison("frame cap exceeded")
+                raise ProtocolError(
+                    "frame-too-large",
+                    f"peer streamed {len(self._buf)} bytes without a "
+                    f"frame terminator (cap {MAX_FRAME_BYTES})")
+            try:
+                chunk = self.sock.recv(65536)
+            except (OSError, socket.timeout):
+                self._poison("receive timed out or failed mid-frame")
+                raise
             if not chunk:
+                if self._buf:
+                    self._poison("EOF mid-frame")
                 return None
             self._buf += chunk
         line, self._buf = self._buf.split(b"\n", 1)
-        return json.loads(line.decode())
+        try:
+            return json.loads(line.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._poison("unparseable frame")
+            raise ProtocolError("invalid-json",
+                                f"unparseable response frame: {exc}")
 
     def request(self, obj: dict) -> List[dict]:
         """Send one request; collect frames until the ``final`` one."""
@@ -346,6 +413,7 @@ class ServiceClient:
         while True:
             frame = self.recv()
             if frame is None:
+                self._poison("EOF mid-request")
                 raise ConnectionError("daemon closed the connection "
                                       f"mid-request ({obj.get('verb')})")
             frames.append(frame)

@@ -42,3 +42,15 @@ def test_service_soak_survives_sigkill_and_drains(tmp_path):
     # store-less reference, final SIGTERM drains with exit code 0.
     run_service_soak(str(tmp_path), kills=2, seed=2, clients=2,
                      log=lambda *a: None)
+
+
+def test_partition_soak_fleet_survives_faults(tmp_path):
+    # Fleet resilience acceptance: 2 replicas over one shared store,
+    # each behind a deterministic fault proxy, partitioned + SIGKILLed
+    # under concurrent ResilientClient load — zero hangs, zero wrong
+    # answers vs the store-less reference, retry amplification bounded
+    # by the daemons' duplicate-dispatch counters, final pass
+    # byte-identical, clean SIGTERM drain.
+    from repro.analysis.chaos import run_partition_soak
+    run_partition_soak(str(tmp_path), replicas=2, kills=1, seed=3,
+                       clients=2, log=lambda *a: None)

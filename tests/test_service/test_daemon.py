@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 
 import pytest
@@ -337,3 +338,111 @@ class TestLifecycle:
             await daemon.shutdown()
             await daemon.shutdown()
         run_daemon(body)
+
+
+class TestFleetAwareness:
+
+    def test_replica_stanza_in_health_and_stats(self):
+        async def body(daemon):
+            h = (await rpc(daemon.port, {"verb": "health"}))[-1]["result"]
+            rep = h["replica"]
+            assert rep["name"] == "unit-replica"
+            assert rep["pid"] == os.getpid()
+            assert rep["store"] is None  # no durable store configured
+            assert rep["uptime_s"] >= 0
+            assert rep["draining"] is False
+            assert rep["inflight"] == 0 and rep["active"] == 0
+            s = (await rpc(daemon.port, {"verb": "stats"}))[-1]["result"]
+            assert s["replica"]["name"] == "unit-replica"
+        run_daemon(body, name="unit-replica")
+
+    def test_replica_name_defaults_to_pid_label(self):
+        async def body(daemon):
+            h = (await rpc(daemon.port, {"verb": "health"}))[-1]["result"]
+            assert h["replica"]["name"] == f"replica-{os.getpid()}"
+        run_daemon(body)
+
+    def test_replica_store_fingerprint_is_the_store_id(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        engine = SweepEngine(anytime=True, store=store_dir)
+
+        async def body(daemon):
+            h = (await rpc(daemon.port, {"verb": "health"}))[-1]["result"]
+            stanza = h["replica"]["store"]
+            assert stanza["path"] == engine.store.path
+            assert stanza["fingerprint"] == engine.store.store_id
+            assert stanza["records"] == len(engine.store)
+        run_daemon(body, engine=engine)
+
+    def test_resilience_counters_start_at_zero(self):
+        async def body(daemon):
+            s = (await rpc(daemon.port, {"verb": "stats"}))[-1]["result"]
+            assert s["resilience"] == {"retries_served": 0,
+                                       "duplicate_dispatches": 0,
+                                       "request_ids_tracked": 0}
+        run_daemon(body)
+
+    def test_retried_request_id_counts_without_duplicate(self):
+        async def body(daemon):
+            for _ in range(2):
+                f = (await rpc(daemon.port, probe_req(
+                    64, request_id="rid-a")))[-1]
+                assert f["ok"]
+            s = (await rpc(daemon.port, {"verb": "stats"}))[-1]["result"]
+            # the second send re-used the rid but was served from cache:
+            # a served retry, not a duplicate dispatch.
+            assert s["resilience"]["retries_served"] == 1
+            assert s["resilience"]["duplicate_dispatches"] == 0
+            assert s["resilience"]["request_ids_tracked"] == 1
+        run_daemon(body)
+
+    def test_fresh_reevaluation_for_one_rid_is_a_duplicate(self):
+        async def body(daemon):
+            for budget in (64, 96):
+                f = (await rpc(daemon.port, probe_req(
+                    budget, request_id="rid-b")))[-1]
+                assert f["ok"]
+            s = (await rpc(daemon.port, {"verb": "stats"}))[-1]["result"]
+            assert s["resilience"]["retries_served"] == 1
+            assert s["resilience"]["duplicate_dispatches"] == 1
+        run_daemon(body)
+
+
+class TestRetryAfterWire:
+
+    def test_overloaded_retry_after_is_seconds_on_the_wire(self):
+        engine = SweepEngine(anytime=True)
+        gate = SlowGate(engine)
+
+        async def body(daemon):
+            slow = asyncio.ensure_future(rpc(daemon.port, probe_req(64)))
+            assert await asyncio.get_running_loop().run_in_executor(
+                None, gate.started.wait, 5)
+            err = (await asyncio.wait_for(
+                rpc(daemon.port, probe_req(96)), 2.0))[-1]["error"]
+            assert err["code"] == "overloaded"
+            # Pinned: the advisory is present, numeric, and in seconds
+            # (the daemon's constant push-back window).
+            assert isinstance(err["retry_after"], (int, float))
+            assert err["retry_after"] == 0.25
+            gate.release.set()
+            assert (await slow)[-1]["ok"]
+        run_daemon(body, engine=engine, max_inflight=1, max_pending=0)
+
+    def test_tenant_rejection_retry_after_is_seconds_on_the_wire(self):
+        # rate=0.5 tokens/s, burst=1: after spending the burst the next
+        # token is ~2 seconds away.  A milliseconds (or minutes) value
+        # here would be orders of magnitude off — this pins the unit.
+        governor = TenantGovernor(policies={
+            "metered": TenantPolicy(rate=0.5, burst=1)})
+
+        async def body(daemon):
+            ok = (await rpc(daemon.port,
+                            probe_req(64, tenant="metered")))[-1]
+            assert ok["ok"]
+            err = (await rpc(daemon.port,
+                             probe_req(80, tenant="metered")))[-1]["error"]
+            assert err["code"] == "tenant-rejected"
+            assert isinstance(err["retry_after"], (int, float))
+            assert 0.5 <= err["retry_after"] <= 4.0
+        run_daemon(body, tenants=governor)

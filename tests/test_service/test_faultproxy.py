@@ -1,0 +1,257 @@
+"""Deterministic fault-proxy tests (:mod:`repro.service.faultproxy`).
+
+Each toxic is verified against a live echo upstream: clean passthrough,
+torn frames cut strictly mid-JSON-line, hard resets, blackholes that
+stall without closing (bounded only by the victim's own timeout),
+latency shaping, and asymmetric partitions.  Determinism is pinned by
+seeding: the same seed must pick the same torn-frame cut point.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.service.faultproxy import FaultProxy, Toxic
+
+
+@contextmanager
+def echo_upstream():
+    """A line-echo TCP server: every received ``line\\n`` is sent back
+    verbatim — observable ground truth on both directions."""
+    srv = socket.socket()
+    srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(16)
+    received = []
+    stop = threading.Event()
+
+    def serve():
+        srv.settimeout(0.2)
+        while not stop.is_set():
+            try:
+                conn, _ = srv.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+
+            def handle(conn=conn):
+                buf = b""
+                try:
+                    conn.settimeout(10.0)
+                    while True:
+                        data = conn.recv(4096)
+                        if not data:
+                            return
+                        buf += data
+                        while b"\n" in buf:
+                            line, buf = buf.split(b"\n", 1)
+                            received.append(line)
+                            conn.sendall(line + b"\n")
+                except OSError:
+                    pass
+                finally:
+                    conn.close()
+            threading.Thread(target=handle, daemon=True).start()
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield srv.getsockname(), received
+    finally:
+        stop.set()
+        srv.close()
+        thread.join(5)
+
+
+def dial(proxy, timeout=5.0):
+    s = socket.create_connection((proxy.host, proxy.port), timeout=timeout)
+    s.settimeout(timeout)
+    return s
+
+
+def drain(sock):
+    """Read until close/reset; return what arrived."""
+    got = b""
+    try:
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                return got
+            got += data
+    except OSError:
+        return got
+
+
+class TestToxics:
+
+    def test_clean_passthrough_both_directions(self):
+        with echo_upstream() as (up, received):
+            with FaultProxy(up, seed=0) as px:
+                s = dial(px)
+                s.sendall(b'{"a":1}\n')
+                assert s.recv(100) == b'{"a":1}\n'
+                s.close()
+            assert received == [b'{"a":1}']
+            assert px.connections_accepted == 1
+
+    def test_torn_frame_is_a_mid_line_prefix_then_close(self):
+        payload = b'{"answer":12345,"exact":true}\n'
+        with echo_upstream() as (up, _):
+            with FaultProxy(up, seed=3) as px:
+                px.add(Toxic("torn", start=0.0, direction="down"))
+                s = dial(px)
+                s.sendall(payload)
+                got = drain(s)
+                s.close()
+        assert got != payload, "torn toxic forwarded the full frame"
+        assert payload.startswith(got), "torn data is not a prefix"
+        assert not got.endswith(b"\n"), "cut landed on a frame boundary"
+        assert any(e["kind"] == "torn" for e in px.events)
+
+    def test_torn_cut_is_seed_deterministic(self):
+        data = b'{"cost": 3.25, "budget": 64, "exact": true}\n' * 3
+        cuts_a = [FaultProxy(("127.0.0.1", 1), seed=11)._torn_cut(data)
+                  for _ in range(3)]
+        cuts_b = [FaultProxy(("127.0.0.1", 1), seed=11)._torn_cut(data)
+                  for _ in range(3)]
+        assert cuts_a == cuts_b
+        assert all(0 < c < len(data) for c in cuts_a)
+        assert all(data[c - 1:c] != b"\n" for c in cuts_a)
+
+    def test_reset_surfaces_as_connection_error(self):
+        with echo_upstream() as (up, _):
+            with FaultProxy(up, seed=0) as px:
+                px.add(Toxic("reset", start=0.0, direction="up"))
+                s = dial(px)
+                with pytest.raises(OSError):
+                    s.sendall(b'{"a":1}\n')
+                    got = s.recv(100)
+                    assert got == b"", f"reset leaked data {got!r}"
+                    raise ConnectionResetError("orderly EOF also fine")
+                s.close()
+
+    def test_one_shot_toxics_fire_once(self):
+        with echo_upstream() as (up, _):
+            with FaultProxy(up, seed=1) as px:
+                px.add(Toxic("reset", start=0.0, direction="up"))
+                s = dial(px)
+                s.sendall(b'{"a":1}\n')
+                drain(s)
+                s.close()
+                # the reset latched: the next connection is clean
+                s = dial(px)
+                s.sendall(b'{"b":2}\n')
+                assert s.recv(100) == b'{"b":2}\n'
+                s.close()
+
+    def test_blackhole_stalls_without_closing(self):
+        with echo_upstream() as (up, received):
+            with FaultProxy(up, seed=0) as px:
+                hole = px.add(Toxic("blackhole", start=0.0,
+                                    direction="up"))
+                s = dial(px, timeout=0.5)
+                s.sendall(b'{"a":1}\n')
+                # nothing arrives (the victim's own timeout bounds it:
+                # exactly the hang discipline the clients rely on) ...
+                with pytest.raises(socket.timeout):
+                    s.recv(100)
+                assert received == []
+                # ... and after the hole closes, traffic flows again.
+                hole.stop = px.now()
+                s.settimeout(5.0)
+                s.sendall(b'{"b":2}\n')
+                assert s.recv(100) == b'{"b":2}\n'
+                assert received == [b'{"b":2}']
+                s.close()
+
+    def test_latency_shapes_round_trip_time(self):
+        with echo_upstream() as (up, _):
+            with FaultProxy(up, seed=0) as px:
+                s = dial(px)
+                s.sendall(b'{"warm":0}\n')
+                s.recv(100)
+                px.add(Toxic("latency", start=0.0, direction="down",
+                             latency_s=0.15))
+                t0 = time.monotonic()
+                s.sendall(b'{"a":1}\n')
+                assert s.recv(100) == b'{"a":1}\n'
+                assert time.monotonic() - t0 >= 0.15
+                s.close()
+
+    def test_partition_refuses_and_heal_restores(self):
+        with echo_upstream() as (up, _):
+            with FaultProxy(up, seed=0) as px:
+                live = dial(px)
+                px.partition()
+                # existing connection is reset, not left dangling
+                assert drain(live) == b""
+                live.close()
+                # new connections die immediately (accepted-then-reset
+                # or refused — never a hang)
+                try:
+                    s = dial(px, timeout=1.0)
+                    assert drain(s) == b""
+                    s.close()
+                except OSError:
+                    pass
+                px.heal()
+                s = dial(px)
+                s.sendall(b'{"back":1}\n')
+                assert s.recv(100) == b'{"back":1}\n'
+                s.close()
+                kinds = [e["kind"] for e in px.events]
+                assert "partition" in kinds and "heal" in kinds
+
+    def test_asymmetric_partition_drops_one_direction(self):
+        # direction="down": requests still reach the upstream, replies
+        # never come back — the classic asymmetric network split.
+        with echo_upstream() as (up, received):
+            with FaultProxy(up, seed=0) as px:
+                s = dial(px, timeout=2.0)
+                s.sendall(b'{"warm":0}\n')
+                assert s.recv(100) == b'{"warm":0}\n'
+                px.add(Toxic("partition", start=px.now(),
+                             direction="down"))
+                s.sendall(b'{"lost":1}\n')
+                deadline = time.monotonic() + 5.0
+                while (b'{"lost":1}' not in received
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert b'{"lost":1}' in received  # request got through
+                assert drain(s) == b""  # reply direction is cut
+                s.close()
+
+    def test_retarget_points_new_connections_at_new_upstream(self):
+        with echo_upstream() as (up_a, recv_a):
+            with echo_upstream() as (up_b, recv_b):
+                with FaultProxy(up_a, seed=0) as px:
+                    s = dial(px)
+                    s.sendall(b'{"to":"a"}\n')
+                    s.recv(100)
+                    s.close()
+                    px.set_upstream(up_b)
+                    s = dial(px)
+                    s.sendall(b'{"to":"b"}\n')
+                    s.recv(100)
+                    s.close()
+                assert recv_a == [b'{"to":"a"}']
+                assert recv_b == [b'{"to":"b"}']
+
+    def test_upstream_down_closes_client_not_hangs(self):
+        gone = socket.socket()
+        gone.bind(("127.0.0.1", 0))
+        addr = gone.getsockname()
+        gone.close()
+        with FaultProxy(addr, seed=0) as px:
+            try:
+                s = dial(px, timeout=2.0)
+                assert drain(s) == b""
+                s.close()
+            except OSError:
+                pass
+            assert any(e["kind"] == "upstream-down" for e in px.events)

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
+import threading
+from contextlib import contextmanager
 
 import pytest
 
@@ -18,8 +21,9 @@ from repro.core.store import graph_fingerprint
 from repro.graphs import dwt_graph, mvm_graph
 from repro.service import SchedulingDaemon
 from repro.service.protocol import (MAX_FRAME_BYTES, ProtocolError,
-                                    decode_line, encode, parse_request,
-                                    resolve_graph, resolve_scheduler)
+                                    ServiceClient, decode_line, encode,
+                                    parse_request, resolve_graph,
+                                    resolve_scheduler)
 
 DWT8 = {"family": "dwt", "n": 8, "d": 2}
 
@@ -300,3 +304,156 @@ class TestFuzzSmoke:
             finally:
                 writer.close()
         fuzz_daemon(body)
+
+
+# --------------------------------------------------------------------- #
+# Client hardening (the ServiceClient side of the wire)
+
+
+@contextmanager
+def byte_server(behavior):
+    """One-connection stub: ``behavior(conn)`` runs in a thread after a
+    client connects.  Yields the port."""
+    srv = socket.socket()
+    srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(4)
+    done = threading.Event()
+
+    def serve():
+        try:
+            srv.settimeout(10.0)
+            conn, _ = srv.accept()
+        except OSError:
+            return
+        finally:
+            done.set()
+        try:
+            behavior(conn)
+        except OSError:
+            pass
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield srv.getsockname()[1]
+    finally:
+        srv.close()
+        thread.join(5)
+
+
+def read_request(conn):
+    """Consume the client's request line first: closing a socket with
+    unread data sends RST, which would race the behavior under test."""
+    conn.settimeout(10.0)
+    buf = b""
+    while b"\n" not in buf:
+        data = conn.recv(4096)
+        if not data:
+            return buf
+        buf += data
+    return buf
+
+
+class TestClientHardening:
+
+    def test_recv_enforces_the_frame_cap(self):
+        # Regression: a peer that streams 2 MiB without a newline used
+        # to grow the client's buffer without bound; now the client
+        # mirrors the server's 1 MiB cap and fails structurally.
+        def behavior(conn):
+            read_request(conn)
+            conn.sendall(b"x" * (2 * MAX_FRAME_BYTES))
+            conn.close()
+        with byte_server(behavior) as port:
+            c = ServiceClient("127.0.0.1", port, timeout=10.0)
+            with pytest.raises(ProtocolError) as err:
+                c.request({"verb": "health"})
+            assert err.value.code == "frame-too-large"
+            assert c.poisoned
+            with pytest.raises(ConnectionError):
+                c.request({"verb": "health"})
+            c.close()
+
+    def test_timeout_poisons_the_connection(self):
+        # Regression: after a receive timeout the late reply is still in
+        # flight; reusing the socket would pair it with the *next*
+        # request.  The client must refuse reuse, not desync.
+        release = threading.Event()
+
+        def behavior(conn):
+            read_request(conn)
+            release.wait(10)
+            # the stale answer to request 1 arrives late
+            conn.sendall(b'{"id": 1, "ok": true, "final": true, '
+                         b'"result": {"stale": true}}\n')
+            conn.close()
+        with byte_server(behavior) as port:
+            c = ServiceClient("127.0.0.1", port, timeout=0.3)
+            with pytest.raises(OSError):
+                c.request({"verb": "health", "id": 1})
+            assert c.poisoned
+            release.set()
+            with pytest.raises(ConnectionError):
+                # the stale frame must never be served as this answer
+                c.request({"verb": "stats", "id": 2})
+            c.close()
+            c.close()  # idempotent
+
+    def test_unparseable_frame_is_structured_and_poisons(self):
+        def behavior(conn):
+            read_request(conn)
+            conn.sendall(b"this is not json\n")
+            conn.close()
+        with byte_server(behavior) as port:
+            c = ServiceClient("127.0.0.1", port, timeout=10.0)
+            with pytest.raises(ProtocolError) as err:
+                c.request({"verb": "health"})
+            assert err.value.code == "invalid-json"
+            assert c.poisoned
+            c.close()
+
+    def test_eof_mid_frame_poisons(self):
+        def behavior(conn):
+            read_request(conn)
+            conn.sendall(b'{"ok": true, "fin')  # torn: no newline
+            conn.close()
+        with byte_server(behavior) as port:
+            c = ServiceClient("127.0.0.1", port, timeout=10.0)
+            with pytest.raises(ConnectionError):
+                c.request({"verb": "health"})
+            assert c.poisoned
+            c.close()
+
+    def test_context_manager_closes(self):
+        def behavior(conn):
+            read_request(conn)
+            conn.sendall(b'{"ok": true, "final": true, "verb": "health",'
+                         b' "id": null, "result": {}}\n')
+            conn.close()
+        with byte_server(behavior) as port:
+            with ServiceClient("127.0.0.1", port, timeout=10.0) as c:
+                assert c.request({"verb": "health"})[-1]["ok"]
+            with pytest.raises(OSError):
+                c.sock.getpeername()  # socket really closed
+
+
+class TestRequestId:
+
+    def test_request_id_is_parsed_and_optional(self):
+        req = parse_request({"verb": "probe", "graph": DWT8,
+                             "strategy": "dwt-optimal", "budget": 64,
+                             "request_id": "rc-1-0"})
+        assert req.request_id == "rc-1-0"
+        req = parse_request({"verb": "probe", "graph": DWT8,
+                             "strategy": "dwt-optimal", "budget": 64})
+        assert req.request_id is None
+
+    def test_request_id_survives_the_health_fast_path(self):
+        assert parse_request({"verb": "health",
+                              "request_id": "h-1"}).request_id == "h-1"
+
+    @pytest.mark.parametrize("bad", [17, "", "x" * 129, ["rid"], {}])
+    def test_invalid_request_id_is_bad_request(self, bad):
+        assert code_of({"verb": "probe", "graph": DWT8,
+                        "strategy": "dwt-optimal", "budget": 64,
+                        "request_id": bad}) == "bad-request"

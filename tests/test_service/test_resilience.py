@@ -1,0 +1,511 @@
+"""Fleet-resilience tests (:mod:`repro.service.resilience`).
+
+Three layers:
+
+* unit — the :class:`CircuitBreaker` state machine and
+  :class:`BackoffPolicy` under an injected clock/RNG (no sockets);
+* scripted wire — a stub protocol server pins what the client puts on
+  the wire (``request_id`` and nothing else at defaults) and that a
+  structured ``retry_after`` is *slept on* (injected sleep recorder);
+* fleet — real :class:`~repro.service.SchedulingDaemon` replicas over a
+  shared durable store, driven through the blocking client from the
+  test thread: failover and retry answers must be **byte-identical** to
+  a single-daemon reference, hedging must engage and cancel the loser,
+  and mixing replicas with different stores must be refused.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import socket
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.analysis import SweepEngine
+from repro.service import SchedulingDaemon
+from repro.service.protocol import ServiceClient
+from repro.service.resilience import (BackoffPolicy, CircuitBreaker,
+                                      MixedStoreError, ResilientClient,
+                                      RetriesExhausted)
+
+DWT8 = {"family": "dwt", "n": 8, "d": 2, "weights": "equal"}
+
+
+# --------------------------------------------------------------------- #
+# Harness: real daemons on a background event loop, blocking client here
+
+
+@contextmanager
+def fleet(n, *, store=None, stores=None, engine_hook=None, **daemon_kw):
+    """Run ``n`` daemons on one background event loop; yield them.
+    ``store`` shares one durable store directory across the fleet;
+    ``stores`` gives each replica its own (the mixed-store test)."""
+    loop = asyncio.new_event_loop()
+    daemons, boot_err = [], []
+    ready = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            for i in range(n):
+                kw = dict(daemon_kw)
+                sdir = stores[i] if stores else store
+                engine = (SweepEngine(anytime=True, store=sdir)
+                          if sdir else SweepEngine(anytime=True))
+                if engine_hook:
+                    engine_hook(i, engine)
+                d = SchedulingDaemon(engine, close_engine=True,
+                                     name=f"replica-{i}", **kw)
+                await d.start()
+                daemons.append(d)
+        try:
+            loop.run_until_complete(boot())
+        except BaseException as exc:  # pragma: no cover - harness bug
+            boot_err.append(exc)
+        finally:
+            ready.set()
+        if not boot_err:
+            loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(30), "fleet never booted"
+    if boot_err:
+        raise boot_err[0]
+    try:
+        yield daemons
+    finally:
+        async def down():
+            for d in daemons:
+                await d.shutdown()
+        asyncio.run_coroutine_threadsafe(down(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+class ScriptedServer:
+    """A protocol-speaking stub: answers each received line with the
+    next scripted responder ``fn(request_dict) -> list of frames``, and
+    records every raw line it received."""
+
+    def __init__(self, *responders):
+        self.responders = list(responders)
+        self.received = []
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self._stop = threading.Event()
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    @property
+    def addr(self):
+        return f"127.0.0.1:{self.port}"
+
+    def _serve(self):
+        self.sock.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._handle, args=(conn,),
+                             daemon=True).start()
+
+    def _handle(self, conn):
+        conn.settimeout(10.0)
+        buf = b""
+        try:
+            while self.responders:
+                while b"\n" not in buf:
+                    data = conn.recv(65536)
+                    if not data:
+                        return
+                    buf += data
+                line, buf = buf.split(b"\n", 1)
+                self.received.append(line)
+                req = json.loads(line)
+                fn = self.responders.pop(0)
+                for frame in fn(req):
+                    conn.sendall(json.dumps(frame).encode() + b"\n")
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self._stop.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def ok_probe(req, cost=42.0):
+    return [{"id": req.get("id"), "ok": True, "verb": req["verb"],
+             "final": True,
+             "result": {"cost": cost, "exact": True, "cached": False,
+                        "degraded": False, "provenance": "exact"}}]
+
+
+def err(req, code, retry_after=None):
+    e = {"code": code, "message": code}
+    if retry_after is not None:
+        e["retry_after"] = retry_after
+    return [{"id": req.get("id"), "ok": False, "verb": req.get("verb"),
+             "final": True, "error": e}]
+
+
+# --------------------------------------------------------------------- #
+# Unit: breaker + backoff
+
+
+class TestCircuitBreaker:
+
+    def make(self, **kw):
+        self.t = [0.0]
+        kw.setdefault("window", 8)
+        kw.setdefault("failure_threshold", 0.5)
+        kw.setdefault("min_volume", 4)
+        kw.setdefault("reset_after", 1.0)
+        return CircuitBreaker(clock=lambda: self.t[0], **kw)
+
+    def test_closed_until_failure_rate_over_window(self):
+        br = self.make()
+        for _ in range(3):
+            br.record(False)
+        assert br.state == "closed"  # below min_volume
+        br.record(True)
+        assert br.state == "closed"  # 3/4 failures but last was a pass
+        br.record(False)
+        assert br.state == "open"  # 4/5 >= 0.5 with volume
+        assert not br.allow()
+
+    def test_half_open_admits_exactly_one_trial(self):
+        br = self.make()
+        for _ in range(4):
+            br.record(False)
+        assert br.state == "open"
+        self.t[0] = 1.5
+        assert br.state == "half-open"
+        assert br.allow()
+        assert not br.allow()  # second trial refused while one in flight
+
+    def test_trial_success_recloses_and_failure_reopens(self):
+        br = self.make()
+        for _ in range(4):
+            br.record(False)
+        self.t[0] = 1.5
+        assert br.allow()
+        br.record(True)
+        assert br.state == "closed" and br.allow()
+        for _ in range(4):
+            br.record(False)
+        self.t[0] = 3.5
+        assert br.allow()
+        br.record(False)
+        assert br.state == "open" and not br.allow()
+        assert br.opens == 3  # first trip, re-trip, failed-trial trip
+
+    def test_old_failures_age_out_of_the_window(self):
+        br = self.make(window=4)
+        for _ in range(3):
+            br.record(False)
+        for _ in range(4):
+            br.record(True)  # pushes the failures out of the window
+        br.record(False)
+        assert br.state == "closed"
+
+
+class TestBackoffPolicy:
+
+    def test_exponential_capped_without_jitter(self):
+        bp = BackoffPolicy(base=0.05, factor=2.0, max_delay=0.4,
+                           jitter=0.0)
+        rng = random.Random(0)
+        assert [bp.delay(a, rng) for a in range(5)] == \
+            [0.05, 0.1, 0.2, 0.4, 0.4]
+
+    def test_jitter_is_seed_deterministic_and_bounded(self):
+        bp = BackoffPolicy(base=0.1, factor=2.0, max_delay=1.0,
+                           jitter=0.5)
+        one = [bp.delay(a, random.Random(7)) for a in range(4)]
+        two = [bp.delay(a, random.Random(7)) for a in range(4)]
+        assert one == two
+        for attempt, d in enumerate(one):
+            full = min(1.0, 0.1 * 2.0 ** attempt)
+            assert full * 0.5 <= d <= full
+
+
+# --------------------------------------------------------------------- #
+# Scripted wire: defaults, retry_after, transport exhaustion
+
+
+class TestScriptedWire:
+
+    def test_default_request_adds_only_request_id(self):
+        # Acceptance: at defaults (single endpoint, no hedging) the wire
+        # is a plain ServiceClient exchange plus the request_id key.
+        srv = ScriptedServer(ok_probe)
+        try:
+            with ResilientClient([srv.addr], client_id="cid",
+                                 timeout=5.0) as rc:
+                frame = rc.probe(DWT8, "dwt-optimal", 64, tenant="t")
+            assert frame["ok"] and frame["result"]["cost"] == 42.0
+            sent = json.loads(srv.received[0])
+            assert sent.pop("request_id") == "cid-0"
+            assert sent == {"verb": "probe", "graph": DWT8,
+                            "strategy": "dwt-optimal", "budget": 64,
+                            "tenant": "t"}
+        finally:
+            srv.close()
+
+    def test_request_ids_are_stable_across_retries_of_one_request(self):
+        srv = ScriptedServer(lambda r: err(r, "overloaded",
+                                           retry_after=0.01),
+                             ok_probe)
+        try:
+            with ResilientClient([srv.addr], client_id="cid",
+                                 timeout=5.0, sleep=lambda s: None) as rc:
+                frame = rc.probe(DWT8, "dwt-optimal", 64)
+            assert frame["ok"]
+            rids = [json.loads(line)["request_id"]
+                    for line in srv.received]
+            assert rids == ["cid-0", "cid-0"]  # same request: same rid
+        finally:
+            srv.close()
+
+    def test_retry_after_is_honored_with_injected_sleep(self):
+        # The server's advisory is a floor: the client must sleep at
+        # least retry_after (0.7s here, far above the backoff base).
+        srv = ScriptedServer(lambda r: err(r, "overloaded",
+                                           retry_after=0.7),
+                             lambda r: err(r, "tenant-rejected",
+                                           retry_after=0.3),
+                             ok_probe)
+        sleeps = []
+        try:
+            with ResilientClient([srv.addr], timeout=5.0,
+                                 backoff=BackoffPolicy(base=0.01,
+                                                       max_delay=2.0),
+                                 sleep=sleeps.append, seed=3) as rc:
+                frame = rc.probe(DWT8, "dwt-optimal", 64)
+            assert frame["ok"]
+            assert len(sleeps) == 2
+            assert sleeps[0] >= 0.7 and sleeps[1] >= 0.3
+            stats = rc.client_stats()
+            assert stats["retry_after"]["honored"] == 2
+            assert stats["retry_after"]["slept_s"] >= 1.0
+            assert stats["retries"] == 2
+        finally:
+            srv.close()
+
+    def test_non_retryable_error_is_returned_not_retried(self):
+        srv = ScriptedServer(lambda r: err(r, "bad-request"), ok_probe)
+        try:
+            with ResilientClient([srv.addr], timeout=5.0,
+                                 sleep=lambda s: None) as rc:
+                frame = rc.probe(DWT8, "dwt-optimal", 64)
+            assert not frame["ok"]
+            assert frame["error"]["code"] == "bad-request"
+            assert len(srv.received) == 1
+        finally:
+            srv.close()
+
+    def test_retryable_exhaustion_returns_last_structured_error(self):
+        srv = ScriptedServer(*[lambda r: err(r, "overloaded",
+                                             retry_after=0.01)] * 3)
+        try:
+            with ResilientClient([srv.addr], timeout=5.0, retries=2,
+                                 sleep=lambda s: None) as rc:
+                frame = rc.probe(DWT8, "dwt-optimal", 64)
+            assert not frame["ok"]
+            assert frame["error"]["code"] == "overloaded"
+            assert len(srv.received) == 3
+        finally:
+            srv.close()
+
+    def test_transport_exhaustion_raises_retries_exhausted(self):
+        # A dead port: every attempt is a connection failure.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = probe.getsockname()[1]
+        probe.close()
+        with ResilientClient([f"127.0.0.1:{dead}"], timeout=1.0,
+                             retries=2, sleep=lambda s: None) as rc:
+            with pytest.raises(RetriesExhausted) as ei:
+                rc.probe(DWT8, "dwt-optimal", 64)
+        assert ei.value.attempts == 3
+        assert isinstance(ei.value, ConnectionError)
+        assert rc.client_stats()["transport_failures"] == 3
+
+
+# --------------------------------------------------------------------- #
+# Fleet: failover, retry, hedging, mixed stores, drain preference
+
+
+def reference_frames(store, budget=64):
+    """What a fault-free single daemon serving ``store`` answers."""
+    with fleet(1, store=store) as (d,):
+        with ServiceClient("127.0.0.1", d.port, timeout=30.0) as c:
+            return c.probe(DWT8, "dwt-optimal", budget, tenant="ref")
+
+
+class TestFleet:
+
+    def test_failover_answer_is_byte_identical(self, tmp_path):
+        store = str(tmp_path / "store")
+        want = reference_frames(store)
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = probe.getsockname()[1]
+        probe.close()
+        with fleet(1, store=store) as (d,):
+            with ResilientClient([f"127.0.0.1:{dead}",
+                                  f"127.0.0.1:{d.port}"],
+                                 timeout=10.0, sleep=lambda s: None,
+                                 seed=1) as rc:
+                got = rc.probe(DWT8, "dwt-optimal", 64, tenant="ref")
+                stats = rc.client_stats()
+        # The failed-over answer matches the reference byte-for-byte
+        # (modulo the served-from-store flag, which records history).
+        for frame in (got, want):
+            frame["result"].pop("cached")
+        assert got["result"] == want["result"]
+        assert stats["failovers"] >= 1
+        assert stats["endpoints"][0]["failures"] >= 1
+        assert stats["endpoints"][1]["successes"] == 1
+
+    def test_retried_request_id_is_idempotent_and_counted(self, tmp_path):
+        store = str(tmp_path / "store")
+        with fleet(1, store=store) as (d,):
+            with ServiceClient("127.0.0.1", d.port, timeout=30.0) as c:
+                first = c.request(
+                    {"verb": "probe", "graph": DWT8,
+                     "strategy": "dwt-optimal", "budget": 64,
+                     "request_id": "retry-1"})[-1]
+                again = c.request(
+                    {"verb": "probe", "graph": DWT8,
+                     "strategy": "dwt-optimal", "budget": 64,
+                     "request_id": "retry-1"})[-1]
+                stats = c.stats()["result"]
+        assert first["ok"] and again["ok"]
+        assert first["result"]["cost"] == again["result"]["cost"]
+        assert not first["result"]["cached"] and again["result"]["cached"]
+        res = stats["resilience"]
+        assert res["retries_served"] == 1  # the re-sent rid was seen
+        assert res["duplicate_dispatches"] == 0  # served from the store
+
+    def test_duplicate_dispatch_counts_fresh_reevaluation(self, tmp_path):
+        # Same request_id but a different budget cannot be served from
+        # the store: the daemon performs a second fresh evaluation for
+        # one rid and must own up to it in the amplification counter.
+        store = str(tmp_path / "store")
+        with fleet(1, store=store) as (d,):
+            with ServiceClient("127.0.0.1", d.port, timeout=30.0) as c:
+                for budget in (64, 96):
+                    frame = c.request(
+                        {"verb": "probe", "graph": DWT8,
+                         "strategy": "dwt-optimal", "budget": budget,
+                         "request_id": "dup-1"})[-1]
+                    assert frame["ok"]
+                stats = c.stats()["result"]
+        res = stats["resilience"]
+        assert res["retries_served"] == 1
+        assert res["duplicate_dispatches"] == 1
+
+    def test_hedge_engages_wins_and_cancels_the_loser(self, tmp_path):
+        store = str(tmp_path / "store")
+        gate = {"started": threading.Event(),
+                "release": threading.Event()}
+
+        def engine_hook(i, engine):
+            if i != 0:
+                return
+            orig = engine.probe
+
+            def slow(*a, **kw):
+                gate["started"].set()
+                assert gate["release"].wait(30), "gate never released"
+                return orig(*a, **kw)
+            engine.probe = slow
+
+        with fleet(2, store=store, engine_hook=engine_hook) as (d0, d1):
+            with ResilientClient([f"127.0.0.1:{d0.port}",
+                                  f"127.0.0.1:{d1.port}"],
+                                 timeout=30.0, hedge_after=0.2,
+                                 check_store=True, seed=5) as rc:
+                frame = rc.probe(DWT8, "dwt-optimal", 64, tenant="h")
+                stats = rc.client_stats()
+                gate["release"].set()
+        assert gate["started"].is_set(), "primary never reached the gate"
+        assert frame["ok"] and frame["result"]["exact"]
+        assert stats["hedges"]["started"] == 1
+        assert stats["hedges"]["won"] == 1  # replica-1 answered first
+        assert stats["hedges"]["lost"] == 0
+        # Both replicas verified as serving the same store.
+        assert stats["fleet_fingerprint"] is not None
+        assert all(ep["fingerprint"] == stats["fleet_fingerprint"]
+                   for ep in stats["endpoints"])
+
+    def test_mixed_store_fleet_is_refused(self, tmp_path):
+        with fleet(2, stores=[str(tmp_path / "a"),
+                              str(tmp_path / "b")]) as (d0, d1):
+            with ResilientClient([f"127.0.0.1:{d0.port}",
+                                  f"127.0.0.1:{d1.port}"],
+                                 timeout=10.0, retries=1,
+                                 sleep=lambda s: None, seed=2) as rc:
+                first = rc.probe(DWT8, "dwt-optimal", 64)
+                assert first["ok"]  # fingerprint learned from replica 0
+                # Steer the next attempt onto replica 1 (the fleet
+                # client does exactly this when replica 0 drains): its
+                # different store must be refused, not eaten as a
+                # retryable transport failure.
+                rc._endpoints[0].draining = True
+                with pytest.raises(MixedStoreError):
+                    rc.probe(DWT8, "dwt-optimal", 96)
+                # ...and the refusal is sticky for the whole client.
+                with pytest.raises(MixedStoreError):
+                    rc.probe(DWT8, "dwt-optimal", 64)
+
+    def test_draining_replica_is_deprioritized(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = probe.getsockname()[1]
+        probe.close()
+        rc = ResilientClient([f"127.0.0.1:{dead}",
+                              f"127.0.0.1:{dead + 1 if dead < 65535 else dead - 1}"],
+                             timeout=1.0)
+        try:
+            eps = rc._endpoints
+            assert rc._pick() is eps[0]  # stable index preference
+            eps[0].draining = True
+            assert rc._pick() is eps[1]  # drained-last
+            eps[1].draining = True
+            assert rc._pick() is eps[0]  # all draining: index order again
+        finally:
+            rc.close()
+
+    def test_all_breakers_open_fails_open(self):
+        rc = ResilientClient(["127.0.0.1:1", "127.0.0.1:2"], timeout=1.0,
+                             breaker_min_volume=1,
+                             breaker_failure_threshold=0.1,
+                             breaker_reset_after=60.0)
+        try:
+            for ep in rc._endpoints:
+                ep.breaker.record(False)
+                assert ep.breaker.state == "open"
+            picked = rc._pick()
+            assert picked is rc._endpoints[0]
+            assert rc.client_stats()["breaker_fail_open"] == 1
+        finally:
+            rc.close()
